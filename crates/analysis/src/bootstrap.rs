@@ -1,0 +1,141 @@
+//! Bootstrap confidence intervals.
+//!
+//! Round-count distributions are skewed (long right tails from straggler
+//! nodes), so the normal-approximation CI of [`crate::ci::mean_ci`] can be
+//! optimistic at small trial counts.  The percentile bootstrap makes no
+//! distributional assumption: resample with replacement, recompute the
+//! statistic, take empirical quantiles.  Deterministic given the seed, like
+//! everything else in the workspace.
+
+use crate::ci::ConfidenceInterval;
+use crate::summary::quantile;
+
+/// A tiny self-contained generator (SplitMix64) so this crate stays
+/// dependency-free.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Percentile-bootstrap 95% CI for `statistic` over `data`.
+///
+/// `resamples` controls precision (1000 is plenty for experiment tables).
+/// Returns `None` on empty data.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    resamples: usize,
+    seed: u64,
+    statistic: F,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() || resamples == 0 {
+        return None;
+    }
+    let estimate = statistic(data);
+    let mut rng = Mix(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut sample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in sample.iter_mut() {
+            *slot = data[rng.below(data.len())];
+        }
+        stats.push(statistic(&sample));
+    }
+    let lo = quantile(&stats, 0.025)?;
+    let hi = quantile(&stats, 0.975)?;
+    Some(ConfidenceInterval { estimate, lo, hi })
+}
+
+/// Bootstrap 95% CI for the mean.
+pub fn bootstrap_mean_ci(data: &[f64], resamples: usize, seed: u64) -> Option<ConfidenceInterval> {
+    bootstrap_ci(data, resamples, seed, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+/// Bootstrap 95% CI for the median.
+pub fn bootstrap_median_ci(
+    data: &[f64],
+    resamples: usize,
+    seed: u64,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(data, resamples, seed, |xs| {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.len() % 2 == 1 {
+            v[v.len() / 2]
+        } else {
+            (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::mean_ci;
+
+    #[test]
+    fn covers_true_mean_on_uniform_data() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 1000, 42).unwrap();
+        assert!(ci.contains(4.5), "CI [{}, {}]", ci.lo, ci.hi);
+        assert!((ci.estimate - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roughly_agrees_with_normal_ci_on_symmetric_data() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64) / 10.0).collect();
+        let boot = bootstrap_mean_ci(&data, 2000, 7).unwrap();
+        let norm = mean_ci(&data).unwrap();
+        assert!((boot.lo - norm.lo).abs() < 0.3, "{} vs {}", boot.lo, norm.lo);
+        assert!((boot.hi - norm.hi).abs() < 0.3);
+    }
+
+    #[test]
+    fn skewed_data_gives_asymmetric_interval() {
+        // Heavy right tail.
+        let mut data = vec![1.0; 95];
+        data.extend([50.0, 60.0, 70.0, 80.0, 90.0]);
+        let ci = bootstrap_mean_ci(&data, 2000, 11).unwrap();
+        // Upper arm longer than lower arm.
+        assert!(ci.hi - ci.estimate > ci.estimate - ci.lo);
+    }
+
+    #[test]
+    fn median_ci() {
+        let data: Vec<f64> = (1..=99).map(|i| i as f64).collect();
+        let ci = bootstrap_median_ci(&data, 1000, 3).unwrap();
+        assert!(ci.contains(50.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let a = bootstrap_mean_ci(&data, 500, 9).unwrap();
+        let b = bootstrap_mean_ci(&data, 500, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(bootstrap_mean_ci(&[], 100, 1).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 1).is_none());
+        let ci = bootstrap_mean_ci(&[2.0], 100, 1).unwrap();
+        assert_eq!(ci.lo, 2.0);
+        assert_eq!(ci.hi, 2.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Confidence intervals.
+//!
+//! Normal-approximation intervals for means and the Wilson score interval
+//! for proportions (completion rates in the lower-bound experiments are
+//! often 0/k or k/k, where the naive Wald interval degenerates and Wilson
+//! does not).
+
+use crate::summary::Summary;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether `x` lies inside the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+}
+
+/// z-value for a two-sided 95% interval.
+pub const Z_95: f64 = 1.959964;
+
+/// 95% CI for the mean of `data` via the normal approximation.
+/// `None` on empty input.
+pub fn mean_ci(data: &[f64]) -> Option<ConfidenceInterval> {
+    let s = Summary::of(data)?;
+    let half = Z_95 * s.std_err();
+    Some(ConfidenceInterval {
+        estimate: s.mean,
+        lo: s.mean - half,
+        hi: s.mean + half,
+    })
+}
+
+/// 95% Wilson score interval for a proportion of `successes` out of
+/// `trials`.  `None` if `trials == 0`.
+pub fn proportion_ci(successes: usize, trials: usize) -> Option<ConfidenceInterval> {
+    if trials == 0 {
+        return None;
+    }
+    assert!(successes <= trials);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = Z_95;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    Some(ConfidenceInterval {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_contains_mean() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ci = mean_ci(&data).unwrap();
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.lo < 49.5 && ci.hi > 49.5);
+    }
+
+    #[test]
+    fn mean_ci_empty() {
+        assert!(mean_ci(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+        let a = mean_ci(&small).unwrap();
+        let b = mean_ci(&large).unwrap();
+        assert!(b.half_width() < a.half_width());
+    }
+
+    #[test]
+    fn wilson_extreme_proportions() {
+        // 0/50: Wald would give [0, 0]; Wilson gives a positive upper bound.
+        let ci = proportion_ci(0, 50).unwrap();
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lo, 0.0);
+        assert!(ci.hi > 0.0 && ci.hi < 0.15);
+        // 50/50 mirrors it.
+        let ci = proportion_ci(50, 50).unwrap();
+        assert!((ci.estimate - 1.0).abs() < 1e-12);
+        assert!(ci.lo > 0.85 && ci.lo < 1.0);
+        assert!((ci.hi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_half() {
+        let ci = proportion_ci(50, 100).unwrap();
+        assert!((ci.estimate - 0.5).abs() < 1e-12);
+        assert!(ci.contains(0.5));
+        assert!(ci.half_width() < 0.12);
+    }
+
+    #[test]
+    fn wilson_zero_trials() {
+        assert!(proportion_ci(0, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wilson_invalid_successes() {
+        let _ = proportion_ci(5, 3);
+    }
+}

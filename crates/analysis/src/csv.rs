@@ -1,0 +1,104 @@
+//! Minimal CSV writing (RFC 4180 quoting).
+//!
+//! Experiment binaries can dump their raw per-trial data next to the
+//! rendered tables so downstream plotting does not have to re-run sweeps.
+//! Only writing is needed; only writing is implemented.
+
+use std::fmt::Write as _;
+
+/// Accumulates rows and renders RFC-4180 CSV.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    out: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// A writer whose first row is `headers`.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Self {
+        let mut w = CsvWriter {
+            out: String::new(),
+            columns: headers.len(),
+        };
+        w.write_row_raw(headers);
+        w
+    }
+
+    /// Appends a row of string cells (must match the header width).
+    pub fn add_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.columns, "column count mismatch");
+        self.write_row_raw(cells);
+    }
+
+    /// Appends a row of floats.
+    pub fn add_row_f64(&mut self, cells: &[f64]) {
+        let strs: Vec<String> = cells.iter().map(|x| format!("{x}")).collect();
+        self.add_row(&strs);
+    }
+
+    fn write_row_raw<S: AsRef<str>>(&mut self, cells: &[S]) {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{}", escape(cell.as_ref()));
+        }
+        self.out.push('\n');
+    }
+
+    /// The accumulated CSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Writes the CSV to `path`.
+    pub fn write_to(self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.out)
+    }
+}
+
+/// RFC-4180 escaping: quote fields containing commas, quotes or newlines.
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.add_row(&["1", "2"]);
+        w.add_row_f64(&[1.5, 2.5]);
+        let s = w.finish();
+        assert_eq!(s, "a,b\n1,2\n1.5,2.5\n");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn quoted_cells_roundtrip_shape() {
+        let mut w = CsvWriter::new(&["x"]);
+        w.add_row(&["value, with comma"]);
+        let s = w.finish();
+        assert!(s.contains("\"value, with comma\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_width_panics() {
+        let mut w = CsvWriter::new(&["a", "b"]);
+        w.add_row(&["only"]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Least-squares fits against the paper's asymptotic forms.
+//!
+//! The experiments validate asymptotic claims by fitting measured round
+//! counts to the predicted functional form and checking the fit quality and
+//! the sign/magnitude of the coefficients:
+//!
+//! * Theorem 5/6: `rounds ≈ a·(ln n / ln d) + b·ln d + c` —
+//!   [`fit_centralized_form`];
+//! * Theorem 7/8: `rounds ≈ a·ln n + b` — [`fit_log_form`].
+//!
+//! The general engine is ordinary least squares on an explicit design
+//! matrix, solved by Gaussian elimination with partial pivoting on the
+//! normal equations (dimensions here are ≤ 3, so numerics are a non-issue).
+
+/// A fitted linear model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Coefficients, aligned with the design-matrix columns.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r_squared: f64,
+    /// Root-mean-square residual.
+    pub rms_residual: f64,
+}
+
+impl FitResult {
+    /// Predicted value for a feature row.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.coeffs.len());
+        features
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(x, c)| x * c)
+            .sum()
+    }
+}
+
+/// Ordinary least squares: finds `β` minimizing `‖y − Xβ‖²`.
+///
+/// `rows` are feature vectors (all the same length `k`); requires at least
+/// `k` rows.  Returns `None` if the normal equations are singular.
+pub fn least_squares(rows: &[Vec<f64>], ys: &[f64]) -> Option<FitResult> {
+    let m = rows.len();
+    assert_eq!(m, ys.len(), "row/target count mismatch");
+    if m == 0 {
+        return None;
+    }
+    let k = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == k), "ragged design matrix");
+    if m < k {
+        return None;
+    }
+
+    // Normal equations: (XᵀX) β = Xᵀy.
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &y) in rows.iter().zip(ys) {
+        for i in 0..k {
+            aty[i] += row[i] * y;
+            for j in 0..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let coeffs = solve(ata, aty)?;
+
+    // Fit quality.
+    let mean_y = ys.iter().sum::<f64>() / m as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (row, &y) in rows.iter().zip(ys) {
+        let pred: f64 = row.iter().zip(&coeffs).map(|(x, c)| x * c).sum();
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else if ss_res < 1e-12 {
+        1.0
+    } else {
+        0.0
+    };
+    Some(FitResult {
+        coeffs,
+        r_squared,
+        rms_residual: (ss_res / m as f64).sqrt(),
+    })
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let k = b.len();
+    for col in 0..k {
+        // Pivot.
+        let pivot = (col..k)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None; // singular
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..k {
+            let f = a[row][col] / a[col][col];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (x, &p) in lower[0][col..k].iter_mut().zip(&pivot_row[col..k]) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; k];
+    for col in (0..k).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..k {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// A fit of the centralized form `rounds = a·(ln n/ln d) + b·ln d + c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralizedFit {
+    /// Coefficient of `ln n / ln d` (the diameter term).
+    pub a: f64,
+    /// Coefficient of `ln d` (the cover term).
+    pub b: f64,
+    /// Intercept.
+    pub c: f64,
+    /// `R²` of the fit.
+    pub r_squared: f64,
+}
+
+/// Fits measured rounds against the Theorem-5 form.  `points` are
+/// `(n, d, rounds)` triples (needs ≥ 3 distinct regimes).
+pub fn fit_centralized_form(points: &[(usize, f64, f64)]) -> Option<CentralizedFit> {
+    let rows: Vec<Vec<f64>> = points
+        .iter()
+        .map(|&(n, d, _)| {
+            let ln_n = (n.max(2) as f64).ln();
+            let ln_d = d.max(1.0 + 1e-9).ln();
+            vec![ln_n / ln_d, ln_d, 1.0]
+        })
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, _, r)| r).collect();
+    let fit = least_squares(&rows, &ys)?;
+    Some(CentralizedFit {
+        a: fit.coeffs[0],
+        b: fit.coeffs[1],
+        c: fit.coeffs[2],
+        r_squared: fit.r_squared,
+    })
+}
+
+/// A fit of the distributed form `rounds = a·ln n + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogFit {
+    /// Slope on `ln n`.
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+    /// `R²` of the fit.
+    pub r_squared: f64,
+}
+
+/// Fits measured rounds against `a·ln n + b`.  `points` are `(n, rounds)`.
+///
+/// ```
+/// use radio_analysis::fit_log_form;
+/// // Perfect data on rounds = 2·ln n + 1.
+/// let pts: Vec<(usize, f64)> = (8..16)
+///     .map(|k| (1usize << k, 2.0 * ((1usize << k) as f64).ln() + 1.0))
+///     .collect();
+/// let fit = fit_log_form(&pts).unwrap();
+/// assert!((fit.a - 2.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_log_form(points: &[(usize, f64)]) -> Option<LogFit> {
+    let rows: Vec<Vec<f64>> = points
+        .iter()
+        .map(|&(n, _)| vec![(n.max(2) as f64).ln(), 1.0])
+        .collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, r)| r).collect();
+    let fit = least_squares(&rows, &ys)?;
+    Some(LogFit {
+        a: fit.coeffs[0],
+        b: fit.coeffs[1],
+        r_squared: fit.r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_fit() {
+        // y = 2x + 3.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 3.0).collect();
+        let fit = least_squares(&rows, &ys).unwrap();
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coeffs[1] - 3.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        assert!(fit.rms_residual < 1e-9);
+        assert!((fit.predict(&[5.0, 1.0]) - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_slope() {
+        // y = 4x + noise(deterministic pseudo-noise).
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| 4.0 * i as f64 + ((i * 37 % 11) as f64 - 5.0))
+            .collect();
+        let fit = least_squares(&rows, &ys).unwrap();
+        assert!((fit.coeffs[0] - 4.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn underdetermined_is_none() {
+        assert!(least_squares(&[vec![1.0, 2.0]], &[3.0]).is_none());
+        assert!(least_squares(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn singular_is_none() {
+        // Two identical columns.
+        let rows = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert!(least_squares(&rows, &ys).is_none());
+    }
+
+    #[test]
+    fn centralized_form_recovered() {
+        // Synthesize data exactly on the theoretical surface with a = 1.5,
+        // b = 2.5, c = 4.
+        let mut points = Vec::new();
+        for &n in &[1usize << 10, 1 << 12, 1 << 14, 1 << 16] {
+            for &d in &[8.0, 32.0, 128.0, 512.0] {
+                let ln_n = (n as f64).ln();
+                let ln_d = f64::ln(d);
+                let y = 1.5 * ln_n / ln_d + 2.5 * ln_d + 4.0;
+                points.push((n, d, y));
+            }
+        }
+        let fit = fit_centralized_form(&points).unwrap();
+        assert!((fit.a - 1.5).abs() < 1e-6, "a = {}", fit.a);
+        assert!((fit.b - 2.5).abs() < 1e-6, "b = {}", fit.b);
+        assert!((fit.c - 4.0).abs() < 1e-6, "c = {}", fit.c);
+        assert!(fit.r_squared > 0.9999);
+    }
+
+    #[test]
+    fn log_form_recovered() {
+        let points: Vec<(usize, f64)> = (10..20)
+            .map(|k| {
+                let n = 1usize << k;
+                (n, 3.0 * (n as f64).ln() + 7.0)
+            })
+            .collect();
+        let fit = fit_log_form(&points).unwrap();
+        assert!((fit.a - 3.0).abs() < 1e-9);
+        assert!((fit.b - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_targets_r_squared() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 1.0]).collect();
+        let ys = vec![2.0; 5];
+        let fit = least_squares(&rows, &ys).unwrap();
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixed-bin histograms with an ASCII sparkline renderer.
+
+/// A histogram over a fixed range with equal-width bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<usize>,
+    /// Observations below `lo` / at or above `hi`.
+    underflow: usize,
+    overflow: usize,
+    total: usize,
+}
+
+impl Histogram {
+    /// A histogram over `[lo, hi)` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "need hi > lo");
+        assert!(bins >= 1, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the data's own range.
+    pub fn of(data: &[f64], bins: usize) -> Option<Self> {
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        // Widen hi slightly so the max value lands inside the top bin.  The
+        // bump must survive floating-point rounding even when the data are
+        // constant and large, so scale it to max(|hi|, span, 1).
+        let span = hi - lo;
+        let bump = (span * 1e-9).max(hi.abs() * 1e-9).max(1e-9);
+        let mut h = Histogram::new(lo, hi + bump, bins);
+        for &x in data {
+            h.add(x);
+        }
+        Some(h)
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// The bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Observations below range / at-or-above range.
+    pub fn out_of_range(&self) -> (usize, usize) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// A one-line unicode sparkline of the bin counts.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return "▁".repeat(self.bins.len());
+        }
+        self.bins
+            .iter()
+            .map(|&c| {
+                let idx = (c * (LEVELS.len() - 1) + max / 2) / max;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.9, 9.9] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 2, 0, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-1.0);
+        h.add(1.0); // hi is exclusive
+        h.add(0.5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn of_spans_data() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let h = Histogram::of(&data, 4).unwrap();
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.out_of_range(), (0, 0));
+        assert_eq!(h.counts().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn of_empty_is_none() {
+        assert!(Histogram::of(&[], 4).is_none());
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.add(0.5);
+        h.add(0.6);
+        h.add(2.5);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 3);
+        // Tallest bin gets the tallest glyph.
+        assert_eq!(s.chars().next().unwrap(), '█');
+    }
+
+    #[test]
+    fn sparkline_empty_histogram() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.sparkline().chars().count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # radio-analysis
+//!
+//! Statistics substrate for the `radio-rs` experiments: summary statistics
+//! and confidence intervals ([`summary`], [`ci`]), least-squares fits
+//! against the paper's asymptotic forms ([`fit`]), histograms
+//! ([`histogram`]), and output rendering ([`table`], [`csv`]) plus
+//! parameter-sweep helpers ([`sweep`]).
+//!
+//! Dependency-free by design (the fits are ≤ 3-dimensional, so a hand-rolled
+//! Gaussian elimination is simpler and more auditable than a linear-algebra
+//! crate).
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod ci;
+pub mod csv;
+pub mod fit;
+pub mod histogram;
+pub mod plot;
+pub mod summary;
+pub mod sweep;
+pub mod table;
+pub mod ttest;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_median_ci};
+pub use ci::{mean_ci, proportion_ci, ConfidenceInterval};
+pub use csv::CsvWriter;
+pub use fit::{fit_centralized_form, fit_log_form, least_squares, CentralizedFit, FitResult, LogFit};
+pub use histogram::Histogram;
+pub use plot::AsciiPlot;
+pub use summary::{quantile, Summary};
+pub use table::{fnum, fsci, Align, Table};
+pub use ttest::{welch_t_test, TTestResult};

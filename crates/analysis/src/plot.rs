@@ -1,0 +1,203 @@
+//! Terminal line/scatter plots.
+//!
+//! The experiment binaries are terminal programs; a coarse character plot
+//! next to a table makes shapes (the U-curve, the ln n scaling, the
+//! saturation cliff) visible at a glance without leaving the shell.
+//! Multiple series share one canvas and get distinct glyphs.
+
+/// A character-canvas XY plot.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    x_label: String,
+    y_label: String,
+    log_x: bool,
+}
+
+impl AsciiPlot {
+    /// A plot canvas of `width × height` characters.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "canvas too small");
+        AsciiPlot {
+            width,
+            height,
+            series: Vec::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+        }
+    }
+
+    /// Sets the axis labels.
+    pub fn with_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Plots x on a log scale.
+    pub fn with_log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Adds a series drawn with `glyph`.
+    pub fn add_series(&mut self, glyph: char, points: &[(f64, f64)]) {
+        self.series.push((glyph, points.to_vec()));
+    }
+
+    /// Renders the plot.  Returns a message string if there is nothing to
+    /// draw.
+    pub fn render(&self) -> String {
+        let xt = |x: f64| if self.log_x { x.max(1e-300).ln() } else { x };
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().map(|&(x, y)| (xt(x), y)))
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return "(no data)".to_string();
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, points) in &self.series {
+            for &(x, y) in points {
+                let (x, y) = (xt(x), y);
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let row = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - row; // invert: y grows upward
+                grid[row][col] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let y_hi = format!("{y_max:.3}");
+        let y_lo = format!("{y_min:.3}");
+        let margin = y_hi.len().max(y_lo.len());
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_hi:>margin$}")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>margin$}")
+            } else {
+                " ".repeat(margin)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(margin));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let x_lo = if self.log_x { x_min.exp() } else { x_min };
+        let x_hi = if self.log_x { x_max.exp() } else { x_max };
+        out.push_str(&format!(
+            "{}{:<w$.3}{:>w2$.3}  ({})\n",
+            " ".repeat(margin + 1),
+            x_lo,
+            x_hi,
+            self.x_label,
+            w = self.width / 2,
+            w2 = self.width - self.width / 2 - 2,
+        ));
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("y: {}\n", self.y_label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_on_canvas() {
+        let mut p = AsciiPlot::new(20, 6).with_labels("x", "y");
+        p.add_series('*', &[(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        let s = p.render();
+        assert!(s.contains('*'));
+        assert!(s.contains("(x)"));
+        assert!(s.contains("y: y"));
+        // 6 grid rows + axis + x labels + y label.
+        assert!(s.lines().count() >= 8);
+    }
+
+    #[test]
+    fn corner_points_at_extremes() {
+        let mut p = AsciiPlot::new(10, 5);
+        p.add_series('o', &[(0.0, 0.0), (9.0, 9.0)]);
+        let s = p.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Top row holds the max-y point, bottom grid row the min-y point.
+        assert!(lines[0].ends_with('o') || lines[0].contains('o'));
+        assert!(lines[4].contains('o'));
+    }
+
+    #[test]
+    fn multiple_series_glyphs() {
+        let mut p = AsciiPlot::new(12, 5);
+        p.add_series('a', &[(0.0, 0.0)]);
+        p.add_series('b', &[(1.0, 1.0)]);
+        let s = p.render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn empty_plot() {
+        let p = AsciiPlot::new(10, 5);
+        assert_eq!(p.render(), "(no data)");
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        let mut p = AsciiPlot::new(10, 5);
+        p.add_series('x', &[(1.0, 2.0), (1.0, 2.0)]);
+        let s = p.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn log_x_scale() {
+        let mut p = AsciiPlot::new(30, 5).with_log_x();
+        p.add_series('*', &[(1.0, 0.0), (10.0, 1.0), (100.0, 2.0)]);
+        let s = p.render();
+        // On a log axis, 10 sits midway between 1 and 100: the middle
+        // glyph should be near the canvas center column.
+        let mid_row: &str = s
+            .lines()
+            .find(|l| l.matches('*').count() >= 1 && l.contains('|'))
+            .unwrap();
+        assert!(mid_row.contains('*'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiPlot::new(4, 2);
+    }
+}

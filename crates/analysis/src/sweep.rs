@@ -1,0 +1,76 @@
+//! Parameter-sweep helpers.
+
+/// Powers of two `2^lo ..= 2^hi`.
+pub fn pow2_range(lo: u32, hi: u32) -> Vec<usize> {
+    assert!(lo <= hi && hi < usize::BITS);
+    (lo..=hi).map(|k| 1usize << k).collect()
+}
+
+/// `count` geometrically spaced values from `lo` to `hi` inclusive.
+pub fn geom_range(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo && count >= 1);
+    if count == 1 {
+        return vec![lo];
+    }
+    let ratio = (hi / lo).powf(1.0 / (count - 1) as f64);
+    (0..count).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// `count` linearly spaced values from `lo` to `hi` inclusive.
+pub fn lin_range(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(count >= 1);
+    if count == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (count - 1) as f64;
+    (0..count).map(|i| lo + step * i as f64).collect()
+}
+
+/// Cartesian product of two parameter lists.
+pub fn product<A: Clone, B: Clone>(xs: &[A], ys: &[B]) -> Vec<(A, B)> {
+    xs.iter()
+        .flat_map(|x| ys.iter().map(move |y| (x.clone(), y.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2() {
+        assert_eq!(pow2_range(3, 5), vec![8, 16, 32]);
+        assert_eq!(pow2_range(0, 0), vec![1]);
+    }
+
+    #[test]
+    fn geom_endpoints_exactish() {
+        let v = geom_range(2.0, 32.0, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] - 2.0).abs() < 1e-12);
+        assert!((v[4] - 32.0).abs() < 1e-9);
+        assert!((v[2] - 8.0).abs() < 1e-9);
+        assert_eq!(geom_range(3.0, 100.0, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn lin_endpoints() {
+        let v = lin_range(0.0, 1.0, 3);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+        assert_eq!(lin_range(5.0, 9.0, 1), vec![5.0]);
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let p = product(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p[0], (1, "a"));
+        assert_eq!(p[5], (2, "c"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn geom_rejects_nonpositive() {
+        let _ = geom_range(0.0, 1.0, 3);
+    }
+}

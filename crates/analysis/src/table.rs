@@ -1,0 +1,192 @@
+//! ASCII table rendering for experiment output.
+//!
+//! Every experiment binary prints its results as a [`Table`] — monospaced,
+//! right-aligned numerics, GitHub-markdown-compatible — so `EXPERIMENTS.md`
+//! can embed the output verbatim.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers; the first column defaults to
+    /// left alignment, the rest to right.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-column alignments (length must match headers).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row (length must match headers).
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as a GitHub-markdown-style string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            out.push('|');
+            for i in 0..ncols {
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+                    }
+                    Align::Right => {
+                        let _ = write!(out, " {}{} |", " ".repeat(pad), cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &widths, &self.aligns);
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let dashes = "-".repeat(*w);
+            match self.aligns[i] {
+                Align::Left => {
+                    let _ = write!(out, " {dashes} |");
+                }
+                Align::Right => {
+                    let _ = write!(out, " {dashes}:|");
+                }
+            }
+            // Keep width stable by trimming the extra ':' marker width via
+            // the dash count; markdown renderers do not care.
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fnum(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// Formats a float in compact scientific-ish form (3 significant digits).
+pub fn fsci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 0.01 && x.abs() < 10_000.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_basic() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.add_row(vec!["alpha", "1"]);
+        t.add_row(vec!["b", "20"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].contains("alpha"));
+        // All rows same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn alignment_applied() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.add_row(vec!["x", "1"]);
+        let s = t.render();
+        // Right-aligned numeric column: "  1 |" style padding on the left
+        // when header is wider — here widths are 1, so just smoke-check.
+        assert!(s.contains("| x |"));
+    }
+
+    #[test]
+    fn num_rows() {
+        let mut t = Table::new(vec!["a"]);
+        assert_eq!(t.num_rows(), 0);
+        t.add_row(vec!["1"]);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fsci(0.0), "0");
+        assert!(fsci(123.456).starts_with("123."));
+        assert!(fsci(1e-7).contains('e'));
+        assert!(fsci(1e9).contains('e'));
+    }
+
+    #[test]
+    fn unicode_widths_handled() {
+        let mut t = Table::new(vec!["col"]);
+        t.add_row(vec!["Θ(n/d)"]);
+        let s = t.render();
+        assert!(s.contains("Θ(n/d)"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Welch's unequal-variance t-test.
+//!
+//! The comparison experiments claim orderings ("EG beats Decay at every
+//! density"); [`welch_t_test`] quantifies whether such a difference in mean
+//! rounds is statistically meaningful at the trial counts used.  The
+//! p-value comes from a normal approximation to the t-distribution, which
+//! is accurate to well under the decision thresholds once the Welch
+//! degrees of freedom exceed ≈ 30 — the regime our experiments run in; for
+//! tiny samples the result errs conservative.
+
+use crate::summary::Summary;
+
+/// Result of a two-sample Welch test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (positive when sample A's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+    /// Difference of means `mean(a) − mean(b)`.
+    pub mean_diff: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Welch's t-test for `mean(a) ≠ mean(b)`.
+///
+/// Returns `None` if either sample has fewer than 2 observations or both
+/// variances are zero with equal means (degenerate).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    let sa = Summary::of(a)?;
+    let sb = Summary::of(b)?;
+    if sa.count < 2 || sb.count < 2 {
+        return None;
+    }
+    let (na, nb) = (sa.count as f64, sb.count as f64);
+    let (va, vb) = (sa.std_dev * sa.std_dev, sb.std_dev * sb.std_dev);
+    let se2 = va / na + vb / nb;
+    let mean_diff = sa.mean - sb.mean;
+    if se2 <= 0.0 {
+        // Zero variance in both samples.
+        return if mean_diff == 0.0 {
+            None
+        } else {
+            Some(TTestResult {
+                t: f64::INFINITY * mean_diff.signum(),
+                df: (na + nb - 2.0).max(1.0),
+                p_value: 0.0,
+                mean_diff,
+            })
+        };
+    }
+    let t = mean_diff / se2.sqrt();
+    // Welch–Satterthwaite df.
+    let df_num = se2 * se2;
+    let df_den = (va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0);
+    let df = if df_den > 0.0 { df_num / df_den } else { na + nb - 2.0 };
+    let p_value = 2.0 * (1.0 - std_normal_cdf(t.abs()));
+    Some(TTestResult {
+        t,
+        df,
+        p_value,
+        mean_diff,
+    })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5e-7).
+fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427007).abs() < 1e-5);
+        assert!((erf(2.0) - 0.9953223).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.959964) - 0.975).abs() < 1e-4);
+        assert!((std_normal_cdf(-1.959964) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 20.0 + (i % 5) as f64).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.significant(0.001));
+        assert!(r.mean_diff < 0.0);
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let r = welch_t_test(&a, &a).unwrap();
+        assert!((r.t).abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn small_overlap_borderline() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(!r.significant(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+        // Zero variance, equal means.
+        assert!(welch_t_test(&[2.0, 2.0], &[2.0, 2.0]).is_none());
+        // Zero variance, different means → infinitely significant.
+        let r = welch_t_test(&[2.0, 2.0], &[3.0, 3.0]).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.t.is_infinite() && r.t < 0.0);
+    }
+
+    #[test]
+    fn df_reasonable() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i * 2) as f64).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.df > 10.0 && r.df < 60.0, "df = {}", r.df);
+    }
+}

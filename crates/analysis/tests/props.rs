@@ -1,0 +1,101 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use radio_analysis::{
+    bootstrap_mean_ci, least_squares, mean_ci, proportion_ci, quantile, welch_t_test, Histogram,
+    Summary,
+};
+
+fn arb_data() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_bounds_are_consistent(data in arb_data()) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in arb_data(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&data, lo).unwrap();
+        let b = quantile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        // Quantiles live within the data range.
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn mean_ci_contains_point_estimate(data in arb_data()) {
+        if data.len() >= 2 {
+            let ci = mean_ci(&data).unwrap();
+            prop_assert!(ci.contains(ci.estimate));
+            prop_assert!(ci.lo <= ci.hi);
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_estimate(data in arb_data(), seed in any::<u64>()) {
+        let ci = bootstrap_mean_ci(&data, 200, seed).unwrap();
+        // Percentile bootstrap of the mean brackets the sample mean up to
+        // resampling noise; with 200 resamples the estimate must be within
+        // the interval widened by a whisker.
+        let width = (ci.hi - ci.lo).abs() + 1e-6;
+        prop_assert!(ci.estimate >= ci.lo - width && ci.estimate <= ci.hi + width);
+    }
+
+    #[test]
+    fn wilson_interval_well_formed(successes in 0usize..500, extra in 0usize..500) {
+        let trials = successes + extra;
+        if trials > 0 {
+            let ci = proportion_ci(successes, trials).unwrap();
+            prop_assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+            prop_assert!(ci.lo <= ci.estimate + 1e-12);
+            prop_assert!(ci.estimate <= ci.hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_count(data in arb_data(), bins in 1usize..32) {
+        let h = Histogram::of(&data, bins).unwrap();
+        let (under, over) = h.out_of_range();
+        prop_assert_eq!(
+            h.counts().iter().sum::<usize>() + under + over,
+            data.len()
+        );
+        prop_assert_eq!(h.total(), data.len());
+    }
+
+    #[test]
+    fn welch_test_is_symmetric(a in arb_data(), b in arb_data()) {
+        if a.len() >= 2 && b.len() >= 2 {
+            if let (Some(ab), Some(ba)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
+                prop_assert!((ab.t + ba.t).abs() < 1e-6 || (ab.t.is_infinite() && ba.t.is_infinite()));
+                prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+                prop_assert!((0.0..=1.0).contains(&ab.p_value));
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_interpolates_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        count in 3usize..40,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..count).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (0..count).map(|i| slope * i as f64 + intercept).collect();
+        let fit = least_squares(&rows, &ys).unwrap();
+        prop_assert!((fit.coeffs[0] - slope).abs() < 1e-6);
+        prop_assert!((fit.coeffs[1] - intercept).abs() < 1e-5);
+        prop_assert!(fit.rms_residual < 1e-6);
+    }
+}

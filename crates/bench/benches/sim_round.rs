@@ -1,0 +1,47 @@
+//! Criterion bench: round-engine throughput.
+//!
+//! One radio round costs `O(Σ deg(t))` over the transmitters; this bench
+//! measures rounds/second at realistic transmitter densities (the `1/d`
+//! fraction the paper's protocols use) and at flooding density (worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_graph::gnp::sample_gnp;
+use radio_graph::{NodeId, Xoshiro256pp};
+use radio_sim::{BroadcastState, RoundEngine};
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_round");
+    let n = 100_000usize;
+    let d = 50.0;
+    let mut rng = Xoshiro256pp::new(7);
+    let g = sample_gnp(n, d / n as f64, &mut rng);
+
+    // Pre-informed half the graph.
+    let mut state = BroadcastState::new(n, 0);
+    for v in 0..(n / 2) as NodeId {
+        state.inform(v, 0);
+    }
+
+    for &(label, frac) in &[("frac_1_over_d", 1.0 / 50.0), ("flooding", 1.0)] {
+        let transmitters: Vec<NodeId> = (0..(n / 2) as NodeId)
+            .filter(|_| rng.next_f64() < frac)
+            .collect();
+        group.throughput(Throughput::Elements(transmitters.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(label, transmitters.len()),
+            &transmitters,
+            |b, transmitters| {
+                let mut engine = RoundEngine::new(&g);
+                b.iter(|| {
+                    let mut st = state.clone();
+                    black_box(engine.execute_round(&mut st, transmitters, 1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every `exp_*` binary follows the same skeleton: parse a handful of flags
+//! ([`ExpArgs`]), fan Monte-Carlo trials over rayon with per-trial derived
+//! seeds, aggregate with `radio-analysis`, print a markdown table, and drop
+//! the raw rows as CSV under `target/experiments/`.
+
+use radio_analysis::Summary;
+use radio_graph::components::is_connected;
+use radio_graph::gnp::sample_gnp;
+use radio_graph::{derive_seed, Graph, NodeId, Xoshiro256pp};
+use radio_sim::{run_protocol, run_trials, Protocol, RunConfig, TraceLevel};
+
+/// Command-line arguments shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Master seed (`--seed N`, default 20060501 — the paper's JCSS year
+    /// and a nod to SPAA'05).
+    pub seed: u64,
+    /// Quick mode (`--quick`): smaller sizes / fewer trials, for CI.
+    pub quick: bool,
+    /// Full mode (`--full`): larger sizes / more trials.
+    pub full: bool,
+    /// Override trial count (`--trials N`).
+    pub trials: Option<usize>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`.  Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        let mut args = ExpArgs {
+            seed: 20060501,
+            quick: false,
+            full: false,
+            trials: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--full" => args.full = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--trials" => {
+                    args.trials = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--trials needs an integer")),
+                    );
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// Picks between quick/default/full values.
+    pub fn scale<T>(&self, quick: T, default: T, full: T) -> T {
+        if self.quick {
+            quick
+        } else if self.full {
+            full
+        } else {
+            default
+        }
+    }
+
+    /// Trial count with override applied.
+    pub fn trials_or(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: exp_* [--quick | --full] [--seed N] [--trials N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Samples `G(n, p)` conditioned on connectivity (up to `max_attempts`
+/// resamples).  Returns the graph and the number of rejected samples.
+pub fn sample_connected_gnp(
+    n: usize,
+    p: f64,
+    rng: &mut Xoshiro256pp,
+    max_attempts: usize,
+) -> Option<(Graph, usize)> {
+    for attempt in 0..max_attempts {
+        let g = sample_gnp(n, p, rng);
+        if is_connected(&g) {
+            return Some((g, attempt));
+        }
+    }
+    None
+}
+
+/// Result of one protocol measurement point.
+#[derive(Debug, Clone)]
+pub struct ProtocolPoint {
+    /// Node count.
+    pub n: usize,
+    /// Edge probability.
+    pub p: f64,
+    /// Realized mean degree across trials.
+    pub mean_degree: f64,
+    /// Summary of completion rounds over completed trials.
+    pub rounds: Option<Summary>,
+    /// Completed trials / total trials.
+    pub completed: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+/// Measures a distributed protocol: `trials` independent (graph, run)
+/// samples of `protocol_factory()` on connected `G(n, p)` from a random
+/// source.
+pub fn measure_protocol<P, F>(
+    n: usize,
+    p: f64,
+    trials: usize,
+    master_seed: u64,
+    protocol_factory: F,
+) -> ProtocolPoint
+where
+    P: Protocol,
+    F: Fn() -> P + Sync,
+{
+    let results: Vec<(Option<u32>, f64)> = run_trials(trials, master_seed, |_i, rng| {
+        let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+            return (None, 0.0);
+        };
+        let source = rng.below(n as u64) as NodeId;
+        let mut proto = protocol_factory();
+        let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+        let r = run_protocol(&g, source, &mut proto, cfg, rng);
+        (r.completed.then_some(r.rounds), g.average_degree())
+    });
+    summarize_point(n, p, trials, &results)
+}
+
+/// Measures via an arbitrary per-trial runner returning
+/// `(rounds-if-completed, realized-degree)`.
+pub fn measure_custom<F>(
+    n: usize,
+    p: f64,
+    trials: usize,
+    master_seed: u64,
+    job: F,
+) -> ProtocolPoint
+where
+    F: Fn(&mut Xoshiro256pp) -> (Option<u32>, f64) + Sync,
+{
+    let results: Vec<(Option<u32>, f64)> =
+        run_trials(trials, master_seed, |_i, rng| job(rng));
+    summarize_point(n, p, trials, &results)
+}
+
+fn summarize_point(
+    n: usize,
+    p: f64,
+    trials: usize,
+    results: &[(Option<u32>, f64)],
+) -> ProtocolPoint {
+    let rounds: Vec<f64> = results
+        .iter()
+        .filter_map(|(r, _)| r.map(|x| x as f64))
+        .collect();
+    let mean_degree = if results.is_empty() {
+        0.0
+    } else {
+        results.iter().map(|&(_, d)| d).sum::<f64>() / results.len() as f64
+    };
+    ProtocolPoint {
+        n,
+        p,
+        mean_degree,
+        rounds: Summary::of(&rounds),
+        completed: rounds.len(),
+        trials,
+    }
+}
+
+/// A deterministic per-point seed derived from the master seed and a label.
+pub fn point_seed(master: u64, label: &str) -> u64 {
+    let mut h = 1469598103934665603u64; // FNV offset
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(1099511628211);
+    }
+    derive_seed(master, h)
+}
+
+/// Writes CSV content to `target/experiments/<name>.csv` (best-effort; a
+/// failure prints a warning instead of aborting the experiment).
+pub fn write_csv(name: &str, content: String) {
+    let dir = std::path::Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, content) {
+        Ok(()) => eprintln!("raw data written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, claim: &str, args: &ExpArgs) {
+    println!("# Experiment {id}");
+    println!("# Claim: {claim}");
+    println!(
+        "# mode: {}  seed: {}",
+        if args.quick {
+            "quick"
+        } else if args.full {
+            "full"
+        } else {
+            "default"
+        },
+        args.seed
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_broadcast::distributed::Flooding;
+
+    #[test]
+    fn connected_sampling_succeeds_above_threshold() {
+        let mut rng = Xoshiro256pp::new(1);
+        let n = 500;
+        let p = 3.0 * (n as f64).ln() / n as f64;
+        let (g, rejects) = sample_connected_gnp(n, p, &mut rng, 10).unwrap();
+        assert!(is_connected(&g));
+        assert!(rejects <= 2);
+    }
+
+    #[test]
+    fn connected_sampling_fails_below_threshold() {
+        let mut rng = Xoshiro256pp::new(2);
+        // p far below threshold: isolated vertices guaranteed.
+        assert!(sample_connected_gnp(500, 0.0005, &mut rng, 3).is_none());
+    }
+
+    #[test]
+    fn measure_protocol_smoke() {
+        let n = 300;
+        let p = 0.05;
+        let pt = measure_protocol(n, p, 4, 7, || Flooding);
+        assert_eq!(pt.trials, 4);
+        assert!(pt.mean_degree > 5.0);
+        // Flooding on this density mostly fails — either way the summary is
+        // well-formed.
+        assert!(pt.completed <= 4);
+    }
+
+    #[test]
+    fn point_seed_distinct_labels() {
+        assert_ne!(point_seed(1, "a"), point_seed(1, "b"));
+        assert_eq!(point_seed(1, "a"), point_seed(1, "a"));
+        assert_ne!(point_seed(1, "a"), point_seed(2, "a"));
+    }
+}

@@ -1,0 +1,16 @@
+//! # radio-bench
+//!
+//! Experiment harness for the `radio-rs` reproduction of Elsässer &
+//! Gąsieniec, *Radio communication in random graphs*.
+//!
+//! The paper is a theory extended abstract with no tables or figures; the
+//! experiment suite (one binary per claim, see `src/bin/`) regenerates an
+//! empirical validation table for each theorem and lemma — see DESIGN.md §6
+//! for the index and EXPERIMENTS.md for recorded results.
+//!
+//! This library crate holds the shared experiment plumbing
+//! ([`common`]); the binaries are thin drivers over it.
+
+#![warn(missing_docs)]
+
+pub mod common;

@@ -1,0 +1,440 @@
+//! The five-phase centralized schedule of Theorem 5.
+//!
+//! With the whole topology known, the algorithm described in §3.1 of the
+//! paper broadcasts in `O(ln n / ln d + ln d)` rounds w.h.p.:
+//!
+//! 1. **Parity flooding** (rounds `1 … D`, where `T_D` is the first BFS
+//!    layer of size `Ω(n/d)`): in round `i`, every informed node at distance
+//!    `j ≡ i−1 (mod 2)` transmits.  Lemma 3's near-tree layer structure
+//!    keeps collisions rare, so each round pushes the frontier one layer.
+//! 2. **Seed round**: `Θ(n/d)` informed vertices of `T_D` transmit,
+//!    informing `Θ(n)` nodes of the following giant layer.
+//! 3. **Fraction rounds** (`c·ln d` rounds): each round a *fresh* `1/d`
+//!    fraction of the informed nodes — disjoint from all earlier fraction
+//!    sets — transmits; by Lemma 4 (first part) each round informs a
+//!    constant fraction of the uninformed, leaving `O(n/d²)` after the
+//!    phase.
+//! 4. **Cover round**: an independent cover of the remaining uninformed
+//!    nodes transmits (Lemma 4, second part / Proposition 2).
+//! 5. **Back-propagation** (≤ `D` rounds): covers aimed at the uninformed
+//!    stragglers in layers `T_D, …, T_1`.
+//!
+//! The existence proofs are non-constructive; phases 4–5 use the greedy
+//! gain-counting cover of [`radio_graph::cover::greedy_radio_cover`], which
+//! on random graphs informs a constant fraction of its targets per round
+//! (see DESIGN.md §5 ✦3).  The builder simulates the schedule as it
+//! constructs it, so the returned schedule's effect is known exactly; phases
+//! 3–5 stop early the moment everyone is informed.
+
+use radio_graph::cover::greedy_radio_cover;
+use radio_graph::{Graph, Layering, NodeId, Xoshiro256pp};
+use radio_sim::{BroadcastState, RoundEngine, Schedule};
+
+/// Which phase of the algorithm produced a given round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Phase 1: parity-alternating flooding along BFS layers.
+    ParityFlood,
+    /// Phase 2: the `Θ(n/d)` seed transmission from the first big layer.
+    Seed,
+    /// Phase 3: disjoint `1/d`-fraction rounds.
+    Fraction,
+    /// Phase 4: the first greedy independent-cover round.
+    Cover,
+    /// Phase 5: further cover rounds (back-propagation into early layers).
+    BackProp,
+}
+
+/// Tunable parameters of the builder (defaults reproduce the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct CentralizedParams {
+    /// Seed set size multiplier: phase 2 transmits
+    /// `⌈seed_factor · n/d⌉` nodes.
+    pub seed_factor: f64,
+    /// Number of phase-3 rounds = `⌈fraction_rounds_factor · ln d⌉`.
+    pub fraction_rounds_factor: f64,
+    /// Disable phase 2 (ablation `E-ABL`).
+    pub enable_seed_phase: bool,
+    /// Disable phase 3 (ablation `E-ABL`).
+    pub enable_fraction_phase: bool,
+    /// Hard cap on phase 4–5 cover rounds (safety net; the default derived
+    /// cap is never reached on connected `G(n, p)` instances).
+    pub max_cover_rounds: u32,
+}
+
+impl Default for CentralizedParams {
+    fn default() -> Self {
+        CentralizedParams {
+            seed_factor: 1.0,
+            fraction_rounds_factor: 2.0,
+            enable_seed_phase: true,
+            enable_fraction_phase: true,
+            max_cover_rounds: 0, // 0 = derive from n at build time
+        }
+    }
+}
+
+/// A built schedule plus its provenance.
+#[derive(Debug, Clone)]
+pub struct BuiltSchedule {
+    /// The transmission schedule (replayable via
+    /// [`radio_sim::run_schedule`]).
+    pub schedule: Schedule,
+    /// Phase label of each round, aligned with the schedule.
+    pub phases: Vec<Phase>,
+    /// Whether the builder's internal simulation informed every node.
+    pub completed: bool,
+    /// The layer index used as the seed layer (phase 1 length).
+    pub seed_layer: usize,
+    /// Informed count after the internal simulation.
+    pub informed: usize,
+}
+
+impl BuiltSchedule {
+    /// Number of rounds attributed to `phase`.
+    pub fn rounds_in_phase(&self, phase: Phase) -> usize {
+        self.phases.iter().filter(|&&p| p == phase).count()
+    }
+
+    /// Total schedule length in rounds.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+}
+
+/// Builds the Theorem-5 schedule for broadcasting from `source` on `g`.
+///
+/// `g` should be connected (on disconnected graphs the schedule informs the
+/// source's component and reports `completed = false`).  Randomness is used
+/// only for subset selection inside phases 2–3 and cover tie-breaking.
+///
+/// ```
+/// use radio_broadcast::prelude::*;
+///
+/// let mut rng = Xoshiro256pp::new(7);
+/// let g = sample_gnp(1_000, 0.03, &mut rng);
+/// let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+/// assert!(built.completed);
+/// // Replaying the schedule reproduces the builder's own simulation.
+/// let replay = run_schedule(&g, 0, &built.schedule,
+///                           TransmitterPolicy::InformedOnly, TraceLevel::SummaryOnly);
+/// assert_eq!(replay.informed, built.informed);
+/// ```
+pub fn build_eg_schedule(
+    g: &Graph,
+    source: NodeId,
+    params: CentralizedParams,
+    rng: &mut Xoshiro256pp,
+) -> BuiltSchedule {
+    let n = g.n();
+    assert!(n > 0, "empty graph");
+    let d = g.average_degree().max(2.0);
+    let ln_n = (n.max(2) as f64).ln();
+    let layering = Layering::new(g, source);
+
+    let mut state = BroadcastState::new(n, source);
+    let mut engine = RoundEngine::new(g);
+    let mut schedule = Schedule::new();
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut round: u32 = 0;
+
+    let push_round =
+        |set: Vec<NodeId>,
+         phase: Phase,
+         state: &mut BroadcastState,
+         engine: &mut RoundEngine,
+         schedule: &mut Schedule,
+         phases: &mut Vec<Phase>,
+         round: &mut u32| {
+            *round += 1;
+            engine.execute_round(state, &set, *round);
+            schedule.push_round(set);
+            phases.push(phase);
+        };
+
+    // ---- Phase 1: parity flooding up to the first big layer -------------
+    let big_threshold = ((n as f64 / d).ceil() as usize).max(1);
+    let seed_layer = layering
+        .first_layer_at_least(big_threshold)
+        .unwrap_or_else(|| layering.num_layers().saturating_sub(1));
+    for i in 1..=seed_layer as u32 {
+        if state.is_complete() {
+            break;
+        }
+        let parity = (i - 1) % 2;
+        let set: Vec<NodeId> = state
+            .informed_nodes()
+            .filter(|&v| {
+                layering
+                    .distance(v)
+                    .is_some_and(|dist| dist % 2 == parity)
+            })
+            .collect();
+        push_round(
+            set,
+            Phase::ParityFlood,
+            &mut state,
+            &mut engine,
+            &mut schedule,
+            &mut phases,
+            &mut round,
+        );
+    }
+
+    // ---- Phase 2: Θ(n/d) seed transmission from the seed layer ----------
+    if params.enable_seed_phase && !state.is_complete() {
+        let mut pool: Vec<NodeId> = layering
+            .layer(seed_layer)
+            .iter()
+            .copied()
+            .filter(|&v| state.is_informed(v))
+            .collect();
+        if pool.is_empty() {
+            // Degenerate small graph: fall back to all informed nodes.
+            pool = state.informed_vec();
+        }
+        let want = ((params.seed_factor * n as f64 / d).ceil() as usize).clamp(1, pool.len());
+        partial_shuffle(&mut pool, want, rng);
+        pool.truncate(want);
+        push_round(
+            pool,
+            Phase::Seed,
+            &mut state,
+            &mut engine,
+            &mut schedule,
+            &mut phases,
+            &mut round,
+        );
+    }
+
+    // ---- Phase 3: disjoint 1/d-fraction rounds ---------------------------
+    if params.enable_fraction_phase && !state.is_complete() {
+        let k = (params.fraction_rounds_factor * d.ln()).ceil() as u32;
+        let mut used = vec![false; n];
+        for _ in 0..k {
+            if state.is_complete() {
+                break;
+            }
+            let informed_count = state.informed_count();
+            let mut pool: Vec<NodeId> = state
+                .informed_nodes()
+                .filter(|&v| !used[v as usize])
+                .collect();
+            if pool.is_empty() {
+                break;
+            }
+            let want = ((informed_count as f64 / d).ceil() as usize).clamp(1, pool.len());
+            partial_shuffle(&mut pool, want, rng);
+            pool.truncate(want);
+            for &v in &pool {
+                used[v as usize] = true;
+            }
+            push_round(
+                pool,
+                Phase::Fraction,
+                &mut state,
+                &mut engine,
+                &mut schedule,
+                &mut phases,
+                &mut round,
+            );
+        }
+    }
+
+    // ---- Phases 4–5: greedy independent covers until done ----------------
+    let cover_cap = if params.max_cover_rounds > 0 {
+        params.max_cover_rounds
+    } else {
+        (4.0 * ln_n) as u32 + 2 * layering.num_layers() as u32 + 10
+    };
+    let mut cover_round_index = 0u32;
+    while !state.is_complete() && cover_round_index < cover_cap {
+        let candidates = state.informed_vec();
+        let targets = state.uninformed_vec();
+        let sel = greedy_radio_cover(g, &candidates, &targets, Some(rng));
+        if sel.transmitters.is_empty() {
+            break; // remaining uninformed are unreachable (disconnected)
+        }
+        let phase = if cover_round_index == 0 {
+            Phase::Cover
+        } else {
+            Phase::BackProp
+        };
+        push_round(
+            sel.transmitters,
+            phase,
+            &mut state,
+            &mut engine,
+            &mut schedule,
+            &mut phases,
+            &mut round,
+        );
+        cover_round_index += 1;
+    }
+
+    BuiltSchedule {
+        schedule,
+        phases,
+        completed: state.is_complete(),
+        seed_layer,
+        informed: state.informed_count(),
+    }
+}
+
+/// Moves a uniform random `want`-subset of `pool` to the front (partial
+/// Fisher–Yates).
+fn partial_shuffle(pool: &mut [NodeId], want: usize, rng: &mut Xoshiro256pp) {
+    let take = want.min(pool.len());
+    for i in 0..take {
+        let j = i + rng.below((pool.len() - i) as u64) as usize;
+        pool.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::gnp::sample_gnp;
+    use radio_sim::{run_schedule, TraceLevel, TransmitterPolicy};
+
+    fn check_replay(g: &Graph, source: NodeId, built: &BuiltSchedule) {
+        let replay = run_schedule(
+            g,
+            source,
+            &built.schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::SummaryOnly,
+        );
+        assert_eq!(replay.completed, built.completed);
+        assert_eq!(replay.informed, built.informed);
+    }
+
+    #[test]
+    fn completes_on_sparse_random_graph() {
+        let mut rng = Xoshiro256pp::new(1);
+        let n = 3000;
+        let p = 4.0 * (n as f64).ln() / n as f64;
+        let g = sample_gnp(n, p, &mut rng);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(built.completed, "informed {}/{n}", built.informed);
+        check_replay(&g, 0, &built);
+        // O(ln n / ln d + ln d) scale with a generous constant.
+        let d = g.average_degree();
+        let bound = (n as f64).ln() / d.ln() + d.ln();
+        assert!(
+            (built.len() as f64) < 12.0 * bound + 20.0,
+            "len {} vs bound {bound}",
+            built.len()
+        );
+    }
+
+    #[test]
+    fn completes_on_dense_random_graph() {
+        let mut rng = Xoshiro256pp::new(2);
+        let n = 1500;
+        let g = sample_gnp(n, 0.1, &mut rng);
+        let built = build_eg_schedule(&g, 3, CentralizedParams::default(), &mut rng);
+        assert!(built.completed);
+        check_replay(&g, 3, &built);
+    }
+
+    #[test]
+    fn phase_structure_present() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 4000;
+        let p = 12.0 / n as f64 * (n as f64).ln() / (n as f64).ln(); // 12/n — wait, keep simple
+        let g = sample_gnp(n, (3.0 * (n as f64).ln()) / n as f64, &mut rng);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(built.rounds_in_phase(Phase::ParityFlood) >= 1);
+        assert!(built.rounds_in_phase(Phase::Seed) <= 1);
+        assert_eq!(built.phases.len(), built.schedule.len());
+        let _ = p;
+    }
+
+    #[test]
+    fn fraction_sets_are_disjoint() {
+        let mut rng = Xoshiro256pp::new(4);
+        let n = 2000;
+        let g = sample_gnp(n, 0.02, &mut rng);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for (set, &phase) in built.schedule.iter().zip(&built.phases) {
+            if phase == Phase::Fraction {
+                for &v in set {
+                    assert!(seen.insert(v), "node {v} reused across fraction rounds");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_flags_remove_phases() {
+        let mut rng = Xoshiro256pp::new(5);
+        let n = 1000;
+        let g = sample_gnp(n, 0.03, &mut rng);
+        let params = CentralizedParams {
+            enable_seed_phase: false,
+            enable_fraction_phase: false,
+            ..CentralizedParams::default()
+        };
+        let built = build_eg_schedule(&g, 0, params, &mut rng);
+        assert_eq!(built.rounds_in_phase(Phase::Seed), 0);
+        assert_eq!(built.rounds_in_phase(Phase::Fraction), 0);
+        assert!(built.completed); // covers alone still finish
+    }
+
+    #[test]
+    fn star_graph_trivial() {
+        let g = Graph::star(50);
+        let mut rng = Xoshiro256pp::new(6);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(built.completed);
+        assert!(built.len() <= 3);
+        check_replay(&g, 0, &built);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_incomplete() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut rng = Xoshiro256pp::new(7);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(!built.completed);
+        assert_eq!(built.informed, 2);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::empty(1);
+        let mut rng = Xoshiro256pp::new(8);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(built.completed);
+        assert!(built.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut ra = Xoshiro256pp::new(9);
+        let mut rb = Xoshiro256pp::new(9);
+        let g = sample_gnp(800, 0.02, &mut Xoshiro256pp::new(10));
+        let a = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut ra);
+        let b = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rb);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn path_graph_linear_schedule() {
+        // On a path, d ≈ 2 and the schedule degenerates to ~n rounds of
+        // frontier pushing; it must still complete.
+        let g = Graph::path(60);
+        let mut rng = Xoshiro256pp::new(11);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(built.completed, "informed {}", built.informed);
+        check_replay(&g, 0, &built);
+    }
+}

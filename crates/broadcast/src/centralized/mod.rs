@@ -1,0 +1,21 @@
+//! Centralized broadcasting with full topology knowledge (§3.1, Theorem 5).
+//!
+//! * [`builder`] — the five-phase Elsässer–Gąsieniec schedule builder,
+//!   achieving `O(ln n / ln d + ln d)` rounds w.h.p. on `G(n, p)`;
+//! * [`greedy`] — the pure greedy-cover scheduler, a strong "best effort"
+//!   baseline used both as an OPT proxy in the lower-bound experiments and
+//!   as an ablation of the phase structure.
+
+pub mod builder;
+pub mod greedy;
+pub mod layer_greedy;
+pub mod opt;
+pub mod tree;
+pub mod verify;
+
+pub use builder::{build_eg_schedule, BuiltSchedule, CentralizedParams, Phase};
+pub use greedy::greedy_cover_schedule;
+pub use layer_greedy::layer_greedy_schedule;
+pub use opt::{exact_optimal_rounds, MAX_EXACT_N};
+pub use tree::tree_broadcast_schedule;
+pub use verify::{verify_schedule, ScheduleViolation, VerifiedSchedule};

@@ -1,0 +1,216 @@
+//! Exact optimal broadcast schedules for tiny instances.
+//!
+//! The lower-bound experiments use the greedy cover scheduler as an *upper
+//! bound* on OPT; to know how tight that proxy is, this module computes the
+//! true optimum by breadth-first search over knowledge states.  A state is
+//! the bitmask of informed nodes; one transition picks any transmitter set
+//! `T ⊆ informed` and applies the exact radio semantics.  With frontier
+//! restriction (only nodes that have an uninformed neighbor are useful
+//! transmitters) the search is exact and exhaustive.
+//!
+//! Complexity is exponential (`≤ 3^n` transitions), so the public API caps
+//! `n` at [`MAX_EXACT_N`].  This is a verification tool, not an algorithm:
+//! the tests use it to certify that the greedy proxy is within one round of
+//! OPT on small random graphs, which is what licenses its use at scale in
+//! experiment `E-T6`.
+
+use std::collections::HashMap;
+
+use radio_graph::{Graph, NodeId};
+
+
+/// Maximum `n` accepted by [`exact_optimal_rounds`].
+pub const MAX_EXACT_N: usize = 16;
+
+type Mask = u32;
+
+/// Computes the minimum number of rounds needed to broadcast from `source`
+/// on `g`, over *all* schedules (informed-only transmitters, exact
+/// collision semantics).
+///
+/// Returns `None` if the graph is disconnected from `source` (no schedule
+/// completes).  Panics if `g.n() > MAX_EXACT_N` or `g.n() == 0`.
+pub fn exact_optimal_rounds(g: &Graph, source: NodeId) -> Option<u32> {
+    let n = g.n();
+    assert!(n > 0 && n <= MAX_EXACT_N, "exact solver handles 1 ≤ n ≤ {MAX_EXACT_N}");
+    assert!((source as usize) < n);
+    let full: Mask = if n == 32 { !0 } else { (1u32 << n) - 1 };
+    let start: Mask = 1 << source;
+    if start == full {
+        return Some(0);
+    }
+
+    // Precompute neighborhood masks.
+    let neigh: Vec<Mask> = (0..n as NodeId)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .fold(0 as Mask, |m, &w| m | (1 << w))
+        })
+        .collect();
+
+    // BFS over informed-set states with subset-dominance pruning: a state
+    // is only useful if it is not a subset of an already-visited state at
+    // the same or smaller depth (any schedule from the subset can be run
+    // from the superset).
+    let mut dist: HashMap<Mask, u32> = HashMap::new();
+    dist.insert(start, 0);
+    let mut frontier: Vec<Mask> = vec![start];
+    let mut depth = 0u32;
+
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next_frontier: Vec<Mask> = Vec::new();
+        for &state in &frontier {
+            // Useful transmitters: informed nodes with ≥ 1 uninformed
+            // neighbor.
+            let uninformed = full & !state;
+            let useful: Vec<usize> = neigh
+                .iter()
+                .enumerate()
+                .filter(|&(v, &nv)| state >> v & 1 == 1 && nv & uninformed != 0)
+                .map(|(v, _)| v)
+                .collect();
+            if useful.is_empty() {
+                continue; // dead end (disconnected remainder)
+            }
+            // Enumerate non-empty subsets of the useful transmitters.
+            let k = useful.len();
+            for sub in 1..(1u32 << k) {
+                // Apply radio semantics: count hits per uninformed node.
+                let mut tx_mask: Mask = 0;
+                for (i, &v) in useful.iter().enumerate() {
+                    if sub >> i & 1 == 1 {
+                        tx_mask |= 1 << v;
+                    }
+                }
+                let mut once: Mask = 0;
+                let mut twice: Mask = 0;
+                for (i, &v) in useful.iter().enumerate() {
+                    if sub >> i & 1 == 1 {
+                        twice |= once & neigh[v];
+                        once |= neigh[v];
+                    }
+                }
+                let newly = once & !twice & uninformed & !tx_mask;
+                if newly == 0 {
+                    continue;
+                }
+                let next = state | newly;
+                if next == full {
+                    return Some(depth);
+                }
+                if let Some(&d) = dist.get(&next) {
+                    if d <= depth {
+                        continue;
+                    }
+                }
+                dist.insert(next, depth);
+                next_frontier.push(next);
+            }
+        }
+        // Dominance pruning within the new frontier: drop states that are
+        // subsets of other frontier states.
+        next_frontier.sort_unstable_by_key(|m| std::cmp::Reverse(m.count_ones()));
+        let mut pruned: Vec<Mask> = Vec::new();
+        'cand: for &m in &next_frontier {
+            for &kept in &pruned {
+                if m & kept == m {
+                    continue 'cand; // m ⊆ kept
+                }
+            }
+            pruned.push(m);
+        }
+        frontier = pruned;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::greedy_cover_schedule;
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Xoshiro256pp;
+
+    #[test]
+    fn star_is_one_round() {
+        let g = Graph::star(8);
+        assert_eq!(exact_optimal_rounds(&g, 0), Some(1));
+        // From a leaf: leaf → center → everyone = 2 rounds.
+        assert_eq!(exact_optimal_rounds(&g, 3), Some(2));
+    }
+
+    #[test]
+    fn path_takes_n_minus_1() {
+        let g = Graph::path(6);
+        assert_eq!(exact_optimal_rounds(&g, 0), Some(5));
+        assert_eq!(exact_optimal_rounds(&g, 3), Some(3));
+    }
+
+    #[test]
+    fn complete_graph_one_round() {
+        let g = Graph::complete(6);
+        assert_eq!(exact_optimal_rounds(&g, 2), Some(1));
+    }
+
+    #[test]
+    fn diamond_needs_three() {
+        // 0—1, 0—2, 1—3, 2—3: round 1 informs {1,2}; transmitting both
+        // collides at 3, so one goes, then... 0→{1,2}, then 1→3: 2 rounds.
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(exact_optimal_rounds(&g, 0), Some(2));
+    }
+
+    #[test]
+    fn cycle_even() {
+        // C6 from node 0: distance-3 node needs 3 rounds; frontier parity
+        // makes it achievable in exactly 3.
+        let g = Graph::cycle(6);
+        assert_eq!(exact_optimal_rounds(&g, 0), Some(3));
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(exact_optimal_rounds(&g, 0), None);
+    }
+
+    #[test]
+    fn single_node_zero() {
+        let g = Graph::empty(1);
+        assert_eq!(exact_optimal_rounds(&g, 0), Some(0));
+    }
+
+    #[test]
+    fn greedy_is_near_optimal_on_tiny_random_graphs() {
+        // The E-T6 OPT-proxy justification: greedy within +2 of OPT.
+        let mut rng = Xoshiro256pp::new(13);
+        let mut checked = 0;
+        for seed in 0..30u64 {
+            let mut grng = Xoshiro256pp::new(seed);
+            let n = 8 + (seed % 4) as usize;
+            let g = sample_gnp(n, 0.35, &mut grng);
+            let Some(opt) = exact_optimal_rounds(&g, 0) else {
+                continue;
+            };
+            let greedy = greedy_cover_schedule(&g, 0, 100, &mut rng);
+            assert!(greedy.completed);
+            assert!(
+                greedy.len() as u32 <= opt + 2,
+                "greedy {} vs OPT {opt} on seed {seed}",
+                greedy.len()
+            );
+            assert!(greedy.len() as u32 >= opt, "greedy beat OPT?!");
+            checked += 1;
+        }
+        assert!(checked >= 20, "only {checked} connected instances");
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_large_rejected() {
+        let g = Graph::empty(MAX_EXACT_N + 1);
+        let _ = exact_optimal_rounds(&g, 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! BFS-tree broadcast scheduling — the `Õ(D·Δ)` baseline (§1.2).
+//!
+//! Clementi et al. (cited by the paper as [10]) broadcast in time `Õ(D·Δ)`
+//! by resolving collisions layer by layer.  The centralized version of that
+//! idea: fix a BFS tree, and for each layer color the *parents* so that two
+//! parents sharing a potential listener never transmit together; each color
+//! class is one collision-free round.  The number of rounds per layer is
+//! the conflict-graph chromatic number ≤ `Δ² + 1` (greedy), so the schedule
+//! length is `O(D·Δ²)` in the worst case and far less on random graphs.
+//!
+//! This is the natural "centralized but structure-blind" baseline against
+//! the five-phase schedule of Theorem 5, which exploits the *random-graph*
+//! structure to get `O(ln n/ln d + ln d)` — the comparison appears in
+//! experiment `E-ABL`.
+
+use radio_graph::{Graph, Layering, NodeId};
+use radio_sim::{BroadcastState, RoundEngine, Schedule};
+
+use super::builder::{BuiltSchedule, Phase};
+
+/// Builds the layer-by-layer tree-broadcast schedule from `source`.
+///
+/// Deterministic (no randomness needed).  Completes on any connected graph;
+/// on a disconnected one it informs the source's component and reports
+/// `completed = false`.
+pub fn tree_broadcast_schedule(g: &Graph, source: NodeId) -> BuiltSchedule {
+    let n = g.n();
+    assert!(n > 0, "empty graph");
+    let layering = Layering::new(g, source);
+    let mut state = BroadcastState::new(n, source);
+    let mut engine = RoundEngine::new(g);
+    let mut schedule = Schedule::new();
+    let mut phases = Vec::new();
+    let mut round = 0u32;
+
+    // Scratch: color of each parent candidate this layer (usize::MAX =
+    // uncolored).
+    for layer in 0..layering.num_layers().saturating_sub(1) {
+        let next: &[NodeId] = layering.layer(layer + 1);
+        if next.is_empty() {
+            break;
+        }
+        // Parents: nodes of `layer` adjacent to something in `layer+1`.
+        let in_next: std::collections::HashSet<NodeId> = next.iter().copied().collect();
+        let parents: Vec<NodeId> = layering
+            .layer(layer)
+            .iter()
+            .copied()
+            .filter(|&v| g.neighbors(v).iter().any(|w| in_next.contains(w)))
+            .collect();
+        if parents.is_empty() {
+            break;
+        }
+        // Conflict: two parents share a neighbor in layer+1.  Greedy
+        // coloring over the implicit conflict graph via per-child marks.
+        let mut color_of: std::collections::HashMap<NodeId, usize> = Default::default();
+        // child → colors already claimed by an adjacent parent.
+        let mut child_colors: std::collections::HashMap<NodeId, Vec<usize>> = Default::default();
+        let mut num_colors = 0usize;
+        for &p in &parents {
+            // Smallest color not used by any parent sharing a child.
+            let mut forbidden: Vec<bool> = vec![false; num_colors + 1];
+            for &w in g.neighbors(p) {
+                if in_next.contains(&w) {
+                    if let Some(cs) = child_colors.get(&w) {
+                        for &c in cs {
+                            if c < forbidden.len() {
+                                forbidden[c] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            let color = forbidden.iter().position(|&f| !f).unwrap_or(num_colors);
+            num_colors = num_colors.max(color + 1);
+            color_of.insert(p, color);
+            for &w in g.neighbors(p) {
+                if in_next.contains(&w) {
+                    child_colors.entry(w).or_default().push(color);
+                }
+            }
+        }
+        // One round per color class, in color order.
+        for c in 0..num_colors {
+            if state.is_complete() {
+                break;
+            }
+            let set: Vec<NodeId> = parents
+                .iter()
+                .copied()
+                .filter(|p| color_of[p] == c && state.is_informed(*p))
+                .collect();
+            if set.is_empty() {
+                continue;
+            }
+            round += 1;
+            engine.execute_round(&mut state, &set, round);
+            schedule.push_round(set);
+            phases.push(Phase::Cover);
+        }
+    }
+
+    BuiltSchedule {
+        schedule,
+        phases,
+        completed: state.is_complete(),
+        seed_layer: 0,
+        informed: state.informed_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::verify::verify_schedule;
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Xoshiro256pp;
+
+    #[test]
+    fn completes_on_path() {
+        let g = Graph::path(20);
+        let built = tree_broadcast_schedule(&g, 0);
+        assert!(built.completed);
+        assert_eq!(built.len(), 19); // one parent per layer
+        verify_schedule(&g, 0, &built.schedule).unwrap();
+    }
+
+    #[test]
+    fn completes_on_star_in_one_round() {
+        let g = Graph::star(30);
+        let built = tree_broadcast_schedule(&g, 0);
+        assert!(built.completed);
+        assert_eq!(built.len(), 1);
+    }
+
+    #[test]
+    fn completes_on_random_graph_collision_free() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 1000;
+        let g = sample_gnp(n, 0.02, &mut rng);
+        if !radio_graph::components::is_connected(&g) {
+            return;
+        }
+        let built = tree_broadcast_schedule(&g, 0);
+        assert!(built.completed, "informed {}/{n}", built.informed);
+        let cert = verify_schedule(&g, 0, &built.schedule).unwrap();
+        // The coloring prevents collisions among uninformed layer-(i+1)
+        // listeners entirely.
+        assert_eq!(cert.collisions, 0, "tree schedule must be collision-free");
+    }
+
+    #[test]
+    fn longer_than_eg_schedule_on_random_graphs() {
+        use crate::centralized::{build_eg_schedule, CentralizedParams};
+        let mut rng = Xoshiro256pp::new(4);
+        let n = 2000;
+        let g = sample_gnp(n, 0.03, &mut rng);
+        if !radio_graph::components::is_connected(&g) {
+            return;
+        }
+        let tree = tree_broadcast_schedule(&g, 0);
+        let eg = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        assert!(tree.completed && eg.completed);
+        // The structure-exploiting schedule wins (usually by a lot).
+        assert!(
+            tree.len() >= eg.len(),
+            "tree {} vs eg {}",
+            tree.len(),
+            eg.len()
+        );
+    }
+
+    #[test]
+    fn disconnected_reports_incomplete() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let built = tree_broadcast_schedule(&g, 0);
+        assert!(!built.completed);
+        assert_eq!(built.informed, 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = Xoshiro256pp::new(5);
+        let g = sample_gnp(500, 0.03, &mut rng);
+        let a = tree_broadcast_schedule(&g, 0);
+        let b = tree_broadcast_schedule(&g, 0);
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,217 @@
+//! Standalone schedule verification.
+//!
+//! A [`Schedule`] claims to broadcast; [`verify_schedule`] replays it round
+//! by round against first principles (not through the optimized engine) and
+//! either certifies it — returning per-phase statistics — or reports the
+//! first violation.  Downstream users integrating externally produced
+//! schedules (or mutating ours) get a machine-checkable contract; our own
+//! integration tests use it to cross-validate the builder.
+
+use radio_graph::{Graph, NodeId};
+use radio_sim::Schedule;
+
+/// Why a schedule failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// A scheduled transmitter was not informed at transmission time.
+    UninformedTransmitter {
+        /// Round (1-based).
+        round: u32,
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A node id exceeded the graph size.
+    NodeOutOfRange {
+        /// Round (1-based).
+        round: u32,
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The schedule ended with uninformed nodes remaining.
+    Incomplete {
+        /// Number of nodes still uninformed after the last round.
+        uninformed: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::UninformedTransmitter { round, node } => {
+                write!(f, "round {round}: node {node} scheduled while uninformed")
+            }
+            ScheduleViolation::NodeOutOfRange { round, node } => {
+                write!(f, "round {round}: node {node} out of range")
+            }
+            ScheduleViolation::Incomplete { uninformed } => {
+                write!(f, "schedule ends with {uninformed} uninformed nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+/// Certificate returned by a successful verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedSchedule {
+    /// Rounds actually needed (the schedule may be longer).
+    pub completion_round: u32,
+    /// Total (node, round) transmission slots used up to completion.
+    pub transmissions: usize,
+    /// Collision events observed (uninformed listeners hearing ≥ 2).
+    pub collisions: usize,
+}
+
+/// Verifies that `schedule` broadcasts from `source` on `g` under exact
+/// radio semantics, transmitting only from informed nodes.
+///
+/// ```
+/// use radio_broadcast::centralized::verify_schedule;
+/// use radio_graph::Graph;
+/// use radio_sim::Schedule;
+///
+/// let g = Graph::path(3);
+/// let good = Schedule::from_rounds(vec![vec![0], vec![1]]);
+/// assert!(verify_schedule(&g, 0, &good).is_ok());
+/// let bad = Schedule::from_rounds(vec![vec![1]]); // node 1 not yet informed
+/// assert!(verify_schedule(&g, 0, &bad).is_err());
+/// ```
+pub fn verify_schedule(
+    g: &Graph,
+    source: NodeId,
+    schedule: &Schedule,
+) -> Result<VerifiedSchedule, ScheduleViolation> {
+    let n = g.n();
+    assert!((source as usize) < n, "source out of range");
+    let mut informed = vec![false; n];
+    informed[source as usize] = true;
+    let mut informed_count = 1usize;
+    let mut transmissions = 0usize;
+    let mut collisions = 0usize;
+    let mut completion_round = 0u32;
+    let mut hits = vec![0u32; n];
+
+    for (t, set) in schedule.iter().enumerate() {
+        let round = (t + 1) as u32;
+        if informed_count == n {
+            break;
+        }
+        // Check and count transmitters from first principles.
+        for &x in set {
+            if (x as usize) >= n {
+                return Err(ScheduleViolation::NodeOutOfRange { round, node: x });
+            }
+            if !informed[x as usize] {
+                return Err(ScheduleViolation::UninformedTransmitter { round, node: x });
+            }
+        }
+        transmissions += set.len();
+        // Count hits.
+        let mut touched = Vec::new();
+        for &x in set {
+            for &w in g.neighbors(x) {
+                if hits[w as usize] == 0 {
+                    touched.push(w);
+                }
+                hits[w as usize] += 1;
+            }
+        }
+        for &w in &touched {
+            let is_tx = set.contains(&w);
+            if !informed[w as usize] && !is_tx {
+                if hits[w as usize] == 1 {
+                    informed[w as usize] = true;
+                    informed_count += 1;
+                    completion_round = round;
+                } else {
+                    collisions += 1;
+                }
+            }
+            hits[w as usize] = 0;
+        }
+    }
+
+    if informed_count < n {
+        return Err(ScheduleViolation::Incomplete {
+            uninformed: n - informed_count,
+        });
+    }
+    Ok(VerifiedSchedule {
+        completion_round,
+        transmissions,
+        collisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::{build_eg_schedule, CentralizedParams};
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Xoshiro256pp;
+
+    #[test]
+    fn verifies_builder_output() {
+        let mut rng = Xoshiro256pp::new(1);
+        let n = 1500;
+        let g = sample_gnp(n, 0.02, &mut rng);
+        if !radio_graph::components::is_connected(&g) {
+            return;
+        }
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        let cert = verify_schedule(&g, 0, &built.schedule).expect("valid schedule");
+        assert!(cert.completion_round as usize <= built.len());
+        assert_eq!(cert.transmissions <= built.schedule.total_transmissions(), true);
+    }
+
+    #[test]
+    fn detects_uninformed_transmitter() {
+        let g = Graph::path(3);
+        let s = Schedule::from_rounds(vec![vec![2]]);
+        assert_eq!(
+            verify_schedule(&g, 0, &s),
+            Err(ScheduleViolation::UninformedTransmitter { round: 1, node: 2 })
+        );
+    }
+
+    #[test]
+    fn detects_out_of_range() {
+        let g = Graph::path(3);
+        let s = Schedule::from_rounds(vec![vec![9]]);
+        assert!(matches!(
+            verify_schedule(&g, 0, &s),
+            Err(ScheduleViolation::NodeOutOfRange { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_incomplete() {
+        let g = Graph::path(4);
+        let s = Schedule::from_rounds(vec![vec![0]]);
+        assert_eq!(
+            verify_schedule(&g, 0, &s),
+            Err(ScheduleViolation::Incomplete { uninformed: 2 })
+        );
+    }
+
+    #[test]
+    fn counts_collisions() {
+        // Diamond: both 1 and 2 transmit in round 2 → 3 collides; then a
+        // solo round fixes it.
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let s = Schedule::from_rounds(vec![vec![0], vec![1, 2], vec![1]]);
+        let cert = verify_schedule(&g, 0, &s).unwrap();
+        assert_eq!(cert.collisions, 1);
+        assert_eq!(cert.completion_round, 3);
+        assert_eq!(cert.transmissions, 4);
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = ScheduleViolation::Incomplete { uninformed: 5 };
+        assert!(v.to_string().contains("5 uninformed"));
+        let v = ScheduleViolation::UninformedTransmitter { round: 2, node: 7 };
+        assert!(v.to_string().contains("round 2"));
+    }
+}

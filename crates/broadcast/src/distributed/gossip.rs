@@ -1,0 +1,201 @@
+//! Push rumor spreading (Feige–Peleg–Raghavan–Upfal), for the model
+//! comparison.
+//!
+//! The related-work section of the paper contrasts radio broadcasting with
+//! the *single-port randomized* model: in each round every informed node
+//! picks one uniformly random neighbor and pushes the message to it — no
+//! collisions, but only one recipient per sender per round.  Feige et al.
+//! show `O(log n)` rounds suffice on `G(n, p)` above a density threshold.
+//!
+//! This is **not** a radio protocol (a push needs point-to-point links and
+//! per-node neighbor knowledge), so it does not implement
+//! [`radio_sim::Protocol`]; [`run_push_gossip`] is a dedicated runner.
+//! Experiment `E-CMP` plots it next to the radio protocols to show that the
+//! `O(ln n)` radio bound of Theorem 7 matches the gossip rate despite
+//! collisions.
+
+use radio_graph::{Graph, NodeId, Xoshiro256pp};
+use radio_sim::{BroadcastState, RunResult, TraceLevel};
+use radio_sim::trace::TraceBuilder;
+use radio_sim::RoundOutcome;
+
+/// Runs push rumor spreading from `source` until completion or `max_rounds`.
+///
+/// Each round, every informed node selects one uniform random neighbor; all
+/// selected neighbors become informed (simultaneous pushes to the same node
+/// merge — there are no collisions in this model).
+pub fn run_push_gossip(
+    graph: &Graph,
+    source: NodeId,
+    max_rounds: u32,
+    trace_level: TraceLevel,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    let n = graph.n();
+    let mut state = BroadcastState::new(n, source);
+    let mut tb = TraceBuilder::new(trace_level);
+    let mut round = 0u32;
+    let mut pushes: Vec<NodeId> = Vec::new();
+    while !state.is_complete() && round < max_rounds {
+        round += 1;
+        pushes.clear();
+        let mut senders = 0usize;
+        for v in state.informed_nodes() {
+            let neigh = graph.neighbors(v);
+            if neigh.is_empty() {
+                continue;
+            }
+            senders += 1;
+            let pick = neigh[rng.below(neigh.len() as u64) as usize];
+            pushes.push(pick);
+        }
+        let mut newly = 0usize;
+        for &w in &pushes {
+            if state.inform(w, round) {
+                newly += 1;
+            }
+        }
+        let outcome = RoundOutcome {
+            transmitters: senders,
+            newly_informed: newly,
+            collisions: 0,
+            reached: pushes.len(),
+        };
+        tb.record(round, &outcome, state.informed_count());
+    }
+    let completed = state.is_complete();
+    tb.finish(completed, round, state.informed_count(), n)
+}
+
+/// Runs push–pull rumor spreading: each round every node (informed or not)
+/// contacts one uniform random neighbor; the message crosses the link in
+/// whichever direction knowledge allows.
+///
+/// Push–pull is the stronger classical variant (Karp et al.): pull lets
+/// uninformed nodes in dense neighborhoods fetch the rumor, trimming the
+/// tail of the push-only process.
+pub fn run_push_pull_gossip(
+    graph: &Graph,
+    source: NodeId,
+    max_rounds: u32,
+    trace_level: TraceLevel,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    let n = graph.n();
+    let mut state = BroadcastState::new(n, source);
+    let mut tb = TraceBuilder::new(trace_level);
+    let mut round = 0u32;
+    let mut to_inform: Vec<NodeId> = Vec::new();
+    while !state.is_complete() && round < max_rounds {
+        round += 1;
+        to_inform.clear();
+        let mut contacts = 0usize;
+        for v in 0..n as NodeId {
+            let neigh = graph.neighbors(v);
+            if neigh.is_empty() {
+                continue;
+            }
+            contacts += 1;
+            let partner = neigh[rng.below(neigh.len() as u64) as usize];
+            match (state.is_informed(v), state.is_informed(partner)) {
+                (true, false) => to_inform.push(partner), // push
+                (false, true) => to_inform.push(v),       // pull
+                _ => {}
+            }
+        }
+        let mut newly = 0usize;
+        for &w in &to_inform {
+            if state.inform(w, round) {
+                newly += 1;
+            }
+        }
+        let outcome = RoundOutcome {
+            transmitters: contacts,
+            newly_informed: newly,
+            collisions: 0,
+            reached: to_inform.len(),
+        };
+        tb.record(round, &outcome, state.informed_count());
+    }
+    let completed = state.is_complete();
+    tb.finish(completed, round, state.informed_count(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Graph;
+
+    #[test]
+    fn push_pull_completes_fast_on_complete_graph() {
+        let g = Graph::complete(512);
+        let mut rng = Xoshiro256pp::new(21);
+        let r = run_push_pull_gossip(&g, 0, 100, TraceLevel::PerRound, &mut rng);
+        assert!(r.completed);
+        // Push–pull on K_n is Θ(log n) with a small constant.
+        assert!(r.rounds < 25, "rounds = {}", r.rounds);
+    }
+
+    #[test]
+    fn push_pull_no_faster_never_slower_than_push_shape() {
+        // Sanity: both complete on a random graph; pull helps the tail.
+        let mut rng = Xoshiro256pp::new(22);
+        let n = 1000;
+        let g = sample_gnp(n, 20.0 / n as f64, &mut rng);
+        let pp = run_push_pull_gossip(&g, 0, 1000, TraceLevel::SummaryOnly, &mut rng);
+        assert!(pp.completed);
+    }
+
+    #[test]
+    fn push_pull_determinism() {
+        let g = Graph::complete(64);
+        let a = run_push_pull_gossip(&g, 0, 100, TraceLevel::PerRound, &mut Xoshiro256pp::new(5));
+        let b = run_push_pull_gossip(&g, 0, 100, TraceLevel::PerRound, &mut Xoshiro256pp::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn completes_on_complete_graph_fast() {
+        let g = Graph::complete(256);
+        let mut rng = Xoshiro256pp::new(1);
+        let r = run_push_gossip(&g, 0, 200, TraceLevel::PerRound, &mut rng);
+        assert!(r.completed);
+        // Push on K_n takes ≈ log₂ n + ln n ≈ 13.5 rounds; allow slack.
+        assert!(r.rounds < 40, "rounds = {}", r.rounds);
+    }
+
+    #[test]
+    fn completes_on_random_graph() {
+        let mut rng = Xoshiro256pp::new(2);
+        let n = 2000;
+        let g = sample_gnp(n, 20.0 / n as f64, &mut rng);
+        let r = run_push_gossip(&g, 0, 500, TraceLevel::SummaryOnly, &mut rng);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn isolated_source_stalls() {
+        let g = Graph::from_edges(3, vec![(1, 2)]);
+        let mut rng = Xoshiro256pp::new(3);
+        let r = run_push_gossip(&g, 0, 10, TraceLevel::PerRound, &mut rng);
+        assert!(!r.completed);
+        assert_eq!(r.informed, 1);
+    }
+
+    #[test]
+    fn no_collisions_ever() {
+        let mut rng = Xoshiro256pp::new(4);
+        let g = sample_gnp(300, 0.1, &mut rng);
+        let r = run_push_gossip(&g, 0, 200, TraceLevel::PerRound, &mut rng);
+        assert_eq!(r.total_collisions(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let g = Graph::complete(64);
+        let a = run_push_gossip(&g, 0, 100, TraceLevel::PerRound, &mut Xoshiro256pp::new(5));
+        let b = run_push_gossip(&g, 0, 100, TraceLevel::PerRound, &mut Xoshiro256pp::new(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,26 @@
+//! Fully distributed broadcasting protocols (§3.2 of the paper) and
+//! baselines.
+//!
+//! * [`eg::EgDistributed`] — the paper's `O(ln n)` randomized protocol
+//!   (Theorem 7);
+//! * [`decay::Decay`] — Bar-Yehuda–Goldreich–Itai Decay, the classical
+//!   baseline for unknown radio networks;
+//! * [`simple`] — flooding, constant-probability, round-robin controls;
+//! * [`selective::SelectiveBroadcast`] — deterministic broadcast via
+//!   strongly selective families (worst-case-style baseline);
+//! * [`gossip::run_push_gossip`] — push rumor spreading in the single-port
+//!   model (Feige et al.), for the cross-model comparison.
+
+pub mod decay;
+pub mod eg;
+pub mod estimate;
+pub mod gossip;
+pub mod selective;
+pub mod simple;
+
+pub use decay::Decay;
+pub use eg::{EgDistributed, EgVariant};
+pub use estimate::EgUnknownDegree;
+pub use gossip::{run_push_gossip, run_push_pull_gossip};
+pub use selective::{SelectiveBroadcast, SelectiveFamily};
+pub use simple::{ConstantProb, Flooding, RoundRobin};

@@ -1,0 +1,251 @@
+//! Radio gossiping — the paper's open problem (§4, Conclusions).
+//!
+//! In the **gossiping** problem every node starts with its own rumor and
+//! all nodes must learn all rumors.  The paper leaves its complexity in
+//! random radio networks open; this module provides the machinery to study
+//! it empirically, under the standard combined-message model: a
+//! transmission carries *every* rumor its sender currently knows, and radio
+//! collision semantics are unchanged (a listener decodes iff exactly one
+//! neighbor transmits).
+//!
+//! Because received rumor sets merge, gossiping in this model behaves like
+//! `n` simultaneous broadcasts; with `1/d`-selective transmission the
+//! all-know-all time lands at `Θ(ln n)` on `G(n, p)` — experiment
+//! `exp_gossip` measures it (a shape observation, not a claim from the
+//! paper).
+//!
+//! Any [`radio_sim::Protocol`] can drive the transmission decisions; in
+//! gossiping every node counts as informed from round 0 (it holds its own
+//! rumor), so protocols whose behaviour keys off `informed_round` see 0.
+
+use radio_graph::{Graph, NodeId, Xoshiro256pp};
+use radio_sim::bitset::BitSet;
+use radio_sim::{LocalNode, Protocol};
+
+/// Knowledge state of a gossiping run: one rumor set per node.
+#[derive(Debug, Clone)]
+pub struct GossipState {
+    know: Vec<BitSet>,
+}
+
+impl GossipState {
+    /// Initial state on `n` nodes: node `v` knows exactly rumor `v`.
+    pub fn new(n: usize) -> Self {
+        let know = (0..n)
+            .map(|v| {
+                let mut b = BitSet::new(n);
+                b.set(v);
+                b
+            })
+            .collect();
+        GossipState { know }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.know.len()
+    }
+
+    /// Whether node `v` knows rumor `r`.
+    pub fn knows(&self, v: NodeId, r: NodeId) -> bool {
+        self.know[v as usize].get(r as usize)
+    }
+
+    /// Number of rumors `v` knows.
+    pub fn known_count(&self, v: NodeId) -> usize {
+        self.know[v as usize].count()
+    }
+
+    /// Whether every node knows every rumor.
+    pub fn is_complete(&self) -> bool {
+        self.know.iter().all(BitSet::is_full)
+    }
+
+    /// Total knowledge across nodes, as a fraction of `n²`.
+    pub fn knowledge_fraction(&self) -> f64 {
+        let n = self.n();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: usize = self.know.iter().map(BitSet::count).sum();
+        total as f64 / (n * n) as f64
+    }
+}
+
+/// Outcome of a gossiping run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipResult {
+    /// Whether all nodes learned all rumors within the budget.
+    pub completed: bool,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Knowledge fraction (`Σ_v |know(v)| / n²`) at the end.
+    pub knowledge_fraction: f64,
+}
+
+/// Runs radio gossiping on `g` with `strategy` deciding transmissions.
+///
+/// Every node participates from round 1 (each holds its own rumor).  A
+/// listener with exactly one transmitting neighbor merges that neighbor's
+/// rumor set into its own; collisions deliver nothing, exactly as in
+/// broadcasting.
+pub fn run_radio_gossiping<P: Protocol + ?Sized>(
+    g: &Graph,
+    strategy: &mut P,
+    max_rounds: u32,
+    rng: &mut Xoshiro256pp,
+) -> GossipResult {
+    let n = g.n();
+    let mut state = GossipState::new(n);
+    strategy.begin_run(n);
+
+    let mut hits = vec![0u32; n];
+    let mut sole_sender = vec![0 as NodeId; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut is_tx = vec![false; n];
+
+    let mut round = 0u32;
+    while !state.is_complete() && round < max_rounds {
+        round += 1;
+        // Transmission decisions.
+        let mut transmitters: Vec<NodeId> = Vec::new();
+        for v in 0..n as NodeId {
+            let local = LocalNode {
+                id: v,
+                informed_round: 0,
+                round,
+            };
+            if strategy.transmits(local, rng) {
+                transmitters.push(v);
+                is_tx[v as usize] = true;
+            }
+        }
+        // Hit counting.
+        for &t in &transmitters {
+            for &w in g.neighbors(t) {
+                if hits[w as usize] == 0 {
+                    touched.push(w);
+                }
+                hits[w as usize] += 1;
+                sole_sender[w as usize] = t;
+            }
+        }
+        // Deliveries: listeners with exactly one transmitting neighbor
+        // merge the sender's rumor set.
+        for &w in &touched {
+            if hits[w as usize] == 1 && !is_tx[w as usize] {
+                let t = sole_sender[w as usize];
+                // Split-borrow the knowledge rows.
+                let (wi, ti) = (w as usize, t as usize);
+                if wi != ti {
+                    let (a, b) = if wi < ti {
+                        let (lo, hi) = state.know.split_at_mut(ti);
+                        (&mut lo[wi], &hi[0])
+                    } else {
+                        let (lo, hi) = state.know.split_at_mut(wi);
+                        (&mut hi[0], &lo[ti])
+                    };
+                    a.union_with(b);
+                }
+            }
+        }
+        // Reset scratch.
+        for &w in &touched {
+            hits[w as usize] = 0;
+        }
+        touched.clear();
+        for &t in &transmitters {
+            is_tx[t as usize] = false;
+        }
+    }
+
+    GossipResult {
+        completed: state.is_complete(),
+        rounds: round,
+        knowledge_fraction: state.knowledge_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::{ConstantProb, Decay};
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Graph;
+
+    #[test]
+    fn initial_state_diagonal() {
+        let s = GossipState::new(4);
+        assert!(s.knows(2, 2));
+        assert!(!s.knows(2, 1));
+        assert_eq!(s.known_count(0), 1);
+        assert!(!s.is_complete());
+        assert!((s.knowledge_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_complete_immediately() {
+        let g = Graph::empty(1);
+        let mut rng = Xoshiro256pp::new(1);
+        let mut strat = ConstantProb::new(0.5);
+        let r = run_radio_gossiping(&g, &mut strat, 10, &mut rng);
+        assert!(r.completed);
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn two_nodes_exchange() {
+        let g = Graph::path(2);
+        let mut rng = Xoshiro256pp::new(2);
+        // q = 1/2: each round exactly-one-transmits happens w.p. 1/2.
+        let mut strat = ConstantProb::new(0.5);
+        let r = run_radio_gossiping(&g, &mut strat, 1000, &mut rng);
+        assert!(r.completed);
+        assert!(r.rounds >= 2, "needs one delivery in each direction");
+    }
+
+    #[test]
+    fn gossip_completes_on_random_graph() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 500;
+        let d = 20.0;
+        let g = sample_gnp(n, d / n as f64, &mut rng);
+        let mut strat = ConstantProb::new(1.0 / d);
+        let r = run_radio_gossiping(&g, &mut strat, 4000, &mut rng);
+        assert!(r.completed, "knowledge {:.3}", r.knowledge_fraction);
+        // Should be Θ(ln n)-ish, certainly well under n.
+        assert!(r.rounds < n as u32, "rounds = {}", r.rounds);
+    }
+
+    #[test]
+    fn gossip_with_decay_strategy() {
+        let mut rng = Xoshiro256pp::new(4);
+        let n = 300;
+        let g = sample_gnp(n, 0.06, &mut rng);
+        let mut strat = Decay::new();
+        let r = run_radio_gossiping(&g, &mut strat, 8000, &mut rng);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn disconnected_graph_never_completes() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut rng = Xoshiro256pp::new(5);
+        let mut strat = ConstantProb::new(0.5);
+        let r = run_radio_gossiping(&g, &mut strat, 200, &mut rng);
+        assert!(!r.completed);
+        // Each node can learn at most its component's rumors: fraction ≤ 1/2.
+        assert!(r.knowledge_fraction <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn knowledge_fraction_monotone_path() {
+        // Star with always-transmitting center jams; constant-q works.
+        let g = Graph::star(10);
+        let mut rng = Xoshiro256pp::new(6);
+        let mut strat = ConstantProb::new(0.3);
+        let r = run_radio_gossiping(&g, &mut strat, 5000, &mut rng);
+        assert!(r.completed);
+        assert_eq!(r.knowledge_fraction, 1.0);
+    }
+}

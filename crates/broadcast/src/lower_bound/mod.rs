@@ -1,0 +1,21 @@
+//! Lower-bound machinery (Theorems 6 and 8).
+//!
+//! The paper's lower bounds are universally quantified over schedules /
+//! protocols and proved by reduction to normal forms plus counting.  The
+//! experiments sample the normal-form classes:
+//!
+//! * [`normal_form`] — the centralized schedule classes of Theorem 6
+//!   (disjoint 1–2-element sets in the dense case, `≤ n/d`-element sets in
+//!   the sparse case), run under the proof's relaxed transmission model;
+//! * [`oblivious`] — the probability-profile protocol class of Theorem 8.
+
+pub mod normal_form;
+pub mod oblivious;
+pub mod reduction;
+
+pub use normal_form::{
+    ensemble_stats, run_relaxed, sample_bounded_sets, sample_disjoint_small_sets,
+    ScheduleEnsembleStats,
+};
+pub use oblivious::{eg_profile, ProbabilityProfile};
+pub use reduction::{is_dense_normal_form, normalize_dense};

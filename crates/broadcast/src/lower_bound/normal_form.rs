@@ -1,0 +1,235 @@
+//! Schedule classes from the Theorem 6 lower-bound proof.
+//!
+//! The proof of Theorem 6 shows that an arbitrary centralized schedule can
+//! be reduced, without informing fewer nodes, to a *normal form*:
+//!
+//! * dense case (`p = Θ(1)`, illustrated at `p = 1/2`): pairwise **disjoint
+//!   sets of size 1 or 2** — a set of size ≥ 2 is replaced by two uniformly
+//!   random members, and overlaps are rewired;
+//! * sparse case (`p ≤ n^{1/4}/n`): sets of size at most `n/d + 1`, with
+//!   small sets made disjoint.
+//!
+//! The proof also *relaxes* the model in the adversary's favor: a scheduled
+//! set transmits whether or not its members are informed
+//! ([`radio_sim::TransmitterPolicy::Unrestricted`]), and a node is informed
+//! exactly when it has one edge into the transmitting set.  Under these
+//! rules it shows that any `c·ln n / ln d`-round normal-form schedule leaves
+//! an uninformed node w.h.p., and a union bound over the `n^{Θ(ln n)}`
+//! normal-form schedules finishes the theorem.
+//!
+//! We cannot enumerate all schedules; experiment `E-T6` instead *samples*
+//! normal-form schedules and estimates the per-schedule completion
+//! probability, which the proof's first half bounds directly.
+
+use radio_graph::{Graph, NodeId, Xoshiro256pp};
+use radio_sim::{run_schedule, RunResult, Schedule, TraceLevel, TransmitterPolicy};
+
+/// Samples a normal-form schedule for the dense case: `rounds` pairwise
+/// disjoint sets, each of size 1 or 2 (uniformly chosen), drawn without
+/// replacement from `[n]`.
+///
+/// Requires `2·rounds ≤ n` (enough fresh nodes); panics otherwise.
+pub fn sample_disjoint_small_sets(
+    n: usize,
+    rounds: usize,
+    rng: &mut Xoshiro256pp,
+) -> Schedule {
+    assert!(2 * rounds <= n, "not enough nodes for {rounds} disjoint sets");
+    // Reservoir of node ids in random order.
+    let mut pool: Vec<NodeId> = (0..n as NodeId).collect();
+    for i in (1..pool.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        pool.swap(i, j);
+    }
+    let mut pool = pool.into_iter();
+    let mut sched = Schedule::new();
+    for _ in 0..rounds {
+        let size = 1 + rng.below(2) as usize; // 1 or 2
+        let set: Vec<NodeId> = (&mut pool).take(size).collect();
+        sched.push_round(set);
+    }
+    sched
+}
+
+/// Samples a sparse-case normal-form schedule: `rounds` sets, each of
+/// uniform random size in `[1, max_size]`, drawn uniformly (sets need not
+/// be disjoint).
+pub fn sample_bounded_sets(
+    n: usize,
+    rounds: usize,
+    max_size: usize,
+    rng: &mut Xoshiro256pp,
+) -> Schedule {
+    assert!(n >= 1 && max_size >= 1);
+    let mut sched = Schedule::new();
+    for _ in 0..rounds {
+        let size = 1 + rng.below(max_size as u64) as usize;
+        let mut set = Vec::with_capacity(size);
+        let mut seen = std::collections::HashSet::with_capacity(size * 2);
+        while set.len() < size.min(n) {
+            let v = rng.below(n as u64) as NodeId;
+            if seen.insert(v) {
+                set.push(v);
+            }
+        }
+        sched.push_round(set);
+    }
+    sched
+}
+
+/// Aggregate outcome of running many sampled schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEnsembleStats {
+    /// Schedules sampled.
+    pub trials: usize,
+    /// Schedules that informed every node.
+    pub completions: usize,
+    /// Mean fraction of nodes informed at schedule end.
+    pub mean_informed_fraction: f64,
+    /// Mean uninformed nodes at schedule end.
+    pub mean_uninformed: f64,
+}
+
+impl ScheduleEnsembleStats {
+    /// Empirical completion probability.
+    pub fn completion_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.completions as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Runs one sampled schedule under the relaxed (Unrestricted) model used by
+/// the lower-bound proof.
+pub fn run_relaxed(g: &Graph, source: NodeId, schedule: &Schedule) -> RunResult {
+    run_schedule(
+        g,
+        source,
+        schedule,
+        TransmitterPolicy::Unrestricted,
+        TraceLevel::SummaryOnly,
+    )
+}
+
+/// Samples `trials` schedules via `sampler` and aggregates their relaxed
+/// runs on `g`.
+pub fn ensemble_stats<F>(
+    g: &Graph,
+    source: NodeId,
+    trials: usize,
+    mut sampler: F,
+) -> ScheduleEnsembleStats
+where
+    F: FnMut(usize) -> Schedule,
+{
+    let mut completions = 0usize;
+    let mut frac_sum = 0.0f64;
+    let mut uninformed_sum = 0.0f64;
+    for t in 0..trials {
+        let sched = sampler(t);
+        let r = run_relaxed(g, source, &sched);
+        if r.completed {
+            completions += 1;
+        }
+        frac_sum += r.informed_fraction();
+        uninformed_sum += (r.n - r.informed) as f64;
+    }
+    ScheduleEnsembleStats {
+        trials,
+        completions,
+        mean_informed_fraction: if trials == 0 { 0.0 } else { frac_sum / trials as f64 },
+        mean_uninformed: if trials == 0 { 0.0 } else { uninformed_sum / trials as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::gnp::sample_gnp;
+
+    #[test]
+    fn disjoint_small_sets_are_disjoint_and_small() {
+        let mut rng = Xoshiro256pp::new(1);
+        let sched = sample_disjoint_small_sets(100, 30, &mut rng);
+        assert_eq!(sched.len(), 30);
+        let mut seen = std::collections::HashSet::new();
+        for set in sched.iter() {
+            assert!((1..=2).contains(&set.len()));
+            for &v in set {
+                assert!(seen.insert(v), "node {v} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_sets_respect_bound() {
+        let mut rng = Xoshiro256pp::new(2);
+        let sched = sample_bounded_sets(50, 20, 7, &mut rng);
+        assert_eq!(sched.len(), 20);
+        for set in sched.iter() {
+            assert!((1..=7).contains(&set.len()));
+            let mut s = set.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), set.len(), "duplicate inside a set");
+        }
+    }
+
+    #[test]
+    fn short_schedules_rarely_complete_dense() {
+        // p = 1/2, n = 256: ln n / ln d ≈ 1.16 — but completion needs every
+        // node to have a unique transmitter edge in some round; 3 rounds of
+        // ≤ 2 transmitters reach ≈ 6·(n/2) nodes with collisions killing
+        // half. Completion probability should be ~0.
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 256;
+        let g = sample_gnp(n, 0.5, &mut rng);
+        let mut seed = 100u64;
+        let stats = ensemble_stats(&g, 0, 50, |_| {
+            seed += 1;
+            let mut r = Xoshiro256pp::new(seed);
+            sample_disjoint_small_sets(n, 3, &mut r)
+        });
+        assert_eq!(stats.completions, 0, "rate {}", stats.completion_rate());
+        // But a decent fraction of nodes *are* informed per run.
+        assert!(stats.mean_informed_fraction > 0.1);
+    }
+
+    #[test]
+    fn long_schedules_eventually_complete_dense() {
+        // With Θ(ln n) disjoint 1–2-sets on p = 1/2, each node is uniquely
+        // covered w.p. ≥ 1/4 per round, so ~60 rounds complete w.h.p.
+        let mut rng = Xoshiro256pp::new(4);
+        let n = 200;
+        let g = sample_gnp(n, 0.5, &mut rng);
+        let mut seed = 0u64;
+        let stats = ensemble_stats(&g, 0, 10, |_| {
+            seed += 1;
+            let mut r = Xoshiro256pp::new(seed);
+            sample_disjoint_small_sets(n, 90, &mut r)
+        });
+        assert!(
+            stats.completion_rate() > 0.5,
+            "rate {}",
+            stats.completion_rate()
+        );
+    }
+
+    #[test]
+    fn ensemble_stats_zero_trials() {
+        let g = Graph::path(4);
+        let stats = ensemble_stats(&g, 0, 0, |_| Schedule::new());
+        assert_eq!(stats.completion_rate(), 0.0);
+    }
+
+    use radio_graph::Graph;
+
+    #[test]
+    #[should_panic]
+    fn too_many_disjoint_rounds_panics() {
+        let mut rng = Xoshiro256pp::new(5);
+        let _ = sample_disjoint_small_sets(10, 6, &mut rng);
+    }
+}

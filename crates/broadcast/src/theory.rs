@@ -1,0 +1,191 @@
+//! Closed-form predictions from the paper's theorems.
+//!
+//! The experiments compare measured round counts against these asymptotic
+//! forms (up to the constants the fits estimate):
+//!
+//! * Theorems 5/6: centralized broadcast takes `Θ(ln n / ln d + ln d)`
+//!   rounds — [`centralized_bound`];
+//! * Theorems 7/8: distributed broadcast takes `Θ(ln n)` rounds —
+//!   [`distributed_bound`];
+//! * the diameter of `G(n, p)` above the connectivity threshold is
+//!   `≈ ln n / ln d` — [`predicted_diameter`];
+//! * the centralized bound, viewed as a function of `d` at fixed `n`, is
+//!   U-shaped with minimum at `ln d = √(ln n)` — [`optimal_ln_d`]
+//!   (experiment `E-USH` traces the U).
+
+/// Expected average degree `d = p·n` of `G(n, p)`.
+pub fn expected_degree(n: usize, p: f64) -> f64 {
+    p * n as f64
+}
+
+/// The paper's predicted diameter scale `ln n / ln d` for `G(n, p)`.
+///
+/// Returns `f64::INFINITY` when `d ≤ 1` (below the giant-component
+/// threshold the formula is meaningless).
+pub fn predicted_diameter(n: usize, d: f64) -> f64 {
+    let ln_n = (n.max(2) as f64).ln();
+    if d <= 1.0 {
+        return f64::INFINITY;
+    }
+    ln_n / d.ln().max(f64::MIN_POSITIVE)
+}
+
+/// The Theorem-5/6 round-complexity scale `ln n / ln d + ln d`.
+///
+/// ```
+/// use radio_broadcast::theory::centralized_bound;
+/// let b = centralized_bound(10_000, 100.0);
+/// assert!((b - (2.0 + 100.0f64.ln())).abs() < 1e-9); // ln n/ln d = 2 here
+/// ```
+pub fn centralized_bound(n: usize, d: f64) -> f64 {
+    if d <= 1.0 {
+        return f64::INFINITY;
+    }
+    predicted_diameter(n, d) + d.ln()
+}
+
+/// The Theorem-7/8 round-complexity scale `ln n`.
+pub fn distributed_bound(n: usize) -> f64 {
+    (n.max(2) as f64).ln()
+}
+
+/// The `ln d` minimizing `ln n/ln d + ln d`, namely `√(ln n)`.
+pub fn optimal_ln_d(n: usize) -> f64 {
+    (n.max(2) as f64).ln().sqrt()
+}
+
+/// The degree `d*` minimizing the centralized bound at fixed `n`:
+/// `d* = e^{√(ln n)}`.
+pub fn optimal_degree(n: usize) -> f64 {
+    optimal_ln_d(n).exp()
+}
+
+/// The minimum of the centralized bound over `d`: `2·√(ln n)`.
+pub fn centralized_bound_minimum(n: usize) -> f64 {
+    2.0 * optimal_ln_d(n)
+}
+
+/// The very-dense-regime round complexity of §3.1's closing remark: for
+/// `p = 1 − f(n)` with `f ∈ [1/n, 1/2]`, broadcasting takes
+/// `Θ(ln n / ln(1/f))` rounds.
+///
+/// Intuition: one transmission informs all but ≈ `f·n` nodes; every
+/// independent-cover round shrinks the uninformed set by a factor ≈ `f`.
+pub fn dense_regime_bound(n: usize, f: f64) -> f64 {
+    assert!(f > 0.0 && f < 1.0, "f must be in (0, 1)");
+    let ln_n = (n.max(2) as f64).ln();
+    (ln_n / (1.0 / f).ln()).max(1.0)
+}
+
+/// Number of non-selective rounds `D₁ = ⌊log_d n⌋ − 1` used by the
+/// distributed algorithm (at least 1).
+pub fn non_selective_rounds(n: usize, d: f64) -> u32 {
+    if d <= 1.0 {
+        return 1;
+    }
+    let log_d_n = (n.max(2) as f64).ln() / d.ln();
+    ((log_d_n.floor() as i64) - 1).max(1) as u32
+}
+
+/// The seed-round transmit probability `n / d^{D₁+1}` of the distributed
+/// algorithm, clamped to `(0, 1]`.
+pub fn seed_round_probability(n: usize, d: f64) -> f64 {
+    let d1 = non_selective_rounds(n, d) as f64;
+    if d <= 1.0 {
+        return 1.0;
+    }
+    (n as f64 / d.powf(d1 + 1.0)).clamp(f64::MIN_POSITIVE, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_scale_decreases_in_d() {
+        let n = 1 << 16;
+        assert!(predicted_diameter(n, 10.0) > predicted_diameter(n, 100.0));
+    }
+
+    #[test]
+    fn diameter_dense_graph_is_small() {
+        // d = n^(1/2): ln n / ln d = 2.
+        let n = 10_000;
+        let d = (n as f64).sqrt();
+        assert!((predicted_diameter(n, d) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_d_is_infinite() {
+        assert!(predicted_diameter(100, 1.0).is_infinite());
+        assert!(centralized_bound(100, 0.5).is_infinite());
+    }
+
+    #[test]
+    fn centralized_bound_combines_terms() {
+        let n = 1 << 14;
+        let d: f64 = 50.0;
+        let expected = (n as f64).ln() / d.ln() + d.ln();
+        assert!((centralized_bound(n, d) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn u_shape_minimum() {
+        let n = 1 << 20;
+        let d_star = optimal_degree(n);
+        let at_min = centralized_bound(n, d_star);
+        // The bound at the optimum equals 2√(ln n) …
+        assert!((at_min - centralized_bound_minimum(n)).abs() < 1e-9);
+        // … and is below the bound at d*/4 and 4·d*.
+        assert!(at_min < centralized_bound(n, d_star / 4.0));
+        assert!(at_min < centralized_bound(n, d_star * 4.0));
+    }
+
+    #[test]
+    fn distributed_bound_is_ln_n() {
+        assert!((distributed_bound(1000) - 1000f64.ln()).abs() < 1e-12);
+        // Guard for tiny n.
+        assert!(distributed_bound(0) > 0.0);
+    }
+
+    #[test]
+    fn non_selective_rounds_reasonable() {
+        // n = 2^16, d = 16 → log_d n = 4 → D₁ = 3.
+        let n = 1 << 16;
+        assert_eq!(non_selective_rounds(n, 16.0), 3);
+        // Dense graph: at least one round.
+        assert_eq!(non_selective_rounds(1000, 900.0), 1);
+        assert_eq!(non_selective_rounds(1000, 0.5), 1);
+    }
+
+    #[test]
+    fn seed_probability_in_unit_interval() {
+        for &(n, d) in &[(1usize << 12, 8.0), (1 << 16, 50.0), (1000, 999.0)] {
+            let q = seed_round_probability(n, d);
+            assert!(q > 0.0 && q <= 1.0, "q = {q} for n = {n}, d = {d}");
+        }
+    }
+
+    #[test]
+    fn expected_degree_simple() {
+        assert_eq!(expected_degree(1000, 0.05), 50.0);
+    }
+
+    #[test]
+    fn dense_regime_bound_shapes() {
+        let n = 1 << 12;
+        // Smaller f (denser graph) → fewer rounds.
+        assert!(dense_regime_bound(n, 0.01) < dense_regime_bound(n, 0.4));
+        // f = 1/2 gives ln n / ln 2 = log₂ n.
+        let b = dense_regime_bound(n, 0.5);
+        assert!((b - (n as f64).ln() / 2f64.ln()).abs() < 1e-9);
+        // Never below one round.
+        assert!(dense_regime_bound(4, 1e-9) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_regime_invalid_f() {
+        let _ = dense_regime_bound(100, 0.0);
+    }
+}

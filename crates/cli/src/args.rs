@@ -1,0 +1,142 @@
+//! Minimal flag parsing for the CLI (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    subcommand: String,
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Option keys that take a value; anything else starting with `--` is a
+/// boolean flag.
+const VALUE_KEYS: &[&str] = &[
+    "n", "d", "p", "seed", "source", "protocol", "trials", "loss", "max-rounds", "sources",
+    "graph", "save", "schedule",
+];
+
+impl Args {
+    /// Parses raw argv (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ParseError> {
+        let mut it = argv.into_iter();
+        let subcommand = it
+            .next()
+            .ok_or_else(|| ParseError("missing subcommand".into()))?;
+        if subcommand.starts_with("--") {
+            return Err(ParseError(format!(
+                "expected a subcommand, found option {subcommand}"
+            )));
+        }
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(ParseError(format!("unexpected positional argument {a}")));
+            };
+            if VALUE_KEYS.contains(&key) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("--{key} needs a value")))?;
+                values.insert(key.to_string(), v);
+            } else {
+                flags.push(key.to_string());
+            }
+        }
+        Ok(Args {
+            subcommand,
+            values,
+            flags,
+        })
+    }
+
+    /// The subcommand name.
+    pub fn subcommand(&self) -> &str {
+        &self.subcommand
+    }
+
+    /// Whether boolean flag `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw string value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Typed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ParseError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseError(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Typed required value.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ParseError> {
+        let raw = self
+            .get(name)
+            .ok_or_else(|| ParseError(format!("--{name} is required")))?;
+        raw.parse()
+            .map_err(|_| ParseError(format!("--{name}: cannot parse {raw:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(argv("run --n 1000 --d 25 --verbose")).unwrap();
+        assert_eq!(a.subcommand(), "run");
+        assert_eq!(a.get("n"), Some("1000"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+        assert_eq!(a.require::<usize>("n").unwrap(), 1000);
+    }
+
+    #[test]
+    fn missing_subcommand() {
+        assert!(Args::parse(argv("")).is_err());
+        assert!(Args::parse(argv("--n 5")).is_err());
+    }
+
+    #[test]
+    fn missing_value() {
+        assert!(Args::parse(argv("run --n")).is_err());
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = Args::parse(argv("run --n abc")).unwrap();
+        assert!(a.require::<usize>("n").is_err());
+        assert!(a.get_or("n", 3usize).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Args::parse(argv("run stray")).is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! Subcommand implementations.
+
+use radio_analysis::{fnum, Summary, Table};
+use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams, Phase};
+use radio_broadcast::distributed::{
+    ConstantProb, Decay, EgDistributed, EgUnknownDegree, EgVariant, Flooding, RoundRobin,
+};
+use radio_broadcast::gossiping::run_radio_gossiping;
+use radio_broadcast::lower_bound::{run_relaxed, sample_bounded_sets};
+use radio_broadcast::theory;
+use radio_graph::degree::DegreeStats;
+use radio_graph::gnp::sample_gnp;
+use radio_graph::layers::analyze_layers;
+use radio_graph::{child_rng, Graph, Layering, NodeId, Xoshiro256pp};
+use radio_sim::{
+    run_protocol, run_schedule, Protocol, RunConfig, TraceLevel, TransmitterPolicy,
+};
+
+use crate::args::{Args, ParseError};
+
+type CmdResult = Result<(), ParseError>;
+
+/// Where the graph comes from: sampled `G(n, p)` or a fixed edge-list file.
+#[derive(Debug, Clone)]
+pub enum GraphSpec {
+    /// Sample a fresh `G(n, p)` per trial.
+    Sample {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// A fixed topology loaded from `--graph FILE`.
+    Fixed(Graph),
+}
+
+impl GraphSpec {
+    /// Resolves the spec from `--graph FILE` or `--n` + (`--d` | `--p`).
+    pub fn from_args(args: &Args) -> Result<GraphSpec, ParseError> {
+        if let Some(path) = args.get("graph") {
+            if args.get("n").is_some() || args.get("p").is_some() || args.get("d").is_some() {
+                return Err(ParseError(
+                    "--graph is mutually exclusive with --n/--p/--d".into(),
+                ));
+            }
+            let g = radio_graph::io::load_edge_list(std::path::Path::new(path))
+                .map_err(|e| ParseError(format!("--graph {path}: {e}")))?;
+            if g.n() < 2 {
+                return Err(ParseError("loaded graph has fewer than 2 nodes".into()));
+            }
+            return Ok(GraphSpec::Fixed(g));
+        }
+        let (n, p, _) = graph_params(args)?;
+        Ok(GraphSpec::Sample { n, p })
+    }
+
+    /// Node count.
+    pub fn n(&self) -> usize {
+        match self {
+            GraphSpec::Sample { n, .. } => *n,
+            GraphSpec::Fixed(g) => g.n(),
+        }
+    }
+
+    /// The `p` the protocols should assume (`d̄/n` for fixed graphs).
+    pub fn p_equiv(&self) -> f64 {
+        match self {
+            GraphSpec::Sample { p, .. } => *p,
+            GraphSpec::Fixed(g) => (g.average_degree() / g.n() as f64).clamp(0.0, 1.0),
+        }
+    }
+
+    /// An instance for one trial.
+    pub fn instantiate(&self, rng: &mut Xoshiro256pp) -> Graph {
+        match self {
+            GraphSpec::Sample { n, p } => sample_gnp(*n, *p, rng),
+            GraphSpec::Fixed(g) => g.clone(),
+        }
+    }
+}
+
+/// Resolves `(n, p, d)` from `--n` plus either `--d` or `--p`.
+fn graph_params(args: &Args) -> Result<(usize, f64, f64), ParseError> {
+    let n: usize = args.require("n")?;
+    if n < 2 {
+        return Err(ParseError("--n must be at least 2".into()));
+    }
+    let p = match (args.get("p"), args.get("d")) {
+        (Some(_), Some(_)) => {
+            return Err(ParseError("give either --p or --d, not both".into()))
+        }
+        (Some(p), None) => p
+            .parse::<f64>()
+            .map_err(|_| ParseError("--p: bad float".into()))?,
+        (None, Some(d)) => {
+            let d: f64 = d
+                .parse()
+                .map_err(|_| ParseError("--d: bad float".into()))?;
+            (d / n as f64).clamp(0.0, 1.0)
+        }
+        (None, None) => return Err(ParseError("need --d or --p".into())),
+    };
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ParseError(format!("p = {p} outside [0, 1]")));
+    }
+    Ok((n, p, p * n as f64))
+}
+
+fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
+    Ok(match spec {
+        "eg" => Box::new(EgDistributed::new(p)),
+        "eg-strict" => Box::new(EgDistributed::with_variant(p, EgVariant::Strict)),
+        "decay" => Box::new(Decay::new()),
+        "flooding" => Box::new(Flooding),
+        "round-robin" => Box::new(RoundRobin::default()),
+        "unknown" => Box::new(EgUnknownDegree::new()),
+        other => {
+            if let Some(q) = other.strip_prefix("constant:") {
+                let q: f64 = q
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad probability in {other}")))?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(ParseError(format!("q = {q} outside [0, 1]")));
+                }
+                Box::new(ConstantProb::new(q))
+            } else {
+                return Err(ParseError(format!(
+                    "unknown protocol {other} (try eg, eg-strict, decay, flooding, round-robin, unknown, constant:Q)"
+                )));
+            }
+        }
+    })
+}
+
+/// `radio-cli run` — distributed protocol trials.
+pub fn run(args: &Args) -> CmdResult {
+    let spec = GraphSpec::from_args(args)?;
+    let (n, p) = (spec.n(), spec.p_equiv());
+    let d = p * n as f64;
+    let trials: usize = args.get_or("trials", 1)?;
+    let loss: f64 = args.get_or("loss", 0.0)?;
+    let proto_spec = args.get("protocol").unwrap_or("eg").to_string();
+    let seed: u64 = args.get_or("seed", 1)?;
+    let source: NodeId = args.get_or("source", 0)?;
+
+    let mut cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+    if loss > 0.0 {
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(ParseError("--loss outside [0, 1]".into()));
+        }
+        cfg = cfg.with_loss(loss);
+    }
+    if let Some(mr) = args.get("max-rounds") {
+        cfg = cfg.with_max_rounds(
+            mr.parse()
+                .map_err(|_| ParseError("--max-rounds: bad integer".into()))?,
+        );
+    }
+
+    println!(
+        "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s), loss {loss}"
+    );
+    let mut rounds = Vec::new();
+    let mut completions = 0usize;
+    for t in 0..trials {
+        let mut rng = child_rng(seed, t as u64);
+        let g = spec.instantiate(&mut rng);
+        if (source as usize) >= n {
+            return Err(ParseError("--source out of range".into()));
+        }
+        let mut proto = make_protocol(&proto_spec, p)?;
+        let r = run_protocol(&g, source, proto.as_mut(), cfg, &mut rng);
+        println!(
+            "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}",
+            r.completed, r.rounds, r.informed
+        );
+        if r.completed {
+            completions += 1;
+            rounds.push(r.rounds as f64);
+        }
+    }
+    if let Some(s) = Summary::of(&rounds) {
+        println!(
+            "summary: {completions}/{trials} completed; rounds mean {:.1} ± {:.1} (ln n = {:.1}, B(n,d) = {:.1})",
+            s.mean,
+            s.std_dev,
+            (n as f64).ln(),
+            theory::centralized_bound(n, d)
+        );
+    } else {
+        println!("summary: no completed trials");
+    }
+    Ok(())
+}
+
+/// `radio-cli schedule` — build and describe the Theorem-5 schedule.
+pub fn schedule(args: &Args) -> CmdResult {
+    let spec = GraphSpec::from_args(args)?;
+    let (n, d) = (spec.n(), spec.p_equiv() * spec.n() as f64);
+    let source: NodeId = args.get_or("source", 0)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = spec.instantiate(&mut rng);
+    if (source as usize) >= n {
+        return Err(ParseError("--source out of range".into()));
+    }
+    let built = build_eg_schedule(&g, source, CentralizedParams::default(), &mut rng);
+    println!(
+        "centralized schedule on G(n = {n}, d̄ = {:.1}): {} rounds, completed = {}",
+        g.average_degree(),
+        built.len(),
+        built.completed
+    );
+    println!(
+        "bound ln n/ln d + ln d = {:.1}; seed layer T_{}",
+        theory::centralized_bound(n, d),
+        built.seed_layer
+    );
+    for phase in [
+        Phase::ParityFlood,
+        Phase::Seed,
+        Phase::Fraction,
+        Phase::Cover,
+        Phase::BackProp,
+    ] {
+        println!("  {:?}: {} rounds", phase, built.rounds_in_phase(phase));
+    }
+    println!(
+        "energy: {} transmissions total ({:.2} per node)",
+        built.schedule.total_transmissions(),
+        built.schedule.total_transmissions() as f64 / n as f64
+    );
+    if let Some(path) = args.get("save") {
+        radio_sim::save_schedule(&built.schedule, std::path::Path::new(path))
+            .map_err(|e| ParseError(format!("--save {path}: {e}")))?;
+        println!("schedule written to {path}");
+    }
+    if args.flag("verbose") {
+        let replay = run_schedule(
+            &g,
+            source,
+            &built.schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::PerRound,
+        );
+        let mut t = Table::new(vec![
+            "round", "phase", "tx", "newly informed", "collisions", "informed",
+        ]);
+        for (rec, phase) in replay.trace.iter().zip(&built.phases) {
+            t.add_row(vec![
+                rec.round.to_string(),
+                format!("{phase:?}"),
+                rec.transmitters.to_string(),
+                rec.newly_informed.to_string(),
+                rec.collisions.to_string(),
+                rec.informed_after.to_string(),
+            ]);
+        }
+        println!("\n{}", t.render());
+    }
+    Ok(())
+}
+
+/// `radio-cli replay` — replay a saved schedule on a graph.
+pub fn replay(args: &Args) -> CmdResult {
+    let spec = GraphSpec::from_args(args)?;
+    let source: NodeId = args.get_or("source", 0)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let sched_path = args
+        .get("schedule")
+        .ok_or_else(|| ParseError("--schedule FILE is required".into()))?;
+    let schedule = radio_sim::load_schedule(std::path::Path::new(sched_path))
+        .map_err(|e| ParseError(format!("--schedule {sched_path}: {e}")))?;
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = spec.instantiate(&mut rng);
+    if (source as usize) >= g.n() {
+        return Err(ParseError("--source out of range".into()));
+    }
+    match radio_broadcast::centralized::verify_schedule(&g, source, &schedule) {
+        Ok(cert) => {
+            println!(
+                "schedule VALID: completes in round {} with {} transmissions and {} collisions",
+                cert.completion_round, cert.transmissions, cert.collisions
+            );
+        }
+        Err(violation) => {
+            println!("schedule INVALID on this graph: {violation}");
+            // Still replay to show how far it gets.
+            let r = run_schedule(
+                &g,
+                source,
+                &schedule,
+                TransmitterPolicy::InformedOnly,
+                TraceLevel::SummaryOnly,
+            );
+            println!(
+                "partial replay: informed {}/{} in {} rounds",
+                r.informed,
+                g.n(),
+                r.rounds
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `radio-cli structure` — degree and layer structure report.
+pub fn structure(args: &Args) -> CmdResult {
+    let spec = GraphSpec::from_args(args)?;
+    let (n, d) = (spec.n(), spec.p_equiv() * spec.n() as f64);
+    let p = spec.p_equiv();
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = spec.instantiate(&mut rng);
+    let ds = DegreeStats::of(&g);
+    println!(
+        "G(n = {n}, p = {p:.6}): m = {}, degrees [{}, {}] mean {:.1} (α = {:.2}, β = {:.2})",
+        g.m(),
+        ds.min,
+        ds.max,
+        ds.mean,
+        ds.alpha(),
+        ds.beta()
+    );
+    let source = rng.below(n as u64) as NodeId;
+    let layering = Layering::new(&g, source);
+    println!(
+        "BFS from node {source}: eccentricity {}, {} reachable; predicted diameter ln n/ln d = {:.1}",
+        layering.eccentricity(),
+        layering.reachable(),
+        theory::predicted_diameter(n, d)
+    );
+    let stats = analyze_layers(&g, &layering);
+    let mut t = Table::new(vec![
+        "layer",
+        "size",
+        "d^i",
+        "multi-parent frac",
+        "intra-edges/node",
+    ]);
+    for s in &stats {
+        let pred = d.powi(s.index as i32).min(n as f64);
+        t.add_row(vec![
+            s.index.to_string(),
+            s.size.to_string(),
+            fnum(pred, 0),
+            fnum(s.multi_parent_fraction(), 4),
+            fnum(s.intra_edge_density(), 4),
+        ]);
+    }
+    println!("\n{}", t.render());
+    Ok(())
+}
+
+/// `radio-cli gossip` — all-to-all gossiping trials.
+pub fn gossip(args: &Args) -> CmdResult {
+    let (n, p, d) = graph_params(args)?;
+    let trials: usize = args.get_or("trials", 1)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    println!("radio gossiping on G(n = {n}, d = {d:.1}), {trials} trial(s), strategy q = 1/d");
+    let max_rounds = (400.0 * d * (n as f64).ln() / d.max(1.0)).max(10_000.0) as u32;
+    let mut rounds = Vec::new();
+    for t in 0..trials {
+        let mut rng = child_rng(seed, t as u64);
+        let g = sample_gnp(n, p, &mut rng);
+        let mut strat = ConstantProb::new((1.0 / d).min(1.0));
+        let r = run_radio_gossiping(&g, &mut strat, max_rounds, &mut rng);
+        println!(
+            "  trial {t}: completed = {}, rounds = {}, knowledge = {:.4}",
+            r.completed, r.rounds, r.knowledge_fraction
+        );
+        if r.completed {
+            rounds.push(r.rounds as f64);
+        }
+    }
+    if let Some(s) = Summary::of(&rounds) {
+        println!(
+            "summary: rounds mean {:.1} ± {:.1} (d·ln n = {:.1})",
+            s.mean,
+            s.std_dev,
+            d * (n as f64).ln()
+        );
+    }
+    Ok(())
+}
+
+/// `radio-cli lower` — sample normal-form schedules at the bound scale.
+pub fn lower(args: &Args) -> CmdResult {
+    let (n, p, d) = graph_params(args)?;
+    let trials: usize = args.get_or("trials", 200)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut rng = Xoshiro256pp::new(seed);
+    let g = sample_gnp(n, p, &mut rng);
+    let b = theory::centralized_bound(n, d);
+    let max_set = ((n as f64 / d) as usize).max(2);
+    println!(
+        "Theorem-6 sampling on G(n = {n}, d = {d:.1}): B(n,d) = {b:.1}, sets ≤ {max_set}, {trials} schedules per horizon"
+    );
+    let mut t = Table::new(vec!["c", "rounds", "completion rate", "mean uninformed"]);
+    for &c in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+        let len = ((c * b).ceil() as usize).max(1);
+        let mut completions = 0usize;
+        let mut uninformed = 0usize;
+        for i in 0..trials {
+            let mut srng = child_rng(seed ^ 0xABCD, i as u64);
+            let sched = sample_bounded_sets(n, len, max_set, &mut srng);
+            let r = run_relaxed(&g, 0, &sched);
+            if r.completed {
+                completions += 1;
+            }
+            uninformed += r.n - r.informed;
+        }
+        t.add_row(vec![
+            fnum(c, 1),
+            len.to_string(),
+            fnum(completions as f64 / trials as f64, 3),
+            fnum(uninformed as f64 / trials as f64, 1),
+        ]);
+    }
+    println!("\n{}", t.render());
+    println!("completion ≈ 0 below a constant multiple of B — the Ω(ln n/ln d + ln d) wall.");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn graph_params_from_d() {
+        let (n, p, d) = graph_params(&argv("run --n 1000 --d 25")).unwrap();
+        assert_eq!(n, 1000);
+        assert!((p - 0.025).abs() < 1e-12);
+        assert!((d - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_params_from_p() {
+        let (_, p, _) = graph_params(&argv("run --n 100 --p 0.5")).unwrap();
+        assert_eq!(p, 0.5);
+    }
+
+    #[test]
+    fn graph_params_conflicts_rejected() {
+        assert!(graph_params(&argv("run --n 100 --p 0.5 --d 3")).is_err());
+        assert!(graph_params(&argv("run --n 100")).is_err());
+        assert!(graph_params(&argv("run --n 1 --d 1")).is_err());
+        assert!(graph_params(&argv("run --n 100 --p 1.5")).is_err());
+    }
+
+    #[test]
+    fn protocol_factory() {
+        assert!(make_protocol("eg", 0.01).is_ok());
+        assert!(make_protocol("decay", 0.01).is_ok());
+        assert!(make_protocol("unknown", 0.01).is_ok());
+        assert!(make_protocol("constant:0.05", 0.01).is_ok());
+        assert!(make_protocol("constant:2.0", 0.01).is_err());
+        assert!(make_protocol("nope", 0.01).is_err());
+    }
+
+    #[test]
+    fn graph_spec_from_file() {
+        let dir = std::env::temp_dir().join("radio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tri.edges");
+        std::fs::write(&path, "3\n0 1\n1 2\n2 0\n").unwrap();
+        let spec = GraphSpec::from_args(&argv(&format!(
+            "run --graph {}",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(spec.n(), 3);
+        assert!((spec.p_equiv() - 2.0 / 3.0).abs() < 1e-9);
+        let mut rng = Xoshiro256pp::new(1);
+        let g = spec.instantiate(&mut rng);
+        assert_eq!(g.m(), 3);
+        // Conflicting flags rejected.
+        assert!(GraphSpec::from_args(&argv(&format!(
+            "run --graph {} --n 5",
+            path.display()
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let args = argv("run --n 400 --d 20 --protocol eg --trials 2 --seed 3");
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn schedule_command_end_to_end() {
+        let args = argv("schedule --n 500 --d 25 --seed 3");
+        schedule(&args).unwrap();
+    }
+
+    #[test]
+    fn structure_command_end_to_end() {
+        let args = argv("structure --n 500 --d 15 --seed 3");
+        structure(&args).unwrap();
+    }
+
+    #[test]
+    fn gossip_command_end_to_end() {
+        let args = argv("gossip --n 120 --d 12 --trials 1 --seed 3");
+        gossip(&args).unwrap();
+    }
+
+    #[test]
+    fn lower_command_end_to_end() {
+        let args = argv("lower --n 400 --d 25 --trials 20 --seed 3");
+        lower(&args).unwrap();
+    }
+}

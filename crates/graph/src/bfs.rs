@@ -1,0 +1,242 @@
+//! Breadth-first search and BFS layerings.
+//!
+//! The paper's analysis revolves around the sets `T_i(u)` of nodes at
+//! distance exactly `i` from the broadcast source `u`.  [`Layering`] computes
+//! and stores this decomposition in flat arrays (distance per node plus a
+//! CSR-style layer index) so both the centralized schedule builder and the
+//! Lemma-3 structure experiments can iterate layers without per-layer
+//! allocation.
+
+use crate::csr::{Graph, NodeId};
+
+/// Distance value for nodes unreachable from the source.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Computes BFS distances from `source`; unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The BFS layer decomposition `T_0(u) = {u}, T_1(u), …` rooted at `u`.
+///
+/// ```
+/// use radio_graph::{Graph, Layering};
+///
+/// let g = Graph::path(4);
+/// let l = Layering::new(&g, 0);
+/// assert_eq!(l.num_layers(), 4);
+/// assert_eq!(l.layer(2), &[2]);
+/// assert_eq!(l.distance(3), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layering {
+    source: NodeId,
+    /// `dist[v]` = BFS distance from the source ([`UNREACHABLE`] if none).
+    dist: Vec<u32>,
+    /// Nodes grouped by layer: `layer_nodes[layer_offsets[i]..layer_offsets[i+1]]`
+    /// are the nodes of `T_i`.
+    layer_nodes: Vec<NodeId>,
+    layer_offsets: Vec<usize>,
+}
+
+impl Layering {
+    /// Builds the layering of `g` from `source`.
+    pub fn new(g: &Graph, source: NodeId) -> Self {
+        let dist = bfs_distances(g, source);
+        let ecc = dist
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .max()
+            .copied()
+            .unwrap_or(0) as usize;
+        // Counting sort of reachable nodes by distance.
+        let mut layer_offsets = vec![0usize; ecc + 2];
+        for &d in &dist {
+            if d != UNREACHABLE {
+                layer_offsets[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..=ecc {
+            layer_offsets[i + 1] += layer_offsets[i];
+        }
+        let mut cursor = layer_offsets.clone();
+        let mut layer_nodes = vec![0 as NodeId; *layer_offsets.last().unwrap()];
+        for (v, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE {
+                layer_nodes[cursor[d as usize]] = v as NodeId;
+                cursor[d as usize] += 1;
+            }
+        }
+        Layering {
+            source,
+            dist,
+            layer_nodes,
+            layer_offsets,
+        }
+    }
+
+    /// The BFS source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// BFS distance of `v`, or `None` if unreachable.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        let d = self.dist[v as usize];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// The raw distance array (`UNREACHABLE` sentinel for unreached nodes).
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Number of layers, i.e. eccentricity of the source plus one
+    /// (counting `T_0`).  Zero only for an empty graph.
+    pub fn num_layers(&self) -> usize {
+        self.layer_offsets.len() - 1
+    }
+
+    /// Eccentricity of the source (max distance to a reachable node).
+    pub fn eccentricity(&self) -> u32 {
+        (self.num_layers().saturating_sub(1)) as u32
+    }
+
+    /// The nodes of layer `T_i` (empty slice if `i` exceeds the
+    /// eccentricity).
+    pub fn layer(&self, i: usize) -> &[NodeId] {
+        if i + 1 >= self.layer_offsets.len() {
+            return &[];
+        }
+        &self.layer_nodes[self.layer_offsets[i]..self.layer_offsets[i + 1]]
+    }
+
+    /// Iterator over `(i, T_i)` pairs.
+    pub fn layers(&self) -> impl Iterator<Item = (usize, &[NodeId])> + '_ {
+        (0..self.num_layers()).map(move |i| (i, self.layer(i)))
+    }
+
+    /// Number of reachable nodes (including the source).
+    pub fn reachable(&self) -> usize {
+        self.layer_nodes.len()
+    }
+
+    /// Index of the first layer whose size is at least `threshold`, if any.
+    ///
+    /// The centralized algorithm's phase 2 needs "the first layer with
+    /// `Ω(n/d)` nodes".
+    pub fn first_layer_at_least(&self, threshold: usize) -> Option<usize> {
+        (0..self.num_layers()).find(|&i| self.layer(i).len() >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnp::sample_gnp;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn path_distances() {
+        let g = Graph::path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = bfs_distances(&g, 2);
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let g = Graph::from_edges(4, vec![(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn layering_path() {
+        let g = Graph::path(4);
+        let l = Layering::new(&g, 0);
+        assert_eq!(l.num_layers(), 4);
+        assert_eq!(l.layer(0), &[0]);
+        assert_eq!(l.layer(1), &[1]);
+        assert_eq!(l.layer(3), &[3]);
+        assert_eq!(l.layer(4), &[] as &[NodeId]);
+        assert_eq!(l.eccentricity(), 3);
+        assert_eq!(l.reachable(), 4);
+    }
+
+    #[test]
+    fn layering_star() {
+        let g = Graph::star(6);
+        let l = Layering::new(&g, 0);
+        assert_eq!(l.num_layers(), 2);
+        assert_eq!(l.layer(1).len(), 5);
+        let from_leaf = Layering::new(&g, 3);
+        assert_eq!(from_leaf.num_layers(), 3);
+        assert_eq!(from_leaf.layer(1), &[0]);
+        assert_eq!(from_leaf.layer(2).len(), 4);
+    }
+
+    #[test]
+    fn layer_invariants_random_graph() {
+        let mut rng = Xoshiro256pp::new(21);
+        let g = sample_gnp(500, 0.02, &mut rng);
+        let l = Layering::new(&g, 0);
+        // Every node in layer i ≥ 1 has at least one neighbor in layer i−1
+        // and no neighbor in layers < i−1.
+        for (i, nodes) in l.layers() {
+            for &v in nodes {
+                assert_eq!(l.distance(v), Some(i as u32));
+                if i >= 1 {
+                    let mut has_parent = false;
+                    for &w in g.neighbors(v) {
+                        if let Some(dw) = l.distance(w) {
+                            assert!(dw + 1 >= i as u32, "edge skips a layer");
+                            has_parent |= dw == i as u32 - 1;
+                        }
+                    }
+                    assert!(has_parent, "node {v} in layer {i} has no parent");
+                }
+            }
+        }
+        // Layers partition the reachable set.
+        let total: usize = l.layers().map(|(_, ns)| ns.len()).sum();
+        assert_eq!(total, l.reachable());
+    }
+
+    #[test]
+    fn first_layer_at_least() {
+        let g = Graph::star(10);
+        let l = Layering::new(&g, 0);
+        assert_eq!(l.first_layer_at_least(1), Some(0));
+        assert_eq!(l.first_layer_at_least(2), Some(1));
+        assert_eq!(l.first_layer_at_least(100), None);
+    }
+
+    #[test]
+    fn distances_accessor() {
+        let g = Graph::path(3);
+        let l = Layering::new(&g, 1);
+        assert_eq!(l.distances(), &[1, 0, 1]);
+        assert_eq!(l.source(), 1);
+    }
+}

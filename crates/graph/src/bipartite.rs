@@ -1,0 +1,343 @@
+//! Independent coverings and independent matchings (Definition 1, Lemma 4).
+//!
+//! The paper's Definition 1, phrased on the bipartite graph between two
+//! disjoint node sets `X` (potential transmitters) and `Y` (receivers):
+//!
+//! * a set `S ⊆ X` is an **independent covering** of `T ⊆ Y` if every
+//!   `y ∈ T` has *exactly one* neighbor in `S` — precisely the condition
+//!   under which a simultaneous radio transmission by `S` informs all of `T`;
+//! * an **independent matching** `F` is an edge set where no endpoint of one
+//!   edge is adjacent to an endpoint of another — transmitting the `X`-sides
+//!   informs the `Y`-sides collision-free;
+//! * a **minimal covering** is a covering with no redundant member;
+//!   Proposition 2 of the paper converts one into an independent matching of
+//!   the same size, which [`minimal_cover_to_matching`] implements.
+//!
+//! Lemma 4 proves such structures exist w.h.p. via the probabilistic method:
+//! sample `S ⊆ X` by keeping each node with probability `1/d` and keep the
+//! `y ∈ Y` with a unique neighbor in `S`.  [`random_independent_cover`] is
+//! that construction made concrete; experiment `E-L4` measures how large a
+//! fraction of `Y` it covers.
+
+use crate::csr::{Graph, NodeId};
+use crate::rng::Xoshiro256pp;
+
+/// Counts, for each node of `targets`, its neighbors inside `transmitters`.
+///
+/// Returns a vector aligned with `targets`.
+pub fn neighbor_counts(g: &Graph, transmitters: &[NodeId], targets: &[NodeId]) -> Vec<usize> {
+    let mut in_set = vec![false; g.n()];
+    for &x in transmitters {
+        in_set[x as usize] = true;
+    }
+    targets
+        .iter()
+        .map(|&y| {
+            g.neighbors(y)
+                .iter()
+                .filter(|&&w| in_set[w as usize])
+                .count()
+        })
+        .collect()
+}
+
+/// Whether `cover ⊆ X` is an independent covering of *all* of `targets`:
+/// every target has exactly one neighbor in `cover`.
+pub fn is_independent_cover(g: &Graph, cover: &[NodeId], targets: &[NodeId]) -> bool {
+    neighbor_counts(g, cover, targets).iter().all(|&c| c == 1)
+}
+
+/// The subset of `targets` that `cover` independently covers (exactly one
+/// neighbor in `cover`).
+pub fn covered_targets(g: &Graph, cover: &[NodeId], targets: &[NodeId]) -> Vec<NodeId> {
+    let counts = neighbor_counts(g, cover, targets);
+    targets
+        .iter()
+        .zip(counts)
+        .filter(|&(_, c)| c == 1)
+        .map(|(&y, _)| y)
+        .collect()
+}
+
+/// Result of the Lemma-4 probabilistic construction.
+#[derive(Debug, Clone)]
+pub struct RandomCover {
+    /// The sampled transmitter set `S ⊆ X`.
+    pub transmitters: Vec<NodeId>,
+    /// The targets with exactly one neighbor in `S` (independently covered).
+    pub covered: Vec<NodeId>,
+}
+
+/// Lemma 4's construction: sample `S ⊆ X` keeping each node w.p.
+/// `keep_prob`, return `S` and the subset of `targets` it independently
+/// covers.
+///
+/// With `keep_prob = 1/d` on a `G(n,p)` instance with `|X| = Θ(n)`, Lemma 4
+/// guarantees `Ω(|targets|)` covered w.h.p.
+pub fn random_independent_cover(
+    g: &Graph,
+    x: &[NodeId],
+    targets: &[NodeId],
+    keep_prob: f64,
+    rng: &mut Xoshiro256pp,
+) -> RandomCover {
+    let transmitters: Vec<NodeId> = x.iter().copied().filter(|_| rng.coin(keep_prob)).collect();
+    let covered = covered_targets(g, &transmitters, targets);
+    RandomCover {
+        transmitters,
+        covered,
+    }
+}
+
+/// An edge set between `X` and `Y`; see [`is_independent_matching`].
+pub type Matching = Vec<(NodeId, NodeId)>;
+
+/// Whether `matching` is an independent matching between `X`-side and
+/// `Y`-side nodes: for any two pairs `(u, v)` and `(u', v')`, neither
+/// `(u, v')` nor `(u', v)` is an edge of `g` (Definition 1).
+pub fn is_independent_matching(g: &Graph, matching: &[(NodeId, NodeId)]) -> bool {
+    for (i, &(u, v)) in matching.iter().enumerate() {
+        if !g.has_edge(u, v) {
+            return false;
+        }
+        for &(u2, v2) in &matching[i + 1..] {
+            if u == u2 || v == v2 || g.has_edge(u, v2) || g.has_edge(u2, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Greedily builds an independent matching saturating as much of `y_set` as
+/// possible from partners in `x_set`.
+///
+/// For each `y` (in order), picks an `x`-neighbor that is not adjacent to any
+/// previously matched `y` and whose selection leaves previously matched pairs
+/// independent.  Lemma 4 (second statement) guarantees a perfect saturation
+/// exists w.h.p. when `|X|/|Y| = Ω(d²)`; the greedy finds one in practice.
+pub fn greedy_independent_matching(g: &Graph, x_set: &[NodeId], y_set: &[NodeId]) -> Matching {
+    let mut in_x = vec![false; g.n()];
+    for &x in x_set {
+        in_x[x as usize] = true;
+    }
+    // matched_y[v] = true if v is a matched Y-node.
+    let mut matched_y = vec![false; g.n()];
+    // blocked_x[x] = true if x is adjacent to some matched y (so choosing x
+    // would collide with that y), or x is already used.
+    let mut blocked_x = vec![false; g.n()];
+    let mut matching = Vec::new();
+
+    'outer: for &y in y_set {
+        for &x in g.neighbors(y) {
+            if !in_x[x as usize] || blocked_x[x as usize] {
+                continue;
+            }
+            // x must not be adjacent to any other matched y (blocked_x
+            // covers that) and no already-chosen x' may be adjacent to y.
+            let collides = g
+                .neighbors(y)
+                .iter()
+                .any(|&w| w != x && matching.iter().any(|&(mx, _)| mx == w));
+            if collides {
+                // Some chosen transmitter is adjacent to y: y can never be
+                // added independently with the current partial matching.
+                continue 'outer;
+            }
+            matching.push((x, y));
+            matched_y[y as usize] = true;
+            blocked_x[x as usize] = true;
+            // Block every X-node adjacent to y except x itself: choosing one
+            // later would give y two transmitting neighbors.
+            for &w in g.neighbors(y) {
+                if w != x && in_x[w as usize] {
+                    blocked_x[w as usize] = true;
+                }
+            }
+            // Block every X-node adjacent to nothing? No — X-nodes adjacent
+            // to *future* y's are fine; only collisions with matched y's
+            // matter, which `blocked_x` now encodes via x ∈ N(y).
+            continue 'outer;
+        }
+    }
+    // Post-filter: drop pairs whose x is adjacent to a later-matched y.
+    // (The greedy blocks future choices but an early x may neighbor a later
+    // y; verify and prune.)
+    prune_to_independent(g, matching)
+}
+
+/// Removes pairs until the matching is independent (keeps earlier pairs).
+fn prune_to_independent(g: &Graph, matching: Matching) -> Matching {
+    let mut kept: Matching = Vec::with_capacity(matching.len());
+    'cand: for (u, v) in matching {
+        for &(ku, kv) in &kept {
+            if u == ku || v == kv || g.has_edge(u, kv) || g.has_edge(ku, v) {
+                continue 'cand;
+            }
+        }
+        kept.push((u, v));
+    }
+    kept
+}
+
+/// Proposition 2: converts a *minimal* covering `X'` of `Y` into an
+/// independent matching of size `|X'|`.
+///
+/// For each `x` in the minimal cover there is a private `y` (a target
+/// covered only by `x`); pairing each `x` with its private `y` gives the
+/// matching.  Returns `None` if `cover` is not actually a covering of
+/// `targets`, or not minimal (some member lacks a private target).
+pub fn minimal_cover_to_matching(
+    g: &Graph,
+    cover: &[NodeId],
+    targets: &[NodeId],
+) -> Option<Matching> {
+    let mut in_cover = vec![false; g.n()];
+    for &x in cover {
+        in_cover[x as usize] = true;
+    }
+    // For each target, count cover-neighbors and remember the unique one.
+    let mut private_of = std::collections::HashMap::<NodeId, NodeId>::new();
+    for &y in targets {
+        let mut cover_neighbors = g
+            .neighbors(y)
+            .iter()
+            .copied()
+            .filter(|&w| in_cover[w as usize]);
+        let first = cover_neighbors.next()?; // uncovered target → not a covering
+        if cover_neighbors.next().is_none() {
+            // y is private to `first`; keep the first private target per x.
+            private_of.entry(first).or_insert(y);
+        }
+    }
+    // Minimality ⇒ every cover member has a private target.
+    let mut matching = Vec::with_capacity(cover.len());
+    for &x in cover {
+        let &y = private_of.get(&x)?;
+        matching.push((x, y));
+    }
+    Some(matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnp::sample_gnp;
+
+    /// Bipartite-ish test graph:
+    /// X = {0, 1, 2}, Y = {3, 4, 5};
+    /// 0—3, 0—4, 1—4, 2—5.
+    fn test_graph() -> Graph {
+        Graph::from_edges(6, vec![(0, 3), (0, 4), (1, 4), (2, 5)])
+    }
+
+    #[test]
+    fn neighbor_counts_basic() {
+        let g = test_graph();
+        let counts = neighbor_counts(&g, &[0, 1], &[3, 4, 5]);
+        assert_eq!(counts, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn independent_cover_detection() {
+        let g = test_graph();
+        // {0, 2} covers 3 (via 0), 4 (via 0), 5 (via 2), each exactly once.
+        assert!(is_independent_cover(&g, &[0, 2], &[3, 4, 5]));
+        // {0, 1} gives node 4 two neighbors.
+        assert!(!is_independent_cover(&g, &[0, 1], &[3, 4, 5]));
+        // {2} leaves 3 uncovered.
+        assert!(!is_independent_cover(&g, &[2], &[3, 4, 5]));
+    }
+
+    #[test]
+    fn covered_targets_partial() {
+        let g = test_graph();
+        let covered = covered_targets(&g, &[0, 1], &[3, 4, 5]);
+        assert_eq!(covered, vec![3]); // 4 collides, 5 unreached
+    }
+
+    #[test]
+    fn independent_matching_detection() {
+        let g = test_graph();
+        // (1,4) and (2,5): 1 not adjacent 5, 2 not adjacent 4 → independent.
+        assert!(is_independent_matching(&g, &[(1, 4), (2, 5)]));
+        // (0,3) and (1,4): 0 adjacent to 4 → not independent.
+        assert!(!is_independent_matching(&g, &[(0, 3), (1, 4)]));
+        // Non-edge pair rejected.
+        assert!(!is_independent_matching(&g, &[(0, 5)]));
+    }
+
+    #[test]
+    fn greedy_matching_is_independent() {
+        let g = test_graph();
+        let m = greedy_independent_matching(&g, &[0, 1, 2], &[3, 4, 5]);
+        assert!(is_independent_matching(&g, &m));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn greedy_matching_on_random_graph() {
+        let mut rng = Xoshiro256pp::new(5);
+        let n = 2000;
+        let g = sample_gnp(n, 8.0 / n as f64, &mut rng);
+        // X = large prefix, Y = small suffix: Lemma 4 regime |X|/|Y| ≫ d².
+        let x: Vec<NodeId> = (0..(n as NodeId - 20)).collect();
+        let y: Vec<NodeId> = ((n as NodeId - 20)..n as NodeId).collect();
+        let m = greedy_independent_matching(&g, &x, &y);
+        assert!(is_independent_matching(&g, &m));
+        // Most of Y should be saturated (all, typically).
+        assert!(m.len() >= y.len() / 2, "matched only {} of {}", m.len(), y.len());
+    }
+
+    #[test]
+    fn random_cover_covers_constant_fraction() {
+        let mut rng = Xoshiro256pp::new(6);
+        let n = 4000;
+        let d = 20.0;
+        let g = sample_gnp(n, d / n as f64, &mut rng);
+        let split = (n / 2) as NodeId;
+        let x: Vec<NodeId> = (0..split).collect();
+        let y: Vec<NodeId> = (split..n as NodeId).collect();
+        let rc = random_independent_cover(&g, &x, &y, 1.0 / d, &mut rng);
+        assert!(is_independent_cover(&g, &rc.transmitters, &rc.covered));
+        // Lemma 4: a constant fraction of Y is covered.
+        assert!(
+            rc.covered.len() > y.len() / 20,
+            "covered {} of {}",
+            rc.covered.len(),
+            y.len()
+        );
+    }
+
+    #[test]
+    fn minimal_cover_to_matching_proposition2() {
+        let g = test_graph();
+        // {0, 2} is a minimal covering of {3, 4, 5}: dropping 0 uncovers
+        // 3 and 4; dropping 2 uncovers 5.
+        let m = minimal_cover_to_matching(&g, &[0, 2], &[3, 4, 5]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(is_independent_matching(&g, &m));
+    }
+
+    #[test]
+    fn non_cover_rejected_by_proposition2() {
+        let g = test_graph();
+        assert!(minimal_cover_to_matching(&g, &[0], &[3, 4, 5]).is_none());
+    }
+
+    #[test]
+    fn non_minimal_cover_rejected() {
+        // Make 1 redundant: cover {0, 1, 2} of {3, 4, 5} where 4 has two
+        // cover neighbors and 1 has no private target.
+        let g = test_graph();
+        assert!(minimal_cover_to_matching(&g, &[0, 1, 2], &[3, 4, 5]).is_none());
+    }
+
+    #[test]
+    fn empty_sets() {
+        let g = test_graph();
+        assert!(is_independent_cover(&g, &[], &[]));
+        assert!(is_independent_matching(&g, &[]));
+        assert!(greedy_independent_matching(&g, &[], &[3]).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Incremental construction of CSR graphs.
+//!
+//! [`GraphBuilder`] accumulates an undirected edge list and converts it to a
+//! [`Graph`](crate::Graph) in `O(n + m)` using counting sort, deduplicating
+//! and dropping self-loops along the way.  Samplers that can bound their edge
+//! count up front should call [`GraphBuilder::with_edge_capacity`].
+
+use crate::csr::{Graph, NodeId};
+
+/// Accumulates edges, then builds a [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Directed half-edges; each undirected edge is stored once and mirrored
+    /// during `build`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Like [`GraphBuilder::new`] but preallocates room for `m` edges.
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.  Self-loops are ignored; duplicates
+    /// are removed at build time.  Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Builds the CSR graph, sorting adjacency lists and removing duplicate
+    /// edges.
+    pub fn build(mut self) -> Graph {
+        let n = self.n;
+        // Deduplicate the canonical (u < v) edge list.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        // Counting sort into CSR: first count degrees, then place.
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; self.edges.len() * 2];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Because the canonical edge list is sorted, each node's *forward*
+        // targets are placed in order, but backward ones interleave; sort
+        // each adjacency list (cheap: lists are nearly sorted and short
+        // relative to m).
+        for v in 0..n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn build_dedups_both_orientations() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(2, 1);
+        b.add_edge(1, 2);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new(6);
+        for v in [5, 3, 1, 4, 2] {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn pending_edges_counts_raw() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        assert_eq!(b.pending_edges(), 2);
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Chung–Lu random graphs with heterogeneous expected degrees.
+//!
+//! The paper's results hinge on degree *concentration*
+//! (`αpn ≤ deg ≤ βpn`); real deployments often have heavy-tailed degrees.
+//! The Chung–Lu model generalizes `G(n, p)`: given target weights `w_v`,
+//! each pair `(u, v)` is an edge independently with probability
+//! `min(1, w_u·w_v / Σw)`.  With all weights equal it reduces exactly to
+//! `G(n, p)`; with power-law weights it produces the heterogeneous
+//! topologies on which experiment `E-WC`-style comparisons probe how far
+//! the paper's assumptions can be stretched.
+//!
+//! Sampling is `O(n + m)` expected, by processing nodes in non-increasing
+//! weight order and geometric skipping within each row (Miller–Hagberg).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::rng::Xoshiro256pp;
+
+/// Samples a Chung–Lu graph for the given expected-degree weights.
+///
+/// Weights must be non-negative; `n = weights.len()`.
+pub fn sample_chung_lu(weights: &[f64], rng: &mut Xoshiro256pp) -> Graph {
+    let n = weights.len();
+    assert!(n <= NodeId::MAX as usize);
+    assert!(
+        weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    if n < 2 || total <= 0.0 {
+        return Graph::empty(n);
+    }
+
+    // Sort node indices by weight, descending (Miller–Hagberg ordering).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
+
+    let mut b = GraphBuilder::new(n);
+    for (i, &u) in order.iter().enumerate() {
+        let wu = weights[u];
+        if wu == 0.0 {
+            break; // all remaining weights are 0
+        }
+        // Walk j > i with skipping at the row's maximum probability
+        // p_max = min(1, w_u·w_{order[i+1]}/total), thinning to the true
+        // pair probability.
+        let mut j = i + 1;
+        while j < n {
+            let p_max = (wu * weights[order[j]] / total).min(1.0);
+            if p_max <= 0.0 {
+                break;
+            }
+            if p_max < 1.0 {
+                // Geometric skip at rate p_max.
+                let r = rng.next_f64();
+                let skip = ((1.0 - r).ln() / (1.0 - p_max).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let v = order[j];
+            let p_true = (wu * weights[v] / total).min(1.0);
+            // Thin to the true pair probability: the skip ran at rate
+            // p_max ≥ p_true (weights are sorted descending), so accepting
+            // with p_true/p_max yields exact Bernoulli(p_true) marginals.
+            let accept = if p_max < 1.0 { p_true / p_max } else { p_true };
+            if rng.coin(accept) {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+            j += 1;
+        }
+    }
+    b.build()
+}
+
+/// Power-law weights: `w_v ∝ (v+1)^{−1/(γ−1)}` scaled to mean `d`.
+///
+/// `γ > 2` is the target degree exponent.
+pub fn power_law_weights(n: usize, gamma: f64, mean_degree: f64) -> Vec<f64> {
+    assert!(gamma > 2.0, "need γ > 2 for finite mean");
+    let exp = -1.0 / (gamma - 1.0);
+    let raw: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
+    let mean_raw: f64 = raw.iter().sum::<f64>() / n as f64;
+    raw.iter().map(|w| w * mean_degree / mean_raw).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn uniform_weights_match_gnp_statistics() {
+        let mut rng = Xoshiro256pp::new(1);
+        let n = 4000;
+        let d = 20.0;
+        let weights = vec![d; n];
+        let g = sample_chung_lu(&weights, &mut rng);
+        let s = DegreeStats::of(&g);
+        assert!((s.mean - d).abs() < 1.5, "mean degree {}", s.mean);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn power_law_weights_have_target_mean() {
+        let w = power_law_weights(10_000, 2.5, 15.0);
+        let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 15.0).abs() < 1e-9);
+        // Heavy head: the top weight is much larger than the median.
+        assert!(w[0] > 10.0 * w[w.len() / 2]);
+    }
+
+    #[test]
+    fn power_law_graph_is_heterogeneous() {
+        let mut rng = Xoshiro256pp::new(2);
+        let n = 5000;
+        let w = power_law_weights(n, 2.5, 12.0);
+        let g = sample_chung_lu(&w, &mut rng);
+        let s = DegreeStats::of(&g);
+        // Mean near target; max far above mean (heavy tail) —
+        // the concentration assumption of the paper fails by design.
+        assert!((s.mean - 12.0).abs() < 3.0, "mean {}", s.mean);
+        assert!(s.beta() > 4.0, "beta {} too small for a power law", s.beta());
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn expected_degree_roughly_proportional_to_weight() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 3000;
+        let mut w = vec![5.0; n];
+        w[0] = 100.0; // one hub
+        let g = sample_chung_lu(&w, &mut rng);
+        let hub = g.degree(0) as f64;
+        assert!(hub > 50.0 && hub < 180.0, "hub degree {hub}");
+    }
+
+    #[test]
+    fn zero_weights_isolated() {
+        let mut rng = Xoshiro256pp::new(4);
+        let mut w = vec![10.0; 100];
+        w[7] = 0.0;
+        let g = sample_chung_lu(&w, &mut rng);
+        assert_eq!(g.degree(7), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = Xoshiro256pp::new(5);
+        assert_eq!(sample_chung_lu(&[], &mut rng).n(), 0);
+        assert_eq!(sample_chung_lu(&[1.0], &mut rng).m(), 0);
+        assert_eq!(sample_chung_lu(&[0.0, 0.0], &mut rng).m(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let w = power_law_weights(500, 2.5, 10.0);
+        let a = sample_chung_lu(&w, &mut Xoshiro256pp::new(6));
+        let b = sample_chung_lu(&w, &mut Xoshiro256pp::new(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        let mut rng = Xoshiro256pp::new(7);
+        let _ = sample_chung_lu(&[1.0, -2.0], &mut rng);
+    }
+}

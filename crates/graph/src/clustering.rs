@@ -1,0 +1,169 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! `G(n, p)` above the connectivity threshold has clustering coefficient
+//! `≈ p → 0`, while geometric radio networks (RGG) cluster heavily — one of
+//! the structural reasons the paper's random-graph results need care before
+//! transferring to physical deployments.  The structure explorer example
+//! reports both.
+//!
+//! Triangle counting intersects sorted adjacency lists, `O(Σ deg²)`-ish,
+//! fine at experiment scale.
+
+use crate::csr::{Graph, NodeId};
+
+/// Number of triangles through each node.
+pub fn triangles_per_node(g: &Graph) -> Vec<usize> {
+    let mut count = vec![0usize; g.n()];
+    for (u, v) in g.edges() {
+        // Intersect N(u) ∩ N(v); each common neighbor w closes a triangle.
+        let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j < b.len() && b[j] == x && x > v {
+                // Count each triangle once per edge orientation: only when
+                // the third vertex is largest (u < v < x).
+                count[u as usize] += 1;
+                count[v as usize] += 1;
+                count[x as usize] += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Total number of triangles in the graph.
+pub fn triangle_count(g: &Graph) -> usize {
+    triangles_per_node(g).iter().sum::<usize>() / 3
+}
+
+/// Local clustering coefficient of `v`: triangles through `v` divided by
+/// `C(deg v, 2)` (0 when degree < 2).
+pub fn local_clustering(g: &Graph, v: NodeId, triangles: &[usize]) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let pairs = d * (d - 1) / 2;
+    triangles[v as usize] as f64 / pairs as f64
+}
+
+/// Mean local clustering coefficient (Watts–Strogatz definition), averaged
+/// over nodes of degree ≥ 2.
+pub fn average_clustering(g: &Graph) -> f64 {
+    let tri = triangles_per_node(g);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in g.nodes() {
+        if g.degree(v) >= 2 {
+            sum += local_clustering(g, v, &tri);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Global (transitivity) clustering coefficient:
+/// `3·triangles / open-or-closed wedges`.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let triangles = triangle_count(g);
+    let wedges: usize = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric::{radius_for_average_degree, sample_rgg};
+    use crate::gnp::sample_gnp;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn triangle_graph() {
+        let g = Graph::complete(3);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangles_per_node(&g), vec![1, 1, 1]);
+        assert_eq!(average_clustering(&g), 1.0);
+        assert_eq!(global_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn complete_k5() {
+        let g = Graph::complete(5);
+        assert_eq!(triangle_count(&g), 10); // C(5,3)
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn trees_have_no_triangles() {
+        let g = Graph::star(10);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(global_clustering(&g), 0.0);
+        let p = Graph::path(10);
+        assert_eq!(triangle_count(&p), 0);
+    }
+
+    #[test]
+    fn diamond_counts() {
+        // 0-1, 0-2, 1-2, 1-3, 2-3: two triangles (0,1,2) and (1,2,3).
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&g), 2);
+        let tri = triangles_per_node(&g);
+        assert_eq!(tri, vec![1, 2, 2, 1]);
+        // Node 0: degree 2, 1 triangle → clustering 1.
+        assert_eq!(local_clustering(&g, 0, &tri), 1.0);
+        // Node 1: degree 3 → pairs 3, triangles 2 → 2/3.
+        assert!((local_clustering(&g, 1, &tri) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gnp_clustering_near_p() {
+        let mut rng = Xoshiro256pp::new(1);
+        let n = 3000;
+        let p = 0.02;
+        let g = sample_gnp(n, p, &mut rng);
+        let c = global_clustering(&g);
+        assert!((c - p).abs() < 0.01, "clustering {c} vs p {p}");
+    }
+
+    #[test]
+    fn rgg_clusters_much_more_than_gnp() {
+        let mut rng = Xoshiro256pp::new(2);
+        let n = 2000;
+        let d = 30.0;
+        let gg = sample_rgg(n, radius_for_average_degree(n, d), &mut rng);
+        let gp = sample_gnp(n, d / n as f64, &mut rng);
+        let c_rgg = average_clustering(&gg.graph);
+        let c_gnp = average_clustering(&gp);
+        // RGG clustering → ≈ 0.59 in the plane; G(n,p) → d/n ≈ 0.015.
+        assert!(c_rgg > 0.4, "rgg clustering {c_rgg}");
+        assert!(c_rgg > 10.0 * c_gnp, "rgg {c_rgg} vs gnp {c_gnp}");
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let g = Graph::empty(0);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Connectivity: union–find and connected components.
+//!
+//! `G(n, p)` at the edge densities the paper assumes is connected w.h.p.,
+//! but sampled instances occasionally are not; the experiment drivers use
+//! [`is_connected`] to filter (and count) such instances, and
+//! [`largest_component`] to restrict a protocol run to the giant component
+//! when studying the near-threshold regime.
+
+use crate::csr::{Graph, NodeId};
+use crate::subgraph::{induced_subgraph, SubgraphMap};
+
+/// Union–find (disjoint-set forest) with union by size and path halving.
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements in `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.components
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Whether `g` is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).num_components <= 1
+}
+
+/// The component decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `component_of[v]` = dense component id of `v`.
+    pub component_of: Vec<u32>,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl Components {
+    /// Id of the largest component (ties broken by lowest id).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Computes connected components with union–find in `O(m α(n))`.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.n();
+    let mut dsu = DisjointSets::new(n);
+    for (u, v) in g.edges() {
+        dsu.union(u, v);
+    }
+    // Relabel roots densely.
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut component_of = vec![0u32; n];
+    for v in 0..n as u32 {
+        let r = dsu.find(v);
+        if label[r as usize] == u32::MAX {
+            label[r as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let c = label[r as usize];
+        component_of[v as usize] = c;
+        sizes[c as usize] += 1;
+    }
+    Components {
+        component_of,
+        sizes: sizes.clone(),
+        num_components: sizes.len(),
+    }
+}
+
+/// Extracts the largest connected component as an induced subgraph, together
+/// with the node-id mapping.
+pub fn largest_component(g: &Graph) -> (Graph, SubgraphMap) {
+    let comps = connected_components(g);
+    let Some(target) = comps.largest() else {
+        return (Graph::empty(0), SubgraphMap::empty());
+    };
+    let members: Vec<NodeId> = (0..g.n() as NodeId)
+        .filter(|&v| comps.component_of[v as usize] == target)
+        .collect();
+    induced_subgraph(g, &members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsu_basic() {
+        let mut d = DisjointSets::new(5);
+        assert_eq!(d.num_sets(), 5);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.connected(0, 1));
+        assert!(!d.connected(0, 2));
+        assert_eq!(d.set_size(1), 2);
+        assert_eq!(d.num_sets(), 4);
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn dsu_transitivity() {
+        let mut d = DisjointSets::new(6);
+        d.union(0, 1);
+        d.union(2, 3);
+        d.union(1, 2);
+        assert!(d.connected(0, 3));
+        assert_eq!(d.set_size(0), 4);
+    }
+
+    #[test]
+    fn connected_path() {
+        assert!(is_connected(&Graph::path(10)));
+    }
+
+    #[test]
+    fn disconnected_pair() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert!(!is_connected(&g));
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 2);
+        assert_eq!(c.component_of[0], c.component_of[1]);
+        assert_ne!(c.component_of[0], c.component_of[2]);
+        assert_eq!(c.sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_components() {
+        let g = Graph::empty(3);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components, 3);
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        // Two components: triangle {0,1,2} and edge {3,4}.
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 3);
+        // Mapping round-trips.
+        for v in sub.nodes() {
+            let orig = map.to_original(v);
+            assert_eq!(map.to_sub(orig), Some(v));
+        }
+    }
+
+    #[test]
+    fn largest_component_empty_graph() {
+        let (sub, _) = largest_component(&Graph::empty(0));
+        assert_eq!(sub.n(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Compressed-sparse-row (CSR) undirected graphs.
+//!
+//! [`Graph`] is the single graph type used throughout the workspace.  It is
+//! immutable after construction, stores each undirected edge in both
+//! directions, and keeps every adjacency list sorted so that membership
+//! queries are `O(log deg)` and iteration is cache-friendly.  Node ids are
+//! `u32` ([`NodeId`]) to halve memory traffic on large instances.
+
+use crate::builder::GraphBuilder;
+
+/// Node identifier. Dense in `0..n`.
+pub type NodeId = u32;
+
+/// An immutable undirected graph in CSR form.
+///
+/// ```
+/// use radio_graph::Graph;
+///
+/// let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 1));
+/// ```
+///
+/// Invariants (enforced by construction, checked by `debug_assert` and the
+/// test suite):
+///
+/// * `offsets.len() == n + 1`, `offsets[0] == 0`, non-decreasing,
+///   `offsets[n] == targets.len()`;
+/// * each adjacency slice `targets[offsets[v]..offsets[v+1]]` is strictly
+///   increasing (sorted, no duplicates);
+/// * no self-loops;
+/// * symmetry: `u ∈ N(v)` iff `v ∈ N(u)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes from an iterator of undirected edges.
+    ///
+    /// Duplicate edges and self-loops are silently dropped.  Node ids must be
+    /// `< n` (panics otherwise).
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Assembles a graph directly from CSR arrays.
+    ///
+    /// Used by the builder and samplers.  The caller guarantees the CSR
+    /// invariants listed on [`Graph`]; they are verified in debug builds.
+    pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.first().unwrap(), 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let g = Graph { offsets, targets };
+        debug_assert!(g.check_invariants());
+        g
+    }
+
+    /// Creates the empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Creates the complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(n.saturating_sub(1) * n);
+        offsets.push(0);
+        for v in 0..n as NodeId {
+            for u in 0..n as NodeId {
+                if u != v {
+                    targets.push(u);
+                }
+            }
+            offsets.push(targets.len());
+        }
+        Graph { offsets, targets }
+    }
+
+    /// Creates the path graph `0 — 1 — … — (n−1)`.
+    pub fn path(n: usize) -> Self {
+        Graph::from_edges(n, (1..n as NodeId).map(|v| (v - 1, v)))
+    }
+
+    /// Creates the cycle graph on `n ≥ 3` nodes.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 nodes");
+        let wrap = std::iter::once((n as NodeId - 1, 0));
+        Graph::from_edges(n, (1..n as NodeId).map(|v| (v - 1, v)).chain(wrap))
+    }
+
+    /// Creates the star graph: node 0 adjacent to all others.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 1);
+        Graph::from_edges(n, (1..n as NodeId).map(|v| (0, v)))
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg)`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n() as NodeId
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Average degree `2m / n` (0 for the empty node set).
+    pub fn average_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Exhaustively verifies the CSR invariants. Intended for tests and
+    /// debug assertions; `O(n + m log deg)`.
+    pub fn check_invariants(&self) -> bool {
+        let n = self.n();
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.targets.len() {
+            return false;
+        }
+        for v in 0..n as NodeId {
+            let adj = self.neighbors(v);
+            if !adj.windows(2).all(|w| w[0] < w[1]) {
+                return false; // unsorted or duplicate
+            }
+            for &u in adj {
+                if u == v || (u as usize) >= n {
+                    return false; // self-loop or out of range
+                }
+                if self.neighbors(u).binary_search(&v).is_err() {
+                    return false; // asymmetric
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_basic() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn duplicates_and_loops_dropped() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = Graph::from_edges(5, vec![(0, 4), (1, 3)]);
+        assert!(g.has_edge(0, 4));
+        assert!(g.has_edge(4, 0));
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(7);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 0);
+        assert!(g.nodes().all(|v| g.degree(v) == 0));
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = Graph::complete(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 10);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = Graph::path(5);
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+
+        let c = Graph::cycle(5);
+        assert_eq!(c.m(), 5);
+        assert!(c.nodes().all(|v| c.degree(v) == 2));
+        assert!(c.has_edge(4, 0));
+    }
+
+    #[test]
+    fn star_graph() {
+        let s = Graph::star(6);
+        assert_eq!(s.degree(0), 5);
+        assert!((1..6).all(|v| s.degree(v) == 1));
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.m());
+        for &(u, v) in &edges {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = Graph::cycle(10);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_node_panics() {
+        let _ = Graph::from_edges(3, vec![(0, 5)]);
+    }
+}

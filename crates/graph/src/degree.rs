@@ -1,0 +1,144 @@
+//! Degree statistics.
+//!
+//! The paper's standing assumption is that with high probability
+//! `α·pn ≤ d_min ≤ d_max ≤ β·pn` for constants `α, β`; the structure
+//! experiments report [`DegreeStats`] to check this concentration on sampled
+//! instances.
+
+use crate::csr::Graph;
+
+/// Summary of the degree sequence of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Population standard deviation of the degree sequence.
+    pub std_dev: f64,
+}
+
+impl DegreeStats {
+    /// Computes the stats; `n = 0` yields all-zero stats.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.n();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut sum_sq = 0f64;
+        for v in g.nodes() {
+            let d = g.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            sum_sq += (d * d) as f64;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+        DegreeStats {
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Ratio `min / mean` — the empirical `α` of the paper's degree
+    /// concentration assumption (0 if the graph has no edges).
+    pub fn alpha(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.min as f64 / self.mean
+        } else {
+            0.0
+        }
+    }
+
+    /// Ratio `max / mean` — the empirical `β`.
+    pub fn beta(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max as f64 / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnp::sample_gnp;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn stats_of_cycle() {
+        let s = DegreeStats::of(&Graph::cycle(10));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.std_dev < 1e-12);
+        assert!((s.alpha() - 1.0).abs() < 1e-12);
+        assert!((s.beta() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let s = DegreeStats::of(&Graph::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = DegreeStats::of(&Graph::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.alpha(), 0.0);
+        let s2 = DegreeStats::of(&Graph::empty(4));
+        assert_eq!(s2.mean, 0.0);
+    }
+
+    #[test]
+    fn gnp_degree_concentration() {
+        // For d = pn = 50 and n = 5000, degrees concentrate around 50.
+        let mut rng = Xoshiro256pp::new(31);
+        let g = sample_gnp(5000, 0.01, &mut rng);
+        let s = DegreeStats::of(&g);
+        assert!((s.mean - 50.0).abs() < 3.0, "mean {}", s.mean);
+        assert!(s.alpha() > 0.3, "alpha {}", s.alpha());
+        assert!(s.beta() < 2.0, "beta {}", s.beta());
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = Graph::star(7);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+        assert_eq!(h[1], 6);
+        assert_eq!(h[6], 1);
+    }
+
+    #[test]
+    fn histogram_empty_graph() {
+        assert_eq!(degree_histogram(&Graph::empty(3)), vec![3]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Graph diameter: exact computation and fast bounds.
+//!
+//! The paper's bounds are phrased against the diameter
+//! `D ≈ ln n / ln d` of `G(n, p)`.  Exact all-pairs BFS is `O(nm)` and fine
+//! for experiment-scale graphs only in validation mode, so the sweep drivers
+//! use the double-sweep lower bound plus source eccentricity, which is exact
+//! on trees and empirically tight on random graphs.
+
+use crate::bfs::{bfs_distances, UNREACHABLE};
+use crate::csr::{Graph, NodeId};
+
+/// Eccentricity of `v`: max distance to any reachable node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter of the (assumed connected) graph by all-pairs BFS.
+///
+/// Returns `None` if the graph is disconnected or empty. `O(n · m)` — use
+/// only on small instances or in tests.
+pub fn exact_diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0u32;
+    for v in g.nodes() {
+        let dist = bfs_distances(g, v);
+        let mut max = 0;
+        for &d in &dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            max = max.max(d);
+        }
+        best = best.max(max);
+    }
+    Some(best)
+}
+
+/// Double-sweep diameter estimate: BFS from `start`, then BFS from the
+/// farthest node found.  Lower-bounds the true diameter; exact on trees.
+///
+/// Returns `None` on an empty graph.  Disconnected graphs return the
+/// estimate within `start`'s component.
+pub fn double_sweep_diameter(g: &Graph, start: NodeId) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as NodeId)?;
+    let d2 = bfs_distances(g, far);
+    d2.into_iter().filter(|&d| d != UNREACHABLE).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnp::sample_gnp;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn path_diameter() {
+        let g = Graph::path(6);
+        assert_eq!(exact_diameter(&g), Some(5));
+        assert_eq!(double_sweep_diameter(&g, 2), Some(5));
+        assert_eq!(eccentricity(&g, 2), 3);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(exact_diameter(&Graph::cycle(8)), Some(4));
+        assert_eq!(exact_diameter(&Graph::cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn complete_diameter() {
+        assert_eq!(exact_diameter(&Graph::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(exact_diameter(&g), None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(exact_diameter(&Graph::empty(0)), None);
+        assert_eq!(double_sweep_diameter(&Graph::empty(0), 0), None);
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_exact() {
+        let mut rng = Xoshiro256pp::new(77);
+        for seed in 0..5u64 {
+            let mut r = Xoshiro256pp::new(seed);
+            let g = sample_gnp(200, 0.03, &mut r);
+            if let Some(exact) = exact_diameter(&g) {
+                let est = double_sweep_diameter(&g, (rng.below(200)) as NodeId).unwrap();
+                assert!(est <= exact);
+                // On random graphs the double sweep is usually exact; allow
+                // slack of 1.
+                assert!(est + 1 >= exact, "est {est}, exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::empty(1);
+        assert_eq!(exact_diameter(&g), Some(0));
+        assert_eq!(double_sweep_diameter(&g, 0), Some(0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Random geometric graphs (extension substrate).
+//!
+//! The paper's open-problems section points at radio networks whose topology
+//! reflects physical proximity; the standard abstraction is the random
+//! geometric graph `RGG(n, r)`: `n` points uniform in the unit square, an
+//! edge whenever two points are within Euclidean distance `r`.  The
+//! comparison experiments use it to contrast the `G(n,p)` results with a
+//! spatially-correlated topology.
+//!
+//! Neighbor finding uses a uniform grid of cell width `r`, so construction is
+//! expected `O(n + m)`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::rng::Xoshiro256pp;
+
+/// A sampled geometric graph together with its point coordinates.
+#[derive(Debug, Clone)]
+pub struct GeometricGraph {
+    /// The connectivity graph.
+    pub graph: Graph,
+    /// `(x, y)` coordinates of each node in the unit square.
+    pub points: Vec<(f64, f64)>,
+    /// The connection radius used.
+    pub radius: f64,
+}
+
+/// Samples `RGG(n, r)`: `n` uniform points in `[0,1]²`, edges within
+/// distance `r`.
+pub fn sample_rgg(n: usize, radius: f64, rng: &mut Xoshiro256pp) -> GeometricGraph {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    assert!(n <= NodeId::MAX as usize);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+    let graph = graph_from_points(&points, radius);
+    GeometricGraph {
+        graph,
+        points,
+        radius,
+    }
+}
+
+/// The radius for which `RGG(n, r)` has expected average degree ≈ `d`
+/// (ignoring boundary effects): `πr²·n = d`.
+pub fn radius_for_average_degree(n: usize, d: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    (d / (std::f64::consts::PI * n as f64)).sqrt()
+}
+
+/// Builds the distance-`r` graph over explicit points via grid hashing.
+pub fn graph_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
+    let n = points.len();
+    if n == 0 || radius <= 0.0 {
+        return Graph::empty(n);
+    }
+    let cell = radius.max(1e-9);
+    let cells_per_side = (1.0 / cell).ceil().max(1.0) as i64;
+    let cell_of = |x: f64| -> i64 { ((x / cell) as i64).clamp(0, cells_per_side - 1) };
+
+    // Bucket points by cell.
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<NodeId>> =
+        std::collections::HashMap::new();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        buckets
+            .entry((cell_of(x), cell_of(y)))
+            .or_default()
+            .push(i as NodeId);
+    }
+
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (&(cx, cy), members) in &buckets {
+        // Within-cell pairs.
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                if dist2(points[u as usize], points[v as usize]) <= r2 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        // Pairs with the 4 "forward" neighbor cells (each unordered cell
+        // pair visited once).
+        for (dx, dy) in [(1, 0), (-1, 1), (0, 1), (1, 1)] {
+            if let Some(other) = buckets.get(&(cx + dx, cy + dy)) {
+                for &u in members {
+                    for &v in other {
+                        if dist2(points[u as usize], points[v as usize]) <= r2 {
+                            b.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[inline]
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference construction.
+    fn reference(points: &[(f64, f64)], r: f64) -> Graph {
+        let n = points.len();
+        let r2 = r * r;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if dist2(points[u], points[v]) <= r2 {
+                    b.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn grid_matches_bruteforce() {
+        let mut rng = Xoshiro256pp::new(17);
+        for &r in &[0.05, 0.15, 0.4, 1.5] {
+            let points: Vec<(f64, f64)> =
+                (0..300).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+            let fast = graph_from_points(&points, r);
+            let slow = reference(&points, r);
+            assert_eq!(fast, slow, "mismatch at r = {r}");
+        }
+    }
+
+    #[test]
+    fn zero_radius_no_edges() {
+        let mut rng = Xoshiro256pp::new(1);
+        let g = sample_rgg(50, 0.0, &mut rng);
+        assert_eq!(g.graph.m(), 0);
+    }
+
+    #[test]
+    fn huge_radius_complete() {
+        let mut rng = Xoshiro256pp::new(2);
+        let g = sample_rgg(20, 2.0, &mut rng); // diag of unit square < 2
+        assert_eq!(g.graph.m(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn average_degree_parameterization_rough() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 5000;
+        let d = 30.0;
+        let r = radius_for_average_degree(n, d);
+        let g = sample_rgg(n, r, &mut rng);
+        // Boundary effects reduce the realized degree; allow a wide band.
+        let avg = g.graph.average_degree();
+        assert!(avg > 0.6 * d && avg < 1.1 * d, "avg {avg} for target {d}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(graph_from_points(&[], 0.5).n(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = sample_rgg(200, 0.1, &mut Xoshiro256pp::new(4));
+        let b = sample_rgg(200, 0.1, &mut Xoshiro256pp::new(4));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.points, b.points);
+    }
+}

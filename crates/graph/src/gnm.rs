@@ -1,0 +1,194 @@
+//! Sampling uniform Erdős–Rényi graphs `G(n, m)`.
+//!
+//! The paper's results are stated for the Gilbert model `G(n, p)` but noted
+//! to hold for the original Erdős–Rényi model as well: a uniformly random
+//! graph with exactly `m` edges.  [`sample_gnm`] draws `m` distinct unordered
+//! pairs uniformly without replacement.
+//!
+//! Two regimes:
+//! * `m` small relative to `C(n,2)`: rejection sampling against a hash set
+//!   (expected `O(m)`);
+//! * `m` close to `C(n,2)`: a partial Fisher–Yates over the implicit pair
+//!   universe using a sparse map, which stays `O(m)` regardless of density.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::rng::Xoshiro256pp;
+
+/// Maps a linear index `k ∈ [0, C(n,2))` to the `k`-th unordered pair in
+/// colexicographic order: pairs `(u, v)` with `u < v` ordered by `v`, then `u`.
+#[inline]
+fn unrank_pair(k: u64) -> (NodeId, NodeId) {
+    // v is the largest integer with C(v,2) <= k, i.e. v = floor((1+sqrt(1+8k))/2).
+    let vf = (1.0 + (1.0 + 8.0 * k as f64).sqrt()) / 2.0;
+    let mut v = vf as u64;
+    // Float guard: correct v by at most one in each direction.
+    while v * (v - 1) / 2 > k {
+        v -= 1;
+    }
+    while (v + 1) * v / 2 <= k {
+        v += 1;
+    }
+    let u = k - v * (v - 1) / 2;
+    (u as NodeId, v as NodeId)
+}
+
+/// Total number of unordered pairs on `n` nodes.
+#[inline]
+fn pair_count(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n - 1) / 2
+}
+
+/// Samples a uniformly random graph with exactly `m` distinct edges.
+///
+/// Panics if `m > C(n, 2)`.
+pub fn sample_gnm(n: usize, m: usize, rng: &mut Xoshiro256pp) -> Graph {
+    assert!(n <= NodeId::MAX as usize, "n too large for u32 node ids");
+    let total = if n < 2 { 0 } else { pair_count(n) };
+    assert!(
+        m as u64 <= total,
+        "m = {m} exceeds C({n}, 2) = {total}"
+    );
+    if m == 0 {
+        return Graph::empty(n);
+    }
+    if (m as u64) * 2 <= total {
+        sample_gnm_rejection(n, m, rng)
+    } else {
+        sample_gnm_fisher_yates(n, m, total, rng)
+    }
+}
+
+fn sample_gnm_rejection(n: usize, m: usize, rng: &mut Xoshiro256pp) -> Graph {
+    let total = pair_count(n);
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    while chosen.len() < m {
+        let k = rng.below(total);
+        if chosen.insert(k) {
+            let (u, v) = unrank_pair(k);
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Partial Fisher–Yates on the implicit array `[0, total)` with a sparse
+/// displacement map: uniform without replacement in `O(m)` even when `m` is
+/// a large fraction of `total`.
+fn sample_gnm_fisher_yates(n: usize, m: usize, total: u64, rng: &mut Xoshiro256pp) -> Graph {
+    let mut moved: HashMap<u64, u64> = HashMap::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    for i in 0..m as u64 {
+        let j = i + rng.below(total - i);
+        let picked = *moved.get(&j).unwrap_or(&j);
+        let displaced = *moved.get(&i).unwrap_or(&i);
+        moved.insert(j, displaced);
+        let (u, v) = unrank_pair(picked);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrank_enumerates_all_pairs() {
+        let n = 20;
+        let mut seen = HashSet::new();
+        for k in 0..pair_count(n) {
+            let (u, v) = unrank_pair(k);
+            assert!(u < v, "({u},{v}) not canonical");
+            assert!((v as usize) < n);
+            assert!(seen.insert((u, v)), "duplicate pair for k = {k}");
+        }
+        assert_eq!(seen.len() as u64, pair_count(n));
+    }
+
+    #[test]
+    fn unrank_first_values() {
+        assert_eq!(unrank_pair(0), (0, 1));
+        assert_eq!(unrank_pair(1), (0, 2));
+        assert_eq!(unrank_pair(2), (1, 2));
+        assert_eq!(unrank_pair(3), (0, 3));
+    }
+
+    #[test]
+    fn exact_edge_count_sparse() {
+        let mut rng = Xoshiro256pp::new(1);
+        let g = sample_gnm(1000, 5000, &mut rng);
+        assert_eq!(g.m(), 5000);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn exact_edge_count_dense() {
+        let mut rng = Xoshiro256pp::new(2);
+        let n = 60;
+        let total = pair_count(n) as usize;
+        let m = total - 10; // forces the Fisher–Yates path
+        let g = sample_gnm(n, m, &mut rng);
+        assert_eq!(g.m(), m);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn full_graph() {
+        let mut rng = Xoshiro256pp::new(3);
+        let n = 25;
+        let g = sample_gnm(n, pair_count(n) as usize, &mut rng);
+        assert_eq!(g.m(), pair_count(n) as usize);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), n - 1);
+        }
+    }
+
+    #[test]
+    fn zero_edges() {
+        let mut rng = Xoshiro256pp::new(4);
+        let g = sample_gnm(10, 0, &mut rng);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn uniformity_of_single_edge() {
+        // With m = 1, every pair should be equally likely.
+        let mut rng = Xoshiro256pp::new(5);
+        let n = 5;
+        let total = pair_count(n) as usize;
+        let trials = 20_000;
+        let mut counts = vec![0usize; total];
+        for _ in 0..trials {
+            let g = sample_gnm(n, 1, &mut rng);
+            let (u, v) = g.edges().next().unwrap();
+            let k = (v as u64) * (v as u64 - 1) / 2 + u as u64;
+            counts[k as usize] += 1;
+        }
+        let expected = trials as f64 / total as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.2,
+                "pair {k}: count {c}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let ga = sample_gnm(500, 2000, &mut Xoshiro256pp::new(6));
+        let gb = sample_gnm(500, 2000, &mut Xoshiro256pp::new(6));
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_edges_panics() {
+        let mut rng = Xoshiro256pp::new(7);
+        let _ = sample_gnm(4, 7, &mut rng);
+    }
+}

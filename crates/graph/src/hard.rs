@@ -1,0 +1,179 @@
+//! Hard / structured topologies for worst-case contrast.
+//!
+//! The paper's framing is that almost all prior radio-broadcast work
+//! targets **worst-case** topologies (§1.2); its contribution is that
+//! *random* graphs are dramatically easier.  To show the contrast in
+//! experiment `E-WC`, this module builds the classic structured instances
+//! on which collision resolution is genuinely expensive:
+//!
+//! * [`clique_chain`] — a path of `k`-cliques joined by cut vertices: the
+//!   message must cross every clique, and inside a clique every informed
+//!   member competes to talk to the next cut vertex, costing `Θ(log k)`
+//!   per hop for Decay-style protocols and stalling flooding immediately;
+//! * [`layered_expander`] — `L` layers of width `w` with dense random
+//!   inter-layer bipartite edges: high multi-parent counts defeat the
+//!   tree-like-layer property that makes `G(n,p)` easy (Lemma 3 fails by
+//!   construction);
+//! * [`barbell`] — two cliques joined by a long path: mixes both failure
+//!   modes and exercises protocols across heterogeneous densities.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::rng::Xoshiro256pp;
+
+/// A chain of `cliques` cliques of size `k ≥ 2`, consecutive cliques
+/// sharing one cut vertex.  `n = cliques·(k − 1) + 1`.
+pub fn clique_chain(cliques: usize, k: usize) -> Graph {
+    assert!(cliques >= 1 && k >= 2, "need ≥ 1 cliques of size ≥ 2");
+    let n = cliques * (k - 1) + 1;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * (k - 1);
+        // Clique on nodes base..=base+k-1 (last node is the next cut).
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.add_edge((base + i) as NodeId, (base + j) as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `layers` layers of `width` nodes plus a source; every consecutive layer
+/// pair is connected by a random bipartite graph of edge probability
+/// `inter_p` (each node guaranteed ≥ 1 forward edge so the instance is
+/// connected).
+pub fn layered_expander(
+    layers: usize,
+    width: usize,
+    inter_p: f64,
+    rng: &mut Xoshiro256pp,
+) -> Graph {
+    assert!(layers >= 1 && width >= 1);
+    assert!((0.0..=1.0).contains(&inter_p));
+    let n = 1 + layers * width;
+    let mut b = GraphBuilder::new(n);
+    let node = |layer: usize, i: usize| -> NodeId { (1 + (layer - 1) * width + i) as NodeId };
+    // Source to layer 1: complete (the source is a broadcast antenna).
+    for i in 0..width {
+        b.add_edge(0, node(1, i));
+    }
+    for l in 1..layers {
+        let mut covered_next = vec![false; width];
+        for i in 0..width {
+            let mut any = false;
+            for (j, covered) in covered_next.iter_mut().enumerate() {
+                if rng.coin(inter_p) {
+                    b.add_edge(node(l, i), node(l + 1, j));
+                    *covered = true;
+                    any = true;
+                }
+            }
+            if !any {
+                let j = rng.below(width as u64) as usize;
+                b.add_edge(node(l, i), node(l + 1, j));
+                covered_next[j] = true;
+            }
+        }
+        // Connectivity also needs every next-layer node to have a parent.
+        for (j, &covered) in covered_next.iter().enumerate() {
+            if !covered {
+                let i = rng.below(width as u64) as usize;
+                b.add_edge(node(l, i), node(l + 1, j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two `k`-cliques joined by a path of `bridge` nodes.
+/// `n = 2k + bridge`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 2);
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    // Left clique: 0..k. Right clique: k+bridge..n.
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i as NodeId, j as NodeId);
+            b.add_edge((k + bridge + i) as NodeId, (k + bridge + j) as NodeId);
+        }
+    }
+    // Bridge path, attached to node k−1 on the left and k+bridge on the
+    // right.
+    let mut prev = (k - 1) as NodeId;
+    for step in 0..bridge {
+        let cur = (k + step) as NodeId;
+        b.add_edge(prev, cur);
+        prev = cur;
+    }
+    b.add_edge(prev, (k + bridge) as NodeId);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::diameter::exact_diameter;
+
+    #[test]
+    fn clique_chain_shape() {
+        let g = clique_chain(3, 4);
+        assert_eq!(g.n(), 3 * 3 + 1);
+        assert!(is_connected(&g));
+        // Cut vertices have degree 2(k−1); interior clique members k−1.
+        assert_eq!(g.degree(3), 6);
+        assert_eq!(g.degree(1), 3);
+        // Diameter = number of cliques (one hop per clique... actually 2
+        // hops per clique interiors): endpoints are interior members.
+        let d = exact_diameter(&g).unwrap();
+        assert!(d >= 3 && d <= 2 * 3, "diameter {d}");
+    }
+
+    #[test]
+    fn clique_chain_single_clique_is_complete() {
+        let g = clique_chain(1, 5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 10);
+    }
+
+    #[test]
+    fn layered_expander_connected_and_layered() {
+        let mut rng = Xoshiro256pp::new(1);
+        let g = layered_expander(6, 20, 0.4, &mut rng);
+        assert_eq!(g.n(), 1 + 6 * 20);
+        assert!(is_connected(&g));
+        // BFS layers from the source match the construction layers.
+        let l = crate::bfs::Layering::new(&g, 0);
+        assert_eq!(l.num_layers(), 7);
+        for i in 1..=6 {
+            assert_eq!(l.layer(i).len(), 20, "layer {i}");
+        }
+    }
+
+    #[test]
+    fn layered_expander_min_degree_guarantee() {
+        // Even with p = 0, the fallback edge keeps it connected.
+        let mut rng = Xoshiro256pp::new(2);
+        let g = layered_expander(4, 10, 0.0, &mut rng);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(5, 3);
+        assert_eq!(g.n(), 13);
+        assert!(is_connected(&g));
+        let d = exact_diameter(&g).unwrap();
+        // Across: interior → cut(1) + bridge(4 hops) + cut → interior(1).
+        assert_eq!(d, 6);
+    }
+
+    #[test]
+    fn barbell_no_bridge() {
+        let g = barbell(3, 0);
+        assert_eq!(g.n(), 6);
+        assert!(is_connected(&g));
+    }
+}

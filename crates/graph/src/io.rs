@@ -1,0 +1,227 @@
+//! Edge-list graph I/O.
+//!
+//! So the CLI (and downstream users) can run the paper's algorithms on real
+//! topologies, graphs round-trip through a plain edge-list text format:
+//!
+//! ```text
+//! # comment lines start with '#' (or '%', as in some public datasets)
+//! <n>
+//! <u> <v>
+//! <u> <v>
+//! …
+//! ```
+//!
+//! The leading `<n>` line is optional; without it the node count is
+//! `max id + 1`.  Self-loops and duplicate edges are dropped (the [`Graph`]
+//! invariant), whitespace is flexible, and ids must fit `u32`.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::csr::{Graph, NodeId};
+
+/// Error from [`read_edge_list`] / [`load_edge_list`].
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Unparseable content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, IoError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut saw_edge = false;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let first = parts.next().unwrap();
+        match parts.next() {
+            None => {
+                // A lone number: node-count header (only before any edge).
+                if saw_edge || declared_n.is_some() {
+                    return Err(IoError::Parse {
+                        line: lineno,
+                        message: "unexpected single token after edges/header".into(),
+                    });
+                }
+                let n: usize = first.parse().map_err(|_| IoError::Parse {
+                    line: lineno,
+                    message: format!("bad node count {first:?}"),
+                })?;
+                declared_n = Some(n);
+            }
+            Some(second) => {
+                if parts.next().is_some() {
+                    return Err(IoError::Parse {
+                        line: lineno,
+                        message: "expected exactly two node ids".into(),
+                    });
+                }
+                let u: u64 = first.parse().map_err(|_| IoError::Parse {
+                    line: lineno,
+                    message: format!("bad node id {first:?}"),
+                })?;
+                let v: u64 = second.parse().map_err(|_| IoError::Parse {
+                    line: lineno,
+                    message: format!("bad node id {second:?}"),
+                })?;
+                if u > NodeId::MAX as u64 || v > NodeId::MAX as u64 {
+                    return Err(IoError::Parse {
+                        line: lineno,
+                        message: "node id exceeds u32".into(),
+                    });
+                }
+                max_id = max_id.max(u).max(v);
+                edges.push((u as NodeId, v as NodeId));
+                saw_edge = true;
+            }
+        }
+    }
+
+    let inferred = if saw_edge { max_id as usize + 1 } else { 0 };
+    let n = match declared_n {
+        Some(n) if n < inferred => {
+            return Err(IoError::Parse {
+                line: 0,
+                message: format!("declared n = {n} but edges reference node {max_id}"),
+            })
+        }
+        Some(n) => n,
+        None => inferred,
+    };
+    Ok(Graph::from_edges(n, edges))
+}
+
+/// Loads an edge-list file.
+pub fn load_edge_list(path: &Path) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Writes `g` as an edge list (with an `n` header) to a writer.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# radio-rs edge list: n = {}, m = {}", g.n(), g.m())?;
+    writeln!(writer, "{}", g.n())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Saves `g` as an edge-list file.
+pub fn save_edge_list(g: &Graph, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnp::sample_gnp;
+    use crate::rng::Xoshiro256pp;
+
+    fn parse(s: &str) -> Result<Graph, IoError> {
+        read_edge_list(std::io::Cursor::new(s))
+    }
+
+    #[test]
+    fn basic_parse_with_header() {
+        let g = parse("# comment\n5\n0 1\n1 2\n").unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn parse_without_header_infers_n() {
+        let g = parse("0 1\n3 4\n").unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let g = parse("% matrix-market-ish comment\n\n# another\n0 1\n").unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn duplicate_and_loop_edges_dropped() {
+        let g = parse("0 1\n1 0\n2 2\n").unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(parse("0 x\n").is_err());
+        assert!(parse("1 2 3\n").is_err());
+        assert!(parse("3\n0 5\n").is_err()); // declared n too small
+        assert!(parse("0 1\n7\n").is_err()); // header after edges
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse("").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let mut rng = Xoshiro256pp::new(9);
+        let g = sample_gnp(300, 0.05, &mut rng);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = Xoshiro256pp::new(10);
+        let g = sample_gnp(100, 0.1, &mut rng);
+        let dir = std::env::temp_dir().join("radio-rs-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_edge_list(Path::new("/nonexistent/xyz.edges")).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Structural statistics of BFS layers (Lemma 3 machinery).
+//!
+//! Lemma 3 of the paper states that for layers at distance `i ≤ D − c` from
+//! the source, the subgraph induced on `T_i(u) ∪ T_{i−1}(u)` is nearly a
+//! tree: at most `O(|T_i|/(pn)²)` nodes of `T_i` have more than one parent
+//! (joint neighbor) in `T_{i−1}`, intra-layer edges are rare, and
+//! single-parent nodes group into parent-sharing classes of size `O(pn)`
+//! that do not interfere with each other.  This is exactly what makes the
+//! parity-flooding phase of the centralized algorithm work.
+//!
+//! [`analyze_layers`] measures all of these quantities on a concrete
+//! instance; experiment `E-L3` tabulates them against the lemma's bounds.
+
+use crate::bfs::Layering;
+use crate::csr::{Graph, NodeId};
+
+/// Structural measurements of one BFS layer `T_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// Layer index `i`.
+    pub index: usize,
+    /// `|T_i|`.
+    pub size: usize,
+    /// Number of edges with both endpoints inside `T_i`.
+    pub intra_edges: usize,
+    /// Nodes of `T_i` with two or more neighbors ("parents") in `T_{i−1}`.
+    pub multi_parent_nodes: usize,
+    /// Mean number of parents over nodes of `T_i` (0 for the root layer).
+    pub mean_parents: f64,
+    /// Largest number of `T_i`-children any single node of `T_{i−1}` has.
+    pub max_children_per_parent: usize,
+    /// Number of nodes in `T_i` whose *sole* parent is shared with at least
+    /// one other sole-parent node (the grouped nodes of Lemma 3).
+    pub grouped_single_parent_nodes: usize,
+}
+
+impl LayerStats {
+    /// Fraction of the layer with multiple parents — Lemma 3 bounds this by
+    /// `O(1/d²)` for non-final layers.
+    pub fn multi_parent_fraction(&self) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            self.multi_parent_nodes as f64 / self.size as f64
+        }
+    }
+
+    /// Intra-layer edges per node — Lemma 3 bounds this by `O(1/d³)` for
+    /// small layers.
+    pub fn intra_edge_density(&self) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            self.intra_edges as f64 / self.size as f64
+        }
+    }
+}
+
+/// Computes [`LayerStats`] for every layer of `layering`.
+pub fn analyze_layers(g: &Graph, layering: &Layering) -> Vec<LayerStats> {
+    let mut out = Vec::with_capacity(layering.num_layers());
+    // children_count is reused across layers; indexed by node id.
+    let mut children_count = vec![0u32; g.n()];
+    for (i, nodes) in layering.layers() {
+        let mut intra_edges = 0usize;
+        let mut multi_parent = 0usize;
+        let mut total_parents = 0usize;
+        let mut grouped_single = 0usize;
+
+        // First pass: count parents per node and children per parent.
+        let mut touched_parents: Vec<NodeId> = Vec::new();
+        // For grouping we track, per parent, how many sole-parent children
+        // it has; second pass below.
+        let mut sole_children = std::collections::HashMap::<NodeId, u32>::new();
+
+        for &v in nodes {
+            let mut parents = 0usize;
+            let mut sole_parent: Option<NodeId> = None;
+            for &w in g.neighbors(v) {
+                match layering.distance(w) {
+                    Some(dw) if i > 0 && dw as usize == i - 1 => {
+                        parents += 1;
+                        sole_parent = Some(w);
+                        if children_count[w as usize] == 0 {
+                            touched_parents.push(w);
+                        }
+                        children_count[w as usize] += 1;
+                    }
+                    Some(dw) if dw as usize == i && w > v => {
+                        intra_edges += 1;
+                    }
+                    _ => {}
+                }
+            }
+            total_parents += parents;
+            if parents >= 2 {
+                multi_parent += 1;
+            } else if parents == 1 {
+                *sole_children.entry(sole_parent.unwrap()).or_insert(0) += 1;
+            }
+        }
+
+        for (_, &count) in sole_children.iter() {
+            if count >= 2 {
+                grouped_single += count as usize;
+            }
+        }
+
+        let max_children = touched_parents
+            .iter()
+            .map(|&w| children_count[w as usize] as usize)
+            .max()
+            .unwrap_or(0);
+        // Reset scratch.
+        for &w in &touched_parents {
+            children_count[w as usize] = 0;
+        }
+
+        out.push(LayerStats {
+            index: i,
+            size: nodes.len(),
+            intra_edges,
+            multi_parent_nodes: multi_parent,
+            mean_parents: if nodes.is_empty() || i == 0 {
+                0.0
+            } else {
+                total_parents as f64 / nodes.len() as f64
+            },
+            max_children_per_parent: max_children,
+            grouped_single_parent_nodes: grouped_single,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnp::sample_gnp;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn path_layers_are_trees() {
+        let g = Graph::path(5);
+        let l = Layering::new(&g, 0);
+        let stats = analyze_layers(&g, &l);
+        assert_eq!(stats.len(), 5);
+        for s in &stats {
+            assert_eq!(s.size, 1);
+            assert_eq!(s.intra_edges, 0);
+            assert_eq!(s.multi_parent_nodes, 0);
+        }
+        assert_eq!(stats[1].mean_parents, 1.0);
+        assert_eq!(stats[0].mean_parents, 0.0);
+    }
+
+    #[test]
+    fn diamond_has_multi_parent() {
+        // 0 — 1, 0 — 2, 1 — 3, 2 — 3: node 3 has two parents.
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let l = Layering::new(&g, 0);
+        let stats = analyze_layers(&g, &l);
+        assert_eq!(stats[2].multi_parent_nodes, 1);
+        assert_eq!(stats[2].multi_parent_fraction(), 1.0);
+        assert_eq!(stats[1].intra_edges, 0);
+    }
+
+    #[test]
+    fn intra_layer_edge_counted_once() {
+        // Triangle from source: 0 — 1, 0 — 2, 1 — 2: layer 1 = {1, 2} with
+        // one intra edge.
+        let g = Graph::from_edges(3, vec![(0, 1), (0, 2), (1, 2)]);
+        let l = Layering::new(&g, 0);
+        let stats = analyze_layers(&g, &l);
+        assert_eq!(stats[1].intra_edges, 1);
+        assert!((stats[1].intra_edge_density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_children_grouping() {
+        // Star: layer 1 has 5 sole-parent children of node 0 → all grouped.
+        let g = Graph::star(6);
+        let l = Layering::new(&g, 0);
+        let stats = analyze_layers(&g, &l);
+        assert_eq!(stats[1].grouped_single_parent_nodes, 5);
+        assert_eq!(stats[1].max_children_per_parent, 5);
+    }
+
+    #[test]
+    fn random_graph_early_layers_are_tree_like() {
+        // Lemma 3's qualitative claim: early layers of a sparse random
+        // graph have few multi-parent nodes.
+        let mut rng = Xoshiro256pp::new(71);
+        let n = 20_000;
+        let g = sample_gnp(n, 10.0 / n as f64, &mut rng);
+        let l = Layering::new(&g, 0);
+        let stats = analyze_layers(&g, &l);
+        // Check the first few expanding layers (sizes ≪ n/d).
+        for s in stats.iter().take(3).skip(1) {
+            if s.size >= 10 {
+                assert!(
+                    s.multi_parent_fraction() < 0.2,
+                    "layer {} multi-parent fraction {}",
+                    s.index,
+                    s.multi_parent_fraction()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_empty_layer_safe() {
+        let g = Graph::empty(3);
+        let l = Layering::new(&g, 0);
+        let stats = analyze_layers(&g, &l);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].size, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Random `d`-regular graphs via the configuration (pairing) model.
+//!
+//! Used by the comparison experiments as a bounded-degree contrast to
+//! `G(n, p)` — the related-work section of the paper (Feige et al.) analyzes
+//! rumor spreading on bounded-degree graphs, and regular graphs are the
+//! canonical instance.
+//!
+//! The sampler repeatedly draws a uniform perfect matching on `n·d`
+//! half-edge stubs and retries whenever the match contains a self-loop or a
+//! duplicate edge.  For fixed `d` the acceptance probability tends to
+//! `e^{(1−d²)/4} > 0`, so the expected number of restarts is `O(1)`; a retry
+//! cap guards pathological parameters.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+use crate::rng::Xoshiro256pp;
+
+/// Error from [`sample_regular`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegularError {
+    /// `n · d` must be even and `d < n`.
+    InvalidParameters {
+        /// Requested node count.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// Exceeded the retry budget without producing a simple graph.
+    RetriesExhausted {
+        /// Number of pairing attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for RegularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegularError::InvalidParameters { n, d } => {
+                write!(f, "invalid regular-graph parameters n = {n}, d = {d}")
+            }
+            RegularError::RetriesExhausted { attempts } => {
+                write!(f, "pairing model failed to produce a simple graph after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegularError {}
+
+/// Samples a uniform random simple `d`-regular graph on `n` nodes.
+///
+/// Requires `n·d` even and `d < n`.
+pub fn sample_regular(
+    n: usize,
+    d: usize,
+    rng: &mut Xoshiro256pp,
+) -> Result<Graph, RegularError> {
+    if n == 0 {
+        return Ok(Graph::empty(0));
+    }
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    if d >= n || (n * d) % 2 != 0 {
+        return Err(RegularError::InvalidParameters { n, d });
+    }
+    // Retry budget grows with d² (the loop/multi-edge rate does too).
+    let max_attempts = 100 + 10 * d * d;
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(n * d);
+    'attempt: for _ in 0..max_attempts {
+        stubs.clear();
+        for v in 0..n as NodeId {
+            for _ in 0..d {
+                stubs.push(v);
+            }
+        }
+        // Fisher–Yates shuffle, then pair consecutive stubs.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            stubs.swap(i, j);
+        }
+        let mut b = GraphBuilder::with_edge_capacity(n, n * d / 2);
+        let mut seen = std::collections::HashSet::with_capacity(n * d);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt; // self-loop
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert(key) {
+                continue 'attempt; // multi-edge
+            }
+            b.add_edge(u, v);
+        }
+        return Ok(b.build());
+    }
+    Err(RegularError::RetriesExhausted {
+        attempts: max_attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn degrees_are_exact() {
+        let mut rng = Xoshiro256pp::new(1);
+        let g = sample_regular(100, 4, &mut rng).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 200);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn three_regular_usually_connected() {
+        // Random 3-regular graphs are connected w.h.p.
+        let mut rng = Xoshiro256pp::new(2);
+        let connected = (0..10)
+            .filter(|_| is_connected(&sample_regular(200, 3, &mut rng).unwrap()))
+            .count();
+        assert!(connected >= 9, "only {connected}/10 connected");
+    }
+
+    #[test]
+    fn odd_nd_rejected() {
+        let mut rng = Xoshiro256pp::new(3);
+        assert!(matches!(
+            sample_regular(5, 3, &mut rng),
+            Err(RegularError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn d_ge_n_rejected() {
+        let mut rng = Xoshiro256pp::new(4);
+        assert!(sample_regular(4, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_degree_ok() {
+        let mut rng = Xoshiro256pp::new(5);
+        let g = sample_regular(10, 0, &mut rng).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn one_regular_is_perfect_matching() {
+        let mut rng = Xoshiro256pp::new(6);
+        let g = sample_regular(20, 1, &mut rng).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 1));
+        assert_eq!(g.m(), 10);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = sample_regular(50, 4, &mut Xoshiro256pp::new(7)).unwrap();
+        let b = sample_regular(50, 4, &mut Xoshiro256pp::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

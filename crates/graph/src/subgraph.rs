@@ -1,0 +1,125 @@
+//! Induced subgraphs with id remapping.
+//!
+//! Protocol runs operate on a contiguous id space, so extracting (say) the
+//! giant component requires relabelling nodes.  [`SubgraphMap`] records the
+//! correspondence in both directions.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, NodeId};
+
+/// Bidirectional mapping between subgraph and original node ids.
+#[derive(Debug, Clone)]
+pub struct SubgraphMap {
+    /// `to_original[sub_id]` = original id.
+    to_original: Vec<NodeId>,
+    /// `to_sub[orig_id]` = sub id + 1, or 0 if not in the subgraph.
+    to_sub: Vec<u32>,
+}
+
+impl SubgraphMap {
+    /// The empty mapping.
+    pub fn empty() -> Self {
+        SubgraphMap {
+            to_original: Vec::new(),
+            to_sub: Vec::new(),
+        }
+    }
+
+    /// Original id of subgraph node `v`.
+    #[inline]
+    pub fn to_original(&self, v: NodeId) -> NodeId {
+        self.to_original[v as usize]
+    }
+
+    /// Subgraph id of original node `v`, if it is in the subgraph.
+    #[inline]
+    pub fn to_sub(&self, v: NodeId) -> Option<NodeId> {
+        match self.to_sub.get(v as usize) {
+            Some(&x) if x != 0 => Some(x - 1),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn len(&self) -> usize {
+        self.to_original.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_original.is_empty()
+    }
+}
+
+/// The subgraph of `g` induced by `members`, with ids relabelled to
+/// `0..members.len()` in the order given.
+///
+/// `members` must not contain duplicates (panics in debug builds if it does).
+pub fn induced_subgraph(g: &Graph, members: &[NodeId]) -> (Graph, SubgraphMap) {
+    let mut to_sub = vec![0u32; g.n()];
+    for (i, &v) in members.iter().enumerate() {
+        debug_assert_eq!(to_sub[v as usize], 0, "duplicate member {v}");
+        to_sub[v as usize] = i as u32 + 1;
+    }
+    let mut b = GraphBuilder::new(members.len());
+    for (i, &v) in members.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            let sw = to_sub[w as usize];
+            if sw != 0 && (sw - 1) as usize > i {
+                b.add_edge(i as NodeId, sw - 1);
+            }
+        }
+    }
+    (
+        b.build(),
+        SubgraphMap {
+            to_original: members.to_vec(),
+            to_sub,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_triangle() {
+        // Square with one diagonal; induce on {0, 1, 2}.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 3); // triangle
+        assert_eq!(map.to_original(0), 0);
+        assert_eq!(map.to_sub(3), None);
+        assert_eq!(map.to_sub(2), Some(2));
+        assert_eq!(map.len(), 3);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn induced_preserves_only_internal_edges() {
+        let g = Graph::path(5);
+        let (sub, _) = induced_subgraph(&g, &[0, 2, 4]);
+        assert_eq!(sub.m(), 0);
+        let (sub2, _) = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(sub2.m(), 2);
+    }
+
+    #[test]
+    fn member_order_defines_ids() {
+        let g = Graph::path(4);
+        let (sub, map) = induced_subgraph(&g, &[3, 2]);
+        assert_eq!(map.to_original(0), 3);
+        assert_eq!(map.to_original(1), 2);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_members() {
+        let g = Graph::path(3);
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.n(), 0);
+        assert!(map.is_empty());
+    }
+}

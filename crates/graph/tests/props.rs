@@ -1,0 +1,197 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use radio_graph::bfs::{bfs_distances, Layering, UNREACHABLE};
+use radio_graph::bipartite::{is_independent_matching, minimal_cover_to_matching};
+use radio_graph::components::{connected_components, is_connected, DisjointSets};
+use radio_graph::diameter::{double_sweep_diameter, exact_diameter};
+use radio_graph::gnm::sample_gnm;
+use radio_graph::subgraph::induced_subgraph;
+use radio_graph::{Graph, NodeId, Xoshiro256pp};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..50).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..150)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_invariants_hold(g in arb_graph()) {
+        prop_assert!(g.check_invariants());
+        // Handshake lemma.
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        // edges() is consistent with has_edge.
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn from_edges_idempotent(g in arb_graph()) {
+        let rebuilt = Graph::from_edges(g.n(), g.edges());
+        prop_assert_eq!(&rebuilt, &g);
+    }
+
+    #[test]
+    fn bfs_satisfies_triangle_property(g in arb_graph(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let s = rng.below(g.n() as u64) as NodeId;
+        let dist = bfs_distances(&g, s);
+        prop_assert_eq!(dist[s as usize], 0);
+        // Edge relaxation: |d(u) − d(v)| ≤ 1 for every edge with both ends
+        // reachable.
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            prop_assert_eq!(du == UNREACHABLE, dv == UNREACHABLE);
+            if du != UNREACHABLE {
+                prop_assert!((i64::from(du) - i64::from(dv)).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn layering_partitions_reachable_set(g in arb_graph()) {
+        let l = Layering::new(&g, 0);
+        let total: usize = l.layers().map(|(_, ns)| ns.len()).sum();
+        prop_assert_eq!(total, l.reachable());
+        let reachable = bfs_distances(&g, 0)
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .count();
+        prop_assert_eq!(l.reachable(), reachable);
+    }
+
+    #[test]
+    fn components_agree_with_bfs(g in arb_graph()) {
+        let comps = connected_components(&g);
+        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), g.n());
+        // Two nodes in the same component iff mutually reachable by BFS.
+        let dist = bfs_distances(&g, 0);
+        for v in g.nodes() {
+            let same = comps.component_of[v as usize] == comps.component_of[0];
+            prop_assert_eq!(same, dist[v as usize] != UNREACHABLE);
+        }
+        prop_assert_eq!(is_connected(&g), comps.num_components <= 1);
+    }
+
+    #[test]
+    fn dsu_is_an_equivalence_relation(
+        n in 1usize..64,
+        unions in proptest::collection::vec((0u32..64, 0u32..64), 0..100),
+    ) {
+        let mut d = DisjointSets::new(n);
+        for (a, b) in unions {
+            let (a, b) = (a % n as u32, b % n as u32);
+            d.union(a, b);
+            // Symmetry + reflexivity.
+            prop_assert!(d.connected(a, b));
+            prop_assert!(d.connected(b, a));
+            prop_assert!(d.connected(a, a));
+        }
+        // Sizes of all sets sum to n.
+        let mut seen_roots = std::collections::HashMap::new();
+        for x in 0..n as u32 {
+            let r = d.find(x);
+            *seen_roots.entry(r).or_insert(0usize) += 1;
+        }
+        for (r, count) in seen_roots {
+            prop_assert_eq!(d.set_size(r), count);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let members: Vec<NodeId> = g.nodes().filter(|_| rng.coin(0.5)).collect();
+        let (sub, map) = induced_subgraph(&g, &members);
+        prop_assert_eq!(sub.n(), members.len());
+        // Every subgraph edge maps to an original edge, and vice versa.
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(map.to_original(a), map.to_original(b)));
+        }
+        for (i, &u) in members.iter().enumerate() {
+            for (j, &v) in members.iter().enumerate().skip(i + 1) {
+                prop_assert_eq!(
+                    g.has_edge(u, v),
+                    sub.has_edge(i as NodeId, j as NodeId)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_sweep_bounds_exact_diameter(g in arb_graph()) {
+        if let Some(exact) = exact_diameter(&g) {
+            let est = double_sweep_diameter(&g, 0).unwrap();
+            prop_assert!(est <= exact);
+            prop_assert!(2 * est >= exact, "double sweep is a 2-approximation");
+        }
+    }
+
+    #[test]
+    fn gnm_uniform_and_exact(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let total = n * (n - 1) / 2;
+        let m = rng.below(total as u64 + 1) as usize;
+        let g = sample_gnm(n, m, &mut rng);
+        prop_assert_eq!(g.m(), m);
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn proposition2_output_is_independent_matching(g in arb_graph(), seed in any::<u64>()) {
+        // Build a minimal covering greedily: if conversion succeeds it must
+        // yield an independent matching (Proposition 2).
+        let mut rng = Xoshiro256pp::new(seed);
+        let targets: Vec<NodeId> = g.nodes().filter(|_| rng.coin(0.3)).collect();
+        let candidates: Vec<NodeId> =
+            g.nodes().filter(|v| !targets.contains(v)).collect();
+        // Greedy minimal covering: add candidates that cover something new,
+        // then prune redundant ones.
+        let mut cover: Vec<NodeId> = Vec::new();
+        let covered = |cover: &[NodeId], y: NodeId| {
+            g.neighbors(y).iter().any(|w| cover.contains(w))
+        };
+        for &x in &candidates {
+            if targets
+                .iter()
+                .any(|&y| g.has_edge(x, y) && !covered(&cover, y))
+            {
+                cover.push(x);
+            }
+        }
+        let all_covered = targets.iter().all(|&y| covered(&cover, y));
+        if all_covered {
+            // Prune to minimality.
+            let mut i = 0;
+            while i < cover.len() {
+                let mut without = cover.clone();
+                without.remove(i);
+                if targets.iter().all(|&y| covered(&without, y)) {
+                    cover = without;
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(m) = minimal_cover_to_matching(&g, &cover, &targets) {
+                prop_assert_eq!(m.len(), cover.len());
+                prop_assert!(is_independent_matching(&g, &m));
+            } else {
+                // Conversion may fail only if some cover member lacks a
+                // private target — impossible for a minimal cover.
+                prop_assert!(
+                    false,
+                    "minimal cover {:?} of {:?} had no private targets",
+                    cover,
+                    targets
+                );
+            }
+        }
+    }
+}

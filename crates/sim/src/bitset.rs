@@ -1,0 +1,152 @@
+//! A fixed-size bitset, used as the rumor-knowledge row in gossiping runs.
+//!
+//! Gossiping (the all-to-all extension in the paper's open-problems
+//! section) needs per-node "which rumors do I know" sets with fast unions;
+//! `Vec<bool>` per node would be 8× larger and union-by-loop.  This is the
+//! minimal word-packed bitset that supports exactly what the gossip engine
+//! needs: set, get, union (reporting whether anything changed), popcount,
+//! and fullness.
+
+/// A fixed-capacity set of bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bitset of capacity `len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.  Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.  Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Unions `other` into `self`; returns `true` if any bit changed.
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        let mut changed = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let new = *w | o;
+            changed |= new != *w;
+            *w = new;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit in the capacity is set.
+    pub fn is_full(&self) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let (full_words, rem) = (self.len / 64, self.len % 64);
+        if self.words[..full_words].iter().any(|&w| w != u64::MAX) {
+            return false;
+        }
+        if rem == 0 {
+            true
+        } else {
+            self.words[full_words] == (1u64 << rem) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65) && !b.get(128));
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.len(), 130);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.set(3);
+        b.set(3);
+        assert!(!a.union_with(&b), "no new bits");
+        b.set(68);
+        assert!(a.union_with(&b));
+        assert!(a.get(68));
+        assert!(!a.union_with(&b), "idempotent");
+    }
+
+    #[test]
+    fn fullness_exact_boundary() {
+        for len in [1usize, 63, 64, 65, 128, 130] {
+            let mut b = BitSet::new(len);
+            for i in 0..len - 1 {
+                b.set(i);
+            }
+            assert!(!b.is_full(), "len {len} missing one bit");
+            b.set(len - 1);
+            assert!(b.is_full(), "len {len} all set");
+        }
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert!(b.is_full());
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_set_panics() {
+        let mut b = BitSet::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn union_length_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Protocol combinators.
+//!
+//! The paper's distributed algorithm is a time-staged composition (flood,
+//! then seed, then select); the lower-bound class is "any function of
+//! `(n, p, t)`".  These combinators make such compositions first-class so
+//! experiments can assemble protocol variants without writing new types:
+//!
+//! * [`Staged`] — protocol `A` for the first `T` rounds, then `B` (with
+//!   `B` seeing rounds re-based to 1, so stage protocols compose cleanly);
+//! * [`Named`] — relabel any protocol for experiment tables.
+
+use radio_graph::Xoshiro256pp;
+
+use crate::protocol::{LocalNode, Protocol};
+
+/// Runs `first` for rounds `1..=switch_round`, then `second` (which sees
+/// round numbers starting again from 1).
+#[derive(Debug, Clone)]
+pub struct Staged<A, B> {
+    first: A,
+    second: B,
+    switch_round: u32,
+}
+
+impl<A: Protocol, B: Protocol> Staged<A, B> {
+    /// Composes two protocols at a fixed switch round.
+    pub fn new(first: A, switch_round: u32, second: B) -> Self {
+        Staged {
+            first,
+            second,
+            switch_round,
+        }
+    }
+
+    /// The switch round.
+    pub fn switch_round(&self) -> u32 {
+        self.switch_round
+    }
+}
+
+impl<A: Protocol, B: Protocol> Protocol for Staged<A, B> {
+    fn name(&self) -> String {
+        format!(
+            "staged({} @{} {})",
+            self.first.name(),
+            self.switch_round,
+            self.second.name()
+        )
+    }
+
+    fn begin_run(&mut self, n: usize) {
+        self.first.begin_run(n);
+        self.second.begin_run(n);
+    }
+
+    fn transmits(&mut self, node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+        if node.round <= self.switch_round {
+            self.first.transmits(node, rng)
+        } else {
+            let rebased = LocalNode {
+                id: node.id,
+                informed_round: node.informed_round.min(node.round),
+                round: node.round - self.switch_round,
+            };
+            self.second.transmits(rebased, rng)
+        }
+    }
+}
+
+/// Relabels a protocol (for experiment tables).
+#[derive(Debug, Clone)]
+pub struct Named<P> {
+    inner: P,
+    name: String,
+}
+
+impl<P: Protocol> Named<P> {
+    /// Wraps `inner` with display name `name`.
+    pub fn new(name: impl Into<String>, inner: P) -> Self {
+        Named {
+            inner,
+            name: name.into(),
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Named<P> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn begin_run(&mut self, n: usize) {
+        self.inner.begin_run(n);
+    }
+
+    fn transmits(&mut self, node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+        self.inner.transmits(node, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_protocol, RunConfig};
+    use radio_graph::Graph;
+
+    /// Always transmit.
+    #[derive(Clone)]
+    struct Always;
+    impl Protocol for Always {
+        fn name(&self) -> String {
+            "always".into()
+        }
+        fn transmits(&mut self, _n: LocalNode, _r: &mut Xoshiro256pp) -> bool {
+            true
+        }
+    }
+
+    /// Never transmit.
+    #[derive(Clone)]
+    struct Never;
+    impl Protocol for Never {
+        fn name(&self) -> String {
+            "never".into()
+        }
+        fn transmits(&mut self, _n: LocalNode, _r: &mut Xoshiro256pp) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn staged_switches_behaviour() {
+        // Flood for 3 rounds, then go silent: on a path of 10 from node 0,
+        // exactly nodes 0..=3 end up informed.
+        let g = Graph::path(10);
+        let mut proto = Staged::new(Always, 3, Never);
+        let mut rng = Xoshiro256pp::new(1);
+        let cfg = RunConfig::for_graph(10).with_max_rounds(30);
+        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        assert!(!r.completed);
+        assert_eq!(r.informed, 4);
+    }
+
+    #[test]
+    fn staged_second_stage_sees_rebased_rounds() {
+        struct AssertRound;
+        impl Protocol for AssertRound {
+            fn name(&self) -> String {
+                "assert".into()
+            }
+            fn transmits(&mut self, n: LocalNode, _r: &mut Xoshiro256pp) -> bool {
+                assert!(n.round >= 1, "second stage must start at round 1");
+                true
+            }
+        }
+        let g = Graph::path(6);
+        let mut proto = Staged::new(Never, 2, AssertRound);
+        let mut rng = Xoshiro256pp::new(2);
+        let r = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(6), &mut rng);
+        assert!(r.completed);
+        // 2 silent rounds + 5 flood rounds.
+        assert_eq!(r.rounds, 7);
+    }
+
+    #[test]
+    fn named_renames_only() {
+        let mut a = Named::new("custom", Always);
+        assert_eq!(a.name(), "custom");
+        let g = Graph::path(4);
+        let mut rng = Xoshiro256pp::new(3);
+        let r = run_protocol(&g, 0, &mut a, RunConfig::for_graph(4), &mut rng);
+        assert!(r.completed);
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn staged_name_is_descriptive() {
+        let p = Staged::new(Always, 5, Never);
+        assert_eq!(p.name(), "staged(always @5 never)");
+    }
+}

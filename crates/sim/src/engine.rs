@@ -1,0 +1,337 @@
+//! The round engine: exact radio collision semantics.
+//!
+//! Implements the communication model of §1.1 of the paper.  In one
+//! synchronous step every node either transmits or listens; a listening node
+//! `w` receives the message iff **exactly one** of its neighbors transmits.
+//! Two or more transmitting neighbors collide at `w` and deliver nothing;
+//! a node that transmits in a step cannot receive in that step.
+//!
+//! [`RoundEngine`] keeps the per-node hit-count scratch buffer between
+//! rounds so a full broadcast run allocates O(n) once.
+
+use radio_graph::{Graph, NodeId};
+
+use crate::state::BroadcastState;
+
+/// What transmissions by uninformed nodes mean.
+///
+/// The standard model only lets informed nodes transmit usefully.  The
+/// lower-bound proofs of Theorems 6 and 8 analyze a *relaxed* model where a
+/// scheduled set transmits regardless of knowledge status (this only makes
+/// the adversary stronger, hence the lower bound stronger); the experiments
+/// for those theorems use [`TransmitterPolicy::Unrestricted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransmitterPolicy {
+    /// Uninformed transmitters are removed from the transmit set before the
+    /// round is evaluated (they have nothing to send, so they neither
+    /// deliver nor jam).
+    #[default]
+    InformedOnly,
+    /// Every scheduled transmitter participates and delivers the message —
+    /// the relaxed lower-bound model of Theorem 6's proof.
+    Unrestricted,
+}
+
+/// Statistics of a single executed round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundOutcome {
+    /// Number of nodes that actually transmitted.
+    pub transmitters: usize,
+    /// Nodes newly informed this round.
+    pub newly_informed: usize,
+    /// Uninformed listeners that heard ≥ 2 transmitters (collisions that
+    /// mattered).
+    pub collisions: usize,
+    /// Uninformed listeners in range of ≥ 1 transmitter (reached, whether
+    /// or not they could decode).
+    pub reached: usize,
+}
+
+/// Reusable round executor for one graph.
+#[derive(Debug)]
+pub struct RoundEngine<'g> {
+    graph: &'g Graph,
+    /// Scratch: number of transmitting neighbors per node this round.
+    hits: Vec<u32>,
+    /// Scratch: nodes whose `hits` entry is dirty.
+    touched: Vec<NodeId>,
+    /// Scratch: transmitter membership.
+    is_transmitter: Vec<bool>,
+    policy: TransmitterPolicy,
+}
+
+impl<'g> RoundEngine<'g> {
+    /// A new engine for `graph` with the default
+    /// [`TransmitterPolicy::InformedOnly`].
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_policy(graph, TransmitterPolicy::default())
+    }
+
+    /// A new engine with an explicit transmitter policy.
+    pub fn with_policy(graph: &'g Graph, policy: TransmitterPolicy) -> Self {
+        RoundEngine {
+            graph,
+            hits: vec![0; graph.n()],
+            touched: Vec::new(),
+            is_transmitter: vec![false; graph.n()],
+            policy,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The configured transmitter policy.
+    pub fn policy(&self) -> TransmitterPolicy {
+        self.policy
+    }
+
+    /// Executes one radio round: the nodes of `transmitters` transmit
+    /// simultaneously in round `round`, and `state` is updated with every
+    /// successful reception.
+    ///
+    /// Duplicate entries in `transmitters` are ignored.  Under
+    /// [`TransmitterPolicy::InformedOnly`], uninformed entries are skipped.
+    pub fn execute_round(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+    ) -> RoundOutcome {
+        self.execute_round_with(state, transmitters, round, || true)
+    }
+
+    /// Like [`RoundEngine::execute_round`], but each otherwise-successful
+    /// reception is independently *lost* with probability `loss_prob`
+    /// (fault-injection model: fading/noise on top of collisions).
+    ///
+    /// Lost receptions are counted in [`RoundOutcome::reached`] but not in
+    /// `newly_informed` or `collisions`.
+    pub fn execute_round_lossy(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+        loss_prob: f64,
+        rng: &mut radio_graph::Xoshiro256pp,
+    ) -> RoundOutcome {
+        debug_assert!((0.0..=1.0).contains(&loss_prob));
+        self.execute_round_with(state, transmitters, round, || !rng.coin(loss_prob))
+    }
+
+    /// Core round logic; `deliver` is consulted once per would-be-successful
+    /// reception and may veto it (fault injection).
+    fn execute_round_with(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+        mut deliver: impl FnMut() -> bool,
+    ) -> RoundOutcome {
+        debug_assert_eq!(state.n(), self.graph.n());
+        let mut outcome = RoundOutcome::default();
+
+        // Mark the effective transmitter set.
+        let mut active: Vec<NodeId> = Vec::with_capacity(transmitters.len());
+        for &t in transmitters {
+            if self.is_transmitter[t as usize] {
+                continue; // duplicate
+            }
+            if self.policy == TransmitterPolicy::InformedOnly && !state.is_informed(t) {
+                continue;
+            }
+            self.is_transmitter[t as usize] = true;
+            active.push(t);
+        }
+        outcome.transmitters = active.len();
+
+        // Count transmitting neighbors of every reached node.
+        for &t in &active {
+            for &w in self.graph.neighbors(t) {
+                if self.hits[w as usize] == 0 {
+                    self.touched.push(w);
+                }
+                self.hits[w as usize] += 1;
+            }
+        }
+
+        // Resolve receptions.
+        for i in 0..self.touched.len() {
+            let w = self.touched[i];
+            let h = self.hits[w as usize];
+            if self.is_transmitter[w as usize] {
+                continue; // transmitting, not listening
+            }
+            if !state.is_informed(w) {
+                outcome.reached += 1;
+                if h == 1 {
+                    if deliver() {
+                        state.inform(w, round);
+                        outcome.newly_informed += 1;
+                    }
+                } else {
+                    outcome.collisions += 1;
+                }
+            }
+        }
+
+        // Reset scratch.
+        for &w in &self.touched {
+            self.hits[w as usize] = 0;
+        }
+        self.touched.clear();
+        for &t in &active {
+            self.is_transmitter[t as usize] = false;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::Graph;
+
+    #[test]
+    fn single_transmitter_informs_neighbors() {
+        let g = Graph::star(5);
+        let mut st = BroadcastState::new(5, 0);
+        let mut eng = RoundEngine::new(&g);
+        let out = eng.execute_round(&mut st, &[0], 1);
+        assert_eq!(out.transmitters, 1);
+        assert_eq!(out.newly_informed, 4);
+        assert_eq!(out.collisions, 0);
+        assert!(st.is_complete());
+        assert_eq!(st.informed_round(3), Some(1));
+    }
+
+    #[test]
+    fn two_transmitters_collide() {
+        // 0 — 2, 1 — 2: both 0 and 1 transmit → 2 hears a collision.
+        let g = Graph::from_edges(3, vec![(0, 2), (1, 2)]);
+        let mut st = BroadcastState::new(3, 0);
+        st.inform(1, 0);
+        let mut eng = RoundEngine::new(&g);
+        let out = eng.execute_round(&mut st, &[0, 1], 1);
+        assert_eq!(out.newly_informed, 0);
+        assert_eq!(out.collisions, 1);
+        assert_eq!(out.reached, 1);
+        assert!(!st.is_informed(2));
+    }
+
+    #[test]
+    fn transmitter_does_not_receive() {
+        // 0 — 1; both informed? no: make 1 uninformed but transmitting
+        // under the unrestricted policy — it must not *receive* from 0.
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let mut st = BroadcastState::new(2, 0);
+        let mut eng = RoundEngine::with_policy(&g, TransmitterPolicy::Unrestricted);
+        let out = eng.execute_round(&mut st, &[0, 1], 1);
+        assert_eq!(out.newly_informed, 0);
+        assert!(!st.is_informed(1));
+        assert_eq!(out.transmitters, 2);
+    }
+
+    #[test]
+    fn informed_only_policy_filters() {
+        let g = Graph::path(3);
+        let mut st = BroadcastState::new(3, 0);
+        let mut eng = RoundEngine::new(&g);
+        // Node 2 is uninformed; scheduling it must be a no-op.
+        let out = eng.execute_round(&mut st, &[2], 1);
+        assert_eq!(out.transmitters, 0);
+        assert_eq!(out.newly_informed, 0);
+    }
+
+    #[test]
+    fn unrestricted_policy_lets_uninformed_deliver() {
+        let g = Graph::path(3);
+        let mut st = BroadcastState::new(3, 0);
+        let mut eng = RoundEngine::with_policy(&g, TransmitterPolicy::Unrestricted);
+        // Uninformed node 2 transmits; its neighbor 1 receives (relaxed
+        // lower-bound model).
+        let out = eng.execute_round(&mut st, &[2], 1);
+        assert_eq!(out.transmitters, 1);
+        assert_eq!(out.newly_informed, 1);
+        assert!(st.is_informed(1));
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = Graph::from_edges(3, vec![(0, 2), (1, 2)]);
+        let mut st = BroadcastState::new(3, 0);
+        let mut eng = RoundEngine::new(&g);
+        // Duplicate 0s must not be double-counted as two transmitters.
+        let out = eng.execute_round(&mut st, &[0, 0], 1);
+        assert_eq!(out.transmitters, 1);
+        assert_eq!(out.newly_informed, 1);
+        assert!(st.is_informed(2));
+    }
+
+    #[test]
+    fn already_informed_receiver_not_counted() {
+        let g = Graph::path(3);
+        let mut st = BroadcastState::new(3, 1);
+        st.inform(0, 0);
+        let mut eng = RoundEngine::new(&g);
+        let out = eng.execute_round(&mut st, &[1], 1);
+        // Node 0 already informed → only node 2 newly informed.
+        assert_eq!(out.newly_informed, 1);
+        assert_eq!(out.reached, 1);
+    }
+
+    #[test]
+    fn scratch_reset_between_rounds() {
+        let g = Graph::star(4);
+        let mut st = BroadcastState::new(4, 0);
+        let mut eng = RoundEngine::new(&g);
+        eng.execute_round(&mut st, &[0], 1);
+        // Second round with a different transmitter: counts must restart.
+        let out = eng.execute_round(&mut st, &[1], 2);
+        assert_eq!(out.transmitters, 1);
+        assert_eq!(out.newly_informed, 0); // all informed already
+        assert_eq!(out.collisions, 0);
+    }
+
+    #[test]
+    fn lossy_round_extremes() {
+        use radio_graph::Xoshiro256pp;
+        let g = Graph::star(5);
+        let mut rng = Xoshiro256pp::new(1);
+        // loss 0 behaves like the exact engine.
+        let mut st = BroadcastState::new(5, 0);
+        let mut eng = RoundEngine::new(&g);
+        let out = eng.execute_round_lossy(&mut st, &[0], 1, 0.0, &mut rng);
+        assert_eq!(out.newly_informed, 4);
+        // loss 1 delivers nothing but still reports reach.
+        let mut st = BroadcastState::new(5, 0);
+        let out = eng.execute_round_lossy(&mut st, &[0], 1, 1.0, &mut rng);
+        assert_eq!(out.newly_informed, 0);
+        assert_eq!(out.reached, 4);
+        assert_eq!(st.informed_count(), 1);
+    }
+
+    #[test]
+    fn lossy_round_rate_roughly_matches() {
+        use radio_graph::Xoshiro256pp;
+        let n = 2001;
+        let g = Graph::star(n);
+        let mut rng = Xoshiro256pp::new(2);
+        let mut st = BroadcastState::new(n, 0);
+        let mut eng = RoundEngine::new(&g);
+        let out = eng.execute_round_lossy(&mut st, &[0], 1, 0.3, &mut rng);
+        let rate = out.newly_informed as f64 / (n - 1) as f64;
+        assert!((rate - 0.7).abs() < 0.05, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn empty_transmitter_set() {
+        let g = Graph::path(2);
+        let mut st = BroadcastState::new(2, 0);
+        let mut eng = RoundEngine::new(&g);
+        let out = eng.execute_round(&mut st, &[], 1);
+        assert_eq!(out, RoundOutcome::default());
+    }
+}

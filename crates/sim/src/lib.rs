@@ -1,0 +1,62 @@
+//! # radio-sim
+//!
+//! Synchronous radio-network simulator for the `radio-rs` workspace.
+//!
+//! Implements the communication model of Elsässer & Gąsieniec, *Radio
+//! communication in random graphs* (§1.1): rounds are synchronous; each node
+//! either transmits or listens; a listener receives iff **exactly one**
+//! neighbor transmits.  On top of the round engine sit the two execution
+//! styles the paper studies:
+//!
+//! * **Centralized** — a precomputed [`Schedule`] replayed by
+//!   [`run_schedule`];
+//! * **Distributed** — a [`Protocol`] implementation (which can see only
+//!   per-node local state, never the topology) driven by [`run_protocol`].
+//!
+//! [`run_trials`] fans independent Monte-Carlo trials over rayon with
+//! deterministic per-trial seeds.
+//!
+//! ## Example
+//!
+//! ```
+//! use radio_graph::{Graph, Xoshiro256pp, NodeId};
+//! use radio_sim::{run_protocol, LocalNode, Protocol, RunConfig};
+//!
+//! /// Transmit with probability 1/2 every round.
+//! struct HalfCoin;
+//! impl Protocol for HalfCoin {
+//!     fn name(&self) -> String { "half-coin".into() }
+//!     fn transmits(&mut self, _n: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+//!         rng.coin(0.5)
+//!     }
+//! }
+//!
+//! let g = Graph::path(8);
+//! let mut rng = Xoshiro256pp::new(1);
+//! let result = run_protocol(&g, 0, &mut HalfCoin, RunConfig::for_graph(8), &mut rng);
+//! assert!(result.completed);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod combinators;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod reference;
+pub mod runner;
+pub mod schedule;
+pub mod schedule_io;
+pub mod state;
+pub mod trace;
+
+pub use combinators::{Named, Staged};
+pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
+pub use protocol::{run_protocol, run_protocol_from, run_protocol_multi, LocalNode, Protocol, RunConfig};
+pub use runner::{run_trials, run_trials_serial};
+pub use metrics::RunMetrics;
+pub use schedule::{run_schedule, Schedule};
+pub use schedule_io::{load_schedule, save_schedule};
+pub use state::BroadcastState;
+pub use trace::{RoundRecord, RunResult, TraceLevel};

@@ -1,0 +1,141 @@
+//! Derived metrics over run traces.
+//!
+//! [`RunMetrics`] condenses a per-round trace into the quantities the
+//! experiments and examples report: milestone rounds (50/90/99% informed),
+//! energy (total transmissions), collision pressure, and the peak round.
+//! Requires the run to have been recorded at
+//! [`TraceLevel::PerRound`](crate::trace::TraceLevel::PerRound).
+
+use crate::trace::RunResult;
+
+/// Summary metrics computed from a [`RunResult`] trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Round by which ≥ 50% of nodes were informed (None if not reached).
+    pub round_to_half: Option<u32>,
+    /// Round by which ≥ 90% were informed.
+    pub round_to_90: Option<u32>,
+    /// Round by which ≥ 99% were informed.
+    pub round_to_99: Option<u32>,
+    /// Total transmissions (energy proxy).
+    pub total_transmissions: usize,
+    /// Total collision events at uninformed listeners.
+    pub total_collisions: usize,
+    /// Collisions per transmission (0 when nothing was sent).
+    pub collision_rate: f64,
+    /// The round with the largest `newly_informed` and that count.
+    pub peak_round: Option<(u32, usize)>,
+    /// Mean transmitters per executed round.
+    pub mean_transmitters: f64,
+}
+
+impl RunMetrics {
+    /// Computes metrics from a per-round trace.  An empty trace yields
+    /// zeros/None everywhere (except a completed 1-node run, which is
+    /// trivially at 100%).
+    pub fn from_result(r: &RunResult) -> RunMetrics {
+        let total_transmissions = r.total_transmissions();
+        let total_collisions = r.total_collisions();
+        let peak_round = r
+            .trace
+            .iter()
+            .max_by_key(|rec| rec.newly_informed)
+            .filter(|rec| rec.newly_informed > 0)
+            .map(|rec| (rec.round, rec.newly_informed));
+        let rounds = r.trace.len().max(1);
+        RunMetrics {
+            round_to_half: r.round_to_fraction(0.5),
+            round_to_90: r.round_to_fraction(0.9),
+            round_to_99: r.round_to_fraction(0.99),
+            total_transmissions,
+            total_collisions,
+            collision_rate: if total_transmissions > 0 {
+                total_collisions as f64 / total_transmissions as f64
+            } else {
+                0.0
+            },
+            peak_round,
+            mean_transmitters: total_transmissions as f64 / rounds as f64,
+        }
+    }
+
+    /// The "tail cost": rounds spent after 90% informed until completion
+    /// (None unless both milestones exist and the run completed).
+    pub fn tail_rounds(&self, completion_round: u32, completed: bool) -> Option<u32> {
+        if !completed {
+            return None;
+        }
+        self.round_to_90.map(|r90| completion_round.saturating_sub(r90))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RoundRecord, RunResult};
+
+    fn result_with_trace(records: Vec<(u32, usize, usize, usize, usize)>) -> RunResult {
+        let n = 100;
+        let trace: Vec<RoundRecord> = records
+            .into_iter()
+            .map(|(round, tx, newly, col, after)| RoundRecord {
+                round,
+                transmitters: tx,
+                newly_informed: newly,
+                collisions: col,
+                informed_after: after,
+            })
+            .collect();
+        let informed = trace.last().map(|r| r.informed_after).unwrap_or(1);
+        RunResult {
+            completed: informed == n,
+            rounds: trace.len() as u32,
+            informed,
+            n,
+            trace,
+        }
+    }
+
+    #[test]
+    fn milestones_and_peak() {
+        let r = result_with_trace(vec![
+            (1, 1, 39, 0, 40),
+            (2, 5, 30, 4, 70),
+            (3, 10, 25, 2, 95),
+            (4, 8, 5, 0, 100),
+        ]);
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.round_to_half, Some(2));
+        assert_eq!(m.round_to_90, Some(3));
+        assert_eq!(m.round_to_99, Some(4));
+        assert_eq!(m.peak_round, Some((1, 39)));
+        assert_eq!(m.total_transmissions, 24);
+        assert_eq!(m.total_collisions, 6);
+        assert!((m.collision_rate - 0.25).abs() < 1e-12);
+        assert!((m.mean_transmitters - 6.0).abs() < 1e-12);
+        assert_eq!(m.tail_rounds(4, true), Some(1));
+    }
+
+    #[test]
+    fn incomplete_run_milestones() {
+        let r = result_with_trace(vec![(1, 1, 30, 0, 31)]);
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.round_to_half, None);
+        assert_eq!(m.tail_rounds(1, false), None);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = RunResult {
+            completed: true,
+            rounds: 0,
+            informed: 1,
+            n: 1,
+            trace: vec![],
+        };
+        let m = RunMetrics::from_result(&r);
+        assert_eq!(m.total_transmissions, 0);
+        assert_eq!(m.collision_rate, 0.0);
+        assert_eq!(m.peak_round, None);
+    }
+}

@@ -1,0 +1,86 @@
+//! A deliberately naive reference implementation of the round semantics.
+//!
+//! [`reference_round`] recomputes, from scratch and with no shared scratch
+//! buffers, the set of nodes a transmitter set informs.  It exists purely to
+//! cross-check the optimized [`RoundEngine`](crate::engine::RoundEngine) in
+//! property-based tests: any divergence between the two is a bug in one of
+//! them.
+
+use radio_graph::{Graph, NodeId};
+
+use crate::engine::TransmitterPolicy;
+use crate::state::BroadcastState;
+
+/// Computes the nodes that would be newly informed if `transmitters`
+/// transmit simultaneously, without mutating anything.
+pub fn reference_round(
+    g: &Graph,
+    state: &BroadcastState,
+    transmitters: &[NodeId],
+    policy: TransmitterPolicy,
+) -> Vec<NodeId> {
+    use std::collections::HashSet;
+    let active: HashSet<NodeId> = transmitters
+        .iter()
+        .copied()
+        .filter(|&t| policy == TransmitterPolicy::Unrestricted || state.is_informed(t))
+        .collect();
+    let mut newly = Vec::new();
+    for w in 0..g.n() as NodeId {
+        if state.is_informed(w) || active.contains(&w) {
+            continue;
+        }
+        let heard = g
+            .neighbors(w)
+            .iter()
+            .filter(|&&u| active.contains(&u))
+            .count();
+        if heard == 1 {
+            newly.push(w);
+        }
+    }
+    newly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RoundEngine;
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Xoshiro256pp;
+
+    /// The optimized engine and the reference must agree on random
+    /// instances, under both policies.
+    #[test]
+    fn engine_matches_reference_on_random_instances() {
+        let mut rng = Xoshiro256pp::new(2024);
+        for trial in 0..50u64 {
+            let n = 30 + (trial as usize % 50);
+            let g = sample_gnp(n, 0.15, &mut rng);
+            for &policy in &[TransmitterPolicy::InformedOnly, TransmitterPolicy::Unrestricted] {
+                let mut st = BroadcastState::new(n, 0);
+                // Pre-inform a random subset.
+                for v in 0..n as NodeId {
+                    if rng.coin(0.3) {
+                        st.inform(v, 0);
+                    }
+                }
+                // Random transmitter set.
+                let transmitters: Vec<NodeId> =
+                    (0..n as NodeId).filter(|_| rng.coin(0.2)).collect();
+
+                let expected = reference_round(&g, &st, &transmitters, policy);
+
+                let mut engine_state = st.clone();
+                let mut eng = RoundEngine::with_policy(&g, policy);
+                let out = eng.execute_round(&mut engine_state, &transmitters, 1);
+
+                let got: Vec<NodeId> = (0..n as NodeId)
+                    .filter(|&v| !st.is_informed(v) && engine_state.is_informed(v))
+                    .collect();
+                assert_eq!(got, expected, "policy {policy:?}, trial {trial}");
+                assert_eq!(out.newly_informed, expected.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Schedule serialization.
+//!
+//! Schedules round-trip through a plain text format so the CLI can save a
+//! centralized schedule built offline and replay or distribute it later —
+//! which is precisely the centralized model's deployment story (compute
+//! once with global knowledge, then run dumb):
+//!
+//! ```text
+//! # comments allowed
+//! round 1: 0
+//! round 2: 3 17 42
+//! ```
+//!
+//! The `round k:` prefixes are validated to be consecutive from 1 (a
+//! reordered or truncated file is rejected rather than silently replayed
+//! out of order).
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use radio_graph::NodeId;
+
+use crate::schedule::Schedule;
+
+/// Error from schedule parsing.
+#[derive(Debug)]
+pub enum ScheduleIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Unparseable or inconsistent content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ScheduleIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ScheduleIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleIoError {}
+
+impl From<std::io::Error> for ScheduleIoError {
+    fn from(e: std::io::Error) -> Self {
+        ScheduleIoError::Io(e)
+    }
+}
+
+/// Writes `schedule` in the text format.
+pub fn write_schedule<W: Write>(schedule: &Schedule, mut w: W) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "# radio-rs schedule: {} rounds, {} transmissions",
+        schedule.len(),
+        schedule.total_transmissions()
+    )?;
+    for (i, set) in schedule.iter().enumerate() {
+        write!(w, "round {}:", i + 1)?;
+        for v in set {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Parses the text format.
+pub fn read_schedule<R: BufRead>(reader: R) -> Result<Schedule, ScheduleIoError> {
+    let mut rounds: Vec<Vec<NodeId>> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = trimmed.strip_prefix("round ") else {
+            return Err(ScheduleIoError::Parse {
+                line: lineno,
+                message: format!("expected `round k: …`, found {trimmed:?}"),
+            });
+        };
+        let Some((num, nodes)) = rest.split_once(':') else {
+            return Err(ScheduleIoError::Parse {
+                line: lineno,
+                message: "missing `:` after round number".into(),
+            });
+        };
+        let k: usize = num.trim().parse().map_err(|_| ScheduleIoError::Parse {
+            line: lineno,
+            message: format!("bad round number {num:?}"),
+        })?;
+        if k != rounds.len() + 1 {
+            return Err(ScheduleIoError::Parse {
+                line: lineno,
+                message: format!("round {k} out of order (expected {})", rounds.len() + 1),
+            });
+        }
+        let mut set = Vec::new();
+        for tok in nodes.split_whitespace() {
+            let v: NodeId = tok.parse().map_err(|_| ScheduleIoError::Parse {
+                line: lineno,
+                message: format!("bad node id {tok:?}"),
+            })?;
+            set.push(v);
+        }
+        rounds.push(set);
+    }
+    Ok(Schedule::from_rounds(rounds))
+}
+
+/// Saves a schedule to a file.
+pub fn save_schedule(schedule: &Schedule, path: &Path) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_schedule(schedule, std::io::BufWriter::new(f))
+}
+
+/// Loads a schedule from a file.
+pub fn load_schedule(path: &Path) -> Result<Schedule, ScheduleIoError> {
+    let f = std::fs::File::open(path)?;
+    read_schedule(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Schedule, ScheduleIoError> {
+        read_schedule(std::io::Cursor::new(s))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let sched = Schedule::from_rounds(vec![vec![0], vec![3, 17, 42], vec![], vec![7]]);
+        let mut buf = Vec::new();
+        write_schedule(&sched, &mut buf).unwrap();
+        let back = read_schedule(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, sched);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let s = "# header\n\nround 1: 5\n# mid comment\nround 2: 1 2\n";
+        let sched = parse(s).unwrap();
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched.round(0), &[5]);
+        assert_eq!(sched.round(1), &[1, 2]);
+    }
+
+    #[test]
+    fn empty_round_allowed() {
+        let sched = parse("round 1:\nround 2: 4\n").unwrap();
+        assert_eq!(sched.round(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        assert!(parse("round 2: 1\n").is_err());
+        assert!(parse("round 1: 1\nround 3: 2\n").is_err());
+        assert!(parse("round 1: 1\nround 1: 2\n").is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(parse("rounds 1: 2\n").is_err());
+        assert!(parse("round one: 2\n").is_err());
+        assert!(parse("round 1 2 3\n").is_err());
+        assert!(parse("round 1: x\n").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("radio-rs-schedio");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.sched");
+        let sched = Schedule::from_rounds(vec![vec![1, 2], vec![0]]);
+        save_schedule(&sched, &path).unwrap();
+        assert_eq!(load_schedule(&path).unwrap(), sched);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_is_empty_schedule() {
+        assert!(parse("").unwrap().is_empty());
+    }
+}

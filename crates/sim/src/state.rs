@@ -1,0 +1,207 @@
+//! Broadcast state: who knows the message, and since when.
+
+use radio_graph::NodeId;
+
+/// Sentinel for "not informed yet" in [`BroadcastState::informed_round`].
+pub const NOT_INFORMED: u32 = u32::MAX;
+
+/// The knowledge state of a broadcast in progress.
+///
+/// Tracks, for every node, the round in which it first received the message
+/// (`0` for the source), plus aggregate counters.  All protocol and schedule
+/// executors mutate state exclusively through [`BroadcastState::inform`], so
+/// the invariants (count matches, rounds monotone) hold by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastState {
+    /// `informed_round[v]` = round index at which `v` became informed, or
+    /// [`NOT_INFORMED`].
+    informed_round: Vec<u32>,
+    informed_count: usize,
+    source: NodeId,
+}
+
+impl BroadcastState {
+    /// A fresh broadcast of size `n` with only `source` informed (at round
+    /// 0).
+    pub fn new(n: usize, source: NodeId) -> Self {
+        assert!((source as usize) < n, "source {source} out of range");
+        let mut informed_round = vec![NOT_INFORMED; n];
+        informed_round[source as usize] = 0;
+        BroadcastState {
+            informed_round,
+            informed_count: 1,
+            source,
+        }
+    }
+
+    /// A fresh *multi-source* broadcast: every node of `sources` starts
+    /// informed at round 0 (k-source broadcast, the paper's open-problems
+    /// direction).  `sources` must be non-empty; duplicates are fine.
+    /// [`BroadcastState::source`] reports the first entry.
+    pub fn with_sources(n: usize, sources: &[NodeId]) -> Self {
+        assert!(!sources.is_empty(), "need at least one source");
+        let mut informed_round = vec![NOT_INFORMED; n];
+        let mut informed_count = 0;
+        for &s in sources {
+            assert!((s as usize) < n, "source {s} out of range");
+            if informed_round[s as usize] == NOT_INFORMED {
+                informed_round[s as usize] = 0;
+                informed_count += 1;
+            }
+        }
+        BroadcastState {
+            informed_round,
+            informed_count,
+            source: sources[0],
+        }
+    }
+
+    /// The broadcast source.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.informed_round.len()
+    }
+
+    /// Whether `v` is informed.
+    #[inline]
+    pub fn is_informed(&self, v: NodeId) -> bool {
+        self.informed_round[v as usize] != NOT_INFORMED
+    }
+
+    /// The round `v` became informed, or `None`.
+    #[inline]
+    pub fn informed_round(&self, v: NodeId) -> Option<u32> {
+        let r = self.informed_round[v as usize];
+        (r != NOT_INFORMED).then_some(r)
+    }
+
+    /// Number of informed nodes.
+    #[inline]
+    pub fn informed_count(&self) -> usize {
+        self.informed_count
+    }
+
+    /// Number of uninformed nodes.
+    #[inline]
+    pub fn uninformed_count(&self) -> usize {
+        self.n() - self.informed_count
+    }
+
+    /// Whether every node is informed.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.informed_count == self.n()
+    }
+
+    /// Marks `v` informed at `round`; returns `true` if it was previously
+    /// uninformed.
+    #[inline]
+    pub fn inform(&mut self, v: NodeId, round: u32) -> bool {
+        let slot = &mut self.informed_round[v as usize];
+        if *slot == NOT_INFORMED {
+            *slot = round;
+            self.informed_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterator over informed node ids.
+    pub fn informed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.informed_round
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r != NOT_INFORMED)
+            .map(|(v, _)| v as NodeId)
+    }
+
+    /// Iterator over uninformed node ids.
+    pub fn uninformed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.informed_round
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == NOT_INFORMED)
+            .map(|(v, _)| v as NodeId)
+    }
+
+    /// Collects the informed nodes into a vector.
+    pub fn informed_vec(&self) -> Vec<NodeId> {
+        self.informed_nodes().collect()
+    }
+
+    /// Collects the uninformed nodes into a vector.
+    pub fn uninformed_vec(&self) -> Vec<NodeId> {
+        self.uninformed_nodes().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state() {
+        let s = BroadcastState::new(5, 2);
+        assert_eq!(s.informed_count(), 1);
+        assert_eq!(s.uninformed_count(), 4);
+        assert!(s.is_informed(2));
+        assert!(!s.is_informed(0));
+        assert_eq!(s.informed_round(2), Some(0));
+        assert_eq!(s.informed_round(0), None);
+        assert_eq!(s.source(), 2);
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn inform_idempotent() {
+        let mut s = BroadcastState::new(3, 0);
+        assert!(s.inform(1, 4));
+        assert!(!s.inform(1, 7)); // already informed; round unchanged
+        assert_eq!(s.informed_round(1), Some(4));
+        assert_eq!(s.informed_count(), 2);
+    }
+
+    #[test]
+    fn completion() {
+        let mut s = BroadcastState::new(2, 0);
+        s.inform(1, 1);
+        assert!(s.is_complete());
+        assert_eq!(s.uninformed_count(), 0);
+    }
+
+    #[test]
+    fn node_iterators() {
+        let mut s = BroadcastState::new(4, 1);
+        s.inform(3, 2);
+        assert_eq!(s.informed_vec(), vec![1, 3]);
+        assert_eq!(s.uninformed_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_source_panics() {
+        let _ = BroadcastState::new(3, 3);
+    }
+
+    #[test]
+    fn multi_source_state() {
+        let s = BroadcastState::with_sources(6, &[1, 4, 1]);
+        assert_eq!(s.informed_count(), 2);
+        assert!(s.is_informed(1) && s.is_informed(4));
+        assert_eq!(s.informed_round(4), Some(0));
+        assert_eq!(s.source(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sources_panics() {
+        let _ = BroadcastState::with_sources(3, &[]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Inspect the five-phase centralized schedule (Theorem 5) round by round.
+//!
+//! Builds the schedule on a mid-size random graph and prints a per-round
+//! trace: which phase produced the round, how many nodes transmitted, how
+//! many were newly informed, and how many listeners collided — making the
+//! algorithm's structure visible.
+//!
+//! ```sh
+//! cargo run --release --example centralized_schedule
+//! ```
+
+use radio_broadcast::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let d = 50.0;
+    let p = d / n as f64;
+    let mut rng = Xoshiro256pp::new(55);
+    let g = sample_gnp(n, p, &mut rng);
+    let source: NodeId = 0;
+
+    println!(
+        "G(n = {n}, d̄ = {:.1}); predicted rounds Θ(ln n/ln d + ln d) = Θ({:.1})\n",
+        g.average_degree(),
+        theory::centralized_bound(n, g.average_degree())
+    );
+
+    let built = build_eg_schedule(&g, source, CentralizedParams::default(), &mut rng);
+    assert!(built.completed, "schedule failed to complete");
+
+    // Replay with a full trace to annotate each round.
+    let replay = run_schedule(
+        &g,
+        source,
+        &built.schedule,
+        TransmitterPolicy::InformedOnly,
+        TraceLevel::PerRound,
+    );
+
+    println!(
+        "{:>5}  {:<12} {:>12} {:>14} {:>12} {:>10}",
+        "round", "phase", "transmitters", "newly informed", "collisions", "informed"
+    );
+    for (rec, phase) in replay.trace.iter().zip(&built.phases) {
+        println!(
+            "{:>5}  {:<12} {:>12} {:>14} {:>12} {:>10}",
+            rec.round,
+            format!("{phase:?}"),
+            rec.transmitters,
+            rec.newly_informed,
+            rec.collisions,
+            rec.informed_after
+        );
+    }
+
+    println!(
+        "\ntotal: {} rounds, {} transmissions ({} per node), seed layer T_{}",
+        replay.rounds,
+        built.schedule.total_transmissions(),
+        built.schedule.total_transmissions() as f64 / n as f64,
+        built.seed_layer
+    );
+    println!(
+        "note the shape: a handful of flood rounds push the frontier to the first
+big layer, one Θ(n/d) seed round ignites the giant layer, ~2·ln d fraction
+rounds knock the uninformed set down geometrically, and one or two cover
+rounds finish off the O(n/d²) stragglers."
+    );
+}

@@ -1,0 +1,63 @@
+//! Radio gossiping — the all-to-all extension (open problem of §4).
+//!
+//! Every node starts with its own rumor; all must learn all.  Watches the
+//! total-knowledge fraction climb round by round under `1/d`-selective
+//! transmission and contrasts the completion time with a single broadcast
+//! on the same instance — showing the `Θ(d)` gap between the two
+//! primitives in the combined-message radio model.
+//!
+//! ```sh
+//! cargo run --release --example gossiping
+//! ```
+
+use radio_broadcast::prelude::*;
+
+fn main() {
+    let n = 600;
+    let d = 25.0;
+    let p = d / n as f64;
+    let mut rng = Xoshiro256pp::new(404);
+    let g = sample_gnp(n, p, &mut rng);
+    println!(
+        "radio gossiping on G(n = {n}, d̄ = {:.1}); strategy: every node transmits w.p. 1/d\n",
+        g.average_degree()
+    );
+
+    // Run gossiping in slices so we can print the knowledge curve.
+    // (The library API runs to completion; we re-run with growing budgets,
+    // which is cheap at this size and keeps the API surface small.)
+    let checkpoints = [10u32, 25, 50, 100, 200, 400, 800, 1600, 3200];
+    println!("{:>8} {:>20}", "rounds", "knowledge fraction");
+    let mut completed_at = None;
+    for &budget in &checkpoints {
+        let mut strat = ConstantProb::new(1.0 / d);
+        let r = run_radio_gossiping(&g, &mut strat, budget, &mut Xoshiro256pp::new(77));
+        println!("{:>8} {:>20.4}", budget, r.knowledge_fraction);
+        if r.completed && completed_at.is_none() {
+            completed_at = Some(r.rounds);
+        }
+    }
+    let mut strat = ConstantProb::new(1.0 / d);
+    let full = run_radio_gossiping(&g, &mut strat, 100_000, &mut Xoshiro256pp::new(77));
+    assert!(full.completed);
+
+    // Contrast: one broadcast with the same strategy on the same graph.
+    let mut proto = ConstantProb::new(1.0 / d);
+    let bcast = run_protocol(
+        &g,
+        0,
+        &mut proto,
+        RunConfig::for_graph(n),
+        &mut Xoshiro256pp::new(78),
+    );
+
+    println!(
+        "\ngossip (all-to-all) completed in {} rounds; one broadcast took {} rounds",
+        full.rounds, bcast.rounds
+    );
+    println!(
+        "ratio ≈ {:.1} ≈ Θ(d = {d}): a rumor escapes its holder only when that specific\nnode transmits collision-free — a Θ(1/d)-per-round event — while broadcast\nprogresses whenever *any* unique transmitter borders the frontier.",
+        full.rounds as f64 / bcast.rounds as f64
+    );
+    println!("\nsee `cargo run --release -p radio-bench --bin exp_gossip` for the full sweep.");
+}

@@ -1,0 +1,94 @@
+//! Race every protocol on the same graph and watch the informed curve.
+//!
+//! Runs the paper's distributed protocol against Decay, flooding, and push
+//! gossip on one `G(n, p)` instance, printing per-round informed counts side
+//! by side — a terminal "figure" of the propagation dynamics.
+//!
+//! ```sh
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use radio_broadcast::distributed::run_push_gossip;
+use radio_broadcast::prelude::*;
+use radio_sim::Protocol;
+
+fn informed_curve(result: &RunResult, horizon: usize) -> Vec<usize> {
+    let mut curve = Vec::with_capacity(horizon);
+    let mut last = 1;
+    for t in 1..=horizon {
+        if let Some(rec) = result.trace.iter().find(|r| r.round == t as u32) {
+            last = rec.informed_after;
+        }
+        curve.push(last);
+    }
+    curve
+}
+
+fn main() {
+    let n = 10_000;
+    let d = 60.0;
+    let p = d / n as f64;
+    let mut rng = Xoshiro256pp::new(99);
+    let g = sample_gnp(n, p, &mut rng);
+    let source: NodeId = 0;
+    let horizon = 36usize;
+
+    println!(
+        "G(n = {n}, d̄ = {:.1}), source {source}; informed counts per round\n",
+        g.average_degree()
+    );
+
+    let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::PerRound);
+
+    let mut eg = EgDistributed::new(p);
+    let run_eg = run_protocol(&g, source, &mut eg, cfg, &mut rng);
+
+    let mut decay = Decay::new();
+    let run_decay = run_protocol(&g, source, &mut decay, cfg, &mut rng);
+
+    let mut flood = Flooding;
+    let run_flood = run_protocol(
+        &g,
+        source,
+        &mut flood,
+        cfg.with_max_rounds(horizon as u32),
+        &mut rng,
+    );
+
+    let run_gossip = run_push_gossip(&g, source, 10_000, TraceLevel::PerRound, &mut rng);
+
+    let rows = [
+        (eg.name(), &run_eg),
+        (decay.name(), &run_decay),
+        ("flooding".to_string(), &run_flood),
+        ("push-gossip".to_string(), &run_gossip),
+    ];
+
+    println!("{:>5} {:>14} {:>14} {:>14} {:>14}", "round", rows[0].0, "decay", "flooding", "push-gossip");
+    let curves: Vec<Vec<usize>> = rows.iter().map(|(_, r)| informed_curve(r, horizon)).collect();
+    for t in 0..horizon {
+        println!(
+            "{:>5} {:>14} {:>14} {:>14} {:>14}",
+            t + 1,
+            curves[0][t],
+            curves[1][t],
+            curves[2][t],
+            curves[3][t]
+        );
+    }
+
+    println!();
+    for (name, run) in &rows {
+        println!(
+            "{name:<16} completed = {} in {} rounds ({} transmissions)",
+            run.completed,
+            run.rounds,
+            run.total_transmissions()
+        );
+    }
+    println!(
+        "\nEG tracks collision-free gossip within a small factor; decay pays its extra
+log factor probing for the right density; flooding saturates at a constant
+fraction and never finishes — collisions block the last nodes forever."
+    );
+}

@@ -1,0 +1,100 @@
+//! Explore the random-graph structure the proofs lean on (Lemmas 3 & 4).
+//!
+//! Prints the BFS layer profile of a `G(n, p)` instance — sizes vs `d^i`,
+//! tree-likeness measures — and demonstrates the Lemma-4 constructions:
+//! a probabilistic independent covering and a greedy independent matching,
+//! both validated against Definition 1.
+//!
+//! ```sh
+//! cargo run --release --example structure_explorer
+//! ```
+
+use radio_broadcast::prelude::*;
+use radio_graph::bipartite::{
+    greedy_independent_matching, is_independent_cover, is_independent_matching,
+    random_independent_cover,
+};
+use radio_graph::degree::DegreeStats;
+use radio_graph::layers::analyze_layers;
+use radio_graph::Layering;
+
+fn main() {
+    let n = 50_000;
+    let d = 40.0;
+    let p = d / n as f64;
+    let mut rng = Xoshiro256pp::new(77);
+    let g = sample_gnp(n, p, &mut rng);
+
+    // Degree concentration (the paper's standing α·pn ≤ deg ≤ β·pn).
+    let ds = DegreeStats::of(&g);
+    println!(
+        "G(n = {n}, d = {d}): degrees in [{}, {}], mean {:.1} → empirical α = {:.2}, β = {:.2}\n",
+        ds.min,
+        ds.max,
+        ds.mean,
+        ds.alpha(),
+        ds.beta()
+    );
+
+    // ---- Lemma 3: layer profile ------------------------------------------
+    let layering = Layering::new(&g, 0);
+    let stats = analyze_layers(&g, &layering);
+    println!("BFS layers from node 0 (Lemma 3):");
+    println!(
+        "{:>6} {:>9} {:>11} {:>10} {:>18} {:>16}",
+        "layer", "size", "d^i", "size/d^i", "multi-parent frac", "intra-edges/node"
+    );
+    for s in &stats {
+        let pred = d.powi(s.index as i32).min(n as f64);
+        println!(
+            "{:>6} {:>9} {:>11.0} {:>10.3} {:>18.4} {:>16.3}",
+            s.index,
+            s.size,
+            pred,
+            s.size as f64 / pred,
+            s.multi_parent_fraction(),
+            s.intra_edge_density()
+        );
+    }
+    println!(
+        "layers grow ≈ d× per hop, then saturate; early layers are near-trees\n(multi-parent fraction ≲ 1/d² = {:.4}).\n",
+        1.0 / (d * d)
+    );
+
+    // ---- Lemma 4(1): probabilistic independent covering -------------------
+    let y: Vec<NodeId> = (0..(n / 4) as NodeId).collect();
+    let x: Vec<NodeId> = ((n / 4) as NodeId..n as NodeId).collect();
+    let rc = random_independent_cover(&g, &x, &y, 1.0 / d, &mut rng);
+    assert!(is_independent_cover(&g, &rc.transmitters, &rc.covered));
+    println!(
+        "Lemma 4(1): sampling S ⊆ X at rate 1/d gave |S| = {} transmitters that\nindependently cover {} of |Y| = {} targets ({:.1}%) in one radio round.\n",
+        rc.transmitters.len(),
+        rc.covered.len(),
+        y.len(),
+        100.0 * rc.covered.len() as f64 / y.len() as f64
+    );
+
+    // ---- Lemma 4(2): independent matching ---------------------------------
+    let small_y: Vec<NodeId> = (0..(n as f64 / (d * d)) as NodeId).collect();
+    let big_x: Vec<NodeId> = (small_y.len() as NodeId..n as NodeId).collect();
+    let m = greedy_independent_matching(&g, &big_x, &small_y);
+    assert!(is_independent_matching(&g, &m));
+    println!(
+        "Lemma 4(2): with |Y| = {} ≈ n/d², the greedy found an independent matching\nsaturating {}/{} of Y — one collision-free round informs them all.\n",
+        small_y.len(),
+        m.len(),
+        small_y.len()
+    );
+
+    // ---- Bonus: why G(n,p) ≠ physical radio topologies --------------------
+    use radio_graph::clustering::average_clustering;
+    use radio_graph::geometric::{radius_for_average_degree, sample_rgg};
+    let small_n = 4_000;
+    let g_small = sample_gnp(small_n, d / small_n as f64, &mut rng);
+    let rgg = sample_rgg(small_n, radius_for_average_degree(small_n, d), &mut rng);
+    println!(
+        "model contrast at n = {small_n}, d ≈ {d}: clustering coefficient of G(n,p) = {:.4}\nvs random geometric graph = {:.3} — spatial radio networks cluster heavily,\nwhich is why the paper's G(n,p) results (driven by tree-like layers) need a\nseparate argument before they transfer to physical deployments.",
+        average_clustering(&g_small),
+        average_clustering(&rgg.graph),
+    );
+}

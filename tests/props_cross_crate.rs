@@ -1,0 +1,150 @@
+//! Cross-crate property-based tests (proptest): the simulator, samplers,
+//! and cover machinery satisfy their invariants on arbitrary inputs, and
+//! the optimized engine agrees with the naive reference everywhere.
+
+use proptest::prelude::*;
+use radio_broadcast::prelude::*;
+use radio_graph::bipartite::{covered_targets, is_independent_cover};
+use radio_graph::cover::greedy_radio_cover;
+use radio_graph::Layering;
+use radio_sim::reference::reference_round;
+use radio_sim::{BroadcastState, RoundEngine};
+
+/// Strategy: a small random graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges.min(120))
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_reference(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        informed_frac in 0.0f64..1.0,
+        transmit_frac in 0.0f64..1.0,
+    ) {
+        let n = g.n();
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut state = BroadcastState::new(n, 0);
+        for v in 1..n as NodeId {
+            if rng.coin(informed_frac) {
+                state.inform(v, 0);
+            }
+        }
+        let transmitters: Vec<NodeId> =
+            (0..n as NodeId).filter(|_| rng.coin(transmit_frac)).collect();
+
+        for policy in [TransmitterPolicy::InformedOnly, TransmitterPolicy::Unrestricted] {
+            let expected = reference_round(&g, &state, &transmitters, policy);
+            let mut st = state.clone();
+            let mut engine = RoundEngine::with_policy(&g, policy);
+            let out = engine.execute_round(&mut st, &transmitters, 1);
+            let got: Vec<NodeId> = (0..n as NodeId)
+                .filter(|&v| !state.is_informed(v) && st.is_informed(v))
+                .collect();
+            prop_assert_eq!(&got, &expected);
+            prop_assert_eq!(out.newly_informed, expected.len());
+        }
+    }
+
+    #[test]
+    fn gnp_graphs_are_valid(n in 2usize..400, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = sample_gnp(n, p, &mut rng);
+        prop_assert!(g.check_invariants());
+        prop_assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count(n in 2usize..120, seed in any::<u64>()) {
+        let total = n * (n - 1) / 2;
+        let mut rng = Xoshiro256pp::new(seed);
+        let m = (rng.below(total as u64 + 1)) as usize;
+        let g = radio_graph::gnm::sample_gnm(n, m, &mut rng);
+        prop_assert_eq!(g.m(), m);
+        prop_assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn layering_is_a_bfs(g in arb_graph(), seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let source = rng.below(g.n() as u64) as NodeId;
+        let l = Layering::new(&g, source);
+        // Every reachable non-source node has a parent one layer down and
+        // no neighbor more than one layer away in either direction.
+        for v in 0..g.n() as NodeId {
+            if let Some(dv) = l.distance(v) {
+                if dv > 0 {
+                    let mut has_parent = false;
+                    for &w in g.neighbors(v) {
+                        let dw = l.distance(w).expect("neighbor of reachable unreachable");
+                        prop_assert!((i64::from(dw) - i64::from(dv)).abs() <= 1);
+                        has_parent |= dw + 1 == dv;
+                    }
+                    prop_assert!(has_parent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_cover_output_is_independent_cover(
+        g in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let n = g.n();
+        let mut rng = Xoshiro256pp::new(seed);
+        let candidates: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.coin(0.5)).collect();
+        let targets: Vec<NodeId> = (0..n as NodeId)
+            .filter(|v| !candidates.contains(v))
+            .collect();
+        let sel = greedy_radio_cover(&g, &candidates, &targets, Some(&mut rng));
+        prop_assert!(is_independent_cover(&g, &sel.transmitters, &sel.covered));
+        // covered_targets agrees with the selection's own accounting.
+        let recheck = covered_targets(&g, &sel.transmitters, &targets);
+        prop_assert_eq!(recheck, sel.covered);
+    }
+
+    #[test]
+    fn schedule_replay_never_exceeds_builder_length(
+        n in 10usize..80,
+        d in 3.0f64..15.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let p = (d / n as f64).min(0.9);
+        let g = sample_gnp(n, p, &mut rng);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        let replay = run_schedule(
+            &g,
+            0,
+            &built.schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::SummaryOnly,
+        );
+        prop_assert_eq!(replay.completed, built.completed);
+        prop_assert!(replay.rounds as usize <= built.len());
+        prop_assert_eq!(replay.informed, built.informed);
+    }
+
+    #[test]
+    fn broadcast_state_counts_consistent(
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut st = BroadcastState::new(n, 0);
+        for _ in 0..n {
+            let v = rng.below(n as u64) as NodeId;
+            st.inform(v, 1);
+            prop_assert_eq!(st.informed_count() + st.uninformed_count(), n);
+        }
+        prop_assert_eq!(st.informed_nodes().count(), st.informed_count());
+    }
+}
