@@ -101,7 +101,12 @@ mod tests {
         let data: Vec<f64> = (0..100).map(|i| (i as f64) / 10.0).collect();
         let boot = bootstrap_mean_ci(&data, 2000, 7).unwrap();
         let norm = mean_ci(&data).unwrap();
-        assert!((boot.lo - norm.lo).abs() < 0.3, "{} vs {}", boot.lo, norm.lo);
+        assert!(
+            (boot.lo - norm.lo).abs() < 0.3,
+            "{} vs {}",
+            boot.lo,
+            norm.lo
+        );
         assert!((boot.hi - norm.hi).abs() < 0.3);
     }
 

@@ -27,11 +27,7 @@ impl FitResult {
     /// Predicted value for a feature row.
     pub fn predict(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.coeffs.len());
-        features
-            .iter()
-            .zip(&self.coeffs)
-            .map(|(x, c)| x * c)
-            .sum()
+        features.iter().zip(&self.coeffs).map(|(x, c)| x * c).sum()
     }
 }
 
@@ -92,8 +88,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let k = b.len();
     for col in 0..k {
         // Pivot.
-        let pivot = (col..k)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot =
+            (col..k).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None; // singular
         }

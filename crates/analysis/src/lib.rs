@@ -26,7 +26,9 @@ pub mod ttest;
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_median_ci};
 pub use ci::{mean_ci, proportion_ci, ConfidenceInterval};
 pub use csv::CsvWriter;
-pub use fit::{fit_centralized_form, fit_log_form, least_squares, CentralizedFit, FitResult, LogFit};
+pub use fit::{
+    fit_centralized_form, fit_log_form, least_squares, CentralizedFit, FitResult, LogFit,
+};
 pub use histogram::Histogram;
 pub use plot::AsciiPlot;
 pub use summary::{quantile, Summary};

@@ -83,10 +83,10 @@ impl AsciiPlot {
                 if !x.is_finite() || !y.is_finite() {
                     continue;
                 }
-                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let row = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let col =
+                    ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let row =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row; // invert: y grows upward
                 grid[row][col] = *glyph;
             }

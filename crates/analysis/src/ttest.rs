@@ -61,7 +61,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     // Welch–Satterthwaite df.
     let df_num = se2 * se2;
     let df_den = (va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0);
-    let df = if df_den > 0.0 { df_num / df_den } else { na + nb - 2.0 };
+    let df = if df_den > 0.0 {
+        df_num / df_den
+    } else {
+        na + nb - 2.0
+    };
     let p_value = 2.0 * (1.0 - std_normal_cdf(t.abs()));
     Some(TTestResult {
         t,

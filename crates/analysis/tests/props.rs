@@ -1,101 +1,144 @@
-//! Property-based tests for the statistics substrate.
+//! Randomized property tests for the statistics substrate.
+//!
+//! Each property is checked over deterministically seeded random cases
+//! (no external property-testing dependency); assertions carry the case
+//! index so failures are reproducible.
 
-use proptest::prelude::*;
 use radio_analysis::{
     bootstrap_mean_ci, least_squares, mean_ci, proportion_ci, quantile, welch_t_test, Histogram,
     Summary,
 };
+use radio_graph::{derive_seed, Xoshiro256pp};
 
-fn arb_data() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, 1..200)
+const CASES: u64 = 128;
+
+fn for_each_case(master: u64, body: impl Fn(u64, &mut Xoshiro256pp)) {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256pp::new(derive_seed(master, case));
+        body(case, &mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// 1..200 samples uniform in ±1e6.
+fn random_data(rng: &mut Xoshiro256pp) -> Vec<f64> {
+    let len = 1 + rng.below(199) as usize;
+    (0..len).map(|_| (rng.next_f64() - 0.5) * 2e6).collect()
+}
 
-    #[test]
-    fn summary_bounds_are_consistent(data in arb_data()) {
+#[test]
+fn summary_bounds_are_consistent() {
+    for_each_case(0x5B1, |case, rng| {
+        let data = random_data(rng);
         let s = Summary::of(&data).unwrap();
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert!(s.std_dev >= 0.0);
-        prop_assert_eq!(s.count, data.len());
-    }
+        assert!(s.min <= s.median && s.median <= s.max, "case {case}");
+        assert!(s.min <= s.mean && s.mean <= s.max, "case {case}");
+        assert!(s.std_dev >= 0.0, "case {case}");
+        assert_eq!(s.count, data.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn quantiles_are_monotone(data in arb_data(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+#[test]
+fn quantiles_are_monotone() {
+    for_each_case(0x9A2, |case, rng| {
+        let data = random_data(rng);
+        let (q1, q2) = (rng.next_f64(), rng.next_f64());
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let a = quantile(&data, lo).unwrap();
         let b = quantile(&data, hi).unwrap();
-        prop_assert!(a <= b + 1e-9);
+        assert!(a <= b + 1e-9, "case {case}");
         // Quantiles live within the data range.
         let s = Summary::of(&data).unwrap();
-        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
-    }
+        assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9, "case {case}");
+    });
+}
 
-    #[test]
-    fn mean_ci_contains_point_estimate(data in arb_data()) {
+#[test]
+fn mean_ci_contains_point_estimate() {
+    for_each_case(0x3C1, |case, rng| {
+        let data = random_data(rng);
         if data.len() >= 2 {
             let ci = mean_ci(&data).unwrap();
-            prop_assert!(ci.contains(ci.estimate));
-            prop_assert!(ci.lo <= ci.hi);
+            assert!(ci.contains(ci.estimate), "case {case}");
+            assert!(ci.lo <= ci.hi, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bootstrap_ci_contains_estimate(data in arb_data(), seed in any::<u64>()) {
-        let ci = bootstrap_mean_ci(&data, 200, seed).unwrap();
+#[test]
+fn bootstrap_ci_contains_estimate() {
+    for_each_case(0xB007, |case, rng| {
+        let data = random_data(rng);
+        let ci = bootstrap_mean_ci(&data, 200, rng.next()).unwrap();
         // Percentile bootstrap of the mean brackets the sample mean up to
         // resampling noise; with 200 resamples the estimate must be within
         // the interval widened by a whisker.
         let width = (ci.hi - ci.lo).abs() + 1e-6;
-        prop_assert!(ci.estimate >= ci.lo - width && ci.estimate <= ci.hi + width);
-    }
+        assert!(
+            ci.estimate >= ci.lo - width && ci.estimate <= ci.hi + width,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn wilson_interval_well_formed(successes in 0usize..500, extra in 0usize..500) {
-        let trials = successes + extra;
+#[test]
+fn wilson_interval_well_formed() {
+    for_each_case(0x317, |case, rng| {
+        let successes = rng.below(500) as usize;
+        let trials = successes + rng.below(500) as usize;
         if trials > 0 {
             let ci = proportion_ci(successes, trials).unwrap();
-            prop_assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
-            prop_assert!(ci.lo <= ci.estimate + 1e-12);
-            prop_assert!(ci.estimate <= ci.hi + 1e-12);
+            assert!(ci.lo >= 0.0 && ci.hi <= 1.0, "case {case}");
+            assert!(ci.lo <= ci.estimate + 1e-12, "case {case}");
+            assert!(ci.estimate <= ci.hi + 1e-12, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn histogram_conserves_count(data in arb_data(), bins in 1usize..32) {
+#[test]
+fn histogram_conserves_count() {
+    for_each_case(0x415, |case, rng| {
+        let data = random_data(rng);
+        let bins = 1 + rng.below(31) as usize;
         let h = Histogram::of(&data, bins).unwrap();
         let (under, over) = h.out_of_range();
-        prop_assert_eq!(
+        assert_eq!(
             h.counts().iter().sum::<usize>() + under + over,
-            data.len()
+            data.len(),
+            "case {case}"
         );
-        prop_assert_eq!(h.total(), data.len());
-    }
+        assert_eq!(h.total(), data.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn welch_test_is_symmetric(a in arb_data(), b in arb_data()) {
+#[test]
+fn welch_test_is_symmetric() {
+    for_each_case(0x3E1C, |case, rng| {
+        let a = random_data(rng);
+        let b = random_data(rng);
         if a.len() >= 2 && b.len() >= 2 {
             if let (Some(ab), Some(ba)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
-                prop_assert!((ab.t + ba.t).abs() < 1e-6 || (ab.t.is_infinite() && ba.t.is_infinite()));
-                prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
-                prop_assert!((0.0..=1.0).contains(&ab.p_value));
+                assert!(
+                    (ab.t + ba.t).abs() < 1e-6 || (ab.t.is_infinite() && ba.t.is_infinite()),
+                    "case {case}"
+                );
+                assert!((ab.p_value - ba.p_value).abs() < 1e-9, "case {case}");
+                assert!((0.0..=1.0).contains(&ab.p_value), "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn least_squares_interpolates_exact_lines(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        count in 3usize..40,
-    ) {
+#[test]
+fn least_squares_interpolates_exact_lines() {
+    for_each_case(0x15F, |case, rng| {
+        let slope = (rng.next_f64() - 0.5) * 200.0;
+        let intercept = (rng.next_f64() - 0.5) * 200.0;
+        let count = 3 + rng.below(37) as usize;
         let rows: Vec<Vec<f64>> = (0..count).map(|i| vec![i as f64, 1.0]).collect();
         let ys: Vec<f64> = (0..count).map(|i| slope * i as f64 + intercept).collect();
         let fit = least_squares(&rows, &ys).unwrap();
-        prop_assert!((fit.coeffs[0] - slope).abs() < 1e-6);
-        prop_assert!((fit.coeffs[1] - intercept).abs() < 1e-5);
-        prop_assert!(fit.rms_residual < 1e-6);
-    }
+        assert!((fit.coeffs[0] - slope).abs() < 1e-6, "case {case}");
+        assert!((fit.coeffs[1] - intercept).abs() < 1e-5, "case {case}");
+        assert!(fit.rms_residual < 1e-6, "case {case}");
+    });
 }

@@ -1,47 +1,33 @@
-//! Criterion bench: random-graph generator throughput.
+//! Micro-bench: random-graph generator throughput.
 //!
 //! The geometric-skipping `G(n,p)` sampler is the substrate under every
-//! experiment; this bench tracks its `O(n + m)` scaling and compares it with
-//! the `G(n,m)` sampler at matched edge counts.
+//! experiment; this bench tracks its `O(n + m)` scaling and compares it
+//! with the `G(n,m)` sampler at matched edge counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_bench::harness::Harness;
 use radio_graph::gnm::sample_gnm;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::Xoshiro256pp;
 use std::hint::black_box;
 
-fn bench_gnp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gen_gnp");
+fn main() {
+    let mut h = Harness::new("gen_gnp");
     for &n in &[10_000usize, 100_000] {
         for &d in &[10.0f64, 100.0] {
             let p = d / n as f64;
             let m = (p * (n as f64) * (n as f64 - 1.0) / 2.0) as u64;
-            group.throughput(Throughput::Elements(m));
-            group.bench_with_input(
-                BenchmarkId::new(format!("gnp_d{d}"), n),
-                &(n, p),
-                |b, &(n, p)| {
-                    let mut rng = Xoshiro256pp::new(42);
-                    b.iter(|| black_box(sample_gnp(n, p, &mut rng)))
-                },
-            );
+            let mut rng = Xoshiro256pp::new(42);
+            h.bench_with_throughput(&format!("gnp_d{d}/{n}"), Some(m), || {
+                black_box(sample_gnp(n, p, &mut rng))
+            });
         }
     }
-    group.finish();
-}
-
-fn bench_gnm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gen_gnm");
     for &n in &[10_000usize, 100_000] {
         let m = n * 20;
-        group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::new("gnm_m20n", n), &(n, m), |b, &(n, m)| {
-            let mut rng = Xoshiro256pp::new(42);
-            b.iter(|| black_box(sample_gnm(n, m, &mut rng)))
+        let mut rng = Xoshiro256pp::new(42);
+        h.bench_with_throughput(&format!("gnm_m20n/{n}"), Some(m as u64), || {
+            black_box(sample_gnm(n, m, &mut rng))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_gnp, bench_gnm);
-criterion_main!(benches);

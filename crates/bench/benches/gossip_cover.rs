@@ -1,10 +1,10 @@
-//! Criterion bench: gossiping engine and greedy-cover selection throughput.
+//! Micro-bench: gossiping engine and greedy-cover selection throughput.
 //!
 //! The gossiping engine unions n-bit rumor sets on every delivery — its
 //! cost is `O(successes · n/64)` per round; the greedy cover is the
 //! dominant cost of schedule construction.  Both get tracked here.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::harness::Harness;
 use radio_broadcast::distributed::ConstantProb;
 use radio_broadcast::gossiping::run_radio_gossiping;
 use radio_graph::cover::greedy_radio_cover;
@@ -12,40 +12,28 @@ use radio_graph::gnp::sample_gnp;
 use radio_graph::{NodeId, Xoshiro256pp};
 use std::hint::black_box;
 
-fn bench_gossip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gossip_end_to_end");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("gossip_cover");
+    h.sample_size(10);
     for &n in &[256usize, 1024] {
         let d = 20.0;
         let mut rng = Xoshiro256pp::new(3);
         let g = sample_gnp(n, d / n as f64, &mut rng);
-        group.bench_with_input(BenchmarkId::new("const_1_over_d", n), &g, |b, g| {
-            b.iter(|| {
-                let mut rng = Xoshiro256pp::new(11);
-                let mut strat = ConstantProb::new(1.0 / d);
-                black_box(run_radio_gossiping(g, &mut strat, 1_000_000, &mut rng))
-            })
+        h.bench(&format!("gossip_const_1_over_d/{n}"), || {
+            let mut rng = Xoshiro256pp::new(11);
+            let mut strat = ConstantProb::new(1.0 / d);
+            black_box(run_radio_gossiping(&g, &mut strat, 1_000_000, &mut rng))
         });
     }
-    group.finish();
-}
-
-fn bench_cover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("greedy_cover");
     for &n in &[10_000usize, 50_000] {
         let d = 50.0;
         let mut rng = Xoshiro256pp::new(5);
         let g = sample_gnp(n, d / n as f64, &mut rng);
         let candidates: Vec<NodeId> = (0..(n / 2) as NodeId).collect();
         let targets: Vec<NodeId> = ((n / 2) as NodeId..n as NodeId).collect();
-        group.bench_with_input(BenchmarkId::new("half_half", n), &g, |b, g| {
-            b.iter(|| {
-                black_box(greedy_radio_cover(g, &candidates, &targets, None))
-            })
+        h.bench(&format!("greedy_cover_half_half/{n}"), || {
+            black_box(greedy_radio_cover(&g, &candidates, &targets, None))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_gossip, bench_cover);
-criterion_main!(benches);

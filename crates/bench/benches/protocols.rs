@@ -1,40 +1,33 @@
-//! Criterion bench: end-to-end protocol runs at fixed size.
+//! Micro-bench: end-to-end protocol runs at fixed size.
 //!
 //! Wall-clock of a complete broadcast per protocol on the same `G(n, p)`
 //! instance — the number the Monte-Carlo sweeps ultimately pay per trial.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use radio_bench::harness::Harness;
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::gnp::sample_gnp;
 use radio_graph::Xoshiro256pp;
 use radio_sim::{run_protocol, RunConfig, TraceLevel};
 use std::hint::black_box;
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocols_end_to_end");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("protocols_end_to_end");
+    h.sample_size(20);
     let n = 20_000usize;
     let p = (n as f64).ln().powi(2) / n as f64;
     let mut rng = Xoshiro256pp::new(5);
     let g = sample_gnp(n, p, &mut rng);
     let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
 
-    group.bench_function("eg_distributed", |b| {
-        b.iter(|| {
-            let mut rng = Xoshiro256pp::new(17);
-            let mut proto = EgDistributed::new(p);
-            black_box(run_protocol(&g, 0, &mut proto, cfg, &mut rng))
-        })
+    h.bench("eg_distributed", || {
+        let mut rng = Xoshiro256pp::new(17);
+        let mut proto = EgDistributed::new(p);
+        black_box(run_protocol(&g, 0, &mut proto, cfg, &mut rng))
     });
-    group.bench_function("decay", |b| {
-        b.iter(|| {
-            let mut rng = Xoshiro256pp::new(17);
-            let mut proto = Decay::new();
-            black_box(run_protocol(&g, 0, &mut proto, cfg, &mut rng))
-        })
+    h.bench("decay", || {
+        let mut rng = Xoshiro256pp::new(17);
+        let mut proto = Decay::new();
+        black_box(run_protocol(&g, 0, &mut proto, cfg, &mut rng))
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);

@@ -1,38 +1,36 @@
-//! Criterion bench: centralized schedule construction cost.
+//! Micro-bench: centralized schedule construction cost.
 //!
 //! Theorem 5's schedule is built offline; this bench tracks the builder's
 //! cost (dominated by the BFS layering and the final greedy covers) against
 //! the pure-greedy scheduler it replaces, across graph sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::harness::Harness;
 use radio_broadcast::centralized::{build_eg_schedule, greedy_cover_schedule, CentralizedParams};
 use radio_graph::gnp::sample_gnp;
 use radio_graph::Xoshiro256pp;
 use std::hint::black_box;
 
-fn bench_builders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_build");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("schedule_build");
+    h.sample_size(10);
     for &n in &[2_000usize, 20_000] {
         let p = (n as f64).ln().powi(2) / n as f64;
         let mut rng = Xoshiro256pp::new(3);
         let g = sample_gnp(n, p, &mut rng);
 
-        group.bench_with_input(BenchmarkId::new("eg_phases", n), &g, |b, g| {
-            b.iter(|| {
-                let mut rng = Xoshiro256pp::new(11);
-                black_box(build_eg_schedule(g, 0, CentralizedParams::default(), &mut rng))
-            })
+        h.bench(&format!("eg_phases/{n}"), || {
+            let mut rng = Xoshiro256pp::new(11);
+            black_box(build_eg_schedule(
+                &g,
+                0,
+                CentralizedParams::default(),
+                &mut rng,
+            ))
         });
-        group.bench_with_input(BenchmarkId::new("pure_greedy", n), &g, |b, g| {
-            b.iter(|| {
-                let mut rng = Xoshiro256pp::new(11);
-                black_box(greedy_cover_schedule(g, 0, 100_000, &mut rng))
-            })
+        h.bench(&format!("pure_greedy/{n}"), || {
+            let mut rng = Xoshiro256pp::new(11);
+            black_box(greedy_cover_schedule(&g, 0, 100_000, &mut rng))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_builders);
-criterion_main!(benches);

@@ -1,17 +1,20 @@
-//! Criterion bench: round-engine throughput.
+//! Micro-bench: round-engine throughput.
 //!
 //! One radio round costs `O(Σ deg(t))` over the transmitters; this bench
 //! measures rounds/second at realistic transmitter densities (the `1/d`
-//! fraction the paper's protocols use) and at flooding density (worst case).
+//! fraction the paper's protocols use) and at flooding density (worst
+//! case).  The observed variant must match the plain one — the no-op
+//! observer is required to be free.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use radio_bench::harness::Harness;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{NodeId, Xoshiro256pp};
-use radio_sim::{BroadcastState, RoundEngine};
+use radio_sim::{run_schedule, run_schedule_observed, NoopObserver, Schedule};
+use radio_sim::{BroadcastState, RoundEngine, TraceLevel, TransmitterPolicy};
 use std::hint::black_box;
 
-fn bench_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_round");
+fn main() {
+    let mut h = Harness::new("sim_round");
     let n = 100_000usize;
     let d = 50.0;
     let mut rng = Xoshiro256pp::new(7);
@@ -27,21 +30,42 @@ fn bench_round(c: &mut Criterion) {
         let transmitters: Vec<NodeId> = (0..(n / 2) as NodeId)
             .filter(|_| rng.next_f64() < frac)
             .collect();
-        group.throughput(Throughput::Elements(transmitters.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new(label, transmitters.len()),
-            &transmitters,
-            |b, transmitters| {
-                let mut engine = RoundEngine::new(&g);
-                b.iter(|| {
-                    let mut st = state.clone();
-                    black_box(engine.execute_round(&mut st, transmitters, 1))
-                })
+        let mut engine = RoundEngine::new(&g);
+        h.bench_with_throughput(
+            &format!("{label}/{}", transmitters.len()),
+            Some(transmitters.len() as u64),
+            || {
+                let mut st = state.clone();
+                black_box(engine.execute_round(&mut st, &transmitters, 1))
             },
         );
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_round);
-criterion_main!(benches);
+    // Observer overhead check: an identical schedule replay with and
+    // without the no-op observer must bench the same.
+    let transmitters: Vec<NodeId> = (0..(n / 2) as NodeId)
+        .filter(|_| rng.next_f64() < 1.0 / 50.0)
+        .collect();
+    let schedule = Schedule::from_rounds(vec![transmitters; 8]);
+    h.bench("replay_plain", || {
+        black_box(run_schedule(
+            &g,
+            0,
+            &schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::SummaryOnly,
+        ))
+    });
+    h.bench("replay_noop_observer", || {
+        black_box(run_schedule_observed(
+            &g,
+            0,
+            &schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::SummaryOnly,
+            &mut NoopObserver,
+        ))
+    });
+
+    h.finish();
+}

@@ -14,16 +14,23 @@
 //!    paper's `1/d` choice sits at the sweet spot.
 
 use radio_analysis::{fnum, CsvWriter, Table};
-use radio_bench::common::{banner, measure_custom, measure_protocol, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, measure_custom, measure_protocol, point_seed, sample_connected_gnp,
+    write_csv, ExpArgs,
+};
+use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
 use radio_broadcast::centralized::{
     build_eg_schedule, greedy_cover_schedule, tree_broadcast_schedule, CentralizedParams,
 };
 use radio_broadcast::distributed::{ConstantProb, EgDistributed, EgVariant};
 use radio_graph::NodeId;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner("E-ABL", "design-choice ablations (DESIGN.md §5)", &args);
+    let claim = "design-choice ablations (DESIGN.md §5)";
+    banner("E-ABL", claim, &args);
+    let mut report = BenchReport::new("ablation", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 11, 1 << 13, 1 << 15);
     let p = (n as f64).ln().powi(2) / n as f64;
@@ -80,15 +87,13 @@ fn main() {
             )
         });
         let Some(s) = &point.rounds else { continue };
+        let build_ms_mean = *build_ms.get_mut() as f64 / trials as f64;
         t1.add_row(vec![
             name.to_string(),
             fnum(s.mean, 1),
             fnum(s.std_dev, 1),
             format!("{}/{}", point.completed, point.trials),
-            fnum(
-                *build_ms.get_mut() as f64 / trials as f64,
-                1,
-            ),
+            fnum(build_ms_mean, 1),
         ]);
         csv.add_row(&[
             "centralized".to_string(),
@@ -97,6 +102,14 @@ fn main() {
             point.completed.to_string(),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("centralized/{name}"))
+                .field("variant", Json::from(*name))
+                .field("rounds", summary_to_json(s))
+                .field("completed", Json::from(point.completed))
+                .field("trials", Json::from(point.trials))
+                .field("build_ms_mean", Json::from(build_ms_mean)),
+        );
     }
     // Tree-broadcast (the Õ(D·Δ) layer-coloring baseline of Clementi et
     // al. [10]) for contrast.
@@ -120,12 +133,13 @@ fn main() {
             )
         });
         if let Some(s) = &point.rounds {
+            let build_ms_mean = *build_ms.get_mut() as f64 / trials as f64;
             t1.add_row(vec![
                 "tree layer-coloring [10]".to_string(),
                 fnum(s.mean, 1),
                 fnum(s.std_dev, 1),
                 format!("{}/{}", point.completed, point.trials),
-                fnum(*build_ms.get_mut() as f64 / trials as f64, 1),
+                fnum(build_ms_mean, 1),
             ]);
             csv.add_row(&[
                 "centralized".to_string(),
@@ -134,6 +148,14 @@ fn main() {
                 point.completed.to_string(),
                 trials.to_string(),
             ]);
+            report.push(
+                BenchPoint::new("centralized/tree layer-coloring")
+                    .field("variant", Json::from("tree layer-coloring"))
+                    .field("rounds", summary_to_json(s))
+                    .field("completed", Json::from(point.completed))
+                    .field("trials", Json::from(point.trials))
+                    .field("build_ms_mean", Json::from(build_ms_mean)),
+            );
         }
     }
     // Pure greedy for reference.
@@ -157,12 +179,13 @@ fn main() {
             )
         });
         if let Some(s) = &point.rounds {
+            let build_ms_mean = *build_ms.get_mut() as f64 / trials as f64;
             t1.add_row(vec![
                 "greedy every round".to_string(),
                 fnum(s.mean, 1),
                 fnum(s.std_dev, 1),
                 format!("{}/{}", point.completed, point.trials),
-                fnum(*build_ms.get_mut() as f64 / trials as f64, 1),
+                fnum(build_ms_mean, 1),
             ]);
             csv.add_row(&[
                 "centralized".to_string(),
@@ -171,6 +194,14 @@ fn main() {
                 point.completed.to_string(),
                 trials.to_string(),
             ]);
+            report.push(
+                BenchPoint::new("centralized/greedy every round")
+                    .field("variant", Json::from("greedy every round"))
+                    .field("rounds", summary_to_json(s))
+                    .field("completed", Json::from(point.completed))
+                    .field("trials", Json::from(point.trials))
+                    .field("build_ms_mean", Json::from(build_ms_mean)),
+            );
         }
     }
     println!("{}", t1.render());
@@ -183,8 +214,9 @@ fn main() {
         ("strict (paper literal)", EgVariant::Strict),
     ] {
         let seed = point_seed(args.seed, &format!("abl/dist/{name}"));
-        let point =
-            measure_protocol(n, p, trials, seed, || EgDistributed::with_variant(p, variant));
+        let point = measure_protocol(n, p, trials, seed, || {
+            EgDistributed::with_variant(p, variant)
+        });
         let (mean, sd) = point
             .rounds
             .as_ref()
@@ -203,6 +235,16 @@ fn main() {
             point.completed.to_string(),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("eg-variant/{name}"))
+                .field("variant", Json::from(name))
+                .field(
+                    "rounds",
+                    point.rounds.as_ref().map_or(Json::Null, summary_to_json),
+                )
+                .field("completed", Json::from(point.completed))
+                .field("trials", Json::from(point.trials)),
+        );
     }
     println!("{}", t2.render());
 
@@ -232,6 +274,17 @@ fn main() {
             point.completed.to_string(),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("q-sweep/c={c}"))
+                .field("c", Json::from(c))
+                .field("q", Json::from(q))
+                .field(
+                    "rounds",
+                    point.rounds.as_ref().map_or(Json::Null, summary_to_json),
+                )
+                .field("completed", Json::from(point.completed))
+                .field("trials", Json::from(point.trials)),
+        );
     }
     println!("{}", t3.render());
     println!();
@@ -241,4 +294,5 @@ fn main() {
     println!("back-fill argument; (3) q = Θ(1/d) is the sweet spot — much larger q");
     println!("collides, much smaller q idles.");
     write_csv("exp_ablation", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -25,23 +25,22 @@
 
 use radio_analysis::{fnum, CsvWriter, Table};
 use radio_bench::common::{
-    banner, measure_custom, measure_protocol, point_seed, sample_connected_gnp, write_csv,
-    ExpArgs,
+    banner, maybe_write_json, measure_custom, measure_protocol, point_seed, sample_connected_gnp,
+    write_csv, ExpArgs,
 };
+use radio_bench::report::{BenchPoint, BenchReport};
 use radio_broadcast::distributed::{
     run_push_gossip, Decay, EgDistributed, EgUnknownDegree, Flooding, RoundRobin,
     SelectiveBroadcast,
 };
 use radio_graph::NodeId;
-use radio_sim::TraceLevel;
+use radio_sim::{Json, TraceLevel};
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-CMP",
-        "protocol comparison at fixed n across densities (related-work §1.2)",
-        &args,
-    );
+    let claim = "protocol comparison at fixed n across densities (related-work §1.2)";
+    banner("E-CMP", claim, &args);
+    let mut report = BenchReport::new("compare", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 10, 1 << 12, 1 << 14);
     let trials = args.trials_or(args.scale(5, 15, 40));
@@ -143,6 +142,14 @@ fn main() {
                 completed.to_string(),
                 trials.to_string(),
             ]);
+            report.push(
+                BenchPoint::new(&format!("{proto}/d={d}"))
+                    .field("protocol", Json::from(*proto))
+                    .field("d", Json::from(d))
+                    .field("mean_rounds", mean.map_or(Json::Null, Json::from))
+                    .field("completed", Json::from(completed))
+                    .field("trials", Json::from(trials)),
+            );
             row.push(cell);
         }
         table.add_row(row);
@@ -155,4 +162,5 @@ fn main() {
     println!("round-robin/selective-family are orders of magnitude slower; flooding");
     println!("completes only on sparse near-tree frontiers and collapses as d grows.");
     write_csv("exp_compare", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -12,19 +12,21 @@
 //! rounds against `ln n / ln(1/f)`.
 
 use radio_analysis::{fnum, CsvWriter, Table};
-use radio_bench::common::{banner, measure_custom, point_seed, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, measure_custom, point_seed, write_csv, ExpArgs,
+};
+use radio_bench::report::{protocol_point_to_json, BenchReport};
 use radio_broadcast::centralized::greedy_cover_schedule;
 use radio_broadcast::theory::dense_regime_bound;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::NodeId;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-DNS",
-        "dense regime p = 1−f: broadcast in Θ(ln n/ln(1/f)) rounds (§3.1 remark)",
-        &args,
-    );
+    let claim = "dense regime p = 1−f: broadcast in Θ(ln n/ln(1/f)) rounds (§3.1 remark)";
+    banner("E-DNS", claim, &args);
+    let mut report = BenchReport::new("dense", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 10, 1 << 11, 1 << 12);
     let trials = args.trials_or(args.scale(4, 10, 20));
@@ -32,7 +34,13 @@ fn main() {
 
     println!("n = {n}, {trials} trials per f; greedy cover schedules\n");
     let mut table = Table::new(vec![
-        "f", "p=1−f", "rounds", "±sd", "ln n/ln(1/f)", "ratio", "ok",
+        "f",
+        "p=1−f",
+        "rounds",
+        "±sd",
+        "ln n/ln(1/f)",
+        "ratio",
+        "ok",
     ]);
     let mut csv = CsvWriter::new(&["f", "mean_rounds", "bound", "completed", "trials"]);
 
@@ -68,6 +76,12 @@ fn main() {
             point.completed.to_string(),
             trials.to_string(),
         ]);
+        report.push(
+            protocol_point_to_json(&format!("f={f}"), &point)
+                .field("f", Json::from(f))
+                .field("bound", Json::from(bound))
+                .field("rounds_over_bound", Json::from(s.mean / bound)),
+        );
     }
 
     println!("{}", table.render());
@@ -77,4 +91,5 @@ fn main() {
     println!("the paper's dense-regime remark states (and opposite to flooding, which");
     println!("gets *worse* with density; see exp_flood).");
     write_csv("exp_dense", csv.finish());
+    maybe_write_json(&args, &report);
 }

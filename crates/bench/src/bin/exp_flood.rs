@@ -14,18 +14,19 @@
 //! everything else in the paper.
 
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Table};
-use radio_bench::common::{banner, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{BenchPoint, BenchReport};
 use radio_broadcast::distributed::Flooding;
 use radio_graph::NodeId;
-use radio_sim::{run_protocol, run_trials, RunConfig, TraceLevel};
+use radio_sim::{run_protocol, run_trials, Json, RunConfig, TraceLevel};
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-FLD",
-        "naive flooding collapses under collisions as density grows (§1.1)",
-        &args,
-    );
+    let claim = "naive flooding collapses under collisions as density grows (§1.1)";
+    banner("E-FLD", claim, &args);
+    let mut report = BenchReport::new("flood", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 10, 1 << 12, 1 << 14);
     let trials = args.trials_or(args.scale(10, 30, 100));
@@ -42,7 +43,13 @@ fn main() {
         "mean informed frac at end",
         "mean rounds (completed)",
     ]);
-    let mut csv = CsvWriter::new(&["d", "completions", "trials", "mean_informed_frac", "mean_rounds"]);
+    let mut csv = CsvWriter::new(&[
+        "d",
+        "completions",
+        "trials",
+        "mean_informed_frac",
+        "mean_rounds",
+    ]);
 
     for &d in &degrees {
         let p = d / n as f64;
@@ -67,8 +74,7 @@ fn main() {
             continue;
         }
         let completions = valid.iter().filter(|(c, _, _)| *c).count();
-        let mean_frac =
-            valid.iter().map(|(_, f, _)| f).sum::<f64>() / valid.len() as f64;
+        let mean_frac = valid.iter().map(|(_, f, _)| f).sum::<f64>() / valid.len() as f64;
         let completed_rounds: Vec<f64> = valid
             .iter()
             .filter(|(c, _, _)| *c)
@@ -97,9 +103,23 @@ fn main() {
             format!("{mean_frac}"),
             completed_rounds
                 .first()
-                .map(|_| format!("{}", completed_rounds.iter().sum::<f64>() / completed_rounds.len() as f64))
+                .map(|_| {
+                    format!(
+                        "{}",
+                        completed_rounds.iter().sum::<f64>() / completed_rounds.len() as f64
+                    )
+                })
                 .unwrap_or_default(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("d={d}"))
+                .field("n", Json::from(n))
+                .field("d", Json::from(d))
+                .field("completion_rate", Json::from(ci.estimate))
+                .field("completions", Json::from(completions))
+                .field("trials", Json::from(valid.len()))
+                .field("mean_informed_frac", Json::from(mean_frac)),
+        );
     }
 
     println!("{}", table.render());
@@ -110,4 +130,5 @@ fn main() {
     println!("not reachability, are the obstacle the paper's algorithms solve; contrast");
     println!("flooding's plateau with exp_compare, where EG completes at every density.");
     write_csv("exp_flood", csv.finish());
+    maybe_write_json(&args, &report);
 }

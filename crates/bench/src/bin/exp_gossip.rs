@@ -18,25 +18,47 @@
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fnum, CsvWriter, Table};
-use radio_bench::common::{banner, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
 use radio_broadcast::distributed::{ConstantProb, Decay};
 use radio_broadcast::gossiping::run_radio_gossiping;
 use radio_sim::run_trials;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-GOS",
-        "radio gossiping (all-to-all) completes in Θ(d·ln n) with 1/d-selectivity (open problem §4)",
-        &args,
-    );
+    let claim =
+        "radio gossiping (all-to-all) completes in Θ(d·ln n) with 1/d-selectivity (open problem §4)";
+    banner("E-GOS", claim, &args);
+    let mut report = BenchReport::new("gossip", claim, args.mode(), args.seed);
 
-    let exps: Vec<u32> = args.scale(vec![8, 9, 10], vec![8, 9, 10, 11, 12], vec![8, 9, 10, 11, 12, 13]);
+    let exps: Vec<u32> = args.scale(
+        vec![8, 9, 10],
+        vec![8, 9, 10, 11, 12],
+        vec![8, 9, 10, 11, 12, 13],
+    );
     let trials = args.trials_or(args.scale(5, 15, 30));
 
     println!("## Scaling in n (d = ln²n regime, strategy: constant q = 1/d)\n");
-    let mut table = Table::new(vec!["n", "d", "rounds", "±sd", "d·ln n", "rounds/(d·ln n)", "ok"]);
-    let mut csv = CsvWriter::new(&["section", "n", "strategy", "mean_rounds", "completed", "trials"]);
+    let mut table = Table::new(vec![
+        "n",
+        "d",
+        "rounds",
+        "±sd",
+        "d·ln n",
+        "rounds/(d·ln n)",
+        "ok",
+    ]);
+    let mut csv = CsvWriter::new(&[
+        "section",
+        "n",
+        "strategy",
+        "mean_rounds",
+        "completed",
+        "trials",
+    ]);
     let mut fit_points: Vec<(f64, f64)> = Vec::new();
 
     for &k in &exps {
@@ -81,6 +103,16 @@ fn main() {
             rounds.len().to_string(),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("scale/n={n}"))
+                .field("n", Json::from(n))
+                .field("d", Json::from(d))
+                .field("rounds", summary_to_json(&s))
+                .field("d_ln_n", Json::from(scale))
+                .field("rounds_over_d_ln_n", Json::from(s.mean / scale))
+                .field("completed", Json::from(rounds.len()))
+                .field("trials", Json::from(trials)),
+        );
         fit_points.push((scale, s.mean));
     }
     println!("{}", table.render());
@@ -92,9 +124,18 @@ fn main() {
             "\nfit: rounds ≈ {:.2}·(d·ln n) + {:.2}   (R² = {:.3})\n",
             fit.coeffs[0], fit.coeffs[1], fit.r_squared
         );
+        report.push(
+            BenchPoint::new("fit")
+                .field("a", Json::from(fit.coeffs[0]))
+                .field("b", Json::from(fit.coeffs[1]))
+                .field("r_squared", Json::from(fit.r_squared)),
+        );
     }
 
-    println!("## Strategy comparison (n = {}, d = ln²n)\n", 1usize << exps[exps.len() - 1]);
+    println!(
+        "## Strategy comparison (n = {}, d = ln²n)\n",
+        1usize << exps[exps.len() - 1]
+    );
     let n = 1usize << exps[exps.len() - 1];
     let p = (n as f64).ln().powi(2) / n as f64;
     let d = p * n as f64;
@@ -128,7 +169,9 @@ fn main() {
         .into_iter()
         .filter(|x| x.is_finite())
         .collect();
-        let (mean, sd) = radio_analysis::Summary::of(&rounds)
+        let summary = radio_analysis::Summary::of(&rounds);
+        let (mean, sd) = summary
+            .as_ref()
             .map(|s| (fnum(s.mean, 1), fnum(s.std_dev, 1)))
             .unwrap_or(("—".into(), "—".into()));
         t2.add_row(vec![
@@ -145,6 +188,17 @@ fn main() {
             rounds.len().to_string(),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("strategy/{name}"))
+                .field("strategy", Json::from(*name))
+                .field("n", Json::from(n))
+                .field(
+                    "rounds",
+                    summary.as_ref().map_or(Json::Null, summary_to_json),
+                )
+                .field("completed", Json::from(rounds.len()))
+                .field("trials", Json::from(trials)),
+        );
     }
     println!("{}", t2.render());
     println!();
@@ -155,4 +209,5 @@ fn main() {
     println!("model; whether topology-adaptive schedules can remove the d factor is the");
     println!("open question the paper's §4 points at.");
     write_csv("exp_gossip", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -12,17 +12,19 @@
 //! bounds.  Averages are over multiple graph samples.
 
 use radio_analysis::{fnum, fsci, CsvWriter, Table};
-use radio_bench::common::{banner, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{BenchPoint, BenchReport};
 use radio_graph::layers::analyze_layers;
 use radio_graph::{Layering, NodeId, Xoshiro256pp};
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-L3",
-        "BFS layers grow like d^i and are near-trees (Lemma 3)",
-        &args,
-    );
+    let claim = "BFS layers grow like d^i and are near-trees (Lemma 3)";
+    banner("E-L3", claim, &args);
+    let mut report = BenchReport::new("l3", claim, args.mode(), args.seed);
 
     let n = args.scale(20_000, 100_000, 400_000);
     // Degrees pinned to multiples of ln n so every setting sits above the
@@ -32,8 +34,14 @@ fn main() {
     let samples = args.trials_or(args.scale(2, 5, 10));
 
     let mut csv = CsvWriter::new(&[
-        "d", "layer", "size", "predicted_d_pow_i", "multi_parent_frac", "bound_1_over_d2",
-        "intra_edges_per_node", "max_children",
+        "d",
+        "layer",
+        "size",
+        "predicted_d_pow_i",
+        "multi_parent_frac",
+        "bound_1_over_d2",
+        "intra_edges_per_node",
+        "max_children",
     ]);
 
     for &d in &degrees {
@@ -76,9 +84,7 @@ fn main() {
         }
 
         let realized_d = d; // target ≈ realized for G(n,p)
-        for (i, (&(size, mp, intra, _par, maxc), &cnt)) in
-            acc.iter().zip(&counts).enumerate()
-        {
+        for (i, (&(size, mp, intra, _par, maxc), &cnt)) in acc.iter().zip(&counts).enumerate() {
             if cnt == 0 {
                 break;
             }
@@ -113,6 +119,16 @@ fn main() {
                 format!("{intra}"),
                 maxc.to_string(),
             ]);
+            report.push(
+                BenchPoint::new(&format!("d={d:.1}/layer={i}"))
+                    .field("d", Json::from(d))
+                    .field("layer", Json::from(i))
+                    .field("size", Json::from(size))
+                    .field("predicted_d_pow_i", Json::from(pred))
+                    .field("multi_parent_frac", Json::from(mp))
+                    .field("intra_edges_per_node", Json::from(intra))
+                    .field("max_children", Json::from(maxc)),
+            );
         }
         println!("{}", table.render());
         println!();
@@ -123,4 +139,5 @@ fn main() {
     println!("intra-edge density stays far below 1 — the layers are near-trees, which is");
     println!("what makes parity flooding (phase 1 of Theorem 5) collision-free.");
     write_csv("exp_l3", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -14,22 +14,22 @@
 //! saturation rate, crossing the `|Y| ≈ n/d²` boundary the lemma names.
 
 use radio_analysis::{fnum, mean_ci, proportion_ci, CsvWriter, Table};
-use radio_bench::common::{banner, point_seed, write_csv, ExpArgs};
+use radio_bench::common::{banner, maybe_write_json, point_seed, write_csv, ExpArgs};
+use radio_bench::report::{BenchPoint, BenchReport};
 use radio_graph::bipartite::{
     greedy_independent_matching, is_independent_cover, is_independent_matching,
     random_independent_cover,
 };
 use radio_graph::gnp::sample_gnp;
 use radio_graph::NodeId;
-use radio_sim::run_trials;
+use radio_sim::{run_trials, Json};
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-L4",
-        "independent coverings cover Ω(|Y|); matchings saturate Y when |X|/|Y| = Ω(d²) (Lemma 4)",
-        &args,
-    );
+    let claim =
+        "independent coverings cover Ω(|Y|); matchings saturate Y when |X|/|Y| = Ω(d²) (Lemma 4)";
+    banner("E-L4", claim, &args);
+    let mut report = BenchReport::new("l4", claim, args.mode(), args.seed);
 
     let n = args.scale(4_000, 20_000, 80_000);
     let d = 30.0;
@@ -77,13 +77,25 @@ fn main() {
             format!("{}", ci.estimate),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("cover/|Y|={y_size}"))
+                .field("y_size", Json::from(y_size))
+                .field("y_frac", Json::from(yf))
+                .field("covered_frac", Json::from(ci.estimate))
+                .field("ci_lo", Json::from(ci.lo))
+                .field("ci_hi", Json::from(ci.hi))
+                .field("trials", Json::from(trials)),
+        );
     }
     println!("{}", t1.render());
 
     // ---- Part 2: independent matching saturation --------------------------
     println!("\n## Part 2 — greedy independent matching saturating Y\n");
     let d2 = (d * d) as usize;
-    println!("n = {n}, d = {d}, n/d² = {}; lemma predicts full saturation for |Y| ≲ n/d²\n", n / d2);
+    println!(
+        "n = {n}, d = {d}, n/d² = {}; lemma predicts full saturation for |Y| ≲ n/d²\n",
+        n / d2
+    );
     let mut t2 = Table::new(vec![
         "|Y|",
         "|Y|·d²/n",
@@ -103,10 +115,12 @@ fn main() {
             let valid = is_independent_matching(&g, &m);
             (m.len() == y_size, m.len() as f64 / y_size as f64, valid)
         });
-        assert!(results.iter().all(|&(_, _, v)| v), "invalid matching produced");
+        assert!(
+            results.iter().all(|&(_, _, v)| v),
+            "invalid matching produced"
+        );
         let saturated = results.iter().filter(|&&(s, _, _)| s).count();
-        let mean_frac =
-            results.iter().map(|&(_, f, _)| f).sum::<f64>() / results.len() as f64;
+        let mean_frac = results.iter().map(|&(_, f, _)| f).sum::<f64>() / results.len() as f64;
         let ci = proportion_ci(saturated, results.len()).unwrap();
         t2.add_row(vec![
             y_size.to_string(),
@@ -122,6 +136,16 @@ fn main() {
             format!("{}", ci.estimate),
             trials.to_string(),
         ]);
+        report.push(
+            BenchPoint::new(&format!("matching/|Y|={y_size}"))
+                .field("y_size", Json::from(y_size))
+                .field("ratio_yd2_over_n", Json::from(r))
+                .field("saturation_rate", Json::from(ci.estimate))
+                .field("ci_lo", Json::from(ci.lo))
+                .field("ci_hi", Json::from(ci.hi))
+                .field("mean_matched_frac", Json::from(mean_frac))
+                .field("trials", Json::from(trials)),
+        );
     }
     println!("{}", t2.render());
     println!();
@@ -129,4 +153,5 @@ fn main() {
     println!("ratio, as Lemma 4(1) predicts; part 2 saturates Y completely while |Y| is");
     println!("below ~n/d² and degrades beyond it, locating Lemma 4(2)'s threshold.");
     write_csv("exp_l4", csv.finish());
+    maybe_write_json(&args, &report);
 }

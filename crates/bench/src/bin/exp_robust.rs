@@ -16,29 +16,42 @@
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Summary, Table};
-use radio_bench::common::{banner, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::NodeId;
-use radio_sim::{run_protocol, run_protocol_multi, run_trials, Protocol, RunConfig, TraceLevel};
+use radio_sim::{
+    run_protocol, run_protocol_multi, run_trials, Json, Protocol, RunConfig, TraceLevel,
+};
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-ROB",
-        "broadcast under per-reception loss f: rounds grow ≈ 1/(1−f), completion maintained",
-        &args,
-    );
+    let claim =
+        "broadcast under per-reception loss f: rounds grow ≈ 1/(1−f), completion maintained";
+    banner("E-ROB", claim, &args);
+    let mut report = BenchReport::new("robust", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 11, 1 << 13, 1 << 15);
     let p = (n as f64).ln().powi(2) / n as f64;
     let trials = args.trials_or(args.scale(8, 25, 60));
     let losses = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9];
 
-    println!("n = {n}, d = {:.1}, {trials} trials per cell\n", p * n as f64);
+    println!(
+        "n = {n}, d = {:.1}, {trials} trials per cell\n",
+        p * n as f64
+    );
     println!("## Loss sweep\n");
 
     let mut table = Table::new(vec![
-        "protocol", "loss f", "completion", "rounds", "±sd", "slowdown vs f=0", "1/(1−f)",
+        "protocol",
+        "loss f",
+        "completion",
+        "rounds",
+        "±sd",
+        "slowdown vs f=0",
+        "1/(1−f)",
     ]);
     let mut csv = CsvWriter::new(&["protocol", "loss", "completions", "trials", "mean_rounds"]);
 
@@ -87,6 +100,16 @@ fn main() {
                 trials.to_string(),
                 mean.map(|m| format!("{m}")).unwrap_or_default(),
             ]);
+            report.push(
+                BenchPoint::new(&format!("{proto_name}/f={f}"))
+                    .field("protocol", Json::from(proto_name))
+                    .field("loss", Json::from(f))
+                    .field("completion_rate", Json::from(ci.estimate))
+                    .field("ci_lo", Json::from(ci.lo))
+                    .field("ci_hi", Json::from(ci.hi))
+                    .field("rounds", s.as_ref().map_or(Json::Null, summary_to_json))
+                    .field("trials", Json::from(trials)),
+            );
         }
     }
     println!("{}", table.render());
@@ -113,7 +136,9 @@ fn main() {
         .into_iter()
         .filter(|x| x.is_finite())
         .collect();
-        let Some(s) = Summary::of(&rounds) else { continue };
+        let Some(s) = Summary::of(&rounds) else {
+            continue;
+        };
         t2.add_row(vec![
             k.to_string(),
             fnum(s.mean, 1),
@@ -127,6 +152,13 @@ fn main() {
             trials.to_string(),
             format!("{}", s.mean),
         ]);
+        report.push(
+            BenchPoint::new(&format!("multi-source/k={k}"))
+                .field("k", Json::from(k))
+                .field("rounds", summary_to_json(&s))
+                .field("completed", Json::from(rounds.len()))
+                .field("trials", Json::from(trials)),
+        );
     }
     println!("{}", t2.render());
     println!();
@@ -138,4 +170,5 @@ fn main() {
     println!("is almost nothing for k sources to shave — robustness comes from the");
     println!("selective phase, not the flood.");
     write_csv("exp_robust", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -1,0 +1,153 @@
+//! Experiment E-SUM — one-page performance summary (`BENCH_sim.json`).
+//!
+//! Aggregates the repo's three headline performance numbers into a single
+//! versioned [`BenchReport`] committed at the repository root as
+//! `BENCH_sim.json`, so the trajectory of the simulator is visible across
+//! PRs without re-running every experiment:
+//!
+//! 1. **round-engine throughput** — `execute_round` at the `1/d`
+//!    transmitter fraction the protocols use, in transmitters/second, plus
+//!    the no-op-observer replay to pin the "observer is free" invariant;
+//! 2. **schedule-build time** — `build_eg_schedule` (the five-phase
+//!    centralized construction) wall time at a fixed `(n, p)`;
+//! 3. **protocol round counts** — eg-distributed and decay at a fixed
+//!    `(n, p)` with 95% confidence intervals.
+//!
+//! Unlike the other experiments, this one writes JSON *by default*: to
+//! `BENCH_sim.json` in the current directory unless `--json PATH` (or
+//! `RADIO_JSON_OUT`) overrides the destination.
+
+use radio_bench::common::{banner, measure_protocol, point_seed, ExpArgs};
+use radio_bench::harness::Harness;
+use radio_bench::report::{protocol_point_to_json, BenchReport};
+use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
+use radio_broadcast::distributed::{Decay, EgDistributed};
+use radio_graph::gnp::sample_gnp;
+use radio_graph::{NodeId, Xoshiro256pp};
+use radio_sim::{
+    run_schedule, run_schedule_observed, BroadcastState, Json, NoopObserver, RoundEngine, Schedule,
+    TraceLevel, TransmitterPolicy,
+};
+use std::hint::black_box;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let claim = "aggregate performance summary: engine throughput, schedule build, protocol rounds";
+    banner("E-SUM", claim, &args);
+    let mut report = BenchReport::new("sim_summary", claim, args.mode(), args.seed);
+
+    // ---- 1. round-engine throughput ---------------------------------------
+    let n = args.scale(20_000, 50_000, 100_000);
+    let d = 50.0;
+    println!("## 1. Round-engine throughput (n = {n}, d = {d})\n");
+    let mut h = Harness::new("engine");
+    h.sample_size(args.scale(5, 10, 20));
+    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/engine"));
+    let g = sample_gnp(n, d / n as f64, &mut rng);
+    let mut state = BroadcastState::new(n, 0);
+    for v in 0..(n / 2) as NodeId {
+        state.inform(v, 0);
+    }
+    let transmitters: Vec<NodeId> = (0..(n / 2) as NodeId)
+        .filter(|_| rng.next_f64() < 1.0 / d)
+        .collect();
+    let mut engine = RoundEngine::new(&g);
+    h.bench_with_throughput(
+        "execute_round_frac_1_over_d",
+        Some(transmitters.len() as u64),
+        || {
+            let mut st = state.clone();
+            black_box(engine.execute_round(&mut st, &transmitters, 1))
+        },
+    );
+    let schedule = Schedule::from_rounds(vec![transmitters.clone(); 8]);
+    h.bench("replay_plain", || {
+        black_box(run_schedule(
+            &g,
+            0,
+            &schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::SummaryOnly,
+        ))
+    });
+    h.bench("replay_noop_observer", || {
+        black_box(run_schedule_observed(
+            &g,
+            0,
+            &schedule,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::SummaryOnly,
+            &mut NoopObserver,
+        ))
+    });
+    for stats in h.results() {
+        let mut point = stats.to_point();
+        point.label = format!("engine/{}", point.label);
+        report.push(point);
+    }
+
+    // ---- 2. schedule-build time -------------------------------------------
+    let ns = args.scale(4_000, 10_000, 30_000);
+    let ps = (ns as f64).ln().powi(2) / ns as f64;
+    println!("\n## 2. Centralized schedule build (n = {ns}, d = ln²n)\n");
+    let mut hs = Harness::new("schedule");
+    hs.sample_size(args.scale(3, 5, 10));
+    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/schedule"));
+    let gs = sample_gnp(ns, ps, &mut rng);
+    hs.bench("build_eg_schedule", || {
+        let mut r = Xoshiro256pp::new(42);
+        black_box(build_eg_schedule(
+            &gs,
+            0,
+            CentralizedParams::default(),
+            &mut r,
+        ))
+    });
+    for stats in hs.results() {
+        let mut point = stats.to_point();
+        point.label = format!("schedule/{}", point.label);
+        report.push(point);
+    }
+
+    // ---- 3. protocol round counts with CIs --------------------------------
+    let np = args.scale(1 << 12, 1 << 13, 1 << 15);
+    let pp = (np as f64).ln().powi(2) / np as f64;
+    let trials = args.trials_or(args.scale(8, 20, 50));
+    println!("\n## 3. Protocol round counts (n = {np}, d = ln²n, {trials} trials)\n");
+    for proto_name in ["eg-distributed", "decay"] {
+        let seed = point_seed(args.seed, &format!("sum/proto/{proto_name}"));
+        let point = match proto_name {
+            "eg-distributed" => measure_protocol(np, pp, trials, seed, || EgDistributed::new(pp)),
+            _ => measure_protocol(np, pp, trials, seed, Decay::new),
+        };
+        let ci = point
+            .rounds
+            .as_ref()
+            .map(|s| (s.mean - 1.96 * s.std_err(), s.mean + 1.96 * s.std_err()));
+        match (&point.rounds, ci) {
+            (Some(s), Some((lo, hi))) => println!(
+                "{proto_name:>16}: mean {:.1} rounds  95% CI [{lo:.1}, {hi:.1}]  ({}/{} completed)",
+                s.mean, point.completed, point.trials
+            ),
+            _ => println!("{proto_name:>16}: no completions"),
+        }
+        let mut jp = protocol_point_to_json(&format!("protocol/{proto_name}"), &point);
+        if let Some((lo, hi)) = ci {
+            jp = jp
+                .field("rounds_ci_lo", Json::from(lo))
+                .field("rounds_ci_hi", Json::from(hi));
+        }
+        report.push(jp);
+    }
+
+    // Default destination: BENCH_sim.json at the repo root (cwd when run via
+    // `cargo run`); `--json`/`RADIO_JSON_OUT` overrides.
+    let path = args
+        .json_out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sim.json"));
+    match report.write(&path) {
+        Ok(()) => println!("\nsummary report written to {}", path.display()),
+        Err(e) => eprintln!("\nwarning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -14,18 +14,20 @@
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fit_centralized_form, fnum, CsvWriter, Table};
-use radio_bench::common::{banner, measure_custom, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, measure_custom, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{protocol_point_to_json, BenchPoint, BenchReport};
 use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
 use radio_broadcast::theory::centralized_bound;
 use radio_graph::NodeId;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-T5",
-        "centralized broadcast in O(ln n/ln d + ln d) rounds (Theorem 5)",
-        &args,
-    );
+    let claim = "centralized broadcast in O(ln n/ln d + ln d) rounds (Theorem 5)";
+    banner("E-T5", claim, &args);
+    let mut report = BenchReport::new("t5", claim, args.mode(), args.seed);
 
     let exps: Vec<u32> = match () {
         _ if args.quick => vec![10, 12],
@@ -36,8 +38,16 @@ fn main() {
 
     // Density regimes (name, p(n), max n for tractability).
     let regimes: Vec<(&str, fn(usize) -> f64, usize)> = vec![
-        ("threshold 3ln n/n", |n| 3.0 * (n as f64).ln() / n as f64, usize::MAX),
-        ("polylog ln²n/n", |n| (n as f64).ln().powi(2) / n as f64, usize::MAX),
+        (
+            "threshold 3ln n/n",
+            |n| 3.0 * (n as f64).ln() / n as f64,
+            usize::MAX,
+        ),
+        (
+            "polylog ln²n/n",
+            |n| (n as f64).ln().powi(2) / n as f64,
+            usize::MAX,
+        ),
         ("sqrt n^-1/2", |n| (n as f64).powf(-0.5), 1 << 15),
         ("const p=0.1", |_| 0.1, 1 << 13),
     ];
@@ -45,7 +55,17 @@ fn main() {
     let mut table = Table::new(vec![
         "regime", "n", "d(avg)", "rounds", "±sd", "B(n,d)", "rounds/B", "ok",
     ]);
-    let mut csv = CsvWriter::new(&["regime", "n", "p", "mean_degree", "mean_rounds", "sd_rounds", "bound", "completed", "trials"]);
+    let mut csv = CsvWriter::new(&[
+        "regime",
+        "n",
+        "p",
+        "mean_degree",
+        "mean_rounds",
+        "sd_rounds",
+        "bound",
+        "completed",
+        "trials",
+    ]);
     let mut fit_points: Vec<(usize, f64, f64)> = Vec::new();
 
     for (name, pf, max_n) in &regimes {
@@ -95,6 +115,12 @@ fn main() {
                 point.completed.to_string(),
                 point.trials.to_string(),
             ]);
+            report.push(
+                protocol_point_to_json(&format!("{name}/n={n}"), &point)
+                    .field("regime", Json::from(*name))
+                    .field("bound", Json::from(bound))
+                    .field("rounds_over_bound", Json::from(ratio)),
+            );
             fit_points.push((n, d, rounds.mean));
         }
     }
@@ -110,6 +136,14 @@ fn main() {
         println!(
             "paper predicts rounds = Θ(ln n/ln d + ln d): coefficients a, b should be positive O(1) constants."
         );
+        report.push(
+            BenchPoint::new("fit")
+                .field("a", Json::from(fit.a))
+                .field("b", Json::from(fit.b))
+                .field("c", Json::from(fit.c))
+                .field("r_squared", Json::from(fit.r_squared)),
+        );
     }
     write_csv("exp_t5", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -18,22 +18,22 @@
 //!    constant multiple of `B(n, d)`, locating OPT between the two.
 
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Summary, Table};
-use radio_bench::common::{banner, point_seed, sample_connected_gnp, write_csv, ExpArgs};
-use radio_broadcast::centralized::greedy_cover_schedule;
-use radio_broadcast::lower_bound::{
-    run_relaxed, sample_bounded_sets, sample_disjoint_small_sets,
+use radio_bench::common::{
+    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
 };
+use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
+use radio_broadcast::centralized::greedy_cover_schedule;
+use radio_broadcast::lower_bound::{run_relaxed, sample_bounded_sets, sample_disjoint_small_sets};
 use radio_broadcast::theory::centralized_bound;
 use radio_graph::{child_rng, gnp::sample_gnp, NodeId, Xoshiro256pp};
 use radio_sim::run_trials;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-T6",
-        "no centralized schedule completes in o(ln n/ln d + ln d) rounds (Theorem 6)",
-        &args,
-    );
+    let claim = "no centralized schedule completes in o(ln n/ln d + ln d) rounds (Theorem 6)";
+    banner("E-T6", claim, &args);
+    let mut report = BenchReport::new("t6", claim, args.mode(), args.seed);
 
     let schedules_per_point = args.trials_or(args.scale(200, 2000, 10_000));
 
@@ -46,18 +46,29 @@ fn main() {
     let bound = centralized_bound(n_dense, d);
 
     let mut table = Table::new(vec![
-        "c", "rounds", "completion rate", "95% CI", "mean uninformed",
+        "c",
+        "rounds",
+        "completion rate",
+        "95% CI",
+        "mean uninformed",
     ]);
-    let mut csv = CsvWriter::new(&["case", "n", "c", "rounds", "completions", "trials", "mean_uninformed"]);
+    let mut csv = CsvWriter::new(&[
+        "case",
+        "n",
+        "c",
+        "rounds",
+        "completions",
+        "trials",
+        "mean_uninformed",
+    ]);
     for &c in &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let rounds = ((c * bound).ceil() as usize).max(1).min(n_dense / 2);
         let seed = point_seed(args.seed, &format!("t6/dense/{c}"));
-        let outcomes: Vec<(bool, usize)> =
-            run_trials(schedules_per_point, seed, |_i, rng| {
-                let sched = sample_disjoint_small_sets(n_dense, rounds, rng);
-                let r = run_relaxed(&g, 0, &sched);
-                (r.completed, r.n - r.informed)
-            });
+        let outcomes: Vec<(bool, usize)> = run_trials(schedules_per_point, seed, |_i, rng| {
+            let sched = sample_disjoint_small_sets(n_dense, rounds, rng);
+            let r = run_relaxed(&g, 0, &sched);
+            (r.completed, r.n - r.informed)
+        });
         let completions = outcomes.iter().filter(|&&(c, _)| c).count();
         let mean_uninf =
             outcomes.iter().map(|&(_, u)| u as f64).sum::<f64>() / outcomes.len() as f64;
@@ -78,6 +89,17 @@ fn main() {
             outcomes.len().to_string(),
             format!("{mean_uninf}"),
         ]);
+        report.push(
+            BenchPoint::new(&format!("dense/c={c}"))
+                .field("n", Json::from(n_dense))
+                .field("c", Json::from(c))
+                .field("rounds", Json::from(rounds))
+                .field("completion_rate", Json::from(ci.estimate))
+                .field("ci_lo", Json::from(ci.lo))
+                .field("ci_hi", Json::from(ci.hi))
+                .field("mean_uninformed", Json::from(mean_uninf))
+                .field("trials", Json::from(outcomes.len())),
+        );
     }
     println!("n = {n_dense}, d̄ = {d:.1}, B(n,d) = {bound:.1} rounds\n");
     println!("{}", table.render());
@@ -92,16 +114,21 @@ fn main() {
     let bounds = centralized_bound(n_sparse, ds);
     let max_set = ((n_sparse as f64 / ds) as usize).max(2);
 
-    let mut table2 = Table::new(vec!["c", "rounds", "completion rate", "95% CI", "mean uninformed"]);
+    let mut table2 = Table::new(vec![
+        "c",
+        "rounds",
+        "completion rate",
+        "95% CI",
+        "mean uninformed",
+    ]);
     for &c in &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let rounds = ((c * bounds).ceil() as usize).max(1);
         let seed = point_seed(args.seed, &format!("t6/sparse/{c}"));
-        let outcomes: Vec<(bool, usize)> =
-            run_trials(schedules_per_point / 4, seed, |_i, rng| {
-                let sched = sample_bounded_sets(n_sparse, rounds, max_set, rng);
-                let r = run_relaxed(&gs, 0, &sched);
-                (r.completed, r.n - r.informed)
-            });
+        let outcomes: Vec<(bool, usize)> = run_trials(schedules_per_point / 4, seed, |_i, rng| {
+            let sched = sample_bounded_sets(n_sparse, rounds, max_set, rng);
+            let r = run_relaxed(&gs, 0, &sched);
+            (r.completed, r.n - r.informed)
+        });
         let completions = outcomes.iter().filter(|&&(c, _)| c).count();
         let mean_uninf =
             outcomes.iter().map(|&(_, u)| u as f64).sum::<f64>() / outcomes.len() as f64;
@@ -122,13 +149,31 @@ fn main() {
             (schedules_per_point / 4).to_string(),
             format!("{mean_uninf}"),
         ]);
+        report.push(
+            BenchPoint::new(&format!("sparse/c={c}"))
+                .field("n", Json::from(n_sparse))
+                .field("c", Json::from(c))
+                .field("rounds", Json::from(rounds))
+                .field("completion_rate", Json::from(ci.estimate))
+                .field("ci_lo", Json::from(ci.lo))
+                .field("ci_hi", Json::from(ci.hi))
+                .field("mean_uninformed", Json::from(mean_uninf))
+                .field("trials", Json::from(schedules_per_point / 4)),
+        );
     }
     println!("n = {n_sparse}, d̄ = {ds:.1}, B(n,d) = {bounds:.1}, |S| ≤ {max_set}\n");
     println!("{}", table2.render());
 
     // ---- Part 2: best-effort greedy schedule vs the bound -----------------
     println!("\n## Greedy best-effort schedule (upper bound on OPT) vs B(n,d)\n");
-    let mut table3 = Table::new(vec!["n", "d(avg)", "greedy rounds", "±sd", "B(n,d)", "greedy/B"]);
+    let mut table3 = Table::new(vec![
+        "n",
+        "d(avg)",
+        "greedy rounds",
+        "±sd",
+        "B(n,d)",
+        "greedy/B",
+    ]);
     let greedy_trials = args.scale(3, 8, 15);
     let exps: Vec<u32> = args.scale(vec![10, 11], vec![10, 12, 14], vec![10, 12, 14, 16]);
     for &k in &exps {
@@ -150,7 +195,9 @@ fn main() {
         .into_iter()
         .filter(|x| x.is_finite())
         .collect();
-        let Some(s) = Summary::of(&rounds) else { continue };
+        let Some(s) = Summary::of(&rounds) else {
+            continue;
+        };
         // Realized degree from one sample for the bound column.
         let mut rng = child_rng(seed, 999);
         let d = sample_gnp(n, p, &mut rng).average_degree();
@@ -163,10 +210,19 @@ fn main() {
             fnum(b, 1),
             fnum(s.mean / b, 2),
         ]);
+        report.push(
+            BenchPoint::new(&format!("greedy/n={n}"))
+                .field("n", Json::from(n))
+                .field("mean_degree", Json::from(d))
+                .field("rounds", summary_to_json(&s))
+                .field("bound", Json::from(b))
+                .field("rounds_over_bound", Json::from(s.mean / b)),
+        );
     }
     println!("{}", table3.render());
     println!("\nreading: completion probability ≈ 0 for c ≲ 4 (schedules an order of");
     println!("magnitude longer than B still fail), and even the greedy OPT proxy needs");
     println!("a constant multiple of B — OPT is sandwiched within Θ(ln n/ln d + ln d).");
     write_csv("exp_t6", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -12,17 +12,19 @@
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fit_log_form, fnum, CsvWriter, Table};
-use radio_bench::common::{banner, measure_protocol, point_seed, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, measure_protocol, point_seed, write_csv, ExpArgs,
+};
+use radio_bench::report::{protocol_point_to_json, BenchReport};
 use radio_broadcast::distributed::EgDistributed;
 use radio_broadcast::theory::distributed_bound;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-T7",
-        "distributed broadcast in O(ln n) rounds knowing only n, p (Theorem 7)",
-        &args,
-    );
+    let claim = "distributed broadcast in O(ln n) rounds knowing only n, p (Theorem 7)";
+    banner("E-T7", claim, &args);
+    let mut report = BenchReport::new("t7", claim, args.mode(), args.seed);
 
     let exps: Vec<u32> = match () {
         _ if args.quick => vec![10, 12],
@@ -32,16 +34,34 @@ fn main() {
     let trials = args.trials_or(args.scale(8, 25, 50));
 
     let regimes: Vec<(&str, fn(usize) -> f64, usize)> = vec![
-        ("polylog ln²n/n", |n| (n as f64).ln().powi(2) / n as f64, usize::MAX),
+        (
+            "polylog ln²n/n",
+            |n| (n as f64).ln().powi(2) / n as f64,
+            usize::MAX,
+        ),
         ("sqrt n^-1/2", |n| (n as f64).powf(-0.5), 1 << 16),
         ("const p=0.05", |_| 0.05, 1 << 13),
     ];
 
     let mut table = Table::new(vec![
-        "regime", "n", "d(avg)", "rounds", "±sd", "ln n", "rounds/ln n", "ok",
+        "regime",
+        "n",
+        "d(avg)",
+        "rounds",
+        "±sd",
+        "ln n",
+        "rounds/ln n",
+        "ok",
     ]);
     let mut csv = CsvWriter::new(&[
-        "regime", "n", "p", "mean_degree", "mean_rounds", "sd_rounds", "ln_n", "completed",
+        "regime",
+        "n",
+        "p",
+        "mean_degree",
+        "mean_rounds",
+        "sd_rounds",
+        "ln_n",
+        "completed",
         "trials",
     ]);
     let mut fit_points: Vec<(usize, f64)> = Vec::new();
@@ -81,6 +101,12 @@ fn main() {
                 point.completed.to_string(),
                 point.trials.to_string(),
             ]);
+            report.push(
+                protocol_point_to_json(&format!("{name}/n={n}"), &point)
+                    .field("regime", Json::from(*name))
+                    .field("ln_n", Json::from(ln_n))
+                    .field("rounds_over_ln_n", Json::from(rounds.mean / ln_n)),
+            );
             fit_points.push((n, rounds.mean));
         }
     }
@@ -94,6 +120,13 @@ fn main() {
             fit.a, fit.b, fit.r_squared
         );
         println!("paper predicts rounds = Θ(ln n): slope a should be a positive O(1) constant.");
+        report.push(
+            radio_bench::report::BenchPoint::new("fit")
+                .field("a", Json::from(fit.a))
+                .field("b", Json::from(fit.b))
+                .field("r_squared", Json::from(fit.r_squared)),
+        );
     }
     write_csv("exp_t7", csv.finish());
+    maybe_write_json(&args, &report);
 }

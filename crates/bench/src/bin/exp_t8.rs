@@ -15,18 +15,19 @@
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Table};
-use radio_bench::common::{banner, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{BenchPoint, BenchReport};
 use radio_broadcast::lower_bound::{eg_profile, ProbabilityProfile};
 use radio_graph::NodeId;
-use radio_sim::{run_protocol, run_trials, RunConfig, TraceLevel};
+use radio_sim::{run_protocol, run_trials, Json, RunConfig, TraceLevel};
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-T8",
-        "no oblivious protocol completes in o(ln n) rounds (Theorem 8)",
-        &args,
-    );
+    let claim = "no oblivious protocol completes in o(ln n) rounds (Theorem 8)";
+    banner("E-T8", claim, &args);
+    let mut report = BenchReport::new("t8", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 11, 1 << 13, 1 << 15);
     let p = (n as f64).ln().powi(2) / n as f64;
@@ -52,14 +53,9 @@ fn main() {
         ),
         (
             "geometric 1→1/d²".into(),
-            Box::new(move |_| {
-                ProbabilityProfile::geometric(1.0, 0.7, 1.0 / (d * d), 200)
-            }),
+            Box::new(move |_| ProbabilityProfile::geometric(1.0, 0.7, 1.0 / (d * d), 200)),
         ),
-        (
-            "eg-profile".into(),
-            Box::new(move |_| eg_profile(n, p)),
-        ),
+        ("eg-profile".into(), Box::new(move |_| eg_profile(n, p))),
         (
             "random log-uniform".into(),
             Box::new(move |seed| {
@@ -104,6 +100,15 @@ fn main() {
                 completions.to_string(),
                 trials.to_string(),
             ]);
+            report.push(
+                BenchPoint::new(&format!("{label}/c={c}"))
+                    .field("profile", Json::from(label.as_str()))
+                    .field("c", Json::from(c))
+                    .field("horizon", Json::from(horizon))
+                    .field("completion_rate", Json::from(ci.estimate))
+                    .field("completions", Json::from(completions))
+                    .field("trials", Json::from(trials)),
+            );
         }
         table.add_row(row);
     }
@@ -114,4 +119,5 @@ fn main() {
     println!("tuned constants — has completion rate ≈ 0 for c ≤ 1 and needs c = Θ(1)·ln n");
     println!("rounds to reach rate ≈ 1, matching the Ω(ln n) bound.");
     write_csv("exp_t8", csv.finish());
+    maybe_write_json(&args, &report);
 }

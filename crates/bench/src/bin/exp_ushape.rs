@@ -12,18 +12,20 @@
 //! a factor-2 window of `d* = e^{√(ln n)}`.
 
 use radio_analysis::{fnum, AsciiPlot, CsvWriter, Table};
-use radio_bench::common::{banner, measure_custom, point_seed, sample_connected_gnp, write_csv, ExpArgs};
+use radio_bench::common::{
+    banner, maybe_write_json, measure_custom, point_seed, sample_connected_gnp, write_csv, ExpArgs,
+};
+use radio_bench::report::{protocol_point_to_json, BenchPoint, BenchReport};
 use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
 use radio_broadcast::theory::{centralized_bound, optimal_degree};
 use radio_graph::NodeId;
+use radio_sim::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-USH",
-        "rounds vs d at fixed n is U-shaped with minimum near d* = e^√(ln n)",
-        &args,
-    );
+    let claim = "rounds vs d at fixed n is U-shaped with minimum near d* = e^√(ln n)";
+    banner("E-USH", claim, &args);
+    let mut report = BenchReport::new("ushape", claim, args.mode(), args.seed);
 
     let n = args.scale(1 << 12, 1 << 14, 1 << 16);
     let trials = args.trials_or(args.scale(4, 10, 25));
@@ -62,7 +64,9 @@ fn main() {
                 g.average_degree(),
             )
         });
-        let Some(rounds) = &point.rounds else { continue };
+        let Some(rounds) = &point.rounds else {
+            continue;
+        };
         let b = centralized_bound(n, point.mean_degree);
         if best.map_or(true, |(_, r)| rounds.mean < r) {
             best = Some((point.mean_degree, rounds.mean));
@@ -81,6 +85,11 @@ fn main() {
             format!("{}", rounds.std_dev),
             format!("{b}"),
         ]);
+        report.push(
+            protocol_point_to_json(&format!("d={:.1}", point.mean_degree), &point)
+                .field("bound", Json::from(b))
+                .field("rounds_over_bound", Json::from(rounds.mean / b)),
+        );
         curve.push((point.mean_degree, rounds.mean));
         bound_curve.push((point.mean_degree, b));
     }
@@ -100,8 +109,15 @@ fn main() {
             "measured minimum: {r_best:.1} rounds at d ≈ {d_best:.1} (predicted d* = {d_star:.1}; √(ln n) scale minimum = {:.1})",
             2.0 * ln_n.sqrt()
         );
+        report.push(
+            BenchPoint::new("minimum")
+                .field("d_best", Json::from(d_best))
+                .field("rounds_best", Json::from(r_best))
+                .field("d_star_predicted", Json::from(d_star)),
+        );
     }
     println!("reading: measured rounds first fall (diameter term shrinks) then rise");
     println!("(cover term grows) — the U-shape of ln n/ln d + ln d.");
     write_csv("exp_ushape", csv.finish());
+    maybe_write_json(&args, &report);
 }

@@ -18,20 +18,19 @@
 //! probes how brittle the `(n, p)`-only knowledge assumption is off-model.
 
 use radio_analysis::{fnum, Table};
-use radio_bench::common::{banner, point_seed, ExpArgs};
+use radio_bench::common::{banner, maybe_write_json, point_seed, ExpArgs};
+use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::chung_lu::{power_law_weights, sample_chung_lu};
 use radio_graph::hard::{barbell, clique_chain, layered_expander};
 use radio_graph::{child_rng, gnp::sample_gnp, Graph, NodeId, Xoshiro256pp};
-use radio_sim::{run_protocol, run_trials, Protocol, RunConfig, TraceLevel};
+use radio_sim::{run_protocol, run_trials, Json, Protocol, RunConfig, TraceLevel};
 
 fn main() {
     let args = ExpArgs::parse();
-    banner(
-        "E-WC",
-        "random vs structured topologies: random graphs are the easy case (§1.2)",
-        &args,
-    );
+    let claim = "random vs structured topologies: random graphs are the easy case (§1.2)";
+    banner("E-WC", claim, &args);
+    let mut report = BenchReport::new("worstcase", claim, args.mode(), args.seed);
 
     let trials = args.trials_or(args.scale(5, 15, 40));
     let k = args.scale(16, 32, 64); // clique size / layer width scale
@@ -64,7 +63,11 @@ fn main() {
     println!("entries: mean rounds (completions/trials)\n");
 
     let mut headers = vec!["protocol".to_string()];
-    headers.extend(instances.iter().map(|(name, g)| format!("{name} (n={})", g.n())));
+    headers.extend(
+        instances
+            .iter()
+            .map(|(name, g)| format!("{name} (n={})", g.n())),
+    );
     let mut table = Table::new(headers);
 
     for proto_name in ["eg-distributed", "decay"] {
@@ -86,11 +89,24 @@ fn main() {
                 r.completed.then_some(r.rounds)
             });
             let rounds: Vec<f64> = outcomes.iter().flatten().map(|&r| r as f64).collect();
-            let cell = match radio_analysis::Summary::of(&rounds) {
+            let summary = radio_analysis::Summary::of(&rounds);
+            let cell = match &summary {
                 Some(s) if rounds.len() == trials => fnum(s.mean, 0),
                 Some(s) => format!("{} ({}/{})", fnum(s.mean, 0), rounds.len(), trials),
                 None => format!("— (0/{trials})"),
             };
+            report.push(
+                BenchPoint::new(&format!("{proto_name}/{inst_name}"))
+                    .field("protocol", Json::from(proto_name))
+                    .field("instance", Json::from(*inst_name))
+                    .field("n", Json::from(g.n()))
+                    .field(
+                        "rounds",
+                        summary.as_ref().map_or(Json::Null, summary_to_json),
+                    )
+                    .field("completed", Json::from(rounds.len()))
+                    .field("trials", Json::from(trials)),
+            );
             row.push(cell);
         }
         table.add_row(row);
@@ -105,4 +121,5 @@ fn main() {
     );
     println!("resolution per hop is the structured cost the paper escapes by moving to");
     println!("random graphs — where both protocols finish in Θ(ln n).");
+    maybe_write_json(&args, &report);
 }

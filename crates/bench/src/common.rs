@@ -1,7 +1,7 @@
 //! Shared plumbing for the experiment binaries.
 //!
 //! Every `exp_*` binary follows the same skeleton: parse a handful of flags
-//! ([`ExpArgs`]), fan Monte-Carlo trials over rayon with per-trial derived
+//! ([`ExpArgs`]), fan Monte-Carlo trials over a scoped thread pool with per-trial derived
 //! seeds, aggregate with `radio-analysis`, print a markdown table, and drop
 //! the raw rows as CSV under `target/experiments/`.
 
@@ -23,6 +23,9 @@ pub struct ExpArgs {
     pub full: bool,
     /// Override trial count (`--trials N`).
     pub trials: Option<usize>,
+    /// Write a JSON [`BenchReport`](crate::report::BenchReport) to this
+    /// path (`--json PATH`, or the `RADIO_JSON_OUT` environment variable).
+    pub json_out: Option<std::path::PathBuf>,
 }
 
 impl ExpArgs {
@@ -33,6 +36,7 @@ impl ExpArgs {
             quick: false,
             full: false,
             trials: None,
+            json_out: std::env::var_os("RADIO_JSON_OUT").map(Into::into),
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -52,11 +56,29 @@ impl ExpArgs {
                             .unwrap_or_else(|| usage("--trials needs an integer")),
                     );
                 }
+                "--json" => {
+                    args.json_out = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--json needs a path"))
+                            .into(),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
         args
+    }
+
+    /// The mode string used in banners and JSON reports.
+    pub fn mode(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else if self.full {
+            "full"
+        } else {
+            "default"
+        }
     }
 
     /// Picks between quick/default/full values.
@@ -80,8 +102,19 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: exp_* [--quick | --full] [--seed N] [--trials N]");
+    eprintln!("usage: exp_* [--quick | --full] [--seed N] [--trials N] [--json PATH]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Writes `report` to the path requested by `--json`/`RADIO_JSON_OUT`, if
+/// any (best-effort: a write failure warns instead of discarding the run's
+/// ASCII output).
+pub fn maybe_write_json(args: &ExpArgs, report: &crate::report::BenchReport) {
+    let Some(path) = &args.json_out else { return };
+    match report.write(path) {
+        Ok(()) => eprintln!("JSON report written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Samples `G(n, p)` conditioned on connectivity (up to `max_attempts`
@@ -147,18 +180,11 @@ where
 
 /// Measures via an arbitrary per-trial runner returning
 /// `(rounds-if-completed, realized-degree)`.
-pub fn measure_custom<F>(
-    n: usize,
-    p: f64,
-    trials: usize,
-    master_seed: u64,
-    job: F,
-) -> ProtocolPoint
+pub fn measure_custom<F>(n: usize, p: f64, trials: usize, master_seed: u64, job: F) -> ProtocolPoint
 where
     F: Fn(&mut Xoshiro256pp) -> (Option<u32>, f64) + Sync,
 {
-    let results: Vec<(Option<u32>, f64)> =
-        run_trials(trials, master_seed, |_i, rng| job(rng));
+    let results: Vec<(Option<u32>, f64)> = run_trials(trials, master_seed, |_i, rng| job(rng));
     summarize_point(n, p, trials, &results)
 }
 
@@ -216,17 +242,7 @@ pub fn write_csv(name: &str, content: String) {
 pub fn banner(id: &str, claim: &str, args: &ExpArgs) {
     println!("# Experiment {id}");
     println!("# Claim: {claim}");
-    println!(
-        "# mode: {}  seed: {}",
-        if args.quick {
-            "quick"
-        } else if args.full {
-            "full"
-        } else {
-            "default"
-        },
-        args.seed
-    );
+    println!("# mode: {}  seed: {}", args.mode(), args.seed);
     println!();
 }
 

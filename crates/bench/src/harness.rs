@@ -1,0 +1,241 @@
+//! Hand-rolled micro-benchmark harness.
+//!
+//! The workspace has no external bench framework, so `benches/*.rs` (built
+//! with `harness = false`) drive this module instead: each benchmark is
+//! calibrated to a target per-sample duration, measured over a fixed number
+//! of samples, and reported as median/mean/min ns-per-iteration with
+//! optional element throughput.
+//!
+//! Set `RADIO_BENCH_FAST=1` for a quick smoke pass (fewer, shorter
+//! samples), and `RADIO_JSON_OUT=<path>` to also write the group's results
+//! as a versioned JSON bench report (see `docs/OBSERVABILITY.md`).
+
+use std::time::Instant;
+
+use radio_sim::json::Json;
+
+use crate::report::{BenchPoint, BenchReport};
+
+/// Measured statistics of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name (unique within its group).
+    pub name: String,
+    /// Samples measured.
+    pub samples: usize,
+    /// Iterations per sample (chosen by calibration).
+    pub iters_per_sample: u64,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample's nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Elements processed per iteration, when the caller declared one.
+    pub throughput_elems: Option<u64>,
+}
+
+impl BenchStats {
+    /// Median elements/second, when a throughput was declared.
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        self.throughput_elems
+            .map(|e| e as f64 / (self.median_ns * 1e-9))
+    }
+
+    /// The stats as a [`BenchPoint`] for a JSON bench report.
+    pub fn to_point(&self) -> BenchPoint {
+        let mut point = BenchPoint::new(&self.name)
+            .field("samples", Json::from(self.samples))
+            .field("iters_per_sample", Json::from(self.iters_per_sample))
+            .field("mean_ns", Json::from(self.mean_ns))
+            .field("median_ns", Json::from(self.median_ns))
+            .field("min_ns", Json::from(self.min_ns))
+            .field("max_ns", Json::from(self.max_ns));
+        if let Some(e) = self.throughput_elems {
+            point = point
+                .field("throughput_elems", Json::from(e))
+                .field("elems_per_sec", Json::from(self.elems_per_sec()));
+        }
+        point
+    }
+}
+
+/// A named group of benchmarks sharing calibration settings.
+pub struct Harness {
+    group: String,
+    samples: usize,
+    target_sample_ns: u64,
+    results: Vec<BenchStats>,
+}
+
+impl Harness {
+    /// A harness for `group`.  Honors `RADIO_BENCH_FAST` (smoke mode).
+    pub fn new(group: &str) -> Harness {
+        let fast = std::env::var_os("RADIO_BENCH_FAST").is_some();
+        Harness {
+            group: group.to_string(),
+            samples: if fast { 5 } else { 20 },
+            target_sample_ns: if fast { 1_000_000 } else { 5_000_000 },
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark sample count (e.g. for very slow
+    /// benchmarks, mirroring Criterion's `sample_size`).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Harness {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark: calibrates the iteration count to the target
+    /// sample duration, measures, prints one line, and records the stats.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &BenchStats {
+        self.bench_with_throughput(name, None, f)
+    }
+
+    /// Like [`Harness::bench`], reporting `elems` elements per iteration.
+    pub fn bench_with_throughput<T>(
+        &mut self,
+        name: &str,
+        elems: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) -> &BenchStats {
+        // Calibration: time one iteration, pick iters to fill a sample.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1) as u64;
+        let iters = (self.target_sample_ns / once_ns).clamp(1, 1_000_000);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[per_iter.len() / 2]
+        } else {
+            (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+        };
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            throughput_elems: elems,
+        };
+        let throughput = match stats.elems_per_sec() {
+            Some(rate) => format!("  ({} elems/s)", format_si(rate)),
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<28} median {:>12}/iter  (mean {}, min {}, {} samples x {} iters){}",
+            self.group,
+            stats.name,
+            format_ns(stats.median_ns),
+            format_ns(stats.mean_ns),
+            format_ns(stats.min_ns),
+            stats.samples,
+            stats.iters_per_sample,
+            throughput,
+        );
+        self.results.push(stats);
+        self.results.last().unwrap()
+    }
+
+    /// All stats recorded so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// Finishes the group: if `RADIO_JSON_OUT` is set, writes the results
+    /// as a versioned JSON bench report to that path.
+    pub fn finish(self) {
+        if let Some(path) = std::env::var_os("RADIO_JSON_OUT") {
+            let report = BenchReport::new(&self.group, "micro-benchmark", "bench", 0)
+                .with_points(self.results.iter().map(BenchStats::to_point).collect());
+            match report.write(path.as_ref()) {
+                Ok(()) => println!(
+                    "{}: wrote JSON report to {}",
+                    self.group,
+                    path.to_string_lossy()
+                ),
+                Err(e) => eprintln!(
+                    "{}: failed to write JSON report to {}: {e}",
+                    self.group,
+                    path.to_string_lossy()
+                ),
+            }
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (ns/µs/ms/s).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Formats a rate with an SI suffix (k/M/G).
+pub fn format_si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let mut h = Harness::new("test-group");
+        h.sample_size(3);
+        let mut acc = 0u64;
+        let stats = h
+            .bench_with_throughput("accumulate", Some(100), || {
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(i);
+                }
+                acc
+            })
+            .clone();
+        assert_eq!(stats.samples, 3);
+        assert!(stats.min_ns <= stats.median_ns);
+        assert!(stats.median_ns <= stats.max_ns);
+        assert!(stats.elems_per_sec().unwrap() > 0.0);
+        let point = stats.to_point();
+        assert_eq!(point.label, "accumulate");
+        assert!(point.get("elems_per_sec").is_some());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_si(1_500_000.0), "1.50M");
+        assert_eq!(format_si(950.0), "950.0");
+    }
+}

@@ -8,9 +8,16 @@
 //! empirical validation table for each theorem and lemma — see DESIGN.md §6
 //! for the index and EXPERIMENTS.md for recorded results.
 //!
-//! This library crate holds the shared experiment plumbing
-//! ([`common`]); the binaries are thin drivers over it.
+//! This library crate holds the shared experiment plumbing ([`common`]),
+//! the hand-rolled micro-benchmark harness ([`harness`]) driving
+//! `benches/*.rs`, and the versioned JSON bench-report schema ([`report`]);
+//! the binaries are thin drivers over it.  Every binary accepts
+//! `--json <path>` (or `RADIO_JSON_OUT=<path>`) to emit its results as a
+//! machine-readable [`report::BenchReport`] alongside the ASCII tables —
+//! see `docs/OBSERVABILITY.md`.
 
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,291 @@
+//! Versioned JSON bench reports.
+//!
+//! Every experiment binary can emit its results as a [`BenchReport`]
+//! (`--json <path>` or `RADIO_JSON_OUT=<path>`), and the micro-benchmarks
+//! write the same shape from [`Harness::finish`](crate::harness::Harness).
+//! The schema is documented field-by-field in `docs/OBSERVABILITY.md`; the
+//! top-level `BENCH_sim.json` the `exp_summary` binary writes is a single
+//! report whose points track the workspace's headline numbers across PRs.
+
+use std::io::Write;
+use std::path::Path;
+
+use radio_analysis::Summary;
+use radio_sim::json::Json;
+
+use crate::common::ProtocolPoint;
+
+/// Current `BenchReport` schema version (see `docs/OBSERVABILITY.md`).
+pub const BENCH_REPORT_SCHEMA_VERSION: i64 = 1;
+
+/// One labelled measurement in a bench report.
+///
+/// Points are schemaless beyond the label: each experiment decides its own
+/// field set (documented per-experiment), so one report type serves round
+/// counts, throughput numbers, and fit coefficients alike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Point label, unique within the report (e.g. `"n=20000,d=ln^2"`).
+    pub label: String,
+    /// Ordered field map.
+    pub fields: Vec<(String, Json)>,
+}
+
+impl BenchPoint {
+    /// An empty point labelled `label`.
+    pub fn new(label: &str) -> BenchPoint {
+        BenchPoint {
+            label: label.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn field(mut self, key: &str, value: Json) -> BenchPoint {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes the point.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> =
+            vec![("label".to_string(), Json::from(self.label.as_str()))];
+        fields.extend(self.fields.iter().cloned());
+        Json::Obj(fields)
+    }
+
+    /// Deserializes a point written by [`BenchPoint::to_json`].
+    pub fn from_json(json: &Json) -> Result<BenchPoint, String> {
+        let Json::Obj(fields) = json else {
+            return Err("point is not an object".into());
+        };
+        let label = json
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("point missing label")?
+            .to_string();
+        Ok(BenchPoint {
+            label,
+            fields: fields
+                .iter()
+                .filter(|(k, _)| k != "label")
+                .cloned()
+                .collect(),
+        })
+    }
+}
+
+/// A complete experiment/bench result set for one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Experiment identifier (e.g. `"t7"`, `"sim_round"`).
+    pub experiment: String,
+    /// The claim or quantity being measured, in prose.
+    pub claim: String,
+    /// Scale mode: `"quick"`, `"default"`, `"full"`, or `"bench"`.
+    pub mode: String,
+    /// Master seed of the invocation (0 when not seed-driven).
+    pub seed: u64,
+    /// The measurements.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchReport {
+    /// A report with no points yet.
+    pub fn new(experiment: &str, claim: &str, mode: &str, seed: u64) -> BenchReport {
+        BenchReport {
+            experiment: experiment.to_string(),
+            claim: claim.to_string(),
+            mode: mode.to_string(),
+            seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Replaces the point list (builder style).
+    pub fn with_points(mut self, points: Vec<BenchPoint>) -> BenchReport {
+        self.points = points;
+        self
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, point: BenchPoint) {
+        self.points.push(point);
+    }
+
+    /// Serializes to the versioned JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("schema_version", Json::Int(BENCH_REPORT_SCHEMA_VERSION)),
+            ("kind", Json::from("bench_report")),
+            ("experiment", Json::from(self.experiment.as_str())),
+            ("claim", Json::from(self.claim.as_str())),
+            ("mode", Json::from(self.mode.as_str())),
+            ("seed", Json::from(self.seed)),
+            (
+                "points",
+                Json::Arr(self.points.iter().map(BenchPoint::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes a report written by [`BenchReport::to_json`]; strict
+    /// about `schema_version` and `kind`.
+    pub fn from_json(json: &Json) -> Result<BenchReport, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != BENCH_REPORT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported bench_report schema_version {version} (reader supports {BENCH_REPORT_SCHEMA_VERSION})"
+            ));
+        }
+        if json.get("kind").and_then(Json::as_str) != Some("bench_report") {
+            return Err("kind is not bench_report".into());
+        }
+        let text = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        let points = json
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("missing points")?
+            .iter()
+            .map(BenchPoint::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            experiment: text("experiment")?,
+            claim: text("claim")?,
+            mode: text("mode")?,
+            seed: json
+                .get("seed")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or("missing seed")?,
+            points,
+        })
+    }
+
+    /// Writes the report, pretty-printed, to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().render_pretty().as_bytes())
+    }
+
+    /// Reads and parses a report from `path`.
+    pub fn read(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::from_json(&json)
+    }
+}
+
+/// Serializes a [`Summary`] (with its standard error) as a JSON object.
+pub fn summary_to_json(s: &Summary) -> Json {
+    Json::object([
+        ("count", Json::from(s.count)),
+        ("mean", Json::from(s.mean)),
+        ("std_dev", Json::from(s.std_dev)),
+        ("std_err", Json::from(s.std_err())),
+        ("min", Json::from(s.min)),
+        ("max", Json::from(s.max)),
+        ("median", Json::from(s.median)),
+    ])
+}
+
+/// The standard JSON shape of a [`ProtocolPoint`]: graph parameters, the
+/// rounds summary (null when no trial completed), and completion counts.
+pub fn protocol_point_to_json(label: &str, point: &ProtocolPoint) -> BenchPoint {
+    BenchPoint::new(label)
+        .field("n", Json::from(point.n))
+        .field("p", Json::from(point.p))
+        .field("mean_degree", Json::from(point.mean_degree))
+        .field(
+            "rounds",
+            point.rounds.as_ref().map_or(Json::Null, summary_to_json),
+        )
+        .field("completed", Json::from(point.completed))
+        .field("trials", Json::from(point.trials))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("t7", "distributed O(ln n)", "quick", 42);
+        r.push(
+            BenchPoint::new("n=1000")
+                .field("n", Json::from(1000usize))
+                .field("rounds_mean", Json::from(17.25)),
+        );
+        r.push(BenchPoint::new("n=2000").field("rounds", Json::Null));
+        r
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert_eq!(BenchReport::from_json(&json).unwrap(), r);
+        let reparsed = Json::parse(&json.render_pretty()).unwrap();
+        assert_eq!(BenchReport::from_json(&reparsed).unwrap(), r);
+    }
+
+    #[test]
+    fn version_and_kind_checked() {
+        let mut json = sample_report().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Int(2);
+        }
+        assert!(BenchReport::from_json(&json)
+            .unwrap_err()
+            .contains("schema_version 2"));
+        let wrong_kind = Json::object([
+            ("schema_version", Json::Int(BENCH_REPORT_SCHEMA_VERSION)),
+            ("kind", Json::from("run_report")),
+        ]);
+        assert!(BenchReport::from_json(&wrong_kind).is_err());
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let r = sample_report();
+        let dir = std::env::temp_dir().join("radio-bench-report-test");
+        let path = dir.join("report.json");
+        r.write(&path).unwrap();
+        assert_eq!(BenchReport::read(&path).unwrap(), r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn protocol_point_serialization() {
+        let point = ProtocolPoint {
+            n: 100,
+            p: 0.05,
+            mean_degree: 5.2,
+            rounds: radio_analysis::Summary::of(&[10.0, 12.0, 14.0]),
+            completed: 3,
+            trials: 4,
+        };
+        let bp = protocol_point_to_json("n=100", &point);
+        assert_eq!(bp.get("n").unwrap().as_i64(), Some(100));
+        let rounds = bp.get("rounds").unwrap();
+        assert_eq!(rounds.get("count").unwrap().as_i64(), Some(3));
+        assert_eq!(rounds.get("mean").unwrap().as_f64(), Some(12.0));
+    }
+}

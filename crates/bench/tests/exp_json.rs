@@ -1,0 +1,106 @@
+//! End-to-end check that the experiment binaries' `--json` reports agree
+//! with their ASCII output.
+//!
+//! Runs the compiled `exp_t7` in quick mode with a tiny trial count, parses
+//! the JSON report it writes, and verifies (a) the schema envelope, and
+//! (b) that every per-point round mean in the JSON also appears in the
+//! rendered ASCII table — the two outputs are two views of one measurement.
+
+use std::process::Command;
+
+use radio_analysis::fnum;
+use radio_bench::report::BenchReport;
+use radio_sim::Json;
+
+#[test]
+fn exp_t7_json_report_matches_ascii_output() {
+    let dir = std::env::temp_dir().join("radio-bench-exp-json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("t7.json");
+    let _ = std::fs::remove_file(&json_path);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_t7"))
+        .args([
+            "--quick",
+            "--trials",
+            "3",
+            "--seed",
+            "7",
+            "--json",
+            json_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn exp_t7");
+    assert!(
+        out.status.success(),
+        "exp_t7 failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ascii = String::from_utf8_lossy(&out.stdout).into_owned();
+
+    let report = BenchReport::read(&json_path).expect("JSON report parses");
+    assert_eq!(report.experiment, "t7");
+    assert_eq!(report.mode, "quick");
+    assert_eq!(report.seed, 7);
+    assert!(ascii.contains(&report.claim), "banner repeats the claim");
+
+    // Quick mode sweeps n ∈ {1024, 4096} over three regimes; every regime
+    // must have produced at least one point, plus the fit point.
+    let protocol_points: Vec<_> = report
+        .points
+        .iter()
+        .filter(|pt| pt.label.contains("/n="))
+        .collect();
+    assert!(
+        protocol_points.len() >= 4,
+        "expected several protocol points, got {:?}",
+        report.points.iter().map(|p| &p.label).collect::<Vec<_>>()
+    );
+
+    for pt in &protocol_points {
+        // The ASCII table prints the same mean with fnum(·, 1); the JSON
+        // carries it raw under rounds.mean.
+        let mean = pt
+            .get("rounds")
+            .and_then(|r| r.get("mean"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("point {} lacks rounds.mean", pt.label));
+        let rendered = fnum(mean, 1);
+        assert!(
+            ascii.contains(&rendered),
+            "JSON mean {rendered} for {} not found in ASCII output:\n{ascii}",
+            pt.label
+        );
+        let n = pt.get("n").and_then(Json::as_i64).unwrap();
+        assert!(n >= 1024, "quick mode starts at n = 1024, got {n}");
+    }
+
+    // The fit summary lands in both outputs too.
+    if let Some(fit) = report.points.iter().find(|p| p.label == "fit") {
+        let a = fit.get("a").and_then(Json::as_f64).unwrap();
+        assert!(ascii.contains(&format!("{a:.2}")), "fit slope in ASCII");
+    }
+
+    let _ = std::fs::remove_file(&json_path);
+}
+
+#[test]
+fn exp_t7_env_var_output_matches_flag() {
+    let dir = std::env::temp_dir().join("radio-bench-exp-json-env");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("t7_env.json");
+    let _ = std::fs::remove_file(&json_path);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_t7"))
+        .args(["--quick", "--trials", "2", "--seed", "5"])
+        .env("RADIO_JSON_OUT", &json_path)
+        .output()
+        .expect("spawn exp_t7");
+    assert!(out.status.success());
+    let report = BenchReport::read(&json_path).expect("RADIO_JSON_OUT report parses");
+    assert_eq!(report.experiment, "t7");
+    assert_eq!(report.seed, 5);
+    assert!(!report.points.is_empty());
+    let _ = std::fs::remove_file(&json_path);
+}

@@ -143,19 +143,18 @@ pub fn build_eg_schedule(
     let mut phases: Vec<Phase> = Vec::new();
     let mut round: u32 = 0;
 
-    let push_round =
-        |set: Vec<NodeId>,
-         phase: Phase,
-         state: &mut BroadcastState,
-         engine: &mut RoundEngine,
-         schedule: &mut Schedule,
-         phases: &mut Vec<Phase>,
-         round: &mut u32| {
-            *round += 1;
-            engine.execute_round(state, &set, *round);
-            schedule.push_round(set);
-            phases.push(phase);
-        };
+    let push_round = |set: Vec<NodeId>,
+                      phase: Phase,
+                      state: &mut BroadcastState,
+                      engine: &mut RoundEngine,
+                      schedule: &mut Schedule,
+                      phases: &mut Vec<Phase>,
+                      round: &mut u32| {
+        *round += 1;
+        engine.execute_round(state, &set, *round);
+        schedule.push_round(set);
+        phases.push(phase);
+    };
 
     // ---- Phase 1: parity flooding up to the first big layer -------------
     let big_threshold = ((n as f64 / d).ceil() as usize).max(1);
@@ -169,11 +168,7 @@ pub fn build_eg_schedule(
         let parity = (i - 1) % 2;
         let set: Vec<NodeId> = state
             .informed_nodes()
-            .filter(|&v| {
-                layering
-                    .distance(v)
-                    .is_some_and(|dist| dist % 2 == parity)
-            })
+            .filter(|&v| layering.distance(v).is_some_and(|dist| dist % 2 == parity))
             .collect();
         push_round(
             set,

@@ -18,7 +18,6 @@ use std::collections::HashMap;
 
 use radio_graph::{Graph, NodeId};
 
-
 /// Maximum `n` accepted by [`exact_optimal_rounds`].
 pub const MAX_EXACT_N: usize = 16;
 
@@ -32,7 +31,10 @@ type Mask = u32;
 /// completes).  Panics if `g.n() > MAX_EXACT_N` or `g.n() == 0`.
 pub fn exact_optimal_rounds(g: &Graph, source: NodeId) -> Option<u32> {
     let n = g.n();
-    assert!(n > 0 && n <= MAX_EXACT_N, "exact solver handles 1 ≤ n ≤ {MAX_EXACT_N}");
+    assert!(
+        n > 0 && n <= MAX_EXACT_N,
+        "exact solver handles 1 ≤ n ≤ {MAX_EXACT_N}"
+    );
     assert!((source as usize) < n);
     let full: Mask = if n == 32 { !0 } else { (1u32 << n) - 1 };
     let start: Mask = 1 << source;
@@ -42,11 +44,7 @@ pub fn exact_optimal_rounds(g: &Graph, source: NodeId) -> Option<u32> {
 
     // Precompute neighborhood masks.
     let neigh: Vec<Mask> = (0..n as NodeId)
-        .map(|v| {
-            g.neighbors(v)
-                .iter()
-                .fold(0 as Mask, |m, &w| m | (1 << w))
-        })
+        .map(|v| g.neighbors(v).iter().fold(0 as Mask, |m, &w| m | (1 << w)))
         .collect();
 
     // BFS over informed-set states with subset-dominance pruning: a state

@@ -1,6 +1,6 @@
 //! BFS-tree broadcast scheduling — the `Õ(D·Δ)` baseline (§1.2).
 //!
-//! Clementi et al. (cited by the paper as [10]) broadcast in time `Õ(D·Δ)`
+//! Clementi et al. (cited by the paper as \[10\]) broadcast in time `Õ(D·Δ)`
 //! by resolving collisions layer by layer.  The centralized version of that
 //! idea: fix a BFS tree, and for each layer color the *parents* so that two
 //! parents sharing a potential listener never transmit together; each color

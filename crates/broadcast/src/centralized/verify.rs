@@ -162,7 +162,7 @@ mod tests {
         let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
         let cert = verify_schedule(&g, 0, &built.schedule).expect("valid schedule");
         assert!(cert.completion_round as usize <= built.len());
-        assert_eq!(cert.transmissions <= built.schedule.total_transmissions(), true);
+        assert!(cert.transmissions <= built.schedule.total_transmissions());
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! frontier neighbor with constant probability — giving
 //! `O((D + log n)·log n)` broadcast w.h.p. on arbitrary graphs, hence
 //! `O(log²n / log d + log n · log d)`-ish behaviour on random graphs:
-//! asymptotically a `log` factor worse than [`EgDistributed`]
-//! (crate::distributed::eg::EgDistributed), which experiment `E-CMP`
-//! demonstrates.
+//! asymptotically a `log` factor worse than
+//! [`EgDistributed`](crate::distributed::EgDistributed), which experiment
+//! `E-CMP` demonstrates.
 
 use radio_graph::Xoshiro256pp;
 use radio_sim::{LocalNode, Protocol};

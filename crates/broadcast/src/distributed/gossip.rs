@@ -15,9 +15,9 @@
 //! collisions.
 
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
-use radio_sim::{BroadcastState, RunResult, TraceLevel};
 use radio_sim::trace::TraceBuilder;
 use radio_sim::RoundOutcome;
+use radio_sim::{BroadcastState, RunResult, TraceLevel};
 
 /// Runs push rumor spreading from `source` until completion or `max_rounds`.
 ///

@@ -55,13 +55,13 @@ pub mod theory;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::centralized::{
-        build_eg_schedule, exact_optimal_rounds, greedy_cover_schedule,
-        tree_broadcast_schedule, verify_schedule, BuiltSchedule, CentralizedParams, Phase,
-        ScheduleViolation, VerifiedSchedule,
+        build_eg_schedule, exact_optimal_rounds, greedy_cover_schedule, tree_broadcast_schedule,
+        verify_schedule, BuiltSchedule, CentralizedParams, Phase, ScheduleViolation,
+        VerifiedSchedule,
     };
     pub use crate::distributed::{
-        run_push_gossip, run_push_pull_gossip, ConstantProb, Decay, EgDistributed,
-        EgUnknownDegree, EgVariant, Flooding, RoundRobin, SelectiveBroadcast, SelectiveFamily,
+        run_push_gossip, run_push_pull_gossip, ConstantProb, Decay, EgDistributed, EgUnknownDegree,
+        EgVariant, Flooding, RoundRobin, SelectiveBroadcast, SelectiveFamily,
     };
     pub use crate::gossiping::{run_radio_gossiping, GossipResult, GossipState};
     pub use crate::lower_bound::{eg_profile, ProbabilityProfile};

@@ -29,12 +29,11 @@ use radio_sim::{run_schedule, RunResult, Schedule, TraceLevel, TransmitterPolicy
 /// replacement from `[n]`.
 ///
 /// Requires `2·rounds ≤ n` (enough fresh nodes); panics otherwise.
-pub fn sample_disjoint_small_sets(
-    n: usize,
-    rounds: usize,
-    rng: &mut Xoshiro256pp,
-) -> Schedule {
-    assert!(2 * rounds <= n, "not enough nodes for {rounds} disjoint sets");
+pub fn sample_disjoint_small_sets(n: usize, rounds: usize, rng: &mut Xoshiro256pp) -> Schedule {
+    assert!(
+        2 * rounds <= n,
+        "not enough nodes for {rounds} disjoint sets"
+    );
     // Reservoir of node ids in random order.
     let mut pool: Vec<NodeId> = (0..n as NodeId).collect();
     for i in (1..pool.len()).rev() {
@@ -139,8 +138,16 @@ where
     ScheduleEnsembleStats {
         trials,
         completions,
-        mean_informed_fraction: if trials == 0 { 0.0 } else { frac_sum / trials as f64 },
-        mean_uninformed: if trials == 0 { 0.0 } else { uninformed_sum / trials as f64 },
+        mean_informed_fraction: if trials == 0 {
+            0.0
+        } else {
+            frac_sum / trials as f64
+        },
+        mean_uninformed: if trials == 0 {
+            0.0
+        } else {
+            uninformed_sum / trials as f64
+        },
     }
 }
 

@@ -59,11 +59,7 @@ impl ProbabilityProfile {
         let probs = (0..horizon)
             .map(|t| (q0 * factor.powi(t as i32)).max(floor))
             .collect();
-        Self::new(
-            format!("profile-geo-{q0:.3}x{factor:.3}"),
-            probs,
-            floor,
-        )
+        Self::new(format!("profile-geo-{q0:.3}x{factor:.3}"), probs, floor)
     }
 
     /// A random profile: each `q(t)` log-uniform in `[lo, 1]`.

@@ -33,11 +33,7 @@ pub fn normalize_dense(schedule: &Schedule, rng: &mut Xoshiro256pp) -> Schedule 
     for set in schedule.iter() {
         // Step 3 first: drop nodes already used by earlier normalized sets
         // (the proof's disjointification).
-        let mut fresh: Vec<NodeId> = set
-            .iter()
-            .copied()
-            .filter(|v| !used.contains(v))
-            .collect();
+        let mut fresh: Vec<NodeId> = set.iter().copied().filter(|v| !used.contains(v)).collect();
         fresh.sort_unstable();
         fresh.dedup();
         if fresh.is_empty() {
@@ -105,8 +101,7 @@ mod tests {
         assert!(is_dense_normal_form(&norm));
         assert!(norm.len() <= sched.len());
         // Every normalized transmitter appeared in the original schedule.
-        let original: std::collections::HashSet<_> =
-            sched.iter().flatten().copied().collect();
+        let original: std::collections::HashSet<_> = sched.iter().flatten().copied().collect();
         for set in norm.iter() {
             for v in set {
                 assert!(original.contains(v));

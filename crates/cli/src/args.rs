@@ -25,8 +25,21 @@ impl std::error::Error for ParseError {}
 /// Option keys that take a value; anything else starting with `--` is a
 /// boolean flag.
 const VALUE_KEYS: &[&str] = &[
-    "n", "d", "p", "seed", "source", "protocol", "trials", "loss", "max-rounds", "sources",
-    "graph", "save", "schedule",
+    "n",
+    "d",
+    "p",
+    "seed",
+    "source",
+    "protocol",
+    "trials",
+    "loss",
+    "max-rounds",
+    "sources",
+    "graph",
+    "save",
+    "schedule",
+    "format",
+    "trace-out",
 ];
 
 impl Args {

@@ -12,8 +12,10 @@ use radio_graph::degree::DegreeStats;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::layers::analyze_layers;
 use radio_graph::{child_rng, Graph, Layering, NodeId, Xoshiro256pp};
+use radio_sim::report::write_events_jsonl;
 use radio_sim::{
-    run_protocol, run_schedule, Protocol, RunConfig, TraceLevel, TransmitterPolicy,
+    run_protocol_observed, run_schedule, CollectingObserver, Json, Protocol, RunConfig, RunReport,
+    TraceLevel, TransmitterPolicy,
 };
 
 use crate::args::{Args, ParseError};
@@ -86,16 +88,12 @@ fn graph_params(args: &Args) -> Result<(usize, f64, f64), ParseError> {
         return Err(ParseError("--n must be at least 2".into()));
     }
     let p = match (args.get("p"), args.get("d")) {
-        (Some(_), Some(_)) => {
-            return Err(ParseError("give either --p or --d, not both".into()))
-        }
+        (Some(_), Some(_)) => return Err(ParseError("give either --p or --d, not both".into())),
         (Some(p), None) => p
             .parse::<f64>()
             .map_err(|_| ParseError("--p: bad float".into()))?,
         (None, Some(d)) => {
-            let d: f64 = d
-                .parse()
-                .map_err(|_| ParseError("--d: bad float".into()))?;
+            let d: f64 = d.parse().map_err(|_| ParseError("--d: bad float".into()))?;
             (d / n as f64).clamp(0.0, 1.0)
         }
         (None, None) => return Err(ParseError("need --d or --p".into())),
@@ -133,6 +131,13 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
 }
 
 /// `radio-cli run` — distributed protocol trials.
+///
+/// Output is controlled by `--format text|json` (default text).  In JSON
+/// mode stdout carries exactly one pretty-printed JSON array of versioned
+/// [`RunReport`] objects, one per trial, including the per-round event
+/// stream.  `--trace-out FILE` additionally dumps every round event as
+/// JSONL (one object per line, tagged with its trial index) in either
+/// format.
 pub fn run(args: &Args) -> CmdResult {
     let spec = GraphSpec::from_args(args)?;
     let (n, p) = (spec.n(), spec.p_equiv());
@@ -142,8 +147,28 @@ pub fn run(args: &Args) -> CmdResult {
     let proto_spec = args.get("protocol").unwrap_or("eg").to_string();
     let seed: u64 = args.get_or("seed", 1)?;
     let source: NodeId = args.get_or("source", 0)?;
+    let format = args.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(ParseError(format!(
+            "--format {format}: unknown format (try text or json)"
+        )));
+    }
+    let text = format == "text";
+    let mut trace_out: Option<std::io::BufWriter<std::fs::File>> = match args.get("trace-out") {
+        None => None,
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| ParseError(format!("--trace-out {path}: {e}")))?,
+        )),
+    };
 
-    let mut cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+    // JSON reports derive transmission totals and milestone rounds from the
+    // result's trace, so record per-round when reports were asked for.
+    let mut cfg = RunConfig::for_graph(n).with_trace(if text {
+        TraceLevel::SummaryOnly
+    } else {
+        TraceLevel::PerRound
+    });
     if loss > 0.0 {
         if !(0.0..=1.0).contains(&loss) {
             return Err(ParseError("--loss outside [0, 1]".into()));
@@ -157,11 +182,14 @@ pub fn run(args: &Args) -> CmdResult {
         );
     }
 
-    println!(
-        "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s), loss {loss}"
-    );
+    if text {
+        println!(
+            "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s), loss {loss}"
+        );
+    }
     let mut rounds = Vec::new();
     let mut completions = 0usize;
+    let mut reports: Vec<Json> = Vec::new();
     for t in 0..trials {
         let mut rng = child_rng(seed, t as u64);
         let g = spec.instantiate(&mut rng);
@@ -169,15 +197,40 @@ pub fn run(args: &Args) -> CmdResult {
             return Err(ParseError("--source out of range".into()));
         }
         let mut proto = make_protocol(&proto_spec, p)?;
-        let r = run_protocol(&g, source, proto.as_mut(), cfg, &mut rng);
-        println!(
-            "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}",
-            r.completed, r.rounds, r.informed
-        );
+        let mut observer = CollectingObserver::with_timing();
+        let r = run_protocol_observed(&g, source, proto.as_mut(), cfg, &mut rng, &mut observer);
+        if text {
+            println!(
+                "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}",
+                r.completed, r.rounds, r.informed
+            );
+        }
+        if let Some(out) = trace_out.as_mut() {
+            write_events_jsonl(out, &[("trial", Json::from(t))], &observer.events)
+                .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+        }
+        if !text {
+            let report = RunReport::from_result(&proto_spec, &r)
+                .with_p(p)
+                .with_seed(seed)
+                .with_wall_ns(observer.total_elapsed_ns())
+                .with_events(std::mem::take(&mut observer.events));
+            reports.push(report.to_json());
+        }
         if r.completed {
             completions += 1;
             rounds.push(r.rounds as f64);
         }
+    }
+    if let Some(out) = trace_out.as_mut() {
+        use std::io::Write;
+        out.flush()
+            .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+        eprintln!("per-round trace written as JSONL");
+    }
+    if !text {
+        println!("{}", Json::Arr(reports).render_pretty());
+        return Ok(());
     }
     if let Some(s) = Summary::of(&rounds) {
         println!(
@@ -244,7 +297,12 @@ pub fn schedule(args: &Args) -> CmdResult {
             TraceLevel::PerRound,
         );
         let mut t = Table::new(vec![
-            "round", "phase", "tx", "newly informed", "collisions", "informed",
+            "round",
+            "phase",
+            "tx",
+            "newly informed",
+            "collisions",
+            "informed",
         ]);
         for (rec, phase) in replay.trace.iter().zip(&built.phases) {
             t.add_row(vec![
@@ -469,22 +527,16 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tri.edges");
         std::fs::write(&path, "3\n0 1\n1 2\n2 0\n").unwrap();
-        let spec = GraphSpec::from_args(&argv(&format!(
-            "run --graph {}",
-            path.display()
-        )))
-        .unwrap();
+        let spec = GraphSpec::from_args(&argv(&format!("run --graph {}", path.display()))).unwrap();
         assert_eq!(spec.n(), 3);
         assert!((spec.p_equiv() - 2.0 / 3.0).abs() < 1e-9);
         let mut rng = Xoshiro256pp::new(1);
         let g = spec.instantiate(&mut rng);
         assert_eq!(g.m(), 3);
         // Conflicting flags rejected.
-        assert!(GraphSpec::from_args(&argv(&format!(
-            "run --graph {} --n 5",
-            path.display()
-        )))
-        .is_err());
+        assert!(
+            GraphSpec::from_args(&argv(&format!("run --graph {} --n 5", path.display()))).is_err()
+        );
         let _ = std::fs::remove_file(&path);
     }
 

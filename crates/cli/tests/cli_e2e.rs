@@ -19,7 +19,10 @@ fn run_ok(args: &[&str]) -> String {
 
 fn run_fail(args: &[&str]) -> String {
     let out = radio_cli().args(args).output().expect("spawn radio-cli");
-    assert!(!out.status.success(), "radio-cli {args:?} unexpectedly succeeded");
+    assert!(
+        !out.status.success(),
+        "radio-cli {args:?} unexpectedly succeeded"
+    );
     String::from_utf8_lossy(&out.stderr).into_owned()
 }
 
@@ -33,7 +36,17 @@ fn help_prints_usage() {
 #[test]
 fn run_subcommand_produces_summary() {
     let out = run_ok(&[
-        "run", "--n", "500", "--d", "25", "--protocol", "eg", "--trials", "2", "--seed", "9",
+        "run",
+        "--n",
+        "500",
+        "--d",
+        "25",
+        "--protocol",
+        "eg",
+        "--trials",
+        "2",
+        "--seed",
+        "9",
     ]);
     assert!(out.contains("summary:"));
     assert!(out.contains("completed = true"));
@@ -42,7 +55,17 @@ fn run_subcommand_produces_summary() {
 #[test]
 fn run_is_deterministic_per_seed() {
     let args = [
-        "run", "--n", "400", "--d", "20", "--protocol", "decay", "--trials", "2", "--seed", "5",
+        "run",
+        "--n",
+        "400",
+        "--d",
+        "20",
+        "--protocol",
+        "decay",
+        "--trials",
+        "2",
+        "--seed",
+        "5",
     ];
     assert_eq!(run_ok(&args), run_ok(&args));
 }
@@ -64,7 +87,9 @@ fn structure_subcommand_reports_layers() {
 
 #[test]
 fn lower_subcommand_shows_wall() {
-    let out = run_ok(&["lower", "--n", "512", "--d", "30", "--trials", "30", "--seed", "4"]);
+    let out = run_ok(&[
+        "lower", "--n", "512", "--d", "30", "--trials", "30", "--seed", "4",
+    ]);
     assert!(out.contains("completion rate"));
 }
 
@@ -94,6 +119,77 @@ fn graph_file_roundtrip() {
 }
 
 #[test]
+fn run_format_json_emits_versioned_reports() {
+    let out = run_ok(&[
+        "run",
+        "--n",
+        "400",
+        "--d",
+        "20",
+        "--protocol",
+        "eg",
+        "--trials",
+        "2",
+        "--seed",
+        "11",
+        "--format",
+        "json",
+    ]);
+    // stdout is exactly one JSON array of run_report objects.
+    let json = radio_sim::Json::parse(&out).expect("stdout parses as JSON");
+    let radio_sim::Json::Arr(items) = &json else {
+        panic!("expected a JSON array, got {json:?}")
+    };
+    assert_eq!(items.len(), 2);
+    for item in items {
+        let report = radio_sim::RunReport::from_json(item).expect("valid run_report");
+        assert_eq!(report.algorithm, "eg");
+        assert_eq!(report.n, 400);
+        assert!(report.completed);
+        assert_eq!(report.events.len(), report.rounds as usize);
+        assert_eq!(report.seed, Some(11));
+        // Summary metrics must be derived, not left at their defaults.
+        assert!(report.total_transmissions > 0);
+        assert!(report.round_to_half.is_some());
+        assert!(report.round_to_99.is_some());
+    }
+}
+
+#[test]
+fn run_trace_out_writes_jsonl() {
+    let dir = std::env::temp_dir().join("radio-cli-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let out = run_ok(&[
+        "run",
+        "--n",
+        "300",
+        "--d",
+        "15",
+        "--trials",
+        "2",
+        "--seed",
+        "13",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("summary:")); // text output unaffected
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty());
+    let mut seen_trials = std::collections::HashSet::new();
+    for line in &lines {
+        let obj = radio_sim::Json::parse(line).expect("each line parses as JSON");
+        let trial = obj.get("trial").and_then(radio_sim::Json::as_i64).unwrap();
+        seen_trials.insert(trial);
+        assert!(obj.get("round").is_some());
+        assert!(obj.get("informed_after").is_some());
+    }
+    assert_eq!(seen_trials.len(), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn bad_arguments_rejected() {
     let err = run_fail(&["run", "--n", "100"]);
     assert!(err.contains("need --d or --p"), "stderr: {err}");
@@ -116,17 +212,44 @@ fn schedule_save_and_replay_roundtrip() {
     let gpath = dir.join("g.edges");
     let spath = dir.join("s.sched");
     // Build a fixed graph file so schedule and replay see the same topology.
-    let out = run_ok(&["schedule", "--n", "300", "--d", "20", "--seed", "8",
-                       "--save", spath.to_str().unwrap()]);
+    let out = run_ok(&[
+        "schedule",
+        "--n",
+        "300",
+        "--d",
+        "20",
+        "--seed",
+        "8",
+        "--save",
+        spath.to_str().unwrap(),
+    ]);
     assert!(out.contains("schedule written"));
     // Replaying on the same sampled graph (same seed → same instance).
-    let out = run_ok(&["replay", "--n", "300", "--d", "20", "--seed", "8",
-                       "--schedule", spath.to_str().unwrap()]);
+    let out = run_ok(&[
+        "replay",
+        "--n",
+        "300",
+        "--d",
+        "20",
+        "--seed",
+        "8",
+        "--schedule",
+        spath.to_str().unwrap(),
+    ]);
     assert!(out.contains("schedule VALID"), "{out}");
     // Replaying on a different instance is (almost surely) invalid or
     // incomplete — must not crash either way.
-    let out = run_ok(&["replay", "--n", "300", "--d", "20", "--seed", "9",
-                       "--schedule", spath.to_str().unwrap()]);
+    let out = run_ok(&[
+        "replay",
+        "--n",
+        "300",
+        "--d",
+        "20",
+        "--seed",
+        "9",
+        "--schedule",
+        spath.to_str().unwrap(),
+    ]);
     assert!(out.contains("schedule"), "{out}");
     let _ = std::fs::remove_file(&spath);
     let _ = std::fs::remove_file(&gpath);

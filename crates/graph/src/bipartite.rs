@@ -286,7 +286,12 @@ mod tests {
         let m = greedy_independent_matching(&g, &x, &y);
         assert!(is_independent_matching(&g, &m));
         // Most of Y should be saturated (all, typically).
-        assert!(m.len() >= y.len() / 2, "matched only {} of {}", m.len(), y.len());
+        assert!(
+            m.len() >= y.len() / 2,
+            "matched only {} of {}",
+            m.len(),
+            y.len()
+        );
     }
 
     #[test]

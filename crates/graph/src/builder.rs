@@ -1,7 +1,7 @@
 //! Incremental construction of CSR graphs.
 //!
 //! [`GraphBuilder`] accumulates an undirected edge list and converts it to a
-//! [`Graph`](crate::Graph) in `O(n + m)` using counting sort, deduplicating
+//! [`Graph`] in `O(n + m)` using counting sort, deduplicating
 //! and dropping self-loops along the way.  Samplers that can bound their edge
 //! count up front should call [`GraphBuilder::with_edge_capacity`].
 

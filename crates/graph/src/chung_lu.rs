@@ -121,7 +121,11 @@ mod tests {
         // Mean near target; max far above mean (heavy tail) —
         // the concentration assumption of the paper fails by design.
         assert!((s.mean - 12.0).abs() < 3.0, "mean {}", s.mean);
-        assert!(s.beta() > 4.0, "beta {} too small for a power law", s.beta());
+        assert!(
+            s.beta() > 4.0,
+            "beta {} too small for a power law",
+            s.beta()
+        );
         assert!(g.check_invariants());
     }
 

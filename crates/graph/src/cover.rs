@@ -131,11 +131,7 @@ mod tests {
         // isolated-from-X targets cannot be covered by any set.
         let reachable = targets
             .iter()
-            .filter(|&&y| {
-                g.neighbors(y)
-                    .iter()
-                    .any(|&w| (w as usize) < n / 2)
-            })
+            .filter(|&&y| g.neighbors(y).iter().any(|&w| (w as usize) < n / 2))
             .count();
         let sel = greedy_radio_cover(&g, &candidates, &targets, None);
         assert!(

@@ -48,10 +48,7 @@ fn pair_count(n: usize) -> u64 {
 pub fn sample_gnm(n: usize, m: usize, rng: &mut Xoshiro256pp) -> Graph {
     assert!(n <= NodeId::MAX as usize, "n too large for u32 node ids");
     let total = if n < 2 { 0 } else { pair_count(n) };
-    assert!(
-        m as u64 <= total,
-        "m = {m} exceeds C({n}, 2) = {total}"
-    );
+    assert!(m as u64 <= total, "m = {m} exceeds C({n}, 2) = {total}");
     if m == 0 {
         return Graph::empty(n);
     }

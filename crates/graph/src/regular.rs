@@ -39,7 +39,10 @@ impl std::fmt::Display for RegularError {
                 write!(f, "invalid regular-graph parameters n = {n}, d = {d}")
             }
             RegularError::RetriesExhausted { attempts } => {
-                write!(f, "pairing model failed to produce a simple graph after {attempts} attempts")
+                write!(
+                    f,
+                    "pairing model failed to produce a simple graph after {attempts} attempts"
+                )
             }
         }
     }
@@ -50,11 +53,7 @@ impl std::error::Error for RegularError {}
 /// Samples a uniform random simple `d`-regular graph on `n` nodes.
 ///
 /// Requires `n·d` even and `d < n`.
-pub fn sample_regular(
-    n: usize,
-    d: usize,
-    rng: &mut Xoshiro256pp,
-) -> Result<Graph, RegularError> {
+pub fn sample_regular(n: usize, d: usize, rng: &mut Xoshiro256pp) -> Result<Graph, RegularError> {
     if n == 0 {
         return Ok(Graph::empty(0));
     }

@@ -11,16 +11,12 @@
 //!   used both as a lightweight generator and as the *seed deriver* for
 //!   [`Xoshiro256pp`]: hashing a master seed with a stream index yields
 //!   statistically independent child seeds, which is what makes per-trial
-//!   RNGs safe to hand out across rayon workers.
+//!   RNGs safe to hand out across worker threads.
 //! * [`Xoshiro256pp`] — xoshiro256++, the general-purpose generator used by
 //!   all samplers and protocols.  Implemented here (rather than pulled from a
 //!   crate) so the bit stream is pinned independently of third-party version
-//!   bumps.
-//!
-//! Both implement [`rand::RngCore`] + [`rand::SeedableRng`], so the whole
-//! `rand` distribution toolbox works on top of them.
-
-use rand::{RngCore, SeedableRng};
+//!   bumps — and so the workspace builds with no external dependencies at
+//!   all, which matters for hermetic/offline environments.
 
 /// SplitMix64: a tiny, fast, well-distributed 64-bit generator.
 ///
@@ -48,38 +44,15 @@ impl SplitMix64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
     }
-}
 
-impl RngCore for SplitMix64 {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (SplitMix64::next(self) >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        SplitMix64::next(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        fill_bytes_from_u64(self, dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for SplitMix64 {
-    type Seed = [u8; 8];
-
-    fn from_seed(seed: Self::Seed) -> Self {
+    /// Reconstructs a generator from an 8-byte little-endian seed.
+    pub fn from_seed(seed: [u8; 8]) -> Self {
         SplitMix64::new(u64::from_le_bytes(seed))
     }
 
-    fn seed_from_u64(state: u64) -> Self {
-        SplitMix64::new(state)
+    /// Fills `dest` with pseudo-random bytes (little-endian word stream).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_from_u64(|| self.next(), dest)
     }
 }
 
@@ -110,10 +83,7 @@ impl Xoshiro256pp {
     #[inline]
     pub fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -151,33 +121,16 @@ impl Xoshiro256pp {
     pub fn coin(&mut self, p: f64) -> bool {
         self.next_f64() < p
     }
-}
 
-impl RngCore for Xoshiro256pp {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (Xoshiro256pp::next(self) >> 32) as u32
+    /// Fills `dest` with pseudo-random bytes (little-endian word stream).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_from_u64(|| self.next(), dest)
     }
 
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        Xoshiro256pp::next(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        fill_bytes_from_u64(self, dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
-
-impl SeedableRng for Xoshiro256pp {
-    type Seed = [u8; 32];
-
-    fn from_seed(seed: Self::Seed) -> Self {
+    /// Reconstructs a generator from a full 32-byte little-endian state
+    /// dump.  An all-zero seed (the one forbidden xoshiro state) falls back
+    /// to the SplitMix64 expansion of 0.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut s = [0u64; 4];
         for (i, chunk) in seed.chunks_exact(8).enumerate() {
             s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
@@ -186,10 +139,6 @@ impl SeedableRng for Xoshiro256pp {
             return Xoshiro256pp::new(0);
         }
         Xoshiro256pp { s }
-    }
-
-    fn seed_from_u64(state: u64) -> Self {
-        Xoshiro256pp::new(state)
     }
 }
 
@@ -212,14 +161,14 @@ pub fn child_rng(master: u64, index: u64) -> Xoshiro256pp {
     Xoshiro256pp::new(derive_seed(master, index))
 }
 
-fn fill_bytes_from_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
+fn fill_bytes_from_u64(mut next: impl FnMut() -> u64, dest: &mut [u8]) {
     let mut chunks = dest.chunks_exact_mut(8);
     for chunk in &mut chunks {
-        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        chunk.copy_from_slice(&next().to_le_bytes());
     }
     let rem = chunks.into_remainder();
     if !rem.is_empty() {
-        let bytes = rng.next_u64().to_le_bytes();
+        let bytes = next().to_le_bytes();
         rem.copy_from_slice(&bytes[..rem.len()]);
     }
 }

@@ -1,98 +1,128 @@
-//! Property-based tests for the graph substrate.
+//! Randomized property tests for the graph substrate.
+//!
+//! Each property is checked over a fixed number of deterministically seeded
+//! random cases (the workspace has no external property-testing dependency);
+//! every assertion carries the case seed so a failure is reproducible.
 
-use proptest::prelude::*;
 use radio_graph::bfs::{bfs_distances, Layering, UNREACHABLE};
 use radio_graph::bipartite::{is_independent_matching, minimal_cover_to_matching};
 use radio_graph::components::{connected_components, is_connected, DisjointSets};
 use radio_graph::diameter::{double_sweep_diameter, exact_diameter};
 use radio_graph::gnm::sample_gnm;
 use radio_graph::subgraph::induced_subgraph;
-use radio_graph::{Graph, NodeId, Xoshiro256pp};
+use radio_graph::{derive_seed, Graph, NodeId, Xoshiro256pp};
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..50).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..150)
-            .prop_map(move |edges| Graph::from_edges(n, edges))
-    })
+const CASES: u64 = 96;
+
+/// Runs `body` once per case with a per-case RNG derived from a fixed master
+/// seed, so failures print a reproducible case index.
+fn for_each_case(master: u64, body: impl Fn(u64, &mut Xoshiro256pp)) {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256pp::new(derive_seed(master, case));
+        body(case, &mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// A random multigraph-free graph: 2..50 nodes, up to 150 candidate edges
+/// (self-loops and duplicates are dropped by the builder).
+fn random_graph(rng: &mut Xoshiro256pp) -> Graph {
+    let n = 2 + rng.below(48) as usize;
+    let edges = rng.below(150) as usize;
+    let list: Vec<(NodeId, NodeId)> = (0..edges)
+        .map(|_| (rng.below(n as u64) as NodeId, rng.below(n as u64) as NodeId))
+        .collect();
+    Graph::from_edges(n, list)
+}
 
-    #[test]
-    fn csr_invariants_hold(g in arb_graph()) {
-        prop_assert!(g.check_invariants());
+#[test]
+fn csr_invariants_hold() {
+    for_each_case(0xC5A1, |case, rng| {
+        let g = random_graph(rng);
+        assert!(g.check_invariants(), "case {case}");
         // Handshake lemma.
         let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.m());
+        assert_eq!(degree_sum, 2 * g.m(), "case {case}");
         // edges() is consistent with has_edge.
         for (u, v) in g.edges() {
-            prop_assert!(g.has_edge(u, v));
-            prop_assert!(g.has_edge(v, u));
+            assert!(g.has_edge(u, v), "case {case}");
+            assert!(g.has_edge(v, u), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn from_edges_idempotent(g in arb_graph()) {
+#[test]
+fn from_edges_idempotent() {
+    for_each_case(0x1DE2, |case, rng| {
+        let g = random_graph(rng);
         let rebuilt = Graph::from_edges(g.n(), g.edges());
-        prop_assert_eq!(&rebuilt, &g);
-    }
+        assert_eq!(rebuilt, g, "case {case}");
+    });
+}
 
-    #[test]
-    fn bfs_satisfies_triangle_property(g in arb_graph(), seed in any::<u64>()) {
-        let mut rng = Xoshiro256pp::new(seed);
+#[test]
+fn bfs_satisfies_triangle_property() {
+    for_each_case(0xBF5, |case, rng| {
+        let g = random_graph(rng);
         let s = rng.below(g.n() as u64) as NodeId;
         let dist = bfs_distances(&g, s);
-        prop_assert_eq!(dist[s as usize], 0);
+        assert_eq!(dist[s as usize], 0, "case {case}");
         // Edge relaxation: |d(u) − d(v)| ≤ 1 for every edge with both ends
         // reachable.
         for (u, v) in g.edges() {
             let (du, dv) = (dist[u as usize], dist[v as usize]);
-            prop_assert_eq!(du == UNREACHABLE, dv == UNREACHABLE);
+            assert_eq!(du == UNREACHABLE, dv == UNREACHABLE, "case {case}");
             if du != UNREACHABLE {
-                prop_assert!((i64::from(du) - i64::from(dv)).abs() <= 1);
+                assert!((i64::from(du) - i64::from(dv)).abs() <= 1, "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn layering_partitions_reachable_set(g in arb_graph()) {
+#[test]
+fn layering_partitions_reachable_set() {
+    for_each_case(0x1A7E, |case, rng| {
+        let g = random_graph(rng);
         let l = Layering::new(&g, 0);
         let total: usize = l.layers().map(|(_, ns)| ns.len()).sum();
-        prop_assert_eq!(total, l.reachable());
+        assert_eq!(total, l.reachable(), "case {case}");
         let reachable = bfs_distances(&g, 0)
             .iter()
             .filter(|&&d| d != UNREACHABLE)
             .count();
-        prop_assert_eq!(l.reachable(), reachable);
-    }
+        assert_eq!(l.reachable(), reachable, "case {case}");
+    });
+}
 
-    #[test]
-    fn components_agree_with_bfs(g in arb_graph()) {
+#[test]
+fn components_agree_with_bfs() {
+    for_each_case(0xC09, |case, rng| {
+        let g = random_graph(rng);
         let comps = connected_components(&g);
-        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), g.n());
+        assert_eq!(comps.sizes.iter().sum::<usize>(), g.n(), "case {case}");
         // Two nodes in the same component iff mutually reachable by BFS.
         let dist = bfs_distances(&g, 0);
         for v in g.nodes() {
             let same = comps.component_of[v as usize] == comps.component_of[0];
-            prop_assert_eq!(same, dist[v as usize] != UNREACHABLE);
+            assert_eq!(same, dist[v as usize] != UNREACHABLE, "case {case}");
         }
-        prop_assert_eq!(is_connected(&g), comps.num_components <= 1);
-    }
+        assert_eq!(is_connected(&g), comps.num_components <= 1, "case {case}");
+    });
+}
 
-    #[test]
-    fn dsu_is_an_equivalence_relation(
-        n in 1usize..64,
-        unions in proptest::collection::vec((0u32..64, 0u32..64), 0..100),
-    ) {
+#[test]
+fn dsu_is_an_equivalence_relation() {
+    for_each_case(0xD5E, |case, rng| {
+        let n = 1 + rng.below(63) as usize;
+        let unions = rng.below(100) as usize;
         let mut d = DisjointSets::new(n);
-        for (a, b) in unions {
-            let (a, b) = (a % n as u32, b % n as u32);
+        for _ in 0..unions {
+            let a = rng.below(n as u64) as u32;
+            let b = rng.below(n as u64) as u32;
             d.union(a, b);
             // Symmetry + reflexivity.
-            prop_assert!(d.connected(a, b));
-            prop_assert!(d.connected(b, a));
-            prop_assert!(d.connected(a, a));
+            assert!(d.connected(a, b), "case {case}");
+            assert!(d.connected(b, a), "case {case}");
+            assert!(d.connected(a, a), "case {case}");
         }
         // Sizes of all sets sum to n.
         let mut seen_roots = std::collections::HashMap::new();
@@ -101,63 +131,77 @@ proptest! {
             *seen_roots.entry(r).or_insert(0usize) += 1;
         }
         for (r, count) in seen_roots {
-            prop_assert_eq!(d.set_size(r), count);
+            assert_eq!(d.set_size(r), count, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn induced_subgraph_preserves_edges(g in arb_graph(), seed in any::<u64>()) {
-        let mut rng = Xoshiro256pp::new(seed);
+#[test]
+fn induced_subgraph_preserves_edges() {
+    for_each_case(0x5B6, |case, rng| {
+        let g = random_graph(rng);
         let members: Vec<NodeId> = g.nodes().filter(|_| rng.coin(0.5)).collect();
         let (sub, map) = induced_subgraph(&g, &members);
-        prop_assert_eq!(sub.n(), members.len());
+        assert_eq!(sub.n(), members.len(), "case {case}");
         // Every subgraph edge maps to an original edge, and vice versa.
         for (a, b) in sub.edges() {
-            prop_assert!(g.has_edge(map.to_original(a), map.to_original(b)));
+            assert!(
+                g.has_edge(map.to_original(a), map.to_original(b)),
+                "case {case}"
+            );
         }
         for (i, &u) in members.iter().enumerate() {
             for (j, &v) in members.iter().enumerate().skip(i + 1) {
-                prop_assert_eq!(
+                assert_eq!(
                     g.has_edge(u, v),
-                    sub.has_edge(i as NodeId, j as NodeId)
+                    sub.has_edge(i as NodeId, j as NodeId),
+                    "case {case}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn double_sweep_bounds_exact_diameter(g in arb_graph()) {
+#[test]
+fn double_sweep_bounds_exact_diameter() {
+    for_each_case(0xD1A, |case, rng| {
+        let g = random_graph(rng);
         if let Some(exact) = exact_diameter(&g) {
             let est = double_sweep_diameter(&g, 0).unwrap();
-            prop_assert!(est <= exact);
-            prop_assert!(2 * est >= exact, "double sweep is a 2-approximation");
+            assert!(est <= exact, "case {case}");
+            assert!(
+                2 * est >= exact,
+                "case {case}: double sweep is a 2-approximation"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn gnm_uniform_and_exact(n in 2usize..40, seed in any::<u64>()) {
-        let mut rng = Xoshiro256pp::new(seed);
+#[test]
+fn gnm_uniform_and_exact() {
+    for_each_case(0x96E, |case, rng| {
+        let n = 2 + rng.below(38) as usize;
         let total = n * (n - 1) / 2;
         let m = rng.below(total as u64 + 1) as usize;
-        let g = sample_gnm(n, m, &mut rng);
-        prop_assert_eq!(g.m(), m);
-        prop_assert!(g.check_invariants());
-    }
+        let g = sample_gnm(n, m, rng);
+        assert_eq!(g.m(), m, "case {case}");
+        assert!(g.check_invariants(), "case {case}");
+    });
+}
 
-    #[test]
-    fn proposition2_output_is_independent_matching(g in arb_graph(), seed in any::<u64>()) {
+#[test]
+fn proposition2_output_is_independent_matching() {
+    for_each_case(0x9209, |case, rng| {
         // Build a minimal covering greedily: if conversion succeeds it must
         // yield an independent matching (Proposition 2).
-        let mut rng = Xoshiro256pp::new(seed);
+        let g = random_graph(rng);
         let targets: Vec<NodeId> = g.nodes().filter(|_| rng.coin(0.3)).collect();
-        let candidates: Vec<NodeId> =
-            g.nodes().filter(|v| !targets.contains(v)).collect();
+        let candidates: Vec<NodeId> = g.nodes().filter(|v| !targets.contains(v)).collect();
         // Greedy minimal covering: add candidates that cover something new,
         // then prune redundant ones.
         let mut cover: Vec<NodeId> = Vec::new();
-        let covered = |cover: &[NodeId], y: NodeId| {
-            g.neighbors(y).iter().any(|w| cover.contains(w))
-        };
+        let covered =
+            |cover: &[NodeId], y: NodeId| g.neighbors(y).iter().any(|w| cover.contains(w));
         for &x in &candidates {
             if targets
                 .iter()
@@ -179,19 +223,17 @@ proptest! {
                     i += 1;
                 }
             }
-            if let Some(m) = minimal_cover_to_matching(&g, &cover, &targets) {
-                prop_assert_eq!(m.len(), cover.len());
-                prop_assert!(is_independent_matching(&g, &m));
-            } else {
+            match minimal_cover_to_matching(&g, &cover, &targets) {
+                Some(m) => {
+                    assert_eq!(m.len(), cover.len(), "case {case}");
+                    assert!(is_independent_matching(&g, &m), "case {case}");
+                }
                 // Conversion may fail only if some cover member lacks a
                 // private target — impossible for a minimal cover.
-                prop_assert!(
-                    false,
-                    "minimal cover {:?} of {:?} had no private targets",
-                    cover,
-                    targets
-                );
+                None => panic!(
+                    "case {case}: minimal cover {cover:?} of {targets:?} had no private targets"
+                ),
             }
         }
-    }
+    });
 }

@@ -13,8 +13,18 @@
 //! * **Distributed** — a [`Protocol`] implementation (which can see only
 //!   per-node local state, never the topology) driven by [`run_protocol`].
 //!
-//! [`run_trials`] fans independent Monte-Carlo trials over rayon with
+//! [`run_trials`] fans independent Monte-Carlo trials over a scoped thread pool with
 //! deterministic per-trial seeds.
+//!
+//! ## Telemetry
+//!
+//! Both runners have `*_observed` variants ([`run_schedule_observed`],
+//! [`run_protocol_observed`]) that stream per-round [`RoundEvent`]s into a
+//! [`RunObserver`].  The default [`NoopObserver`] is zero-cost (empty,
+//! monomorphized hooks); [`CollectingObserver`] captures the full event
+//! stream, optionally with per-round wall-clock.  The [`report`] module
+//! serializes runs as versioned JSON via the dependency-free [`json`]
+//! writer/parser — see `docs/OBSERVABILITY.md` for the schemas.
 //!
 //! ## Example
 //!
@@ -42,9 +52,12 @@
 pub mod bitset;
 pub mod combinators;
 pub mod engine;
+pub mod json;
 pub mod metrics;
+pub mod observer;
 pub mod protocol;
 pub mod reference;
+pub mod report;
 pub mod runner;
 pub mod schedule;
 pub mod schedule_io;
@@ -53,10 +66,16 @@ pub mod trace;
 
 pub use combinators::{Named, Staged};
 pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
-pub use protocol::{run_protocol, run_protocol_from, run_protocol_multi, LocalNode, Protocol, RunConfig};
-pub use runner::{run_trials, run_trials_serial};
+pub use json::Json;
 pub use metrics::RunMetrics;
-pub use schedule::{run_schedule, Schedule};
+pub use observer::{CollectingObserver, NoopObserver, RoundEvent, RunObserver};
+pub use protocol::{
+    run_protocol, run_protocol_from, run_protocol_multi, run_protocol_observed, LocalNode,
+    Protocol, RunConfig,
+};
+pub use report::RunReport;
+pub use runner::{run_trials, run_trials_serial};
+pub use schedule::{run_schedule, run_schedule_observed, Schedule};
 pub use schedule_io::{load_schedule, save_schedule};
 pub use state::BroadcastState;
 pub use trace::{RoundRecord, RunResult, TraceLevel};

@@ -65,7 +65,8 @@ impl RunMetrics {
         if !completed {
             return None;
         }
-        self.round_to_90.map(|r90| completion_round.saturating_sub(r90))
+        self.round_to_90
+            .map(|r90| completion_round.saturating_sub(r90))
     }
 }
 
@@ -83,6 +84,7 @@ mod tests {
                 transmitters: tx,
                 newly_informed: newly,
                 collisions: col,
+                reached: newly + col,
                 informed_after: after,
             })
             .collect();

@@ -15,6 +15,7 @@
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
 
 use crate::engine::RoundEngine;
+use crate::observer::{NoopObserver, RoundEvent, RunObserver};
 use crate::state::BroadcastState;
 use crate::trace::{RunResult, TraceBuilder, TraceLevel};
 
@@ -127,16 +128,47 @@ pub fn run_protocol_multi<P: Protocol + ?Sized>(
 /// Runs `protocol` from an arbitrary initial knowledge state.
 pub fn run_protocol_from<P: Protocol + ?Sized>(
     graph: &Graph,
+    state: BroadcastState,
+    protocol: &mut P,
+    config: RunConfig,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    run_protocol_from_observed(graph, state, protocol, config, rng, &mut NoopObserver)
+}
+
+/// Like [`run_protocol`], but streams per-round telemetry into `observer`.
+///
+/// With [`NoopObserver`] (what the plain
+/// runners pass) the hooks compile away; see [`crate::observer`] for the
+/// event model.
+pub fn run_protocol_observed<P: Protocol + ?Sized, O: RunObserver>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    rng: &mut Xoshiro256pp,
+    observer: &mut O,
+) -> RunResult {
+    let state = BroadcastState::new(graph.n(), source);
+    run_protocol_from_observed(graph, state, protocol, config, rng, observer)
+}
+
+/// Observer-instrumented core runner; every other protocol entry point
+/// delegates here.
+pub fn run_protocol_from_observed<P: Protocol + ?Sized, O: RunObserver>(
+    graph: &Graph,
     mut state: BroadcastState,
     protocol: &mut P,
     config: RunConfig,
     rng: &mut Xoshiro256pp,
+    observer: &mut O,
 ) -> RunResult {
     let n = graph.n();
     assert_eq!(state.n(), n, "state size mismatch");
     let mut engine = RoundEngine::new(graph);
     let mut tb = TraceBuilder::new(config.trace_level);
     protocol.begin_run(n);
+    observer.on_run_start(n, state.informed_count());
 
     let mut transmitters: Vec<NodeId> = Vec::new();
     let mut round = 0u32;
@@ -153,16 +185,26 @@ pub fn run_protocol_from<P: Protocol + ?Sized>(
                 transmitters.push(v);
             }
         }
+        let started = observer.wants_timing().then(std::time::Instant::now);
         let outcome = if config.loss_prob > 0.0 {
             engine.execute_round_lossy(&mut state, &transmitters, round, config.loss_prob, rng)
         } else {
             engine.execute_round(&mut state, &transmitters, round)
         };
+        let elapsed_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
         tb.record(round, &outcome, state.informed_count());
+        observer.on_round(&RoundEvent::from_outcome(
+            round,
+            &outcome,
+            state.informed_count(),
+            elapsed_ns,
+        ));
     }
 
     let completed = state.is_complete();
-    tb.finish(completed, round, state.informed_count(), n)
+    let informed = state.informed_count();
+    observer.on_run_end(completed, round, informed);
+    tb.finish(completed, round, informed, n)
 }
 
 #[cfg(test)]

@@ -57,7 +57,10 @@ mod tests {
         for trial in 0..50u64 {
             let n = 30 + (trial as usize % 50);
             let g = sample_gnp(n, 0.15, &mut rng);
-            for &policy in &[TransmitterPolicy::InformedOnly, TransmitterPolicy::Unrestricted] {
+            for &policy in &[
+                TransmitterPolicy::InformedOnly,
+                TransmitterPolicy::Unrestricted,
+            ] {
                 let mut st = BroadcastState::new(n, 0);
                 // Pre-inform a random subset.
                 for v in 0..n as NodeId {

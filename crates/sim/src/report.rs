@@ -1,0 +1,371 @@
+//! Versioned, machine-readable run reports.
+//!
+//! A [`RunReport`] is the JSON face of a single broadcast run: the summary
+//! numbers every experiment prints as ASCII, plus (optionally) the full
+//! per-round event stream.  The schema is versioned
+//! ([`RUN_REPORT_SCHEMA_VERSION`]) and documented field-by-field in
+//! `docs/OBSERVABILITY.md`; consumers must check `schema_version` and
+//! `kind` before reading anything else.
+//!
+//! ```
+//! use radio_graph::{Graph, Xoshiro256pp};
+//! use radio_sim::report::RunReport;
+//! use radio_sim::{run_protocol, Protocol, LocalNode, RunConfig};
+//!
+//! struct Flood;
+//! impl Protocol for Flood {
+//!     fn name(&self) -> String { "flood".into() }
+//!     fn transmits(&mut self, _n: LocalNode, _rng: &mut Xoshiro256pp) -> bool { true }
+//! }
+//!
+//! let g = Graph::path(5);
+//! let mut rng = Xoshiro256pp::new(3);
+//! let result = run_protocol(&g, 0, &mut Flood, RunConfig::for_graph(5), &mut rng);
+//! let report = RunReport::from_result("flood", &result).with_seed(3);
+//! let json = report.to_json();
+//! assert_eq!(json.get("kind").unwrap().as_str(), Some("run_report"));
+//! assert_eq!(json.get("rounds").unwrap().as_i64(), Some(4));
+//! // Round-trips through the parser.
+//! let back = RunReport::from_json(&json).unwrap();
+//! assert_eq!(back, report);
+//! ```
+
+use std::io::Write;
+
+use crate::json::Json;
+use crate::metrics::RunMetrics;
+use crate::observer::RoundEvent;
+use crate::trace::RunResult;
+
+/// Current `RunReport` schema version (see `docs/OBSERVABILITY.md` for the
+/// versioning policy).
+pub const RUN_REPORT_SCHEMA_VERSION: i64 = 1;
+
+/// JSON summary of one broadcast run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Protocol or schedule-builder name (e.g. `"eg"`, `"decay"`).
+    pub algorithm: String,
+    /// Node count.
+    pub n: usize,
+    /// Edge probability the run assumed, if known.
+    pub p: Option<f64>,
+    /// RNG seed the run was derived from, if known.
+    pub seed: Option<u64>,
+    /// Whether every node was informed within the budget.
+    pub completed: bool,
+    /// Rounds used (completion round, or the exhausted budget).
+    pub rounds: u32,
+    /// Final informed count.
+    pub informed: usize,
+    /// Total transmissions over the recorded trace (energy proxy).
+    pub total_transmissions: usize,
+    /// Total collision events over the recorded trace.
+    pub total_collisions: usize,
+    /// Round by which ≥ 50% of nodes were informed, if reached.
+    pub round_to_half: Option<u32>,
+    /// Round by which ≥ 90% were informed.
+    pub round_to_90: Option<u32>,
+    /// Round by which ≥ 99% were informed.
+    pub round_to_99: Option<u32>,
+    /// End-to-end wall-clock of the run in nanoseconds, if measured.
+    pub wall_ns: Option<u64>,
+    /// Per-round event stream (empty unless explicitly attached with
+    /// [`RunReport::with_events`] or recorded in the result's trace).
+    pub events: Vec<RoundEvent>,
+}
+
+impl RunReport {
+    /// Builds a report from a run result.  Milestone rounds are computed
+    /// from the per-round trace when one was recorded; the trace itself is
+    /// **not** embedded (attach one with [`RunReport::with_events`]).
+    pub fn from_result(algorithm: &str, result: &RunResult) -> RunReport {
+        let metrics = RunMetrics::from_result(result);
+        RunReport {
+            algorithm: algorithm.to_string(),
+            n: result.n,
+            p: None,
+            seed: None,
+            completed: result.completed,
+            rounds: result.rounds,
+            informed: result.informed,
+            total_transmissions: metrics.total_transmissions,
+            total_collisions: metrics.total_collisions,
+            round_to_half: metrics.round_to_half,
+            round_to_90: metrics.round_to_90,
+            round_to_99: metrics.round_to_99,
+            wall_ns: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Attaches the graph parameter `p`.
+    pub fn with_p(mut self, p: f64) -> RunReport {
+        self.p = Some(p);
+        self
+    }
+
+    /// Attaches the seed.
+    pub fn with_seed(mut self, seed: u64) -> RunReport {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attaches an end-to-end wall-clock measurement.
+    pub fn with_wall_ns(mut self, wall_ns: u64) -> RunReport {
+        self.wall_ns = Some(wall_ns);
+        self
+    }
+
+    /// Attaches a per-round event stream (e.g. from a
+    /// [`CollectingObserver`](crate::observer::CollectingObserver)).
+    pub fn with_events(mut self, events: Vec<RoundEvent>) -> RunReport {
+        self.events = events;
+        self
+    }
+
+    /// Serializes to the versioned JSON schema.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version", Json::Int(RUN_REPORT_SCHEMA_VERSION)),
+            ("kind", Json::from("run_report")),
+            ("algorithm", Json::from(self.algorithm.as_str())),
+            ("n", Json::from(self.n)),
+            ("p", Json::from(self.p)),
+            ("seed", Json::from(self.seed)),
+            ("completed", Json::from(self.completed)),
+            ("rounds", Json::from(self.rounds)),
+            ("informed", Json::from(self.informed)),
+            ("total_transmissions", Json::from(self.total_transmissions)),
+            ("total_collisions", Json::from(self.total_collisions)),
+            ("round_to_half", Json::from(self.round_to_half)),
+            ("round_to_90", Json::from(self.round_to_90)),
+            ("round_to_99", Json::from(self.round_to_99)),
+            ("wall_ns", Json::from(self.wall_ns)),
+        ];
+        if !self.events.is_empty() {
+            fields.push((
+                "events",
+                Json::Arr(self.events.iter().map(round_event_to_json).collect()),
+            ));
+        }
+        Json::object(fields)
+    }
+
+    /// Deserializes a report produced by [`RunReport::to_json`].
+    ///
+    /// Strict about `schema_version` and `kind` so stale readers fail loudly
+    /// instead of misinterpreting a newer schema.
+    pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version")?;
+        if version != RUN_REPORT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported run_report schema_version {version} (reader supports {RUN_REPORT_SCHEMA_VERSION})"
+            ));
+        }
+        if json.get("kind").and_then(Json::as_str) != Some("run_report") {
+            return Err("kind is not run_report".into());
+        }
+        let get_usize = |key: &str| -> Result<usize, String> {
+            json.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| format!("missing or invalid {key}"))
+        };
+        let get_opt_u32 = |key: &str| -> Option<u32> {
+            json.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| u32::try_from(v).ok())
+        };
+        let events = match json.get("events").and_then(Json::as_arr) {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(round_event_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(RunReport {
+            algorithm: json
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .ok_or("missing algorithm")?
+                .to_string(),
+            n: get_usize("n")?,
+            p: json.get("p").and_then(Json::as_f64),
+            seed: json
+                .get("seed")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok()),
+            completed: json
+                .get("completed")
+                .and_then(Json::as_bool)
+                .ok_or("missing completed")?,
+            rounds: get_opt_u32("rounds").ok_or("missing rounds")?,
+            informed: get_usize("informed")?,
+            total_transmissions: get_usize("total_transmissions")?,
+            total_collisions: get_usize("total_collisions")?,
+            round_to_half: get_opt_u32("round_to_half"),
+            round_to_90: get_opt_u32("round_to_90"),
+            round_to_99: get_opt_u32("round_to_99"),
+            wall_ns: json
+                .get("wall_ns")
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok()),
+            events,
+        })
+    }
+}
+
+/// Serializes one [`RoundEvent`] (the JSONL trace line format).
+pub fn round_event_to_json(event: &RoundEvent) -> Json {
+    Json::object([
+        ("round", Json::from(event.round)),
+        ("transmitters", Json::from(event.transmitters)),
+        ("reached", Json::from(event.reached)),
+        ("collisions", Json::from(event.collisions)),
+        ("newly_informed", Json::from(event.newly_informed)),
+        ("informed_after", Json::from(event.informed_after)),
+        ("elapsed_ns", Json::from(event.elapsed_ns)),
+    ])
+}
+
+/// Parses one [`RoundEvent`] serialized by [`round_event_to_json`].
+pub fn round_event_from_json(json: &Json) -> Result<RoundEvent, String> {
+    let field = |key: &str| -> Result<i64, String> {
+        json.get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing or invalid event field {key}"))
+    };
+    Ok(RoundEvent {
+        round: u32::try_from(field("round")?).map_err(|_| "round out of range")?,
+        transmitters: field("transmitters")? as usize,
+        reached: field("reached")? as usize,
+        collisions: field("collisions")? as usize,
+        newly_informed: field("newly_informed")? as usize,
+        informed_after: field("informed_after")? as usize,
+        elapsed_ns: field("elapsed_ns")? as u64,
+    })
+}
+
+/// Writes an event stream as JSONL (one compact JSON object per line) —
+/// the replay/debugging trace format of `radio-cli run --trace-out`.
+///
+/// Lines may carry extra context fields (e.g. the trial index) via
+/// `prefix_fields`.
+pub fn write_events_jsonl<W: Write>(
+    out: &mut W,
+    prefix_fields: &[(&str, Json)],
+    events: &[RoundEvent],
+) -> std::io::Result<()> {
+    for event in events {
+        let mut fields: Vec<(String, Json)> = prefix_fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        if let Json::Obj(event_fields) = round_event_to_json(event) {
+            fields.extend(event_fields);
+        }
+        writeln!(out, "{}", Json::Obj(fields).render())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RoundRecord, RunResult};
+
+    fn sample_result() -> RunResult {
+        RunResult {
+            completed: true,
+            rounds: 2,
+            informed: 5,
+            n: 5,
+            trace: vec![
+                RoundRecord {
+                    round: 1,
+                    transmitters: 1,
+                    newly_informed: 3,
+                    collisions: 0,
+                    reached: 3,
+                    informed_after: 4,
+                },
+                RoundRecord {
+                    round: 2,
+                    transmitters: 2,
+                    newly_informed: 1,
+                    collisions: 1,
+                    reached: 2,
+                    informed_after: 5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let result = sample_result();
+        let report = RunReport::from_result("test-proto", &result)
+            .with_p(0.05)
+            .with_seed(42)
+            .with_wall_ns(12345)
+            .with_events(result.trace.iter().map(|r| r.to_event()).collect());
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // And through the text serializer too.
+        let reparsed = Json::parse(&json.render_pretty()).unwrap();
+        assert_eq!(RunReport::from_json(&reparsed).unwrap(), report);
+    }
+
+    #[test]
+    fn summary_numbers_match_result() {
+        let result = sample_result();
+        let report = RunReport::from_result("x", &result);
+        assert_eq!(report.rounds, result.rounds);
+        assert_eq!(report.total_transmissions, 3);
+        assert_eq!(report.total_collisions, 1);
+        assert_eq!(report.round_to_half, Some(1));
+        assert_eq!(report.round_to_99, Some(2));
+        assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let result = sample_result();
+        let mut json = RunReport::from_result("x", &result).to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Int(999);
+        }
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema_version 999"), "{err}");
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let json = Json::object([
+            ("schema_version", Json::Int(RUN_REPORT_SCHEMA_VERSION)),
+            ("kind", Json::from("bench_report")),
+        ]);
+        assert!(RunReport::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let result = sample_result();
+        let events: Vec<RoundEvent> = result.trace.iter().map(|r| r.to_event()).collect();
+        let mut buf = Vec::new();
+        write_events_jsonl(&mut buf, &[("trial", Json::Int(3))], &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, event) in lines.iter().zip(&events) {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("trial").unwrap().as_i64(), Some(3));
+            assert_eq!(round_event_from_json(&v).unwrap(), *event);
+        }
+    }
+}

@@ -2,13 +2,15 @@
 //!
 //! Every experiment in this workspace is "run `k` independent trials of a
 //! stochastic job and aggregate".  [`run_trials`] fans the trials out over
-//! rayon's thread pool, deriving one independent RNG per trial from a master
-//! seed, so the result vector is **identical** whether the sweep ran on 1 or
-//! 64 threads — determinism is part of the contract and is covered by an
-//! integration test.
+//! a scoped `std::thread` pool (work-stealing via a shared atomic cursor),
+//! deriving one independent RNG per trial from a master seed, so the result
+//! vector is **identical** whether the sweep ran on 1 or 64 threads —
+//! determinism is part of the contract and is covered by an integration
+//! test.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use radio_graph::{child_rng, Xoshiro256pp};
-use rayon::prelude::*;
 
 /// Runs `trials` independent jobs in parallel.
 ///
@@ -20,14 +22,65 @@ where
     T: Send,
     F: Fn(usize, &mut Xoshiro256pp) -> T + Sync,
 {
-    (0..trials)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = child_rng(master_seed, i as u64);
-            job(i, &mut rng)
-        })
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+    if workers <= 1 || trials <= 1 {
+        return run_trials_serial(trials, master_seed, job);
+    }
+
+    // Each worker claims trial indices from a shared cursor and writes the
+    // result into the trial's own slot, so output order is index order no
+    // matter which thread ran which trial.
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(trials);
+    slots.resize_with(trials, || None);
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let job = &job;
+            let slots = SendPtr(slot_ptr.0);
+            scope.spawn(move || {
+                // Not redundant: rebinding the whole wrapper defeats
+                // edition-2021 disjoint capture, so the closure captures
+                // `SendPtr` (which is Send) rather than its raw-pointer
+                // field (which is not).
+                #[allow(clippy::redundant_locals)]
+                let slots = slots;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials {
+                        break;
+                    }
+                    let mut rng = child_rng(master_seed, i as u64);
+                    let out = job(i, &mut rng);
+                    // SAFETY: `i` is claimed by exactly one worker (fetch_add
+                    // is unique per index) and `slots` outlives the scope, so
+                    // each slot is written at most once with no aliasing.
+                    unsafe { *slots.0.add(i) = Some(out) };
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every trial slot filled"))
         .collect()
 }
+
+/// Raw-pointer wrapper so worker threads can write disjoint `slots` entries.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
 
 /// Serial twin of [`run_trials`]; used by the determinism tests and handy
 /// when a job is itself internally parallel.

@@ -11,6 +11,7 @@
 use radio_graph::{Graph, NodeId};
 
 use crate::engine::{RoundEngine, TransmitterPolicy};
+use crate::observer::{NoopObserver, RoundEvent, RunObserver};
 use crate::state::BroadcastState;
 use crate::trace::{RunResult, TraceBuilder, TraceLevel};
 
@@ -90,21 +91,53 @@ pub fn run_schedule(
     policy: TransmitterPolicy,
     trace_level: TraceLevel,
 ) -> RunResult {
+    run_schedule_observed(
+        graph,
+        source,
+        schedule,
+        policy,
+        trace_level,
+        &mut NoopObserver,
+    )
+}
+
+/// Like [`run_schedule`], but streams per-round telemetry into `observer`
+/// (see [`crate::observer`] for the event model; the no-op default costs
+/// nothing).
+pub fn run_schedule_observed<O: RunObserver>(
+    graph: &Graph,
+    source: NodeId,
+    schedule: &Schedule,
+    policy: TransmitterPolicy,
+    trace_level: TraceLevel,
+    observer: &mut O,
+) -> RunResult {
     let n = graph.n();
     let mut state = BroadcastState::new(n, source);
     let mut engine = RoundEngine::with_policy(graph, policy);
     let mut tb = TraceBuilder::new(trace_level);
+    observer.on_run_start(n, state.informed_count());
     let mut round = 0u32;
     for transmitters in schedule.iter() {
         if state.is_complete() {
             break;
         }
         round += 1;
+        let started = observer.wants_timing().then(std::time::Instant::now);
         let outcome = engine.execute_round(&mut state, transmitters, round);
+        let elapsed_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
         tb.record(round, &outcome, state.informed_count());
+        observer.on_round(&RoundEvent::from_outcome(
+            round,
+            &outcome,
+            state.informed_count(),
+            elapsed_ns,
+        ));
     }
     let completed = state.is_complete();
-    tb.finish(completed, round, state.informed_count(), n)
+    let informed = state.informed_count();
+    observer.on_run_end(completed, round, informed);
+    tb.finish(completed, round, informed, n)
 }
 
 #[cfg(test)]
@@ -128,7 +161,13 @@ mod tests {
     fn path_schedule_runs() {
         let g = Graph::path(4);
         let s = Schedule::from_rounds(vec![vec![0], vec![1], vec![2]]);
-        let r = run_schedule(&g, 0, &s, TransmitterPolicy::InformedOnly, TraceLevel::PerRound);
+        let r = run_schedule(
+            &g,
+            0,
+            &s,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::PerRound,
+        );
         assert!(r.completed);
         assert_eq!(r.rounds, 3);
         assert_eq!(r.trace.len(), 3);
@@ -138,7 +177,13 @@ mod tests {
     fn early_stop_when_complete() {
         let g = Graph::star(4);
         let s = Schedule::from_rounds(vec![vec![0], vec![1], vec![2]]);
-        let r = run_schedule(&g, 0, &s, TransmitterPolicy::InformedOnly, TraceLevel::PerRound);
+        let r = run_schedule(
+            &g,
+            0,
+            &s,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::PerRound,
+        );
         assert!(r.completed);
         assert_eq!(r.rounds, 1); // center informs everyone in round 1
     }
@@ -147,7 +192,13 @@ mod tests {
     fn incomplete_schedule_reports_failure() {
         let g = Graph::path(4);
         let s = Schedule::from_rounds(vec![vec![0]]);
-        let r = run_schedule(&g, 0, &s, TransmitterPolicy::InformedOnly, TraceLevel::PerRound);
+        let r = run_schedule(
+            &g,
+            0,
+            &s,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::PerRound,
+        );
         assert!(!r.completed);
         assert_eq!(r.informed, 2);
     }
@@ -156,7 +207,13 @@ mod tests {
     fn empty_schedule_single_node() {
         let g = Graph::empty(1);
         let s = Schedule::new();
-        let r = run_schedule(&g, 0, &s, TransmitterPolicy::InformedOnly, TraceLevel::PerRound);
+        let r = run_schedule(
+            &g,
+            0,
+            &s,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::PerRound,
+        );
         assert!(r.completed);
         assert_eq!(r.rounds, 0);
     }
@@ -166,7 +223,13 @@ mod tests {
         // Schedule an uninformed node in round 1 under InformedOnly: no-op.
         let g = Graph::path(3);
         let s = Schedule::from_rounds(vec![vec![2], vec![0], vec![1]]);
-        let r = run_schedule(&g, 0, &s, TransmitterPolicy::InformedOnly, TraceLevel::PerRound);
+        let r = run_schedule(
+            &g,
+            0,
+            &s,
+            TransmitterPolicy::InformedOnly,
+            TraceLevel::PerRound,
+        );
         assert!(r.completed);
         assert_eq!(r.trace[0].transmitters, 0);
     }

@@ -29,8 +29,27 @@ pub struct RoundRecord {
     pub newly_informed: usize,
     /// Uninformed listeners that heard a collision.
     pub collisions: usize,
+    /// Uninformed listeners in range of ≥ 1 transmitter (decodable or not).
+    pub reached: usize,
     /// Cumulative informed count after the round.
     pub informed_after: usize,
+}
+
+impl RoundRecord {
+    /// The record as a telemetry event (elapsed time is not recorded in
+    /// traces; see [`CollectingObserver`](crate::observer::CollectingObserver)
+    /// for timed streams).
+    pub fn to_event(self) -> crate::observer::RoundEvent {
+        crate::observer::RoundEvent {
+            round: self.round,
+            transmitters: self.transmitters,
+            reached: self.reached,
+            collisions: self.collisions,
+            newly_informed: self.newly_informed,
+            informed_after: self.informed_after,
+            elapsed_ns: 0,
+        }
+    }
 }
 
 /// The outcome of a complete run.
@@ -107,6 +126,7 @@ impl TraceBuilder {
                 transmitters: outcome.transmitters,
                 newly_informed: outcome.newly_informed,
                 collisions: outcome.collisions,
+                reached: outcome.reached,
                 informed_after,
             });
         }

@@ -64,8 +64,16 @@ fn main() {
         ("push-gossip".to_string(), &run_gossip),
     ];
 
-    println!("{:>5} {:>14} {:>14} {:>14} {:>14}", "round", rows[0].0, "decay", "flooding", "push-gossip");
-    let curves: Vec<Vec<usize>> = rows.iter().map(|(_, r)| informed_curve(r, horizon)).collect();
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "round", rows[0].0, "decay", "flooding", "push-gossip"
+    );
+    let curves: Vec<Vec<usize>> = rows
+        .iter()
+        .map(|(_, r)| informed_curve(r, horizon))
+        .collect();
+    // Indexing four parallel curves by round; an iterator zip would obscure it.
+    #[allow(clippy::needless_range_loop)]
     for t in 0..horizon {
         println!(
             "{:>5} {:>14} {:>14} {:>14} {:>14}",

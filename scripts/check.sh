@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Pre-push gate: formatting, lints, doc build, and the full test suite.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the release build (debug tests only)
+#
+# Every step must pass with warnings promoted to errors; this is the same
+# set of checks a reviewer runs, so run it before pushing.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
+step "cargo test (debug)"
+cargo test --workspace --offline -q
+
+if [ "$fast" -eq 0 ]; then
+  step "cargo build --release"
+  cargo build --workspace --release --offline -q
+fi
+
+printf '\nall checks passed\n'

@@ -37,8 +37,18 @@ fn protocol_runs_deterministic() {
 #[test]
 fn schedule_builder_deterministic() {
     let g = sample_gnp(1_500, 0.02, &mut Xoshiro256pp::new(8));
-    let a = build_eg_schedule(&g, 5, CentralizedParams::default(), &mut Xoshiro256pp::new(9));
-    let b = build_eg_schedule(&g, 5, CentralizedParams::default(), &mut Xoshiro256pp::new(9));
+    let a = build_eg_schedule(
+        &g,
+        5,
+        CentralizedParams::default(),
+        &mut Xoshiro256pp::new(9),
+    );
+    let b = build_eg_schedule(
+        &g,
+        5,
+        CentralizedParams::default(),
+        &mut Xoshiro256pp::new(9),
+    );
     assert_eq!(a.schedule, b.schedule);
     assert_eq!(a.phases, b.phases);
     assert_eq!(a.completed, b.completed);
@@ -47,7 +57,7 @@ fn schedule_builder_deterministic() {
 #[test]
 fn parallel_sweep_equals_serial_sweep() {
     // Full pipeline inside each trial: sample graph, run protocol, return
-    // the round count. Parallel (rayon) and serial execution must agree.
+    // the round count. Parallel and serial execution must agree.
     let job = |_i: usize, rng: &mut Xoshiro256pp| {
         let n = 500;
         let p = 25.0 / n as f64;

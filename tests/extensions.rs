@@ -45,7 +45,13 @@ fn gossiping_dominates_broadcast_time() {
     let mut strat = ConstantProb::new(1.0 / d);
     let gossip = run_radio_gossiping(&g, &mut strat, 50_000, &mut Xoshiro256pp::new(7));
     let mut proto = ConstantProb::new(1.0 / d);
-    let bcast = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(n), &mut Xoshiro256pp::new(7));
+    let bcast = run_protocol(
+        &g,
+        0,
+        &mut proto,
+        RunConfig::for_graph(n),
+        &mut Xoshiro256pp::new(7),
+    );
     assert!(gossip.completed && bcast.completed);
     assert!(gossip.rounds >= bcast.rounds);
 }
@@ -57,7 +63,13 @@ fn lossy_broadcast_completes_and_slows_down() {
     let p = 30.0 / n as f64;
     let g = connected_gnp(n, p, &mut rng);
     let mut a = EgDistributed::new(p);
-    let clean = run_protocol(&g, 0, &mut a, RunConfig::for_graph(n), &mut Xoshiro256pp::new(5));
+    let clean = run_protocol(
+        &g,
+        0,
+        &mut a,
+        RunConfig::for_graph(n),
+        &mut Xoshiro256pp::new(5),
+    );
     let mut b = EgDistributed::new(p);
     let lossy = run_protocol(
         &g,

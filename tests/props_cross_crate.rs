@@ -1,46 +1,58 @@
-//! Cross-crate property-based tests (proptest): the simulator, samplers,
-//! and cover machinery satisfy their invariants on arbitrary inputs, and
+//! Cross-crate randomized property tests: the simulator, samplers, and
+//! cover machinery satisfy their invariants on seeded random inputs, and
 //! the optimized engine agrees with the naive reference everywhere.
+//!
+//! Cases are generated from deterministic per-case seeds (no external
+//! property-testing dependency); assertions carry the case index.
 
-use proptest::prelude::*;
 use radio_broadcast::prelude::*;
 use radio_graph::bipartite::{covered_targets, is_independent_cover};
 use radio_graph::cover::greedy_radio_cover;
-use radio_graph::Layering;
+use radio_graph::{derive_seed, Layering};
 use radio_sim::reference::reference_round;
 use radio_sim::{BroadcastState, RoundEngine};
 
-/// Strategy: a small random graph as (n, edge list).
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges.min(120))
-            .prop_map(move |edges| Graph::from_edges(n, edges))
-    })
+const CASES: u64 = 64;
+
+fn for_each_case(master: u64, body: impl Fn(u64, &mut Xoshiro256pp)) {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256pp::new(derive_seed(master, case));
+        body(case, &mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A small random graph: 2..40 nodes, up to min(maxE, 120) candidate edges.
+fn random_graph(rng: &mut Xoshiro256pp) -> Graph {
+    let n = 2 + rng.below(38) as usize;
+    let max_edges = (n * (n - 1) / 2).min(120);
+    let edges = rng.below(max_edges as u64 + 1) as usize;
+    let list: Vec<(NodeId, NodeId)> = (0..edges)
+        .map(|_| (rng.below(n as u64) as NodeId, rng.below(n as u64) as NodeId))
+        .collect();
+    Graph::from_edges(n, list)
+}
 
-    #[test]
-    fn engine_matches_reference(
-        g in arb_graph(),
-        seed in any::<u64>(),
-        informed_frac in 0.0f64..1.0,
-        transmit_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn engine_matches_reference() {
+    for_each_case(0xE16, |case, rng| {
+        let g = random_graph(rng);
         let n = g.n();
-        let mut rng = Xoshiro256pp::new(seed);
+        let informed_frac = rng.next_f64();
+        let transmit_frac = rng.next_f64();
         let mut state = BroadcastState::new(n, 0);
         for v in 1..n as NodeId {
             if rng.coin(informed_frac) {
                 state.inform(v, 0);
             }
         }
-        let transmitters: Vec<NodeId> =
-            (0..n as NodeId).filter(|_| rng.coin(transmit_frac)).collect();
+        let transmitters: Vec<NodeId> = (0..n as NodeId)
+            .filter(|_| rng.coin(transmit_frac))
+            .collect();
 
-        for policy in [TransmitterPolicy::InformedOnly, TransmitterPolicy::Unrestricted] {
+        for policy in [
+            TransmitterPolicy::InformedOnly,
+            TransmitterPolicy::Unrestricted,
+        ] {
             let expected = reference_round(&g, &state, &transmitters, policy);
             let mut st = state.clone();
             let mut engine = RoundEngine::with_policy(&g, policy);
@@ -48,32 +60,39 @@ proptest! {
             let got: Vec<NodeId> = (0..n as NodeId)
                 .filter(|&v| !state.is_informed(v) && st.is_informed(v))
                 .collect();
-            prop_assert_eq!(&got, &expected);
-            prop_assert_eq!(out.newly_informed, expected.len());
+            assert_eq!(got, expected, "case {case}");
+            assert_eq!(out.newly_informed, expected.len(), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn gnp_graphs_are_valid(n in 2usize..400, p in 0.0f64..0.3, seed in any::<u64>()) {
-        let mut rng = Xoshiro256pp::new(seed);
-        let g = sample_gnp(n, p, &mut rng);
-        prop_assert!(g.check_invariants());
-        prop_assert_eq!(g.n(), n);
-    }
+#[test]
+fn gnp_graphs_are_valid() {
+    for_each_case(0x96B, |case, rng| {
+        let n = 2 + rng.below(398) as usize;
+        let p = rng.next_f64() * 0.3;
+        let g = sample_gnp(n, p, rng);
+        assert!(g.check_invariants(), "case {case}");
+        assert_eq!(g.n(), n, "case {case}");
+    });
+}
 
-    #[test]
-    fn gnm_exact_edge_count(n in 2usize..120, seed in any::<u64>()) {
+#[test]
+fn gnm_exact_edge_count() {
+    for_each_case(0x96C, |case, rng| {
+        let n = 2 + rng.below(118) as usize;
         let total = n * (n - 1) / 2;
-        let mut rng = Xoshiro256pp::new(seed);
-        let m = (rng.below(total as u64 + 1)) as usize;
-        let g = radio_graph::gnm::sample_gnm(n, m, &mut rng);
-        prop_assert_eq!(g.m(), m);
-        prop_assert!(g.check_invariants());
-    }
+        let m = rng.below(total as u64 + 1) as usize;
+        let g = radio_graph::gnm::sample_gnm(n, m, rng);
+        assert_eq!(g.m(), m, "case {case}");
+        assert!(g.check_invariants(), "case {case}");
+    });
+}
 
-    #[test]
-    fn layering_is_a_bfs(g in arb_graph(), seed in any::<u64>()) {
-        let mut rng = Xoshiro256pp::new(seed);
+#[test]
+fn layering_is_a_bfs() {
+    for_each_case(0x1AB, |case, rng| {
+        let g = random_graph(rng);
         let source = rng.below(g.n() as u64) as NodeId;
         let l = Layering::new(&g, source);
         // Every reachable non-source node has a parent one layer down and
@@ -84,43 +103,44 @@ proptest! {
                     let mut has_parent = false;
                     for &w in g.neighbors(v) {
                         let dw = l.distance(w).expect("neighbor of reachable unreachable");
-                        prop_assert!((i64::from(dw) - i64::from(dv)).abs() <= 1);
+                        assert!((i64::from(dw) - i64::from(dv)).abs() <= 1, "case {case}");
                         has_parent |= dw + 1 == dv;
                     }
-                    prop_assert!(has_parent);
+                    assert!(has_parent, "case {case}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn greedy_cover_output_is_independent_cover(
-        g in arb_graph(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn greedy_cover_output_is_independent_cover() {
+    for_each_case(0x9C0, |case, rng| {
+        let g = random_graph(rng);
         let n = g.n();
-        let mut rng = Xoshiro256pp::new(seed);
         let candidates: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.coin(0.5)).collect();
         let targets: Vec<NodeId> = (0..n as NodeId)
             .filter(|v| !candidates.contains(v))
             .collect();
-        let sel = greedy_radio_cover(&g, &candidates, &targets, Some(&mut rng));
-        prop_assert!(is_independent_cover(&g, &sel.transmitters, &sel.covered));
+        let sel = greedy_radio_cover(&g, &candidates, &targets, Some(rng));
+        assert!(
+            is_independent_cover(&g, &sel.transmitters, &sel.covered),
+            "case {case}"
+        );
         // covered_targets agrees with the selection's own accounting.
         let recheck = covered_targets(&g, &sel.transmitters, &targets);
-        prop_assert_eq!(recheck, sel.covered);
-    }
+        assert_eq!(recheck, sel.covered, "case {case}");
+    });
+}
 
-    #[test]
-    fn schedule_replay_never_exceeds_builder_length(
-        n in 10usize..80,
-        d in 3.0f64..15.0,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = Xoshiro256pp::new(seed);
+#[test]
+fn schedule_replay_never_exceeds_builder_length() {
+    for_each_case(0x5C4, |case, rng| {
+        let n = 10 + rng.below(70) as usize;
+        let d = 3.0 + rng.next_f64() * 12.0;
         let p = (d / n as f64).min(0.9);
-        let g = sample_gnp(n, p, &mut rng);
-        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut rng);
+        let g = sample_gnp(n, p, rng);
+        let built = build_eg_schedule(&g, 0, CentralizedParams::default(), rng);
         let replay = run_schedule(
             &g,
             0,
@@ -128,23 +148,30 @@ proptest! {
             TransmitterPolicy::InformedOnly,
             TraceLevel::SummaryOnly,
         );
-        prop_assert_eq!(replay.completed, built.completed);
-        prop_assert!(replay.rounds as usize <= built.len());
-        prop_assert_eq!(replay.informed, built.informed);
-    }
+        assert_eq!(replay.completed, built.completed, "case {case}");
+        assert!(replay.rounds as usize <= built.len(), "case {case}");
+        assert_eq!(replay.informed, built.informed, "case {case}");
+    });
+}
 
-    #[test]
-    fn broadcast_state_counts_consistent(
-        n in 1usize..200,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = Xoshiro256pp::new(seed);
+#[test]
+fn broadcast_state_counts_consistent() {
+    for_each_case(0xB5C, |case, rng| {
+        let n = 1 + rng.below(199) as usize;
         let mut st = BroadcastState::new(n, 0);
         for _ in 0..n {
             let v = rng.below(n as u64) as NodeId;
             st.inform(v, 1);
-            prop_assert_eq!(st.informed_count() + st.uninformed_count(), n);
+            assert_eq!(
+                st.informed_count() + st.uninformed_count(),
+                n,
+                "case {case}"
+            );
         }
-        prop_assert_eq!(st.informed_nodes().count(), st.informed_count());
-    }
+        assert_eq!(
+            st.informed_nodes().count(),
+            st.informed_count(),
+            "case {case}"
+        );
+    });
 }

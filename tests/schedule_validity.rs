@@ -38,11 +38,8 @@ fn validate_schedule(g: &Graph, source: NodeId, schedule: &Schedule) -> Broadcas
         // Check reception rule against the snapshot.
         for v in 0..g.n() as NodeId {
             if !before[v as usize] && state.is_informed(v) {
-                let transmitting_neighbors = g
-                    .neighbors(v)
-                    .iter()
-                    .filter(|&&w| set.contains(&w))
-                    .count();
+                let transmitting_neighbors =
+                    g.neighbors(v).iter().filter(|&&w| set.contains(&w)).count();
                 assert_eq!(
                     transmitting_neighbors,
                     1,
