@@ -10,7 +10,7 @@ use radio_bench::harness::Harness;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{NodeId, Xoshiro256pp};
 use radio_sim::{run_schedule, run_schedule_observed, NoopObserver, Schedule};
-use radio_sim::{BroadcastState, RoundEngine, TraceLevel, TransmitterPolicy};
+use radio_sim::{BroadcastState, EngineKernel, RoundEngine, TraceLevel, TransmitterPolicy};
 use std::hint::black_box;
 
 fn main() {
@@ -37,6 +37,34 @@ fn main() {
             || {
                 let mut st = state.clone();
                 black_box(engine.execute_round(&mut st, &transmitters, 1))
+            },
+        );
+    }
+
+    // Kernel crossover: a dense-favourable instance (small n, high degree)
+    // run through both kernels at the same transmitter fraction.  See
+    // docs/PERF.md for how these points calibrate the Auto cost model.
+    let nk = 8192usize;
+    let dk = 81.0;
+    let gk = sample_gnp(nk, dk / nk as f64, &mut rng);
+    let mut state_k = BroadcastState::new(nk, 0);
+    for v in 0..(nk / 2) as NodeId {
+        state_k.inform(v, 0);
+    }
+    let tx_k: Vec<NodeId> = (0..(nk / 2) as NodeId)
+        .filter(|_| rng.next_f64() < 1.0 / dk)
+        .collect();
+    for (label, kernel) in [
+        ("kernel_crossover_sparse", EngineKernel::Sparse),
+        ("kernel_crossover_dense", EngineKernel::Dense),
+    ] {
+        let mut engine = RoundEngine::new(&gk).with_kernel(kernel);
+        h.bench_with_throughput(
+            &format!("{label}/{}", tx_k.len()),
+            Some(tx_k.len() as u64),
+            || {
+                let mut st = state_k.clone();
+                black_box(engine.execute_round(&mut st, &tx_k, 1))
             },
         );
     }

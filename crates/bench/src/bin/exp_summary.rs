@@ -25,8 +25,8 @@ use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{NodeId, Xoshiro256pp};
 use radio_sim::{
-    run_schedule, run_schedule_observed, BroadcastState, Json, NoopObserver, RoundEngine, Schedule,
-    TraceLevel, TransmitterPolicy,
+    run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json, NoopObserver,
+    RoundEngine, Schedule, TraceLevel, TransmitterPolicy,
 };
 use std::hint::black_box;
 
@@ -51,7 +51,9 @@ fn main() {
     let transmitters: Vec<NodeId> = (0..(n / 2) as NodeId)
         .filter(|_| rng.next_f64() < 1.0 / d)
         .collect();
-    let mut engine = RoundEngine::new(&g);
+    // Forced sparse so this label stays comparable with the committed
+    // baseline across PRs (the kernel comparison has its own points below).
+    let mut engine = RoundEngine::new(&g).with_kernel(EngineKernel::Sparse);
     h.bench_with_throughput(
         "execute_round_frac_1_over_d",
         Some(transmitters.len() as u64),
@@ -83,6 +85,57 @@ fn main() {
     for stats in h.results() {
         let mut point = stats.to_point();
         point.label = format!("engine/{}", point.label);
+        if point.label == "engine/execute_round_frac_1_over_d" {
+            point = point.field("kernel", Json::from("sparse"));
+        }
+        report.push(point);
+    }
+
+    // ---- 1b. kernel comparison: dense vs sparse ---------------------------
+    // Dense-favourable regime: small n (the adjacency bitmap is 8 MiB, well
+    // under the cap) and high degree, at the same 1/d transmitter fraction.
+    let nk = 8192usize;
+    let dk = 81.0;
+    println!("\n## 1b. Kernel comparison (n = {nk}, d = {dk})\n");
+    let mut hk = Harness::new("engine");
+    hk.sample_size(args.scale(10, 20, 40));
+    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/kernel"));
+    let gk = sample_gnp(nk, dk / nk as f64, &mut rng);
+    let mut state_k = BroadcastState::new(nk, 0);
+    for v in 0..(nk / 2) as NodeId {
+        state_k.inform(v, 0);
+    }
+    let tx_k: Vec<NodeId> = (0..(nk / 2) as NodeId)
+        .filter(|_| rng.next_f64() < 1.0 / dk)
+        .collect();
+    let mut bitmap_build_ns = None;
+    for (label, kernel) in [
+        ("execute_round_sparse_frac_1_over_d", EngineKernel::Sparse),
+        ("execute_round_dense_frac_1_over_d", EngineKernel::Dense),
+    ] {
+        let mut eng = RoundEngine::new(&gk).with_kernel(kernel);
+        hk.bench_with_throughput(label, Some(tx_k.len() as u64), || {
+            let mut st = state_k.clone();
+            black_box(eng.execute_round(&mut st, &tx_k, 1))
+        });
+        if let Some(ns) = eng.bitmap_build_ns() {
+            bitmap_build_ns = Some(ns);
+        }
+    }
+    for stats in hk.results() {
+        let mut point = stats.to_point();
+        let kernel = if point.label.contains("dense") {
+            "dense"
+        } else {
+            "sparse"
+        };
+        point.label = format!("engine/{}", point.label);
+        point = point.field("kernel", Json::from(kernel));
+        if kernel == "dense" {
+            if let Some(ns) = bitmap_build_ns {
+                point = point.field("bitmap_build_ns", Json::from(ns));
+            }
+        }
         report.push(point);
     }
 

@@ -40,6 +40,7 @@ const VALUE_KEYS: &[&str] = &[
     "schedule",
     "format",
     "trace-out",
+    "kernel",
 ];
 
 impl Args {

@@ -14,8 +14,8 @@ use radio_graph::layers::analyze_layers;
 use radio_graph::{child_rng, Graph, Layering, NodeId, Xoshiro256pp};
 use radio_sim::report::write_events_jsonl;
 use radio_sim::{
-    run_protocol_observed, run_schedule, CollectingObserver, Json, Protocol, RunConfig, RunReport,
-    TraceLevel, TransmitterPolicy,
+    run_protocol_observed, run_schedule, CollectingObserver, EngineKernel, Json, Protocol,
+    RunConfig, RunReport, TraceLevel, TransmitterPolicy,
 };
 
 use crate::args::{Args, ParseError};
@@ -179,6 +179,13 @@ pub fn run(args: &Args) -> CmdResult {
         cfg = cfg.with_max_rounds(
             mr.parse()
                 .map_err(|_| ParseError("--max-rounds: bad integer".into()))?,
+        );
+    }
+    if let Some(kernel) = args.get("kernel") {
+        cfg = cfg.with_kernel(
+            kernel
+                .parse::<EngineKernel>()
+                .map_err(|e| ParseError(format!("--kernel: {e}")))?,
         );
     }
 
@@ -544,6 +551,19 @@ mod tests {
     fn run_command_end_to_end() {
         let args = argv("run --n 400 --d 20 --protocol eg --trials 2 --seed 3");
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn run_command_kernel_selection() {
+        for kernel in ["auto", "sparse", "dense"] {
+            let args = argv(&format!(
+                "run --n 300 --d 20 --protocol eg --trials 1 --seed 3 --kernel {kernel}"
+            ));
+            run(&args).unwrap();
+        }
+        let bad = argv("run --n 300 --d 20 --trials 1 --kernel turbo");
+        let err = run(&bad).unwrap_err();
+        assert!(err.0.contains("unknown kernel"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Row-major adjacency bitmaps for word-parallel round kernels.
+//!
+//! The dense round kernel in `radio-sim` resolves an entire radio round
+//! with a few bitwise ops per 64 nodes, but it needs each node's
+//! neighborhood as a bit row rather than a CSR slice.  [`AdjacencyBitmap`]
+//! is that representation: `n` rows of `⌈n/64⌉` little-endian `u64` words,
+//! bit `v` of row `u` set iff `{u, v} ∈ E`.
+//!
+//! The bitmap costs `n²/8` bytes regardless of density, so construction is
+//! **capped**: [`AdjacencyBitmap::build`] refuses (returns `None`) when the
+//! allocation would exceed the requested byte budget.  Callers treat a
+//! refusal as "stay on the sparse kernel" — see `docs/PERF.md`.
+
+use crate::csr::{Graph, NodeId};
+
+/// A dense `n × n` adjacency bit matrix.
+///
+/// Symmetric by construction (built from an undirected [`Graph`]), with an
+/// all-zero diagonal and zero tail bits past column `n` in every row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyBitmap {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl AdjacencyBitmap {
+    /// Bytes the bitmap for an `n`-node graph would occupy
+    /// (`n · ⌈n/64⌉ · 8`), without building anything.
+    pub fn bytes_needed(n: usize) -> usize {
+        n.saturating_mul(n.div_ceil(64)).saturating_mul(8)
+    }
+
+    /// Builds the bitmap for `graph`, or `None` if it would exceed
+    /// `cap_bytes`.
+    pub fn build(graph: &Graph, cap_bytes: usize) -> Option<AdjacencyBitmap> {
+        let n = graph.n();
+        if Self::bytes_needed(n) > cap_bytes {
+            return None;
+        }
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for u in 0..n as NodeId {
+            let row = &mut bits[u as usize * words_per_row..(u as usize + 1) * words_per_row];
+            for &v in graph.neighbors(u) {
+                row[v as usize / 64] |= 1u64 << (v as usize % 64);
+            }
+        }
+        Some(AdjacencyBitmap {
+            n,
+            words_per_row,
+            bits,
+        })
+    }
+
+    /// Number of nodes (rows).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Words per row (`⌈n/64⌉`).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Actual size of the bit storage in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// The neighborhood of `v` as a word row (bit `u` set iff `{v, u} ∈ E`).
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[u64] {
+        let v = v as usize;
+        debug_assert!(v < self.n, "node {v} out of range for n = {}", self.n);
+        &self.bits[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(1)`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.row(u)[v as usize / 64] >> (v as usize % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_csr_neighborhoods() {
+        let g = Graph::from_edges(70, vec![(0, 1), (0, 64), (1, 69), (63, 64), (2, 3)]);
+        let bm = AdjacencyBitmap::build(&g, usize::MAX).unwrap();
+        assert_eq!(bm.n(), 70);
+        assert_eq!(bm.words_per_row(), 2);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(bm.has_edge(u, v), g.has_edge(u, v), "edge ({u}, {v})");
+            }
+            // Row popcount equals the degree; tail bits clean.
+            let ones: u32 = bm.row(u).iter().map(|w| w.count_ones()).sum();
+            assert_eq!(ones as usize, g.degree(u));
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let g = Graph::complete(65);
+        let bm = AdjacencyBitmap::build(&g, usize::MAX).unwrap();
+        for v in g.nodes() {
+            assert!(!bm.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn cap_refuses_large_graphs() {
+        let g = Graph::empty(1000);
+        // 1000 rows × 16 words × 8 bytes = 128_000 bytes.
+        assert_eq!(AdjacencyBitmap::bytes_needed(1000), 128_000);
+        assert!(AdjacencyBitmap::build(&g, 127_999).is_none());
+        let bm = AdjacencyBitmap::build(&g, 128_000).unwrap();
+        assert_eq!(bm.size_bytes(), 128_000);
+    }
+
+    #[test]
+    fn bytes_needed_saturates_instead_of_overflowing() {
+        assert_eq!(AdjacencyBitmap::bytes_needed(usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        let bm = AdjacencyBitmap::build(&g, 0).unwrap();
+        assert_eq!(bm.n(), 0);
+        assert_eq!(bm.size_bytes(), 0);
+    }
+}

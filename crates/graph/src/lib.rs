@@ -16,6 +16,8 @@
 //!   and [`layers::analyze_layers`] for the Lemma-3 structure measurements;
 //! * connectivity ([`components`]), diameter ([`diameter`]), degree
 //!   statistics ([`degree`]);
+//! * [`bitmap::AdjacencyBitmap`] — a capped, row-major adjacency bit
+//!   matrix backing the simulator's word-parallel dense round kernel;
 //! * the bipartite cover/matching machinery of Definition 1 and Lemma 4
 //!   ([`bipartite`]) and the constructive greedy radio cover ([`cover`]);
 //! * deterministic, splittable RNG ([`rng`]).
@@ -35,6 +37,7 @@
 
 pub mod bfs;
 pub mod bipartite;
+pub mod bitmap;
 pub mod builder;
 pub mod chung_lu;
 pub mod clustering;
@@ -54,6 +57,7 @@ pub mod rng;
 pub mod subgraph;
 
 pub use bfs::Layering;
+pub use bitmap::AdjacencyBitmap;
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
 pub use rng::{child_rng, derive_seed, SplitMix64, Xoshiro256pp};

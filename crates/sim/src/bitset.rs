@@ -1,11 +1,15 @@
-//! A fixed-size bitset, used as the rumor-knowledge row in gossiping runs.
+//! A fixed-size, word-packed bitset with a word-level API.
 //!
-//! Gossiping (the all-to-all extension in the paper's open-problems
-//! section) needs per-node "which rumors do I know" sets with fast unions;
-//! `Vec<bool>` per node would be 8× larger and union-by-loop.  This is the
-//! minimal word-packed bitset that supports exactly what the gossip engine
-//! needs: set, get, union (reporting whether anything changed), popcount,
-//! and fullness.
+//! Two consumers drive the design.  Gossiping (the all-to-all extension in
+//! the paper's open-problems section) needs per-node "which rumors do I
+//! know" sets with fast unions; `Vec<bool>` per node would be 8× larger and
+//! union-by-loop.  The dense round kernel (`crate::kernel`) additionally
+//! needs raw word access ([`BitSet::words`]), cheap clearing, set-algebra
+//! in place, and bit iteration ([`BitSet::iter_ones`]) so that one radio
+//! round resolves with a handful of bitwise ops per 64 nodes.
+//!
+//! All binary operations require equal capacities and panic with a
+//! readable message otherwise; index arguments are checked the same way.
 
 /// A fixed-capacity set of bits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,25 +37,58 @@ impl BitSet {
         self.len == 0
     }
 
+    /// The backing words, least-significant bit first.  Bits at positions
+    /// `>= len()` (the tail of the last word) are always zero — every
+    /// mutator maintains this invariant, so word-level consumers may use
+    /// the slice without masking.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Sets bit `i`.  Panics if out of range.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "BitSet::set: bit {i} out of range for capacity {}",
+            self.len
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.  Panics if out of range.
+    #[inline]
+    pub fn unset(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "BitSet::unset: bit {i} out of range for capacity {}",
+            self.len
+        );
+        self.words[i / 64] &= !(1u64 << (i % 64));
     }
 
     /// Reads bit `i`.  Panics if out of range.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "BitSet::get: bit {i} out of range for capacity {}",
+            self.len
+        );
         self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Clears every bit (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
     }
 
     /// Unions `other` into `self`; returns `true` if any bit changed.
     ///
     /// Panics if capacities differ.
     pub fn union_with(&mut self, other: &BitSet) -> bool {
-        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.check_same_len(other, "union_with");
         let mut changed = false;
         for (w, &o) in self.words.iter_mut().zip(&other.words) {
             let new = *w | o;
@@ -59,6 +96,43 @@ impl BitSet {
             *w = new;
         }
         changed
+    }
+
+    /// Intersects `self` with `other` in place; returns `true` if any bit
+    /// changed.  Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        self.check_same_len(other, "intersect_with");
+        let mut changed = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let new = *w & o;
+            changed |= new != *w;
+            *w = new;
+        }
+        changed
+    }
+
+    /// Removes every bit of `other` from `self` (`self &= !other`); returns
+    /// `true` if any bit changed.  Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &BitSet) -> bool {
+        self.check_same_len(other, "difference_with");
+        let mut changed = false;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            let new = *w & !o;
+            changed |= new != *w;
+            *w = new;
+        }
+        changed
+    }
+
+    /// Number of bits set in `self` but not in `other` (`|self \ other|`),
+    /// without materializing the difference.  Panics if capacities differ.
+    pub fn and_not_count(&self, other: &BitSet) -> usize {
+        self.check_same_len(other, "and_not_count");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&w, &o)| (w & !o).count_ones() as usize)
+            .sum()
     }
 
     /// Number of set bits.
@@ -81,6 +155,50 @@ impl BitSet {
             self.words[full_words] == (1u64 << rem) - 1
         }
     }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    #[inline]
+    fn check_same_len(&self, other: &BitSet, op: &str) {
+        assert_eq!(
+            self.len, other.len,
+            "BitSet::{op}: capacity mismatch ({} vs {})",
+            self.len, other.len
+        );
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitSet`], ascending.
+///
+/// Produced by [`BitSet::iter_ones`]; walks one word at a time, peeling the
+/// lowest set bit with `trailing_zeros`, so sparse sets cost `O(words +
+/// ones)`.
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +220,36 @@ mod tests {
     }
 
     #[test]
+    fn word_boundary_indices() {
+        // 63 / 64 / 65 straddle the first word boundary; each must land in
+        // the right word with the right shift.
+        let mut b = BitSet::new(66);
+        for i in [63usize, 64, 65] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i), "bit {i}");
+        }
+        assert_eq!(b.words()[0], 1u64 << 63);
+        assert_eq!(b.words()[1], 0b11);
+        b.unset(64);
+        assert!(!b.get(64) && b.get(63) && b.get(65));
+        assert_eq!(b.words()[1], 0b10);
+    }
+
+    #[test]
+    fn clear_and_unset() {
+        let mut b = BitSet::new(100);
+        b.set(1);
+        b.set(99);
+        b.unset(1);
+        assert!(!b.get(1) && b.get(99));
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.len(), 100);
+        assert!(b.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
     fn union_reports_change() {
         let mut a = BitSet::new(70);
         let mut b = BitSet::new(70);
@@ -112,6 +260,54 @@ mod tests {
         assert!(a.union_with(&b));
         assert!(a.get(68));
         assert!(!a.union_with(&b), "idempotent");
+    }
+
+    #[test]
+    fn intersect_and_difference_in_place() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [0usize, 63, 64, 65, 129] {
+            a.set(i);
+        }
+        b.set(63);
+        b.set(65);
+
+        let mut inter = a.clone();
+        assert!(inter.intersect_with(&b));
+        assert_eq!(inter.iter_ones().collect::<Vec<_>>(), vec![63, 65]);
+        assert!(!inter.intersect_with(&b), "idempotent");
+
+        let mut diff = a.clone();
+        assert!(diff.difference_with(&b));
+        assert_eq!(diff.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert!(!diff.difference_with(&b), "idempotent");
+    }
+
+    #[test]
+    fn and_not_count_matches_materialized_difference() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in (0..200).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..200).step_by(5) {
+            b.set(i);
+        }
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(a.and_not_count(&b), diff.count());
+        assert_eq!(a.and_not_count(&a), 0);
+    }
+
+    #[test]
+    fn iter_ones_boundaries_and_empty() {
+        let mut b = BitSet::new(129);
+        for i in [0usize, 63, 64, 65, 128] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128]);
+        assert_eq!(BitSet::new(0).iter_ones().count(), 0);
+        assert_eq!(BitSet::new(64).iter_ones().count(), 0);
     }
 
     #[test]
@@ -136,17 +332,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "out of range")]
     fn out_of_range_set_panics() {
         let mut b = BitSet::new(10);
         b.set(10);
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_unset_panics() {
+        let mut b = BitSet::new(64);
+        b.unset(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
     fn union_length_mismatch_panics() {
         let mut a = BitSet::new(10);
         let b = BitSet::new(11);
         a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn and_not_count_length_mismatch_panics() {
+        let a = BitSet::new(64);
+        let b = BitSet::new(65);
+        a.and_not_count(&b);
     }
 }

@@ -6,11 +6,17 @@
 //! Two or more transmitting neighbors collide at `w` and deliver nothing;
 //! a node that transmits in a step cannot receive in that step.
 //!
-//! [`RoundEngine`] keeps the per-node hit-count scratch buffer between
-//! rounds so a full broadcast run allocates O(n) once.
+//! [`RoundEngine`] owns two interchangeable kernels for this rule — the
+//! CSR-walking *sparse* kernel below and the bit-parallel *dense* kernel in
+//! [`crate::kernel`] — selected per round by [`EngineKernel`].  All scratch
+//! (hit counts, transmitter mask, the effective-transmitter list, bit
+//! planes) is kept between rounds, so a full broadcast run allocates `O(n)`
+//! once.
 
 use radio_graph::{Graph, NodeId};
 
+use crate::bitset::BitSet;
+use crate::kernel::{dense_is_cheaper, DenseState, EngineKernel, KernelUsed};
 use crate::state::BroadcastState;
 
 /// What transmissions by uninformed nodes mean.
@@ -55,14 +61,22 @@ pub struct RoundEngine<'g> {
     hits: Vec<u32>,
     /// Scratch: nodes whose `hits` entry is dirty.
     touched: Vec<NodeId>,
-    /// Scratch: transmitter membership.
-    is_transmitter: Vec<bool>,
+    /// Scratch: transmitter membership (word-packed; the dense kernel masks
+    /// receptions with its raw words).
+    is_transmitter: BitSet,
+    /// Scratch: the effective (deduplicated, policy-filtered) transmitter
+    /// list, reused across rounds.
+    active: Vec<NodeId>,
     policy: TransmitterPolicy,
+    kernel: EngineKernel,
+    dense: DenseState,
+    sparse_rounds: u64,
+    dense_rounds: u64,
 }
 
 impl<'g> RoundEngine<'g> {
     /// A new engine for `graph` with the default
-    /// [`TransmitterPolicy::InformedOnly`].
+    /// [`TransmitterPolicy::InformedOnly`] and [`EngineKernel::Auto`].
     pub fn new(graph: &'g Graph) -> Self {
         Self::with_policy(graph, TransmitterPolicy::default())
     }
@@ -73,9 +87,68 @@ impl<'g> RoundEngine<'g> {
             graph,
             hits: vec![0; graph.n()],
             touched: Vec::new(),
-            is_transmitter: vec![false; graph.n()],
+            is_transmitter: BitSet::new(graph.n()),
+            active: Vec::new(),
             policy,
+            kernel: EngineKernel::default(),
+            dense: DenseState::new(),
+            sparse_rounds: 0,
+            dense_rounds: 0,
         }
+    }
+
+    /// Builder-style kernel selection (see [`RoundEngine::set_kernel`]).
+    pub fn with_kernel(mut self, kernel: EngineKernel) -> Self {
+        self.set_kernel(kernel);
+        self
+    }
+
+    /// Selects the round kernel.  `Auto` (the default) applies the cost
+    /// model of [`dense_is_cheaper`] per round; `Dense` is a request, not a
+    /// guarantee — it still falls back to sparse when the adjacency bitmap
+    /// would exceed [`RoundEngine::bitmap_cap`].
+    pub fn set_kernel(&mut self, kernel: EngineKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The configured kernel selection mode.
+    pub fn kernel(&self) -> EngineKernel {
+        self.kernel
+    }
+
+    /// Which kernel(s) executed the rounds so far (`Sparse` before any
+    /// round has run).
+    pub fn kernel_used(&self) -> KernelUsed {
+        match (self.sparse_rounds > 0, self.dense_rounds > 0) {
+            (true, true) => KernelUsed::Mixed,
+            (false, true) => KernelUsed::Dense,
+            _ => KernelUsed::Sparse,
+        }
+    }
+
+    /// Rounds executed by each kernel so far, `(sparse, dense)`.
+    pub fn rounds_by_kernel(&self) -> (u64, u64) {
+        (self.sparse_rounds, self.dense_rounds)
+    }
+
+    /// The adjacency-bitmap memory cap in bytes (default
+    /// [`crate::kernel::DEFAULT_BITMAP_CAP_BYTES`]).
+    pub fn bitmap_cap(&self) -> usize {
+        self.dense.cap_bytes()
+    }
+
+    /// Caps the dense kernel's adjacency bitmap: when
+    /// [`radio_graph::AdjacencyBitmap::bytes_needed`] for this graph
+    /// exceeds the cap, every round runs sparse regardless of the selected
+    /// kernel, and the bitmap is never allocated.
+    pub fn set_bitmap_cap(&mut self, cap_bytes: usize) {
+        self.dense.set_cap_bytes(cap_bytes);
+    }
+
+    /// Wall time spent building the adjacency bitmap, or `None` if it has
+    /// not been built (no dense round yet, or the cap refused it).
+    pub fn bitmap_build_ns(&self) -> Option<u64> {
+        self.dense.build_ns()
     }
 
     /// The underlying graph.
@@ -100,7 +173,7 @@ impl<'g> RoundEngine<'g> {
         transmitters: &[NodeId],
         round: u32,
     ) -> RoundOutcome {
-        self.execute_round_with(state, transmitters, round, || true)
+        self.execute_round_with(state, transmitters, round, || true, false)
     }
 
     /// Like [`RoundEngine::execute_round`], but each otherwise-successful
@@ -108,7 +181,9 @@ impl<'g> RoundEngine<'g> {
     /// (fault-injection model: fading/noise on top of collisions).
     ///
     /// Lost receptions are counted in [`RoundOutcome::reached`] but not in
-    /// `newly_informed` or `collisions`.
+    /// `newly_informed` or `collisions`.  The RNG is consulted once per
+    /// exactly-one reception in ascending node-id order regardless of the
+    /// kernel, so lossy runs replay identically across kernels.
     pub fn execute_round_lossy(
         &mut self,
         state: &mut BroadcastState,
@@ -118,37 +193,86 @@ impl<'g> RoundEngine<'g> {
         rng: &mut radio_graph::Xoshiro256pp,
     ) -> RoundOutcome {
         debug_assert!((0.0..=1.0).contains(&loss_prob));
-        self.execute_round_with(state, transmitters, round, || !rng.coin(loss_prob))
+        self.execute_round_with(state, transmitters, round, || !rng.coin(loss_prob), true)
     }
 
     /// Core round logic; `deliver` is consulted once per would-be-successful
     /// reception and may veto it (fault injection).
+    ///
+    /// When `deliver` is stateful (`canonical_order`), receptions are
+    /// resolved in ascending node-id order — the dense kernel's natural
+    /// order — keeping the two kernels' RNG draw sequences identical.
     fn execute_round_with(
         &mut self,
         state: &mut BroadcastState,
         transmitters: &[NodeId],
         round: u32,
         mut deliver: impl FnMut() -> bool,
+        canonical_order: bool,
     ) -> RoundOutcome {
         debug_assert_eq!(state.n(), self.graph.n());
-        let mut outcome = RoundOutcome::default();
 
-        // Mark the effective transmitter set.
-        let mut active: Vec<NodeId> = Vec::with_capacity(transmitters.len());
+        // Build the effective transmitter set into the reused scratch list
+        // and its bit mask.
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
         for &t in transmitters {
-            if self.is_transmitter[t as usize] {
+            if self.is_transmitter.get(t as usize) {
                 continue; // duplicate
             }
             if self.policy == TransmitterPolicy::InformedOnly && !state.is_informed(t) {
                 continue;
             }
-            self.is_transmitter[t as usize] = true;
+            self.is_transmitter.set(t as usize);
             active.push(t);
         }
-        outcome.transmitters = active.len();
+
+        let use_dense = match self.kernel {
+            EngineKernel::Sparse => false,
+            EngineKernel::Dense => self.dense.ensure_ready(self.graph),
+            EngineKernel::Auto => {
+                let words = self.graph.n().div_ceil(64) as u64;
+                let sum_deg: u64 = active.iter().map(|&t| self.graph.degree(t) as u64).sum();
+                dense_is_cheaper(sum_deg, active.len() as u64, words)
+                    && self.dense.fits_cap(self.graph)
+                    && self.dense.ensure_ready(self.graph)
+            }
+        };
+
+        let outcome = if use_dense {
+            self.dense_rounds += 1;
+            self.dense
+                .execute(state, &active, &self.is_transmitter, round, deliver)
+        } else {
+            self.sparse_rounds += 1;
+            self.execute_sparse(state, &active, round, &mut deliver, canonical_order)
+        };
+
+        // Reset the transmitter mask and hand the list back for reuse.
+        for &t in &active {
+            self.is_transmitter.unset(t as usize);
+        }
+        self.active = active;
+        outcome
+    }
+
+    /// The CSR-walking kernel: count transmitting neighbors per reached
+    /// node, then resolve exactly-one receptions.
+    fn execute_sparse(
+        &mut self,
+        state: &mut BroadcastState,
+        active: &[NodeId],
+        round: u32,
+        deliver: &mut impl FnMut() -> bool,
+        canonical_order: bool,
+    ) -> RoundOutcome {
+        let mut outcome = RoundOutcome {
+            transmitters: active.len(),
+            ..RoundOutcome::default()
+        };
 
         // Count transmitting neighbors of every reached node.
-        for &t in &active {
+        for &t in active {
             for &w in self.graph.neighbors(t) {
                 if self.hits[w as usize] == 0 {
                     self.touched.push(w);
@@ -157,11 +281,18 @@ impl<'g> RoundEngine<'g> {
             }
         }
 
+        // A stateful `deliver` must see receptions in ascending node id to
+        // match the dense kernel draw-for-draw; with the constant-true
+        // closure the outcome is order-invariant and the sort is skipped.
+        if canonical_order {
+            self.touched.sort_unstable();
+        }
+
         // Resolve receptions.
         for i in 0..self.touched.len() {
             let w = self.touched[i];
             let h = self.hits[w as usize];
-            if self.is_transmitter[w as usize] {
+            if self.is_transmitter.get(w as usize) {
                 continue; // transmitting, not listening
             }
             if !state.is_informed(w) {
@@ -182,9 +313,6 @@ impl<'g> RoundEngine<'g> {
             self.hits[w as usize] = 0;
         }
         self.touched.clear();
-        for &t in &active {
-            self.is_transmitter[t as usize] = false;
-        }
         outcome
     }
 }
@@ -333,5 +461,67 @@ mod tests {
         let mut eng = RoundEngine::new(&g);
         let out = eng.execute_round(&mut st, &[], 1);
         assert_eq!(out, RoundOutcome::default());
+    }
+
+    #[test]
+    fn explicit_kernels_agree_on_a_full_run() {
+        use radio_graph::{gnp::sample_gnp, Xoshiro256pp};
+        let g = sample_gnp(300, 0.1, &mut Xoshiro256pp::new(11));
+        let mut states = Vec::new();
+        for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+            let mut eng = RoundEngine::new(&g).with_kernel(kernel);
+            let mut st = BroadcastState::new(300, 0);
+            let mut sched_rng = Xoshiro256pp::new(99);
+            for round in 1..=40 {
+                let tx: Vec<NodeId> = st
+                    .informed_vec()
+                    .into_iter()
+                    .filter(|_| sched_rng.coin(0.25))
+                    .collect();
+                eng.execute_round(&mut st, &tx, round);
+            }
+            states.push(st);
+        }
+        assert_eq!(states[0], states[1]);
+    }
+
+    #[test]
+    fn lossy_rng_draws_identical_across_kernels() {
+        use radio_graph::{gnp::sample_gnp, Xoshiro256pp};
+        let g = sample_gnp(256, 0.15, &mut Xoshiro256pp::new(21));
+        let mut finals = Vec::new();
+        for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+            let mut eng = RoundEngine::new(&g).with_kernel(kernel);
+            let mut st = BroadcastState::new(256, 0);
+            let mut loss_rng = Xoshiro256pp::new(7);
+            let mut sched_rng = Xoshiro256pp::new(8);
+            for round in 1..=30 {
+                let tx: Vec<NodeId> = st
+                    .informed_vec()
+                    .into_iter()
+                    .filter(|_| sched_rng.coin(0.3))
+                    .collect();
+                eng.execute_round_lossy(&mut st, &tx, round, 0.35, &mut loss_rng);
+            }
+            // Same informed sets AND same residual RNG stream: the loss
+            // coin was flipped for the same nodes in the same order.
+            finals.push((st, loss_rng.next()));
+        }
+        assert_eq!(finals[0], finals[1]);
+    }
+
+    #[test]
+    fn kernel_usage_counters() {
+        let g = Graph::star(80);
+        let mut st = BroadcastState::new(80, 0);
+        let mut eng = RoundEngine::new(&g).with_kernel(EngineKernel::Sparse);
+        assert_eq!(eng.kernel_used(), KernelUsed::Sparse);
+        eng.execute_round(&mut st, &[0], 1);
+        assert_eq!(eng.rounds_by_kernel(), (1, 0));
+        eng.set_kernel(EngineKernel::Dense);
+        eng.execute_round(&mut st, &[1], 2);
+        assert_eq!(eng.rounds_by_kernel(), (1, 1));
+        assert_eq!(eng.kernel_used(), KernelUsed::Mixed);
+        assert_eq!(eng.kernel(), EngineKernel::Dense);
     }
 }

@@ -16,6 +16,11 @@
 //! [`run_trials`] fans independent Monte-Carlo trials over a scoped thread pool with
 //! deterministic per-trial seeds.
 //!
+//! Rounds execute through one of two interchangeable kernels — the
+//! CSR-walking sparse kernel or the bit-parallel dense kernel — selected by
+//! [`EngineKernel`] (default `Auto`; see [`kernel`] and `docs/PERF.md`).
+//! Kernel choice never changes results: traces replay byte-identically.
+//!
 //! ## Telemetry
 //!
 //! Both runners have `*_observed` variants ([`run_schedule_observed`],
@@ -53,6 +58,7 @@ pub mod bitset;
 pub mod combinators;
 pub mod engine;
 pub mod json;
+pub mod kernel;
 pub mod metrics;
 pub mod observer;
 pub mod protocol;
@@ -67,6 +73,7 @@ pub mod trace;
 pub use combinators::{Named, Staged};
 pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
 pub use json::Json;
+pub use kernel::{EngineKernel, KernelUsed};
 pub use metrics::RunMetrics;
 pub use observer::{CollectingObserver, NoopObserver, RoundEvent, RunObserver};
 pub use protocol::{
@@ -75,7 +82,10 @@ pub use protocol::{
 };
 pub use report::RunReport;
 pub use runner::{run_trials, run_trials_serial};
-pub use schedule::{run_schedule, run_schedule_observed, Schedule};
+pub use schedule::{
+    run_schedule, run_schedule_observed, run_schedule_observed_with_kernel,
+    run_schedule_with_kernel, Schedule,
+};
 pub use schedule_io::{load_schedule, save_schedule};
 pub use state::BroadcastState;
 pub use trace::{RoundRecord, RunResult, TraceLevel};

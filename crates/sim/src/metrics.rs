@@ -94,6 +94,7 @@ mod tests {
             rounds: trace.len() as u32,
             informed,
             n,
+            kernel: crate::kernel::KernelUsed::Sparse,
             trace,
         }
     }
@@ -133,6 +134,7 @@ mod tests {
             rounds: 0,
             informed: 1,
             n: 1,
+            kernel: crate::kernel::KernelUsed::Sparse,
             trace: vec![],
         };
         let m = RunMetrics::from_result(&r);

@@ -15,6 +15,7 @@
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
 
 use crate::engine::RoundEngine;
+use crate::kernel::EngineKernel;
 use crate::observer::{NoopObserver, RoundEvent, RunObserver};
 use crate::state::BroadcastState;
 use crate::trace::{RunResult, TraceBuilder, TraceLevel};
@@ -63,6 +64,9 @@ pub struct RunConfig {
     /// Per-reception independent loss probability (fault injection on top
     /// of collisions).  0 = the exact model of the paper.
     pub loss_prob: f64,
+    /// Round kernel selection (default [`EngineKernel::Auto`]).  Kernel
+    /// choice affects wall-clock only, never results.
+    pub kernel: EngineKernel,
 }
 
 impl RunConfig {
@@ -75,6 +79,7 @@ impl RunConfig {
             max_rounds,
             trace_level: TraceLevel::default(),
             loss_prob: 0.0,
+            kernel: EngineKernel::default(),
         }
     }
 
@@ -95,6 +100,12 @@ impl RunConfig {
     pub fn with_loss(mut self, loss_prob: f64) -> Self {
         assert!((0.0..=1.0).contains(&loss_prob));
         self.loss_prob = loss_prob;
+        self
+    }
+
+    /// Overrides the round kernel (see [`crate::kernel`]).
+    pub fn with_kernel(mut self, kernel: EngineKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -165,7 +176,7 @@ pub fn run_protocol_from_observed<P: Protocol + ?Sized, O: RunObserver>(
 ) -> RunResult {
     let n = graph.n();
     assert_eq!(state.n(), n, "state size mismatch");
-    let mut engine = RoundEngine::new(graph);
+    let mut engine = RoundEngine::new(graph).with_kernel(config.kernel);
     let mut tb = TraceBuilder::new(config.trace_level);
     protocol.begin_run(n);
     observer.on_run_start(n, state.informed_count());
@@ -204,7 +215,9 @@ pub fn run_protocol_from_observed<P: Protocol + ?Sized, O: RunObserver>(
     let completed = state.is_complete();
     let informed = state.informed_count();
     observer.on_run_end(completed, round, informed);
-    tb.finish(completed, round, informed, n)
+    let mut result = tb.finish(completed, round, informed, n);
+    result.kernel = engine.kernel_used();
+    result
 }
 
 #[cfg(test)]

@@ -70,6 +70,10 @@ pub struct RunReport {
     pub round_to_99: Option<u32>,
     /// End-to-end wall-clock of the run in nanoseconds, if measured.
     pub wall_ns: Option<u64>,
+    /// Round kernel(s) that executed the run (`"sparse"`, `"dense"`, or
+    /// `"mixed"`), if recorded.  Purely informational — the only report
+    /// field allowed to differ between kernel selections.
+    pub kernel: Option<String>,
     /// Per-round event stream (empty unless explicitly attached with
     /// [`RunReport::with_events`] or recorded in the result's trace).
     pub events: Vec<RoundEvent>,
@@ -95,6 +99,7 @@ impl RunReport {
             round_to_90: metrics.round_to_90,
             round_to_99: metrics.round_to_99,
             wall_ns: None,
+            kernel: Some(result.kernel.as_str().to_string()),
             events: Vec::new(),
         }
     }
@@ -143,6 +148,9 @@ impl RunReport {
             ("round_to_99", Json::from(self.round_to_99)),
             ("wall_ns", Json::from(self.wall_ns)),
         ];
+        if let Some(kernel) = &self.kernel {
+            fields.push(("kernel", Json::from(kernel.as_str())));
+        }
         if !self.events.is_empty() {
             fields.push((
                 "events",
@@ -214,6 +222,10 @@ impl RunReport {
                 .get("wall_ns")
                 .and_then(Json::as_i64)
                 .and_then(|v| u64::try_from(v).ok()),
+            kernel: json
+                .get("kernel")
+                .and_then(Json::as_str)
+                .map(str::to_string),
             events,
         })
     }
@@ -284,6 +296,7 @@ mod tests {
             rounds: 2,
             informed: 5,
             n: 5,
+            kernel: crate::kernel::KernelUsed::Sparse,
             trace: vec![
                 RoundRecord {
                     round: 1,

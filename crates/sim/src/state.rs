@@ -2,6 +2,8 @@
 
 use radio_graph::NodeId;
 
+use crate::bitset::BitSet;
+
 /// Sentinel for "not informed yet" in [`BroadcastState::informed_round`].
 pub const NOT_INFORMED: u32 = u32::MAX;
 
@@ -16,6 +18,9 @@ pub struct BroadcastState {
     /// `informed_round[v]` = round index at which `v` became informed, or
     /// [`NOT_INFORMED`].
     informed_round: Vec<u32>,
+    /// Word-packed mirror of "is informed", maintained by
+    /// [`BroadcastState::inform`] for the dense round kernel.
+    informed_mask: BitSet,
     informed_count: usize,
     source: NodeId,
 }
@@ -27,8 +32,11 @@ impl BroadcastState {
         assert!((source as usize) < n, "source {source} out of range");
         let mut informed_round = vec![NOT_INFORMED; n];
         informed_round[source as usize] = 0;
+        let mut informed_mask = BitSet::new(n);
+        informed_mask.set(source as usize);
         BroadcastState {
             informed_round,
+            informed_mask,
             informed_count: 1,
             source,
         }
@@ -41,16 +49,19 @@ impl BroadcastState {
     pub fn with_sources(n: usize, sources: &[NodeId]) -> Self {
         assert!(!sources.is_empty(), "need at least one source");
         let mut informed_round = vec![NOT_INFORMED; n];
+        let mut informed_mask = BitSet::new(n);
         let mut informed_count = 0;
         for &s in sources {
             assert!((s as usize) < n, "source {s} out of range");
             if informed_round[s as usize] == NOT_INFORMED {
                 informed_round[s as usize] = 0;
+                informed_mask.set(s as usize);
                 informed_count += 1;
             }
         }
         BroadcastState {
             informed_round,
+            informed_mask,
             informed_count,
             source: sources[0],
         }
@@ -106,11 +117,20 @@ impl BroadcastState {
         let slot = &mut self.informed_round[v as usize];
         if *slot == NOT_INFORMED {
             *slot = round;
+            self.informed_mask.set(v as usize);
             self.informed_count += 1;
             true
         } else {
             false
         }
+    }
+
+    /// The informed set as a word-packed bitmask (bit `v` set iff `v` is
+    /// informed).  Kept in lockstep with [`BroadcastState::inform`]; the
+    /// dense round kernel reads this to resolve receptions word-at-a-time.
+    #[inline]
+    pub fn informed_mask(&self) -> &BitSet {
+        &self.informed_mask
     }
 
     /// Iterator over informed node ids.
@@ -188,6 +208,20 @@ mod tests {
     #[should_panic]
     fn bad_source_panics() {
         let _ = BroadcastState::new(3, 3);
+    }
+
+    #[test]
+    fn informed_mask_tracks_inform() {
+        let mut s = BroadcastState::new(130, 2);
+        assert!(s.informed_mask().get(2));
+        assert_eq!(s.informed_mask().count(), 1);
+        s.inform(64, 1);
+        s.inform(129, 2);
+        s.inform(64, 3); // duplicate: no change
+        assert!(s.informed_mask().get(64) && s.informed_mask().get(129));
+        assert_eq!(s.informed_mask().count(), s.informed_count());
+        let from_mask: Vec<NodeId> = s.informed_mask().iter_ones().map(|v| v as NodeId).collect();
+        assert_eq!(from_mask, s.informed_vec());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! sweeps where only the summary matters.
 
 use crate::engine::RoundOutcome;
+use crate::kernel::KernelUsed;
 
 /// How much per-round detail to record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +65,11 @@ pub struct RunResult {
     pub informed: usize,
     /// Number of nodes.
     pub n: usize,
+    /// Which round kernel(s) executed the run (set by the runners from
+    /// [`RoundEngine::kernel_used`](crate::engine::RoundEngine::kernel_used);
+    /// [`TraceBuilder::finish`] defaults it to `Sparse`).  Informational
+    /// only: kernel choice never changes any other field.
+    pub kernel: KernelUsed,
     /// Per-round records (empty under [`TraceLevel::SummaryOnly`]).
     pub trace: Vec<RoundRecord>,
 }
@@ -139,6 +145,7 @@ impl TraceBuilder {
             rounds,
             informed,
             n,
+            kernel: KernelUsed::default(),
             trace: self.records,
         }
     }

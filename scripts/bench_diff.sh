@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Compare a fresh benchmark run against the committed BENCH_sim.json.
+#
+# Usage: scripts/bench_diff.sh [NEW_REPORT.json]
+#   NEW_REPORT.json  an already-generated bench report to compare; when
+#                    omitted, exp_summary is run (release, committed seed)
+#                    into a temporary file first.
+#
+# Prints, per bench label, mean_ns for baseline and candidate and the
+# relative delta.  Negative deltas are speedups.  Labels present on only
+# one side are listed as added/removed.  The baseline is the committed
+# (HEAD) BENCH_sim.json, so a dirty working-tree report never skews it.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=$(mktemp)
+new="${1-}"
+cleanup() { rm -f "$baseline" "${tmp_new-}"; }
+trap cleanup EXIT
+
+git show HEAD:BENCH_sim.json > "$baseline"
+
+if [ -z "$new" ]; then
+  tmp_new=$(mktemp)
+  new="$tmp_new"
+  echo "running exp_summary (release, seed 20060501) ..." >&2
+  cargo run --release --offline -q -p radio-bench --bin exp_summary -- \
+    --seed 20060501 --json "$new" > /dev/null
+fi
+
+# The reports are rendered by radio_sim::json (2-space pretty print, one
+# "key": value per line), so label/mean_ns pairs can be read line-by-line.
+extract() {
+  awk '
+    /"label":/   { gsub(/.*"label": "|",?$/, ""); label = $0 }
+    /"mean_ns":/ { gsub(/.*"mean_ns": |,?$/, ""); print label "\t" $0 }
+  ' "$1"
+}
+
+extract "$baseline" > "$baseline.tsv"
+extract "$new" > "$new.tsv"
+
+awk -F'\t' '
+  NR == FNR { base[$1] = $2; next }
+  {
+    cand[$1] = $2
+    if ($1 in base) {
+      delta = (base[$1] > 0) ? ($2 - base[$1]) / base[$1] * 100 : 0
+      printf "%-45s %14.1f %14.1f %+8.1f%%\n", $1, base[$1], $2, delta
+    } else {
+      printf "%-45s %14s %14.1f    added\n", $1, "-", $2
+    }
+  }
+  END {
+    for (l in base) if (!(l in cand))
+      printf "%-45s %14.1f %14s  removed\n", l, base[l], "-"
+  }
+' "$baseline.tsv" "$new.tsv" | {
+  printf "%-45s %14s %14s %9s\n" "label" "base mean_ns" "new mean_ns" "delta"
+  cat
+}
+
+rm -f "$baseline.tsv" "$new.tsv"

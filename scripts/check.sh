@@ -35,6 +35,13 @@ cargo test --workspace --offline -q
 if [ "$fast" -eq 0 ]; then
   step "cargo build --release"
   cargo build --workspace --release --offline -q
+
+  # The kernel equivalence suite (sparse == dense == reference, byte-stable
+  # traces) re-runs in release mode: the dense kernel's word arithmetic and
+  # the Auto dispatch must hold under optimization, not just in debug.
+  step "differential kernel tests (release)"
+  cargo test --release --offline -q -p radio-sim kernel
+  cargo test --release --offline -q -p radio-integration --test props_cross_crate kernel
 fi
 
 printf '\nall checks passed\n'

@@ -57,6 +57,7 @@ fn sample_run_report() -> RunReport {
         round_to_90: Some(2),
         round_to_99: Some(2),
         wall_ns: Some(12_345),
+        kernel: Some("dense".into()),
         events: vec![
             RoundEvent {
                 round: 1,

@@ -10,7 +10,7 @@ use radio_graph::bipartite::{covered_targets, is_independent_cover};
 use radio_graph::cover::greedy_radio_cover;
 use radio_graph::{derive_seed, Layering};
 use radio_sim::reference::reference_round;
-use radio_sim::{BroadcastState, RoundEngine};
+use radio_sim::{BroadcastState, EngineKernel, KernelUsed, RoundEngine};
 
 const CASES: u64 = 64;
 
@@ -64,6 +64,141 @@ fn engine_matches_reference() {
             assert_eq!(out.newly_informed, expected.len(), "case {case}");
         }
     });
+}
+
+/// Differential test of the two round kernels against the oracle across
+/// the paper's density regimes: sparse (`p ≈ 2/n`), the experiments' bulk
+/// regime, and near-dense graphs — under both transmitter policies, with
+/// transmitter sets that include duplicates and uninformed nodes.
+#[test]
+fn kernels_match_reference_across_density_regimes() {
+    for_each_case(0xD1F, |case, rng| {
+        let n = 16 + rng.below(112) as usize;
+        let p = match case % 3 {
+            0 => 2.0 / n as f64,
+            1 => 0.15,
+            _ => 0.6,
+        };
+        let g = sample_gnp(n, p, rng);
+        let mut state = BroadcastState::new(n, 0);
+        for v in 1..n as NodeId {
+            if rng.coin(0.5) {
+                state.inform(v, 0);
+            }
+        }
+        // Deliberately messy transmitter set: random nodes (informed or
+        // not), with every third entry duplicated.
+        let mut transmitters: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.coin(0.3)).collect();
+        let dups: Vec<NodeId> = transmitters.iter().copied().step_by(3).collect();
+        transmitters.extend(dups);
+
+        for policy in [
+            TransmitterPolicy::InformedOnly,
+            TransmitterPolicy::Unrestricted,
+        ] {
+            let expected = reference_round(&g, &state, &transmitters, policy);
+            for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+                let mut st = state.clone();
+                let mut engine = RoundEngine::with_policy(&g, policy).with_kernel(kernel);
+                let out = engine.execute_round(&mut st, &transmitters, 1);
+                let got: Vec<NodeId> = (0..n as NodeId)
+                    .filter(|&v| !state.is_informed(v) && st.is_informed(v))
+                    .collect();
+                assert_eq!(got, expected, "case {case}, {policy:?}, {kernel:?}");
+                assert_eq!(
+                    out.newly_informed,
+                    expected.len(),
+                    "case {case}, {policy:?}, {kernel:?}"
+                );
+            }
+        }
+    });
+}
+
+/// The three kernel selections produce identical `RoundOutcome` sequences
+/// and final states over full multi-round runs — and under lossy delivery
+/// they consume the RNG identically (same residual stream).
+#[test]
+fn kernel_choice_invisible_in_multi_round_runs() {
+    for_each_case(0xD20, |case, rng| {
+        let n = 32 + rng.below(96) as usize;
+        let p = [0.08, 0.25][case as usize % 2];
+        let g = sample_gnp(n, p, rng);
+        let loss = if case % 2 == 0 { 0.0 } else { 0.3 };
+        let sched_seed = derive_seed(0xD20, case ^ 0xFF);
+
+        let mut runs = Vec::new();
+        for kernel in [
+            EngineKernel::Sparse,
+            EngineKernel::Dense,
+            EngineKernel::Auto,
+        ] {
+            let mut engine = RoundEngine::new(&g).with_kernel(kernel);
+            let mut st = BroadcastState::new(n, 0);
+            let mut sched_rng = Xoshiro256pp::new(sched_seed);
+            let mut loss_rng = Xoshiro256pp::new(sched_seed ^ 1);
+            let mut outcomes = Vec::new();
+            for round in 1..=25u32 {
+                let tx: Vec<NodeId> = st
+                    .informed_vec()
+                    .into_iter()
+                    .filter(|_| sched_rng.coin(0.3))
+                    .collect();
+                let out = if loss > 0.0 {
+                    engine.execute_round_lossy(&mut st, &tx, round, loss, &mut loss_rng)
+                } else {
+                    engine.execute_round(&mut st, &tx, round)
+                };
+                outcomes.push(out);
+            }
+            runs.push((st, outcomes, loss_rng.next()));
+        }
+        assert_eq!(runs[0], runs[1], "case {case}: sparse vs dense");
+        assert_eq!(runs[0], runs[2], "case {case}: sparse vs auto");
+    });
+}
+
+/// Run reports are byte-identical across kernel selections except for the
+/// informational `kernel` field.
+#[test]
+fn run_reports_byte_identical_modulo_kernel_field() {
+    use radio_sim::{run_protocol, Protocol, RunConfig};
+
+    struct Flood;
+    impl Protocol for Flood {
+        fn name(&self) -> String {
+            "flood".into()
+        }
+        fn transmits(&mut self, _n: radio_sim::LocalNode, rng: &mut Xoshiro256pp) -> bool {
+            rng.coin(0.2)
+        }
+    }
+
+    let g = sample_gnp(512, 0.1, &mut Xoshiro256pp::new(0xBEEF));
+    let mut renders = Vec::new();
+    for kernel in [
+        EngineKernel::Sparse,
+        EngineKernel::Dense,
+        EngineKernel::Auto,
+    ] {
+        let mut rng = Xoshiro256pp::new(77);
+        let cfg = RunConfig::for_graph(512).with_kernel(kernel);
+        let result = run_protocol(&g, 0, &mut Flood, cfg, &mut rng);
+        let report = radio_sim::RunReport::from_result("flood", &result).with_seed(77);
+        renders.push((result.kernel, report.to_json().render_pretty()));
+    }
+    let strip = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.trim_start().starts_with("\"kernel\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(renders[0].0, KernelUsed::Sparse);
+    assert_eq!(renders[1].0, KernelUsed::Dense);
+    assert_eq!(strip(&renders[0].1), strip(&renders[1].1));
+    assert_eq!(strip(&renders[0].1), strip(&renders[2].1));
+    // The kernel lines themselves differ, proving the field is live.
+    assert_ne!(renders[0].1, renders[1].1);
 }
 
 #[test]
