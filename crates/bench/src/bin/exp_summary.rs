@@ -13,6 +13,10 @@
 //! 3. **protocol round counts** — eg-distributed and decay at a fixed
 //!    `(n, p)` with 95% confidence intervals.
 //!
+//! Section 1b adds the forced sparse-vs-dense kernel pair and section 1c
+//! the lane-batched trial kernel against its scalar equivalent (64 trials
+//! per adjacency sweep; `elems/s` there is *trial* throughput).
+//!
 //! Unlike the other experiments, this one writes JSON *by default*: to
 //! `BENCH_sim.json` in the current directory unless `--json PATH` (or
 //! `RADIO_JSON_OUT`) overrides the destination.
@@ -24,6 +28,7 @@ use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{NodeId, Xoshiro256pp};
+use radio_sim::batch::{execute_lane_round, LaneScratch};
 use radio_sim::{
     run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json, NoopObserver,
     RoundEngine, Schedule, TraceLevel, TransmitterPolicy,
@@ -135,6 +140,78 @@ fn main() {
             if let Some(ns) = bitmap_build_ns {
                 point = point.field("bitmap_build_ns", Json::from(ns));
             }
+        }
+        report.push(point);
+    }
+
+    // ---- 1c. lane-batched trial kernel ------------------------------------
+    // Same regime as 1b, but 64 independent trials share one adjacency
+    // sweep (`radio_sim::batch`): per-lane transmit sets drawn i.i.d. at
+    // the 1/d fraction over the same informed half.  `elems` counts
+    // transmitters summed over all lanes, so elems/s is trial throughput,
+    // directly comparable with the scalar per-round points above.
+    let lanes = radio_sim::MAX_LANES;
+    println!("\n## 1c. Lane-batched trial kernel (n = {nk}, d = {dk}, {lanes} lanes)\n");
+    let mut hb = Harness::new("batch");
+    hb.sample_size(args.scale(10, 20, 40));
+    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/batch"));
+    let mut t = vec![0u64; nk];
+    let mut tx_nodes: Vec<NodeId> = Vec::new();
+    let mut lane_tx: Vec<Vec<NodeId>> = vec![Vec::new(); lanes];
+    let mut total_tx = 0u64;
+    for (v, word) in t.iter_mut().enumerate().take(nk / 2) {
+        let mut w = 0u64;
+        for (l, tx) in lane_tx.iter_mut().enumerate() {
+            if rng.next_f64() < 1.0 / dk {
+                w |= 1 << l;
+                tx.push(v as NodeId);
+            }
+        }
+        if w != 0 {
+            *word = w;
+            tx_nodes.push(v as NodeId);
+            total_tx += u64::from(w.count_ones());
+        }
+    }
+    let informed0: Vec<u64> = (0..nk)
+        .map(|v| if v < nk / 2 { u64::MAX } else { 0 })
+        .collect();
+    let mut scratch = LaneScratch::new(nk);
+    hb.bench_with_throughput("lane_round_64x_frac_1_over_d", Some(total_tx), || {
+        let mut inf = informed0.clone();
+        execute_lane_round(
+            &gk,
+            &mut scratch,
+            &t,
+            &tx_nodes,
+            &mut inf,
+            false,
+            |_, _, _, e1| e1,
+        );
+        black_box(inf[nk - 1])
+    });
+    // The same 64 per-lane transmitter sets executed one-by-one through the
+    // scalar sparse kernel — the apples-to-apples baseline for the point
+    // above (identical work, identical `elems`).
+    let mut eng = RoundEngine::new(&gk).with_kernel(EngineKernel::Sparse);
+    hb.bench_with_throughput("scalar_rounds_64x_frac_1_over_d", Some(total_tx), || {
+        let mut newly = 0usize;
+        for tx in &lane_tx {
+            let mut st = state_k.clone();
+            newly += eng.execute_round(&mut st, tx, 1).newly_informed;
+        }
+        black_box(newly)
+    });
+    for stats in hb.results() {
+        let mut point = stats.to_point();
+        let batched = point.label.contains("lane_round");
+        point.label = format!("batch/{}", point.label);
+        if batched {
+            point = point
+                .field("kernel", Json::from("batch"))
+                .field("batch_lanes", Json::from(lanes));
+        } else {
+            point = point.field("kernel", Json::from("sparse"));
         }
         report.push(point);
     }

@@ -75,11 +75,18 @@ fn main() {
             let p = pf(n);
             let seed = point_seed(args.seed, &format!("t7/{name}/{n}"));
             let point = measure_protocol(n, p, trials, seed, || EgDistributed::new(p));
+            let ln_n = distributed_bound(n);
             let Some(rounds) = &point.rounds else {
                 eprintln!("warning: no completed trials at {name}, n = {n}");
+                // Still emit the point (completed = 0, rounds = null) so the
+                // sweep stays rectangular for radio-analysis consumers.
+                report.push(
+                    protocol_point_to_json(&format!("{name}/n={n}"), &point)
+                        .field("regime", Json::from(*name))
+                        .field("ln_n", Json::from(ln_n)),
+                );
                 continue;
             };
-            let ln_n = distributed_bound(n);
             table.add_row(vec![
                 name.to_string(),
                 n.to_string(),

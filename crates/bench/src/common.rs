@@ -9,7 +9,7 @@ use radio_analysis::Summary;
 use radio_graph::components::is_connected;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{derive_seed, Graph, NodeId, Xoshiro256pp};
-use radio_sim::{run_protocol, run_trials, Protocol, RunConfig, TraceLevel};
+use radio_sim::{run_protocol_batch, run_trials, Protocol, RunConfig, TraceLevel};
 
 /// Command-line arguments shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -149,15 +149,24 @@ pub struct ProtocolPoint {
     pub completed: usize,
     /// Total trials.
     pub trials: usize,
+    /// Trial lanes per graph (1 for scalar measurements; see
+    /// [`measure_protocol_batch`]).
+    pub batch_lanes: usize,
 }
 
-/// Measures a distributed protocol: `trials` independent (graph, run)
-/// samples of `protocol_factory()` on connected `G(n, p)` from a random
-/// source.
+/// Trial lanes per graph sample in [`measure_protocol`]'s two-level
+/// Monte-Carlo (the full width of the lane kernel).
+pub const TRIAL_LANES: usize = radio_sim::MAX_LANES;
+
+/// Measures a distributed protocol with two-level Monte-Carlo: `graphs`
+/// independent connected `G(n, p)` samples (fanned over the trial thread
+/// pool), each carrying [`TRIAL_LANES`] lane-batched protocol runs from a
+/// random source — threads×64 effective trial parallelism.  The returned
+/// point aggregates all `graphs × TRIAL_LANES` trials.
 pub fn measure_protocol<P, F>(
     n: usize,
     p: f64,
-    trials: usize,
+    graphs: usize,
     master_seed: u64,
     protocol_factory: F,
 ) -> ProtocolPoint
@@ -165,17 +174,42 @@ where
     P: Protocol,
     F: Fn() -> P + Sync,
 {
-    let results: Vec<(Option<u32>, f64)> = run_trials(trials, master_seed, |_i, rng| {
+    measure_protocol_batch(n, p, graphs, TRIAL_LANES, master_seed, protocol_factory)
+}
+
+/// Two-level Monte-Carlo with an explicit lane count: `graphs` graph
+/// samples × `lanes` protocol trials per graph
+/// ([`run_protocol_batch`]), aggregated into one point.
+pub fn measure_protocol_batch<P, F>(
+    n: usize,
+    p: f64,
+    graphs: usize,
+    lanes: usize,
+    master_seed: u64,
+    protocol_factory: F,
+) -> ProtocolPoint
+where
+    P: Protocol,
+    F: Fn() -> P + Sync,
+{
+    let per_graph: Vec<Vec<(Option<u32>, f64)>> = run_trials(graphs, master_seed, |_i, rng| {
         let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-            return (None, 0.0);
+            return vec![(None, 0.0); lanes];
         };
         let source = rng.below(n as u64) as NodeId;
         let mut proto = protocol_factory();
         let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
-        let r = run_protocol(&g, source, &mut proto, cfg, rng);
-        (r.completed.then_some(r.rounds), g.average_degree())
+        let lane_seed = rng.next();
+        let d = g.average_degree();
+        run_protocol_batch(&g, source, &mut proto, cfg, lane_seed, lanes)
+            .into_iter()
+            .map(|r| (r.completed.then_some(r.rounds), d))
+            .collect()
     });
-    summarize_point(n, p, trials, &results)
+    let results: Vec<(Option<u32>, f64)> = per_graph.into_iter().flatten().collect();
+    let mut point = summarize_point(n, p, graphs * lanes, &results);
+    point.batch_lanes = lanes;
+    point
 }
 
 /// Measures via an arbitrary per-trial runner returning
@@ -210,6 +244,7 @@ fn summarize_point(
         rounds: Summary::of(&rounds),
         completed: rounds.len(),
         trials,
+        batch_lanes: 1,
     }
 }
 
@@ -272,12 +307,20 @@ mod tests {
     fn measure_protocol_smoke() {
         let n = 300;
         let p = 0.05;
-        let pt = measure_protocol(n, p, 4, 7, || Flooding);
-        assert_eq!(pt.trials, 4);
+        let pt = measure_protocol(n, p, 2, 7, || Flooding);
+        assert_eq!(pt.trials, 2 * TRIAL_LANES);
+        assert_eq!(pt.batch_lanes, TRIAL_LANES);
         assert!(pt.mean_degree > 5.0);
         // Flooding on this density mostly fails — either way the summary is
         // well-formed.
-        assert!(pt.completed <= 4);
+        assert!(pt.completed <= pt.trials);
+    }
+
+    #[test]
+    fn measure_protocol_batch_lane_width_respected() {
+        let pt = measure_protocol_batch(80, 0.1, 3, 5, 11, || Flooding);
+        assert_eq!(pt.trials, 15);
+        assert_eq!(pt.batch_lanes, 5);
     }
 
     #[test]

@@ -208,7 +208,8 @@ pub fn summary_to_json(s: &Summary) -> Json {
 }
 
 /// The standard JSON shape of a [`ProtocolPoint`]: graph parameters, the
-/// rounds summary (null when no trial completed), and completion counts.
+/// rounds summary (null when no trial completed), completion counts, and
+/// the lane width of the measurement (`batch_lanes` = 1 for scalar runs).
 pub fn protocol_point_to_json(label: &str, point: &ProtocolPoint) -> BenchPoint {
     BenchPoint::new(label)
         .field("n", Json::from(point.n))
@@ -220,6 +221,7 @@ pub fn protocol_point_to_json(label: &str, point: &ProtocolPoint) -> BenchPoint 
         )
         .field("completed", Json::from(point.completed))
         .field("trials", Json::from(point.trials))
+        .field("batch_lanes", Json::from(point.batch_lanes))
 }
 
 #[cfg(test)]
@@ -281,11 +283,13 @@ mod tests {
             rounds: radio_analysis::Summary::of(&[10.0, 12.0, 14.0]),
             completed: 3,
             trials: 4,
+            batch_lanes: 1,
         };
         let bp = protocol_point_to_json("n=100", &point);
         assert_eq!(bp.get("n").unwrap().as_i64(), Some(100));
         let rounds = bp.get("rounds").unwrap();
         assert_eq!(rounds.get("count").unwrap().as_i64(), Some(3));
         assert_eq!(rounds.get("mean").unwrap().as_f64(), Some(12.0));
+        assert_eq!(bp.get("batch_lanes").unwrap().as_i64(), Some(1));
     }
 }

@@ -41,6 +41,7 @@ const VALUE_KEYS: &[&str] = &[
     "format",
     "trace-out",
     "kernel",
+    "batch",
 ];
 
 impl Args {

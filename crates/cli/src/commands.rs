@@ -14,8 +14,8 @@ use radio_graph::layers::analyze_layers;
 use radio_graph::{child_rng, Graph, Layering, NodeId, Xoshiro256pp};
 use radio_sim::report::write_events_jsonl;
 use radio_sim::{
-    run_protocol_observed, run_schedule, CollectingObserver, EngineKernel, Json, Protocol,
-    RunConfig, RunReport, TraceLevel, TransmitterPolicy,
+    run_protocol_batch, run_protocol_observed, run_schedule, CollectingObserver, EngineKernel,
+    Json, Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES,
 };
 
 use crate::args::{Args, ParseError};
@@ -138,6 +138,12 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
 /// stream.  `--trace-out FILE` additionally dumps every round event as
 /// JSONL (one object per line, tagged with its trial index) in either
 /// format.
+///
+/// `--batch L` switches each trial to the lane-batched runner
+/// ([`run_protocol_batch`]): one graph sample carries `L ≤ 64` independent
+/// protocol runs resolved in shared adjacency sweeps.  JSON reports then
+/// carry one entry per lane (tagged `batch_lanes`), and JSONL trace lines
+/// gain a `lane` field.
 pub fn run(args: &Args) -> CmdResult {
     let spec = GraphSpec::from_args(args)?;
     let (n, p) = (spec.n(), spec.p_equiv());
@@ -188,45 +194,108 @@ pub fn run(args: &Args) -> CmdResult {
                 .map_err(|e| ParseError(format!("--kernel: {e}")))?,
         );
     }
+    let batch: Option<usize> = match args.get("batch") {
+        None => None,
+        Some(raw) => {
+            let lanes: usize = raw
+                .parse()
+                .map_err(|_| ParseError("--batch: bad integer".into()))?;
+            if !(1..=MAX_LANES).contains(&lanes) {
+                return Err(ParseError(format!("--batch must be in 1..={MAX_LANES}")));
+            }
+            Some(lanes)
+        }
+    };
+    if (source as usize) >= n {
+        return Err(ParseError("--source out of range".into()));
+    }
 
     if text {
+        let lanes_note = batch.map_or(String::new(), |l| format!(" × {l} lanes"));
         println!(
-            "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s), loss {loss}"
+            "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s){lanes_note}, loss {loss}"
         );
     }
     let mut rounds = Vec::new();
     let mut completions = 0usize;
     let mut reports: Vec<Json> = Vec::new();
-    for t in 0..trials {
-        let mut rng = child_rng(seed, t as u64);
-        let g = spec.instantiate(&mut rng);
-        if (source as usize) >= n {
-            return Err(ParseError("--source out of range".into()));
+    if let Some(lanes) = batch {
+        // Lane traces are the only event source in batched runs, so record
+        // per-round whenever anything downstream consumes events.
+        if !text || trace_out.is_some() {
+            cfg = cfg.with_trace(TraceLevel::PerRound);
         }
-        let mut proto = make_protocol(&proto_spec, p)?;
-        let mut observer = CollectingObserver::with_timing();
-        let r = run_protocol_observed(&g, source, proto.as_mut(), cfg, &mut rng, &mut observer);
-        if text {
-            println!(
-                "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}",
-                r.completed, r.rounds, r.informed
-            );
+        for t in 0..trials {
+            let mut rng = child_rng(seed, t as u64);
+            let g = spec.instantiate(&mut rng);
+            let mut proto = make_protocol(&proto_spec, p)?;
+            let lane_seed = rng.next();
+            let results = run_protocol_batch(&g, source, proto.as_mut(), cfg, lane_seed, lanes);
+            if text {
+                let done: Vec<f64> = results
+                    .iter()
+                    .filter(|r| r.completed)
+                    .map(|r| r.rounds as f64)
+                    .collect();
+                let mean = Summary::of(&done).map_or("-".to_string(), |s| format!("{:.1}", s.mean));
+                println!(
+                    "  trial {t}: {}/{lanes} lanes completed, mean rounds {mean}",
+                    done.len()
+                );
+            }
+            for (lane, r) in results.iter().enumerate() {
+                if let Some(out) = trace_out.as_mut() {
+                    let events: Vec<_> = r.trace.iter().map(|rec| rec.to_event()).collect();
+                    write_events_jsonl(
+                        out,
+                        &[("trial", Json::from(t)), ("lane", Json::from(lane))],
+                        &events,
+                    )
+                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+                }
+                if !text {
+                    let report = RunReport::from_result(&proto_spec, r)
+                        .with_p(p)
+                        .with_seed(seed)
+                        .with_batch_lanes(lanes as u32)
+                        .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
+                    reports.push(report.to_json());
+                }
+                if r.completed {
+                    completions += 1;
+                    rounds.push(r.rounds as f64);
+                }
+            }
         }
-        if let Some(out) = trace_out.as_mut() {
-            write_events_jsonl(out, &[("trial", Json::from(t))], &observer.events)
-                .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
-        }
-        if !text {
-            let report = RunReport::from_result(&proto_spec, &r)
-                .with_p(p)
-                .with_seed(seed)
-                .with_wall_ns(observer.total_elapsed_ns())
-                .with_events(std::mem::take(&mut observer.events));
-            reports.push(report.to_json());
-        }
-        if r.completed {
-            completions += 1;
-            rounds.push(r.rounds as f64);
+    } else {
+        for t in 0..trials {
+            let mut rng = child_rng(seed, t as u64);
+            let g = spec.instantiate(&mut rng);
+            let mut proto = make_protocol(&proto_spec, p)?;
+            let mut observer = CollectingObserver::with_timing();
+            let r = run_protocol_observed(&g, source, proto.as_mut(), cfg, &mut rng, &mut observer);
+            if text {
+                println!(
+                    "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}",
+                    r.completed, r.rounds, r.informed
+                );
+            }
+            if let Some(out) = trace_out.as_mut() {
+                write_events_jsonl(out, &[("trial", Json::from(t))], &observer.events)
+                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+            }
+            if !text {
+                let report = RunReport::from_result(&proto_spec, &r)
+                    .with_p(p)
+                    .with_seed(seed)
+                    .with_wall_ns(observer.total_elapsed_ns())
+                    .with_events(std::mem::take(&mut observer.events));
+                reports.push(report.to_json());
+            }
+            if r.completed {
+                completions += 1;
+                rounds.push(r.rounds as f64);
+            }
         }
     }
     if let Some(out) = trace_out.as_mut() {
@@ -239,9 +308,10 @@ pub fn run(args: &Args) -> CmdResult {
         println!("{}", Json::Arr(reports).render_pretty());
         return Ok(());
     }
+    let total_runs = trials * batch.unwrap_or(1);
     if let Some(s) = Summary::of(&rounds) {
         println!(
-            "summary: {completions}/{trials} completed; rounds mean {:.1} ± {:.1} (ln n = {:.1}, B(n,d) = {:.1})",
+            "summary: {completions}/{total_runs} completed; rounds mean {:.1} ± {:.1} (ln n = {:.1}, B(n,d) = {:.1})",
             s.mean,
             s.std_dev,
             (n as f64).ln(),
@@ -564,6 +634,20 @@ mod tests {
         let bad = argv("run --n 300 --d 20 --trials 1 --kernel turbo");
         let err = run(&bad).unwrap_err();
         assert!(err.0.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn run_command_batch_lanes() {
+        let args = argv("run --n 300 --d 20 --protocol eg --trials 2 --seed 3 --batch 8");
+        run(&args).unwrap();
+        // Lossy batched runs exercise the canonical-order path.
+        let lossy =
+            argv("run --n 200 --d 15 --protocol decay --trials 1 --seed 5 --batch 64 --loss 0.2");
+        run(&lossy).unwrap();
+        for bad in ["0", "65", "lots"] {
+            let args = argv(&format!("run --n 100 --d 10 --trials 1 --batch {bad}"));
+            assert!(run(&args).is_err(), "--batch {bad} should be rejected");
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! radio-cli run       --n 10000 --d 50 --protocol eg [--trials 5] [--loss 0.1] [--seed 1]
 //!                     [--format text|json] [--trace-out FILE.jsonl] [--kernel auto|sparse|dense]
+//!                     [--batch L]
 //! radio-cli schedule  --n 10000 --d 50 [--source 0] [--seed 1]
 //! radio-cli structure --n 50000 --d 40 [--seed 1]
 //! radio-cli gossip    --n 1000  --d 30 [--seed 1]
@@ -58,7 +59,8 @@ subcommands:
   run        run a distributed protocol          [graph] [--protocol eg|eg-strict|decay|flooding|round-robin|unknown|constant:Q]
                                                  [--source V] [--trials K] [--loss F] [--max-rounds R] [--seed S]
                                                  [--format text|json] [--trace-out FILE.jsonl]
-                                                 [--kernel auto|sparse|dense]
+                                                 [--kernel auto|sparse|dense] [--batch L]
+             (--batch L runs L ≤ 64 lane-batched trials per graph sample)
   schedule   build the Theorem-5 schedule        [graph] [--source V] [--seed S] [--verbose] [--save FILE]
   replay     verify + replay a saved schedule    [graph] --schedule FILE [--source V] [--seed S]
   structure  BFS layer + degree structure        [graph] [--seed S]

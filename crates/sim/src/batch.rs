@@ -1,0 +1,515 @@
+//! Lane-batched Monte-Carlo execution: up to 64 protocol trials per
+//! adjacency sweep.
+//!
+//! The experiments estimate round-count distributions by running many
+//! independent randomized trials on the *same* graph, and each scalar trial
+//! re-walks the same adjacency structure — memory traffic, not arithmetic,
+//! is the bottleneck.  This module packs up to [`MAX_LANES`] independent
+//! trials ("lanes") into the bits of a `u64` per node and resolves the
+//! exactly-one-transmitter rule of §1.1 for all of them in a single sweep,
+//! using the same two-plane saturating counter the dense kernel applies
+//! across *node* lanes (`ge2 |= ge1 & t[u]; ge1 |= t[u]` per neighbor
+//! edge) — the standard SIMD-across-replicas pattern from Monte-Carlo
+//! simulation.
+//!
+//! ## Determinism contract
+//!
+//! Lane `l` of [`run_protocol_batch`] with master seed `s` is
+//! **bit-identical** to a scalar [`run_protocol`](crate::run_protocol) on
+//! the RNG stream `child_rng(s, l)`: same completion flag, same round
+//! count, same per-round trace, including lossy runs.  This holds because
+//! the batch runner replays the scalar draw order within every lane —
+//! protocol decisions per informed node in ascending node-id order, then
+//! loss coins per exactly-one reception in ascending node-id order — and
+//! each lane owns a private RNG, so lanes never perturb each other's
+//! streams.  The contract is pinned by the `batch_vs_scalar` differential
+//! suite.
+//!
+//! The batch runner implies [`TransmitterPolicy::InformedOnly`]
+//! (transmit words are drawn from informed lanes only, exactly like the
+//! scalar protocol runner) and ignores [`RunConfig::kernel`]: results
+//! report [`KernelUsed::Batch`] instead.
+//!
+//! [`TransmitterPolicy::InformedOnly`]: crate::TransmitterPolicy::InformedOnly
+
+use radio_graph::{child_rng, Graph, NodeId, Xoshiro256pp};
+
+use crate::kernel::KernelUsed;
+use crate::protocol::{Protocol, RunConfig};
+use crate::state::NOT_INFORMED;
+use crate::trace::{RoundRecord, RunResult, TraceLevel};
+
+/// Maximum number of trial lanes in one batch (one bit per `u64` lane).
+pub const MAX_LANES: usize = 64;
+
+/// The lane mask with the low `lanes` bits set.
+#[inline]
+fn lane_mask(lanes: usize) -> u64 {
+    debug_assert!((1..=MAX_LANES).contains(&lanes));
+    if lanes == MAX_LANES {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+/// Reusable scratch for [`execute_lane_round`]: the two counter planes and
+/// the dirty-node list.
+///
+/// The planes are interleaved (`[ge1, ge2]` per node on one cache line) so
+/// the merge loop's random accesses touch a single line per neighbor; at
+/// `n = 8192` the working set is 128 KiB — L2-resident.
+pub struct LaneScratch {
+    /// `planes[v] = [ge1, ge2]`: lanes with ≥ 1 / ≥ 2 transmitting
+    /// neighbors of `v` so far this round.
+    planes: Vec<[u64; 2]>,
+    /// Nodes whose planes went dirty this round.
+    touched: Vec<NodeId>,
+}
+
+impl LaneScratch {
+    /// Scratch for graphs of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        LaneScratch {
+            planes: vec![[0, 0]; n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// One raw lane-batched round over `graph`.
+///
+/// `t[u]` holds node `u`'s transmit word (bit `l` = transmits in lane `l`)
+/// and `tx_nodes` lists exactly the nodes with a **non-zero** word, without
+/// duplicates (duplicates would double-merge a transmitter and corrupt the
+/// counters).  `informed[v]` is the per-lane informed mask; it is updated
+/// in place with whatever `resolve` delivers.
+///
+/// For every node with at least one lane reached (≥ 1 transmitting
+/// neighbor, itself neither transmitting nor informed in that lane),
+/// `resolve(v, reached, collided, exactly_one)` is called — in ascending
+/// node-id order when `canonical_order` is set, which lossy runs need for
+/// the scalar-identical coin order — and must return the delivered subset
+/// of `exactly_one`.  Scratch planes are reset as they are consumed;
+/// `t` is left untouched (the caller owns its lifecycle).
+pub fn execute_lane_round<F>(
+    graph: &Graph,
+    scratch: &mut LaneScratch,
+    t: &[u64],
+    tx_nodes: &[NodeId],
+    informed: &mut [u64],
+    canonical_order: bool,
+    mut resolve: F,
+) where
+    F: FnMut(NodeId, u64, u64, u64) -> u64,
+{
+    let n = graph.n();
+    // Hard asserts (not debug): the full-sweep merge below relies on
+    // `planes.len() == n` for its unchecked indexing.
+    assert_eq!(t.len(), n);
+    assert_eq!(informed.len(), n);
+    assert_eq!(scratch.planes.len(), n);
+    let planes = &mut scratch.planes;
+    let touched = &mut scratch.touched;
+
+    // When the merge will dirty a large fraction of the nodes, tracking a
+    // dirty list costs more than it saves: a data-dependent branch plus a
+    // push per neighbor edge in the hot loop, and (for canonical order) a
+    // sort of nearly `n` ids.  Past the threshold we skip the list and
+    // resolve with one sequential sweep over all planes — which visits
+    // nodes in ascending id order, so it is canonical for free.
+    let visits: usize = tx_nodes.iter().map(|&u| graph.neighbors(u).len()).sum();
+    let full_sweep = visits >= n;
+
+    // Merge: saturating two-plane counter over trial lanes.
+    if full_sweep {
+        for &u in tx_nodes {
+            let w = t[u as usize];
+            if w == 0 {
+                continue;
+            }
+            for &v in graph.neighbors(u) {
+                // SAFETY: neighbor ids are `< n` by the `Graph` CSR
+                // invariant (enforced at construction, verified by
+                // `check_invariants` in debug builds), and
+                // `planes.len() == n` is asserted at function entry.
+                // This per-edge random read-modify-write is the kernel's
+                // bottleneck; the bounds check is measurable here.
+                let p = unsafe { planes.get_unchecked_mut(v as usize) };
+                p[1] |= p[0] & w;
+                p[0] |= w;
+            }
+        }
+        // Resolve: one ascending sweep, resetting planes as we go.
+        for (vi, p) in planes.iter_mut().enumerate() {
+            let [ge1, ge2] = *p;
+            if ge1 == 0 {
+                continue;
+            }
+            *p = [0, 0];
+            let reached = ge1 & !t[vi] & !informed[vi];
+            if reached == 0 {
+                continue;
+            }
+            let delivered = resolve(vi as NodeId, reached, reached & ge2, reached & !ge2);
+            debug_assert_eq!(delivered & !(reached & !ge2), 0, "delivered ⊄ exactly-one");
+            informed[vi] |= delivered;
+        }
+        return;
+    }
+
+    for &u in tx_nodes {
+        let w = t[u as usize];
+        if w == 0 {
+            continue;
+        }
+        for &v in graph.neighbors(u) {
+            let p = &mut planes[v as usize];
+            if p[0] == 0 {
+                touched.push(v);
+            }
+            p[1] |= p[0] & w;
+            p[0] |= w;
+        }
+    }
+
+    if canonical_order {
+        touched.sort_unstable();
+    }
+
+    // Resolve: exactly-one receptions per lane, resetting planes as we go.
+    for &v in touched.iter() {
+        let vi = v as usize;
+        let [ge1, ge2] = planes[vi];
+        planes[vi] = [0, 0];
+        let reached = ge1 & !t[vi] & !informed[vi];
+        if reached == 0 {
+            continue;
+        }
+        let delivered = resolve(v, reached, reached & ge2, reached & !ge2);
+        debug_assert_eq!(delivered & !(reached & !ge2), 0, "delivered ⊄ exactly-one");
+        informed[vi] |= delivered;
+    }
+    touched.clear();
+}
+
+/// Runs `lanes` independent trials of `protocol` on `graph` from `source`,
+/// one trial per bit lane, and returns one [`RunResult`] per lane (index =
+/// lane = RNG stream index).
+///
+/// Lane `l` uses the RNG stream `child_rng(master_seed, l)` and is
+/// bit-identical to a scalar [`run_protocol`](crate::run_protocol) on that
+/// stream (see the module docs for the contract).  `protocol.begin_run(n)`
+/// is called **once** for the whole batch — sound because [`Protocol`]
+/// implementations may keep only per-protocol configuration derived from
+/// `n`, never per-run topology state.
+///
+/// # Panics
+///
+/// If `lanes` is not in `1..=`[`MAX_LANES`] or `source` is out of range.
+pub fn run_protocol_batch<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<RunResult> {
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "lanes must be in 1..={MAX_LANES}, got {lanes}"
+    );
+    let n = graph.n();
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range for n = {n}"
+    );
+    let full = lane_mask(lanes);
+    let lossy = config.loss_prob > 0.0;
+    let per_round = config.trace_level == TraceLevel::PerRound;
+
+    let mut rngs: Vec<Xoshiro256pp> = (0..lanes as u64)
+        .map(|l| child_rng(master_seed, l))
+        .collect();
+    protocol.begin_run(n);
+
+    // Per-lane broadcast state, struct-of-words: informed mask per node,
+    // informed round per (node, lane).
+    let mut informed: Vec<u64> = vec![0; n];
+    informed[source as usize] = full;
+    let mut informed_round: Vec<u32> = vec![NOT_INFORMED; n * lanes];
+    informed_round[source as usize * lanes..source as usize * lanes + lanes].fill(0);
+
+    let mut t: Vec<u64> = vec![0; n];
+    let mut tx_nodes: Vec<NodeId> = Vec::new();
+    let mut scratch = LaneScratch::new(n);
+
+    let mut lane_informed = vec![1usize; lanes];
+    let mut lane_rounds = vec![0u32; lanes];
+    let mut lane_completed = vec![n == 1; lanes];
+    let mut traces: Vec<Vec<RoundRecord>> = vec![Vec::new(); lanes];
+
+    // Per-round, per-lane outcome counters.
+    let mut tx_count = vec![0u32; lanes];
+    let mut newly = vec![0u32; lanes];
+    let mut colls = vec![0u32; lanes];
+    let mut reach = vec![0u32; lanes];
+
+    let mut active = if n == 1 { 0 } else { full };
+    let mut round = 0u32;
+    while active != 0 && round < config.max_rounds {
+        round += 1;
+
+        // Decision phase: scalar draw order is per-lane "informed nodes
+        // ascending", which the node-major loop preserves because each
+        // lane's RNG is private.
+        for u in 0..n {
+            let mask = informed[u] & active;
+            if mask == 0 {
+                continue;
+            }
+            let base = u * lanes;
+            let word = protocol.transmits_lanes(
+                u as NodeId,
+                round,
+                mask,
+                &informed_round[base..base + lanes],
+                &mut rngs,
+            ) & mask;
+            if word != 0 {
+                t[u] = word;
+                tx_nodes.push(u as NodeId);
+                let mut m = word;
+                while m != 0 {
+                    tx_count[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+            }
+        }
+
+        let loss = config.loss_prob;
+        execute_lane_round(
+            graph,
+            &mut scratch,
+            &t,
+            &tx_nodes,
+            &mut informed,
+            lossy,
+            |v, reached_w, collided_w, e1| {
+                let mut m = reached_w;
+                while m != 0 {
+                    reach[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+                let mut m = collided_w;
+                while m != 0 {
+                    colls[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+                let mut delivered = e1;
+                if lossy {
+                    // Same coin as the scalar engine's delivery veto, in
+                    // ascending lane order (each lane: ascending node order,
+                    // since `canonical_order` sorted the dirty list).
+                    let mut m = e1;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        if rngs[l].coin(loss) {
+                            delivered &= !(1u64 << l);
+                        }
+                    }
+                }
+                let base = v as usize * lanes;
+                let mut m = delivered;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    informed_round[base + l] = round;
+                    lane_informed[l] += 1;
+                    newly[l] += 1;
+                }
+                delivered
+            },
+        );
+
+        // Book-keeping per still-active lane: trace record, completion.
+        let mut still = active;
+        while still != 0 {
+            let l = still.trailing_zeros() as usize;
+            still &= still - 1;
+            if per_round {
+                traces[l].push(RoundRecord {
+                    round,
+                    transmitters: tx_count[l] as usize,
+                    newly_informed: newly[l] as usize,
+                    collisions: colls[l] as usize,
+                    reached: reach[l] as usize,
+                    informed_after: lane_informed[l],
+                });
+            }
+            if lane_informed[l] == n {
+                lane_completed[l] = true;
+                lane_rounds[l] = round;
+                active &= !(1u64 << l);
+            }
+        }
+
+        for &u in &tx_nodes {
+            t[u as usize] = 0;
+        }
+        tx_nodes.clear();
+        tx_count.fill(0);
+        newly.fill(0);
+        colls.fill(0);
+        reach.fill(0);
+    }
+
+    // Budget-exhausted lanes report the exhausted budget, like the scalar
+    // runner.
+    let mut still = active;
+    while still != 0 {
+        let l = still.trailing_zeros() as usize;
+        still &= still - 1;
+        lane_rounds[l] = round;
+    }
+
+    traces
+        .into_iter()
+        .enumerate()
+        .map(|(l, trace)| RunResult {
+            completed: lane_completed[l],
+            rounds: lane_rounds[l],
+            informed: lane_informed[l],
+            n,
+            kernel: KernelUsed::Batch,
+            trace,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_protocol, LocalNode};
+    use radio_graph::derive_seed;
+    use radio_graph::gnp::sample_gnp;
+
+    /// Transmit with a fixed probability (one coin per decision).
+    struct Coin(f64);
+    impl Protocol for Coin {
+        fn name(&self) -> String {
+            "coin".into()
+        }
+        fn transmits(&mut self, _node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+            rng.coin(self.0)
+        }
+    }
+
+    fn scalar_lane(
+        g: &Graph,
+        source: NodeId,
+        p: f64,
+        cfg: RunConfig,
+        master: u64,
+        lane: u64,
+    ) -> RunResult {
+        let mut rng = child_rng(master, lane);
+        let mut result = run_protocol(g, source, &mut Coin(p), cfg, &mut rng);
+        // Lane results always report the batch kernel; normalize for
+        // comparison.
+        result.kernel = KernelUsed::Batch;
+        result
+    }
+
+    #[test]
+    fn every_lane_matches_its_scalar_stream() {
+        for case in 0..6u64 {
+            let mut grng = Xoshiro256pp::new(derive_seed(0xBA7C, case));
+            let n = 40 + grng.below(80) as usize;
+            let g = sample_gnp(n, 0.12, &mut grng);
+            let loss = if case % 2 == 0 { 0.0 } else { 0.25 };
+            let cfg = RunConfig::for_graph(n).with_max_rounds(50).with_loss(loss);
+            let master = derive_seed(0x5EED, case);
+            let batch = run_protocol_batch(&g, 0, &mut Coin(0.3), cfg, master, MAX_LANES);
+            assert_eq!(batch.len(), MAX_LANES);
+            for (l, got) in batch.iter().enumerate() {
+                let want = scalar_lane(&g, 0, 0.3, cfg, master, l as u64);
+                assert_eq!(*got, want, "case {case}, lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_lane_counts_work() {
+        let mut grng = Xoshiro256pp::new(7);
+        let g = sample_gnp(60, 0.15, &mut grng);
+        let cfg = RunConfig::for_graph(60).with_max_rounds(40);
+        for lanes in [1usize, 2, 17, 63] {
+            let batch = run_protocol_batch(&g, 3, &mut Coin(0.25), cfg, 99, lanes);
+            assert_eq!(batch.len(), lanes);
+            for (l, got) in batch.iter().enumerate() {
+                let want = scalar_lane(&g, 3, 0.25, cfg, 99, l as u64);
+                assert_eq!(*got, want, "lanes {lanes}, lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_graph_completes_in_zero_rounds() {
+        let g = Graph::empty(1);
+        let batch = run_protocol_batch(&g, 0, &mut Coin(0.5), RunConfig::for_graph(1), 1, 8);
+        for r in &batch {
+            assert!(r.completed);
+            assert_eq!(r.rounds, 0);
+            assert_eq!(r.informed, 1);
+        }
+    }
+
+    #[test]
+    fn lanes_report_batch_kernel() {
+        let g = Graph::path(6);
+        let batch = run_protocol_batch(&g, 0, &mut Coin(0.9), RunConfig::for_graph(6), 4, 3);
+        assert!(batch.iter().all(|r| r.kernel == KernelUsed::Batch));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lanes_rejected() {
+        let g = Graph::path(3);
+        let _ = run_protocol_batch(&g, 0, &mut Coin(0.5), RunConfig::for_graph(3), 1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_lanes_rejected() {
+        let g = Graph::path(3);
+        let _ = run_protocol_batch(&g, 0, &mut Coin(0.5), RunConfig::for_graph(3), 1, 65);
+    }
+
+    #[test]
+    fn lane_round_leaves_transmit_words_untouched() {
+        let mut grng = Xoshiro256pp::new(11);
+        let g = sample_gnp(32, 0.2, &mut grng);
+        let mut scratch = LaneScratch::new(32);
+        let t: Vec<u64> = (0..32)
+            .map(|v| if v % 3 == 0 { 0b101 } else { 0 })
+            .collect();
+        let tx_nodes: Vec<NodeId> = (0..32).filter(|v| v % 3 == 0).collect();
+        let before = t.clone();
+        let mut informed = vec![0u64; 32];
+        informed[0] = u64::MAX;
+        execute_lane_round(
+            &g,
+            &mut scratch,
+            &t,
+            &tx_nodes,
+            &mut informed,
+            true,
+            |_, _, _, e1| e1,
+        );
+        assert_eq!(t, before);
+        assert!(scratch.touched.is_empty());
+        assert!(scratch.planes.iter().all(|p| *p == [0, 0]));
+    }
+}

@@ -69,6 +69,11 @@ pub enum KernelUsed {
     Dense,
     /// `Auto` switched kernels between rounds within the run.
     Mixed,
+    /// The run was one lane of a lane-batched execution
+    /// ([`crate::batch::run_protocol_batch`]), which resolves all trial
+    /// lanes with its own two-plane sweep rather than either per-run
+    /// kernel.
+    Batch,
 }
 
 impl KernelUsed {
@@ -78,6 +83,7 @@ impl KernelUsed {
             KernelUsed::Sparse => "sparse",
             KernelUsed::Dense => "dense",
             KernelUsed::Mixed => "mixed",
+            KernelUsed::Batch => "batch",
         }
     }
 }

@@ -14,7 +14,11 @@
 //!   per-node local state, never the topology) driven by [`run_protocol`].
 //!
 //! [`run_trials`] fans independent Monte-Carlo trials over a scoped thread pool with
-//! deterministic per-trial seeds.
+//! deterministic per-trial seeds (worker count overridable via the
+//! `RADIO_THREADS` environment variable), and [`run_protocol_batch`] packs
+//! up to 64 trials of the same graph into `u64` bit lanes resolved in a
+//! single adjacency sweep per round (see [`batch`]) — composing the two
+//! gives threads×64 effective trial parallelism.
 //!
 //! Rounds execute through one of two interchangeable kernels — the
 //! CSR-walking sparse kernel or the bit-parallel dense kernel — selected by
@@ -54,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bitset;
 pub mod combinators;
 pub mod engine;
@@ -70,6 +75,7 @@ pub mod schedule_io;
 pub mod state;
 pub mod trace;
 
+pub use batch::{run_protocol_batch, MAX_LANES};
 pub use combinators::{Named, Staged};
 pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
 pub use json::Json;

@@ -51,6 +51,45 @@ pub trait Protocol {
     /// `rng` is the run's coin source; the runner calls this once per
     /// informed node per round, in node-id order.
     fn transmits(&mut self, node: LocalNode, rng: &mut Xoshiro256pp) -> bool;
+
+    /// Lane-batched decision: one transmit bit per trial lane for node
+    /// `id`, for every lane set in the `lanes` mask (see
+    /// [`crate::batch::run_protocol_batch`]).
+    ///
+    /// `informed_round[l]` is the round lane `l`'s copy of the node became
+    /// informed, and `rngs[l]` is lane `l`'s private coin stream.  The
+    /// default implementation makes one scalar [`Protocol::transmits`] call
+    /// per set lane, in ascending lane order, so every existing protocol
+    /// works unchanged.
+    ///
+    /// Overrides must preserve the bit-identity contract: for each lane,
+    /// draw exactly the coins (count, order, and meaning) that the scalar
+    /// `transmits` would draw from that lane's RNG, and return the same
+    /// decision.  Bits outside `lanes` are ignored by the runner.
+    fn transmits_lanes(
+        &mut self,
+        id: NodeId,
+        round: u32,
+        lanes: u64,
+        informed_round: &[u32],
+        rngs: &mut [Xoshiro256pp],
+    ) -> u64 {
+        let mut word = 0u64;
+        let mut rest = lanes;
+        while rest != 0 {
+            let l = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let node = LocalNode {
+                id,
+                informed_round: informed_round[l],
+                round,
+            };
+            if self.transmits(node, &mut rngs[l]) {
+                word |= 1 << l;
+            }
+        }
+        word
+    }
 }
 
 /// Configuration for [`run_protocol`].

@@ -70,10 +70,14 @@ pub struct RunReport {
     pub round_to_99: Option<u32>,
     /// End-to-end wall-clock of the run in nanoseconds, if measured.
     pub wall_ns: Option<u64>,
-    /// Round kernel(s) that executed the run (`"sparse"`, `"dense"`, or
-    /// `"mixed"`), if recorded.  Purely informational — the only report
-    /// field allowed to differ between kernel selections.
+    /// Round kernel(s) that executed the run (`"sparse"`, `"dense"`,
+    /// `"mixed"`, or `"batch"`), if recorded.  Purely informational — the
+    /// only report field allowed to differ between kernel selections.
     pub kernel: Option<String>,
+    /// Number of trial lanes when the run was one lane of a lane-batched
+    /// execution ([`crate::batch::run_protocol_batch`]); omitted from the
+    /// JSON for scalar runs.
+    pub batch_lanes: Option<u32>,
     /// Per-round event stream (empty unless explicitly attached with
     /// [`RunReport::with_events`] or recorded in the result's trace).
     pub events: Vec<RoundEvent>,
@@ -100,6 +104,7 @@ impl RunReport {
             round_to_99: metrics.round_to_99,
             wall_ns: None,
             kernel: Some(result.kernel.as_str().to_string()),
+            batch_lanes: None,
             events: Vec::new(),
         }
     }
@@ -119,6 +124,12 @@ impl RunReport {
     /// Attaches an end-to-end wall-clock measurement.
     pub fn with_wall_ns(mut self, wall_ns: u64) -> RunReport {
         self.wall_ns = Some(wall_ns);
+        self
+    }
+
+    /// Attaches the lane count of a lane-batched execution.
+    pub fn with_batch_lanes(mut self, lanes: u32) -> RunReport {
+        self.batch_lanes = Some(lanes);
         self
     }
 
@@ -150,6 +161,9 @@ impl RunReport {
         ];
         if let Some(kernel) = &self.kernel {
             fields.push(("kernel", Json::from(kernel.as_str())));
+        }
+        if let Some(lanes) = self.batch_lanes {
+            fields.push(("batch_lanes", Json::from(lanes)));
         }
         if !self.events.is_empty() {
             fields.push((
@@ -226,6 +240,7 @@ impl RunReport {
                 .get("kernel")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            batch_lanes: get_opt_u32("batch_lanes"),
             events,
         })
     }
@@ -325,6 +340,7 @@ mod tests {
             .with_p(0.05)
             .with_seed(42)
             .with_wall_ns(12345)
+            .with_batch_lanes(64)
             .with_events(result.trace.iter().map(|r| r.to_event()).collect());
         let json = report.to_json();
         let back = RunReport::from_json(&json).unwrap();

@@ -17,15 +17,17 @@ use radio_graph::{child_rng, Xoshiro256pp};
 /// `job(i, rng)` receives the trial index and a generator derived from
 /// `master_seed` and `i` only — never share state between trials through
 /// captured variables unless it is read-only.
+///
+/// The worker count defaults to the machine's available parallelism and can
+/// be capped with the `RADIO_THREADS` environment variable (any positive
+/// integer; non-numeric or zero values are ignored) — useful for stable
+/// benchmarking and shared CI boxes.  Thread count never affects results.
 pub fn run_trials<T, F>(trials: usize, master_seed: u64, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, &mut Xoshiro256pp) -> T + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
+    let workers = worker_count(trials);
     if workers <= 1 || trials <= 1 {
         return run_trials_serial(trials, master_seed, job);
     }
@@ -70,6 +72,22 @@ where
         .into_iter()
         .map(|s| s.expect("every trial slot filled"))
         .collect()
+}
+
+/// Worker-thread budget: the `RADIO_THREADS` override when set to a
+/// positive integer, otherwise the machine's available parallelism — always
+/// capped at the trial count.
+fn worker_count(trials: usize) -> usize {
+    std::env::var("RADIO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .min(trials.max(1))
 }
 
 /// Raw-pointer wrapper so worker threads can write disjoint `slots` entries.
@@ -126,5 +144,26 @@ mod tests {
     fn order_preserved() {
         let out = run_trials(100, 7, |i, _| i);
         assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radio_threads_env_caps_workers() {
+        // Serialized against other env-touching tests by being the only one.
+        std::env::set_var("RADIO_THREADS", "1");
+        assert_eq!(worker_count(8), 1);
+        let par = run_trials(16, 5, |i, rng| (i, rng.next()));
+        let ser = run_trials_serial(16, 5, |i, rng| (i, rng.next()));
+        assert_eq!(par, ser);
+
+        // Invalid values fall back to available parallelism.
+        std::env::set_var("RADIO_THREADS", "0");
+        assert!(worker_count(8) >= 1);
+        std::env::set_var("RADIO_THREADS", "lots");
+        assert!(worker_count(8) >= 1);
+
+        // The cap at the trial count still applies.
+        std::env::set_var("RADIO_THREADS", "64");
+        assert_eq!(worker_count(2), 2);
+        std::env::remove_var("RADIO_THREADS");
     }
 }

@@ -6,10 +6,11 @@
 #                    omitted, exp_summary is run (release, committed seed)
 #                    into a temporary file first.
 #
-# Prints, per bench label, mean_ns for baseline and candidate and the
-# relative delta.  Negative deltas are speedups.  Labels present on only
-# one side are listed as added/removed.  The baseline is the committed
-# (HEAD) BENCH_sim.json, so a dirty working-tree report never skews it.
+# Prints, per bench label, mean_ns for baseline and candidate, the raw
+# delta in ns, and the relative delta.  Negative deltas are speedups.
+# Labels present on only one side are never dropped: they are listed with
+# a `new` / `gone` marker.  The baseline is the committed (HEAD)
+# BENCH_sim.json, so a dirty working-tree report never skews it.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,18 +47,19 @@ awk -F'\t' '
   {
     cand[$1] = $2
     if ($1 in base) {
-      delta = (base[$1] > 0) ? ($2 - base[$1]) / base[$1] * 100 : 0
-      printf "%-45s %14.1f %14.1f %+8.1f%%\n", $1, base[$1], $2, delta
+      delta = $2 - base[$1]
+      pct = (base[$1] > 0) ? delta / base[$1] * 100 : 0
+      printf "%-45s %14.1f %14.1f %+14.1f %+9.1f%%\n", $1, base[$1], $2, delta, pct
     } else {
-      printf "%-45s %14s %14.1f    added\n", $1, "-", $2
+      printf "%-45s %14s %14.1f %14s %10s\n", $1, "-", $2, "-", "new"
     }
   }
   END {
     for (l in base) if (!(l in cand))
-      printf "%-45s %14.1f %14s  removed\n", l, base[l], "-"
+      printf "%-45s %14.1f %14s %14s %10s\n", l, base[l], "-", "-", "gone"
   }
 ' "$baseline.tsv" "$new.tsv" | {
-  printf "%-45s %14s %14s %9s\n" "label" "base mean_ns" "new mean_ns" "delta"
+  printf "%-45s %14s %14s %14s %10s\n" "label" "base mean_ns" "new mean_ns" "delta_ns" "delta"
   cat
 }
 

@@ -42,6 +42,13 @@ if [ "$fast" -eq 0 ]; then
   step "differential kernel tests (release)"
   cargo test --release --offline -q -p radio-sim kernel
   cargo test --release --offline -q -p radio-integration --test props_cross_crate kernel
+
+  # The lane-batched runner's bit-identity contract (every lane == the
+  # scalar run on the same stream, lossy included) likewise must survive
+  # optimization.
+  step "batch equivalence suite (release)"
+  cargo test --release --offline -q -p radio-sim batch
+  cargo test --release --offline -q -p radio-integration --test batch_vs_scalar
 fi
 
 printf '\nall checks passed\n'

@@ -58,6 +58,7 @@ fn sample_run_report() -> RunReport {
         round_to_99: Some(2),
         wall_ns: Some(12_345),
         kernel: Some("dense".into()),
+        batch_lanes: None,
         events: vec![
             RoundEvent {
                 round: 1,

@@ -201,6 +201,49 @@ fn run_reports_byte_identical_modulo_kernel_field() {
     assert_ne!(renders[0].1, renders[1].1);
 }
 
+/// Two-level Monte-Carlo composition: `run_trials` fanning lane-batched
+/// runs over the thread pool is deterministic (parallel == serial), and the
+/// nested lane results equal direct scalar runs on the same derived
+/// streams — the composition the bench harness relies on for threads×64
+/// effective parallelism.
+#[test]
+fn run_trials_batch_composition_deterministic() {
+    use radio_sim::{run_protocol, run_protocol_batch, run_trials, run_trials_serial, RunConfig};
+
+    let lanes = 8usize;
+    let job = |i: usize, rng: &mut Xoshiro256pp| {
+        let n = 48 + 16 * (i % 3);
+        let g = sample_gnp(n, 0.12, rng);
+        let source = rng.below(n as u64) as NodeId;
+        let lane_seed = rng.next();
+        let cfg = RunConfig::for_graph(n).with_max_rounds(40);
+        let results = run_protocol_batch(
+            &g,
+            source,
+            &mut ConstantProb::new(0.25),
+            cfg,
+            lane_seed,
+            lanes,
+        );
+        let digest: Vec<(bool, u32, usize)> = results
+            .iter()
+            .map(|r| (r.completed, r.rounds, r.informed))
+            .collect();
+        // Cross-check one lane against a direct scalar run on its stream.
+        let mut lane_rng = radio_graph::child_rng(lane_seed, (i % lanes) as u64);
+        let scalar = run_protocol(&g, source, &mut ConstantProb::new(0.25), cfg, &mut lane_rng);
+        assert_eq!(
+            digest[i % lanes],
+            (scalar.completed, scalar.rounds, scalar.informed),
+            "trial {i}"
+        );
+        digest
+    };
+    let par = run_trials(12, 0xC0FFEE, job);
+    let ser = run_trials_serial(12, 0xC0FFEE, job);
+    assert_eq!(par, ser);
+}
+
 #[test]
 fn gnp_graphs_are_valid() {
     for_each_case(0x96B, |case, rng| {
