@@ -1,213 +1,9 @@
-//! Experiment E-GOS — radio gossiping (the paper's open problem, §4).
+//! Deprecated alias for `radio-bench run gossip`.
 //!
-//! The paper's conclusions ask about communication primitives beyond
-//! broadcast in random radio networks; **gossiping** (all nodes start with
-//! a rumor, all must learn all) is the canonical next one.  Under the
-//! combined-message model (a transmission carries everything the sender
-//! knows), gossiping behaves like `n` simultaneous broadcasts whose
-//! knowledge sets merge.  The bottleneck is *specific-sender delivery*: a
-//! fixed sender delivers to a fixed neighbor at rate `q(1−q)^{d−1} =
-//! Θ(1/d)` per round under `q = Θ(1/d)`-selectivity, so each rumor needs
-//! `Θ(d)` rounds per hop and all-to-all completion lands at `Θ(d·ln n)` —
-//! this experiment measures that scaling and compares transmission
-//! strategies.
-//!
-//! This is an *extension*: the paper states no bound to compare against;
-//! the recorded shape is the contribution.
-
-#![allow(clippy::type_complexity)]
-
-use radio_analysis::{fnum, CsvWriter, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
-};
-use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
-use radio_broadcast::distributed::{ConstantProb, Decay};
-use radio_broadcast::gossiping::run_radio_gossiping;
-use radio_sim::run_trials;
-use radio_sim::Json;
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::gossip` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim =
-        "radio gossiping (all-to-all) completes in Θ(d·ln n) with 1/d-selectivity (open problem §4)";
-    banner("E-GOS", claim, &args);
-    let mut report = BenchReport::new("gossip", claim, args.mode(), args.seed);
-
-    let exps: Vec<u32> = args.scale(
-        vec![8, 9, 10],
-        vec![8, 9, 10, 11, 12],
-        vec![8, 9, 10, 11, 12, 13],
-    );
-    let trials = args.trials_or(args.scale(5, 15, 30));
-
-    println!("## Scaling in n (d = ln²n regime, strategy: constant q = 1/d)\n");
-    let mut table = Table::new(vec![
-        "n",
-        "d",
-        "rounds",
-        "±sd",
-        "d·ln n",
-        "rounds/(d·ln n)",
-        "ok",
-    ]);
-    let mut csv = CsvWriter::new(&[
-        "section",
-        "n",
-        "strategy",
-        "mean_rounds",
-        "completed",
-        "trials",
-    ]);
-    let mut fit_points: Vec<(f64, f64)> = Vec::new();
-
-    for &k in &exps {
-        let n = 1usize << k;
-        let p = (n as f64).ln().powi(2) / n as f64;
-        let d = p * n as f64;
-        let seed = point_seed(args.seed, &format!("gossip/scale/{n}"));
-        let max_rounds = (200.0 * (n as f64).ln()) as u32;
-        let rounds: Vec<f64> = run_trials(trials, seed, |_i, rng| {
-            let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-                return f64::NAN;
-            };
-            let mut strat = ConstantProb::new(1.0 / d);
-            let r = run_radio_gossiping(&g, &mut strat, max_rounds, rng);
-            if r.completed {
-                r.rounds as f64
-            } else {
-                f64::NAN
-            }
-        })
-        .into_iter()
-        .filter(|x| x.is_finite())
-        .collect();
-        let Some(s) = radio_analysis::Summary::of(&rounds) else {
-            continue;
-        };
-        let scale = d * (n as f64).ln();
-        table.add_row(vec![
-            n.to_string(),
-            fnum(d, 1),
-            fnum(s.mean, 1),
-            fnum(s.std_dev, 1),
-            fnum(scale, 1),
-            fnum(s.mean / scale, 2),
-            format!("{}/{}", rounds.len(), trials),
-        ]);
-        csv.add_row(&[
-            "scale".to_string(),
-            n.to_string(),
-            "const-1/d".to_string(),
-            format!("{}", s.mean),
-            rounds.len().to_string(),
-            trials.to_string(),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("scale/n={n}"))
-                .field("n", Json::from(n))
-                .field("d", Json::from(d))
-                .field("rounds", summary_to_json(&s))
-                .field("d_ln_n", Json::from(scale))
-                .field("rounds_over_d_ln_n", Json::from(s.mean / scale))
-                .field("completed", Json::from(rounds.len()))
-                .field("trials", Json::from(trials)),
-        );
-        fit_points.push((scale, s.mean));
-    }
-    println!("{}", table.render());
-    // Fit rounds ≈ a·(d·ln n) + b.
-    let rows: Vec<Vec<f64>> = fit_points.iter().map(|&(x, _)| vec![x, 1.0]).collect();
-    let ys: Vec<f64> = fit_points.iter().map(|&(_, y)| y).collect();
-    if let Some(fit) = radio_analysis::least_squares(&rows, &ys) {
-        println!(
-            "\nfit: rounds ≈ {:.2}·(d·ln n) + {:.2}   (R² = {:.3})\n",
-            fit.coeffs[0], fit.coeffs[1], fit.r_squared
-        );
-        report.push(
-            BenchPoint::new("fit")
-                .field("a", Json::from(fit.coeffs[0]))
-                .field("b", Json::from(fit.coeffs[1]))
-                .field("r_squared", Json::from(fit.r_squared)),
-        );
-    }
-
-    println!(
-        "## Strategy comparison (n = {}, d = ln²n)\n",
-        1usize << exps[exps.len() - 1]
-    );
-    let n = 1usize << exps[exps.len() - 1];
-    let p = (n as f64).ln().powi(2) / n as f64;
-    let d = p * n as f64;
-    let mut t2 = Table::new(vec!["strategy", "rounds", "±sd", "ok"]);
-    let max_rounds = (400.0 * (n as f64).ln()) as u32;
-    let strategies: Vec<(&str, Box<dyn Fn() -> Box<dyn radio_sim::Protocol> + Sync>)> = vec![
-        (
-            "const q=1/d",
-            Box::new(move || Box::new(ConstantProb::new(1.0 / d))),
-        ),
-        (
-            "const q=2/d",
-            Box::new(move || Box::new(ConstantProb::new((2.0 / d).min(1.0)))),
-        ),
-        ("decay", Box::new(|| Box::new(Decay::new()))),
-    ];
-    for (name, make) in &strategies {
-        let seed = point_seed(args.seed, &format!("gossip/strat/{name}"));
-        let rounds: Vec<f64> = run_trials(trials, seed, |_i, rng| {
-            let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-                return f64::NAN;
-            };
-            let mut strat = make();
-            let r = run_radio_gossiping(&g, strat.as_mut(), max_rounds, rng);
-            if r.completed {
-                r.rounds as f64
-            } else {
-                f64::NAN
-            }
-        })
-        .into_iter()
-        .filter(|x| x.is_finite())
-        .collect();
-        let summary = radio_analysis::Summary::of(&rounds);
-        let (mean, sd) = summary
-            .as_ref()
-            .map(|s| (fnum(s.mean, 1), fnum(s.std_dev, 1)))
-            .unwrap_or(("—".into(), "—".into()));
-        t2.add_row(vec![
-            name.to_string(),
-            mean.clone(),
-            sd,
-            format!("{}/{}", rounds.len(), trials),
-        ]);
-        csv.add_row(&[
-            "strategy".to_string(),
-            n.to_string(),
-            name.to_string(),
-            mean,
-            rounds.len().to_string(),
-            trials.to_string(),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("strategy/{name}"))
-                .field("strategy", Json::from(*name))
-                .field("n", Json::from(n))
-                .field(
-                    "rounds",
-                    summary.as_ref().map_or(Json::Null, summary_to_json),
-                )
-                .field("completed", Json::from(rounds.len()))
-                .field("trials", Json::from(trials)),
-        );
-    }
-    println!("{}", t2.render());
-    println!();
-    println!("reading: all-to-all completion scales as Θ(d·ln n): unlike broadcast —");
-    println!("where *any* unique transmitter helps — a rumor's escape from its holder");
-    println!("needs that *specific* node to transmit alone, a Θ(1/d)-per-round event.");
-    println!("So gossiping is polynomially (factor d) slower than broadcast in this");
-    println!("model; whether topology-adaptive schedules can remove the d factor is the");
-    println!("open question the paper's §4 points at.");
-    write_csv("exp_gossip", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("gossip");
 }

@@ -1,143 +1,9 @@
-//! Experiment E-L3 — Lemma 3 (BFS layer structure of `G(n, p)`).
+//! Deprecated alias for `radio-bench run l3`.
 //!
-//! Claim: for a random graph `G(n, p)` with `d = pn`, the BFS layers
-//! `T_i(u)` (a) grow geometrically like `d^i` until they reach size
-//! `Θ(n/d)`, and (b) are *near-trees* away from the last layers: the
-//! fraction of `T_i` with more than one parent in `T_{i−1}` is `O(1/d²)`,
-//! intra-layer edges are `O(|T_i|/d³)` per node, and single-parent nodes
-//! group under shared parents with `O(d)` children each.
-//!
-//! Method: sample `G(n, p)` for several densities, compute the layering from
-//! a random source, and tabulate per-layer measurements against the lemma's
-//! bounds.  Averages are over multiple graph samples.
-
-use radio_analysis::{fnum, fsci, CsvWriter, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
-};
-use radio_bench::report::{BenchPoint, BenchReport};
-use radio_graph::layers::analyze_layers;
-use radio_graph::{Layering, NodeId, Xoshiro256pp};
-use radio_sim::Json;
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::l3` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "BFS layers grow like d^i and are near-trees (Lemma 3)";
-    banner("E-L3", claim, &args);
-    let mut report = BenchReport::new("l3", claim, args.mode(), args.seed);
-
-    let n = args.scale(20_000, 100_000, 400_000);
-    // Degrees pinned to multiples of ln n so every setting sits above the
-    // connectivity threshold regardless of scale.
-    let ln_n = (n as f64).ln();
-    let degrees = [1.5 * ln_n, 4.0 * ln_n, 12.0 * ln_n];
-    let samples = args.trials_or(args.scale(2, 5, 10));
-
-    let mut csv = CsvWriter::new(&[
-        "d",
-        "layer",
-        "size",
-        "predicted_d_pow_i",
-        "multi_parent_frac",
-        "bound_1_over_d2",
-        "intra_edges_per_node",
-        "max_children",
-    ]);
-
-    for &d in &degrees {
-        let p = d / n as f64;
-        println!("## n = {n}, target d = {d:.1} ({:.1}·ln n)\n", d / ln_n);
-        let mut table = Table::new(vec![
-            "layer",
-            "size(avg)",
-            "d^i",
-            "size/d^i",
-            "multi-parent frac",
-            "1/d²",
-            "intra-edges/node",
-            "max children",
-        ]);
-
-        // Accumulate per-layer stats over samples.
-        let max_layers = 40usize;
-        let mut acc: Vec<(f64, f64, f64, f64, usize)> = vec![(0.0, 0.0, 0.0, 0.0, 0); max_layers];
-        let mut counts = vec![0usize; max_layers];
-        for s in 0..samples {
-            let seed = point_seed(args.seed, &format!("l3/{d}/{s}"));
-            let mut rng = Xoshiro256pp::new(seed);
-            let Some((g, _)) = sample_connected_gnp(n, p, &mut rng, 50) else {
-                eprintln!("warning: no connected sample at d = {d}");
-                continue;
-            };
-            let source = rng.below(n as u64) as NodeId;
-            let layering = Layering::new(&g, source);
-            let stats = analyze_layers(&g, &layering);
-            for st in stats.iter().take(max_layers) {
-                let a = &mut acc[st.index];
-                a.0 += st.size as f64;
-                a.1 += st.multi_parent_fraction();
-                a.2 += st.intra_edge_density();
-                a.3 += st.mean_parents;
-                a.4 = a.4.max(st.max_children_per_parent);
-                counts[st.index] += 1;
-            }
-        }
-
-        let realized_d = d; // target ≈ realized for G(n,p)
-        for (i, (&(size, mp, intra, _par, maxc), &cnt)) in acc.iter().zip(&counts).enumerate() {
-            if cnt == 0 {
-                break;
-            }
-            let size = size / cnt as f64;
-            let mp = mp / cnt as f64;
-            let intra = intra / cnt as f64;
-            let pred = realized_d.powi(i as i32).min(n as f64);
-            // Lemma 3's tree bounds apply below the Θ(n/d) saturation point;
-            // mark layers past it.
-            let label = if size >= n as f64 / realized_d {
-                format!("{i} (big)")
-            } else {
-                i.to_string()
-            };
-            table.add_row(vec![
-                label,
-                fnum(size, 1),
-                fsci(pred),
-                fnum(size / pred, 3),
-                fnum(mp, 4),
-                fnum(1.0 / (realized_d * realized_d), 4),
-                fnum(intra, 4),
-                maxc.to_string(),
-            ]);
-            csv.add_row(&[
-                format!("{d}"),
-                i.to_string(),
-                format!("{size}"),
-                format!("{pred}"),
-                format!("{mp}"),
-                format!("{}", 1.0 / (realized_d * realized_d)),
-                format!("{intra}"),
-                maxc.to_string(),
-            ]);
-            report.push(
-                BenchPoint::new(&format!("d={d:.1}/layer={i}"))
-                    .field("d", Json::from(d))
-                    .field("layer", Json::from(i))
-                    .field("size", Json::from(size))
-                    .field("predicted_d_pow_i", Json::from(pred))
-                    .field("multi_parent_frac", Json::from(mp))
-                    .field("intra_edges_per_node", Json::from(intra))
-                    .field("max_children", Json::from(maxc)),
-            );
-        }
-        println!("{}", table.render());
-        println!();
-    }
-
-    println!("reading: size/d^i stays Θ(1) until the layer saturates at Θ(n/d); the");
-    println!("multi-parent fraction of non-final layers tracks the O(1/d²) bound and the");
-    println!("intra-edge density stays far below 1 — the layers are near-trees, which is");
-    println!("what makes parity flooding (phase 1 of Theorem 5) collision-free.");
-    write_csv("exp_l3", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("l3");
 }

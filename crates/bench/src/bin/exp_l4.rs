@@ -1,157 +1,9 @@
-//! Experiment E-L4 — Lemma 4 (independent coverings and matchings).
+//! Deprecated alias for `radio-bench run l4`.
 //!
-//! Claims, for disjoint random sets `X, Y ⊆ V` of `G(n, p)`:
-//!
-//! 1. if `|X| = Θ(n)` and `|X|/|Y| = Ω(1)`, then sampling `S ⊆ X` at rate
-//!    `1/d` yields an independent covering of `Ω(|Y|)` nodes of `Y` w.h.p.
-//!    (this powers the `1/d`-fraction rounds of both algorithms);
-//! 2. if `|X|/|Y| = Ω(d²)`, an independent matching saturating *all* of `Y`
-//!    exists w.h.p. (this finishes off the last `O(n/d²)` uninformed nodes).
-//!
-//! Method: sample `G(n, p)`, split `V` into `X = V ∖ Y` and `Y` of swept
-//! size; (1) run the probabilistic construction and record the covered
-//! fraction of `Y`; (2) run the greedy independent matching and record the
-//! saturation rate, crossing the `|Y| ≈ n/d²` boundary the lemma names.
-
-use radio_analysis::{fnum, mean_ci, proportion_ci, CsvWriter, Table};
-use radio_bench::common::{banner, maybe_write_json, point_seed, write_csv, ExpArgs};
-use radio_bench::report::{BenchPoint, BenchReport};
-use radio_graph::bipartite::{
-    greedy_independent_matching, is_independent_cover, is_independent_matching,
-    random_independent_cover,
-};
-use radio_graph::gnp::sample_gnp;
-use radio_graph::NodeId;
-use radio_sim::{run_trials, Json};
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::l4` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim =
-        "independent coverings cover Ω(|Y|); matchings saturate Y when |X|/|Y| = Ω(d²) (Lemma 4)";
-    banner("E-L4", claim, &args);
-    let mut report = BenchReport::new("l4", claim, args.mode(), args.seed);
-
-    let n = args.scale(4_000, 20_000, 80_000);
-    let d = 30.0;
-    let p = d / n as f64;
-    let trials = args.trials_or(args.scale(10, 30, 100));
-
-    // ---- Part 1: random independent covering -----------------------------
-    println!("## Part 1 — probabilistic independent covering (S ⊆ X at rate 1/d)\n");
-    println!("n = {n}, d = {d}; X = V∖Y\n");
-    let mut t1 = Table::new(vec![
-        "|Y|",
-        "|Y|/n",
-        "covered frac of Y (mean)",
-        "95% CI",
-        "valid",
-    ]);
-    let mut csv = CsvWriter::new(&["part", "y_size", "metric", "value", "trials"]);
-    let y_fracs = [0.5, 0.25, 0.1, 0.02];
-    for &yf in &y_fracs {
-        let y_size = ((n as f64) * yf) as usize;
-        let seed = point_seed(args.seed, &format!("l4/cover/{yf}"));
-        let results: Vec<(f64, bool)> = run_trials(trials, seed, |_i, rng| {
-            let g = sample_gnp(n, p, rng);
-            let y: Vec<NodeId> = (0..y_size as NodeId).collect();
-            let x: Vec<NodeId> = (y_size as NodeId..n as NodeId).collect();
-            let rc = random_independent_cover(&g, &x, &y, 1.0 / d, rng);
-            let frac = rc.covered.len() as f64 / y_size as f64;
-            let valid = is_independent_cover(&g, &rc.transmitters, &rc.covered);
-            (frac, valid)
-        });
-        let fracs: Vec<f64> = results.iter().map(|&(f, _)| f).collect();
-        let valid = results.iter().all(|&(_, v)| v);
-        let ci = mean_ci(&fracs).unwrap();
-        t1.add_row(vec![
-            y_size.to_string(),
-            fnum(yf, 2),
-            fnum(ci.estimate, 3),
-            format!("[{:.3}, {:.3}]", ci.lo, ci.hi),
-            valid.to_string(),
-        ]);
-        csv.add_row(&[
-            "cover".to_string(),
-            y_size.to_string(),
-            "covered_frac".to_string(),
-            format!("{}", ci.estimate),
-            trials.to_string(),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("cover/|Y|={y_size}"))
-                .field("y_size", Json::from(y_size))
-                .field("y_frac", Json::from(yf))
-                .field("covered_frac", Json::from(ci.estimate))
-                .field("ci_lo", Json::from(ci.lo))
-                .field("ci_hi", Json::from(ci.hi))
-                .field("trials", Json::from(trials)),
-        );
-    }
-    println!("{}", t1.render());
-
-    // ---- Part 2: independent matching saturation --------------------------
-    println!("\n## Part 2 — greedy independent matching saturating Y\n");
-    let d2 = (d * d) as usize;
-    println!(
-        "n = {n}, d = {d}, n/d² = {}; lemma predicts full saturation for |Y| ≲ n/d²\n",
-        n / d2
-    );
-    let mut t2 = Table::new(vec![
-        "|Y|",
-        "|Y|·d²/n",
-        "saturation rate (all of Y matched)",
-        "95% CI",
-        "mean matched frac",
-    ]);
-    let ratios = [0.25, 0.5, 1.0, 2.0, 8.0, 32.0];
-    for &r in &ratios {
-        let y_size = (((n as f64) * r / (d * d)) as usize).max(1);
-        let seed = point_seed(args.seed, &format!("l4/match/{r}"));
-        let results: Vec<(bool, f64, bool)> = run_trials(trials, seed, |_i, rng| {
-            let g = sample_gnp(n, p, rng);
-            let y: Vec<NodeId> = (0..y_size as NodeId).collect();
-            let x: Vec<NodeId> = (y_size as NodeId..n as NodeId).collect();
-            let m = greedy_independent_matching(&g, &x, &y);
-            let valid = is_independent_matching(&g, &m);
-            (m.len() == y_size, m.len() as f64 / y_size as f64, valid)
-        });
-        assert!(
-            results.iter().all(|&(_, _, v)| v),
-            "invalid matching produced"
-        );
-        let saturated = results.iter().filter(|&&(s, _, _)| s).count();
-        let mean_frac = results.iter().map(|&(_, f, _)| f).sum::<f64>() / results.len() as f64;
-        let ci = proportion_ci(saturated, results.len()).unwrap();
-        t2.add_row(vec![
-            y_size.to_string(),
-            fnum(r, 2),
-            fnum(ci.estimate, 3),
-            format!("[{:.3}, {:.3}]", ci.lo, ci.hi),
-            fnum(mean_frac, 4),
-        ]);
-        csv.add_row(&[
-            "matching".to_string(),
-            y_size.to_string(),
-            "saturation_rate".to_string(),
-            format!("{}", ci.estimate),
-            trials.to_string(),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("matching/|Y|={y_size}"))
-                .field("y_size", Json::from(y_size))
-                .field("ratio_yd2_over_n", Json::from(r))
-                .field("saturation_rate", Json::from(ci.estimate))
-                .field("ci_lo", Json::from(ci.lo))
-                .field("ci_hi", Json::from(ci.hi))
-                .field("mean_matched_frac", Json::from(mean_frac))
-                .field("trials", Json::from(trials)),
-        );
-    }
-    println!("{}", t2.render());
-    println!();
-    println!("reading: part 1 covers a constant fraction (~1/e·(1−1/e)-ish) of Y at every");
-    println!("ratio, as Lemma 4(1) predicts; part 2 saturates Y completely while |Y| is");
-    println!("below ~n/d² and degrades beyond it, locating Lemma 4(2)'s threshold.");
-    write_csv("exp_l4", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("l4");
 }

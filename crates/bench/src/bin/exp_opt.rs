@@ -1,141 +1,9 @@
-//! Experiment E-OPT — greedy proxy vs the exact optimum on tiny instances.
+//! Deprecated alias for `radio-bench run opt`.
 //!
-//! Experiment `E-T6` upper-bounds OPT with the greedy cover scheduler.  How
-//! tight is that proxy?  On instances small enough for exhaustive search
-//! (`n ≤ 14`), compute the true optimal schedule length by BFS over
-//! knowledge states and compare.  If the greedy is within an additive
-//! constant of OPT at these sizes (it is: ≤ +2, mostly +0/+1), quoting
-//! `greedy/B` ratios at scale as "OPT is Θ(B)" is justified.
-//!
-//! Also reports where the paper's five-phase schedule lands on the same
-//! instances — interestingly, the analyzable structure costs a few rounds
-//! at toy sizes where there is no "giant layer" to exploit.
-
-use radio_analysis::{fnum, proportion_ci, Table};
-use radio_bench::common::{banner, maybe_write_json, point_seed, ExpArgs};
-use radio_bench::report::{BenchPoint, BenchReport};
-use radio_broadcast::centralized::{
-    build_eg_schedule, exact_optimal_rounds, greedy_cover_schedule, CentralizedParams,
-};
-use radio_graph::components::is_connected;
-use radio_graph::gnp::sample_gnp;
-use radio_graph::Xoshiro256pp;
-use radio_sim::{run_trials, Json};
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::opt` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "the greedy OPT-proxy is within +2 of the exact optimum on exhaustive instances";
-    banner("E-OPT", claim, &args);
-    let mut report = BenchReport::new("opt", claim, args.mode(), args.seed);
-
-    let trials = args.trials_or(args.scale(100, 400, 1500));
-    let sizes = [8usize, 10, 12, 14];
-    let densities = [0.25, 0.4, 0.6];
-
-    let mut table = Table::new(vec![
-        "n",
-        "p",
-        "instances",
-        "mean OPT",
-        "mean greedy",
-        "gap=0",
-        "gap=1",
-        "gap≥2",
-        "max gap",
-    ]);
-
-    for &n in &sizes {
-        for &p in &densities {
-            let seed = point_seed(args.seed, &format!("opt/{n}/{p}"));
-            // Each trial: sample a connected instance, solve exactly, run
-            // greedy; report (opt, greedy).
-            let results: Vec<Option<(u32, u32)>> = run_trials(trials, seed, |_i, rng| {
-                let g = sample_gnp(n, p, rng);
-                if !is_connected(&g) {
-                    return None;
-                }
-                let opt = exact_optimal_rounds(&g, 0)?;
-                let mut grng = Xoshiro256pp::new(rng.next());
-                let greedy = greedy_cover_schedule(&g, 0, 1000, &mut grng);
-                debug_assert!(greedy.completed);
-                Some((opt, greedy.len() as u32))
-            });
-            let pairs: Vec<(u32, u32)> = results.into_iter().flatten().collect();
-            if pairs.is_empty() {
-                continue;
-            }
-            let count = pairs.len();
-            let mean_opt = pairs.iter().map(|&(o, _)| o as f64).sum::<f64>() / count as f64;
-            let mean_greedy = pairs.iter().map(|&(_, g)| g as f64).sum::<f64>() / count as f64;
-            let gap0 = pairs.iter().filter(|&&(o, g)| g == o).count();
-            let gap1 = pairs.iter().filter(|&&(o, g)| g == o + 1).count();
-            let gap2 = pairs.iter().filter(|&&(o, g)| g >= o + 2).count();
-            let max_gap = pairs.iter().map(|&(o, g)| g - o).max().unwrap();
-            table.add_row(vec![
-                n.to_string(),
-                fnum(p, 2),
-                count.to_string(),
-                fnum(mean_opt, 2),
-                fnum(mean_greedy, 2),
-                fnum(gap0 as f64 / count as f64, 3),
-                fnum(gap1 as f64 / count as f64, 3),
-                fnum(gap2 as f64 / count as f64, 3),
-                max_gap.to_string(),
-            ]);
-            report.push(
-                BenchPoint::new(&format!("n={n}/p={p}"))
-                    .field("n", Json::from(n))
-                    .field("p", Json::from(p))
-                    .field("instances", Json::from(count))
-                    .field("mean_opt", Json::from(mean_opt))
-                    .field("mean_greedy", Json::from(mean_greedy))
-                    .field("gap0_frac", Json::from(gap0 as f64 / count as f64))
-                    .field("gap1_frac", Json::from(gap1 as f64 / count as f64))
-                    .field("gap2_frac", Json::from(gap2 as f64 / count as f64))
-                    .field("max_gap", Json::from(max_gap)),
-            );
-        }
-    }
-    println!("{}", table.render());
-
-    // Bonus row: the five-phase schedule at toy scale.
-    println!("\n## Five-phase (Theorem 5) schedule at toy scale, n = 14, p = 0.4\n");
-    let seed = point_seed(args.seed, "opt/eg");
-    let results: Vec<Option<(u32, u32)>> = run_trials(trials.min(300), seed, |_i, rng| {
-        let g = sample_gnp(14, 0.4, rng);
-        if !is_connected(&g) {
-            return None;
-        }
-        let opt = exact_optimal_rounds(&g, 0)?;
-        let mut grng = Xoshiro256pp::new(rng.next());
-        let eg = build_eg_schedule(&g, 0, CentralizedParams::default(), &mut grng);
-        eg.completed.then_some((opt, eg.len() as u32))
-    });
-    let pairs: Vec<(u32, u32)> = results.into_iter().flatten().collect();
-    if !pairs.is_empty() {
-        let within3 = pairs.iter().filter(|&&(o, g)| g <= o + 3).count();
-        let ci = proportion_ci(within3, pairs.len()).unwrap();
-        let mean_opt = pairs.iter().map(|&(o, _)| o as f64).sum::<f64>() / pairs.len() as f64;
-        let mean_eg = pairs.iter().map(|&(_, g)| g as f64).sum::<f64>() / pairs.len() as f64;
-        println!(
-            "mean OPT {:.2}, mean five-phase {:.2}; within +3 of OPT on {:.0}% of instances [{:.0}%, {:.0}%]",
-            mean_opt,
-            mean_eg,
-            100.0 * ci.estimate,
-            100.0 * ci.lo,
-            100.0 * ci.hi
-        );
-        report.push(
-            BenchPoint::new("five_phase_toy")
-                .field("instances", Json::from(pairs.len()))
-                .field("mean_opt", Json::from(mean_opt))
-                .field("mean_eg", Json::from(mean_eg))
-                .field("within3_rate", Json::from(ci.estimate)),
-        );
-    }
-    println!();
-    println!("reading: the greedy proxy equals OPT on most instances and never trails by");
-    println!("more than a small constant — so greedy round counts at scale faithfully");
-    println!("track OPT, which is what E-T6's sandwich argument needs.");
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("opt");
 }

@@ -1,174 +1,9 @@
-//! Experiment E-ROB — fault injection: broadcast under reception loss.
+//! Deprecated alias for `radio-bench run robust`.
 //!
-//! Extension beyond the paper: real radios lose packets to fading and noise
-//! even without collisions.  The simulator's fault-injection mode drops each
-//! otherwise-successful reception independently with probability `f`
-//! ([`radio_sim::RunConfig::with_loss`]).  Random-graph broadcast should be
-//! robust: a lost delivery is retried by later selective rounds, so the
-//! expected slowdown is roughly `1/(1−f)` and completion is maintained
-//! until `f` approaches 1.
-//!
-//! Method: fix `(n, p)`, sweep `f`, run the EG protocol and Decay; record
-//! completion rate and mean rounds.  A second table runs the multi-source
-//! variant — at polylog density the flood phase is only ~2 rounds, so the
-//! expected (and observed) effect of extra sources is near nil.
-
-#![allow(clippy::type_complexity)]
-
-use radio_analysis::{fnum, proportion_ci, CsvWriter, Summary, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
-};
-use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
-use radio_broadcast::distributed::{Decay, EgDistributed};
-use radio_graph::NodeId;
-use radio_sim::{
-    run_protocol, run_protocol_multi, run_trials, Json, Protocol, RunConfig, TraceLevel,
-};
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::robust` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim =
-        "broadcast under per-reception loss f: rounds grow ≈ 1/(1−f), completion maintained";
-    banner("E-ROB", claim, &args);
-    let mut report = BenchReport::new("robust", claim, args.mode(), args.seed);
-
-    let n = args.scale(1 << 11, 1 << 13, 1 << 15);
-    let p = (n as f64).ln().powi(2) / n as f64;
-    let trials = args.trials_or(args.scale(8, 25, 60));
-    let losses = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9];
-
-    println!(
-        "n = {n}, d = {:.1}, {trials} trials per cell\n",
-        p * n as f64
-    );
-    println!("## Loss sweep\n");
-
-    let mut table = Table::new(vec![
-        "protocol",
-        "loss f",
-        "completion",
-        "rounds",
-        "±sd",
-        "slowdown vs f=0",
-        "1/(1−f)",
-    ]);
-    let mut csv = CsvWriter::new(&["protocol", "loss", "completions", "trials", "mean_rounds"]);
-
-    for proto_name in ["eg-distributed", "decay"] {
-        let mut baseline: Option<f64> = None;
-        for &f in &losses {
-            let seed = point_seed(args.seed, &format!("rob/{proto_name}/{f}"));
-            let results: Vec<Option<u32>> = run_trials(trials, seed, |_i, rng| {
-                let (g, _) = sample_connected_gnp(n, p, rng, 50)?;
-                let source = rng.below(n as u64) as NodeId;
-                let cfg = RunConfig::for_graph(n)
-                    .with_loss(f)
-                    .with_trace(TraceLevel::SummaryOnly);
-                let mut proto: Box<dyn Protocol> = match proto_name {
-                    "eg-distributed" => Box::new(EgDistributed::new(p)),
-                    _ => Box::new(Decay::new()),
-                };
-                let r = run_protocol(&g, source, proto.as_mut(), cfg, rng);
-                r.completed.then_some(r.rounds)
-            });
-            let rounds: Vec<f64> = results.iter().flatten().map(|&r| r as f64).collect();
-            let completions = rounds.len();
-            let ci = proportion_ci(completions, trials).unwrap();
-            let s = Summary::of(&rounds);
-            let mean = s.as_ref().map(|s| s.mean);
-            if f == 0.0 {
-                baseline = mean;
-            }
-            let slowdown = match (mean, baseline) {
-                (Some(m), Some(b)) if b > 0.0 => fnum(m / b, 2),
-                _ => "—".into(),
-            };
-            table.add_row(vec![
-                proto_name.to_string(),
-                fnum(f, 2),
-                fnum(ci.estimate, 2),
-                s.as_ref().map(|s| fnum(s.mean, 1)).unwrap_or("—".into()),
-                s.as_ref().map(|s| fnum(s.std_dev, 1)).unwrap_or("—".into()),
-                slowdown,
-                fnum(1.0 / (1.0 - f).max(1e-9), 2),
-            ]);
-            csv.add_row(&[
-                proto_name.to_string(),
-                format!("{f}"),
-                completions.to_string(),
-                trials.to_string(),
-                mean.map(|m| format!("{m}")).unwrap_or_default(),
-            ]);
-            report.push(
-                BenchPoint::new(&format!("{proto_name}/f={f}"))
-                    .field("protocol", Json::from(proto_name))
-                    .field("loss", Json::from(f))
-                    .field("completion_rate", Json::from(ci.estimate))
-                    .field("ci_lo", Json::from(ci.lo))
-                    .field("ci_hi", Json::from(ci.hi))
-                    .field("rounds", s.as_ref().map_or(Json::Null, summary_to_json))
-                    .field("trials", Json::from(trials)),
-            );
-        }
-    }
-    println!("{}", table.render());
-
-    // ---- multi-source -----------------------------------------------------
-    println!("\n## Multi-source broadcast (no loss): k sources\n");
-    let mut t2 = Table::new(vec!["k sources", "rounds", "±sd", "ok"]);
-    for &k in &[1usize, 2, 4, 16, 64] {
-        let seed = point_seed(args.seed, &format!("rob/multi/{k}"));
-        let rounds: Vec<f64> = run_trials(trials, seed, |_i, rng| {
-            let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-                return f64::NAN;
-            };
-            let sources: Vec<NodeId> = (0..k).map(|_| rng.below(n as u64) as NodeId).collect();
-            let mut proto = EgDistributed::new(p);
-            let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
-            let r = run_protocol_multi(&g, &sources, &mut proto, cfg, rng);
-            if r.completed {
-                r.rounds as f64
-            } else {
-                f64::NAN
-            }
-        })
-        .into_iter()
-        .filter(|x| x.is_finite())
-        .collect();
-        let Some(s) = Summary::of(&rounds) else {
-            continue;
-        };
-        t2.add_row(vec![
-            k.to_string(),
-            fnum(s.mean, 1),
-            fnum(s.std_dev, 1),
-            format!("{}/{}", rounds.len(), trials),
-        ]);
-        csv.add_row(&[
-            format!("multi-k{k}"),
-            "0".to_string(),
-            rounds.len().to_string(),
-            trials.to_string(),
-            format!("{}", s.mean),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("multi-source/k={k}"))
-                .field("k", Json::from(k))
-                .field("rounds", summary_to_json(&s))
-                .field("completed", Json::from(rounds.len()))
-                .field("trials", Json::from(trials)),
-        );
-    }
-    println!("{}", t2.render());
-    println!();
-    println!("reading: completion stays at 1.0 through f = 0.9 for both protocols — the");
-    println!("selective phases simply retry lost deliveries. Slowdown tracks the 1/(1−f)");
-    println!("heuristic, drifting somewhat above it at extreme loss (the last stragglers");
-    println!("need several consecutive successes). Extra sources barely help here: the");
-    println!("EG flood phase is only D₁ ≈ log_d n ≈ 2 rounds at this density, so there");
-    println!("is almost nothing for k sources to shave — robustness comes from the");
-    println!("selective phase, not the flood.");
-    write_csv("exp_robust", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("robust");
 }

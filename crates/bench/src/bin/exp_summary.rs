@@ -1,283 +1,9 @@
-//! Experiment E-SUM — one-page performance summary (`BENCH_sim.json`).
+//! Deprecated alias for `radio-bench run summary`.
 //!
-//! Aggregates the repo's three headline performance numbers into a single
-//! versioned [`BenchReport`] committed at the repository root as
-//! `BENCH_sim.json`, so the trajectory of the simulator is visible across
-//! PRs without re-running every experiment:
-//!
-//! 1. **round-engine throughput** — `execute_round` at the `1/d`
-//!    transmitter fraction the protocols use, in transmitters/second, plus
-//!    the no-op-observer replay to pin the "observer is free" invariant;
-//! 2. **schedule-build time** — `build_eg_schedule` (the five-phase
-//!    centralized construction) wall time at a fixed `(n, p)`;
-//! 3. **protocol round counts** — eg-distributed and decay at a fixed
-//!    `(n, p)` with 95% confidence intervals.
-//!
-//! Section 1b adds the forced sparse-vs-dense kernel pair and section 1c
-//! the lane-batched trial kernel against its scalar equivalent (64 trials
-//! per adjacency sweep; `elems/s` there is *trial* throughput).
-//!
-//! Unlike the other experiments, this one writes JSON *by default*: to
-//! `BENCH_sim.json` in the current directory unless `--json PATH` (or
-//! `RADIO_JSON_OUT`) overrides the destination.
-
-use radio_bench::common::{banner, measure_protocol, point_seed, ExpArgs};
-use radio_bench::harness::Harness;
-use radio_bench::report::{protocol_point_to_json, BenchReport};
-use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
-use radio_broadcast::distributed::{Decay, EgDistributed};
-use radio_graph::gnp::sample_gnp;
-use radio_graph::{NodeId, Xoshiro256pp};
-use radio_sim::batch::{execute_lane_round, LaneScratch};
-use radio_sim::{
-    run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json, NoopObserver,
-    RoundEngine, Schedule, TraceLevel, TransmitterPolicy,
-};
-use std::hint::black_box;
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::summary` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "aggregate performance summary: engine throughput, schedule build, protocol rounds";
-    banner("E-SUM", claim, &args);
-    let mut report = BenchReport::new("sim_summary", claim, args.mode(), args.seed);
-
-    // ---- 1. round-engine throughput ---------------------------------------
-    let n = args.scale(20_000, 50_000, 100_000);
-    let d = 50.0;
-    println!("## 1. Round-engine throughput (n = {n}, d = {d})\n");
-    let mut h = Harness::new("engine");
-    h.sample_size(args.scale(5, 10, 20));
-    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/engine"));
-    let g = sample_gnp(n, d / n as f64, &mut rng);
-    let mut state = BroadcastState::new(n, 0);
-    for v in 0..(n / 2) as NodeId {
-        state.inform(v, 0);
-    }
-    let transmitters: Vec<NodeId> = (0..(n / 2) as NodeId)
-        .filter(|_| rng.next_f64() < 1.0 / d)
-        .collect();
-    // Forced sparse so this label stays comparable with the committed
-    // baseline across PRs (the kernel comparison has its own points below).
-    let mut engine = RoundEngine::new(&g).with_kernel(EngineKernel::Sparse);
-    h.bench_with_throughput(
-        "execute_round_frac_1_over_d",
-        Some(transmitters.len() as u64),
-        || {
-            let mut st = state.clone();
-            black_box(engine.execute_round(&mut st, &transmitters, 1))
-        },
-    );
-    let schedule = Schedule::from_rounds(vec![transmitters.clone(); 8]);
-    h.bench("replay_plain", || {
-        black_box(run_schedule(
-            &g,
-            0,
-            &schedule,
-            TransmitterPolicy::InformedOnly,
-            TraceLevel::SummaryOnly,
-        ))
-    });
-    h.bench("replay_noop_observer", || {
-        black_box(run_schedule_observed(
-            &g,
-            0,
-            &schedule,
-            TransmitterPolicy::InformedOnly,
-            TraceLevel::SummaryOnly,
-            &mut NoopObserver,
-        ))
-    });
-    for stats in h.results() {
-        let mut point = stats.to_point();
-        point.label = format!("engine/{}", point.label);
-        if point.label == "engine/execute_round_frac_1_over_d" {
-            point = point.field("kernel", Json::from("sparse"));
-        }
-        report.push(point);
-    }
-
-    // ---- 1b. kernel comparison: dense vs sparse ---------------------------
-    // Dense-favourable regime: small n (the adjacency bitmap is 8 MiB, well
-    // under the cap) and high degree, at the same 1/d transmitter fraction.
-    let nk = 8192usize;
-    let dk = 81.0;
-    println!("\n## 1b. Kernel comparison (n = {nk}, d = {dk})\n");
-    let mut hk = Harness::new("engine");
-    hk.sample_size(args.scale(10, 20, 40));
-    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/kernel"));
-    let gk = sample_gnp(nk, dk / nk as f64, &mut rng);
-    let mut state_k = BroadcastState::new(nk, 0);
-    for v in 0..(nk / 2) as NodeId {
-        state_k.inform(v, 0);
-    }
-    let tx_k: Vec<NodeId> = (0..(nk / 2) as NodeId)
-        .filter(|_| rng.next_f64() < 1.0 / dk)
-        .collect();
-    let mut bitmap_build_ns = None;
-    for (label, kernel) in [
-        ("execute_round_sparse_frac_1_over_d", EngineKernel::Sparse),
-        ("execute_round_dense_frac_1_over_d", EngineKernel::Dense),
-    ] {
-        let mut eng = RoundEngine::new(&gk).with_kernel(kernel);
-        hk.bench_with_throughput(label, Some(tx_k.len() as u64), || {
-            let mut st = state_k.clone();
-            black_box(eng.execute_round(&mut st, &tx_k, 1))
-        });
-        if let Some(ns) = eng.bitmap_build_ns() {
-            bitmap_build_ns = Some(ns);
-        }
-    }
-    for stats in hk.results() {
-        let mut point = stats.to_point();
-        let kernel = if point.label.contains("dense") {
-            "dense"
-        } else {
-            "sparse"
-        };
-        point.label = format!("engine/{}", point.label);
-        point = point.field("kernel", Json::from(kernel));
-        if kernel == "dense" {
-            if let Some(ns) = bitmap_build_ns {
-                point = point.field("bitmap_build_ns", Json::from(ns));
-            }
-        }
-        report.push(point);
-    }
-
-    // ---- 1c. lane-batched trial kernel ------------------------------------
-    // Same regime as 1b, but 64 independent trials share one adjacency
-    // sweep (`radio_sim::batch`): per-lane transmit sets drawn i.i.d. at
-    // the 1/d fraction over the same informed half.  `elems` counts
-    // transmitters summed over all lanes, so elems/s is trial throughput,
-    // directly comparable with the scalar per-round points above.
-    let lanes = radio_sim::MAX_LANES;
-    println!("\n## 1c. Lane-batched trial kernel (n = {nk}, d = {dk}, {lanes} lanes)\n");
-    let mut hb = Harness::new("batch");
-    hb.sample_size(args.scale(10, 20, 40));
-    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/batch"));
-    let mut t = vec![0u64; nk];
-    let mut tx_nodes: Vec<NodeId> = Vec::new();
-    let mut lane_tx: Vec<Vec<NodeId>> = vec![Vec::new(); lanes];
-    let mut total_tx = 0u64;
-    for (v, word) in t.iter_mut().enumerate().take(nk / 2) {
-        let mut w = 0u64;
-        for (l, tx) in lane_tx.iter_mut().enumerate() {
-            if rng.next_f64() < 1.0 / dk {
-                w |= 1 << l;
-                tx.push(v as NodeId);
-            }
-        }
-        if w != 0 {
-            *word = w;
-            tx_nodes.push(v as NodeId);
-            total_tx += u64::from(w.count_ones());
-        }
-    }
-    let informed0: Vec<u64> = (0..nk)
-        .map(|v| if v < nk / 2 { u64::MAX } else { 0 })
-        .collect();
-    let mut scratch = LaneScratch::new(nk);
-    hb.bench_with_throughput("lane_round_64x_frac_1_over_d", Some(total_tx), || {
-        let mut inf = informed0.clone();
-        execute_lane_round(
-            &gk,
-            &mut scratch,
-            &t,
-            &tx_nodes,
-            &mut inf,
-            false,
-            |_, _, _, e1| e1,
-        );
-        black_box(inf[nk - 1])
-    });
-    // The same 64 per-lane transmitter sets executed one-by-one through the
-    // scalar sparse kernel — the apples-to-apples baseline for the point
-    // above (identical work, identical `elems`).
-    let mut eng = RoundEngine::new(&gk).with_kernel(EngineKernel::Sparse);
-    hb.bench_with_throughput("scalar_rounds_64x_frac_1_over_d", Some(total_tx), || {
-        let mut newly = 0usize;
-        for tx in &lane_tx {
-            let mut st = state_k.clone();
-            newly += eng.execute_round(&mut st, tx, 1).newly_informed;
-        }
-        black_box(newly)
-    });
-    for stats in hb.results() {
-        let mut point = stats.to_point();
-        let batched = point.label.contains("lane_round");
-        point.label = format!("batch/{}", point.label);
-        if batched {
-            point = point
-                .field("kernel", Json::from("batch"))
-                .field("batch_lanes", Json::from(lanes));
-        } else {
-            point = point.field("kernel", Json::from("sparse"));
-        }
-        report.push(point);
-    }
-
-    // ---- 2. schedule-build time -------------------------------------------
-    let ns = args.scale(4_000, 10_000, 30_000);
-    let ps = (ns as f64).ln().powi(2) / ns as f64;
-    println!("\n## 2. Centralized schedule build (n = {ns}, d = ln²n)\n");
-    let mut hs = Harness::new("schedule");
-    hs.sample_size(args.scale(3, 5, 10));
-    let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/schedule"));
-    let gs = sample_gnp(ns, ps, &mut rng);
-    hs.bench("build_eg_schedule", || {
-        let mut r = Xoshiro256pp::new(42);
-        black_box(build_eg_schedule(
-            &gs,
-            0,
-            CentralizedParams::default(),
-            &mut r,
-        ))
-    });
-    for stats in hs.results() {
-        let mut point = stats.to_point();
-        point.label = format!("schedule/{}", point.label);
-        report.push(point);
-    }
-
-    // ---- 3. protocol round counts with CIs --------------------------------
-    let np = args.scale(1 << 12, 1 << 13, 1 << 15);
-    let pp = (np as f64).ln().powi(2) / np as f64;
-    let trials = args.trials_or(args.scale(8, 20, 50));
-    println!("\n## 3. Protocol round counts (n = {np}, d = ln²n, {trials} trials)\n");
-    for proto_name in ["eg-distributed", "decay"] {
-        let seed = point_seed(args.seed, &format!("sum/proto/{proto_name}"));
-        let point = match proto_name {
-            "eg-distributed" => measure_protocol(np, pp, trials, seed, || EgDistributed::new(pp)),
-            _ => measure_protocol(np, pp, trials, seed, Decay::new),
-        };
-        let ci = point
-            .rounds
-            .as_ref()
-            .map(|s| (s.mean - 1.96 * s.std_err(), s.mean + 1.96 * s.std_err()));
-        match (&point.rounds, ci) {
-            (Some(s), Some((lo, hi))) => println!(
-                "{proto_name:>16}: mean {:.1} rounds  95% CI [{lo:.1}, {hi:.1}]  ({}/{} completed)",
-                s.mean, point.completed, point.trials
-            ),
-            _ => println!("{proto_name:>16}: no completions"),
-        }
-        let mut jp = protocol_point_to_json(&format!("protocol/{proto_name}"), &point);
-        if let Some((lo, hi)) = ci {
-            jp = jp
-                .field("rounds_ci_lo", Json::from(lo))
-                .field("rounds_ci_hi", Json::from(hi));
-        }
-        report.push(jp);
-    }
-
-    // Default destination: BENCH_sim.json at the repo root (cwd when run via
-    // `cargo run`); `--json`/`RADIO_JSON_OUT` overrides.
-    let path = args
-        .json_out
-        .clone()
-        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_sim.json"));
-    match report.write(&path) {
-        Ok(()) => println!("\nsummary report written to {}", path.display()),
-        Err(e) => eprintln!("\nwarning: cannot write {}: {e}", path.display()),
-    }
+    radio_bench::registry::run_named("summary");
 }

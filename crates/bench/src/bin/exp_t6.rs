@@ -1,228 +1,9 @@
-//! Experiment E-T6 — Theorem 6 (centralized lower bound).
+//! Deprecated alias for `radio-bench run t6`.
 //!
-//! Claim: even with full topology knowledge, no schedule broadcasts on
-//! `G(n, p)` in `o(ln n / ln d + ln d)` rounds, w.h.p.
-//!
-//! Method, following the proof's structure:
-//!
-//! 1. **Normal-form ensembles.** The proof reduces any short schedule to a
-//!    normal form (dense case `p = 1/2`: pairwise disjoint sets of size ≤ 2;
-//!    sparse case: sets of size ≤ n/d) and shows each such schedule leaves a
-//!    node uninformed w.h.p. under a *relaxed* reception rule that favors
-//!    the adversary.  We sample many normal-form schedules of length
-//!    `c · B(n,d)` (where `B = ln n/ln d + ln d` is the upper-bound scale)
-//!    for a grid of `c` and report the completion probability — it must be
-//!    ≈ 0 for `c` below a constant and rise toward 1 well above it.
-//! 2. **Best-effort schedule.** A greedy cover scheduler (an upper bound on
-//!    OPT) is run on the same instances; its round count stays *above* a
-//!    constant multiple of `B(n, d)`, locating OPT between the two.
-
-use radio_analysis::{fnum, proportion_ci, CsvWriter, Summary, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
-};
-use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
-use radio_broadcast::centralized::greedy_cover_schedule;
-use radio_broadcast::lower_bound::{run_relaxed, sample_bounded_sets, sample_disjoint_small_sets};
-use radio_broadcast::theory::centralized_bound;
-use radio_graph::{child_rng, gnp::sample_gnp, NodeId, Xoshiro256pp};
-use radio_sim::run_trials;
-use radio_sim::Json;
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::t6` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "no centralized schedule completes in o(ln n/ln d + ln d) rounds (Theorem 6)";
-    banner("E-T6", claim, &args);
-    let mut report = BenchReport::new("t6", claim, args.mode(), args.seed);
-
-    let schedules_per_point = args.trials_or(args.scale(200, 2000, 10_000));
-
-    // ---- Part 1a: dense case, p = 1/2, disjoint sets of size ≤ 2 ---------
-    println!("## Dense case p = 1/2 — random normal-form schedules (disjoint sets, |S| ≤ 2)\n");
-    let n_dense = args.scale(256, 512, 1024);
-    let g_seed = point_seed(args.seed, "t6/dense/graph");
-    let g = sample_gnp(n_dense, 0.5, &mut Xoshiro256pp::new(g_seed));
-    let d = g.average_degree();
-    let bound = centralized_bound(n_dense, d);
-
-    let mut table = Table::new(vec![
-        "c",
-        "rounds",
-        "completion rate",
-        "95% CI",
-        "mean uninformed",
-    ]);
-    let mut csv = CsvWriter::new(&[
-        "case",
-        "n",
-        "c",
-        "rounds",
-        "completions",
-        "trials",
-        "mean_uninformed",
-    ]);
-    for &c in &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
-        let rounds = ((c * bound).ceil() as usize).max(1).min(n_dense / 2);
-        let seed = point_seed(args.seed, &format!("t6/dense/{c}"));
-        let outcomes: Vec<(bool, usize)> = run_trials(schedules_per_point, seed, |_i, rng| {
-            let sched = sample_disjoint_small_sets(n_dense, rounds, rng);
-            let r = run_relaxed(&g, 0, &sched);
-            (r.completed, r.n - r.informed)
-        });
-        let completions = outcomes.iter().filter(|&&(c, _)| c).count();
-        let mean_uninf =
-            outcomes.iter().map(|&(_, u)| u as f64).sum::<f64>() / outcomes.len() as f64;
-        let ci = proportion_ci(completions, outcomes.len()).unwrap();
-        table.add_row(vec![
-            fnum(c, 1),
-            rounds.to_string(),
-            fnum(ci.estimate, 4),
-            format!("[{:.4}, {:.4}]", ci.lo, ci.hi),
-            fnum(mean_uninf, 2),
-        ]);
-        csv.add_row(&[
-            "dense".to_string(),
-            n_dense.to_string(),
-            format!("{c}"),
-            rounds.to_string(),
-            completions.to_string(),
-            outcomes.len().to_string(),
-            format!("{mean_uninf}"),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("dense/c={c}"))
-                .field("n", Json::from(n_dense))
-                .field("c", Json::from(c))
-                .field("rounds", Json::from(rounds))
-                .field("completion_rate", Json::from(ci.estimate))
-                .field("ci_lo", Json::from(ci.lo))
-                .field("ci_hi", Json::from(ci.hi))
-                .field("mean_uninformed", Json::from(mean_uninf))
-                .field("trials", Json::from(outcomes.len())),
-        );
-    }
-    println!("n = {n_dense}, d̄ = {d:.1}, B(n,d) = {bound:.1} rounds\n");
-    println!("{}", table.render());
-
-    // ---- Part 1b: sparse case, sets of size ≤ n/d -------------------------
-    println!("\n## Sparse case — random schedules with |S| ≤ n/d\n");
-    let n_sparse = args.scale(1 << 10, 1 << 12, 1 << 14);
-    let p_sparse = (n_sparse as f64).ln().powi(2) / n_sparse as f64;
-    let gs_seed = point_seed(args.seed, "t6/sparse/graph");
-    let gs = sample_gnp(n_sparse, p_sparse, &mut Xoshiro256pp::new(gs_seed));
-    let ds = gs.average_degree();
-    let bounds = centralized_bound(n_sparse, ds);
-    let max_set = ((n_sparse as f64 / ds) as usize).max(2);
-
-    let mut table2 = Table::new(vec![
-        "c",
-        "rounds",
-        "completion rate",
-        "95% CI",
-        "mean uninformed",
-    ]);
-    for &c in &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
-        let rounds = ((c * bounds).ceil() as usize).max(1);
-        let seed = point_seed(args.seed, &format!("t6/sparse/{c}"));
-        let outcomes: Vec<(bool, usize)> = run_trials(schedules_per_point / 4, seed, |_i, rng| {
-            let sched = sample_bounded_sets(n_sparse, rounds, max_set, rng);
-            let r = run_relaxed(&gs, 0, &sched);
-            (r.completed, r.n - r.informed)
-        });
-        let completions = outcomes.iter().filter(|&&(c, _)| c).count();
-        let mean_uninf =
-            outcomes.iter().map(|&(_, u)| u as f64).sum::<f64>() / outcomes.len() as f64;
-        let ci = proportion_ci(completions, outcomes.len()).unwrap();
-        table2.add_row(vec![
-            fnum(c, 1),
-            rounds.to_string(),
-            fnum(ci.estimate, 4),
-            format!("[{:.4}, {:.4}]", ci.lo, ci.hi),
-            fnum(mean_uninf, 2),
-        ]);
-        csv.add_row(&[
-            "sparse".to_string(),
-            n_sparse.to_string(),
-            format!("{c}"),
-            rounds.to_string(),
-            completions.to_string(),
-            (schedules_per_point / 4).to_string(),
-            format!("{mean_uninf}"),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("sparse/c={c}"))
-                .field("n", Json::from(n_sparse))
-                .field("c", Json::from(c))
-                .field("rounds", Json::from(rounds))
-                .field("completion_rate", Json::from(ci.estimate))
-                .field("ci_lo", Json::from(ci.lo))
-                .field("ci_hi", Json::from(ci.hi))
-                .field("mean_uninformed", Json::from(mean_uninf))
-                .field("trials", Json::from(schedules_per_point / 4)),
-        );
-    }
-    println!("n = {n_sparse}, d̄ = {ds:.1}, B(n,d) = {bounds:.1}, |S| ≤ {max_set}\n");
-    println!("{}", table2.render());
-
-    // ---- Part 2: best-effort greedy schedule vs the bound -----------------
-    println!("\n## Greedy best-effort schedule (upper bound on OPT) vs B(n,d)\n");
-    let mut table3 = Table::new(vec![
-        "n",
-        "d(avg)",
-        "greedy rounds",
-        "±sd",
-        "B(n,d)",
-        "greedy/B",
-    ]);
-    let greedy_trials = args.scale(3, 8, 15);
-    let exps: Vec<u32> = args.scale(vec![10, 11], vec![10, 12, 14], vec![10, 12, 14, 16]);
-    for &k in &exps {
-        let n = 1usize << k;
-        let p = (n as f64).ln().powi(2) / n as f64;
-        let seed = point_seed(args.seed, &format!("t6/greedy/{n}"));
-        let rounds: Vec<f64> = run_trials(greedy_trials, seed, |_i, rng| {
-            let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-                return f64::NAN;
-            };
-            let source = rng.below(n as u64) as NodeId;
-            let built = greedy_cover_schedule(&g, source, 100_000, rng);
-            if built.completed {
-                built.len() as f64
-            } else {
-                f64::NAN
-            }
-        })
-        .into_iter()
-        .filter(|x| x.is_finite())
-        .collect();
-        let Some(s) = Summary::of(&rounds) else {
-            continue;
-        };
-        // Realized degree from one sample for the bound column.
-        let mut rng = child_rng(seed, 999);
-        let d = sample_gnp(n, p, &mut rng).average_degree();
-        let b = centralized_bound(n, d);
-        table3.add_row(vec![
-            n.to_string(),
-            fnum(d, 1),
-            fnum(s.mean, 1),
-            fnum(s.std_dev, 1),
-            fnum(b, 1),
-            fnum(s.mean / b, 2),
-        ]);
-        report.push(
-            BenchPoint::new(&format!("greedy/n={n}"))
-                .field("n", Json::from(n))
-                .field("mean_degree", Json::from(d))
-                .field("rounds", summary_to_json(&s))
-                .field("bound", Json::from(b))
-                .field("rounds_over_bound", Json::from(s.mean / b)),
-        );
-    }
-    println!("{}", table3.render());
-    println!("\nreading: completion probability ≈ 0 for c ≲ 4 (schedules an order of");
-    println!("magnitude longer than B still fail), and even the greedy OPT proxy needs");
-    println!("a constant multiple of B — OPT is sandwiched within Θ(ln n/ln d + ln d).");
-    write_csv("exp_t6", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("t6");
 }

@@ -1,139 +1,9 @@
-//! Experiment E-T7 — Theorem 7 (distributed upper bound).
+//! Deprecated alias for `radio-bench run t7`.
 //!
-//! Claim: the randomized fully distributed protocol (nodes know only `n` and
-//! `p`) broadcasts on `G(n, p)` in `O(ln n)` rounds w.h.p.
-//!
-//! Method: sweep `n` over powers of two in three density regimes, run the
-//! EG protocol on connected samples from a random source, record rounds to
-//! completion.  The claim holds if `rounds / ln n` is bounded by a constant
-//! independent of `n` and regime, i.e. the fit `rounds ≈ a·ln n + b` has a
-//! stable positive slope and high `R²`.
-
-#![allow(clippy::type_complexity)]
-
-use radio_analysis::{fit_log_form, fnum, CsvWriter, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, measure_protocol, point_seed, write_csv, ExpArgs,
-};
-use radio_bench::report::{protocol_point_to_json, BenchReport};
-use radio_broadcast::distributed::EgDistributed;
-use radio_broadcast::theory::distributed_bound;
-use radio_sim::Json;
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::t7` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "distributed broadcast in O(ln n) rounds knowing only n, p (Theorem 7)";
-    banner("E-T7", claim, &args);
-    let mut report = BenchReport::new("t7", claim, args.mode(), args.seed);
-
-    let exps: Vec<u32> = match () {
-        _ if args.quick => vec![10, 12],
-        _ if args.full => (10..=18).collect(),
-        _ => (10..=16).collect(),
-    };
-    let trials = args.trials_or(args.scale(8, 25, 50));
-
-    let regimes: Vec<(&str, fn(usize) -> f64, usize)> = vec![
-        (
-            "polylog ln²n/n",
-            |n| (n as f64).ln().powi(2) / n as f64,
-            usize::MAX,
-        ),
-        ("sqrt n^-1/2", |n| (n as f64).powf(-0.5), 1 << 16),
-        ("const p=0.05", |_| 0.05, 1 << 13),
-    ];
-
-    let mut table = Table::new(vec![
-        "regime",
-        "n",
-        "d(avg)",
-        "rounds",
-        "±sd",
-        "ln n",
-        "rounds/ln n",
-        "ok",
-    ]);
-    let mut csv = CsvWriter::new(&[
-        "regime",
-        "n",
-        "p",
-        "mean_degree",
-        "mean_rounds",
-        "sd_rounds",
-        "ln_n",
-        "completed",
-        "trials",
-    ]);
-    let mut fit_points: Vec<(usize, f64)> = Vec::new();
-
-    for (name, pf, max_n) in &regimes {
-        for &k in &exps {
-            let n = 1usize << k;
-            if n > *max_n {
-                continue;
-            }
-            let p = pf(n);
-            let seed = point_seed(args.seed, &format!("t7/{name}/{n}"));
-            let point = measure_protocol(n, p, trials, seed, || EgDistributed::new(p));
-            let ln_n = distributed_bound(n);
-            let Some(rounds) = &point.rounds else {
-                eprintln!("warning: no completed trials at {name}, n = {n}");
-                // Still emit the point (completed = 0, rounds = null) so the
-                // sweep stays rectangular for radio-analysis consumers.
-                report.push(
-                    protocol_point_to_json(&format!("{name}/n={n}"), &point)
-                        .field("regime", Json::from(*name))
-                        .field("ln_n", Json::from(ln_n)),
-                );
-                continue;
-            };
-            table.add_row(vec![
-                name.to_string(),
-                n.to_string(),
-                fnum(point.mean_degree, 1),
-                fnum(rounds.mean, 1),
-                fnum(rounds.std_dev, 1),
-                fnum(ln_n, 1),
-                fnum(rounds.mean / ln_n, 2),
-                format!("{}/{}", point.completed, point.trials),
-            ]);
-            csv.add_row(&[
-                name.to_string(),
-                n.to_string(),
-                format!("{p}"),
-                format!("{}", point.mean_degree),
-                format!("{}", rounds.mean),
-                format!("{}", rounds.std_dev),
-                format!("{ln_n}"),
-                point.completed.to_string(),
-                point.trials.to_string(),
-            ]);
-            report.push(
-                protocol_point_to_json(&format!("{name}/n={n}"), &point)
-                    .field("regime", Json::from(*name))
-                    .field("ln_n", Json::from(ln_n))
-                    .field("rounds_over_ln_n", Json::from(rounds.mean / ln_n)),
-            );
-            fit_points.push((n, rounds.mean));
-        }
-    }
-
-    println!("{}", table.render());
-
-    if let Some(fit) = fit_log_form(&fit_points) {
-        println!();
-        println!(
-            "fit: rounds ≈ {:.2}·ln n + {:.2}   (R² = {:.3})",
-            fit.a, fit.b, fit.r_squared
-        );
-        println!("paper predicts rounds = Θ(ln n): slope a should be a positive O(1) constant.");
-        report.push(
-            radio_bench::report::BenchPoint::new("fit")
-                .field("a", Json::from(fit.a))
-                .field("b", Json::from(fit.b))
-                .field("r_squared", Json::from(fit.r_squared)),
-        );
-    }
-    write_csv("exp_t7", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("t7");
 }

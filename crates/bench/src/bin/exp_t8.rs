@@ -1,123 +1,9 @@
-//! Experiment E-T8 — Theorem 8 (distributed lower bound).
+//! Deprecated alias for `radio-bench run t8`.
 //!
-//! Claim: any protocol whose nodes know only `n`, `p`, and the time `t`
-//! needs `Ω(ln n)` rounds to broadcast on `G(n, p)` w.h.p.
-//!
-//! Method: such protocols are exactly the *probability profiles*
-//! `q : t ↦ [0,1]` (every informed node transmits with probability `q(t)`).
-//! We sweep structured profile families (constant `q`, geometric decay, the
-//! EG protocol's own profile) and a batch of random log-uniform profiles,
-//! truncate each run at `c·ln n` rounds for a grid of `c`, and report the
-//! completion probability.  The theorem predicts completion probability
-//! ≈ 0 for every profile when `c` is a small constant, regardless of how
-//! the profile is tuned.
-
-#![allow(clippy::type_complexity)]
-
-use radio_analysis::{fnum, proportion_ci, CsvWriter, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, point_seed, sample_connected_gnp, write_csv, ExpArgs,
-};
-use radio_bench::report::{BenchPoint, BenchReport};
-use radio_broadcast::lower_bound::{eg_profile, ProbabilityProfile};
-use radio_graph::NodeId;
-use radio_sim::{run_protocol, run_trials, Json, RunConfig, TraceLevel};
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::t8` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "no oblivious protocol completes in o(ln n) rounds (Theorem 8)";
-    banner("E-T8", claim, &args);
-    let mut report = BenchReport::new("t8", claim, args.mode(), args.seed);
-
-    let n = args.scale(1 << 11, 1 << 13, 1 << 15);
-    let p = (n as f64).ln().powi(2) / n as f64;
-    let d = p * n as f64;
-    let ln_n = (n as f64).ln();
-    let trials = args.trials_or(args.scale(30, 100, 300));
-
-    let horizon_cs = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
-
-    // Profile family: (label, constructor given a seed).
-    let families: Vec<(String, Box<dyn Fn(u64) -> ProbabilityProfile + Sync>)> = vec![
-        (
-            "const q=1/d".into(),
-            Box::new(move |_| ProbabilityProfile::constant(1.0 / d)),
-        ),
-        (
-            "const q=4/d".into(),
-            Box::new(move |_| ProbabilityProfile::constant((4.0 / d).min(1.0))),
-        ),
-        (
-            "const q=1/√d".into(),
-            Box::new(move |_| ProbabilityProfile::constant(1.0 / d.sqrt())),
-        ),
-        (
-            "geometric 1→1/d²".into(),
-            Box::new(move |_| ProbabilityProfile::geometric(1.0, 0.7, 1.0 / (d * d), 200)),
-        ),
-        ("eg-profile".into(), Box::new(move |_| eg_profile(n, p))),
-        (
-            "random log-uniform".into(),
-            Box::new(move |seed| {
-                let mut rng = radio_graph::Xoshiro256pp::new(seed);
-                ProbabilityProfile::random(1.0 / (d * d), 400, &mut rng)
-            }),
-        ),
-    ];
-
-    println!("n = {n}, d = {d:.1}, ln n = {ln_n:.1}; entries are completion rates within c·ln n rounds\n");
-
-    let mut headers = vec!["profile".to_string()];
-    headers.extend(horizon_cs.iter().map(|c| format!("c={c}")));
-    let mut table = Table::new(headers);
-    let mut csv = CsvWriter::new(&["profile", "c", "horizon", "completions", "trials"]);
-
-    for (label, make) in &families {
-        let mut row = vec![label.clone()];
-        for &c in &horizon_cs {
-            let horizon = ((c * ln_n).ceil() as u32).max(1);
-            let seed = point_seed(args.seed, &format!("t8/{label}/{c}"));
-            let completions = run_trials(trials, seed, |i, rng| {
-                let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-                    return false;
-                };
-                let source = rng.below(n as u64) as NodeId;
-                let mut prof = make(seed ^ (i as u64).wrapping_mul(0x9E37));
-                let cfg = RunConfig::for_graph(n)
-                    .with_max_rounds(horizon)
-                    .with_trace(TraceLevel::SummaryOnly);
-                run_protocol(&g, source, &mut prof, cfg, rng).completed
-            })
-            .into_iter()
-            .filter(|&x| x)
-            .count();
-            let ci = proportion_ci(completions, trials).unwrap();
-            row.push(fnum(ci.estimate, 3));
-            csv.add_row(&[
-                label.clone(),
-                format!("{c}"),
-                horizon.to_string(),
-                completions.to_string(),
-                trials.to_string(),
-            ]);
-            report.push(
-                BenchPoint::new(&format!("{label}/c={c}"))
-                    .field("profile", Json::from(label.as_str()))
-                    .field("c", Json::from(c))
-                    .field("horizon", Json::from(horizon))
-                    .field("completion_rate", Json::from(ci.estimate))
-                    .field("completions", Json::from(completions))
-                    .field("trials", Json::from(trials)),
-            );
-        }
-        table.add_row(row);
-    }
-
-    println!("{}", table.render());
-    println!();
-    println!("reading: every oblivious profile — including the paper's own protocol and");
-    println!("tuned constants — has completion rate ≈ 0 for c ≤ 1 and needs c = Θ(1)·ln n");
-    println!("rounds to reach rate ≈ 1, matching the Ω(ln n) bound.");
-    write_csv("exp_t8", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("t8");
 }

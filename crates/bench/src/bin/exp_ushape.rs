@@ -1,123 +1,9 @@
-//! Experiment E-USH — the U-shape of the centralized bound.
+//! Deprecated alias for `radio-bench run ushape`.
 //!
-//! The Theorem-5/6 round complexity `B(d) = ln n/ln d + ln d` at fixed `n`
-//! is U-shaped in `d`: the diameter term falls as the graph densifies while
-//! the cover term rises, with the minimum `2√(ln n)` at `ln d = √(ln n)`.
-//! This is the paper's qualitative message about *where radio broadcast is
-//! cheap*: neither very sparse nor very dense random networks are optimal.
-//!
-//! Method: fix `n`, sweep `d` geometrically through the predicted optimum,
-//! build the centralized schedule, and tabulate measured rounds against
-//! `B(d)`.  The measured column must fall then rise, with its minimum within
-//! a factor-2 window of `d* = e^{√(ln n)}`.
-
-use radio_analysis::{fnum, AsciiPlot, CsvWriter, Table};
-use radio_bench::common::{
-    banner, maybe_write_json, measure_custom, point_seed, sample_connected_gnp, write_csv, ExpArgs,
-};
-use radio_bench::report::{protocol_point_to_json, BenchPoint, BenchReport};
-use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
-use radio_broadcast::theory::{centralized_bound, optimal_degree};
-use radio_graph::NodeId;
-use radio_sim::Json;
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::ushape` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "rounds vs d at fixed n is U-shaped with minimum near d* = e^√(ln n)";
-    banner("E-USH", claim, &args);
-    let mut report = BenchReport::new("ushape", claim, args.mode(), args.seed);
-
-    let n = args.scale(1 << 12, 1 << 14, 1 << 16);
-    let trials = args.trials_or(args.scale(4, 10, 25));
-    let d_star = optimal_degree(n);
-    let ln_n = (n as f64).ln();
-
-    // Sweep from near-threshold to dense, through d*.
-    let d_min = (1.3 * ln_n).max(4.0);
-    let d_max = (n as f64 / 8.0).min(d_star * d_star);
-    let steps = args.scale(5, 9, 13);
-    let ratio = (d_max / d_min).powf(1.0 / (steps - 1) as f64);
-    let degrees: Vec<f64> = (0..steps).map(|i| d_min * ratio.powi(i)).collect();
-
-    println!(
-        "n = {n}, ln n = {ln_n:.1}, predicted optimum d* = {d_star:.1}, predicted minimum B = {:.1}\n",
-        2.0 * ln_n.sqrt()
-    );
-
-    let mut table = Table::new(vec!["d", "ln d", "rounds", "±sd", "B(n,d)", "rounds/B"]);
-    let mut csv = CsvWriter::new(&["d", "mean_rounds", "sd", "bound"]);
-    let mut best: Option<(f64, f64)> = None; // (d, rounds)
-    let mut curve: Vec<(f64, f64)> = Vec::new();
-    let mut bound_curve: Vec<(f64, f64)> = Vec::new();
-
-    for &d in &degrees {
-        let p = (d / n as f64).min(0.5);
-        let seed = point_seed(args.seed, &format!("ushape/{d}"));
-        let point = measure_custom(n, p, trials, seed, |rng| {
-            let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-                return (None, 0.0);
-            };
-            let source = rng.below(n as u64) as NodeId;
-            let built = build_eg_schedule(&g, source, CentralizedParams::default(), rng);
-            (
-                built.completed.then_some(built.len() as u32),
-                g.average_degree(),
-            )
-        });
-        let Some(rounds) = &point.rounds else {
-            continue;
-        };
-        let b = centralized_bound(n, point.mean_degree);
-        if best.map_or(true, |(_, r)| rounds.mean < r) {
-            best = Some((point.mean_degree, rounds.mean));
-        }
-        table.add_row(vec![
-            fnum(point.mean_degree, 1),
-            fnum(point.mean_degree.ln(), 2),
-            fnum(rounds.mean, 1),
-            fnum(rounds.std_dev, 1),
-            fnum(b, 1),
-            fnum(rounds.mean / b, 2),
-        ]);
-        csv.add_row(&[
-            format!("{}", point.mean_degree),
-            format!("{}", rounds.mean),
-            format!("{}", rounds.std_dev),
-            format!("{b}"),
-        ]);
-        report.push(
-            protocol_point_to_json(&format!("d={:.1}", point.mean_degree), &point)
-                .field("bound", Json::from(b))
-                .field("rounds_over_bound", Json::from(rounds.mean / b)),
-        );
-        curve.push((point.mean_degree, rounds.mean));
-        bound_curve.push((point.mean_degree, b));
-    }
-
-    println!("{}", table.render());
-
-    // Terminal figure: measured rounds (*) and B(n,d) (o) on a log-d axis.
-    let mut plot = AsciiPlot::new(64, 14)
-        .with_labels("d (log scale)", "rounds: * measured, o bound B(n,d)")
-        .with_log_x();
-    plot.add_series('*', &curve);
-    plot.add_series('o', &bound_curve);
-    println!("\n{}", plot.render());
-    if let Some((d_best, r_best)) = best {
-        println!();
-        println!(
-            "measured minimum: {r_best:.1} rounds at d ≈ {d_best:.1} (predicted d* = {d_star:.1}; √(ln n) scale minimum = {:.1})",
-            2.0 * ln_n.sqrt()
-        );
-        report.push(
-            BenchPoint::new("minimum")
-                .field("d_best", Json::from(d_best))
-                .field("rounds_best", Json::from(r_best))
-                .field("d_star_predicted", Json::from(d_star)),
-        );
-    }
-    println!("reading: measured rounds first fall (diameter term shrinks) then rise");
-    println!("(cover term grows) — the U-shape of ln n/ln d + ln d.");
-    write_csv("exp_ushape", csv.finish());
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("ushape");
 }

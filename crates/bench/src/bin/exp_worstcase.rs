@@ -1,125 +1,9 @@
-//! Experiment E-WC — random graphs vs structured worst-case-style
-//! topologies (§1.2 framing).
+//! Deprecated alias for `radio-bench run worstcase`.
 //!
-//! The paper's motivation: nearly all prior work fights adversarial
-//! topologies, where deterministic broadcast costs `Ω(n log n)` and even
-//! randomized protocols pay `Ω(D log(n/D))`; on *random* graphs everything
-//! collapses to `Θ(ln n)`.  This experiment makes the contrast concrete by
-//! racing the protocols on equal-sized instances:
-//!
-//! * `G(n, p)` at matched average degree (the paper's easy case),
-//! * a power-law Chung–Lu graph at matched mean degree (degree
-//!   concentration — the paper's standing assumption — fails),
-//! * a clique chain (collision resolution needed at every hop),
-//! * a dense layered graph (Lemma 3's near-tree layers fail by design),
-//! * a barbell (heterogeneous density).
-//!
-//! EG's parameters assume `G(n, p)` statistics, so running it here also
-//! probes how brittle the `(n, p)`-only knowledge assumption is off-model.
-
-use radio_analysis::{fnum, Table};
-use radio_bench::common::{banner, maybe_write_json, point_seed, ExpArgs};
-use radio_bench::report::{summary_to_json, BenchPoint, BenchReport};
-use radio_broadcast::distributed::{Decay, EgDistributed};
-use radio_graph::chung_lu::{power_law_weights, sample_chung_lu};
-use radio_graph::hard::{barbell, clique_chain, layered_expander};
-use radio_graph::{child_rng, gnp::sample_gnp, Graph, NodeId, Xoshiro256pp};
-use radio_sim::{run_protocol, run_trials, Json, Protocol, RunConfig, TraceLevel};
+//! Kept so existing scripts and muscle memory keep working; the experiment
+//! itself lives in `radio_bench::experiments::worstcase` and this binary takes
+//! the same flags as the registry driver.
 
 fn main() {
-    let args = ExpArgs::parse();
-    let claim = "random vs structured topologies: random graphs are the easy case (§1.2)";
-    banner("E-WC", claim, &args);
-    let mut report = BenchReport::new("worstcase", claim, args.mode(), args.seed);
-
-    let trials = args.trials_or(args.scale(5, 15, 40));
-    let k = args.scale(16, 32, 64); // clique size / layer width scale
-
-    // Instances of comparable size (~20·k nodes).
-    let cliques = 20usize;
-    let seed = point_seed(args.seed, "wc/instances");
-    let mut grng = Xoshiro256pp::new(seed);
-    let chain = clique_chain(cliques, k);
-    let n = chain.n();
-    let layered = layered_expander(20, k, 0.5, &mut grng);
-    let bar = barbell(n / 3, n / 3);
-    let d_match = chain.average_degree();
-    let gnp = sample_gnp(n, (d_match / n as f64).min(1.0), &mut grng);
-    // Power-law Chung–Lu: heterogeneous degrees break the paper's α, β
-    // concentration assumption without changing the mean.
-    let pl = sample_chung_lu(&power_law_weights(n, 2.5, d_match), &mut grng);
-
-    let instances: Vec<(&str, &Graph)> = vec![
-        ("G(n,p) matched d", &gnp),
-        ("power-law CL γ=2.5", &pl),
-        ("clique chain", &chain),
-        ("layered dense", &layered),
-        ("barbell", &bar),
-    ];
-
-    println!(
-        "instances around n = {n}, matched mean degree ≈ {d_match:.0}; {trials} trials per cell"
-    );
-    println!("entries: mean rounds (completions/trials)\n");
-
-    let mut headers = vec!["protocol".to_string()];
-    headers.extend(
-        instances
-            .iter()
-            .map(|(name, g)| format!("{name} (n={})", g.n())),
-    );
-    let mut table = Table::new(headers);
-
-    for proto_name in ["eg-distributed", "decay"] {
-        let mut row = vec![proto_name.to_string()];
-        for (inst_name, g) in &instances {
-            let cell_seed = point_seed(args.seed, &format!("wc/{proto_name}/{inst_name}"));
-            let p_assumed = g.average_degree() / g.n() as f64;
-            let outcomes: Vec<Option<u32>> = run_trials(trials, cell_seed, |i, _rng| {
-                let mut rng = child_rng(cell_seed, 1000 + i as u64);
-                let source = rng.below(g.n() as u64) as NodeId;
-                let mut proto: Box<dyn Protocol> = match proto_name {
-                    "eg-distributed" => Box::new(EgDistributed::new(p_assumed)),
-                    _ => Box::new(Decay::new()),
-                };
-                let cfg = RunConfig::for_graph(g.n())
-                    .with_max_rounds(40_000)
-                    .with_trace(TraceLevel::SummaryOnly);
-                let r = run_protocol(g, source, proto.as_mut(), cfg, &mut rng);
-                r.completed.then_some(r.rounds)
-            });
-            let rounds: Vec<f64> = outcomes.iter().flatten().map(|&r| r as f64).collect();
-            let summary = radio_analysis::Summary::of(&rounds);
-            let cell = match &summary {
-                Some(s) if rounds.len() == trials => fnum(s.mean, 0),
-                Some(s) => format!("{} ({}/{})", fnum(s.mean, 0), rounds.len(), trials),
-                None => format!("— (0/{trials})"),
-            };
-            report.push(
-                BenchPoint::new(&format!("{proto_name}/{inst_name}"))
-                    .field("protocol", Json::from(proto_name))
-                    .field("instance", Json::from(*inst_name))
-                    .field("n", Json::from(g.n()))
-                    .field(
-                        "rounds",
-                        summary.as_ref().map_or(Json::Null, summary_to_json),
-                    )
-                    .field("completed", Json::from(rounds.len()))
-                    .field("trials", Json::from(trials)),
-            );
-            row.push(cell);
-        }
-        table.add_row(row);
-    }
-
-    println!("{}", table.render());
-    println!();
-    println!(
-        "for scale: ln n = {:.1}; clique-chain diameter ≈ {} hops × Θ(log k) collision",
-        (n as f64).ln(),
-        2 * cliques
-    );
-    println!("resolution per hop is the structured cost the paper escapes by moving to");
-    println!("random graphs — where both protocols finish in Θ(ln n).");
-    maybe_write_json(&args, &report);
+    radio_bench::registry::run_named("worstcase");
 }

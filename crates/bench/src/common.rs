@@ -8,7 +8,7 @@
 use radio_analysis::Summary;
 use radio_graph::components::is_connected;
 use radio_graph::gnp::sample_gnp;
-use radio_graph::{derive_seed, Graph, NodeId, Xoshiro256pp};
+use radio_graph::{Graph, NodeId, Xoshiro256pp};
 use radio_sim::{run_protocol_batch, run_trials, Protocol, RunConfig, TraceLevel};
 
 /// Command-line arguments shared by all experiment binaries.
@@ -26,19 +26,40 @@ pub struct ExpArgs {
     /// Write a JSON [`BenchReport`](crate::report::BenchReport) to this
     /// path (`--json PATH`, or the `RADIO_JSON_OUT` environment variable).
     pub json_out: Option<std::path::PathBuf>,
+    /// Write one JSON report per experiment to `<dir>/<name>.json`
+    /// (`--json-dir DIR`); used by the registry driver's `run`/`all`.
+    pub json_dir: Option<std::path::PathBuf>,
+    /// Collapse every size sweep to this single `n` (`--n N`, or `n=N` in
+    /// `--grid`).  Lets the registry run any experiment at a smoke grid.
+    pub n_override: Option<usize>,
 }
 
-impl ExpArgs {
-    /// Parses `std::env::args()`.  Unknown flags abort with a usage message.
-    pub fn parse() -> Self {
-        let mut args = ExpArgs {
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
             seed: 20060501,
             quick: false,
             full: false,
             trials: None,
             json_out: std::env::var_os("RADIO_JSON_OUT").map(Into::into),
-        };
-        let mut it = std::env::args().skip(1);
+            json_dir: None,
+            n_override: None,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`.  Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument list (no program name).  Used by the
+    /// `radio-bench` driver after it has peeled off subcommands and
+    /// experiment names.
+    pub fn parse_from(argv: Vec<String>) -> Self {
+        let mut args = ExpArgs::default();
+        let mut it = argv.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
@@ -56,6 +77,13 @@ impl ExpArgs {
                             .unwrap_or_else(|| usage("--trials needs an integer")),
                     );
                 }
+                "--n" => {
+                    args.n_override = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--n needs an integer")),
+                    );
+                }
                 "--json" => {
                     args.json_out = Some(
                         it.next()
@@ -63,11 +91,52 @@ impl ExpArgs {
                             .into(),
                     );
                 }
+                "--json-dir" => {
+                    args.json_dir = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--json-dir needs a directory"))
+                            .into(),
+                    );
+                }
+                "--grid" => {
+                    let spec = it.next().unwrap_or_else(|| usage("--grid needs k=v,..."));
+                    if let Err(e) = args.apply_grid(&spec) {
+                        usage(&e);
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
         args
+    }
+
+    /// Applies a `k=v,...` grid spec.  Recognized keys: `mode`
+    /// (`quick`/`default`/`full`), `seed`, `trials`, `n`.
+    pub fn apply_grid(&mut self, spec: &str) -> Result<(), String> {
+        for pair in spec.split(',').filter(|s| !s.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--grid entry {pair:?} is not k=v"))?;
+            let bad = |what: &str| format!("--grid {key}={value:?}: {what}");
+            match key {
+                "mode" => match value {
+                    "quick" => (self.quick, self.full) = (true, false),
+                    "full" => (self.quick, self.full) = (false, true),
+                    "default" => (self.quick, self.full) = (false, false),
+                    _ => return Err(bad("expected quick|default|full")),
+                },
+                "seed" => self.seed = value.parse().map_err(|_| bad("expected an integer"))?,
+                "trials" => {
+                    self.trials = Some(value.parse().map_err(|_| bad("expected an integer"))?)
+                }
+                "n" => {
+                    self.n_override = Some(value.parse().map_err(|_| bad("expected an integer"))?)
+                }
+                _ => return Err(format!("--grid key {key:?} (known: mode,seed,trials,n)")),
+            }
+        }
+        Ok(())
     }
 
     /// The mode string used in banners and JSON reports.
@@ -96,19 +165,36 @@ impl ExpArgs {
     pub fn trials_or(&self, default: usize) -> usize {
         self.trials.unwrap_or(default)
     }
+
+    /// A single sweep size with the `--n` override applied.
+    pub fn size(&self, default: usize) -> usize {
+        self.n_override.unwrap_or(default)
+    }
+
+    /// A size sweep: `default` unless `--n` collapsed it to one point.
+    pub fn sizes(&self, default: Vec<usize>) -> Vec<usize> {
+        match self.n_override {
+            Some(n) => vec![n],
+            None => default,
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: exp_* [--quick | --full] [--seed N] [--trials N] [--json PATH]");
+    eprintln!(
+        "usage: radio-bench [list | run <name>... | all] [--quick | --full] [--seed N]\n       [--trials N] [--n N] [--json PATH] [--json-dir DIR] [--grid k=v,...]\n(the exp_* binaries are deprecated aliases taking the same flags)"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
 /// Writes `report` to the path requested by `--json`/`RADIO_JSON_OUT`, if
-/// any (best-effort: a write failure warns instead of discarding the run's
-/// ASCII output).
+/// any.  Missing parent directories are created
+/// ([`BenchReport::write`](crate::report::BenchReport::write)) and the
+/// path is reported on success; a write failure warns instead of
+/// discarding the run's ASCII output.
 pub fn maybe_write_json(args: &ExpArgs, report: &crate::report::BenchReport) {
     let Some(path) = &args.json_out else { return };
     match report.write(path) {
@@ -249,13 +335,13 @@ fn summarize_point(
 }
 
 /// A deterministic per-point seed derived from the master seed and a label.
+///
+/// Alias for [`radio_graph::labeled_seed`], the workspace's one
+/// label-to-seed convention — shared with the trial runner's indexed
+/// `child_rng` fan-out, so per-point streams and per-trial streams compose
+/// without collisions.
 pub fn point_seed(master: u64, label: &str) -> u64 {
-    let mut h = 1469598103934665603u64; // FNV offset
-    for b in label.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(1099511628211);
-    }
-    derive_seed(master, h)
+    radio_graph::labeled_seed(master, label)
 }
 
 /// Writes CSV content to `target/experiments/<name>.csv` (best-effort; a
@@ -321,6 +407,32 @@ mod tests {
         let pt = measure_protocol_batch(80, 0.1, 3, 5, 11, || Flooding);
         assert_eq!(pt.trials, 15);
         assert_eq!(pt.batch_lanes, 5);
+    }
+
+    #[test]
+    fn grid_spec_overrides() {
+        let mut args = ExpArgs::default();
+        args.apply_grid("mode=quick,seed=7,trials=2,n=256").unwrap();
+        assert!(args.quick && !args.full);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.trials, Some(2));
+        assert_eq!(args.n_override, Some(256));
+        assert_eq!(args.size(1024), 256);
+        assert_eq!(args.sizes(vec![1, 2, 3]), vec![256]);
+        assert!(args.apply_grid("bogus=1").is_err());
+        assert!(args.apply_grid("n=abc").is_err());
+        assert!(args.apply_grid("mode=warp").is_err());
+        let d = ExpArgs::default();
+        assert_eq!(d.size(1024), 1024);
+        assert_eq!(d.sizes(vec![1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn point_seed_matches_shared_helper() {
+        assert_eq!(
+            point_seed(42, "t5/n=1024"),
+            radio_graph::labeled_seed(42, "t5/n=1024")
+        );
     }
 
     #[test]

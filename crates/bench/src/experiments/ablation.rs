@@ -1,0 +1,334 @@
+//! Experiment E-ABL — ablations of the design choices (DESIGN.md §5 ✦).
+//!
+//! Three questions:
+//!
+//! 1. **Centralized phase structure** — what do the seed round (phase 2) and
+//!    the `1/d`-fraction rounds (phase 3) buy over "just greedy-cover every
+//!    round"?  We build schedules with phases toggled off and compare
+//!    lengths and, importantly, *build cost* (greedy covers over the full
+//!    graph are the expensive part the phases avoid).
+//! 2. **Distributed EG variants** — the paper's literal protocol gates
+//!    stage 3 on being informed by round `D` (strict); the practical variant
+//!    lets everyone join.  Compare rounds and completion.
+//! 3. **Stage-3 probability** — sweep the constant in `q = c/d` to show the
+//!    paper's `1/d` choice sits at the sweet spot.
+
+use radio_analysis::{fnum, CsvWriter, Table};
+use radio_broadcast::centralized::{
+    build_eg_schedule, greedy_cover_schedule, tree_broadcast_schedule, CentralizedParams,
+};
+use radio_broadcast::distributed::{ConstantProb, EgDistributed, EgVariant};
+use radio_graph::NodeId;
+use radio_sim::Json;
+
+use crate::common::{
+    measure_custom, measure_protocol, point_seed, sample_connected_gnp, write_csv,
+};
+use crate::outln;
+use crate::registry::{ExpContext, Experiment};
+use crate::report::{summary_to_json, BenchPoint, BenchReport};
+
+/// DESIGN.md §5 ablations of the design choices.
+pub struct Ablation;
+
+impl Experiment for Ablation {
+    fn name(&self) -> &'static str {
+        "ablation"
+    }
+    fn banner_id(&self) -> &'static str {
+        "E-ABL"
+    }
+    fn claim(&self) -> &'static str {
+        "design-choice ablations (DESIGN.md §5)"
+    }
+    fn default_grid(&self) -> Vec<(&'static str, &'static str)> {
+        vec![("n", "2^13"), ("sections", "3"), ("trials", "15")]
+    }
+
+    fn run(&self, ctx: &ExpContext) -> BenchReport {
+        let args = &ctx.args;
+        let mut report = BenchReport::new(self.name(), self.claim(), args.mode(), args.seed);
+
+        let n = args.size(args.scale(1 << 11, 1 << 13, 1 << 15));
+        let p = (n as f64).ln().powi(2) / n as f64;
+        let d = p * n as f64;
+        let trials = args.trials_or(args.scale(5, 15, 40));
+        outln!(ctx, "n = {n}, d = {d:.1}, {trials} trials per row\n");
+        let mut csv = CsvWriter::new(&["section", "variant", "mean_rounds", "completed", "trials"]);
+
+        // ---- 1. centralized phase ablation ------------------------------------
+        outln!(ctx, "## 1. Centralized schedule: phase ablation\n");
+        let variants: Vec<(&str, CentralizedParams)> = vec![
+            ("full (paper)", CentralizedParams::default()),
+            (
+                "no seed phase",
+                CentralizedParams {
+                    enable_seed_phase: false,
+                    ..CentralizedParams::default()
+                },
+            ),
+            (
+                "no fraction phase",
+                CentralizedParams {
+                    enable_fraction_phase: false,
+                    ..CentralizedParams::default()
+                },
+            ),
+            (
+                "covers only",
+                CentralizedParams {
+                    enable_seed_phase: false,
+                    enable_fraction_phase: false,
+                    ..CentralizedParams::default()
+                },
+            ),
+        ];
+        let mut t1 = Table::new(vec!["variant", "rounds", "±sd", "ok", "build ms (mean)"]);
+        for (name, params) in &variants {
+            let seed = point_seed(args.seed, &format!("abl/centr/{name}"));
+            let mut build_ms = std::sync::atomic::AtomicU64::new(0);
+            let point = measure_custom(n, p, trials, seed, |rng| {
+                let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                    return (None, 0.0);
+                };
+                let source = rng.below(n as u64) as NodeId;
+                let t0 = std::time::Instant::now();
+                let built = build_eg_schedule(&g, source, *params, rng);
+                build_ms.fetch_add(
+                    t0.elapsed().as_millis() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                (
+                    built.completed.then_some(built.len() as u32),
+                    g.average_degree(),
+                )
+            });
+            let Some(s) = &point.rounds else { continue };
+            let build_ms_mean = *build_ms.get_mut() as f64 / trials as f64;
+            t1.add_row(vec![
+                name.to_string(),
+                fnum(s.mean, 1),
+                fnum(s.std_dev, 1),
+                format!("{}/{}", point.completed, point.trials),
+                fnum(build_ms_mean, 1),
+            ]);
+            csv.add_row(&[
+                "centralized".to_string(),
+                name.to_string(),
+                format!("{}", s.mean),
+                point.completed.to_string(),
+                trials.to_string(),
+            ]);
+            report.push(
+                BenchPoint::new(&format!("centralized/{name}"))
+                    .field("variant", Json::from(*name))
+                    .field("rounds", summary_to_json(s))
+                    .field("completed", Json::from(point.completed))
+                    .field("trials", Json::from(point.trials))
+                    .field("build_ms_mean", Json::from(build_ms_mean)),
+            );
+        }
+        // Tree-broadcast (the Õ(D·Δ) layer-coloring baseline of Clementi et
+        // al. [10]) for contrast.
+        {
+            let seed = point_seed(args.seed, "abl/centr/tree");
+            let mut build_ms = std::sync::atomic::AtomicU64::new(0);
+            let point = measure_custom(n, p, trials, seed, |rng| {
+                let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                    return (None, 0.0);
+                };
+                let source = rng.below(n as u64) as NodeId;
+                let t0 = std::time::Instant::now();
+                let built = tree_broadcast_schedule(&g, source);
+                build_ms.fetch_add(
+                    t0.elapsed().as_millis() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                (
+                    built.completed.then_some(built.len() as u32),
+                    g.average_degree(),
+                )
+            });
+            if let Some(s) = &point.rounds {
+                let build_ms_mean = *build_ms.get_mut() as f64 / trials as f64;
+                t1.add_row(vec![
+                    "tree layer-coloring [10]".to_string(),
+                    fnum(s.mean, 1),
+                    fnum(s.std_dev, 1),
+                    format!("{}/{}", point.completed, point.trials),
+                    fnum(build_ms_mean, 1),
+                ]);
+                csv.add_row(&[
+                    "centralized".to_string(),
+                    "tree layer-coloring".to_string(),
+                    format!("{}", s.mean),
+                    point.completed.to_string(),
+                    trials.to_string(),
+                ]);
+                report.push(
+                    BenchPoint::new("centralized/tree layer-coloring")
+                        .field("variant", Json::from("tree layer-coloring"))
+                        .field("rounds", summary_to_json(s))
+                        .field("completed", Json::from(point.completed))
+                        .field("trials", Json::from(point.trials))
+                        .field("build_ms_mean", Json::from(build_ms_mean)),
+                );
+            }
+        }
+        // Pure greedy for reference.
+        {
+            let seed = point_seed(args.seed, "abl/centr/greedy");
+            let mut build_ms = std::sync::atomic::AtomicU64::new(0);
+            let point = measure_custom(n, p, trials, seed, |rng| {
+                let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                    return (None, 0.0);
+                };
+                let source = rng.below(n as u64) as NodeId;
+                let t0 = std::time::Instant::now();
+                let built = greedy_cover_schedule(&g, source, 100_000, rng);
+                build_ms.fetch_add(
+                    t0.elapsed().as_millis() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                (
+                    built.completed.then_some(built.len() as u32),
+                    g.average_degree(),
+                )
+            });
+            if let Some(s) = &point.rounds {
+                let build_ms_mean = *build_ms.get_mut() as f64 / trials as f64;
+                t1.add_row(vec![
+                    "greedy every round".to_string(),
+                    fnum(s.mean, 1),
+                    fnum(s.std_dev, 1),
+                    format!("{}/{}", point.completed, point.trials),
+                    fnum(build_ms_mean, 1),
+                ]);
+                csv.add_row(&[
+                    "centralized".to_string(),
+                    "greedy every round".to_string(),
+                    format!("{}", s.mean),
+                    point.completed.to_string(),
+                    trials.to_string(),
+                ]);
+                report.push(
+                    BenchPoint::new("centralized/greedy every round")
+                        .field("variant", Json::from("greedy every round"))
+                        .field("rounds", summary_to_json(s))
+                        .field("completed", Json::from(point.completed))
+                        .field("trials", Json::from(point.trials))
+                        .field("build_ms_mean", Json::from(build_ms_mean)),
+                );
+            }
+        }
+        outln!(ctx, "{}", t1.render());
+
+        // ---- 2. distributed strict vs practical -------------------------------
+        outln!(
+            ctx,
+            "\n## 2. Distributed EG: strict vs practical stage-3 participation\n"
+        );
+        let mut t2 = Table::new(vec!["variant", "rounds", "±sd", "ok"]);
+        for (name, variant) in [
+            ("practical (default)", EgVariant::Practical),
+            ("strict (paper literal)", EgVariant::Strict),
+        ] {
+            let seed = point_seed(args.seed, &format!("abl/dist/{name}"));
+            let point = measure_protocol(n, p, trials, seed, || {
+                EgDistributed::with_variant(p, variant)
+            });
+            let (mean, sd) = point
+                .rounds
+                .as_ref()
+                .map(|s| (fnum(s.mean, 1), fnum(s.std_dev, 1)))
+                .unwrap_or(("—".into(), "—".into()));
+            t2.add_row(vec![
+                name.to_string(),
+                mean.clone(),
+                sd,
+                format!("{}/{}", point.completed, point.trials),
+            ]);
+            csv.add_row(&[
+                "eg-variant".to_string(),
+                name.to_string(),
+                mean,
+                point.completed.to_string(),
+                trials.to_string(),
+            ]);
+            report.push(
+                BenchPoint::new(&format!("eg-variant/{name}"))
+                    .field("variant", Json::from(name))
+                    .field(
+                        "rounds",
+                        point.rounds.as_ref().map_or(Json::Null, summary_to_json),
+                    )
+                    .field("completed", Json::from(point.completed))
+                    .field("trials", Json::from(point.trials)),
+            );
+        }
+        outln!(ctx, "{}", t2.render());
+
+        // ---- 3. constant-probability sweep -------------------------------------
+        outln!(
+            ctx,
+            "\n## 3. Stage-3 probability: q = c/d sweep (pure constant-q protocol)\n"
+        );
+        let mut t3 = Table::new(vec!["q", "q·d", "rounds", "±sd", "ok"]);
+        for &c in &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let q = (c / d).min(1.0);
+            let seed = point_seed(args.seed, &format!("abl/q/{c}"));
+            let point = measure_protocol(n, p, trials, seed, || ConstantProb::new(q));
+            let (mean, sd) = point
+                .rounds
+                .as_ref()
+                .map(|s| (fnum(s.mean, 1), fnum(s.std_dev, 1)))
+                .unwrap_or(("—".into(), "—".into()));
+            t3.add_row(vec![
+                fnum(q, 4),
+                fnum(c, 2),
+                mean.clone(),
+                sd,
+                format!("{}/{}", point.completed, point.trials),
+            ]);
+            csv.add_row(&[
+                "q-sweep".to_string(),
+                format!("c={c}"),
+                mean,
+                point.completed.to_string(),
+                trials.to_string(),
+            ]);
+            report.push(
+                BenchPoint::new(&format!("q-sweep/c={c}"))
+                    .field("c", Json::from(c))
+                    .field("q", Json::from(q))
+                    .field(
+                        "rounds",
+                        point.rounds.as_ref().map_or(Json::Null, summary_to_json),
+                    )
+                    .field("completed", Json::from(point.completed))
+                    .field("trials", Json::from(point.trials)),
+            );
+        }
+        outln!(ctx, "{}", t3.render());
+        outln!(ctx);
+        outln!(
+            ctx,
+            "reading: (1) the phase structure matches pure greedy's round count while"
+        );
+        outln!(
+            ctx,
+            "phases 1–3 are far cheaper to construct than whole-graph covers; (2) the"
+        );
+        outln!(
+            ctx,
+            "practical stage-3 completes like the strict one but without the separate"
+        );
+        outln!(
+            ctx,
+            "back-fill argument; (3) q = Θ(1/d) is the sweet spot — much larger q"
+        );
+        outln!(ctx, "collides, much smaller q idles.");
+        write_csv("exp_ablation", csv.finish());
+        report
+    }
+}

@@ -1,0 +1,202 @@
+//! Experiment E-CMP — protocol comparison across densities (§1.2 related
+//! work).
+//!
+//! Puts the paper's distributed protocol next to the baselines its
+//! related-work section discusses, at fixed `n` across a sweep of expected
+//! degrees `d`:
+//!
+//! * **eg-distributed** — Theorem 7, `O(ln n)`;
+//! * **eg-unknown-p** — guess-doubling variant that is never told `p`
+//!   (extension; pays roughly a log factor for the missing knowledge);
+//! * **decay** — Bar-Yehuda–Goldreich–Itai, `O((D + log n)·log n)` on
+//!   arbitrary graphs;
+//! * **selective-family** — deterministic worst-case-style broadcast,
+//!   period `O(Δ² log n / log Δ)`;
+//! * **round-robin** — trivial deterministic, `O(n·D)`;
+//! * **flooding** — no collision avoidance at all;
+//! * **push-gossip** — rumor spreading in the *single-port* model (not a
+//!   radio protocol; shown to compare collision cost against a
+//!   collision-free model).
+//!
+//! Expected shape: EG ≈ gossip ≈ Θ(ln n) and flat in `d`; Decay a log
+//! factor above and growing slowly; round-robin and selective-family orders
+//! of magnitude above; flooding completes only at the sparse end and fails
+//! (rate 0) once `d` is large.
+
+use radio_analysis::{fnum, CsvWriter, Table};
+use radio_broadcast::distributed::{
+    run_push_gossip, Decay, EgDistributed, EgUnknownDegree, Flooding, RoundRobin,
+    SelectiveBroadcast,
+};
+use radio_graph::NodeId;
+use radio_sim::{Json, TraceLevel};
+
+use crate::common::{
+    measure_custom, measure_protocol, point_seed, sample_connected_gnp, write_csv,
+};
+use crate::outln;
+use crate::registry::{ExpContext, Experiment};
+use crate::report::{BenchPoint, BenchReport};
+
+/// §1.2 related work: protocol comparison across densities.
+pub struct Compare;
+
+impl Experiment for Compare {
+    fn name(&self) -> &'static str {
+        "compare"
+    }
+    fn banner_id(&self) -> &'static str {
+        "E-CMP"
+    }
+    fn claim(&self) -> &'static str {
+        "protocol comparison at fixed n across densities (related-work §1.2)"
+    }
+    fn default_grid(&self) -> Vec<(&'static str, &'static str)> {
+        vec![("n", "2^12"), ("protocols", "7"), ("trials", "15")]
+    }
+
+    fn run(&self, ctx: &ExpContext) -> BenchReport {
+        let args = &ctx.args;
+        let mut report = BenchReport::new(self.name(), self.claim(), args.mode(), args.seed);
+
+        let n = args.size(args.scale(1 << 10, 1 << 12, 1 << 14));
+        let trials = args.trials_or(args.scale(5, 15, 40));
+        let degrees: Vec<f64> = args.scale(
+            vec![12.0, 48.0],
+            vec![12.0, 24.0, 48.0, 96.0, 192.0],
+            vec![12.0, 24.0, 48.0, 96.0, 192.0, 384.0, 768.0],
+        );
+
+        outln!(
+            ctx,
+            "n = {n}, {trials} trials per cell; entries are mean rounds to completion"
+        );
+        outln!(
+            ctx,
+            "(`—` = completion rate 0 within the budget; rate shown when fractional)\n"
+        );
+
+        let mut headers = vec!["protocol".to_string()];
+        headers.extend(degrees.iter().map(|d| format!("d={d}")));
+        let mut table = Table::new(headers);
+        let mut csv = CsvWriter::new(&["protocol", "d", "mean_rounds", "completed", "trials"]);
+
+        type Cell = (Option<f64>, usize);
+        let run_cell = |proto: &str, d: f64| -> Cell {
+            let p = d / n as f64;
+            let seed = point_seed(args.seed, &format!("cmp/{proto}/{d}"));
+            let point = match proto {
+                "eg-distributed" => measure_protocol(n, p, trials, seed, || EgDistributed::new(p)),
+                "decay" => measure_protocol(n, p, trials, seed, Decay::new),
+                "eg-unknown-p" => measure_protocol(n, p, trials, seed, EgUnknownDegree::new),
+                "flooding" => measure_protocol(n, p, trials, seed, || Flooding),
+                "round-robin" => measure_custom(n, p, trials, seed, |rng| {
+                    use radio_sim::{run_protocol, RunConfig};
+                    let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                        return (None, 0.0);
+                    };
+                    let source = rng.below(n as u64) as NodeId;
+                    let mut proto = RoundRobin::default();
+                    // Round-robin needs Θ(n·D) rounds: budget accordingly.
+                    let cfg = RunConfig::for_graph(n)
+                        .with_max_rounds((n as u32).saturating_mul(24))
+                        .with_trace(TraceLevel::SummaryOnly);
+                    let r = run_protocol(&g, source, &mut proto, cfg, rng);
+                    (r.completed.then_some(r.rounds), g.average_degree())
+                }),
+                "selective-family" => measure_custom(n, p, trials, seed, |rng| {
+                    use radio_sim::{run_protocol, RunConfig};
+                    let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                        return (None, 0.0);
+                    };
+                    let source = rng.below(n as u64) as NodeId;
+                    let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap_or(1);
+                    let mut proto = SelectiveBroadcast::for_degree_bound(n, max_deg + 1);
+                    let period = proto.family().len() as u32;
+                    let cfg = RunConfig::for_graph(n)
+                        .with_max_rounds(period.saturating_mul(40))
+                        .with_trace(TraceLevel::SummaryOnly);
+                    let r = run_protocol(&g, source, &mut proto, cfg, rng);
+                    (r.completed.then_some(r.rounds), g.average_degree())
+                }),
+                "push-gossip" => measure_custom(n, p, trials, seed, |rng| {
+                    let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                        return (None, 0.0);
+                    };
+                    let source = rng.below(n as u64) as NodeId;
+                    let r = run_push_gossip(&g, source, 64 * 20, TraceLevel::SummaryOnly, rng);
+                    (r.completed.then_some(r.rounds), g.average_degree())
+                }),
+                _ => unreachable!(),
+            };
+            (point.rounds.as_ref().map(|s| s.mean), point.completed)
+        };
+
+        let protocols = [
+            "eg-distributed",
+            "eg-unknown-p",
+            "decay",
+            "push-gossip",
+            "selective-family",
+            "round-robin",
+            "flooding",
+        ];
+        // Selective family and round-robin get too slow at high degree; cap the
+        // degrees they run at.
+        let slow_cap = args.scale(48.0, 96.0, 192.0);
+
+        for proto in &protocols {
+            let mut row = vec![proto.to_string()];
+            for &d in &degrees {
+                if (*proto == "round-robin" || *proto == "selective-family") && d > slow_cap {
+                    row.push("(skip)".to_string());
+                    continue;
+                }
+                let (mean, completed) = run_cell(proto, d);
+                let cell = match mean {
+                    Some(m) if completed == trials => fnum(m, 0),
+                    Some(m) => format!("{} ({}/{})", fnum(m, 0), completed, trials),
+                    None => "—".to_string(),
+                };
+                csv.add_row(&[
+                    proto.to_string(),
+                    format!("{d}"),
+                    mean.map(|m| format!("{m}")).unwrap_or_default(),
+                    completed.to_string(),
+                    trials.to_string(),
+                ]);
+                report.push(
+                    BenchPoint::new(&format!("{proto}/d={d}"))
+                        .field("protocol", Json::from(*proto))
+                        .field("d", Json::from(d))
+                        .field("mean_rounds", mean.map_or(Json::Null, Json::from))
+                        .field("completed", Json::from(completed))
+                        .field("trials", Json::from(trials)),
+                );
+                row.push(cell);
+            }
+            table.add_row(row);
+        }
+
+        outln!(ctx, "{}", table.render());
+        outln!(ctx);
+        outln!(
+            ctx,
+            "reading: eg-distributed is flat at Θ(ln n) across densities and within a"
+        );
+        outln!(
+            ctx,
+            "small factor of collision-free push gossip; decay pays its extra log factor;"
+        );
+        outln!(
+            ctx,
+            "round-robin/selective-family are orders of magnitude slower; flooding"
+        );
+        outln!(
+            ctx,
+            "completes only on sparse near-tree frontiers and collapses as d grows."
+        );
+        write_csv("exp_compare", csv.finish());
+        report
+    }
+}

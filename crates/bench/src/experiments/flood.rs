@@ -1,0 +1,166 @@
+//! Experiment E-FLD — flooding collapse (collision-model motivation, §1.1).
+//!
+//! The radio model's defining feature is destructive interference: a node
+//! that hears two simultaneous transmitters decodes nothing.  The cheapest
+//! possible protocol — every informed node always transmits — therefore
+//! works only while frontiers are near-trees and fails completely once the
+//! informed set is dense around the frontier.
+//!
+//! Method: fix `n`, sweep `d`, run flooding to the budget, and record the
+//! completion rate and the informed fraction at stall.  On connected
+//! `G(n, p)` the completion rate is ≈ 0 at *every* density (one even
+//! "diamond" in the frontier suffices to block forever) and the informed
+//! fraction decays monotonically with `d` — the empirical justification for
+//! everything else in the paper.
+
+use radio_analysis::{fnum, proportion_ci, CsvWriter, Table};
+use radio_broadcast::distributed::Flooding;
+use radio_graph::NodeId;
+use radio_sim::{run_protocol, run_trials, Json, RunConfig, TraceLevel};
+
+use crate::common::{point_seed, sample_connected_gnp, write_csv};
+use crate::outln;
+use crate::registry::{ExpContext, Experiment};
+use crate::report::{BenchPoint, BenchReport};
+
+/// §1.1 motivation: flooding collapses under collisions.
+pub struct Flood;
+
+impl Experiment for Flood {
+    fn name(&self) -> &'static str {
+        "flood"
+    }
+    fn banner_id(&self) -> &'static str {
+        "E-FLD"
+    }
+    fn claim(&self) -> &'static str {
+        "naive flooding collapses under collisions as density grows (§1.1)"
+    }
+    fn default_grid(&self) -> Vec<(&'static str, &'static str)> {
+        vec![("n", "2^12"), ("d", "3..40"), ("trials", "30")]
+    }
+
+    fn run(&self, ctx: &ExpContext) -> BenchReport {
+        let args = &ctx.args;
+        let mut report = BenchReport::new(self.name(), self.claim(), args.mode(), args.seed);
+
+        let n = args.size(args.scale(1 << 10, 1 << 12, 1 << 14));
+        let trials = args.trials_or(args.scale(10, 30, 100));
+        let ln_n = (n as f64).ln();
+        // Sweep d across the collapse region (around d ≈ a few).
+        let degrees = [3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 14.0, 20.0, 40.0];
+
+        outln!(ctx, "n = {n}, {trials} trials per degree\n");
+
+        let mut table = Table::new(vec![
+            "d",
+            "completion rate",
+            "95% CI",
+            "mean informed frac at end",
+            "mean rounds (completed)",
+        ]);
+        let mut csv = CsvWriter::new(&[
+            "d",
+            "completions",
+            "trials",
+            "mean_informed_frac",
+            "mean_rounds",
+        ]);
+
+        for &d in &degrees {
+            let p = d / n as f64;
+            let seed = point_seed(args.seed, &format!("flood/{d}"));
+            let results: Vec<(bool, f64, u32)> = run_trials(trials, seed, |_i, rng| {
+                // Near the connectivity threshold, condition on connectivity to
+                // isolate the collision effect from reachability.
+                let Some((g, _)) = sample_connected_gnp(n, p, rng, 200) else {
+                    return (false, f64::NAN, 0);
+                };
+                let source = rng.below(n as u64) as NodeId;
+                let cfg = RunConfig::for_graph(n)
+                    .with_max_rounds((8.0 * ln_n) as u32 + 100)
+                    .with_trace(TraceLevel::SummaryOnly);
+                let r = run_protocol(&g, source, &mut Flooding, cfg, rng);
+                (r.completed, r.informed_fraction(), r.rounds)
+            });
+            let valid: Vec<&(bool, f64, u32)> =
+                results.iter().filter(|(_, f, _)| f.is_finite()).collect();
+            if valid.is_empty() {
+                eprintln!("warning: no connected samples at d = {d} (below threshold)");
+                continue;
+            }
+            let completions = valid.iter().filter(|(c, _, _)| *c).count();
+            let mean_frac = valid.iter().map(|(_, f, _)| f).sum::<f64>() / valid.len() as f64;
+            let completed_rounds: Vec<f64> = valid
+                .iter()
+                .filter(|(c, _, _)| *c)
+                .map(|(_, _, r)| *r as f64)
+                .collect();
+            let mean_rounds = if completed_rounds.is_empty() {
+                "—".to_string()
+            } else {
+                fnum(
+                    completed_rounds.iter().sum::<f64>() / completed_rounds.len() as f64,
+                    1,
+                )
+            };
+            let ci = proportion_ci(completions, valid.len()).unwrap();
+            table.add_row(vec![
+                fnum(d, 0),
+                fnum(ci.estimate, 3),
+                format!("[{:.3}, {:.3}]", ci.lo, ci.hi),
+                fnum(mean_frac, 3),
+                mean_rounds,
+            ]);
+            csv.add_row(&[
+                format!("{d}"),
+                completions.to_string(),
+                valid.len().to_string(),
+                format!("{mean_frac}"),
+                completed_rounds
+                    .first()
+                    .map(|_| {
+                        format!(
+                            "{}",
+                            completed_rounds.iter().sum::<f64>() / completed_rounds.len() as f64
+                        )
+                    })
+                    .unwrap_or_default(),
+            ]);
+            report.push(
+                BenchPoint::new(&format!("d={d}"))
+                    .field("n", Json::from(n))
+                    .field("d", Json::from(d))
+                    .field("completion_rate", Json::from(ci.estimate))
+                    .field("completions", Json::from(completions))
+                    .field("trials", Json::from(valid.len()))
+                    .field("mean_informed_frac", Json::from(mean_frac)),
+            );
+        }
+
+        outln!(ctx, "{}", table.render());
+        outln!(ctx);
+        outln!(
+            ctx,
+            "reading: on *connected* G(n,p) flooding essentially never completes — any"
+        );
+        outln!(
+            ctx,
+            "even-sized 'diamond' in the frontier collides forever — and the fraction it"
+        );
+        outln!(
+            ctx,
+            "does inform decays monotonically with d as collisions multiply. Collisions,"
+        );
+        outln!(
+            ctx,
+            "not reachability, are the obstacle the paper's algorithms solve; contrast"
+        );
+        outln!(
+            ctx,
+            "flooding's plateau with exp_compare, where EG completes at every density."
+        );
+        write_csv("exp_flood", csv.finish());
+        report
+    }
+}

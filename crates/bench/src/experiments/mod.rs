@@ -1,0 +1,25 @@
+//! The registered experiments — one module per paper claim or follow-on
+//! study, each a [`crate::registry::Experiment`] implementation.
+//!
+//! Bodies print through [`crate::outln!`] and derive every measurement
+//! seed with [`crate::common::point_seed`] from the master seed, so the
+//! registry can run them in parallel with bit-identical output.  The
+//! deprecated `exp_*` binaries in `src/bin/` are thin shims over
+//! [`crate::registry::run_named`].
+
+pub mod ablation;
+pub mod compare;
+pub mod dense;
+pub mod flood;
+pub mod gossip;
+pub mod l3;
+pub mod l4;
+pub mod opt;
+pub mod robust;
+pub mod summary;
+pub mod t5;
+pub mod t6;
+pub mod t7;
+pub mod t8;
+pub mod ushape;
+pub mod worstcase;

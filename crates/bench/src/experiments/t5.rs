@@ -1,0 +1,171 @@
+//! Experiment E-T5 — Theorem 5 (centralized upper bound).
+//!
+//! Claim: with full topology knowledge, broadcast on `G(n, p)` completes in
+//! `O(ln n / ln d + ln d)` rounds w.h.p.
+//!
+//! Method: sweep `n` over powers of two and `p` over four density regimes,
+//! build the five-phase Elsässer–Gąsieniec schedule on connected samples,
+//! and record its length.  The table reports the measured rounds against the
+//! predicted scale `B(n,d) = ln n/ln d + ln d`; the fit at the bottom
+//! estimates `rounds ≈ a·(ln n/ln d) + b·ln d + c`.  The claim holds if the
+//! ratio column is bounded by a constant across regimes (no upward drift)
+//! and the fit has high `R²` with moderate `a, b`.
+
+#![allow(clippy::type_complexity)]
+
+use radio_analysis::{fit_centralized_form, fnum, CsvWriter, Table};
+use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
+use radio_broadcast::theory::centralized_bound;
+use radio_graph::NodeId;
+use radio_sim::Json;
+
+use crate::common::{measure_custom, point_seed, sample_connected_gnp, write_csv};
+use crate::outln;
+use crate::registry::{ExpContext, Experiment};
+use crate::report::{protocol_point_to_json, BenchPoint, BenchReport};
+
+/// Theorem 5: centralized upper bound.
+pub struct T5;
+
+impl Experiment for T5 {
+    fn name(&self) -> &'static str {
+        "t5"
+    }
+    fn banner_id(&self) -> &'static str {
+        "E-T5"
+    }
+    fn claim(&self) -> &'static str {
+        "centralized broadcast in O(ln n/ln d + ln d) rounds (Theorem 5)"
+    }
+    fn default_grid(&self) -> Vec<(&'static str, &'static str)> {
+        vec![("n", "2^10..2^15"), ("regimes", "4"), ("trials", "12")]
+    }
+
+    fn run(&self, ctx: &ExpContext) -> BenchReport {
+        let args = &ctx.args;
+        let mut report = BenchReport::new(self.name(), self.claim(), args.mode(), args.seed);
+
+        let exps: Vec<u32> = match () {
+            _ if args.quick => vec![10, 12],
+            _ if args.full => (10..=17).collect(),
+            _ => (10..=15).collect(),
+        };
+        let ns: Vec<usize> = args.sizes(exps.iter().map(|&k| 1usize << k).collect());
+        let trials = args.trials_or(args.scale(5, 12, 25));
+
+        // Density regimes (name, p(n), max n for tractability).
+        let regimes: Vec<(&str, fn(usize) -> f64, usize)> = vec![
+            (
+                "threshold 3ln n/n",
+                |n| 3.0 * (n as f64).ln() / n as f64,
+                usize::MAX,
+            ),
+            (
+                "polylog ln²n/n",
+                |n| (n as f64).ln().powi(2) / n as f64,
+                usize::MAX,
+            ),
+            ("sqrt n^-1/2", |n| (n as f64).powf(-0.5), 1 << 15),
+            ("const p=0.1", |_| 0.1, 1 << 13),
+        ];
+
+        let mut table = Table::new(vec![
+            "regime", "n", "d(avg)", "rounds", "±sd", "B(n,d)", "rounds/B", "ok",
+        ]);
+        let mut csv = CsvWriter::new(&[
+            "regime",
+            "n",
+            "p",
+            "mean_degree",
+            "mean_rounds",
+            "sd_rounds",
+            "bound",
+            "completed",
+            "trials",
+        ]);
+        let mut fit_points: Vec<(usize, f64, f64)> = Vec::new();
+
+        for (name, pf, max_n) in &regimes {
+            for &n in &ns {
+                if n > *max_n {
+                    continue;
+                }
+                let p = pf(n);
+                let seed = point_seed(args.seed, &format!("t5/{name}/{n}"));
+                let point = measure_custom(n, p, trials, seed, |rng| {
+                    let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
+                        return (None, 0.0);
+                    };
+                    let source = rng.below(n as u64) as NodeId;
+                    let built = build_eg_schedule(&g, source, CentralizedParams::default(), rng);
+                    (
+                        built.completed.then_some(built.len() as u32),
+                        g.average_degree(),
+                    )
+                });
+                let Some(rounds) = &point.rounds else {
+                    eprintln!("warning: no completed trials at {name}, n = {n}");
+                    continue;
+                };
+                let d = point.mean_degree;
+                let bound = centralized_bound(n, d);
+                let ratio = rounds.mean / bound;
+                table.add_row(vec![
+                    name.to_string(),
+                    n.to_string(),
+                    fnum(d, 1),
+                    fnum(rounds.mean, 1),
+                    fnum(rounds.std_dev, 1),
+                    fnum(bound, 1),
+                    fnum(ratio, 2),
+                    format!("{}/{}", point.completed, point.trials),
+                ]);
+                csv.add_row(&[
+                    name.to_string(),
+                    n.to_string(),
+                    format!("{p}"),
+                    format!("{d}"),
+                    format!("{}", rounds.mean),
+                    format!("{}", rounds.std_dev),
+                    format!("{bound}"),
+                    point.completed.to_string(),
+                    point.trials.to_string(),
+                ]);
+                report.push(
+                    protocol_point_to_json(&format!("{name}/n={n}"), &point)
+                        .field("regime", Json::from(*name))
+                        .field("bound", Json::from(bound))
+                        .field("rounds_over_bound", Json::from(ratio)),
+                );
+                fit_points.push((n, d, rounds.mean));
+            }
+        }
+
+        outln!(ctx, "{}", table.render());
+
+        if let Some(fit) = fit_centralized_form(&fit_points) {
+            outln!(ctx);
+            outln!(
+                ctx,
+                "fit: rounds ≈ {:.2}·(ln n/ln d) + {:.2}·ln d + {:.2}   (R² = {:.3})",
+                fit.a,
+                fit.b,
+                fit.c,
+                fit.r_squared
+            );
+            outln!(
+                ctx,
+                "paper predicts rounds = Θ(ln n/ln d + ln d): coefficients a, b should be positive O(1) constants."
+            );
+            report.push(
+                BenchPoint::new("fit")
+                    .field("a", Json::from(fit.a))
+                    .field("b", Json::from(fit.b))
+                    .field("c", Json::from(fit.c))
+                    .field("r_squared", Json::from(fit.r_squared)),
+            );
+        }
+        write_csv("exp_t5", csv.finish());
+        report
+    }
+}

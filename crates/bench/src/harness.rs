@@ -67,6 +67,7 @@ pub struct Harness {
     group: String,
     samples: usize,
     target_sample_ns: u64,
+    quiet: bool,
     results: Vec<BenchStats>,
 }
 
@@ -78,6 +79,7 @@ impl Harness {
             group: group.to_string(),
             samples: if fast { 5 } else { 20 },
             target_sample_ns: if fast { 1_000_000 } else { 5_000_000 },
+            quiet: false,
             results: Vec::new(),
         }
     }
@@ -86,6 +88,14 @@ impl Harness {
     /// benchmarks, mirroring Criterion's `sample_size`).
     pub fn sample_size(&mut self, samples: usize) -> &mut Harness {
         self.samples = samples.max(2);
+        self
+    }
+
+    /// Suppresses the per-benchmark stdout line; callers that buffer
+    /// output (the experiment registry) re-render it with
+    /// [`Harness::render_line`] instead.
+    pub fn quiet(&mut self, quiet: bool) -> &mut Harness {
+        self.quiet = quiet;
         self
     }
 
@@ -132,11 +142,21 @@ impl Harness {
             max_ns: per_iter[per_iter.len() - 1],
             throughput_elems: elems,
         };
+        if !self.quiet {
+            println!("{}", self.render_line(&stats));
+        }
+        self.results.push(stats);
+        self.results.last().unwrap()
+    }
+
+    /// The one-line human rendering of a benchmark result, exactly as
+    /// [`Harness::bench`] prints it when not quiet.
+    pub fn render_line(&self, stats: &BenchStats) -> String {
         let throughput = match stats.elems_per_sec() {
             Some(rate) => format!("  ({} elems/s)", format_si(rate)),
             None => String::new(),
         };
-        println!(
+        format!(
             "{}/{:<28} median {:>12}/iter  (mean {}, min {}, {} samples x {} iters){}",
             self.group,
             stats.name,
@@ -146,9 +166,7 @@ impl Harness {
             stats.samples,
             stats.iters_per_sample,
             throughput,
-        );
-        self.results.push(stats);
-        self.results.last().unwrap()
+        )
     }
 
     /// All stats recorded so far.

@@ -4,20 +4,38 @@
 //! Gąsieniec, *Radio communication in random graphs*.
 //!
 //! The paper is a theory extended abstract with no tables or figures; the
-//! experiment suite (one binary per claim, see `src/bin/`) regenerates an
-//! empirical validation table for each theorem and lemma — see DESIGN.md §6
-//! for the index and EXPERIMENTS.md for recorded results.
+//! experiment suite regenerates an empirical validation table for each
+//! theorem and lemma — see DESIGN.md §6 for the index and EXPERIMENTS.md
+//! for recorded results.
+//!
+//! The suite is organised as a declarative **experiment registry**: each
+//! experiment is a module in [`experiments`] implementing the
+//! [`registry::Experiment`] trait (name, claim, default grid, run), and the
+//! `radio-bench` binary is the single driver over the registry:
+//!
+//! ```text
+//! radio-bench list                 # what's available
+//! radio-bench run t5 l3 --quick    # selected experiments
+//! radio-bench all --json-dir out/  # the whole suite, parallel
+//! ```
+//!
+//! The historical one-binary-per-experiment entry points (`exp_t5`, …,
+//! `exp_summary` in `src/bin/`) remain as deprecated aliases; each is a
+//! thin shim over [`registry::run_named`].
 //!
 //! This library crate holds the shared experiment plumbing ([`common`]),
-//! the hand-rolled micro-benchmark harness ([`harness`]) driving
-//! `benches/*.rs`, and the versioned JSON bench-report schema ([`report`]);
-//! the binaries are thin drivers over it.  Every binary accepts
-//! `--json <path>` (or `RADIO_JSON_OUT=<path>`) to emit its results as a
+//! the registry core ([`registry`]) and experiment implementations
+//! ([`experiments`]), the hand-rolled micro-benchmark harness ([`harness`])
+//! driving `benches/*.rs`, and the versioned JSON bench-report schema
+//! ([`report`]).  Every experiment accepts `--json <path>`,
+//! `--json-dir <dir>` (or `RADIO_JSON_OUT=<path>`) to emit its results as a
 //! machine-readable [`report::BenchReport`] alongside the ASCII tables —
 //! see `docs/OBSERVABILITY.md`.
 
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod experiments;
 pub mod harness;
+pub mod registry;
 pub mod report;

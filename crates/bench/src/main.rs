@@ -1,0 +1,17 @@
+//! `radio-bench` — the single driver over the experiment registry.
+//!
+//! ```text
+//! radio-bench list                         # experiments with claims and grids
+//! radio-bench run <name>... [flags]        # selected experiments
+//! radio-bench all [flags]                  # the whole suite
+//! ```
+//!
+//! Flags after the subcommand are the usual experiment flags
+//! (`--quick | --full`, `--seed N`, `--trials N`, `--n N`, `--json PATH`,
+//! `--json-dir DIR`, `--grid k=v,...`).  Multi-experiment runs execute in
+//! parallel under the `RADIO_THREADS` budget with deterministic
+//! per-experiment seeds, so parallel output is bit-identical to serial.
+
+fn main() {
+    radio_bench::registry::cli_main(std::env::args().skip(1).collect());
+}

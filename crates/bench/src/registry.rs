@@ -1,0 +1,360 @@
+//! Declarative experiment registry and the `radio-bench` driver logic.
+//!
+//! Every experiment in the suite implements [`Experiment`] and registers
+//! itself in [`registry`]; the shared plumbing — argument parsing, the
+//! banner, JSON report output, and `RADIO_THREADS`-aware parallel
+//! execution *across* experiments — lives here exactly once.  Adding a
+//! seventeenth scenario is a ~30-line struct in `src/experiments/`, not a
+//! new binary.
+//!
+//! Experiments print through an [`ExpContext`] (the [`crate::outln!`]
+//! macro) instead of `println!`: output is buffered per experiment, so a
+//! parallel `radio-bench all` emits exactly the same bytes per experiment
+//! as sixteen serial binary invocations — determinism the registry tests
+//! pin down.  Seeds are derived per measurement point with
+//! [`point_seed`](crate::common::point_seed) from the master seed only,
+//! never from execution order, which is what makes parallel `all`
+//! bit-identical to serial.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::common::ExpArgs;
+use crate::report::BenchReport;
+
+/// Per-invocation context handed to [`Experiment::run`]: the parsed
+/// arguments plus the buffered stdout of this experiment.
+pub struct ExpContext {
+    /// Parsed invocation arguments (mode, seed, trial overrides, ...).
+    pub args: ExpArgs,
+    out: RefCell<String>,
+}
+
+impl ExpContext {
+    /// A context with an empty output buffer.
+    pub fn new(args: ExpArgs) -> ExpContext {
+        ExpContext {
+            args,
+            out: RefCell::new(String::new()),
+        }
+    }
+
+    /// Appends one formatted line to the buffered output (used by the
+    /// [`crate::outln!`] macro; experiments should not call this directly).
+    pub fn write_line(&self, line: std::fmt::Arguments<'_>) {
+        use std::fmt::Write;
+        let mut out = self.out.borrow_mut();
+        writeln!(out, "{line}").expect("writing to a String cannot fail");
+    }
+
+    /// Consumes the context, returning the buffered output.
+    pub fn into_output(self) -> String {
+        self.out.into_inner()
+    }
+}
+
+/// Buffered replacement for `println!` inside experiment `run` bodies:
+/// `outln!(ctx)` prints a blank line, `outln!(ctx, "fmt {}", x)` a
+/// formatted one.  Buffering keeps parallel experiment output from
+/// interleaving.
+#[macro_export]
+macro_rules! outln {
+    ($ctx:expr) => {
+        $ctx.write_line(format_args!(""))
+    };
+    ($ctx:expr, $($arg:tt)*) => {
+        $ctx.write_line(format_args!($($arg)*))
+    };
+}
+
+/// One declarative experiment: a name, the paper claim it checks, its
+/// default measurement grid, and a `run` body producing a
+/// [`BenchReport`].
+pub trait Experiment: Sync {
+    /// Registry name (`t5`, `flood`, ... — what `run <name>` matches).
+    fn name(&self) -> &'static str;
+    /// Banner identifier (`E-T5`, `E-FLD`, ...).
+    fn banner_id(&self) -> &'static str;
+    /// The claim being validated, in prose (printed in the banner and
+    /// recorded in the report).
+    fn claim(&self) -> &'static str;
+    /// The default-mode measurement grid, as displayable `k=v` pairs.
+    fn default_grid(&self) -> Vec<(&'static str, &'static str)>;
+    /// Where to write the JSON report when neither `--json` nor
+    /// `--json-dir` asked for one (only `summary` overrides this: it
+    /// commits `BENCH_sim.json` by default).
+    fn default_json_out(&self) -> Option<PathBuf> {
+        None
+    }
+    /// Runs the experiment, printing through `ctx` (see
+    /// [`crate::outln!`]) and returning the report.
+    fn run(&self, ctx: &ExpContext) -> BenchReport;
+}
+
+/// All registered experiments, in the canonical EXPERIMENTS.md order.
+pub fn registry() -> Vec<&'static dyn Experiment> {
+    use crate::experiments::*;
+    vec![
+        &t5::T5,
+        &t6::T6,
+        &t7::T7,
+        &t8::T8,
+        &l3::L3,
+        &l4::L4,
+        &flood::Flood,
+        &compare::Compare,
+        &dense::Dense,
+        &opt::Opt,
+        &gossip::Gossip,
+        &robust::Robust,
+        &ushape::Ushape,
+        &worstcase::Worstcase,
+        &ablation::Ablation,
+        &summary::Summary,
+    ]
+}
+
+/// Looks up an experiment by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+/// The result of one experiment run: its buffered stdout, the JSON
+/// destination (if any was written), and the report itself.
+pub struct RunOutcome {
+    /// Registry name of the experiment that ran.
+    pub name: &'static str,
+    /// The experiment's buffered stdout (banner + tables + readings).
+    pub output: String,
+    /// Where the JSON report was written, when requested.
+    pub json_path: Option<PathBuf>,
+    /// The report the experiment produced.
+    pub report: BenchReport,
+}
+
+/// Runs one experiment with the shared plumbing: banner, `run`, and JSON
+/// output resolution (`--json` > `--json-dir`/`<name>.json` >
+/// [`Experiment::default_json_out`]).  Does not print the buffered
+/// stdout — callers decide when (that is what keeps parallel `all`
+/// deterministic).
+pub fn run_experiment(exp: &dyn Experiment, args: &ExpArgs) -> RunOutcome {
+    let ctx = ExpContext::new(args.clone());
+    outln!(ctx, "# Experiment {}", exp.banner_id());
+    outln!(ctx, "# Claim: {}", exp.claim());
+    outln!(ctx, "# mode: {}  seed: {}", args.mode(), args.seed);
+    outln!(ctx);
+    let report = exp.run(&ctx);
+    let json_path = args
+        .json_out
+        .clone()
+        .or_else(|| {
+            args.json_dir
+                .as_ref()
+                .map(|d| d.join(format!("{}.json", exp.name())))
+        })
+        .or_else(|| exp.default_json_out());
+    let json_path = json_path.and_then(|path| match report.write(&path) {
+        Ok(()) => {
+            eprintln!("JSON report written to {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    });
+    RunOutcome {
+        name: exp.name(),
+        output: ctx.into_output(),
+        json_path,
+        report,
+    }
+}
+
+/// Runs several experiments with work-stealing over registry entries,
+/// honoring `RADIO_THREADS` via [`radio_sim::thread_budget`].  Outcomes
+/// come back in input order regardless of which worker ran what, and —
+/// because every experiment seeds its points from the master seed alone —
+/// each outcome is bit-identical to a serial run.
+pub fn run_many(exps: &[&'static dyn Experiment], args: &ExpArgs) -> Vec<RunOutcome> {
+    let workers = radio_sim::thread_budget(exps.len());
+    if workers <= 1 || exps.len() <= 1 {
+        return exps.iter().map(|e| run_experiment(*e, args)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutcome>>> = exps.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= exps.len() {
+                    break;
+                }
+                let outcome = run_experiment(exps[i], args);
+                *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every experiment slot filled")
+        })
+        .collect()
+}
+
+/// Entry point for the deprecated per-experiment shim binaries
+/// (`exp_t5`, ...): parse the standard flags, run the one named
+/// experiment, print its output.
+pub fn run_named(name: &str) {
+    let args = ExpArgs::parse();
+    let Some(exp) = find(name) else {
+        eprintln!("error: unknown experiment {name:?} (run `radio-bench list`)");
+        std::process::exit(2);
+    };
+    let outcome = run_experiment(exp, &args);
+    print!("{}", outcome.output);
+}
+
+/// The `radio-bench` driver: `list`, `run <name>... [flags]`, and
+/// `all [flags]`.  `argv` excludes the program name.  Also reachable as
+/// `radio-cli bench ...`.
+pub fn cli_main(argv: Vec<String>) {
+    let mut it = argv.into_iter();
+    let cmd = it.next().unwrap_or_else(|| cli_usage(""));
+    let rest: Vec<String> = it.collect();
+    match cmd.as_str() {
+        "list" => {
+            if !rest.is_empty() {
+                cli_usage("`list` takes no arguments");
+            }
+            print!("{}", render_list());
+        }
+        "run" => {
+            let mut names: Vec<String> = Vec::new();
+            let mut flags: Vec<String> = Vec::new();
+            for (i, a) in rest.iter().enumerate() {
+                if a.starts_with("--") {
+                    flags.extend_from_slice(&rest[i..]);
+                    break;
+                }
+                names.push(a.clone());
+            }
+            if names.is_empty() {
+                cli_usage("`run` needs at least one experiment name");
+            }
+            let exps: Vec<&'static dyn Experiment> = names
+                .iter()
+                .map(|n| {
+                    find(n).unwrap_or_else(|| {
+                        cli_usage(&format!("unknown experiment {n:?} (try `list`)"))
+                    })
+                })
+                .collect();
+            run_and_print(&exps, ExpArgs::parse_from(flags));
+        }
+        "all" => {
+            run_and_print(&registry(), ExpArgs::parse_from(rest));
+        }
+        "--help" | "-h" | "help" => cli_usage(""),
+        other => cli_usage(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn run_and_print(exps: &[&'static dyn Experiment], mut args: ExpArgs) {
+    if exps.len() > 1 && args.json_out.is_some() {
+        eprintln!(
+            "warning: --json names a single file but {} experiments were selected; \
+             ignoring it — use --json-dir for one report per experiment",
+            exps.len()
+        );
+        args.json_out = None;
+    }
+    for outcome in run_many(exps, &args) {
+        print!("{}", outcome.output);
+    }
+}
+
+/// The `list` subcommand body (also used by tests).
+pub fn render_list() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for exp in registry() {
+        let grid = exp
+            .default_grid()
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(
+            out,
+            "{:<10} {:<6} [{grid}]\n{:<17} {}",
+            exp.name(),
+            exp.banner_id(),
+            "",
+            exp.claim()
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out.push_str("\nrun one with `radio-bench run <name>`, everything with `radio-bench all`.\n");
+    out
+}
+
+fn cli_usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: radio-bench <subcommand>\n\
+         \n\
+         subcommands:\n\
+         \x20 list                      show every registered experiment\n\
+         \x20 run <name>... [flags]     run the named experiments\n\
+         \x20 all [flags]               run the whole registry (parallel, RADIO_THREADS-aware)\n\
+         \n\
+         flags: [--quick | --full] [--seed N] [--trials N] [--n N]\n\
+         \x20      [--json PATH] [--json-dir DIR] [--grid k=v,...]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_findable() {
+        let reg = registry();
+        assert_eq!(reg.len(), 16);
+        let mut names: Vec<&str> = reg.iter().map(|e| e.name()).collect();
+        for name in &names {
+            assert!(find(name).is_some(), "find({name}) failed");
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "duplicate registry names");
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn list_mentions_every_experiment() {
+        let listing = render_list();
+        for exp in registry() {
+            assert!(listing.contains(exp.name()));
+            assert!(listing.contains(exp.banner_id()));
+        }
+    }
+
+    #[test]
+    fn outln_buffers_lines() {
+        let ctx = ExpContext::new(ExpArgs::default());
+        outln!(ctx, "a {}", 1);
+        outln!(ctx);
+        outln!(ctx, "b");
+        assert_eq!(ctx.into_output(), "a 1\n\nb\n");
+    }
+}

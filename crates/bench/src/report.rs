@@ -175,6 +175,27 @@ impl BenchReport {
         })
     }
 
+    /// A copy with every wall-clock-derived field removed from every point:
+    /// keys ending in `_ns`/`_ms`, containing `_ns_`/`_ms_`, or equal to
+    /// `elems_per_sec`/`iters_per_sample`.  Two runs of the same experiment
+    /// at the same seed must compare equal under this projection regardless
+    /// of machine or thread count — the determinism tests rely on it.
+    pub fn without_timing_fields(&self) -> BenchReport {
+        let timing = |key: &str| {
+            key.ends_with("_ns")
+                || key.ends_with("_ms")
+                || key.contains("_ns_")
+                || key.contains("_ms_")
+                || key == "elems_per_sec"
+                || key == "iters_per_sample"
+        };
+        let mut out = self.clone();
+        for point in &mut out.points {
+            point.fields.retain(|(k, _)| !timing(k));
+        }
+        out
+    }
+
     /// Writes the report, pretty-printed, to `path`.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {

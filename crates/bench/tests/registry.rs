@@ -1,0 +1,101 @@
+//! Integration tests for the experiment registry: every experiment runs
+//! at a smoke grid and emits a schema-valid bench report, and a parallel
+//! `all` is bit-identical to a serial one (modulo wall-clock timing
+//! fields, which [`BenchReport::without_timing_fields`] strips).
+
+use radio_bench::common::ExpArgs;
+use radio_bench::registry::{registry, run_experiment, run_many};
+use radio_bench::report::BenchReport;
+
+/// The smoke grid: quick mode, one trial, n capped at 256.
+fn smoke_args(json_dir: Option<std::path::PathBuf>) -> ExpArgs {
+    ExpArgs {
+        quick: true,
+        trials: Some(1),
+        n_override: Some(256),
+        json_dir,
+        ..ExpArgs::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("radio-bench-registry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn smoke_grid_runs_and_parallel_matches_serial() {
+    // ---- serial pass: every experiment at the smoke grid, JSON to disk ----
+    let dir = temp_dir("smoke");
+    let args = smoke_args(Some(dir.clone()));
+    let serial: Vec<_> = registry()
+        .into_iter()
+        .map(|e| run_experiment(e, &args))
+        .collect();
+    assert_eq!(serial.len(), 16);
+
+    for outcome in &serial {
+        // The banner is part of the buffered output.
+        assert!(
+            outcome.output.starts_with("# Experiment E-"),
+            "{}: missing banner in output",
+            outcome.name
+        );
+        assert!(
+            !outcome.report.points.is_empty(),
+            "{}: report has no points at the smoke grid",
+            outcome.name
+        );
+        // The written JSON round-trips through the versioned schema.
+        let path = outcome
+            .json_path
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no JSON written", outcome.name));
+        assert_eq!(path, &dir.join(format!("{}.json", outcome.name)));
+        let read = BenchReport::read(path)
+            .unwrap_or_else(|e| panic!("{}: schema-invalid report: {e}", outcome.name));
+        assert_eq!(read.points.len(), outcome.report.points.len());
+        assert_eq!(read.seed, args.seed);
+        assert_eq!(read.mode, "quick");
+    }
+    // Every registry name produced exactly one file.
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 16);
+
+    // ---- parallel pass: run_many must reproduce the serial outcomes ----
+    let par_dir = temp_dir("par");
+    let par_args = smoke_args(Some(par_dir.clone()));
+    let parallel = run_many(&registry(), &par_args);
+    assert_eq!(parallel.len(), serial.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "outcome order must match registry order");
+        // Reports are bit-identical once wall-clock fields are stripped
+        // (the summary experiment measures real time; everything else is
+        // already exactly reproducible).
+        let s_json = s.report.without_timing_fields().to_json().render_pretty();
+        let p_json = p.report.without_timing_fields().to_json().render_pretty();
+        assert_eq!(
+            s_json, p_json,
+            "{}: parallel report differs from serial",
+            s.name
+        );
+        // Buffered stdout is byte-identical for experiments that do not
+        // print wall-clock measurements.
+        if !matches!(s.name, "summary" | "ablation") {
+            assert_eq!(
+                s.output, p.output,
+                "{}: parallel output differs from serial",
+                s.name
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&par_dir);
+}

@@ -162,10 +162,20 @@ pub fn run(args: &Args) -> CmdResult {
     let text = format == "text";
     let mut trace_out: Option<std::io::BufWriter<std::fs::File>> = match args.get("trace-out") {
         None => None,
-        Some(path) => Some(std::io::BufWriter::new(
-            std::fs::File::create(path)
-                .map_err(|e| ParseError(format!("--trace-out {path}: {e}")))?,
-        )),
+        Some(path) => {
+            // Create missing parent directories so a fresh results tree
+            // (e.g. --trace-out results/traces/run.jsonl) just works.
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| ParseError(format!("--trace-out {path}: {e}")))?;
+                }
+            }
+            Some(std::io::BufWriter::new(
+                std::fs::File::create(path)
+                    .map_err(|e| ParseError(format!("--trace-out {path}: {e}")))?,
+            ))
+        }
     };
 
     // JSON reports derive transmission totals and milestone rounds from the
@@ -302,7 +312,9 @@ pub fn run(args: &Args) -> CmdResult {
         use std::io::Write;
         out.flush()
             .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
-        eprintln!("per-round trace written as JSONL");
+        // args.get("trace-out") is Some whenever trace_out is.
+        let path = args.get("trace-out").unwrap_or_default();
+        eprintln!("per-round trace written as JSONL to {path}");
     }
     if !text {
         println!("{}", Json::Arr(reports).render_pretty());

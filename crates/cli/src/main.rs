@@ -25,6 +25,13 @@ fn main() {
         print_usage();
         return;
     }
+    // `radio-cli bench ...` forwards to the experiment registry driver, so
+    // one front end reaches both the algorithm runners and the experiment
+    // suite.  Everything after `bench` is registry syntax (list/run/all).
+    if argv[0] == "bench" {
+        radio_bench::registry::cli_main(argv[1..].to_vec());
+        return;
+    }
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -66,6 +73,8 @@ subcommands:
   structure  BFS layer + degree structure        [graph] [--seed S]
   gossip     all-to-all radio gossiping          --n N (--d D | --p P) [--trials K] [--seed S]
   lower      sample lower-bound schedules        --n N (--d D | --p P) [--trials K] [--seed S]
+  bench      experiment registry driver          bench list | bench run NAME... | bench all
+             (same flags as radio-bench; see `radio-cli bench list`)
 
 examples:
   radio-cli run --n 10000 --d 50 --protocol eg --trials 5

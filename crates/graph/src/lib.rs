@@ -60,4 +60,4 @@ pub use bfs::Layering;
 pub use bitmap::AdjacencyBitmap;
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
-pub use rng::{child_rng, derive_seed, SplitMix64, Xoshiro256pp};
+pub use rng::{child_rng, derive_seed, labeled_seed, SplitMix64, Xoshiro256pp};

@@ -87,7 +87,7 @@ pub use protocol::{
     Protocol, RunConfig,
 };
 pub use report::RunReport;
-pub use runner::{run_trials, run_trials_serial};
+pub use runner::{parse_radio_threads, run_trials, run_trials_serial, thread_budget};
 pub use schedule::{
     run_schedule, run_schedule_observed, run_schedule_observed_with_kernel,
     run_schedule_with_kernel, Schedule,

@@ -20,8 +20,9 @@ use radio_graph::{child_rng, Xoshiro256pp};
 ///
 /// The worker count defaults to the machine's available parallelism and can
 /// be capped with the `RADIO_THREADS` environment variable (any positive
-/// integer; non-numeric or zero values are ignored) — useful for stable
-/// benchmarking and shared CI boxes.  Thread count never affects results.
+/// integer; zero or non-numeric values abort with a clear message) — useful
+/// for stable benchmarking and shared CI boxes.  Thread count never affects
+/// results.
 pub fn run_trials<T, F>(trials: usize, master_seed: u64, job: F) -> Vec<T>
 where
     T: Send,
@@ -74,20 +75,45 @@ where
         .collect()
 }
 
-/// Worker-thread budget: the `RADIO_THREADS` override when set to a
-/// positive integer, otherwise the machine's available parallelism — always
-/// capped at the trial count.
-fn worker_count(trials: usize) -> usize {
-    std::env::var("RADIO_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&w| w > 0)
+/// Parses a raw `RADIO_THREADS` value.
+///
+/// `None` (variable unset) is `Ok(None)`: use the machine's available
+/// parallelism.  A positive integer is `Ok(Some(n))`.  Anything else —
+/// `0`, negative, non-numeric — is an `Err` with a user-facing message;
+/// a silent fallback here would make "I capped the benchmark to one
+/// thread" failures invisible.
+pub fn parse_radio_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "RADIO_THREADS must be a positive integer (worker-thread cap), got {raw:?}"
+        )),
+    }
+}
+
+/// The worker-thread budget for `tasks` parallel tasks: the validated
+/// `RADIO_THREADS` override when set, otherwise the machine's available
+/// parallelism — always capped at the task count.
+///
+/// Panics with a clear message when `RADIO_THREADS` is set to an invalid
+/// value (zero or non-numeric); see [`parse_radio_threads`].
+pub fn thread_budget(tasks: usize) -> usize {
+    let env = std::env::var("RADIO_THREADS").ok();
+    parse_radio_threads(env.as_deref())
+        .unwrap_or_else(|msg| panic!("{msg}"))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())
                 .unwrap_or(1)
         })
-        .min(trials.max(1))
+        .min(tasks.max(1))
+}
+
+/// Worker-thread budget for a trial sweep (alias kept for readability at
+/// the call sites below).
+fn worker_count(trials: usize) -> usize {
+    thread_budget(trials)
 }
 
 /// Raw-pointer wrapper so worker threads can write disjoint `slots` entries.
@@ -155,15 +181,23 @@ mod tests {
         let ser = run_trials_serial(16, 5, |i, rng| (i, rng.next()));
         assert_eq!(par, ser);
 
-        // Invalid values fall back to available parallelism.
-        std::env::set_var("RADIO_THREADS", "0");
-        assert!(worker_count(8) >= 1);
-        std::env::set_var("RADIO_THREADS", "lots");
-        assert!(worker_count(8) >= 1);
-
         // The cap at the trial count still applies.
         std::env::set_var("RADIO_THREADS", "64");
         assert_eq!(worker_count(2), 2);
         std::env::remove_var("RADIO_THREADS");
+    }
+
+    #[test]
+    fn parse_radio_threads_validation() {
+        assert_eq!(parse_radio_threads(None), Ok(None));
+        assert_eq!(parse_radio_threads(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_radio_threads(Some(" 8 ")), Ok(Some(8)));
+        for bad in ["0", "-2", "lots", "", "1.5"] {
+            let err = parse_radio_threads(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("RADIO_THREADS") && err.contains(bad),
+                "message should name the variable and the bad value: {err}"
+            );
+        }
     }
 }

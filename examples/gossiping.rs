@@ -59,5 +59,5 @@ fn main() {
         "ratio ≈ {:.1} ≈ Θ(d = {d}): a rumor escapes its holder only when that specific\nnode transmits collision-free — a Θ(1/d)-per-round event — while broadcast\nprogresses whenever *any* unique transmitter borders the frontier.",
         full.rounds as f64 / bcast.rounds as f64
     );
-    println!("\nsee `cargo run --release -p radio-bench --bin exp_gossip` for the full sweep.");
+    println!("\nsee `cargo run --release -p radio-bench -- run gossip` for the full sweep.");
 }

@@ -59,6 +59,6 @@ fn main() {
     println!(
         "\nboth ratio columns hover around small constants as n grows 32× — the
 Θ(ln n) (Theorem 7) and Θ(ln n/ln d + ln d) (Theorem 5) scalings in action.
-Run the full sweeps with `cargo run --release -p radio-bench --bin exp_t7`."
+Run the full sweeps with `cargo run --release -p radio-bench -- run t7`."
     );
 }

@@ -3,8 +3,8 @@
 #
 # Usage: scripts/bench_diff.sh [NEW_REPORT.json]
 #   NEW_REPORT.json  an already-generated bench report to compare; when
-#                    omitted, exp_summary is run (release, committed seed)
-#                    into a temporary file first.
+#                    omitted, the summary experiment is run (release,
+#                    committed seed) into a temporary file first.
 #
 # Prints, per bench label, mean_ns for baseline and candidate, the raw
 # delta in ns, and the relative delta.  Negative deltas are speedups.
@@ -25,9 +25,9 @@ git show HEAD:BENCH_sim.json > "$baseline"
 if [ -z "$new" ]; then
   tmp_new=$(mktemp)
   new="$tmp_new"
-  echo "running exp_summary (release, seed 20060501) ..." >&2
-  cargo run --release --offline -q -p radio-bench --bin exp_summary -- \
-    --seed 20060501 --json "$new" > /dev/null
+  echo "running the summary experiment (release, seed 20060501) ..." >&2
+  cargo run --release --offline -q -p radio-bench -- \
+    run summary --seed 20060501 --json "$new" > /dev/null
 fi
 
 # The reports are rendered by radio_sim::json (2-space pretty print, one

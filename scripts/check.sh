@@ -49,6 +49,13 @@ if [ "$fast" -eq 0 ]; then
   step "batch equivalence suite (release)"
   cargo test --release --offline -q -p radio-sim batch
   cargo test --release --offline -q -p radio-integration --test batch_vs_scalar
+
+  # The experiment registry: the driver must list all experiments, and the
+  # smoke suite runs every registered experiment at a tiny grid and checks
+  # the parallel `all` path is bit-identical to serial.
+  step "experiment registry (release)"
+  cargo run --release --offline -q -p radio-bench -- list
+  cargo test --release --offline -q -p radio-bench --test registry
 fi
 
 printf '\nall checks passed\n'
