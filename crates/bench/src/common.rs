@@ -238,6 +238,10 @@ pub struct ProtocolPoint {
     /// Trial lanes per graph (1 for scalar measurements; see
     /// [`measure_protocol_batch`]).
     pub batch_lanes: usize,
+    /// Total `G(n, p)` samples rejected for disconnectedness across all
+    /// trials ([`sample_connected_gnp`]); 0 when the measurement does not
+    /// condition on connectivity.
+    pub resamples: usize,
 }
 
 /// Trial lanes per graph sample in [`measure_protocol`]'s two-level
@@ -278,23 +282,32 @@ where
     P: Protocol,
     F: Fn() -> P + Sync,
 {
-    let per_graph: Vec<Vec<(Option<u32>, f64)>> = run_trials(graphs, master_seed, |_i, rng| {
-        let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
-            return vec![(None, 0.0); lanes];
+    // One entry per graph sample: the per-lane (rounds, degree) pairs plus
+    // the connectivity-rejection count for that sample.
+    type GraphTrial = (Vec<(Option<u32>, f64)>, usize);
+    let per_graph: Vec<GraphTrial> = run_trials(graphs, master_seed, |_i, rng| {
+        let Some((g, rejected)) = sample_connected_gnp(n, p, rng, 50) else {
+            return (vec![(None, 0.0); lanes], 50);
         };
         let source = rng.below(n as u64) as NodeId;
         let mut proto = protocol_factory();
         let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
         let lane_seed = rng.next();
         let d = g.average_degree();
-        run_protocol_batch(&g, source, &mut proto, cfg, lane_seed, lanes)
+        let lanes_out = run_protocol_batch(&g, source, &mut proto, cfg, lane_seed, lanes)
             .into_iter()
             .map(|r| (r.completed.then_some(r.rounds), d))
-            .collect()
+            .collect();
+        (lanes_out, rejected)
     });
-    let results: Vec<(Option<u32>, f64)> = per_graph.into_iter().flatten().collect();
+    let resamples: usize = per_graph.iter().map(|(_, rej)| rej).sum();
+    let results: Vec<(Option<u32>, f64)> = per_graph
+        .into_iter()
+        .flat_map(|(lanes_out, _)| lanes_out)
+        .collect();
     let mut point = summarize_point(n, p, graphs * lanes, &results);
     point.batch_lanes = lanes;
+    point.resamples = resamples;
     point
 }
 
@@ -331,6 +344,7 @@ fn summarize_point(
         completed: rounds.len(),
         trials,
         batch_lanes: 1,
+        resamples: 0,
     }
 }
 
@@ -407,6 +421,17 @@ mod tests {
         let pt = measure_protocol_batch(80, 0.1, 3, 5, 11, || Flooding);
         assert_eq!(pt.trials, 15);
         assert_eq!(pt.batch_lanes, 5);
+        // Dense enough that connectivity rejection is essentially never hit.
+        assert_eq!(pt.resamples, 0);
+    }
+
+    #[test]
+    fn resamples_counts_rejected_graphs() {
+        // p far below the connectivity threshold: every sample is rejected,
+        // so each of the 2 graph trials burns its full budget of 50.
+        let pt = measure_protocol_batch(500, 0.0005, 2, 1, 3, || Flooding);
+        assert_eq!(pt.resamples, 100);
+        assert_eq!(pt.completed, 0);
     }
 
     #[test]

@@ -1,25 +1,35 @@
-//! Experiment E-ROB — fault injection: broadcast under reception loss.
+//! Experiment E-ROB — fault injection: broadcast under loss and node faults.
 //!
-//! Extension beyond the paper: real radios lose packets to fading and noise
-//! even without collisions.  The simulator's fault-injection mode drops each
-//! otherwise-successful reception independently with probability `f`
-//! ([`radio_sim::RunConfig::with_loss`]).  Random-graph broadcast should be
-//! robust: a lost delivery is retried by later selective rounds, so the
-//! expected slowdown is roughly `1/(1−f)` and completion is maintained
-//! until `f` approaches 1.
+//! Extension beyond the paper: real radios lose packets and real nodes
+//! fail.  Two measurement families share this experiment:
 //!
-//! Method: fix `(n, p)`, sweep `f`, run the EG protocol and Decay; record
-//! completion rate and mean rounds.  A second table runs the multi-source
-//! variant — at polylog density the flood phase is only ~2 rounds, so the
-//! expected (and observed) effect of extra sources is near nil.
+//! 1. **Reception loss** — each otherwise-successful reception is dropped
+//!    independently with probability `f`
+//!    ([`radio_sim::RunConfig::with_loss`]).  Random-graph broadcast should
+//!    be robust: a lost delivery is retried by later selective rounds, so
+//!    the expected slowdown is roughly `1/(1−f)` and completion is
+//!    maintained until `f` approaches 1.
+//! 2. **Fault matrix** — structured node faults from the fault-model
+//!    subsystem ([`radio_sim::FaultPlan`]): crash (fail-stop), sleep (late
+//!    wake), jammers (persistent local noise), and Gilbert–Elliott burst
+//!    loss, each swept over an intensity grid for EG, Decay, and the
+//!    epoch-restarting EG wrapper ([`Restartable`]).  The metric shifts
+//!    from completion to *graceful degradation*: final coverage fraction,
+//!    residual uninformed among live reachable nodes, and slowdown of the
+//!    completed runs against the fault-free baseline.
+//!
+//! A third table runs the multi-source variant — at polylog density the
+//! flood phase is only ~2 rounds, so the expected (and observed) effect of
+//! extra sources is near nil.
 
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Summary, Table};
-use radio_broadcast::distributed::{Decay, EgDistributed};
+use radio_broadcast::distributed::{Decay, EgDistributed, Restartable};
 use radio_graph::NodeId;
 use radio_sim::{
-    run_protocol, run_protocol_multi, run_trials, Json, Protocol, RunConfig, TraceLevel,
+    run_protocol, run_protocol_faulty, run_protocol_multi, run_trials, FaultConfig, FaultPlan,
+    Json, Protocol, RunConfig, TraceLevel,
 };
 
 use crate::common::{point_seed, sample_connected_gnp, write_csv};
@@ -27,8 +37,44 @@ use crate::outln;
 use crate::registry::{ExpContext, Experiment};
 use crate::report::{summary_to_json, BenchPoint, BenchReport};
 
-/// Fault-injection extension: broadcast under reception loss.
+/// Fault-injection extension: broadcast under loss and node faults.
 pub struct Robust;
+
+/// The three protocols the fault matrix compares.
+const FM_PROTOCOLS: [&str; 3] = ["eg-distributed", "decay", "restartable-eg"];
+
+fn fm_protocol(name: &str, p: f64) -> Box<dyn Protocol> {
+    match name {
+        "eg-distributed" => Box::new(EgDistributed::new(p)),
+        "decay" => Box::new(Decay::new()),
+        _ => Box::new(Restartable::auto(EgDistributed::new(p))),
+    }
+}
+
+/// Builds the [`FaultConfig`] for one fault-matrix cell.  `x` is the
+/// sweep intensity: a node fraction for `crash`/`sleep`, a jammer count
+/// for `jam`, and the bad-state entry probability for `burst`.
+fn fm_config(fault: &str, x: f64) -> FaultConfig {
+    let mut cfg = FaultConfig::default();
+    match fault {
+        "crash" => cfg.crash_rate = x,
+        "sleep" => cfg.sleep_rate = x,
+        "jam" => {
+            cfg.jammers = x as usize;
+            cfg.jam_from = 1;
+            cfg.jam_len = 0; // jam forever
+        }
+        _ => {
+            if x > 0.0 {
+                cfg.burst = Some(radio_sim::BurstParams {
+                    p_bad: x,
+                    p_good: 0.25,
+                });
+            }
+        }
+    }
+    cfg
+}
 
 impl Experiment for Robust {
     fn name(&self) -> &'static str {
@@ -38,10 +84,16 @@ impl Experiment for Robust {
         "E-ROB"
     }
     fn claim(&self) -> &'static str {
-        "broadcast under per-reception loss f: rounds grow ≈ 1/(1−f), completion maintained"
+        "graceful degradation: loss slows broadcast ≈ 1/(1−f); crash/sleep/jam/burst faults \
+         degrade coverage smoothly, and epoch restarts recover stragglers"
     }
     fn default_grid(&self) -> Vec<(&'static str, &'static str)> {
-        vec![("n", "2^13"), ("loss", "0..0.9"), ("trials", "25")]
+        vec![
+            ("n", "2^13"),
+            ("loss", "0..0.9"),
+            ("faults", "crash|sleep|jam|burst"),
+            ("trials", "25"),
+        ]
     }
 
     fn run(&self, ctx: &ExpContext) -> BenchReport {
@@ -69,14 +121,23 @@ impl Experiment for Robust {
             "slowdown vs f=0",
             "1/(1−f)",
         ]);
-        let mut csv = CsvWriter::new(&["protocol", "loss", "completions", "trials", "mean_rounds"]);
+        let mut csv = CsvWriter::new(&[
+            "protocol",
+            "loss",
+            "completions",
+            "trials",
+            "mean_rounds",
+            "resamples",
+        ]);
 
         for proto_name in ["eg-distributed", "decay"] {
             let mut baseline: Option<f64> = None;
             for &f in &losses {
                 let seed = point_seed(args.seed, &format!("rob/{proto_name}/{f}"));
-                let results: Vec<Option<u32>> = run_trials(trials, seed, |_i, rng| {
-                    let (g, _) = sample_connected_gnp(n, p, rng, 50)?;
+                let results: Vec<(Option<u32>, usize)> = run_trials(trials, seed, |_i, rng| {
+                    let Some((g, rejected)) = sample_connected_gnp(n, p, rng, 50) else {
+                        return (None, 50);
+                    };
                     let source = rng.below(n as u64) as NodeId;
                     let cfg = RunConfig::for_graph(n)
                         .with_loss(f)
@@ -86,9 +147,13 @@ impl Experiment for Robust {
                         _ => Box::new(Decay::new()),
                     };
                     let r = run_protocol(&g, source, proto.as_mut(), cfg, rng);
-                    r.completed.then_some(r.rounds)
+                    (r.completed.then_some(r.rounds), rejected)
                 });
-                let rounds: Vec<f64> = results.iter().flatten().map(|&r| r as f64).collect();
+                let rounds: Vec<f64> = results
+                    .iter()
+                    .filter_map(|(r, _)| r.map(|x| x as f64))
+                    .collect();
+                let resamples: usize = results.iter().map(|(_, rej)| rej).sum();
                 let completions = rounds.len();
                 let ci = proportion_ci(completions, trials).unwrap();
                 let s = Summary::of(&rounds);
@@ -115,6 +180,7 @@ impl Experiment for Robust {
                     completions.to_string(),
                     trials.to_string(),
                     mean.map(|m| format!("{m}")).unwrap_or_default(),
+                    resamples.to_string(),
                 ]);
                 report.push(
                     BenchPoint::new(&format!("{proto_name}/f={f}"))
@@ -124,11 +190,147 @@ impl Experiment for Robust {
                         .field("ci_lo", Json::from(ci.lo))
                         .field("ci_hi", Json::from(ci.hi))
                         .field("rounds", s.as_ref().map_or(Json::Null, summary_to_json))
-                        .field("trials", Json::from(trials)),
+                        .field("trials", Json::from(trials))
+                        .field("resamples", Json::from(resamples)),
                 );
             }
         }
         outln!(ctx, "{}", table.render());
+
+        // ---- fault matrix -----------------------------------------------------
+        let fm_trials = args.trials_or(args.scale(6, 20, 40));
+        let budget = (24.0 * (n as f64).ln()).ceil() as u32;
+        outln!(
+            ctx,
+            "\n## Fault matrix ({fm_trials} trials per cell, round budget {budget})\n"
+        );
+        outln!(
+            ctx,
+            "coverage = informed/n at budget; residual = live reachable nodes left"
+        );
+        outln!(
+            ctx,
+            "uninformed; slowdown = mean completed rounds vs the fault-free cell.\n"
+        );
+
+        let sweeps: [(&str, &[f64]); 4] = [
+            ("crash", &[0.0, 0.05, 0.1, 0.2, 0.4]),
+            ("sleep", &[0.0, 0.1, 0.3, 0.6]),
+            ("jam", &[0.0, 1.0, 4.0, 16.0]),
+            ("burst", &[0.0, 0.1, 0.3, 0.6]),
+        ];
+        let mut t_faults = Table::new(vec![
+            "fault",
+            "x",
+            "protocol",
+            "coverage",
+            "completion",
+            "rounds",
+            "slowdown",
+            "residual",
+        ]);
+        let mut fcsv = CsvWriter::new(&[
+            "fault",
+            "intensity",
+            "protocol",
+            "coverage_mean",
+            "completions",
+            "trials",
+            "mean_rounds",
+            "residual_mean",
+            "resamples",
+        ]);
+        for (fault, grid) in sweeps {
+            for proto_name in FM_PROTOCOLS {
+                let mut baseline: Option<f64> = None;
+                for &x in grid {
+                    let seed = point_seed(args.seed, &format!("rob/fm/{fault}/{proto_name}/{x}"));
+                    let results: Vec<Option<(f64, Option<u32>, usize, usize)>> =
+                        run_trials(fm_trials, seed, |_i, rng| {
+                            let (g, rejected) = sample_connected_gnp(n, p, rng, 50)?;
+                            let source = rng.below(n as u64) as NodeId;
+                            let mut fc = fm_config(fault, x);
+                            fc.exempt = Some(source);
+                            let plan = FaultPlan::generate(&g, &fc, rng.next());
+                            let cfg = RunConfig::for_graph(n)
+                                .with_max_rounds(budget)
+                                .with_trace(TraceLevel::SummaryOnly);
+                            let mut proto = fm_protocol(proto_name, p);
+                            let r = run_protocol_faulty(&g, source, &mut proto, cfg, &plan, rng);
+                            let residual =
+                                r.faults.map_or(0, |summary| summary.residual_uninformed);
+                            Some((
+                                r.informed as f64 / n as f64,
+                                r.completed.then_some(r.rounds),
+                                residual,
+                                rejected,
+                            ))
+                        });
+                    let ok: Vec<&(f64, Option<u32>, usize, usize)> =
+                        results.iter().flatten().collect();
+                    if ok.is_empty() {
+                        continue;
+                    }
+                    let coverage = ok.iter().map(|(c, _, _, _)| c).sum::<f64>() / ok.len() as f64;
+                    let residual_mean =
+                        ok.iter().map(|(_, _, r, _)| *r as f64).sum::<f64>() / ok.len() as f64;
+                    let resamples: usize = ok.iter().map(|(_, _, _, rej)| rej).sum();
+                    let rounds: Vec<f64> = ok
+                        .iter()
+                        .filter_map(|(_, r, _, _)| r.map(|x| x as f64))
+                        .collect();
+                    let completions = rounds.len();
+                    let s = Summary::of(&rounds);
+                    let mean = s.as_ref().map(|s| s.mean);
+                    if x == 0.0 {
+                        baseline = mean;
+                    }
+                    let slowdown = match (mean, baseline) {
+                        (Some(m), Some(b)) if b > 0.0 => Some(m / b),
+                        _ => None,
+                    };
+                    t_faults.add_row(vec![
+                        fault.to_string(),
+                        fnum(x, 2),
+                        proto_name.to_string(),
+                        fnum(coverage, 3),
+                        format!("{completions}/{}", ok.len()),
+                        s.as_ref().map(|s| fnum(s.mean, 1)).unwrap_or("—".into()),
+                        slowdown.map(|sd| fnum(sd, 2)).unwrap_or("—".into()),
+                        fnum(residual_mean, 1),
+                    ]);
+                    fcsv.add_row(&[
+                        fault.to_string(),
+                        format!("{x}"),
+                        proto_name.to_string(),
+                        format!("{coverage}"),
+                        completions.to_string(),
+                        ok.len().to_string(),
+                        mean.map(|m| format!("{m}")).unwrap_or_default(),
+                        format!("{residual_mean}"),
+                        resamples.to_string(),
+                    ]);
+                    report.push(
+                        BenchPoint::new(&format!("fault/{fault}/{proto_name}/x={x}"))
+                            .field("fault", Json::from(fault))
+                            .field("intensity", Json::from(x))
+                            .field("protocol", Json::from(proto_name))
+                            .field("coverage_mean", Json::from(coverage))
+                            .field(
+                                "completion_rate",
+                                Json::from(completions as f64 / ok.len() as f64),
+                            )
+                            .field("rounds", s.as_ref().map_or(Json::Null, summary_to_json))
+                            .field("slowdown", slowdown.map_or(Json::Null, Json::from))
+                            .field("residual_mean", Json::from(residual_mean))
+                            .field("resamples", Json::from(resamples))
+                            .field("trials", Json::from(ok.len())),
+                    );
+                }
+            }
+        }
+        outln!(ctx, "{}", t_faults.render());
+        write_csv("exp_robust_faults", fcsv.finish());
 
         // ---- multi-source -----------------------------------------------------
         outln!(ctx, "\n## Multi-source broadcast (no loss): k sources\n");
@@ -167,6 +369,7 @@ impl Experiment for Robust {
                 rounds.len().to_string(),
                 trials.to_string(),
                 format!("{}", s.mean),
+                "0".to_string(),
             ]);
             report.push(
                 BenchPoint::new(&format!("multi-source/k={k}"))
@@ -192,17 +395,33 @@ impl Experiment for Robust {
         );
         outln!(
             ctx,
-            "need several consecutive successes). Extra sources barely help here: the"
+            "need several consecutive successes). In the fault matrix, coverage falls"
         );
         outln!(
             ctx,
-            "EG flood phase is only D₁ ≈ log_d n ≈ 2 rounds at this density, so there"
+            "smoothly — not catastrophically — with crash rate (the survivors' subgraph"
         );
         outln!(
             ctx,
-            "is almost nothing for k sources to shave — robustness comes from the"
+            "stays an expander), sleep and burst faults cost rounds rather than"
         );
-        outln!(ctx, "selective phase, not the flood.");
+        outln!(
+            ctx,
+            "coverage once epochs restart, and a few jammers only blind their own"
+        );
+        outln!(
+            ctx,
+            "neighborhoods. Extra sources barely help here: the EG flood phase is only"
+        );
+        outln!(
+            ctx,
+            "D₁ ≈ log_d n ≈ 2 rounds at this density, so there is almost nothing for"
+        );
+        outln!(
+            ctx,
+            "k sources to shave — robustness comes from the selective phase, not the"
+        );
+        outln!(ctx, "flood.");
         write_csv("exp_robust", csv.finish());
         report
     }

@@ -243,6 +243,7 @@ pub fn protocol_point_to_json(label: &str, point: &ProtocolPoint) -> BenchPoint 
         .field("completed", Json::from(point.completed))
         .field("trials", Json::from(point.trials))
         .field("batch_lanes", Json::from(point.batch_lanes))
+        .field("resamples", Json::from(point.resamples))
 }
 
 #[cfg(test)]
@@ -305,6 +306,7 @@ mod tests {
             completed: 3,
             trials: 4,
             batch_lanes: 1,
+            resamples: 2,
         };
         let bp = protocol_point_to_json("n=100", &point);
         assert_eq!(bp.get("n").unwrap().as_i64(), Some(100));
@@ -312,5 +314,6 @@ mod tests {
         assert_eq!(rounds.get("count").unwrap().as_i64(), Some(3));
         assert_eq!(rounds.get("mean").unwrap().as_f64(), Some(12.0));
         assert_eq!(bp.get("batch_lanes").unwrap().as_i64(), Some(1));
+        assert_eq!(bp.get("resamples").unwrap().as_i64(), Some(2));
     }
 }

@@ -15,6 +15,7 @@ pub mod decay;
 pub mod eg;
 pub mod estimate;
 pub mod gossip;
+pub mod restartable;
 pub mod selective;
 pub mod simple;
 
@@ -22,5 +23,6 @@ pub use decay::Decay;
 pub use eg::{EgDistributed, EgVariant};
 pub use estimate::EgUnknownDegree;
 pub use gossip::{run_push_gossip, run_push_pull_gossip};
+pub use restartable::Restartable;
 pub use selective::{SelectiveBroadcast, SelectiveFamily};
 pub use simple::{ConstantProb, Flooding, RoundRobin};

@@ -1,0 +1,219 @@
+//! Epoch-restarting wrapper for graceful degradation under faults.
+//!
+//! Fixed-schedule protocols like [`EgDistributed`](crate::distributed::EgDistributed)
+//! and [`Decay`](crate::distributed::Decay) assume every node participates
+//! from round 1; a node that wakes late, or a frontier stalled behind a
+//! jammer, can leave them permanently out of phase.  [`Restartable`] wraps
+//! any inner [`Protocol`] and re-runs it in **epochs with multiplicative
+//! backoff**: after `L` rounds the inner protocol is restarted (its
+//! `begin_run` is called again) with the epoch length multiplied by a
+//! backoff factor, and every node's local clock — both the current round
+//! and its informed round — is rebased to the epoch start.  Nodes informed
+//! in an earlier epoch behave like sources of the new one, so each restart
+//! is a fresh broadcast attempt from the current informed set, which is
+//! exactly the retry structure fault-tolerant broadcast analyses assume.
+//!
+//! The wrapper is itself a fully distributed [`Protocol`]: epoch boundaries
+//! are a function of the globally known round number and `n` only, so no
+//! topology knowledge leaks in.
+
+use radio_graph::{NodeId, Xoshiro256pp};
+use radio_sim::{LocalNode, Protocol};
+
+/// Re-runs an inner protocol in epochs with multiplicative backoff.
+#[derive(Debug, Clone)]
+pub struct Restartable<P> {
+    inner: P,
+    /// Requested first-epoch length; 0 = derive `max(8, ⌈4·ln n⌉)` at run
+    /// start.
+    first_epoch: u32,
+    /// Multiplicative backoff factor between epochs (≥ 1).
+    factor: u32,
+    /// Current epoch length.
+    epoch_len: u32,
+    /// First round of the current epoch (1-based).
+    epoch_start: u32,
+    n: usize,
+}
+
+impl<P: Protocol> Restartable<P> {
+    /// Wraps `inner` with explicit epoch parameters.  `first_epoch = 0`
+    /// derives the length from `n` at run start; `factor` must be ≥ 1
+    /// (1 = fixed-length epochs).
+    pub fn new(inner: P, first_epoch: u32, factor: u32) -> Restartable<P> {
+        assert!(factor >= 1, "backoff factor must be >= 1, got {factor}");
+        Restartable {
+            inner,
+            first_epoch,
+            factor,
+            epoch_len: 0,
+            epoch_start: 1,
+            n: 0,
+        }
+    }
+
+    /// The default configuration: auto-sized first epoch, factor-2 backoff.
+    pub fn auto(inner: P) -> Restartable<P> {
+        Restartable::new(inner, 0, 2)
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Current epoch length in rounds (set at run start).
+    pub fn epoch_len(&self) -> u32 {
+        self.epoch_len
+    }
+
+    /// Advances the epoch state so that `round` falls inside the current
+    /// epoch, restarting the inner protocol at each boundary crossed.
+    fn advance_to(&mut self, round: u32) {
+        while round >= self.epoch_start + self.epoch_len {
+            self.epoch_start += self.epoch_len;
+            self.epoch_len = self.epoch_len.saturating_mul(self.factor);
+            self.inner.begin_run(self.n);
+        }
+    }
+
+    /// Rebases a global informed round into the current epoch's clock:
+    /// nodes informed before the epoch began look like round-0 sources.
+    fn rebase_informed(&self, informed_round: u32) -> u32 {
+        informed_round.saturating_sub(self.epoch_start - 1)
+    }
+}
+
+impl<P: Protocol> Protocol for Restartable<P> {
+    fn name(&self) -> String {
+        format!("restartable({})", self.inner.name())
+    }
+
+    fn begin_run(&mut self, n: usize) {
+        self.n = n;
+        self.epoch_start = 1;
+        self.epoch_len = if self.first_epoch == 0 {
+            (4.0 * (n.max(2) as f64).ln()).ceil().max(8.0) as u32
+        } else {
+            self.first_epoch
+        };
+        self.inner.begin_run(n);
+    }
+
+    fn transmits(&mut self, node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+        self.advance_to(node.round);
+        let local = LocalNode {
+            id: node.id,
+            informed_round: self.rebase_informed(node.informed_round),
+            round: node.round - (self.epoch_start - 1),
+        };
+        self.inner.transmits(local, rng)
+    }
+
+    fn transmits_lanes(
+        &mut self,
+        id: NodeId,
+        round: u32,
+        lanes: u64,
+        informed_round: &[u32],
+        rngs: &mut [Xoshiro256pp],
+    ) -> u64 {
+        self.advance_to(round);
+        // Rebase every lane's informed round into the epoch clock, then
+        // delegate so inner protocols keep their batched fast path.
+        let mut rebased = [0u32; radio_sim::MAX_LANES];
+        let k = informed_round.len();
+        for (dst, &src) in rebased[..k].iter_mut().zip(informed_round) {
+            *dst = self.rebase_informed(src);
+        }
+        self.inner.transmits_lanes(
+            id,
+            round - (self.epoch_start - 1),
+            lanes,
+            &rebased[..k],
+            rngs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::{Decay, EgDistributed};
+    use radio_graph::gnp::sample_gnp;
+    use radio_sim::{run_protocol, run_protocol_faulty, FaultPlan, RunConfig};
+
+    #[test]
+    fn epochs_restart_with_backoff() {
+        let mut p = Restartable::new(Decay::new(), 10, 2);
+        p.begin_run(64);
+        assert_eq!(p.epoch_len(), 10);
+        // Round 10 is still epoch 1; round 11 starts epoch 2 (length 20).
+        p.advance_to(10);
+        assert_eq!((p.epoch_start, p.epoch_len), (1, 10));
+        p.advance_to(11);
+        assert_eq!((p.epoch_start, p.epoch_len), (11, 20));
+        p.advance_to(31);
+        assert_eq!((p.epoch_start, p.epoch_len), (31, 40));
+        // Informed rounds before the epoch rebase to 0 (epoch source).
+        assert_eq!(p.rebase_informed(7), 0);
+        assert_eq!(p.rebase_informed(35), 5);
+    }
+
+    #[test]
+    fn auto_epoch_scales_with_n() {
+        let mut small = Restartable::auto(Decay::new());
+        small.begin_run(16);
+        let mut large = Restartable::auto(Decay::new());
+        large.begin_run(1 << 16);
+        assert!(small.epoch_len() >= 8);
+        assert!(large.epoch_len() > small.epoch_len());
+    }
+
+    #[test]
+    fn name_wraps_inner() {
+        let p = Restartable::auto(Decay::new());
+        assert_eq!(p.name(), "restartable(decay)");
+    }
+
+    #[test]
+    fn completes_on_random_graph() {
+        let mut rng = Xoshiro256pp::new(5);
+        let n = 1000;
+        let g = sample_gnp(n, 16.0 / n as f64, &mut rng);
+        let mut p = Restartable::auto(EgDistributed::new(16.0 / n as f64));
+        let r = run_protocol(&g, 0, &mut p, RunConfig::for_graph(n), &mut rng);
+        assert!(r.completed, "informed {}/{n}", r.informed);
+    }
+
+    #[test]
+    fn recovers_late_sleepers_that_fixed_eg_strands() {
+        // EG's schedule front-loads its high-probability rounds; nodes that
+        // sleep through them can stall a run.  The restartable wrapper
+        // retries from the informed set each epoch, so late wakers are
+        // picked up by a later epoch.
+        let mut grng = Xoshiro256pp::new(77);
+        let n = 512;
+        let p_edge = 24.0 / n as f64;
+        let g = sample_gnp(n, p_edge, &mut grng);
+        let mut plan = FaultPlan::new(n);
+        // A third of the nodes sleep deep into the run.
+        for v in 0..n as u32 {
+            if v != 0 && v % 3 == 0 {
+                plan.sleep(v, 120);
+            }
+        }
+        let cfg = RunConfig::for_graph(n);
+        let mut rng = Xoshiro256pp::new(9);
+        let mut wrapped = Restartable::auto(EgDistributed::new(p_edge));
+        let r = run_protocol_faulty(&g, 0, &mut wrapped, cfg, &plan, &mut rng);
+        let summary = r.faults.expect("faulty run carries a summary");
+        assert_eq!(
+            summary.residual_uninformed, 0,
+            "restartable EG should inform every live reachable node \
+             (coverage {}/{n}, last delivery round {})",
+            r.informed, r.last_delivery_round
+        );
+        assert!(r.last_delivery_round >= 120, "late sleepers informed late");
+    }
+}

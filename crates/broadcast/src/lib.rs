@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use crate::distributed::{
         run_push_gossip, run_push_pull_gossip, ConstantProb, Decay, EgDistributed, EgUnknownDegree,
-        EgVariant, Flooding, RoundRobin, SelectiveBroadcast, SelectiveFamily,
+        EgVariant, Flooding, Restartable, RoundRobin, SelectiveBroadcast, SelectiveFamily,
     };
     pub use crate::gossiping::{run_radio_gossiping, GossipResult, GossipState};
     pub use crate::lower_bound::{eg_profile, ProbabilityProfile};

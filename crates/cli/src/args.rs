@@ -42,6 +42,7 @@ const VALUE_KEYS: &[&str] = &[
     "trace-out",
     "kernel",
     "batch",
+    "faults",
 ];
 
 impl Args {

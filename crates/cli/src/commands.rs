@@ -3,7 +3,8 @@
 use radio_analysis::{fnum, Summary, Table};
 use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams, Phase};
 use radio_broadcast::distributed::{
-    ConstantProb, Decay, EgDistributed, EgUnknownDegree, EgVariant, Flooding, RoundRobin,
+    ConstantProb, Decay, EgDistributed, EgUnknownDegree, EgVariant, Flooding, Restartable,
+    RoundRobin,
 };
 use radio_broadcast::gossiping::run_radio_gossiping;
 use radio_broadcast::lower_bound::{run_relaxed, sample_bounded_sets};
@@ -12,9 +13,10 @@ use radio_graph::degree::DegreeStats;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::layers::analyze_layers;
 use radio_graph::{child_rng, Graph, Layering, NodeId, Xoshiro256pp};
-use radio_sim::report::write_events_jsonl;
+use radio_sim::report::{write_events_jsonl, write_fault_events_jsonl};
 use radio_sim::{
-    run_protocol_batch, run_protocol_observed, run_schedule, CollectingObserver, EngineKernel,
+    run_protocol_batch, run_protocol_batch_faulty, run_protocol_faulty_observed,
+    run_protocol_observed, run_schedule, CollectingObserver, EngineKernel, FaultConfig, FaultPlan,
     Json, Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES,
 };
 
@@ -121,9 +123,13 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
                     return Err(ParseError(format!("q = {q} outside [0, 1]")));
                 }
                 Box::new(ConstantProb::new(q))
+            } else if let Some(inner) = other.strip_prefix("restartable:") {
+                // Recursive: any protocol spec can be wrapped, including
+                // another restartable.
+                Box::new(Restartable::auto(make_protocol(inner, p)?))
             } else {
                 return Err(ParseError(format!(
-                    "unknown protocol {other} (try eg, eg-strict, decay, flooding, round-robin, unknown, constant:Q)"
+                    "unknown protocol {other} (try eg, eg-strict, decay, flooding, round-robin, unknown, constant:Q, restartable:PROTO)"
                 )));
             }
         }
@@ -204,6 +210,19 @@ pub fn run(args: &Args) -> CmdResult {
                 .map_err(|e| ParseError(format!("--kernel: {e}")))?,
         );
     }
+    let fault_cfg: Option<FaultConfig> = match args.get("faults") {
+        None => None,
+        Some(spec) => {
+            let parsed =
+                FaultConfig::parse(spec).map_err(|e| ParseError(format!("--faults: {e}")))?;
+            // The source is exempt: a crashed/sleeping source makes every
+            // trial trivially vacuous.
+            Some(FaultConfig {
+                exempt: Some(source),
+                ..parsed
+            })
+        }
+    };
     let batch: Option<usize> = match args.get("batch") {
         None => None,
         Some(raw) => {
@@ -239,8 +258,22 @@ pub fn run(args: &Args) -> CmdResult {
             let mut rng = child_rng(seed, t as u64);
             let g = spec.instantiate(&mut rng);
             let mut proto = make_protocol(&proto_spec, p)?;
+            let plan = fault_cfg
+                .as_ref()
+                .map(|fc| FaultPlan::generate(&g, fc, rng.next()));
             let lane_seed = rng.next();
-            let results = run_protocol_batch(&g, source, proto.as_mut(), cfg, lane_seed, lanes);
+            let results = match plan.as_ref() {
+                Some(plan) => run_protocol_batch_faulty(
+                    &g,
+                    source,
+                    proto.as_mut(),
+                    cfg,
+                    plan,
+                    lane_seed,
+                    lanes,
+                ),
+                None => run_protocol_batch(&g, source, proto.as_mut(), cfg, lane_seed, lanes),
+            };
             if text {
                 let done: Vec<f64> = results
                     .iter()
@@ -248,13 +281,37 @@ pub fn run(args: &Args) -> CmdResult {
                     .map(|r| r.rounds as f64)
                     .collect();
                 let mean = Summary::of(&done).map_or("-".to_string(), |s| format!("{:.1}", s.mean));
+                let fault_note = results
+                    .first()
+                    .and_then(|r| r.faults)
+                    .map_or(String::new(), |f| {
+                        let coverage: f64 = results
+                            .iter()
+                            .map(|r| r.informed as f64 / r.n.max(1) as f64)
+                            .sum::<f64>()
+                            / results.len() as f64;
+                        let residual: usize = results
+                            .iter()
+                            .map(|r| r.faults.map_or(0, |f| f.residual_uninformed))
+                            .sum();
+                        format!(
+                            ", mean coverage {coverage:.3}, residual {residual} (live {}, reachable {})",
+                            f.live, f.live_reachable
+                        )
+                    });
                 println!(
-                    "  trial {t}: {}/{lanes} lanes completed, mean rounds {mean}",
+                    "  trial {t}: {}/{lanes} lanes completed, mean rounds {mean}{fault_note}",
                     done.len()
                 );
             }
             for (lane, r) in results.iter().enumerate() {
                 if let Some(out) = trace_out.as_mut() {
+                    write_fault_events_jsonl(
+                        out,
+                        &[("trial", Json::from(t)), ("lane", Json::from(lane))],
+                        &r.fault_events,
+                    )
+                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
                     let events: Vec<_> = r.trace.iter().map(|rec| rec.to_event()).collect();
                     write_events_jsonl(
                         out,
@@ -283,14 +340,42 @@ pub fn run(args: &Args) -> CmdResult {
             let g = spec.instantiate(&mut rng);
             let mut proto = make_protocol(&proto_spec, p)?;
             let mut observer = CollectingObserver::with_timing();
-            let r = run_protocol_observed(&g, source, proto.as_mut(), cfg, &mut rng, &mut observer);
+            let r = match fault_cfg.as_ref() {
+                Some(fc) => {
+                    let plan = FaultPlan::generate(&g, fc, rng.next());
+                    run_protocol_faulty_observed(
+                        &g,
+                        source,
+                        proto.as_mut(),
+                        cfg,
+                        &plan,
+                        &mut rng,
+                        &mut observer,
+                    )
+                }
+                None => {
+                    run_protocol_observed(&g, source, proto.as_mut(), cfg, &mut rng, &mut observer)
+                }
+            };
             if text {
+                let fault_note = r.faults.map_or(String::new(), |f| {
+                    format!(
+                        ", coverage {:.3}, residual {} (live {}, reachable {}), last delivery r{}",
+                        r.informed_fraction(),
+                        f.residual_uninformed,
+                        f.live,
+                        f.live_reachable,
+                        r.last_delivery_round
+                    )
+                });
                 println!(
-                    "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}",
+                    "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}{fault_note}",
                     r.completed, r.rounds, r.informed
                 );
             }
             if let Some(out) = trace_out.as_mut() {
+                write_fault_events_jsonl(out, &[("trial", Json::from(t))], &observer.fault_events)
+                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
                 write_events_jsonl(out, &[("trial", Json::from(t))], &observer.events)
                     .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
             }
@@ -608,6 +693,25 @@ mod tests {
         assert!(make_protocol("constant:0.05", 0.01).is_ok());
         assert!(make_protocol("constant:2.0", 0.01).is_err());
         assert!(make_protocol("nope", 0.01).is_err());
+        let wrapped = make_protocol("restartable:decay", 0.01).unwrap();
+        assert_eq!(wrapped.name(), "restartable(decay)");
+        assert!(make_protocol("restartable:nope", 0.01).is_err());
+    }
+
+    #[test]
+    fn run_command_faults() {
+        // Scalar and batched runs accept the full fault spec; malformed
+        // specs are rejected with a flag-scoped error.
+        let args = argv(
+            "run --n 200 --d 15 --protocol restartable:eg --trials 1 --seed 3 \
+             --faults crash=0.05,sleep=0.1,jam=1,burst=0.3:0.1",
+        );
+        run(&args).unwrap();
+        let args = argv("run --n 200 --d 15 --trials 1 --seed 3 --batch 8 --faults crash=0.1");
+        run(&args).unwrap();
+        let bad = argv("run --n 200 --d 15 --faults crash=nope");
+        let err = run(&bad).unwrap_err();
+        assert!(err.0.contains("--faults"), "{err}");
     }
 
     #[test]

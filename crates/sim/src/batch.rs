@@ -34,6 +34,8 @@
 
 use radio_graph::{child_rng, Graph, NodeId, Xoshiro256pp};
 
+use crate::bitset::BitSet;
+use crate::fault::{FaultEvent, FaultPlan, LaneFaultSession, LiveView};
 use crate::kernel::KernelUsed;
 use crate::protocol::{Protocol, RunConfig};
 use crate::state::NOT_INFORMED;
@@ -215,6 +217,48 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
     master_seed: u64,
     lanes: usize,
 ) -> Vec<RunResult> {
+    run_batch_core(graph, source, protocol, config, None, master_seed, lanes)
+}
+
+/// Like [`run_protocol_batch`], but every lane runs under the fault plan
+/// `plan` (the plan is per-node, so faults are shared across lanes; burst
+/// channels are per-lane, drawn from each lane's private RNG).
+///
+/// Lane `l` is bit-identical to a scalar
+/// [`run_protocol_faulty`](crate::run_protocol_faulty) on
+/// `child_rng(master_seed, l)` — same informed set, same trace, same fault
+/// events, same [`crate::FaultSummary`], and the same residual RNG stream.
+/// Jammers are injected into every lane's transmit plane, so the two-plane
+/// saturating counter resolves jam collisions without a per-lane branch.
+pub fn run_protocol_batch_faulty<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<RunResult> {
+    run_batch_core(
+        graph,
+        source,
+        protocol,
+        config,
+        Some(plan),
+        master_seed,
+        lanes,
+    )
+}
+
+fn run_batch_core<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: Option<&FaultPlan>,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<RunResult> {
     assert!(
         (1..=MAX_LANES).contains(&lanes),
         "lanes must be in 1..={MAX_LANES}, got {lanes}"
@@ -224,14 +268,27 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
         (source as usize) < n,
         "source {source} out of range for n = {n}"
     );
+    if let Some(p) = plan {
+        assert_eq!(p.n(), n, "fault plan size mismatch");
+    }
     let full = lane_mask(lanes);
     let lossy = config.loss_prob > 0.0;
+    // Faulty resolution happens per node either way; forcing canonical
+    // order keeps the jam/burst bookkeeping aligned with the scalar runs.
+    let canonical_order = lossy || plan.is_some();
     let per_round = config.trace_level == TraceLevel::PerRound;
 
     let mut rngs: Vec<Xoshiro256pp> = (0..lanes as u64)
         .map(|l| child_rng(master_seed, l))
         .collect();
     protocol.begin_run(n);
+
+    let mut session = plan.map(LaneFaultSession::new);
+    // Nodes adjacent to a live jammer this round: every exactly-one lane
+    // there carries a jam hit and must resolve as a collision.
+    let mut jam_touch = plan.map(|_| BitSet::new(n));
+    let mut jam_dirty = false;
+    let mut lane_events: Vec<Vec<FaultEvent>> = vec![Vec::new(); lanes];
 
     // Per-lane broadcast state, struct-of-words: informed mask per node,
     // informed round per (node, lane).
@@ -247,6 +304,7 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
     let mut lane_informed = vec![1usize; lanes];
     let mut lane_rounds = vec![0u32; lanes];
     let mut lane_completed = vec![n == 1; lanes];
+    let mut lane_last = vec![0u32; lanes];
     let mut traces: Vec<Vec<RoundRecord>> = vec![Vec::new(); lanes];
 
     // Per-round, per-lane outcome counters.
@@ -260,12 +318,30 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
     while active != 0 && round < config.max_rounds {
         round += 1;
 
+        // Faults fire (and burst channels step) before any decision coin,
+        // exactly like the scalar faulty runner.
+        if let Some(s) = session.as_mut() {
+            let fired = s.begin_round(round, active, &mut rngs);
+            if !fired.is_empty() {
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    lane_events[l].extend_from_slice(fired);
+                }
+            }
+        }
+
         // Decision phase: scalar draw order is per-lane "informed nodes
         // ascending", which the node-major loop preserves because each
         // lane's RNG is private.
         for u in 0..n {
             let mask = informed[u] & active;
             if mask == 0 {
+                continue;
+            }
+            // Crashed, asleep, and jamming nodes draw no decision coin.
+            if session.as_ref().is_some_and(|s| s.mute(u as NodeId)) {
                 continue;
             }
             let base = u * lanes;
@@ -287,6 +363,36 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
             }
         }
 
+        // Inject jammers into every active lane's transmit plane: a jam hit
+        // saturates the two-plane counter exactly like a real transmitter,
+        // so 1-real+jam lanes land in the ≥2 plane automatically.  Lanes
+        // where the jammer is the *only* hit stay in the exactly-one plane
+        // and are demoted to collisions via `jam_touch` during resolution.
+        if let Some(s) = session.as_ref() {
+            if jam_dirty {
+                jam_touch
+                    .as_mut()
+                    .expect("jam_touch exists with plan")
+                    .clear();
+                jam_dirty = false;
+            }
+            let touch = jam_touch.as_mut().expect("jam_touch exists with plan");
+            for &j in s.jammers() {
+                debug_assert_eq!(t[j as usize], 0, "jammer drew a decision coin");
+                t[j as usize] = active;
+                tx_nodes.push(j);
+                let mut m = active;
+                while m != 0 {
+                    tx_count[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+                for &v in graph.neighbors(j) {
+                    touch.set(v as usize);
+                }
+                jam_dirty = true;
+            }
+        }
+
         let loss = config.loss_prob;
         execute_lane_round(
             graph,
@@ -294,8 +400,14 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
             &t,
             &tx_nodes,
             &mut informed,
-            lossy,
+            canonical_order,
             |v, reached_w, collided_w, e1| {
+                // Blocked (crashed/asleep) nodes receive nothing and count
+                // toward neither reach nor collisions — same as the scalar
+                // engines, which skip them before counting.
+                if session.as_ref().is_some_and(|s| s.blocked_node(v)) {
+                    return 0;
+                }
                 let mut m = reached_w;
                 while m != 0 {
                     reach[m.trailing_zeros() as usize] += 1;
@@ -306,12 +418,34 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
                     colls[m.trailing_zeros() as usize] += 1;
                     m &= m - 1;
                 }
+                if jam_dirty
+                    && jam_touch
+                        .as_ref()
+                        .is_some_and(|touch| touch.get(v as usize))
+                {
+                    // The jammer transmits in every active lane, so each
+                    // exactly-one lane here is a jam-only hit: a collision,
+                    // never a delivery, and (like the scalar engine) no
+                    // burst/loss coin is drawn for it.
+                    let mut m = e1;
+                    while m != 0 {
+                        colls[m.trailing_zeros() as usize] += 1;
+                        m &= m - 1;
+                    }
+                    return 0;
+                }
                 let mut delivered = e1;
+                if let Some(s) = session.as_ref() {
+                    // Burst veto consumes no coin (channel state was drawn
+                    // in begin_round), matching the scalar `&&` short
+                    // circuit: lost-to-burst lanes skip the loss coin too.
+                    delivered &= !s.burst_word(v);
+                }
                 if lossy {
                     // Same coin as the scalar engine's delivery veto, in
                     // ascending lane order (each lane: ascending node order,
                     // since `canonical_order` sorted the dirty list).
-                    let mut m = e1;
+                    let mut m = delivered;
                     while m != 0 {
                         let l = m.trailing_zeros() as usize;
                         m &= m - 1;
@@ -348,6 +482,9 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
                     informed_after: lane_informed[l],
                 });
             }
+            if newly[l] > 0 {
+                lane_last[l] = round;
+            }
             if lane_informed[l] == n {
                 lane_completed[l] = true;
                 lane_rounds[l] = round;
@@ -374,6 +511,24 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
         lane_rounds[l] = round;
     }
 
+    // Per-lane graceful-degradation summaries.  Lanes finishing in the
+    // same round share a LiveView (the DSU pass is per-horizon, not
+    // per-lane).
+    let mut views: Vec<(u32, LiveView)> = Vec::new();
+    let mut lane_faults = Vec::with_capacity(lanes);
+    for (l, &horizon) in lane_rounds.iter().enumerate().take(lanes) {
+        lane_faults.push(plan.map(|p| {
+            let at = views
+                .iter()
+                .position(|(h, _)| *h == horizon)
+                .unwrap_or_else(|| {
+                    views.push((horizon, p.live_view(graph, horizon, source)));
+                    views.len() - 1
+                });
+            views[at].1.summary(|v| informed[v as usize] >> l & 1 == 1)
+        }));
+    }
+
     traces
         .into_iter()
         .enumerate()
@@ -383,6 +538,9 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
             informed: lane_informed[l],
             n,
             kernel: KernelUsed::Batch,
+            last_delivery_round: lane_last[l],
+            fault_events: std::mem::take(&mut lane_events[l]),
+            faults: lane_faults[l],
             trace,
         })
         .collect()
@@ -451,6 +609,56 @@ mod tests {
             for (l, got) in batch.iter().enumerate() {
                 let want = scalar_lane(&g, 3, 0.25, cfg, 99, l as u64);
                 assert_eq!(*got, want, "lanes {lanes}, lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_lanes_match_scalar_faulty_runs() {
+        use crate::protocol::run_protocol_faulty;
+
+        let mut grng = Xoshiro256pp::new(derive_seed(0xFA17, 0));
+        let n = 96;
+        let g = sample_gnp(n, 0.1, &mut grng);
+
+        // One plan per fault type, plus everything combined (and combined
+        // with i.i.d. loss on top).
+        let mut crash = FaultPlan::new(n);
+        crash.crash(3, 2).crash(10, 5).crash(11, 5);
+        let mut sleep = FaultPlan::new(n);
+        sleep.sleep(4, 6).sleep(9, 3);
+        let mut jam = FaultPlan::new(n);
+        jam.jam(7, 2, 12).jam(20, 1, u32::MAX);
+        let mut burst = FaultPlan::new(n);
+        burst.set_burst(0.4, 0.3);
+        let mut combined = FaultPlan::new(n);
+        combined
+            .crash(3, 2)
+            .sleep(4, 6)
+            .jam(7, 2, 12)
+            .set_burst(0.3, 0.25);
+
+        for (case, (plan, loss)) in [
+            (&crash, 0.0),
+            (&sleep, 0.0),
+            (&jam, 0.0),
+            (&burst, 0.0),
+            (&combined, 0.0),
+            (&combined, 0.2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = RunConfig::for_graph(n).with_max_rounds(40).with_loss(loss);
+            let master = derive_seed(0x5EED, case as u64);
+            let batch =
+                run_protocol_batch_faulty(&g, 0, &mut Coin(0.3), cfg, plan, master, MAX_LANES);
+            assert_eq!(batch.len(), MAX_LANES);
+            for (l, got) in batch.iter().enumerate() {
+                let mut rng = child_rng(master, l as u64);
+                let mut want = run_protocol_faulty(&g, 0, &mut Coin(0.3), cfg, plan, &mut rng);
+                want.kernel = KernelUsed::Batch;
+                assert_eq!(*got, want, "case {case}, lane {l}");
             }
         }
     }

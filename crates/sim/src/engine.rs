@@ -16,6 +16,7 @@
 use radio_graph::{Graph, NodeId};
 
 use crate::bitset::BitSet;
+use crate::fault::FaultSession;
 use crate::kernel::{dense_is_cheaper, DenseState, EngineKernel, KernelUsed};
 use crate::state::BroadcastState;
 
@@ -61,6 +62,9 @@ pub struct RoundEngine<'g> {
     hits: Vec<u32>,
     /// Scratch: nodes whose `hits` entry is dirty.
     touched: Vec<NodeId>,
+    /// Scratch: nodes in range of at least one jammer this round (faulty
+    /// rounds only; always zeroed between rounds).
+    jam_hit: BitSet,
     /// Scratch: transmitter membership (word-packed; the dense kernel masks
     /// receptions with its raw words).
     is_transmitter: BitSet,
@@ -87,6 +91,7 @@ impl<'g> RoundEngine<'g> {
             graph,
             hits: vec![0; graph.n()],
             touched: Vec::new(),
+            jam_hit: BitSet::new(graph.n()),
             is_transmitter: BitSet::new(graph.n()),
             active: Vec::new(),
             policy,
@@ -173,7 +178,7 @@ impl<'g> RoundEngine<'g> {
         transmitters: &[NodeId],
         round: u32,
     ) -> RoundOutcome {
-        self.execute_round_with(state, transmitters, round, || true, false)
+        self.execute_round_with(state, transmitters, round, |_| true, false)
     }
 
     /// Like [`RoundEngine::execute_round`], but each otherwise-successful
@@ -192,8 +197,109 @@ impl<'g> RoundEngine<'g> {
         loss_prob: f64,
         rng: &mut radio_graph::Xoshiro256pp,
     ) -> RoundOutcome {
-        debug_assert!((0.0..=1.0).contains(&loss_prob));
-        self.execute_round_with(state, transmitters, round, || !rng.coin(loss_prob), true)
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss_prob must be within [0, 1], got {loss_prob}"
+        );
+        self.execute_round_with(state, transmitters, round, |_| !rng.coin(loss_prob), true)
+    }
+
+    /// Executes one round under a fault session (see [`crate::fault`]):
+    /// blocked (crashed/asleep) nodes neither transmit nor receive, muted
+    /// transmitters are dropped, the session's jammers transmit noise over
+    /// their whole neighborhood, and receptions at burst-bad nodes are
+    /// lost.  `loss_prob` layers the i.i.d. loss model on top.
+    ///
+    /// The caller must have advanced the session to `round` with
+    /// [`FaultSession::begin_round`] first.  RNG discipline matches the
+    /// lossy path: the loss coin is drawn once per exactly-one reception at
+    /// a non-jammed, non-burst-bad listener, in ascending node-id order, so
+    /// faulty runs replay identically across kernels.
+    pub fn execute_round_faulty(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+        session: &FaultSession<'_>,
+        loss_prob: f64,
+        rng: &mut radio_graph::Xoshiro256pp,
+    ) -> RoundOutcome {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss_prob must be within [0, 1], got {loss_prob}"
+        );
+        debug_assert_eq!(state.n(), self.graph.n());
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        for &t in transmitters {
+            if self.is_transmitter.get(t as usize) {
+                continue; // duplicate
+            }
+            if self.policy == TransmitterPolicy::InformedOnly && !state.is_informed(t) {
+                continue;
+            }
+            if session.mute(t) {
+                continue;
+            }
+            self.is_transmitter.set(t as usize);
+            active.push(t);
+        }
+        // Jammers occupy the channel too: they cannot receive this round.
+        let jammers = session.jammers();
+        for &j in jammers {
+            self.is_transmitter.set(j as usize);
+        }
+
+        let use_dense = match self.kernel {
+            EngineKernel::Sparse => false,
+            EngineKernel::Dense => self.dense.ensure_ready(self.graph),
+            EngineKernel::Auto => {
+                let words = self.graph.n().div_ceil(64) as u64;
+                let sum_deg: u64 = active
+                    .iter()
+                    .chain(jammers)
+                    .map(|&t| self.graph.degree(t) as u64)
+                    .sum();
+                dense_is_cheaper(sum_deg, (active.len() + jammers.len()) as u64, words)
+                    && self.dense.fits_cap(self.graph)
+                    && self.dense.ensure_ready(self.graph)
+            }
+        };
+
+        // Burst veto first, without a coin: the loss coin is only drawn for
+        // receptions the burst channel lets through (the lane-batched
+        // kernel replays exactly this order).
+        let mut deliver =
+            |w: NodeId| !session.burst_bad(w) && (loss_prob <= 0.0 || !rng.coin(loss_prob));
+
+        let outcome = if use_dense {
+            self.dense_rounds += 1;
+            self.dense.execute_faulty(
+                state,
+                &active,
+                jammers,
+                &self.is_transmitter,
+                session.blocked(),
+                round,
+                deliver,
+            )
+        } else {
+            self.sparse_rounds += 1;
+            self.execute_sparse_faulty(
+                state,
+                &active,
+                jammers,
+                session.blocked(),
+                round,
+                &mut deliver,
+            )
+        };
+
+        for &t in active.iter().chain(jammers) {
+            self.is_transmitter.unset(t as usize);
+        }
+        self.active = active;
+        outcome
     }
 
     /// Core round logic; `deliver` is consulted once per would-be-successful
@@ -207,7 +313,7 @@ impl<'g> RoundEngine<'g> {
         state: &mut BroadcastState,
         transmitters: &[NodeId],
         round: u32,
-        mut deliver: impl FnMut() -> bool,
+        mut deliver: impl FnMut(NodeId) -> bool,
         canonical_order: bool,
     ) -> RoundOutcome {
         debug_assert_eq!(state.n(), self.graph.n());
@@ -263,7 +369,7 @@ impl<'g> RoundEngine<'g> {
         state: &mut BroadcastState,
         active: &[NodeId],
         round: u32,
-        deliver: &mut impl FnMut() -> bool,
+        deliver: &mut impl FnMut(NodeId) -> bool,
         canonical_order: bool,
     ) -> RoundOutcome {
         let mut outcome = RoundOutcome {
@@ -298,7 +404,7 @@ impl<'g> RoundEngine<'g> {
             if !state.is_informed(w) {
                 outcome.reached += 1;
                 if h == 1 {
-                    if deliver() {
+                    if deliver(w) {
                         state.inform(w, round);
                         outcome.newly_informed += 1;
                     }
@@ -311,6 +417,74 @@ impl<'g> RoundEngine<'g> {
         // Reset scratch.
         for &w in &self.touched {
             self.hits[w as usize] = 0;
+        }
+        self.touched.clear();
+        outcome
+    }
+
+    /// The sparse kernel under faults: jammer noise counts as extra hits
+    /// (and marks `jam_hit`, so a lone jammer hit is a collision, not a
+    /// delivery), and blocked nodes cannot receive.  Receptions are always
+    /// resolved in ascending node-id order — `deliver` is stateful here.
+    fn execute_sparse_faulty(
+        &mut self,
+        state: &mut BroadcastState,
+        active: &[NodeId],
+        jammers: &[NodeId],
+        blocked: &BitSet,
+        round: u32,
+        deliver: &mut impl FnMut(NodeId) -> bool,
+    ) -> RoundOutcome {
+        let mut outcome = RoundOutcome {
+            transmitters: active.len() + jammers.len(),
+            ..RoundOutcome::default()
+        };
+
+        for &t in active {
+            for &w in self.graph.neighbors(t) {
+                if self.hits[w as usize] == 0 {
+                    self.touched.push(w);
+                }
+                self.hits[w as usize] += 1;
+            }
+        }
+        for &j in jammers {
+            for &w in self.graph.neighbors(j) {
+                if self.hits[w as usize] == 0 {
+                    self.touched.push(w);
+                }
+                self.hits[w as usize] += 1;
+                self.jam_hit.set(w as usize);
+            }
+        }
+
+        self.touched.sort_unstable();
+
+        for i in 0..self.touched.len() {
+            let w = self.touched[i];
+            let h = self.hits[w as usize];
+            if self.is_transmitter.get(w as usize) {
+                continue; // transmitting (or jamming), not listening
+            }
+            if blocked.get(w as usize) {
+                continue; // crashed or asleep: deaf
+            }
+            if !state.is_informed(w) {
+                outcome.reached += 1;
+                if h == 1 && !self.jam_hit.get(w as usize) {
+                    if deliver(w) {
+                        state.inform(w, round);
+                        outcome.newly_informed += 1;
+                    }
+                } else {
+                    outcome.collisions += 1;
+                }
+            }
+        }
+
+        for &w in &self.touched {
+            self.hits[w as usize] = 0;
+            self.jam_hit.unset(w as usize);
         }
         self.touched.clear();
         outcome
@@ -508,6 +682,96 @@ mod tests {
             finals.push((st, loss_rng.next()));
         }
         assert_eq!(finals[0], finals[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_prob must be within")]
+    fn lossy_round_rejects_invalid_probability_in_release_too() {
+        use radio_graph::Xoshiro256pp;
+        let g = Graph::path(3);
+        let mut st = BroadcastState::new(3, 0);
+        let mut eng = RoundEngine::new(&g);
+        let mut rng = Xoshiro256pp::new(1);
+        // Hard assert, not debug_assert: must also fire with -O.
+        let _ = eng.execute_round_lossy(&mut st, &[0], 1, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn faulty_rng_draws_identical_across_kernels() {
+        use crate::fault::{FaultPlan, FaultSession};
+        use radio_graph::{gnp::sample_gnp, Xoshiro256pp};
+        let g = sample_gnp(256, 0.15, &mut Xoshiro256pp::new(23));
+        let mut plan = FaultPlan::new(256);
+        plan.crash(5, 4)
+            .crash(17, 10)
+            .sleep(30, 8)
+            .sleep(31, 12)
+            .jam(40, 3, 20)
+            .set_burst(0.3, 0.25);
+        let mut finals = Vec::new();
+        for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+            let mut eng = RoundEngine::new(&g).with_kernel(kernel);
+            let mut st = BroadcastState::new(256, 0);
+            let mut rng = Xoshiro256pp::new(7);
+            let mut sched_rng = Xoshiro256pp::new(8);
+            let mut session = FaultSession::new(&plan);
+            let mut outcomes = Vec::new();
+            for round in 1..=30 {
+                session.begin_round(round, &mut rng);
+                let tx: Vec<NodeId> = st
+                    .informed_vec()
+                    .into_iter()
+                    .filter(|&v| !session.mute(v))
+                    .filter(|_| sched_rng.coin(0.3))
+                    .collect();
+                outcomes
+                    .push(eng.execute_round_faulty(&mut st, &tx, round, &session, 0.2, &mut rng));
+            }
+            // Same informed sets, same per-round outcome counters, AND the
+            // same residual RNG stream: burst and loss coins were drawn
+            // for the same nodes in the same order.
+            finals.push((st, outcomes, rng.next()));
+        }
+        assert_eq!(finals[0], finals[1]);
+    }
+
+    #[test]
+    fn faulty_round_semantics() {
+        use crate::fault::{FaultPlan, FaultSession};
+        use radio_graph::Xoshiro256pp;
+        // Star on 6 nodes, center 0.  Node 1 jams from round 1: the center
+        // transmitting alone would inform every leaf, but the jam hit at
+        // the center makes it a collision; leaves 2..=5 are only reached by
+        // the center (node 1's noise does not reach them on a star), so
+        // they still receive — except 2 (crashed) and 3 (asleep).
+        let g = Graph::star(6);
+        let mut plan = FaultPlan::new(6);
+        plan.crash(2, 1).sleep(3, 3).jam(1, 1, u32::MAX);
+        for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+            let mut eng = RoundEngine::new(&g).with_kernel(kernel);
+            let mut st = BroadcastState::new(6, 0);
+            let mut rng = Xoshiro256pp::new(1);
+            let mut session = FaultSession::new(&plan);
+            session.begin_round(1, &mut rng);
+            assert_eq!(session.jammers(), &[1]);
+            let out = eng.execute_round_faulty(&mut st, &[0], 1, &session, 0.0, &mut rng);
+            // Transmitter count includes the jammer.
+            assert_eq!(out.transmitters, 2, "{kernel:?}");
+            // Leaves 4 and 5 delivered; 2 (crashed) and 3 (asleep) deaf;
+            // 1 is busy jamming.
+            assert_eq!(out.newly_informed, 2, "{kernel:?}");
+            assert!(st.is_informed(4) && st.is_informed(5));
+            assert!(!st.is_informed(1) && !st.is_informed(2) && !st.is_informed(3));
+
+            // Round 2: node 4 transmits; the center hears 4 + jam noise →
+            // collision, no delivery anywhere.
+            session.begin_round(2, &mut rng);
+            let mut st2 = BroadcastState::new(6, 4);
+            let out2 = eng.execute_round_faulty(&mut st2, &[4], 2, &session, 0.0, &mut rng);
+            assert_eq!(out2.newly_informed, 0, "{kernel:?}");
+            assert_eq!(out2.collisions, 1, "{kernel:?}");
+            assert_eq!(out2.reached, 1, "{kernel:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,1026 @@
+//! Fault injection: crash, sleep, jamming, and burst-loss fault plans.
+//!
+//! The paper's model assumes perfectly reliable, synchronously started
+//! nodes.  This module adds the structured fault models real deployments
+//! (and the related work on collision detection and non-spontaneous
+//! wake-up) care about:
+//!
+//! * **crash** — fail-stop at a round: the node never transmits or
+//!   receives again;
+//! * **sleep** — the node is deaf and mute until its wake round
+//!   (non-spontaneous start);
+//! * **jamming** — the node transmits noise during a round window,
+//!   forcing collisions on its whole neighborhood;
+//! * **Gilbert–Elliott burst loss** — a two-state good/bad channel per
+//!   node, generalizing the i.i.d. loss of
+//!   [`RunConfig::with_loss`](crate::RunConfig::with_loss) to correlated
+//!   fading.
+//!
+//! A [`FaultPlan`] fixes every fault deterministically before the run;
+//! [`FaultConfig`] samples plans from rates and placement policies (random
+//! or adversarial highest-degree) with a seeded RNG.  During a run a
+//! [`FaultSession`] resolves the plan round by round; all of its RNG draws
+//! (the burst-channel coins) happen in ascending node-id order, so sparse,
+//! dense, and lane-batched kernels replay faulty runs **bit-identically**
+//! — the same contract the lossy path already obeys (see
+//! `docs/ROBUSTNESS.md`).
+//!
+//! Because completion can become impossible under faults, [`LiveView`] and
+//! [`FaultSummary`] provide the graceful-degradation metrics: which nodes
+//! survived, which of those the source could still reach through the
+//! surviving subgraph, and how many of those were left uninformed.
+
+use radio_graph::components::DisjointSets;
+use radio_graph::{Graph, NodeId, Xoshiro256pp};
+
+use crate::bitset::BitSet;
+
+/// What kind of state change a [`FaultEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The node fail-stops this round (deaf and mute forever after).
+    Crash,
+    /// The node wakes from its initial sleep this round.
+    Wake,
+    /// The node starts jamming this round.
+    JamStart,
+    /// First round in which the node no longer jams (finite windows only).
+    JamStop,
+}
+
+impl FaultEventKind {
+    /// Stable lower-case name, as serialized into JSONL fault traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultEventKind::Crash => "crash",
+            FaultEventKind::Wake => "wake",
+            FaultEventKind::JamStart => "jam_start",
+            FaultEventKind::JamStop => "jam_stop",
+        }
+    }
+}
+
+/// One scheduled fault state change, effective from `round` on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// First round (1-based) in which the new state holds.
+    pub round: u32,
+    /// The affected node.
+    pub node: NodeId,
+    /// What changes.
+    pub kind: FaultEventKind,
+}
+
+/// Gilbert–Elliott two-state channel parameters.
+///
+/// Every node owns an independent channel that starts *good*.  At the top
+/// of each round the channel draws exactly one coin: a good channel turns
+/// bad with probability `p_bad`, a bad channel recovers with probability
+/// `p_good`.  While bad, every otherwise-successful reception at the node
+/// is lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstParams {
+    /// P(good → bad) per round.
+    pub p_bad: f64,
+    /// P(bad → good) per round.
+    pub p_good: f64,
+}
+
+/// Crash-round sentinel: the node never crashes.
+const NEVER: u32 = u32::MAX;
+
+/// A fully resolved, deterministic fault schedule for one graph.
+///
+/// Build one by hand with [`FaultPlan::crash`] / [`FaultPlan::sleep`] /
+/// [`FaultPlan::jam`] / [`FaultPlan::set_burst`], or sample one with
+/// [`FaultPlan::generate`].  The plan is immutable during a run; a
+/// [`FaultSession`] walks it round by round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    n: usize,
+    /// Round the node fail-stops, or `u32::MAX` for never.
+    crash_round: Vec<u32>,
+    /// Round the node wakes; `<= 1` means awake from the start.
+    wake_round: Vec<u32>,
+    /// `(node, from, to)` jam windows, inclusive, sorted by node; at most
+    /// one window per node.  `to == u32::MAX` jams forever.
+    jams: Vec<(NodeId, u32, u32)>,
+    /// All scheduled state changes, sorted by `(round, node)`.
+    events: Vec<FaultEvent>,
+    burst: Option<BurstParams>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) for `n` nodes.
+    pub fn new(n: usize) -> FaultPlan {
+        FaultPlan {
+            n,
+            crash_round: vec![NEVER; n],
+            wake_round: vec![1; n],
+            jams: Vec::new(),
+            events: Vec::new(),
+            burst: None,
+        }
+    }
+
+    /// Node count the plan was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.jams.is_empty() && self.burst.is_none()
+    }
+
+    /// All scheduled state changes, sorted by `(round, node)`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Jam windows `(node, from, to)`, inclusive, sorted by node.
+    pub fn jams(&self) -> &[(NodeId, u32, u32)] {
+        &self.jams
+    }
+
+    /// The burst-loss channel parameters, if enabled.
+    pub fn burst(&self) -> Option<BurstParams> {
+        self.burst
+    }
+
+    /// The round node `v` fail-stops, if it ever does.
+    pub fn crash_round(&self, v: NodeId) -> Option<u32> {
+        let r = self.crash_round[v as usize];
+        (r != NEVER).then_some(r)
+    }
+
+    /// The round node `v` wakes (`<= 1` means awake from the start).
+    pub fn wake_round(&self, v: NodeId) -> u32 {
+        self.wake_round[v as usize]
+    }
+
+    fn push_event(&mut self, event: FaultEvent) {
+        let at = self
+            .events
+            .partition_point(|e| (e.round, e.node) <= (event.round, event.node));
+        self.events.insert(at, event);
+    }
+
+    /// Schedules node `v` to fail-stop at `round >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// If `v` is out of range, already crashes, or `round == 0`.
+    pub fn crash(&mut self, v: NodeId, round: u32) -> &mut FaultPlan {
+        assert!((v as usize) < self.n, "crash node {v} out of range");
+        assert!(round >= 1, "crash round must be >= 1");
+        assert_eq!(
+            self.crash_round[v as usize], NEVER,
+            "node {v} crashes twice"
+        );
+        self.crash_round[v as usize] = round;
+        self.push_event(FaultEvent {
+            round,
+            node: v,
+            kind: FaultEventKind::Crash,
+        });
+        self
+    }
+
+    /// Puts node `v` to sleep until `wake_round`: it neither transmits nor
+    /// receives in rounds `< wake_round`.  `wake_round <= 1` is a no-op
+    /// (the node is awake from the start).
+    pub fn sleep(&mut self, v: NodeId, wake_round: u32) -> &mut FaultPlan {
+        assert!((v as usize) < self.n, "sleep node {v} out of range");
+        if wake_round <= 1 {
+            return self;
+        }
+        self.wake_round[v as usize] = wake_round;
+        self.push_event(FaultEvent {
+            round: wake_round,
+            node: v,
+            kind: FaultEventKind::Wake,
+        });
+        self
+    }
+
+    /// Makes node `v` jam (transmit noise) in rounds `from..=to` inclusive;
+    /// `to == u32::MAX` jams forever.  A crashed or still-asleep jammer is
+    /// silent.  At most one window per node.
+    pub fn jam(&mut self, v: NodeId, from: u32, to: u32) -> &mut FaultPlan {
+        assert!((v as usize) < self.n, "jam node {v} out of range");
+        assert!(from >= 1, "jam start must be >= 1");
+        assert!(from <= to, "empty jam window");
+        let at = self.jams.partition_point(|&(u, _, _)| u < v);
+        assert!(
+            self.jams.get(at).map_or(true, |&(u, _, _)| u != v),
+            "node {v} jams twice"
+        );
+        self.jams.insert(at, (v, from, to));
+        self.push_event(FaultEvent {
+            round: from,
+            node: v,
+            kind: FaultEventKind::JamStart,
+        });
+        if to != u32::MAX {
+            self.push_event(FaultEvent {
+                round: to + 1,
+                node: v,
+                kind: FaultEventKind::JamStop,
+            });
+        }
+        self
+    }
+
+    /// Enables the Gilbert–Elliott burst-loss channel on every node.
+    ///
+    /// # Panics
+    ///
+    /// If either probability is outside `[0, 1]`.
+    pub fn set_burst(&mut self, p_bad: f64, p_good: f64) -> &mut FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&p_bad) && (0.0..=1.0).contains(&p_good),
+            "burst probabilities must be within [0, 1]"
+        );
+        self.burst = Some(BurstParams { p_bad, p_good });
+        self
+    }
+
+    /// Samples a plan from `config` with a dedicated RNG seeded by `seed`.
+    ///
+    /// Generation is deterministic: one [`Xoshiro256pp`] seeded with
+    /// `seed`, phases in fixed order (crash, sleep, jam), and within each
+    /// phase all draws in ascending node-id order.
+    pub fn generate(graph: &Graph, config: &FaultConfig, seed: u64) -> FaultPlan {
+        let n = graph.n();
+        let mut rng = Xoshiro256pp::new(seed);
+        let mut plan = FaultPlan::new(n);
+        let eligible = |v: NodeId| config.exempt != Some(v);
+        let eligible_count = n - usize::from(config.exempt.is_some_and(|e| (e as usize) < n));
+        let auto = |h: u32, factor: f64| -> u64 {
+            if h > 0 {
+                h as u64
+            } else {
+                (factor * (n.max(2) as f64).ln()).ceil().max(1.0) as u64
+            }
+        };
+
+        // Crash phase.
+        let crash_h = auto(config.crash_horizon, 2.0);
+        if config.crash_rate > 0.0 {
+            match config.placement {
+                Placement::Random => {
+                    for v in 0..n as NodeId {
+                        if eligible(v) && rng.coin(config.crash_rate) {
+                            plan.crash(v, 1 + rng.below(crash_h) as u32);
+                        }
+                    }
+                }
+                Placement::HighDegree => {
+                    let k = (config.crash_rate * eligible_count as f64).round() as usize;
+                    for v in top_degree(graph, k, config.exempt) {
+                        plan.crash(v, 1 + rng.below(crash_h) as u32);
+                    }
+                }
+            }
+        }
+
+        // Sleep phase (placement is always random: wake-up times model
+        // non-spontaneous starts, which are not adversarially placed).
+        let wake_h = auto(config.wake_horizon, 4.0);
+        if config.sleep_rate > 0.0 {
+            for v in 0..n as NodeId {
+                if eligible(v) && rng.coin(config.sleep_rate) {
+                    plan.sleep(v, 2 + rng.below(wake_h) as u32);
+                }
+            }
+        }
+
+        // Jam phase.
+        let jammers = config.jammers.min(eligible_count);
+        if jammers > 0 {
+            let from = config.jam_from.max(1);
+            let to = if config.jam_len == 0 {
+                u32::MAX
+            } else {
+                from.saturating_add(config.jam_len - 1)
+            };
+            let chosen: Vec<NodeId> = match config.placement {
+                Placement::Random => {
+                    let mut picked = Vec::with_capacity(jammers);
+                    while picked.len() < jammers {
+                        let v = rng.below(n as u64) as NodeId;
+                        if eligible(v) && !picked.contains(&v) {
+                            picked.push(v);
+                        }
+                    }
+                    picked
+                }
+                Placement::HighDegree => top_degree(graph, jammers, config.exempt),
+            };
+            for v in chosen {
+                plan.jam(v, from, to);
+            }
+        }
+
+        if let Some(b) = config.burst {
+            plan.set_burst(b.p_bad, b.p_good);
+        }
+        plan
+    }
+
+    /// The surviving subgraph at the end of a run of `rounds` rounds: who
+    /// crashed, who never woke, and which live nodes the (live) source can
+    /// still reach through live–live edges.
+    pub fn live_view(&self, graph: &Graph, rounds: u32, source: NodeId) -> LiveView {
+        assert_eq!(graph.n(), self.n, "graph/plan size mismatch");
+        let horizon = rounds.max(1);
+        let mut live_mask = BitSet::new(self.n);
+        let (mut crashed, mut asleep, mut live) = (0usize, 0usize, 0usize);
+        for v in 0..self.n {
+            if self.crash_round[v] <= rounds {
+                crashed += 1;
+            } else if self.wake_round[v] > horizon {
+                asleep += 1;
+            } else {
+                live += 1;
+                live_mask.set(v);
+            }
+        }
+        let mut live_reachable = Vec::new();
+        if live_mask.get(source as usize) {
+            let mut dsu = DisjointSets::new(self.n);
+            for (a, b) in graph.edges() {
+                if live_mask.get(a as usize) && live_mask.get(b as usize) {
+                    dsu.union(a, b);
+                }
+            }
+            for v in live_mask.iter_ones() {
+                if dsu.connected(v as u32, source) {
+                    live_reachable.push(v as NodeId);
+                }
+            }
+        }
+        LiveView {
+            crashed,
+            asleep,
+            live,
+            live_reachable,
+        }
+    }
+}
+
+/// The `k` highest-degree nodes (ties broken by lower id), excluding
+/// `exempt`, returned in ascending id order.
+fn top_degree(graph: &Graph, k: usize, exempt: Option<NodeId>) -> Vec<NodeId> {
+    let mut by_degree: Vec<NodeId> = (0..graph.n() as NodeId)
+        .filter(|&v| exempt != Some(v))
+        .collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    by_degree.truncate(k);
+    by_degree.sort_unstable();
+    by_degree
+}
+
+/// Where randomly generated faults land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Faults hit uniformly random nodes.
+    #[default]
+    Random,
+    /// Adversarial: faults hit the highest-degree nodes (the hubs the
+    /// `O(ln n)` argument leans on).  Applies to crashes and jammers;
+    /// sleep is always random.
+    HighDegree,
+}
+
+/// Rates and placement for sampling a [`FaultPlan`]
+/// (see [`FaultPlan::generate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Fraction of nodes that crash (per-node probability under
+    /// [`Placement::Random`], a count fraction under
+    /// [`Placement::HighDegree`]).
+    pub crash_rate: f64,
+    /// Crash rounds are uniform in `1..=crash_horizon`; 0 picks
+    /// `ceil(2 ln n)` so crashes land while the broadcast is in flight.
+    pub crash_horizon: u32,
+    /// Fraction of nodes that start asleep.
+    pub sleep_rate: f64,
+    /// Wake rounds are uniform in `2..=1+wake_horizon`; 0 picks
+    /// `ceil(4 ln n)`.
+    pub wake_horizon: u32,
+    /// Number of jamming nodes.
+    pub jammers: usize,
+    /// First jammed round (default 1; 0 is treated as 1).
+    pub jam_from: u32,
+    /// Jam window length in rounds; 0 jams forever.
+    pub jam_len: u32,
+    /// Gilbert–Elliott burst-loss channel, if any.
+    pub burst: Option<BurstParams>,
+    /// Placement policy for crashes and jammers.
+    pub placement: Placement,
+    /// A node no fault may hit (the runners exempt the source, so a
+    /// "faulty run" is never trivially dead on arrival).
+    pub exempt: Option<NodeId>,
+}
+
+impl FaultConfig {
+    /// Parses the CLI fault grammar: comma-separated clauses
+    /// `crash=RATE[@HORIZON]`, `sleep=RATE[@HORIZON]`,
+    /// `jam=COUNT[@FROM:LEN]`, `burst=P_BAD:P_GOOD`, and
+    /// `place=random|high`.
+    ///
+    /// Example: `crash=0.05,sleep=0.1,jam=2,burst=0.3:0.1`.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut config = FaultConfig::default();
+        let prob = |what: &str, s: &str| -> Result<f64, String> {
+            let p: f64 = s.parse().map_err(|_| format!("{what}: bad number {s:?}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{what}: {p} outside [0, 1]"));
+            }
+            Ok(p)
+        };
+        let int = |what: &str, s: &str| -> Result<u32, String> {
+            s.parse().map_err(|_| format!("{what}: bad integer {s:?}"))
+        };
+        for clause in spec.split(',').filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is not KEY=VALUE"))?;
+            match key {
+                "crash" | "sleep" => {
+                    let (rate, horizon) = match value.split_once('@') {
+                        None => (prob(key, value)?, 0),
+                        Some((r, h)) => (prob(key, r)?, int(key, h)?),
+                    };
+                    if key == "crash" {
+                        (config.crash_rate, config.crash_horizon) = (rate, horizon);
+                    } else {
+                        (config.sleep_rate, config.wake_horizon) = (rate, horizon);
+                    }
+                }
+                "jam" => match value.split_once('@') {
+                    None => config.jammers = int(key, value)? as usize,
+                    Some((count, window)) => {
+                        let (from, len) = window
+                            .split_once(':')
+                            .ok_or_else(|| format!("jam window {window:?} is not FROM:LEN"))?;
+                        config.jammers = int(key, count)? as usize;
+                        config.jam_from = int("jam from", from)?;
+                        config.jam_len = int("jam len", len)?;
+                    }
+                },
+                "burst" => {
+                    let (bad, good) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("burst {value:?} is not P_BAD:P_GOOD"))?;
+                    config.burst = Some(BurstParams {
+                        p_bad: prob("burst p_bad", bad)?,
+                        p_good: prob("burst p_good", good)?,
+                    });
+                }
+                "place" => {
+                    config.placement = match value {
+                        "random" => Placement::Random,
+                        "high" => Placement::HighDegree,
+                        other => return Err(format!("unknown placement {other:?}")),
+                    };
+                }
+                other => return Err(format!("unknown fault kind {other:?}")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Round-by-round resolution of a [`FaultPlan`] during one scalar run.
+///
+/// Call [`FaultSession::begin_round`] at the top of every round — before
+/// any protocol decision — to advance the fault state and draw the burst
+/// coins; the returned slice is the events that became effective this
+/// round.  Burst coins are the *only* RNG consumption: exactly one coin
+/// per node per round in ascending node-id order (and none at all without
+/// burst loss), which is what keeps faulty replays kernel-independent.
+#[derive(Debug)]
+pub struct FaultSession<'p> {
+    plan: &'p FaultPlan,
+    /// Nodes currently deaf and mute (crashed, or asleep).
+    blocked: BitSet,
+    /// Nodes jamming this round (live jammers inside their window),
+    /// ascending.
+    jammers: Vec<NodeId>,
+    cursor: usize,
+    /// Burst channels currently in the bad state.
+    burst_bad: BitSet,
+}
+
+impl<'p> FaultSession<'p> {
+    /// A session at round 0 (initially asleep nodes already blocked).
+    pub fn new(plan: &'p FaultPlan) -> FaultSession<'p> {
+        let mut blocked = BitSet::new(plan.n);
+        for v in 0..plan.n {
+            if plan.wake_round[v] > 1 {
+                blocked.set(v);
+            }
+        }
+        FaultSession {
+            plan,
+            blocked,
+            jammers: Vec::new(),
+            cursor: 0,
+            burst_bad: BitSet::new(plan.n),
+        }
+    }
+
+    /// Advances to `round` (rounds must be visited in increasing order):
+    /// applies crashes and wake-ups, recomputes the live jammer set, and
+    /// steps every burst channel by one coin.  Returns the plan events
+    /// that became effective this round.
+    pub fn begin_round(&mut self, round: u32, rng: &mut Xoshiro256pp) -> &'p [FaultEvent] {
+        let fired = advance_faults(
+            self.plan,
+            round,
+            &mut self.cursor,
+            &mut self.blocked,
+            &mut self.jammers,
+        );
+        if let Some(b) = self.plan.burst {
+            for v in 0..self.plan.n {
+                if self.burst_bad.get(v) {
+                    if rng.coin(b.p_good) {
+                        self.burst_bad.unset(v);
+                    }
+                } else if rng.coin(b.p_bad) {
+                    self.burst_bad.set(v);
+                }
+            }
+        }
+        fired
+    }
+
+    /// Nodes that currently neither transmit nor receive (crashed or
+    /// asleep), as a packed mask.
+    pub fn blocked(&self) -> &BitSet {
+        &self.blocked
+    }
+
+    /// Nodes jamming this round, in ascending id order.
+    pub fn jammers(&self) -> &[NodeId] {
+        &self.jammers
+    }
+
+    /// Whether node `v`'s burst channel is currently bad (receptions at
+    /// `v` are lost).
+    pub fn burst_bad(&self, v: NodeId) -> bool {
+        self.burst_bad.get(v as usize)
+    }
+
+    /// Whether `v` cannot usefully transmit this round: blocked, or busy
+    /// jamming.  The protocol runners skip muted nodes *before* drawing
+    /// their transmit coin.
+    pub fn mute(&self, v: NodeId) -> bool {
+        self.blocked.get(v as usize) || self.jammers.binary_search(&v).is_ok()
+    }
+}
+
+/// Shared fault-advance logic of the scalar and lane-batched sessions.
+fn advance_faults<'p>(
+    plan: &'p FaultPlan,
+    round: u32,
+    cursor: &mut usize,
+    blocked: &mut BitSet,
+    jammers: &mut Vec<NodeId>,
+) -> &'p [FaultEvent] {
+    let start = *cursor;
+    while let Some(ev) = plan.events.get(*cursor) {
+        if ev.round > round {
+            break;
+        }
+        match ev.kind {
+            FaultEventKind::Crash => blocked.set(ev.node as usize),
+            // A wake-up never revives a node that has already crashed;
+            // checking the crash round (not event order) makes same-round
+            // crash-vs-wake order-independent.
+            FaultEventKind::Wake => {
+                if plan.crash_round[ev.node as usize] > round {
+                    blocked.unset(ev.node as usize);
+                }
+            }
+            // Jamming is recomputed from the windows below; the events
+            // exist for tracing only.
+            FaultEventKind::JamStart | FaultEventKind::JamStop => {}
+        }
+        *cursor += 1;
+    }
+    jammers.clear();
+    for &(v, from, to) in &plan.jams {
+        if from <= round && round <= to && !blocked.get(v as usize) {
+            jammers.push(v);
+        }
+    }
+    &plan.events[start..*cursor]
+}
+
+/// The lane-batched counterpart of [`FaultSession`]: fault state is shared
+/// across lanes (the plan is per-node, not per-trial), but each lane owns
+/// a private burst-channel word so its coin stream matches the scalar run
+/// on the same RNG.
+#[derive(Debug)]
+pub(crate) struct LaneFaultSession<'p> {
+    plan: &'p FaultPlan,
+    blocked: BitSet,
+    jammers: Vec<NodeId>,
+    cursor: usize,
+    /// `burst_bad[v]` bit `l` = lane `l`'s channel at `v` is bad.
+    burst_bad: Vec<u64>,
+}
+
+impl<'p> LaneFaultSession<'p> {
+    pub(crate) fn new(plan: &'p FaultPlan) -> LaneFaultSession<'p> {
+        let mut blocked = BitSet::new(plan.n);
+        for v in 0..plan.n {
+            if plan.wake_round[v] > 1 {
+                blocked.set(v);
+            }
+        }
+        LaneFaultSession {
+            plan,
+            blocked,
+            jammers: Vec::new(),
+            cursor: 0,
+            burst_bad: vec![0; plan.n],
+        }
+    }
+
+    /// Advances the shared fault state to `round` and steps the burst
+    /// channels of every lane in `active`.  The node-major loop draws each
+    /// lane's coins in ascending node order from its private RNG — exactly
+    /// the scalar draw sequence — and inactive (finished) lanes draw
+    /// nothing, matching their scalar runs having exited the round loop.
+    pub(crate) fn begin_round(
+        &mut self,
+        round: u32,
+        active: u64,
+        rngs: &mut [Xoshiro256pp],
+    ) -> &'p [FaultEvent] {
+        let fired = advance_faults(
+            self.plan,
+            round,
+            &mut self.cursor,
+            &mut self.blocked,
+            &mut self.jammers,
+        );
+        if let Some(b) = self.plan.burst {
+            for word in self.burst_bad.iter_mut() {
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let bit = 1u64 << l;
+                    if *word & bit != 0 {
+                        if rngs[l].coin(b.p_good) {
+                            *word &= !bit;
+                        }
+                    } else if rngs[l].coin(b.p_bad) {
+                        *word |= bit;
+                    }
+                }
+            }
+        }
+        fired
+    }
+
+    pub(crate) fn blocked_node(&self, v: NodeId) -> bool {
+        self.blocked.get(v as usize)
+    }
+
+    pub(crate) fn jammers(&self) -> &[NodeId] {
+        &self.jammers
+    }
+
+    /// Lanes whose burst channel at `v` is currently bad.
+    pub(crate) fn burst_word(&self, v: NodeId) -> u64 {
+        self.burst_bad[v as usize]
+    }
+
+    pub(crate) fn mute(&self, v: NodeId) -> bool {
+        self.blocked.get(v as usize) || self.jammers.binary_search(&v).is_ok()
+    }
+}
+
+/// The surviving subgraph at the end of a faulty run
+/// (see [`FaultPlan::live_view`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveView {
+    /// Nodes that crashed during the run.
+    pub crashed: usize,
+    /// Nodes still asleep when the run ended (never woke).
+    pub asleep: usize,
+    /// Nodes alive at the end (neither crashed nor asleep; jammers count
+    /// as live).
+    pub live: usize,
+    /// Live nodes connected to the source through live–live edges
+    /// (includes the source itself; empty when the source is dead).
+    pub live_reachable: Vec<NodeId>,
+}
+
+impl LiveView {
+    /// Condenses the view into the graceful-degradation counters, using
+    /// `informed` to test each live reachable node.
+    pub fn summary(&self, informed: impl Fn(NodeId) -> bool) -> FaultSummary {
+        FaultSummary {
+            crashed: self.crashed,
+            asleep: self.asleep,
+            live: self.live,
+            live_reachable: self.live_reachable.len(),
+            residual_uninformed: self
+                .live_reachable
+                .iter()
+                .filter(|&&v| !informed(v))
+                .count(),
+        }
+    }
+}
+
+/// Graceful-degradation counters of one faulty run, reported through
+/// [`RunResult`](crate::RunResult) and `RunReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Nodes that crashed during the run.
+    pub crashed: usize,
+    /// Nodes still asleep when the run ended.
+    pub asleep: usize,
+    /// Nodes alive at the end.
+    pub live: usize,
+    /// Live nodes the source could still reach through the surviving
+    /// subgraph.
+    pub live_reachable: usize,
+    /// Live reachable nodes left uninformed — the count that *should* have
+    /// been informed but was not.
+    pub residual_uninformed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::Graph;
+
+    #[test]
+    fn parse_full_spec() {
+        let c = FaultConfig::parse("crash=0.05,sleep=0.1,jam=2,burst=0.3:0.1").unwrap();
+        assert_eq!(c.crash_rate, 0.05);
+        assert_eq!(c.sleep_rate, 0.1);
+        assert_eq!(c.jammers, 2);
+        assert_eq!(
+            c.burst,
+            Some(BurstParams {
+                p_bad: 0.3,
+                p_good: 0.1
+            })
+        );
+        assert_eq!(c.placement, Placement::Random);
+    }
+
+    #[test]
+    fn parse_horizons_windows_and_placement() {
+        let c = FaultConfig::parse("crash=0.2@7,sleep=0.3@9,jam=3@5:10,place=high").unwrap();
+        assert_eq!(c.crash_horizon, 7);
+        assert_eq!(c.wake_horizon, 9);
+        assert_eq!((c.jammers, c.jam_from, c.jam_len), (3, 5, 10));
+        assert_eq!(c.placement, Placement::HighDegree);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultConfig::parse("crash=1.5").is_err());
+        assert!(FaultConfig::parse("crash").is_err());
+        assert!(FaultConfig::parse("warp=0.1").is_err());
+        assert!(FaultConfig::parse("burst=0.3").is_err());
+        assert!(FaultConfig::parse("place=midway").is_err());
+        assert!(FaultConfig::parse("jam=2@5").is_err());
+    }
+
+    #[test]
+    fn plan_events_sorted_and_typed() {
+        let mut plan = FaultPlan::new(8);
+        plan.crash(3, 5)
+            .sleep(1, 4)
+            .jam(6, 2, 9)
+            .set_burst(0.2, 0.5);
+        let rounds: Vec<u32> = plan.events().iter().map(|e| e.round).collect();
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.crash_round(3), Some(5));
+        assert_eq!(plan.crash_round(0), None);
+        assert_eq!(plan.wake_round(1), 4);
+        assert_eq!(plan.jams(), &[(6, 2, 9)]);
+        assert!(!plan.is_empty());
+        assert!(plan
+            .events()
+            .iter()
+            .any(|e| e.kind == FaultEventKind::JamStop && e.round == 10));
+        // A forever jam has no stop event.
+        let mut forever = FaultPlan::new(4);
+        forever.jam(2, 1, u32::MAX);
+        assert!(forever
+            .events()
+            .iter()
+            .all(|e| e.kind != FaultEventKind::JamStop));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_exempts() {
+        let g = sample_gnp(200, 0.05, &mut Xoshiro256pp::new(4));
+        let config = FaultConfig {
+            crash_rate: 0.2,
+            sleep_rate: 0.2,
+            jammers: 3,
+            burst: Some(BurstParams {
+                p_bad: 0.1,
+                p_good: 0.4,
+            }),
+            exempt: Some(7),
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::generate(&g, &config, 42);
+        let b = FaultPlan::generate(&g, &config, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::generate(&g, &config, 43));
+        assert!(a.crash_round(7).is_none());
+        assert_eq!(a.wake_round(7), 1);
+        assert!(a.jams().iter().all(|&(v, _, _)| v != 7));
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn high_degree_placement_hits_hubs() {
+        // Star + pendant path: node 0 is the hub.
+        let g = Graph::star(10);
+        let config = FaultConfig {
+            crash_rate: 0.1, // k = round(0.1 * 9) = 1 with node 9 exempt
+            placement: Placement::HighDegree,
+            exempt: Some(9),
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(&g, &config, 1);
+        assert!(
+            plan.crash_round(0).is_some(),
+            "hub must be the crash target"
+        );
+    }
+
+    #[test]
+    fn session_crash_sleep_jam_semantics() {
+        let mut plan = FaultPlan::new(6);
+        plan.crash(2, 3).sleep(4, 4).jam(5, 2, 3);
+        let mut session = FaultSession::new(&plan);
+        let mut rng = Xoshiro256pp::new(1);
+
+        let fired = session.begin_round(1, &mut rng);
+        assert!(fired.is_empty());
+        assert!(session.blocked().get(4), "asleep from the start");
+        assert!(!session.blocked().get(2));
+        assert!(session.jammers().is_empty());
+        assert!(session.mute(4) && !session.mute(2));
+
+        let fired = session.begin_round(2, &mut rng);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].kind, FaultEventKind::JamStart);
+        assert_eq!(session.jammers(), &[5]);
+        assert!(session.mute(5));
+
+        let fired = session.begin_round(3, &mut rng);
+        assert!(fired.iter().any(|e| e.kind == FaultEventKind::Crash));
+        assert!(session.blocked().get(2));
+
+        let fired = session.begin_round(4, &mut rng);
+        assert!(fired.iter().any(|e| e.kind == FaultEventKind::Wake));
+        assert!(!session.blocked().get(4), "woke up");
+        assert!(session.jammers().is_empty(), "jam window over");
+        assert!(session.blocked().get(2), "crash is forever");
+        // No burst configured: the RNG was never consulted.
+        assert_eq!(Xoshiro256pp::new(1).next(), rng.next());
+    }
+
+    #[test]
+    fn wake_never_revives_a_crashed_node() {
+        // Crash and wake at the same round: the node must stay dead.
+        let mut plan = FaultPlan::new(3);
+        plan.crash(1, 4).sleep(1, 4);
+        let mut session = FaultSession::new(&plan);
+        let mut rng = Xoshiro256pp::new(1);
+        for round in 1..=5 {
+            session.begin_round(round, &mut rng);
+        }
+        assert!(session.blocked().get(1));
+    }
+
+    #[test]
+    fn crashed_jammer_goes_silent() {
+        let mut plan = FaultPlan::new(4);
+        plan.jam(2, 1, u32::MAX).crash(2, 3);
+        let mut session = FaultSession::new(&plan);
+        let mut rng = Xoshiro256pp::new(1);
+        session.begin_round(1, &mut rng);
+        assert_eq!(session.jammers(), &[2]);
+        session.begin_round(2, &mut rng);
+        session.begin_round(3, &mut rng);
+        assert!(session.jammers().is_empty(), "crashed jammer stops jamming");
+    }
+
+    #[test]
+    fn burst_channel_draws_one_coin_per_node_per_round() {
+        let mut plan = FaultPlan::new(5);
+        plan.set_burst(1.0, 0.0); // good → bad immediately, never recovers
+        let mut session = FaultSession::new(&plan);
+        let mut rng = Xoshiro256pp::new(9);
+        session.begin_round(1, &mut rng);
+        for v in 0..5 {
+            assert!(session.burst_bad(v), "all channels bad after round 1");
+        }
+        // Exactly 5 coins per round were drawn.
+        let mut reference = Xoshiro256pp::new(9);
+        for _ in 0..5 {
+            reference.coin(1.0);
+        }
+        session.begin_round(2, &mut rng);
+        for _ in 0..5 {
+            reference.coin(0.0);
+        }
+        assert_eq!(reference.next(), rng.next());
+    }
+
+    #[test]
+    fn lane_session_matches_scalar_burst_streams() {
+        let mut plan = FaultPlan::new(7);
+        plan.set_burst(0.4, 0.3);
+        let lanes = 4;
+        let mut lane_session = LaneFaultSession::new(&plan);
+        let mut rngs: Vec<Xoshiro256pp> =
+            (0..lanes).map(|l| radio_graph::child_rng(11, l)).collect();
+        // Lane 2 goes inactive after round 2.
+        let actives = [0b1111u64, 0b1111, 0b1011, 0b1011];
+        for (i, &active) in actives.iter().enumerate() {
+            lane_session.begin_round(i as u32 + 1, active, &mut rngs);
+        }
+
+        for (l, lane_rng) in rngs.iter_mut().enumerate() {
+            let mut scalar = FaultSession::new(&plan);
+            let mut rng = radio_graph::child_rng(11, l as u64);
+            let rounds = if l == 2 { 2 } else { 4 };
+            for round in 1..=rounds {
+                scalar.begin_round(round, &mut rng);
+            }
+            for v in 0..7 {
+                assert_eq!(
+                    scalar.burst_bad(v),
+                    lane_session.burst_word(v) >> l & 1 == 1,
+                    "lane {l} node {v}"
+                );
+            }
+            assert_eq!(rng.next(), lane_rng.next(), "lane {l} residual stream");
+        }
+    }
+
+    #[test]
+    fn live_view_counts_and_reachability() {
+        // Path 0-1-2-3-4; crash node 2 → 3,4 unreachable from 0.
+        let g = Graph::path(5);
+        let mut plan = FaultPlan::new(5);
+        plan.crash(2, 3).sleep(4, 100);
+        let view = plan.live_view(&g, 10, 0);
+        assert_eq!(view.crashed, 1);
+        assert_eq!(view.asleep, 1, "node 4 never woke within 10 rounds");
+        assert_eq!(view.live, 3);
+        assert_eq!(view.live_reachable, vec![0, 1]);
+        let summary = view.summary(|v| v == 0);
+        assert_eq!(summary.live_reachable, 2);
+        assert_eq!(summary.residual_uninformed, 1);
+
+        // Dead source: nothing is reachable.
+        let mut dead = FaultPlan::new(5);
+        dead.crash(0, 1);
+        let view = dead.live_view(&g, 10, 0);
+        assert!(view.live_reachable.is_empty());
+
+        // Before the crash round the node still counts as live.
+        let early = plan.live_view(&g, 2, 0);
+        assert_eq!(early.crashed, 0);
+        assert_eq!(early.live_reachable.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_crash_rejected() {
+        let mut plan = FaultPlan::new(3);
+        plan.crash(1, 2).crash(1, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_burst_probability_rejected() {
+        let mut plan = FaultPlan::new(3);
+        plan.set_burst(1.5, 0.1);
+    }
+}

@@ -129,6 +129,9 @@ pub(crate) struct DenseState {
     ge1: Vec<u64>,
     /// Plane 2: "≥ 2 transmitting neighbors" per node.
     ge2: Vec<u64>,
+    /// Jam plane: "≥ 1 jamming neighbor" per node (faulty rounds only;
+    /// lazily sized, always zeroed between rounds).
+    jam: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -149,6 +152,7 @@ impl DenseState {
             build_ns: None,
             ge1: Vec::new(),
             ge2: Vec::new(),
+            jam: Vec::new(),
         }
     }
 
@@ -208,7 +212,7 @@ impl DenseState {
         active: &[NodeId],
         transmitting: &BitSet,
         round: u32,
-        mut deliver: impl FnMut() -> bool,
+        mut deliver: impl FnMut(NodeId) -> bool,
     ) -> RoundOutcome {
         let BitmapSlot::Ready(bitmap) = &self.bitmap else {
             unreachable!("dense round without a ready bitmap");
@@ -253,7 +257,86 @@ impl DenseState {
             while word != 0 {
                 let v = (i * 64 + word.trailing_zeros() as usize) as NodeId;
                 word &= word - 1;
-                if deliver() {
+                if deliver(v) {
+                    state.inform(v, round);
+                    outcome.newly_informed += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// The dense kernel under faults.  Real transmitters merge through the
+    /// two counter planes as usual; jammer rows accumulate in a third
+    /// `jam` plane, so a node reached only by jammers still registers as
+    /// reached-with-collision, never as a delivery.  Nodes set in
+    /// `blocked` (crashed/asleep) are excluded from reception entirely.
+    ///
+    /// `transmitting` must already include the jammers (they hold the
+    /// channel and cannot receive).  Delivery order is ascending node id,
+    /// identical to [`DenseState::execute`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_faulty(
+        &mut self,
+        state: &mut BroadcastState,
+        active: &[NodeId],
+        jammers: &[NodeId],
+        transmitting: &BitSet,
+        blocked: &BitSet,
+        round: u32,
+        mut deliver: impl FnMut(NodeId) -> bool,
+    ) -> RoundOutcome {
+        if self.jam.len() != self.ge1.len() {
+            self.jam = vec![0; self.ge1.len()];
+        }
+        let BitmapSlot::Ready(bitmap) = &self.bitmap else {
+            unreachable!("dense round without a ready bitmap");
+        };
+        let (ge1, ge2, jam) = (&mut self.ge1, &mut self.ge2, &mut self.jam);
+        let mut outcome = RoundOutcome {
+            transmitters: active.len() + jammers.len(),
+            ..RoundOutcome::default()
+        };
+
+        for &t in active {
+            let row = bitmap.row(t);
+            for ((g1, g2), &r) in ge1.iter_mut().zip(ge2.iter_mut()).zip(row) {
+                *g2 |= *g1 & r;
+                *g1 |= r;
+            }
+        }
+        for &j in jammers {
+            let row = bitmap.row(j);
+            for (jw, &r) in jam.iter_mut().zip(row) {
+                *jw |= r;
+            }
+        }
+
+        // Resolution sweep.  "Exactly one" now additionally requires a
+        // jam-free word position; everything else reached is a collision.
+        // ge1/jam carry no tail bits (adjacency rows are tail-clean), so
+        // the complements' tails cannot leak in.
+        let tx_words = transmitting.words();
+        let blocked_words = blocked.words();
+        let informed_words = state.informed_mask().words();
+        for i in 0..ge1.len() {
+            let eligible = !tx_words[i] & !blocked_words[i] & !informed_words[i];
+            let any = (ge1[i] | jam[i]) & eligible;
+            outcome.reached += any.count_ones() as usize;
+            let e1 = ge1[i] & !ge2[i] & !jam[i] & eligible;
+            outcome.collisions += (any & !e1).count_ones() as usize;
+            ge2[i] = e1;
+            ge1[i] = 0;
+            jam[i] = 0;
+        }
+
+        for (i, slot) in ge2.iter_mut().enumerate() {
+            let mut word = *slot;
+            *slot = 0;
+            while word != 0 {
+                let v = (i * 64 + word.trailing_zeros() as usize) as NodeId;
+                word &= word - 1;
+                if deliver(v) {
                     state.inform(v, round);
                     outcome.newly_informed += 1;
                 }

@@ -62,6 +62,7 @@ pub mod batch;
 pub mod bitset;
 pub mod combinators;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod kernel;
 pub mod metrics;
@@ -75,16 +76,20 @@ pub mod schedule_io;
 pub mod state;
 pub mod trace;
 
-pub use batch::{run_protocol_batch, MAX_LANES};
+pub use batch::{run_protocol_batch, run_protocol_batch_faulty, MAX_LANES};
 pub use combinators::{Named, Staged};
 pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
+pub use fault::{
+    BurstParams, FaultConfig, FaultEvent, FaultEventKind, FaultPlan, FaultSession, FaultSummary,
+    LiveView, Placement,
+};
 pub use json::Json;
 pub use kernel::{EngineKernel, KernelUsed};
 pub use metrics::RunMetrics;
 pub use observer::{CollectingObserver, NoopObserver, RoundEvent, RunObserver};
 pub use protocol::{
-    run_protocol, run_protocol_from, run_protocol_multi, run_protocol_observed, LocalNode,
-    Protocol, RunConfig,
+    run_protocol, run_protocol_faulty, run_protocol_faulty_observed, run_protocol_from,
+    run_protocol_multi, run_protocol_observed, LocalNode, Protocol, RunConfig,
 };
 pub use report::RunReport;
 pub use runner::{parse_radio_threads, run_trials, run_trials_serial, thread_budget};

@@ -89,12 +89,20 @@ mod tests {
             })
             .collect();
         let informed = trace.last().map(|r| r.informed_after).unwrap_or(1);
+        let last_delivery_round = trace
+            .iter()
+            .rev()
+            .find(|r| r.newly_informed > 0)
+            .map_or(0, |r| r.round);
         RunResult {
             completed: informed == n,
             rounds: trace.len() as u32,
             informed,
             n,
             kernel: crate::kernel::KernelUsed::Sparse,
+            last_delivery_round,
+            fault_events: Vec::new(),
+            faults: None,
             trace,
         }
     }
@@ -135,6 +143,9 @@ mod tests {
             informed: 1,
             n: 1,
             kernel: crate::kernel::KernelUsed::Sparse,
+            last_delivery_round: 0,
+            fault_events: Vec::new(),
+            faults: None,
             trace: vec![],
         };
         let m = RunMetrics::from_result(&r);

@@ -29,6 +29,7 @@
 //! ```
 
 use crate::engine::RoundOutcome;
+use crate::fault::FaultEvent;
 
 /// Everything the engine knows about one executed round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,10 @@ pub trait RunObserver {
     /// Called after every executed round.
     fn on_round(&mut self, _event: &RoundEvent) {}
 
+    /// Called when a fault event fires (faulty runs only), before the
+    /// round's transmit decisions.  Events arrive in (round, node) order.
+    fn on_fault(&mut self, _event: &FaultEvent) {}
+
     /// Called once after the last round.
     fn on_run_end(&mut self, _completed: bool, _rounds: u32, _informed: usize) {}
 }
@@ -116,6 +121,9 @@ pub struct CollectingObserver {
     pub initially_informed: usize,
     /// One event per executed round, in order.
     pub events: Vec<RoundEvent>,
+    /// Fault events seen during the run, in (round, node) order (empty for
+    /// fault-free runs).
+    pub fault_events: Vec<FaultEvent>,
     /// Completion flag reported at run end.
     pub completed: bool,
     /// Final round count reported at run end.
@@ -153,10 +161,15 @@ impl RunObserver for CollectingObserver {
         self.n = n;
         self.initially_informed = initially_informed;
         self.events.clear();
+        self.fault_events.clear();
     }
 
     fn on_round(&mut self, event: &RoundEvent) {
         self.events.push(*event);
+    }
+
+    fn on_fault(&mut self, event: &FaultEvent) {
+        self.fault_events.push(*event);
     }
 
     fn on_run_end(&mut self, completed: bool, rounds: u32, informed: usize) {

@@ -15,6 +15,7 @@
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
 
 use crate::engine::RoundEngine;
+use crate::fault::{FaultEvent, FaultPlan, FaultSession};
 use crate::kernel::EngineKernel;
 use crate::observer::{NoopObserver, RoundEvent, RunObserver};
 use crate::state::BroadcastState;
@@ -89,6 +90,31 @@ pub trait Protocol {
             }
         }
         word
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn begin_run(&mut self, n: usize) {
+        (**self).begin_run(n);
+    }
+
+    fn transmits(&mut self, node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+        (**self).transmits(node, rng)
+    }
+
+    fn transmits_lanes(
+        &mut self,
+        id: NodeId,
+        round: u32,
+        lanes: u64,
+        informed_round: &[u32],
+        rngs: &mut [Xoshiro256pp],
+    ) -> u64 {
+        (**self).transmits_lanes(id, round, lanes, informed_round, rngs)
     }
 }
 
@@ -256,6 +282,117 @@ pub fn run_protocol_from_observed<P: Protocol + ?Sized, O: RunObserver>(
     observer.on_run_end(completed, round, informed);
     let mut result = tb.finish(completed, round, informed, n);
     result.kernel = engine.kernel_used();
+    result
+}
+
+/// Runs `protocol` on `graph` under the fault plan `plan`.
+///
+/// Crashed and sleeping nodes neither transmit nor receive; jammers force
+/// collisions on their neighborhoods; a node whose Gilbert–Elliott channel
+/// is in the bad state loses every reception that round.  Independent
+/// per-reception loss (`config.loss_prob`) composes on top.  See
+/// `docs/ROBUSTNESS.md` for the full semantics and the determinism
+/// contract.
+///
+/// The result carries graceful-degradation metrics: fault events in
+/// [`RunResult::fault_events`], and a [`crate::FaultSummary`] (coverage of
+/// the *live reachable* subgraph) in [`RunResult::faults`].
+pub fn run_protocol_faulty<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    run_protocol_faulty_observed(
+        graph,
+        source,
+        protocol,
+        config,
+        plan,
+        rng,
+        &mut NoopObserver,
+    )
+}
+
+/// Like [`run_protocol_faulty`], but streams round and fault telemetry into
+/// `observer` (fault events via [`RunObserver::on_fault`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_faulty_observed<P: Protocol + ?Sized, O: RunObserver>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    rng: &mut Xoshiro256pp,
+    observer: &mut O,
+) -> RunResult {
+    let n = graph.n();
+    assert_eq!(plan.n(), n, "fault plan size mismatch");
+    let mut state = BroadcastState::new(n, source);
+    let mut engine = RoundEngine::new(graph).with_kernel(config.kernel);
+    let mut tb = TraceBuilder::new(config.trace_level);
+    let mut session = FaultSession::new(plan);
+    protocol.begin_run(n);
+    observer.on_run_start(n, state.informed_count());
+
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    let mut transmitters: Vec<NodeId> = Vec::new();
+    let mut round = 0u32;
+    while !state.is_complete() && round < config.max_rounds {
+        round += 1;
+        // Faults fire (and burst channels step) before any decision coin.
+        let fired = session.begin_round(round, rng);
+        for ev in fired {
+            observer.on_fault(ev);
+        }
+        fault_events.extend_from_slice(fired);
+
+        transmitters.clear();
+        for v in state.informed_nodes() {
+            // Crashed, asleep, and jamming nodes draw no decision coin.
+            if session.mute(v) {
+                continue;
+            }
+            let local = LocalNode {
+                id: v,
+                informed_round: state.informed_round(v).unwrap(),
+                round,
+            };
+            if protocol.transmits(local, rng) {
+                transmitters.push(v);
+            }
+        }
+        let started = observer.wants_timing().then(std::time::Instant::now);
+        let outcome = engine.execute_round_faulty(
+            &mut state,
+            &transmitters,
+            round,
+            &session,
+            config.loss_prob,
+            rng,
+        );
+        let elapsed_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        tb.record(round, &outcome, state.informed_count());
+        observer.on_round(&RoundEvent::from_outcome(
+            round,
+            &outcome,
+            state.informed_count(),
+            elapsed_ns,
+        ));
+    }
+
+    let completed = state.is_complete();
+    let informed = state.informed_count();
+    observer.on_run_end(completed, round, informed);
+    let summary = plan
+        .live_view(graph, round, source)
+        .summary(|v| state.is_informed(v));
+    let mut result = tb.finish(completed, round, informed, n);
+    result.kernel = engine.kernel_used();
+    result.fault_events = fault_events;
+    result.faults = Some(summary);
     result
 }
 

@@ -32,14 +32,17 @@
 
 use std::io::Write;
 
+use crate::fault::{FaultEvent, FaultEventKind, FaultSummary};
 use crate::json::Json;
 use crate::metrics::RunMetrics;
 use crate::observer::RoundEvent;
 use crate::trace::RunResult;
 
 /// Current `RunReport` schema version (see `docs/OBSERVABILITY.md` for the
-/// versioning policy).
-pub const RUN_REPORT_SCHEMA_VERSION: i64 = 1;
+/// versioning policy).  Version 2 added the graceful-degradation fields
+/// (`coverage`, `last_delivery_round`, `faults`); version-1 documents are
+/// still accepted, with those fields defaulted.
+pub const RUN_REPORT_SCHEMA_VERSION: i64 = 2;
 
 /// JSON summary of one broadcast run.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +61,11 @@ pub struct RunReport {
     pub rounds: u32,
     /// Final informed count.
     pub informed: usize,
+    /// Final informed fraction (`informed / n`; 1.0 for `n = 0`).  The
+    /// headline graceful-degradation number for runs that cannot complete.
+    pub coverage: f64,
+    /// Last round in which any node was newly informed (0 if none).
+    pub last_delivery_round: u32,
     /// Total transmissions over the recorded trace (energy proxy).
     pub total_transmissions: usize,
     /// Total collision events over the recorded trace.
@@ -78,6 +86,9 @@ pub struct RunReport {
     /// execution ([`crate::batch::run_protocol_batch`]); omitted from the
     /// JSON for scalar runs.
     pub batch_lanes: Option<u32>,
+    /// Graceful-degradation counters of a faulty run (omitted from the
+    /// JSON for fault-free runs).
+    pub faults: Option<FaultSummary>,
     /// Per-round event stream (empty unless explicitly attached with
     /// [`RunReport::with_events`] or recorded in the result's trace).
     pub events: Vec<RoundEvent>,
@@ -97,6 +108,8 @@ impl RunReport {
             completed: result.completed,
             rounds: result.rounds,
             informed: result.informed,
+            coverage: result.informed_fraction(),
+            last_delivery_round: result.last_delivery_round,
             total_transmissions: metrics.total_transmissions,
             total_collisions: metrics.total_collisions,
             round_to_half: metrics.round_to_half,
@@ -105,6 +118,7 @@ impl RunReport {
             wall_ns: None,
             kernel: Some(result.kernel.as_str().to_string()),
             batch_lanes: None,
+            faults: result.faults,
             events: Vec::new(),
         }
     }
@@ -152,6 +166,8 @@ impl RunReport {
             ("completed", Json::from(self.completed)),
             ("rounds", Json::from(self.rounds)),
             ("informed", Json::from(self.informed)),
+            ("coverage", Json::from(self.coverage)),
+            ("last_delivery_round", Json::from(self.last_delivery_round)),
             ("total_transmissions", Json::from(self.total_transmissions)),
             ("total_collisions", Json::from(self.total_collisions)),
             ("round_to_half", Json::from(self.round_to_half)),
@@ -164,6 +180,18 @@ impl RunReport {
         }
         if let Some(lanes) = self.batch_lanes {
             fields.push(("batch_lanes", Json::from(lanes)));
+        }
+        if let Some(f) = &self.faults {
+            fields.push((
+                "faults",
+                Json::object([
+                    ("crashed", Json::from(f.crashed)),
+                    ("asleep", Json::from(f.asleep)),
+                    ("live", Json::from(f.live)),
+                    ("live_reachable", Json::from(f.live_reachable)),
+                    ("residual_uninformed", Json::from(f.residual_uninformed)),
+                ]),
+            ));
         }
         if !self.events.is_empty() {
             fields.push((
@@ -183,9 +211,9 @@ impl RunReport {
             .get("schema_version")
             .and_then(Json::as_i64)
             .ok_or("missing schema_version")?;
-        if version != RUN_REPORT_SCHEMA_VERSION {
+        if !(1..=RUN_REPORT_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported run_report schema_version {version} (reader supports {RUN_REPORT_SCHEMA_VERSION})"
+                "unsupported run_report schema_version {version} (reader supports 1..={RUN_REPORT_SCHEMA_VERSION})"
             ));
         }
         if json.get("kind").and_then(Json::as_str) != Some("run_report") {
@@ -209,13 +237,41 @@ impl RunReport {
                 .map(round_event_from_json)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        // Schema-v2 fields are lenient so version-1 documents still parse.
+        let n = get_usize("n")?;
+        let informed = get_usize("informed")?;
+        let coverage = json.get("coverage").and_then(Json::as_f64).unwrap_or({
+            if n == 0 {
+                1.0
+            } else {
+                informed as f64 / n as f64
+            }
+        });
+        let faults = match json.get("faults") {
+            None => None,
+            Some(f) => {
+                let field = |key: &str| -> Result<usize, String> {
+                    f.get(key)
+                        .and_then(Json::as_i64)
+                        .and_then(|v| usize::try_from(v).ok())
+                        .ok_or_else(|| format!("missing or invalid faults.{key}"))
+                };
+                Some(FaultSummary {
+                    crashed: field("crashed")?,
+                    asleep: field("asleep")?,
+                    live: field("live")?,
+                    live_reachable: field("live_reachable")?,
+                    residual_uninformed: field("residual_uninformed")?,
+                })
+            }
+        };
         Ok(RunReport {
             algorithm: json
                 .get("algorithm")
                 .and_then(Json::as_str)
                 .ok_or("missing algorithm")?
                 .to_string(),
-            n: get_usize("n")?,
+            n,
             p: json.get("p").and_then(Json::as_f64),
             seed: json
                 .get("seed")
@@ -226,7 +282,9 @@ impl RunReport {
                 .and_then(Json::as_bool)
                 .ok_or("missing completed")?,
             rounds: get_opt_u32("rounds").ok_or("missing rounds")?,
-            informed: get_usize("informed")?,
+            informed,
+            coverage,
+            last_delivery_round: get_opt_u32("last_delivery_round").unwrap_or(0),
             total_transmissions: get_usize("total_transmissions")?,
             total_collisions: get_usize("total_collisions")?,
             round_to_half: get_opt_u32("round_to_half"),
@@ -241,6 +299,7 @@ impl RunReport {
                 .and_then(Json::as_str)
                 .map(str::to_string),
             batch_lanes: get_opt_u32("batch_lanes"),
+            faults,
             events,
         })
     }
@@ -300,6 +359,58 @@ pub fn write_events_jsonl<W: Write>(
     Ok(())
 }
 
+/// Serializes one [`FaultEvent`] (the JSONL fault-trace line format).
+pub fn fault_event_to_json(event: &FaultEvent) -> Json {
+    Json::object([
+        ("fault", Json::from(event.kind.as_str())),
+        ("round", Json::from(event.round)),
+        ("node", Json::from(event.node)),
+    ])
+}
+
+/// Parses one [`FaultEvent`] serialized by [`fault_event_to_json`].
+pub fn fault_event_from_json(json: &Json) -> Result<FaultEvent, String> {
+    let kind = match json.get("fault").and_then(Json::as_str) {
+        Some("crash") => FaultEventKind::Crash,
+        Some("wake") => FaultEventKind::Wake,
+        Some("jam_start") => FaultEventKind::JamStart,
+        Some("jam_stop") => FaultEventKind::JamStop,
+        Some(other) => return Err(format!("unknown fault kind {other:?}")),
+        None => return Err("missing fault kind".into()),
+    };
+    let field = |key: &str| -> Result<i64, String> {
+        json.get(key)
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("missing or invalid fault field {key}"))
+    };
+    Ok(FaultEvent {
+        round: u32::try_from(field("round")?).map_err(|_| "round out of range")?,
+        node: u32::try_from(field("node")?).map_err(|_| "node out of range")?,
+        kind,
+    })
+}
+
+/// Writes a fault-event stream as JSONL, with the same extra-context
+/// convention as [`write_events_jsonl`].  Fault lines are distinguishable
+/// from round lines by their `fault` field.
+pub fn write_fault_events_jsonl<W: Write>(
+    out: &mut W,
+    prefix_fields: &[(&str, Json)],
+    events: &[FaultEvent],
+) -> std::io::Result<()> {
+    for event in events {
+        let mut fields: Vec<(String, Json)> = prefix_fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        if let Json::Obj(event_fields) = fault_event_to_json(event) {
+            fields.extend(event_fields);
+        }
+        writeln!(out, "{}", Json::Obj(fields).render())?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +423,9 @@ mod tests {
             informed: 5,
             n: 5,
             kernel: crate::kernel::KernelUsed::Sparse,
+            last_delivery_round: 2,
+            fault_events: Vec::new(),
+            faults: None,
             trace: vec![
                 RoundRecord {
                     round: 1,
@@ -360,6 +474,71 @@ mod tests {
         assert_eq!(report.round_to_half, Some(1));
         assert_eq!(report.round_to_99, Some(2));
         assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn faulty_report_round_trips_and_v1_is_lenient() {
+        let mut result = sample_result();
+        result.completed = false;
+        result.informed = 4;
+        result.faults = Some(FaultSummary {
+            crashed: 1,
+            asleep: 0,
+            live: 4,
+            live_reachable: 4,
+            residual_uninformed: 0,
+        });
+        let report = RunReport::from_result("faulty", &result);
+        assert_eq!(report.coverage, 0.8);
+        assert_eq!(report.last_delivery_round, 2);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("faults")
+                .and_then(|f| f.get("crashed"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+
+        // A version-1 document (no v2 fields) still parses, with coverage
+        // derived and the rest defaulted.
+        let mut v1 = RunReport::from_result("old", &sample_result()).to_json();
+        if let Json::Obj(fields) = &mut v1 {
+            fields[0].1 = Json::Int(1);
+            fields.retain(|(k, _)| k != "coverage" && k != "last_delivery_round");
+        }
+        let old = RunReport::from_json(&v1).unwrap();
+        assert_eq!(old.coverage, 1.0);
+        assert_eq!(old.last_delivery_round, 0);
+        assert!(old.faults.is_none());
+    }
+
+    #[test]
+    fn fault_events_jsonl_round_trip() {
+        let events = vec![
+            FaultEvent {
+                round: 3,
+                node: 7,
+                kind: FaultEventKind::Crash,
+            },
+            FaultEvent {
+                round: 5,
+                node: 2,
+                kind: FaultEventKind::JamStart,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fault_events_jsonl(&mut buf, &[("trial", Json::Int(1))], &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, event) in lines.iter().zip(&events) {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("trial").unwrap().as_i64(), Some(1));
+            assert_eq!(fault_event_from_json(&v).unwrap(), *event);
+        }
+        assert!(fault_event_from_json(&Json::object([("fault", Json::from("nap"))])).is_err());
     }
 
     #[test]

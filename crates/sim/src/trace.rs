@@ -7,6 +7,7 @@
 //! sweeps where only the summary matters.
 
 use crate::engine::RoundOutcome;
+use crate::fault::{FaultEvent, FaultSummary};
 use crate::kernel::KernelUsed;
 
 /// How much per-round detail to record.
@@ -70,6 +71,16 @@ pub struct RunResult {
     /// [`TraceBuilder::finish`] defaults it to `Sparse`).  Informational
     /// only: kernel choice never changes any other field.
     pub kernel: KernelUsed,
+    /// The last round in which any node was newly informed (0 if the source
+    /// never reached anyone).  Under faults this is the graceful-degradation
+    /// "round of last new delivery"; recorded at every [`TraceLevel`].
+    pub last_delivery_round: u32,
+    /// Fault events that fired during the run, in (round, node) order.
+    /// Empty for fault-free runs.
+    pub fault_events: Vec<FaultEvent>,
+    /// Graceful-degradation summary of the surviving subgraph (faulty runs
+    /// only; `None` for fault-free runs).
+    pub faults: Option<FaultSummary>,
     /// Per-round records (empty under [`TraceLevel::SummaryOnly`]).
     pub trace: Vec<RoundRecord>,
 }
@@ -113,6 +124,7 @@ impl RunResult {
 pub struct TraceBuilder {
     level: TraceLevel,
     records: Vec<RoundRecord>,
+    last_delivery: u32,
 }
 
 impl TraceBuilder {
@@ -121,11 +133,16 @@ impl TraceBuilder {
         TraceBuilder {
             level,
             records: Vec::new(),
+            last_delivery: 0,
         }
     }
 
-    /// Records one executed round.
+    /// Records one executed round.  Last-delivery tracking happens at every
+    /// level; only the per-round record is gated on [`TraceLevel::PerRound`].
     pub fn record(&mut self, round: u32, outcome: &RoundOutcome, informed_after: usize) {
+        if outcome.newly_informed > 0 {
+            self.last_delivery = round;
+        }
         if self.level == TraceLevel::PerRound {
             self.records.push(RoundRecord {
                 round,
@@ -146,6 +163,9 @@ impl TraceBuilder {
             informed,
             n,
             kernel: KernelUsed::default(),
+            last_delivery_round: self.last_delivery,
+            fault_events: Vec::new(),
+            faults: None,
             trace: self.records,
         }
     }

@@ -32,10 +32,15 @@ fi
 
 # The reports are rendered by radio_sim::json (2-space pretty print, one
 # "key": value per line), so label/mean_ns pairs can be read line-by-line.
+# Each label pairs only with the FIRST mean_ns that follows it: points may
+# carry extra fields or nested objects (coverage, faults, resamples, ...),
+# and points without any mean_ns are simply skipped.
 extract() {
   awk '
-    /"label":/   { gsub(/.*"label": "|",?$/, ""); label = $0 }
-    /"mean_ns":/ { gsub(/.*"mean_ns": |,?$/, ""); print label "\t" $0 }
+    /"label":/   { gsub(/.*"label": "|",?$/, ""); label = $0; paired = 0 }
+    /"mean_ns":/ {
+      if (!paired) { gsub(/.*"mean_ns": |,?$/, ""); print label "\t" $0; paired = 1 }
+    }
   ' "$1"
 }
 

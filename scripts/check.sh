@@ -32,6 +32,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 step "cargo test (debug)"
 cargo test --workspace --offline -q
 
+# The fault-model cross-kernel contract (crash/sleep/jam/burst plans replay
+# bit-identically on the sparse, dense, and lane-batched kernels) is also
+# pinned explicitly, debug here and release below.
+step "fault-model differential suite (debug)"
+cargo test --offline -q -p radio-sim fault
+cargo test --offline -q -p radio-integration --test fault_differential
+
 if [ "$fast" -eq 0 ]; then
   step "cargo build --release"
   cargo build --workspace --release --offline -q
@@ -49,6 +56,13 @@ if [ "$fast" -eq 0 ]; then
   step "batch equivalence suite (release)"
   cargo test --release --offline -q -p radio-sim batch
   cargo test --release --offline -q -p radio-integration --test batch_vs_scalar
+
+  # The fault-model differential suite re-runs in release: the dense
+  # three-plane resolution and the batch jam/burst word arithmetic must
+  # stay bit-identical to the sparse reference under optimization.
+  step "fault-model differential suite (release)"
+  cargo test --release --offline -q -p radio-sim fault
+  cargo test --release --offline -q -p radio-integration --test fault_differential
 
   # The experiment registry: the driver must list all experiments, and the
   # smoke suite runs every registered experiment at a tiny grid and checks

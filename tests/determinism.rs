@@ -72,6 +72,70 @@ fn parallel_sweep_equals_serial_sweep() {
 }
 
 #[test]
+fn faulty_lossy_sweeps_identical_across_threads_and_kernels() {
+    use radio_sim::{
+        run_protocol_faulty, BurstParams, EngineKernel, FaultConfig, FaultPlan, KernelUsed,
+        TraceLevel,
+    };
+    let n = 500;
+    let p = 22.0 / n as f64;
+    let g = sample_gnp(n, p, &mut Xoshiro256pp::new(31));
+    let plan = FaultPlan::generate(
+        &g,
+        &FaultConfig {
+            crash_rate: 0.05,
+            sleep_rate: 0.1,
+            jammers: 2,
+            burst: Some(BurstParams {
+                p_bad: 0.2,
+                p_good: 0.3,
+            }),
+            exempt: Some(0),
+            ..FaultConfig::default()
+        },
+        99,
+    );
+
+    // One faulty + lossy sweep at a fixed kernel, fanned over the trial
+    // pool.  Byte-identical results regardless of the worker-thread count.
+    let sweep = |kernel: EngineKernel| {
+        let job = |_i: usize, rng: &mut Xoshiro256pp| {
+            let cfg = RunConfig::for_graph(n)
+                .with_kernel(kernel)
+                .with_loss(0.15)
+                .with_trace(TraceLevel::PerRound);
+            let mut proto = EgDistributed::new(p);
+            run_protocol_faulty(&g, 0, &mut proto, cfg, &plan, rng)
+        };
+        std::env::set_var("RADIO_THREADS", "1");
+        let serial = run_trials(8, 4040, job);
+        std::env::set_var("RADIO_THREADS", "8");
+        let threaded = run_trials(8, 4040, job);
+        std::env::remove_var("RADIO_THREADS");
+        assert_eq!(
+            serial, threaded,
+            "{kernel:?}: thread count leaked into results"
+        );
+        serial
+    };
+
+    let sparse = sweep(EngineKernel::Sparse);
+    let dense = sweep(EngineKernel::Dense);
+    let auto = sweep(EngineKernel::Auto);
+    // Kernel choice is an implementation detail: everything but the
+    // recorded kernel tag must agree across sparse / dense / auto.
+    let normalize = |mut runs: Vec<radio_sim::RunResult>| {
+        for r in &mut runs {
+            r.kernel = KernelUsed::Sparse;
+        }
+        runs
+    };
+    let sparse = normalize(sparse);
+    assert_eq!(sparse, normalize(dense));
+    assert_eq!(sparse, normalize(auto));
+}
+
+#[test]
 fn seed_derivation_is_stable_across_calls() {
     // Pin a few derived values so accidental changes to the derivation
     // function (which would silently re-randomize every experiment) fail

@@ -1,0 +1,167 @@
+//! Cross-kernel fault-model differential suite.
+//!
+//! The determinism contract of the fault subsystem: a [`FaultPlan`] replays
+//! bit-identically on the scalar sparse kernel, the scalar dense kernel,
+//! and the 64-lane batch kernel — same informed sets, same coverage, same
+//! fault events, same [`radio_sim::FaultSummary`], and the same residual
+//! RNG stream.  This suite exercises the contract through the real
+//! protocol stack (EG, Decay, and the epoch-restarting wrapper) rather
+//! than the simulator's internal test protocols.
+
+use radio_broadcast::distributed::{Decay, EgDistributed, Restartable};
+use radio_graph::gnp::sample_gnp;
+use radio_graph::{child_rng, Graph, Xoshiro256pp};
+use radio_sim::{
+    run_protocol_batch_faulty, run_protocol_faulty, EngineKernel, FaultConfig, FaultPlan,
+    KernelUsed, Protocol, RunConfig, TraceLevel, MAX_LANES,
+};
+
+/// One fault plan per fault type, plus a kitchen-sink combination.
+fn fault_cases(g: &Graph) -> Vec<(&'static str, FaultPlan)> {
+    let n = g.n();
+    let mut crash = FaultPlan::new(n);
+    crash.crash(3, 2).crash(11, 6).crash(40, 12);
+    let mut sleep = FaultPlan::new(n);
+    sleep.sleep(5, 9).sleep(6, 15).sleep(70, 4);
+    let mut jam = FaultPlan::new(n);
+    jam.jam(20, 2, 10).jam(33, 1, u32::MAX);
+    let mut burst = FaultPlan::new(n);
+    burst.set_burst(0.35, 0.2);
+    let combined = FaultPlan::generate(
+        g,
+        &FaultConfig {
+            crash_rate: 0.05,
+            sleep_rate: 0.1,
+            jammers: 2,
+            burst: Some(radio_sim::BurstParams {
+                p_bad: 0.25,
+                p_good: 0.3,
+            }),
+            exempt: Some(0),
+            ..FaultConfig::default()
+        },
+        4242,
+    );
+    vec![
+        ("crash", crash),
+        ("sleep", sleep),
+        ("jam", jam),
+        ("burst", burst),
+        ("combined", combined),
+    ]
+}
+
+type ProtocolFactory = Box<dyn Fn() -> Box<dyn Protocol>>;
+
+fn protocol_factories(p: f64) -> Vec<(&'static str, ProtocolFactory)> {
+    vec![
+        (
+            "eg",
+            Box::new(move || Box::new(EgDistributed::new(p)) as Box<dyn Protocol>),
+        ),
+        (
+            "decay",
+            Box::new(|| Box::new(Decay::new()) as Box<dyn Protocol>),
+        ),
+        (
+            "restartable-eg",
+            Box::new(move || {
+                Box::new(Restartable::auto(EgDistributed::new(p))) as Box<dyn Protocol>
+            }),
+        ),
+    ]
+}
+
+/// Batch lane `l` must equal the scalar faulty run seeded with
+/// `child_rng(master, l)` on both scalar kernels, for every fault type and
+/// every protocol — and the two scalar kernels must leave the caller's RNG
+/// in the same state.
+#[test]
+fn batch_lanes_match_scalar_kernels_under_faults() {
+    let n = 128;
+    let p = 0.1;
+    let g = sample_gnp(n, p, &mut Xoshiro256pp::new(2026));
+    let master = 555u64;
+    let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+
+    for (case, plan) in fault_cases(&g) {
+        // Exercise the loss path together with the combined plan so the
+        // burst-before-loss coin ordering is covered end to end.
+        let cfg = if case == "combined" {
+            cfg.with_loss(0.2)
+        } else {
+            cfg
+        };
+        for (proto_name, make) in protocol_factories(p) {
+            let mut batch_proto = make();
+            let lanes = run_protocol_batch_faulty(
+                &g,
+                0,
+                batch_proto.as_mut(),
+                cfg,
+                &plan,
+                master,
+                MAX_LANES,
+            );
+            for lane in [0usize, 1, 7, MAX_LANES - 1] {
+                let mut streams = Vec::new();
+                for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+                    let mut rng = child_rng(master, lane as u64);
+                    let mut proto = make();
+                    let mut scalar = run_protocol_faulty(
+                        &g,
+                        0,
+                        proto.as_mut(),
+                        cfg.with_kernel(kernel),
+                        &plan,
+                        &mut rng,
+                    );
+                    scalar.kernel = KernelUsed::Batch;
+                    assert_eq!(
+                        scalar, lanes[lane],
+                        "{case}/{proto_name}: lane {lane} diverged from scalar {kernel:?}"
+                    );
+                    streams.push(rng.next());
+                }
+                assert_eq!(
+                    streams[0], streams[1],
+                    "{case}/{proto_name}: residual RNG stream differs between kernels"
+                );
+            }
+        }
+    }
+}
+
+/// The graceful-degradation summary itself is kernel-independent: the
+/// coverage, live-reachable count, and residual-uninformed count agree
+/// between sparse and dense replays of a generated adversarial plan.
+#[test]
+fn fault_summary_is_kernel_independent() {
+    let n = 256;
+    let p = 0.08;
+    let g = sample_gnp(n, p, &mut Xoshiro256pp::new(7));
+    let plan = FaultPlan::generate(
+        &g,
+        &FaultConfig {
+            crash_rate: 0.2,
+            placement: radio_sim::Placement::HighDegree,
+            exempt: Some(0),
+            ..FaultConfig::default()
+        },
+        9,
+    );
+    let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+    let run = |kernel| {
+        let mut proto = EgDistributed::new(p);
+        let mut rng = Xoshiro256pp::new(77);
+        run_protocol_faulty(&g, 0, &mut proto, cfg.with_kernel(kernel), &plan, &mut rng)
+    };
+    let sparse = run(EngineKernel::Sparse);
+    let dense = run(EngineKernel::Dense);
+    let s = sparse.faults.expect("faulty run carries a summary");
+    assert_eq!(sparse.faults, dense.faults);
+    assert_eq!(sparse.fault_events, dense.fault_events);
+    assert_eq!(sparse.last_delivery_round, dense.last_delivery_round);
+    assert!(s.crashed > 0, "adversarial plan crashed nobody");
+    assert!(s.live_reachable <= s.live);
+}

@@ -51,6 +51,8 @@ fn sample_run_report() -> RunReport {
         completed: true,
         rounds: 2,
         informed: 64,
+        coverage: 1.0,
+        last_delivery_round: 2,
         total_transmissions: 9,
         total_collisions: 1,
         round_to_half: Some(1),
@@ -59,6 +61,7 @@ fn sample_run_report() -> RunReport {
         wall_ns: Some(12_345),
         kernel: Some("dense".into()),
         batch_lanes: None,
+        faults: None,
         events: vec![
             RoundEvent {
                 round: 1,
