@@ -9,7 +9,7 @@ use radio_analysis::Summary;
 use radio_graph::components::is_connected;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
-use radio_sim::{run_protocol_batch, run_trials, Protocol, RunConfig, TraceLevel};
+use radio_sim::{run_protocol_batch, run_trials, Backend, Protocol, RunConfig, TraceLevel};
 
 /// Command-line arguments shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -32,6 +32,11 @@ pub struct ExpArgs {
     /// Collapse every size sweep to this single `n` (`--n N`, or `n=N` in
     /// `--grid`).  Lets the registry run any experiment at a smoke grid.
     pub n_override: Option<usize>,
+    /// Graph backend (`--backend auto|explicit|implicit|sharded`, default
+    /// explicit).  Experiments that support it switch their sweeps to the
+    /// provider-driven engine — e.g. `t7 --backend implicit` runs the
+    /// adjacency-free scale sweep up to n = 10⁷.
+    pub backend: Backend,
 }
 
 impl Default for ExpArgs {
@@ -44,6 +49,7 @@ impl Default for ExpArgs {
             json_out: std::env::var_os("RADIO_JSON_OUT").map(Into::into),
             json_dir: None,
             n_override: None,
+            backend: Backend::Explicit,
         }
     }
 }
@@ -98,6 +104,12 @@ impl ExpArgs {
                             .into(),
                     );
                 }
+                "--backend" => {
+                    args.backend = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--backend needs auto|explicit|implicit|sharded"));
+                }
                 "--grid" => {
                     let spec = it.next().unwrap_or_else(|| usage("--grid needs k=v,..."));
                     if let Err(e) = args.apply_grid(&spec) {
@@ -112,7 +124,7 @@ impl ExpArgs {
     }
 
     /// Applies a `k=v,...` grid spec.  Recognized keys: `mode`
-    /// (`quick`/`default`/`full`), `seed`, `trials`, `n`.
+    /// (`quick`/`default`/`full`), `seed`, `trials`, `n`, `backend`.
     pub fn apply_grid(&mut self, spec: &str) -> Result<(), String> {
         for pair in spec.split(',').filter(|s| !s.is_empty()) {
             let (key, value) = pair
@@ -133,7 +145,16 @@ impl ExpArgs {
                 "n" => {
                     self.n_override = Some(value.parse().map_err(|_| bad("expected an integer"))?)
                 }
-                _ => return Err(format!("--grid key {key:?} (known: mode,seed,trials,n)")),
+                "backend" => {
+                    self.backend = value
+                        .parse()
+                        .map_err(|_| bad("expected auto|explicit|implicit|sharded"))?
+                }
+                _ => {
+                    return Err(format!(
+                        "--grid key {key:?} (known: mode,seed,trials,n,backend)"
+                    ))
+                }
             }
         }
         Ok(())
@@ -185,7 +206,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: radio-bench [list | run <name>... | all] [--quick | --full] [--seed N]\n       [--trials N] [--n N] [--json PATH] [--json-dir DIR] [--grid k=v,...]\n(the exp_* binaries are deprecated aliases taking the same flags)"
+        "usage: radio-bench [list | run <name>... | all] [--quick | --full] [--seed N]\n       [--trials N] [--n N] [--backend auto|explicit|implicit|sharded]\n       [--json PATH] [--json-dir DIR] [--grid k=v,...]\n(the exp_* binaries are deprecated aliases taking the same flags)"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -447,6 +468,10 @@ mod tests {
         assert!(args.apply_grid("bogus=1").is_err());
         assert!(args.apply_grid("n=abc").is_err());
         assert!(args.apply_grid("mode=warp").is_err());
+        assert_eq!(args.backend, Backend::Explicit);
+        args.apply_grid("backend=implicit").unwrap();
+        assert_eq!(args.backend, Backend::Implicit);
+        assert!(args.apply_grid("backend=warp").is_err());
         let d = ExpArgs::default();
         assert_eq!(d.size(1024), 1024);
         assert_eq!(d.sizes(vec![1, 2]), vec![1, 2]);

@@ -15,7 +15,11 @@
 //!
 //! Section 1b adds the forced sparse-vs-dense kernel pair and section 1c
 //! the lane-batched trial kernel against its scalar equivalent (64 trials
-//! per adjacency sweep; `elems/s` there is *trial* throughput).
+//! per adjacency sweep; `elems/s` there is *trial* throughput).  Section 4
+//! runs the Theorem-7-shaped EG broadcast on the **implicit** backend at
+//! `n = 10⁴…10⁶` (`10⁷` in `--full`) with no adjacency in memory,
+//! recording rounds, wall time, edge throughput, and the process's peak
+//! RSS — the measured table behind `docs/SCALING.md`.
 //!
 //! Unlike the other experiments, this one writes JSON *by default*: to
 //! `BENCH_sim.json` in the current directory unless `--json PATH`,
@@ -24,19 +28,28 @@
 use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::gnp::sample_gnp;
-use radio_graph::{NodeId, Xoshiro256pp};
+use radio_graph::{GraphProvider, ImplicitGnp, NodeId, Xoshiro256pp};
 use radio_sim::batch::{execute_lane_round, LaneScratch};
 use radio_sim::{
-    run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json, NoopObserver,
-    RoundEngine, Schedule, TraceLevel, TransmitterPolicy,
+    run_protocol_provider, run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json,
+    KernelUsed, NoopObserver, RoundEngine, RunConfig, Schedule, TraceLevel, TransmitterPolicy,
 };
 use std::hint::black_box;
 
 use crate::common::{measure_protocol, point_seed};
+use crate::experiments::t7::scale_p;
 use crate::harness::Harness;
 use crate::outln;
 use crate::registry::{ExpContext, Experiment};
-use crate::report::{protocol_point_to_json, BenchReport};
+use crate::report::{protocol_point_to_json, BenchPoint, BenchReport};
+
+/// Best-effort peak RSS of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
 
 /// Aggregate performance summary (the `BENCH_sim.json` producer).
 pub struct Summary;
@@ -307,6 +320,69 @@ impl Experiment for Summary {
                     .field("rounds_ci_hi", Json::from(hi));
             }
             report.push(jp);
+        }
+
+        // ---- 4. implicit-backend scale ----------------------------------------
+        // Theorem-7-shaped EG broadcast on the seed-only implicit G(n, p)
+        // backend at p = 2.5·ln n/n: neighborhoods regenerate from the seed
+        // every round, so memory stays O(n) no matter how many edges the
+        // graph has.  One run per size (the scale regime trades trials for
+        // n; the t7 scale sweep has the multi-trial statistics).
+        let scale_ns: Vec<usize> = args.sizes(args.scale(
+            vec![10_000, 100_000],
+            vec![10_000, 100_000, 1_000_000],
+            vec![10_000, 100_000, 1_000_000, 10_000_000],
+        ));
+        outln!(
+            ctx,
+            "\n## 4. Implicit-backend scale (EG, p = 2.5·ln n/n, no stored adjacency)\n"
+        );
+        for n_s in scale_ns {
+            let p_s = scale_p(n_s);
+            let seed = point_seed(args.seed, &format!("sum/scale/{n_s}"));
+            let mut rng = Xoshiro256pp::new(seed);
+            let graph_seed = rng.next();
+            let source = rng.below(n_s as u64) as NodeId;
+            let imp = ImplicitGnp::new(n_s, p_s, graph_seed);
+            let cfg = RunConfig::for_graph(n_s).with_trace(TraceLevel::SummaryOnly);
+            let mut proto = EgDistributed::new(p_s);
+            let start = std::time::Instant::now();
+            let r = run_protocol_provider(&imp, 1, source, &mut proto, cfg, &mut rng);
+            let wall_s = start.elapsed().as_secs_f64();
+            debug_assert_eq!(r.kernel, KernelUsed::Sweep);
+            // Edge-visit throughput: every round sweeps all ~m forward edges.
+            let m_exp = imp.edge_hint() as f64;
+            let edges_per_s = m_exp * r.rounds as f64 / wall_s.max(1e-9);
+            let rss = peak_rss_kib();
+            outln!(
+                ctx,
+                "n = {n_s:>9}: {} in {} rounds, {wall_s:.1} s  ({:.1} M edge-visits/s{})",
+                if r.completed {
+                    "completed"
+                } else {
+                    "INCOMPLETE"
+                },
+                r.rounds,
+                edges_per_s / 1e6,
+                rss.map_or(String::new(), |k| format!(
+                    ", peak RSS {:.2} GiB",
+                    k as f64 / (1 << 20) as f64
+                ))
+            );
+            let label = format!("provider/implicit_eg_scale_n{n_s}");
+            let mut point = BenchPoint::new(&label)
+                .field("n", Json::from(n_s as u64))
+                .field("p", Json::from(p_s))
+                .field("backend", Json::from("implicit"))
+                .field("completed", Json::from(r.completed))
+                .field("rounds", Json::from(r.rounds))
+                .field("wall_s", Json::from(wall_s))
+                .field("expected_m", Json::from(m_exp))
+                .field("edge_visits_per_s", Json::from(edges_per_s));
+            if let Some(kib) = rss {
+                point = point.field("peak_rss_kib", Json::from(kib));
+            }
+            report.push(point);
         }
 
         report

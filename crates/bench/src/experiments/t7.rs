@@ -9,17 +9,35 @@
 //! independent of `n` and regime, i.e. the fit `rounds ≈ a·ln n + b` has a
 //! stable positive slope and high `R²`.
 
+//! With `--backend implicit|sharded|auto` the sweep switches to the
+//! **provider-driven scale regime**: the seed-only implicit `G(n, p)`
+//! backend at the connectivity threshold `p = 2.5 ln n / n`, reaching
+//! `n = 10⁷` in `--full` mode with no adjacency in memory.  No
+//! connectivity conditioning is applied there (BFS needs explicit
+//! adjacency; at `2.5×` threshold the disconnection probability is
+//! `O(n^{-1.5})`, negligible at these sizes) — incomplete trials are
+//! simply reported as incomplete.
+
 #![allow(clippy::type_complexity)]
 
 use radio_analysis::{fit_log_form, fnum, CsvWriter, Table};
 use radio_broadcast::distributed::EgDistributed;
 use radio_broadcast::theory::distributed_bound;
-use radio_sim::Json;
+use radio_graph::ImplicitGnp;
+use radio_sim::{
+    resolve_backend, run_protocol_provider, thread_budget, Backend, Json, RunConfig, TraceLevel,
+};
 
-use crate::common::{measure_protocol, point_seed, write_csv};
+use crate::common::{measure_custom, measure_protocol, point_seed, write_csv};
 use crate::outln;
 use crate::registry::{ExpContext, Experiment};
 use crate::report::{protocol_point_to_json, BenchPoint, BenchReport};
+
+/// Edge probability of the scale regime: `2.5 ln n / n`, comfortably above
+/// the connectivity threshold `ln n / n`.
+pub fn scale_p(n: usize) -> f64 {
+    (2.5 * (n.max(2) as f64).ln() / n as f64).min(1.0)
+}
 
 /// Theorem 7: distributed upper bound.
 pub struct T7;
@@ -40,6 +58,9 @@ impl Experiment for T7 {
 
     fn run(&self, ctx: &ExpContext) -> BenchReport {
         let args = &ctx.args;
+        if args.backend != Backend::Explicit {
+            return run_scale_sweep(self, ctx);
+        }
         let mut report = BenchReport::new(self.name(), self.claim(), args.mode(), args.seed);
 
         let exps: Vec<u32> = match () {
@@ -159,4 +180,137 @@ impl Experiment for T7 {
         write_csv("exp_t7", csv.finish());
         report
     }
+}
+
+/// The provider-backed Theorem-7 scale sweep (`--backend
+/// implicit|sharded|auto`): EG rounds at `p = 2.5 ln n / n` on the
+/// adjacency-free sweep engine, up to `n = 10⁷` in `--full` mode.
+fn run_scale_sweep(exp: &T7, ctx: &ExpContext) -> BenchReport {
+    let args = &ctx.args;
+    let mut report = BenchReport::new(exp.name(), exp.claim(), args.mode(), args.seed);
+
+    let ns: Vec<usize> = args.sizes(args.scale(
+        vec![1 << 14, 1 << 15],
+        vec![1 << 16, 1 << 18, 1 << 20],
+        vec![1 << 18, 1 << 20, 1 << 22, 10_000_000],
+    ));
+    let trials = args.trials_or(args.scale(2, 3, 1));
+    // Implicit sweeps use one shard; the sharded backend splits rows across
+    // the RADIO_THREADS worker budget (results are shard-count-invariant).
+    let shards = match args.backend {
+        Backend::Sharded => thread_budget(usize::MAX).max(2),
+        _ => 1,
+    };
+    outln!(
+        ctx,
+        "scale regime: backend={} shards={} p=2.5·ln n/n (no connectivity conditioning)",
+        args.backend,
+        shards
+    );
+
+    let mut table = Table::new(vec![
+        "n",
+        "d(exp)",
+        "rounds",
+        "±sd",
+        "ln n",
+        "rounds/ln n",
+        "ok",
+        "wall_s",
+    ]);
+    let mut csv = CsvWriter::new(&[
+        "n",
+        "p",
+        "backend",
+        "shards",
+        "mean_rounds",
+        "sd_rounds",
+        "ln_n",
+        "completed",
+        "trials",
+        "wall_s",
+    ]);
+    let mut fit_points: Vec<(usize, f64)> = Vec::new();
+
+    for &n in &ns {
+        let p = scale_p(n);
+        // Auto resolves per point; oversized runs reroute to implicit with
+        // the typed bitmap-cap error as the printed note.
+        let (resolved, note) = resolve_backend(args.backend, n);
+        if let Some(err) = note {
+            outln!(ctx, "note: n = {n} rerouted to implicit backend ({err})");
+        }
+        let seed = point_seed(args.seed, &format!("t7/scale/{n}"));
+        let start = std::time::Instant::now();
+        let point = measure_custom(n, p, trials, seed, |rng| {
+            let graph_seed = rng.next();
+            let source = (rng.below(n as u64)) as radio_graph::NodeId;
+            let imp = ImplicitGnp::new(n, p, graph_seed);
+            let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+            let mut proto = EgDistributed::new(p);
+            let r = run_protocol_provider(&imp, shards, source, &mut proto, cfg, rng);
+            (r.completed.then_some(r.rounds), imp.expected_degree())
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let ln_n = distributed_bound(n);
+        let rounds_mean = point.rounds.as_ref().map(|r| r.mean);
+        table.add_row(vec![
+            n.to_string(),
+            fnum(point.mean_degree, 1),
+            rounds_mean.map_or("-".into(), |m| fnum(m, 1)),
+            point
+                .rounds
+                .as_ref()
+                .map_or("-".into(), |r| fnum(r.std_dev, 1)),
+            fnum(ln_n, 1),
+            rounds_mean.map_or("-".into(), |m| fnum(m / ln_n, 2)),
+            format!("{}/{}", point.completed, point.trials),
+            fnum(wall_s, 1),
+        ]);
+        csv.add_row(&[
+            n.to_string(),
+            format!("{p}"),
+            resolved.to_string(),
+            shards.to_string(),
+            rounds_mean.map_or(String::new(), |m| format!("{m}")),
+            point
+                .rounds
+                .as_ref()
+                .map_or(String::new(), |r| format!("{}", r.std_dev)),
+            format!("{ln_n}"),
+            point.completed.to_string(),
+            point.trials.to_string(),
+            format!("{wall_s}"),
+        ]);
+        let mut bench_point = protocol_point_to_json(&format!("scale/n={n}"), &point)
+            .field("regime", Json::from("threshold 2.5 ln n/n"))
+            .field("backend", Json::from(resolved.as_str()))
+            .field("shards", Json::from(shards as u64))
+            .field("ln_n", Json::from(ln_n))
+            .field("wall_s", Json::from(wall_s));
+        if let Some(m) = rounds_mean {
+            bench_point = bench_point.field("rounds_over_ln_n", Json::from(m / ln_n));
+            fit_points.push((n, m));
+        }
+        report.push(bench_point);
+    }
+
+    outln!(ctx, "{}", table.render());
+    if let Some(fit) = fit_log_form(&fit_points) {
+        outln!(
+            ctx,
+            "fit: rounds ≈ {:.2}·ln n + {:.2}   (R² = {:.3})",
+            fit.a,
+            fit.b,
+            fit.r_squared
+        );
+        report.push(
+            BenchPoint::new("fit")
+                .field("a", Json::from(fit.a))
+                .field("b", Json::from(fit.b))
+                .field("r_squared", Json::from(fit.r_squared)),
+        );
+    }
+    write_csv("exp_t7_scale", csv.finish());
+    report
 }

@@ -317,6 +317,7 @@ fn cli_usage(msg: &str) -> ! {
          \x20 all [flags]               run the whole registry (parallel, RADIO_THREADS-aware)\n\
          \n\
          flags: [--quick | --full] [--seed N] [--trials N] [--n N]\n\
+         \x20      [--backend auto|explicit|implicit|sharded]\n\
          \x20      [--json PATH] [--json-dir DIR] [--grid k=v,...]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -176,18 +176,22 @@ impl BenchReport {
     }
 
     /// A copy with every wall-clock-derived field removed from every point:
-    /// keys ending in `_ns`/`_ms`, containing `_ns_`/`_ms_`, or equal to
-    /// `elems_per_sec`/`iters_per_sample`.  Two runs of the same experiment
-    /// at the same seed must compare equal under this projection regardless
-    /// of machine or thread count — the determinism tests rely on it.
+    /// keys ending in `_ns`/`_ms`/`_s`/`_per_s`, containing `_ns_`/`_ms_`,
+    /// or equal to `elems_per_sec`/`iters_per_sample`/`peak_rss_kib`.  Two
+    /// runs of the same experiment at the same seed must compare equal under
+    /// this projection regardless of machine or thread count — the
+    /// determinism tests rely on it.  (`peak_rss_kib` is the process-global
+    /// high-water mark, so it depends on what else ran in the process.)
     pub fn without_timing_fields(&self) -> BenchReport {
         let timing = |key: &str| {
             key.ends_with("_ns")
                 || key.ends_with("_ms")
+                || key.ends_with("_s")
                 || key.contains("_ns_")
                 || key.contains("_ms_")
                 || key == "elems_per_sec"
                 || key == "iters_per_sample"
+                || key == "peak_rss_kib"
         };
         let mut out = self.clone();
         for point in &mut out.points {

@@ -43,6 +43,7 @@ const VALUE_KEYS: &[&str] = &[
     "kernel",
     "batch",
     "faults",
+    "backend",
 ];
 
 impl Args {

@@ -12,12 +12,13 @@ use radio_broadcast::theory;
 use radio_graph::degree::DegreeStats;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::layers::analyze_layers;
-use radio_graph::{child_rng, Graph, Layering, NodeId, Xoshiro256pp};
+use radio_graph::{child_rng, Graph, GraphProvider, ImplicitGnp, Layering, NodeId, Xoshiro256pp};
 use radio_sim::report::{write_events_jsonl, write_fault_events_jsonl};
 use radio_sim::{
-    run_protocol_batch, run_protocol_batch_faulty, run_protocol_faulty_observed,
-    run_protocol_observed, run_schedule, CollectingObserver, EngineKernel, FaultConfig, FaultPlan,
-    Json, Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES,
+    resolve_backend, run_protocol_batch, run_protocol_batch_faulty, run_protocol_faulty_observed,
+    run_protocol_observed, run_protocol_provider, run_protocol_provider_faulty, run_schedule,
+    thread_budget, Backend, CollectingObserver, EngineKernel, FaultConfig, FaultPlan, Json,
+    Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES,
 };
 
 use crate::args::{Args, ParseError};
@@ -150,6 +151,15 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
 /// protocol runs resolved in shared adjacency sweeps.  JSON reports then
 /// carry one entry per lane (tagged `batch_lanes`), and JSONL trace lines
 /// gain a `lane` field.
+///
+/// `--backend implicit|sharded|auto` routes trials through the
+/// `GraphProvider` sweep engine instead of the explicit round engine:
+/// `implicit` regenerates each `G(n, p)` sample from its seed with no
+/// adjacency in memory, `sharded` splits explicit adjacency rows across the
+/// `RADIO_THREADS` worker budget, and `auto` picks `implicit` exactly when
+/// the dense-kernel adjacency bitmap would exceed its 64-MiB cap (a note is
+/// printed when that rerouting fires).  Provider backends reject `--batch`
+/// and `--kernel`, and `implicit` rejects `--graph FILE`.
 pub fn run(args: &Args) -> CmdResult {
     let spec = GraphSpec::from_args(args)?;
     let (n, p) = (spec.n(), spec.p_equiv());
@@ -238,11 +248,47 @@ pub fn run(args: &Args) -> CmdResult {
     if (source as usize) >= n {
         return Err(ParseError("--source out of range".into()));
     }
+    let backend = match args.get("backend") {
+        None => Backend::Explicit,
+        Some(raw) => raw
+            .parse::<Backend>()
+            .map_err(|e| ParseError(format!("--backend: {e}")))?,
+    };
+    // Auto resolves per run size; oversized adjacency reroutes to the
+    // implicit backend with the typed cap error as the printed note.
+    let (backend, route_note) = resolve_backend(backend, n);
+    if let Some(err) = route_note {
+        eprintln!("note: rerouted to implicit backend ({err})");
+    }
+    if backend != Backend::Explicit {
+        if batch.is_some() {
+            return Err(ParseError(
+                "--batch needs the lane-batched round engine; use --backend explicit".into(),
+            ));
+        }
+        if args.get("kernel").is_some() {
+            return Err(ParseError(
+                "--kernel selects an explicit-adjacency engine; drop it or use --backend explicit"
+                    .into(),
+            ));
+        }
+    }
+    if backend == Backend::Implicit && matches!(spec, GraphSpec::Fixed(_)) {
+        return Err(ParseError(
+            "--backend implicit regenerates G(n, p) from the seed; it cannot replay --graph FILE"
+                .into(),
+        ));
+    }
 
     if text {
         let lanes_note = batch.map_or(String::new(), |l| format!(" × {l} lanes"));
+        let backend_note = if backend == Backend::Explicit {
+            String::new()
+        } else {
+            format!(", backend {backend}")
+        };
         println!(
-            "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s){lanes_note}, loss {loss}"
+            "protocol {proto_spec} on graph (n = {n}, p̄ = {p:.6}) [d = {d:.1}], source {source}, {trials} trial(s){lanes_note}, loss {loss}{backend_note}"
         );
     }
     let mut rounds = Vec::new();
@@ -332,6 +378,97 @@ pub fn run(args: &Args) -> CmdResult {
                     completions += 1;
                     rounds.push(r.rounds as f64);
                 }
+            }
+        }
+    } else if backend != Backend::Explicit {
+        // Provider-backed trials (implicit or sharded round sweeps).  The
+        // sweep engine's own trace is the only event source here, so record
+        // per round whenever JSON output or a trace file consumes events.
+        if !text || trace_out.is_some() {
+            cfg = cfg.with_trace(TraceLevel::PerRound);
+        }
+        let shards = match backend {
+            Backend::Sharded => thread_budget(usize::MAX).max(2),
+            _ => 1,
+        };
+        for t in 0..trials {
+            let mut rng = child_rng(seed, t as u64);
+            let mut proto = make_protocol(&proto_spec, p)?;
+            let r = if backend == Backend::Implicit {
+                let imp = ImplicitGnp::new(n, p, rng.next());
+                match fault_cfg.as_ref() {
+                    Some(fc) => {
+                        // Fault-plan generation needs explicit adjacency, so
+                        // faulted implicit trials materialize the sample once
+                        // (the memory saving is traded for fault coverage).
+                        let plan = FaultPlan::generate(&imp.materialize(), fc, rng.next());
+                        run_protocol_provider_faulty(
+                            &imp,
+                            shards,
+                            source,
+                            proto.as_mut(),
+                            cfg,
+                            &plan,
+                            &mut rng,
+                        )
+                    }
+                    None => {
+                        run_protocol_provider(&imp, shards, source, proto.as_mut(), cfg, &mut rng)
+                    }
+                }
+            } else {
+                let g = spec.instantiate(&mut rng);
+                match fault_cfg.as_ref() {
+                    Some(fc) => {
+                        let plan = FaultPlan::generate(&g, fc, rng.next());
+                        run_protocol_provider_faulty(
+                            &g,
+                            shards,
+                            source,
+                            proto.as_mut(),
+                            cfg,
+                            &plan,
+                            &mut rng,
+                        )
+                    }
+                    None => {
+                        run_protocol_provider(&g, shards, source, proto.as_mut(), cfg, &mut rng)
+                    }
+                }
+            };
+            if text {
+                let fault_note = r.faults.map_or(String::new(), |f| {
+                    format!(
+                        ", coverage {:.3}, residual {} (live {}, reachable {}), last delivery r{}",
+                        r.informed_fraction(),
+                        f.residual_uninformed,
+                        f.live,
+                        f.live_reachable,
+                        r.last_delivery_round
+                    )
+                });
+                println!(
+                    "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}{fault_note}",
+                    r.completed, r.rounds, r.informed
+                );
+            }
+            if let Some(out) = trace_out.as_mut() {
+                write_fault_events_jsonl(out, &[("trial", Json::from(t))], &r.fault_events)
+                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+                let events: Vec<_> = r.trace.iter().map(|rec| rec.to_event()).collect();
+                write_events_jsonl(out, &[("trial", Json::from(t))], &events)
+                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+            }
+            if !text {
+                let report = RunReport::from_result(&proto_spec, &r)
+                    .with_p(p)
+                    .with_seed(seed)
+                    .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
+                reports.push(report.to_json());
+            }
+            if r.completed {
+                completions += 1;
+                rounds.push(r.rounds as f64);
             }
         }
     } else {
@@ -750,6 +887,46 @@ mod tests {
         let bad = argv("run --n 300 --d 20 --trials 1 --kernel turbo");
         let err = run(&bad).unwrap_err();
         assert!(err.0.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn run_command_backends() {
+        // Every backend completes an end-to-end run; implicit also covers
+        // the faulted (materialize-for-plan) and lossy paths.
+        for backend in ["auto", "explicit", "implicit", "sharded"] {
+            let args = argv(&format!(
+                "run --n 300 --d 20 --protocol eg --trials 1 --seed 3 --backend {backend}"
+            ));
+            run(&args).unwrap();
+        }
+        let faulted = argv(
+            "run --n 200 --d 15 --trials 1 --seed 5 --backend implicit \
+             --loss 0.1 --faults crash=0.05,jam=1",
+        );
+        run(&faulted).unwrap();
+        // Incompatible flag combinations are rejected with scoped errors.
+        let bad = argv("run --n 300 --d 20 --trials 1 --backend warp");
+        assert!(run(&bad).unwrap_err().0.contains("--backend"));
+        let bad = argv("run --n 300 --d 20 --trials 1 --backend implicit --batch 4");
+        assert!(run(&bad).unwrap_err().0.contains("--batch"));
+        let bad = argv("run --n 300 --d 20 --trials 1 --backend sharded --kernel dense");
+        assert!(run(&bad).unwrap_err().0.contains("--kernel"));
+        let dir = std::env::temp_dir().join("radio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("backend-tri.edges");
+        std::fs::write(&path, "3\n0 1\n1 2\n2 0\n").unwrap();
+        let bad = argv(&format!(
+            "run --graph {} --trials 1 --backend implicit",
+            path.display()
+        ));
+        assert!(run(&bad).unwrap_err().0.contains("implicit"));
+        // Sharded replays fixed topologies fine (explicit adjacency).
+        let ok = argv(&format!(
+            "run --graph {} --trials 1 --backend sharded",
+            path.display()
+        ));
+        run(&ok).unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

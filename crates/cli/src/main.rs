@@ -3,7 +3,7 @@
 //! ```text
 //! radio-cli run       --n 10000 --d 50 --protocol eg [--trials 5] [--loss 0.1] [--seed 1]
 //!                     [--format text|json] [--trace-out FILE.jsonl] [--kernel auto|sparse|dense]
-//!                     [--batch L]
+//!                     [--batch L] [--backend auto|explicit|implicit|sharded]
 //! radio-cli schedule  --n 10000 --d 50 [--source 0] [--seed 1]
 //! radio-cli structure --n 50000 --d 40 [--seed 1]
 //! radio-cli gossip    --n 1000  --d 30 [--seed 1]
@@ -67,7 +67,11 @@ subcommands:
                                                  [--source V] [--trials K] [--loss F] [--max-rounds R] [--seed S]
                                                  [--format text|json] [--trace-out FILE.jsonl]
                                                  [--kernel auto|sparse|dense] [--batch L]
-             (--batch L runs L ≤ 64 lane-batched trials per graph sample)
+                                                 [--backend auto|explicit|implicit|sharded]
+             (--batch L runs L ≤ 64 lane-batched trials per graph sample;
+              --backend implicit regenerates G(n, p) from the seed with no
+              adjacency in memory, sharded splits rows across RADIO_THREADS,
+              auto picks implicit when adjacency would blow the bitmap cap)
   schedule   build the Theorem-5 schedule        [graph] [--source V] [--seed S] [--verbose] [--save FILE]
   replay     verify + replay a saved schedule    [graph] --schedule FILE [--source V] [--seed S]
   structure  BFS layer + degree structure        [graph] [--seed S]

@@ -7,11 +7,46 @@
 //! bit `v` of row `u` set iff `{u, v} ∈ E`.
 //!
 //! The bitmap costs `n²/8` bytes regardless of density, so construction is
-//! **capped**: [`AdjacencyBitmap::build`] refuses (returns `None`) when the
-//! allocation would exceed the requested byte budget.  Callers treat a
-//! refusal as "stay on the sparse kernel" — see `docs/PERF.md`.
+//! **capped**: [`AdjacencyBitmap::try_build`] refuses with a typed
+//! [`BitmapCapError`] when the allocation would exceed the requested byte
+//! budget ([`AdjacencyBitmap::build`] is the `Option` convenience form).
+//! Callers either stay on the sparse kernel (see `docs/PERF.md`) or — for
+//! whole-run backend dispatch — route to the implicit
+//! [`provider`](crate::provider) backend, surfacing the error text as the
+//! routing note.
+
+use std::fmt;
 
 use crate::csr::{Graph, NodeId};
+
+/// Typed refusal from [`AdjacencyBitmap::try_build`]: the bitmap for `n`
+/// nodes would exceed the byte cap.
+///
+/// Carries everything a caller needs to report or act on the refusal —
+/// in particular, auto backend dispatch prints this error's [`fmt::Display`]
+/// text as the trace note when it reroutes an oversized run to the
+/// implicit backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitmapCapError {
+    /// Number of nodes the bitmap was requested for.
+    pub n: usize,
+    /// Bytes the bitmap would occupy ([`AdjacencyBitmap::bytes_needed`]).
+    pub needed: usize,
+    /// The byte budget that was exceeded.
+    pub cap: usize,
+}
+
+impl fmt::Display for BitmapCapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adjacency bitmap for n = {} needs {} bytes, over the {}-byte cap",
+            self.n, self.needed, self.cap
+        )
+    }
+}
+
+impl std::error::Error for BitmapCapError {}
 
 /// A dense `n × n` adjacency bit matrix.
 ///
@@ -32,11 +67,22 @@ impl AdjacencyBitmap {
     }
 
     /// Builds the bitmap for `graph`, or `None` if it would exceed
-    /// `cap_bytes`.
+    /// `cap_bytes` (see [`AdjacencyBitmap::try_build`] for the typed form).
     pub fn build(graph: &Graph, cap_bytes: usize) -> Option<AdjacencyBitmap> {
+        Self::try_build(graph, cap_bytes).ok()
+    }
+
+    /// Builds the bitmap for `graph`, or a [`BitmapCapError`] describing
+    /// exactly how far over `cap_bytes` the allocation would be.
+    pub fn try_build(graph: &Graph, cap_bytes: usize) -> Result<AdjacencyBitmap, BitmapCapError> {
         let n = graph.n();
-        if Self::bytes_needed(n) > cap_bytes {
-            return None;
+        let needed = Self::bytes_needed(n);
+        if needed > cap_bytes {
+            return Err(BitmapCapError {
+                n,
+                needed,
+                cap: cap_bytes,
+            });
         }
         let words_per_row = n.div_ceil(64);
         let mut bits = vec![0u64; n * words_per_row];
@@ -46,7 +92,7 @@ impl AdjacencyBitmap {
                 row[v as usize / 64] |= 1u64 << (v as usize % 64);
             }
         }
-        Some(AdjacencyBitmap {
+        Ok(AdjacencyBitmap {
             n,
             words_per_row,
             bits,
@@ -122,6 +168,23 @@ mod tests {
         assert!(AdjacencyBitmap::build(&g, 127_999).is_none());
         let bm = AdjacencyBitmap::build(&g, 128_000).unwrap();
         assert_eq!(bm.size_bytes(), 128_000);
+    }
+
+    #[test]
+    fn try_build_reports_typed_cap_error() {
+        let g = Graph::empty(1000);
+        let err = AdjacencyBitmap::try_build(&g, 1024).unwrap_err();
+        assert_eq!(
+            err,
+            BitmapCapError {
+                n: 1000,
+                needed: 128_000,
+                cap: 1024
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("n = 1000") && msg.contains("128000") && msg.contains("1024"));
+        assert!(AdjacencyBitmap::try_build(&g, 128_000).is_ok());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   statistics ([`degree`]);
 //! * [`bitmap::AdjacencyBitmap`] — a capped, row-major adjacency bit
 //!   matrix backing the simulator's word-parallel dense round kernel;
+//! * [`provider::GraphProvider`] — neighborhood access abstracted over
+//!   storage, with the seed-only [`provider::ImplicitGnp`] backend that
+//!   regenerates `G(n, p)` rows on demand for `n = 10⁷`-scale runs;
 //! * the bipartite cover/matching machinery of Definition 1 and Lemma 4
 //!   ([`bipartite`]) and the constructive greedy radio cover ([`cover`]);
 //! * deterministic, splittable RNG ([`rng`]).
@@ -52,12 +55,14 @@ pub mod gnp;
 pub mod hard;
 pub mod io;
 pub mod layers;
+pub mod provider;
 pub mod regular;
 pub mod rng;
 pub mod subgraph;
 
 pub use bfs::Layering;
-pub use bitmap::AdjacencyBitmap;
+pub use bitmap::{AdjacencyBitmap, BitmapCapError};
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
+pub use provider::{shard_ranges, GraphProvider, ImplicitGnp};
 pub use rng::{child_rng, derive_seed, labeled_seed, SplitMix64, Xoshiro256pp};

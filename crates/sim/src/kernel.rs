@@ -74,6 +74,10 @@ pub enum KernelUsed {
     /// lanes with its own two-plane sweep rather than either per-run
     /// kernel.
     Batch,
+    /// The run executed on the provider-driven forward-edge sweep
+    /// ([`crate::sweep::SweepEngine`]) — the implicit/sharded backend path,
+    /// which never materializes an adjacency.
+    Sweep,
 }
 
 impl KernelUsed {
@@ -84,6 +88,7 @@ impl KernelUsed {
             KernelUsed::Dense => "dense",
             KernelUsed::Mixed => "mixed",
             KernelUsed::Batch => "batch",
+            KernelUsed::Sweep => "sweep",
         }
     }
 }

@@ -25,6 +25,12 @@
 //! [`EngineKernel`] (default `Auto`; see [`kernel`] and `docs/PERF.md`).
 //! Kernel choice never changes results: traces replay byte-identically.
 //!
+//! Beyond explicit CSR graphs, [`run_protocol_provider`] executes any
+//! [`radio_graph::GraphProvider`] backend — in particular the seed-only
+//! implicit `G(n, p)` backend for `n = 10⁷`-scale runs and the sharded
+//! row-range sweep — with the same bit-identity guarantee (see [`sweep`]
+//! and `docs/ARCHITECTURE.md`).
+//!
 //! ## Telemetry
 //!
 //! Both runners have `*_observed` variants ([`run_schedule_observed`],
@@ -74,6 +80,7 @@ pub mod runner;
 pub mod schedule;
 pub mod schedule_io;
 pub mod state;
+pub mod sweep;
 pub mod trace;
 
 pub use batch::{run_protocol_batch, run_protocol_batch_faulty, MAX_LANES};
@@ -99,4 +106,7 @@ pub use schedule::{
 };
 pub use schedule_io::{load_schedule, save_schedule};
 pub use state::BroadcastState;
+pub use sweep::{
+    resolve_backend, run_protocol_provider, run_protocol_provider_faulty, Backend, SweepEngine,
+};
 pub use trace::{RoundRecord, RunResult, TraceLevel};

@@ -1,0 +1,737 @@
+//! Provider-driven round execution: the implicit and sharded backends.
+//!
+//! [`RoundEngine`](crate::engine::RoundEngine) walks per-transmitter CSR
+//! rows, which requires the full adjacency in memory.  [`SweepEngine`]
+//! instead resolves a round by sweeping every **forward edge** of a
+//! [`GraphProvider`] once — for edge `{u, v}` it bumps `v`'s hit counter if
+//! `u` transmits and vice versa — so it runs unmodified on backends that
+//! have no stored adjacency at all ([`ImplicitGnp`]).  Hit counters saturate
+//! at 2 (the radio rule only distinguishes "exactly one" from "two or
+//! more"), and jammer noise marks a separate jam bit, exactly as in the
+//! sparse kernel.
+//!
+//! ## Sharding
+//!
+//! The edge sweep is embarrassingly parallel over row ranges: each shard
+//! owns a disjoint range of rows (forward edges are owned by their lower
+//! endpoint) and a private `(hits, jam)` scratch.  At the round barrier the
+//! per-shard counters merge with saturating addition — `min(2, a + b)` is
+//! exact for the only distinction that matters and commutative, so the
+//! merged state is **independent of the shard count**.  All coins (loss,
+//! burst) are drawn in the serial resolution pass that follows, in
+//! ascending node-id order; shard count therefore never changes results,
+//! which the cross-backend differential suite pins.
+//!
+//! ## Determinism contract
+//!
+//! [`run_protocol_provider`] and [`run_protocol_provider_faulty`] replicate
+//! the coin-draw order of [`run_protocol`] / [`run_protocol_faulty`]
+//! draw-for-draw: fault coins at round start, decision coins per informed
+//! node in ascending id, then one loss coin per exactly-one reception in
+//! ascending id.  An implicit run and an explicit run on
+//! [`GraphProvider::materialize`]'s graph are bit-identical — same informed
+//! sets, same traces, same residual RNG stream.
+
+use radio_graph::{
+    shard_ranges, AdjacencyBitmap, BitmapCapError, GraphProvider, ImplicitGnp, NodeId, Xoshiro256pp,
+};
+use std::ops::Range;
+
+use crate::bitset::BitSet;
+use crate::engine::RoundOutcome;
+use crate::fault::{FaultEvent, FaultPlan, FaultSession};
+use crate::kernel::{KernelUsed, DEFAULT_BITMAP_CAP_BYTES};
+use crate::protocol::{run_protocol, run_protocol_faulty, LocalNode, Protocol, RunConfig};
+use crate::state::BroadcastState;
+use crate::trace::{RunResult, TraceBuilder};
+
+/// Which graph backend a run executes on.
+///
+/// `Explicit` is the classic path (CSR +
+/// [`RoundEngine`](crate::engine::RoundEngine) with its sparse/dense/batch
+/// kernels);
+/// `Implicit` regenerates neighborhoods from the seed via [`ImplicitGnp`]
+/// and runs on the [`SweepEngine`]; `Sharded` is the sweep over an explicit
+/// CSR split across worker shards.  `Auto` picks per run size — see
+/// [`resolve_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Decide per run: explicit when the dense bitmap would fit the default
+    /// 64-MiB cap, implicit otherwise (with a note recording the decision).
+    Auto,
+    /// Explicit CSR adjacency, classic round engine.
+    #[default]
+    Explicit,
+    /// Seed-only implicit `G(n, p)`, provider-driven sweep.
+    Implicit,
+    /// Explicit CSR swept in row-range shards across workers.
+    Sharded,
+}
+
+impl Backend {
+    /// Lower-case name, as accepted by the `FromStr` impl.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Explicit => "explicit",
+            Backend::Implicit => "implicit",
+            Backend::Sharded => "sharded",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Backend::Auto),
+            "explicit" => Ok(Backend::Explicit),
+            "implicit" => Ok(Backend::Implicit),
+            "sharded" => Ok(Backend::Sharded),
+            other => Err(format!(
+                "unknown backend '{other}' (expected auto, explicit, implicit, or sharded)"
+            )),
+        }
+    }
+}
+
+/// Resolves [`Backend::Auto`] for an `n`-node run: explicit while the
+/// adjacency bitmap would fit [`DEFAULT_BITMAP_CAP_BYTES`], implicit beyond
+/// it.  The returned [`BitmapCapError`], present exactly when the run was
+/// rerouted, is the typed cap refusal — callers surface its `Display` text
+/// as the trace note for the routing decision.  Non-`Auto` requests pass
+/// through unchanged.
+pub fn resolve_backend(requested: Backend, n: usize) -> (Backend, Option<BitmapCapError>) {
+    match requested {
+        Backend::Auto => {
+            let needed = AdjacencyBitmap::bytes_needed(n);
+            if needed > DEFAULT_BITMAP_CAP_BYTES {
+                let err = BitmapCapError {
+                    n,
+                    needed,
+                    cap: DEFAULT_BITMAP_CAP_BYTES,
+                };
+                (Backend::Implicit, Some(err))
+            } else {
+                (Backend::Explicit, None)
+            }
+        }
+        other => (other, None),
+    }
+}
+
+/// Per-shard scratch: transmitting-neighbor counts (saturating at 2) and
+/// jam-noise bits for the rows this shard's edges touch.
+#[derive(Debug)]
+struct ShardScratch {
+    hits: Vec<u8>,
+    jam: BitSet,
+}
+
+impl ShardScratch {
+    fn new(n: usize) -> Self {
+        ShardScratch {
+            hits: vec![0; n],
+            jam: BitSet::new(n),
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, w: NodeId, jam: bool) {
+        let h = &mut self.hits[w as usize];
+        if *h < 2 {
+            *h += 1;
+        }
+        if jam {
+            self.jam.set(w as usize);
+        }
+    }
+}
+
+/// Sweeps `range`'s forward edges, accumulating hits at both endpoints of
+/// every edge with a transmitting endpoint.
+fn fill_shard(
+    provider: &dyn GraphProvider,
+    range: Range<NodeId>,
+    tx: &BitSet,
+    jam_src: &BitSet,
+    scratch: &mut ShardScratch,
+) {
+    provider.for_forward_edges(range, &mut |u, v| {
+        if tx.get(u as usize) {
+            scratch.bump(v, jam_src.get(u as usize));
+        }
+        if tx.get(v as usize) {
+            scratch.bump(u, jam_src.get(v as usize));
+        }
+    });
+}
+
+/// Reusable provider-driven round executor (see the [module
+/// docs](crate::sweep)).
+///
+/// Semantics are identical to the sparse kernel of
+/// [`RoundEngine`](crate::engine::RoundEngine) under the default
+/// [`TransmitterPolicy::InformedOnly`](crate::engine::TransmitterPolicy);
+/// the engine differs only in how it finds the edges.
+pub struct SweepEngine<'p> {
+    provider: &'p dyn GraphProvider,
+    ranges: Vec<Range<NodeId>>,
+    shards: Vec<ShardScratch>,
+    /// Transmitter membership this round (transmitters and jammers).
+    is_transmitter: BitSet,
+    /// Jam sources this round (the session's jammers).
+    jam_src: BitSet,
+    /// Effective transmitter list, reused across rounds.
+    active: Vec<NodeId>,
+    rounds: u64,
+}
+
+impl<'p> SweepEngine<'p> {
+    /// A new engine sweeping `provider` with `shards` row-range shards
+    /// (clamped to ≥ 1).  Shard count affects wall-clock only, never
+    /// results.
+    pub fn new(provider: &'p dyn GraphProvider, shards: usize) -> Self {
+        let n = provider.n();
+        let shards = shards.max(1);
+        SweepEngine {
+            provider,
+            ranges: shard_ranges(n, shards),
+            shards: (0..shards).map(|_| ShardScratch::new(n)).collect(),
+            is_transmitter: BitSet::new(n),
+            jam_src: BitSet::new(n),
+            active: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// The provider being swept.
+    pub fn provider(&self) -> &'p dyn GraphProvider {
+        self.provider
+    }
+
+    /// Number of row-range shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes one radio round (exact model, no faults).  Mirrors
+    /// [`RoundEngine::execute_round`](crate::engine::RoundEngine::execute_round).
+    pub fn execute_round(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+    ) -> RoundOutcome {
+        self.execute_with(state, transmitters, round, None, &mut |_| true)
+    }
+
+    /// Executes one round with i.i.d. per-reception loss.  The loss coin is
+    /// drawn once per exactly-one reception in ascending node-id order —
+    /// the same discipline as
+    /// [`RoundEngine::execute_round_lossy`](crate::engine::RoundEngine::execute_round_lossy),
+    /// so the two engines replay identically.
+    pub fn execute_round_lossy(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+        loss_prob: f64,
+        rng: &mut Xoshiro256pp,
+    ) -> RoundOutcome {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss_prob must be within [0, 1], got {loss_prob}"
+        );
+        self.execute_with(state, transmitters, round, None, &mut |_| {
+            !rng.coin(loss_prob)
+        })
+    }
+
+    /// Executes one round under a fault session; semantics and coin order
+    /// match
+    /// [`RoundEngine::execute_round_faulty`](crate::engine::RoundEngine::execute_round_faulty)
+    /// exactly.  The caller must have advanced the session with
+    /// [`FaultSession::begin_round`] first.
+    pub fn execute_round_faulty(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+        session: &FaultSession<'_>,
+        loss_prob: f64,
+        rng: &mut Xoshiro256pp,
+    ) -> RoundOutcome {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss_prob must be within [0, 1], got {loss_prob}"
+        );
+        // Burst veto first, without a coin; the loss coin only for
+        // receptions the burst channel lets through (same order as the
+        // round engine).
+        self.execute_with(state, transmitters, round, Some(session), &mut |w| {
+            !session.burst_bad(w) && (loss_prob <= 0.0 || !rng.coin(loss_prob))
+        })
+    }
+
+    fn execute_with(
+        &mut self,
+        state: &mut BroadcastState,
+        transmitters: &[NodeId],
+        round: u32,
+        session: Option<&FaultSession<'_>>,
+        deliver: &mut dyn FnMut(NodeId) -> bool,
+    ) -> RoundOutcome {
+        let n = self.provider.n();
+        debug_assert_eq!(state.n(), n);
+
+        // Effective transmitter set: deduplicated, informed-only, unmuted.
+        let mut active = std::mem::take(&mut self.active);
+        active.clear();
+        for &t in transmitters {
+            if self.is_transmitter.get(t as usize) {
+                continue; // duplicate
+            }
+            if !state.is_informed(t) {
+                continue;
+            }
+            if session.is_some_and(|s| s.mute(t)) {
+                continue;
+            }
+            self.is_transmitter.set(t as usize);
+            active.push(t);
+        }
+        // Jammers occupy the channel too: they cannot receive this round.
+        let jammers = session.map_or(&[][..], |s| s.jammers());
+        for &j in jammers {
+            self.is_transmitter.set(j as usize);
+            self.jam_src.set(j as usize);
+        }
+
+        // Fill: sweep forward edges, one shard per row range.
+        {
+            let provider = self.provider;
+            let tx = &self.is_transmitter;
+            let jam_src = &self.jam_src;
+            if self.shards.len() == 1 {
+                fill_shard(
+                    provider,
+                    self.ranges[0].clone(),
+                    tx,
+                    jam_src,
+                    &mut self.shards[0],
+                );
+            } else {
+                let ranges = &self.ranges;
+                std::thread::scope(|scope| {
+                    for (scratch, range) in self.shards.iter_mut().zip(ranges) {
+                        let range = range.clone();
+                        scope.spawn(move || fill_shard(provider, range, tx, jam_src, scratch));
+                    }
+                });
+            }
+        }
+
+        // Merge shards 1.. into shard 0 at the round barrier: saturating
+        // counter addition (exact for the ==1 vs ≥2 distinction and
+        // commutative, so results are shard-count-invariant) plus jam-bit
+        // union.
+        if self.shards.len() > 1 {
+            let (first, rest) = self.shards.split_at_mut(1);
+            let merged = &mut first[0];
+            for other in rest.iter_mut() {
+                for (m, o) in merged.hits.iter_mut().zip(&other.hits) {
+                    *m = (*m + *o).min(2);
+                }
+                merged.jam.union_with(&other.jam);
+            }
+        }
+
+        // Serial resolution in ascending node-id order — all coins are
+        // drawn here, never in the fill, so shard scheduling cannot
+        // influence the stream.
+        let mut outcome = RoundOutcome {
+            transmitters: active.len() + jammers.len(),
+            ..RoundOutcome::default()
+        };
+        let blocked = session.map(|s| s.blocked());
+        {
+            let scr = &self.shards[0];
+            for w in 0..n {
+                let h = scr.hits[w];
+                if h == 0 {
+                    continue;
+                }
+                if self.is_transmitter.get(w) {
+                    continue; // transmitting (or jamming), not listening
+                }
+                if blocked.is_some_and(|b| b.get(w)) {
+                    continue; // crashed or asleep: deaf
+                }
+                let w = w as NodeId;
+                if !state.is_informed(w) {
+                    outcome.reached += 1;
+                    if h == 1 && !scr.jam.get(w as usize) {
+                        if deliver(w) {
+                            state.inform(w, round);
+                            outcome.newly_informed += 1;
+                        }
+                    } else {
+                        outcome.collisions += 1;
+                    }
+                }
+            }
+        }
+
+        // Reset scratch for the next round.
+        for scratch in &mut self.shards {
+            scratch.hits.fill(0);
+            scratch.jam.clear();
+        }
+        for &t in &active {
+            self.is_transmitter.unset(t as usize);
+        }
+        for &j in jammers {
+            self.is_transmitter.unset(j as usize);
+            self.jam_src.unset(j as usize);
+        }
+        self.active = active;
+        self.rounds += 1;
+        outcome
+    }
+}
+
+/// Runs `protocol` on any [`GraphProvider`] backend.
+///
+/// With `shards ≤ 1` and an explicit backend this is exactly
+/// [`run_protocol`] (the round engine keeps its sparse/dense fast paths);
+/// otherwise the run executes on the [`SweepEngine`] and reports
+/// [`KernelUsed::Sweep`].  Either way the result is bit-identical to the
+/// explicit run on [`GraphProvider::materialize`]'s graph.
+pub fn run_protocol_provider<P: Protocol + ?Sized>(
+    provider: &dyn GraphProvider,
+    shards: usize,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    if shards <= 1 {
+        if let Some(graph) = provider.as_explicit() {
+            return run_protocol(graph, source, protocol, config, rng);
+        }
+    }
+    let n = provider.n();
+    let mut state = BroadcastState::new(n, source);
+    let mut engine = SweepEngine::new(provider, shards);
+    let mut tb = TraceBuilder::new(config.trace_level);
+    protocol.begin_run(n);
+
+    let mut transmitters: Vec<NodeId> = Vec::new();
+    let mut round = 0u32;
+    while !state.is_complete() && round < config.max_rounds {
+        round += 1;
+        transmitters.clear();
+        for v in state.informed_nodes() {
+            let local = LocalNode {
+                id: v,
+                informed_round: state.informed_round(v).unwrap(),
+                round,
+            };
+            if protocol.transmits(local, rng) {
+                transmitters.push(v);
+            }
+        }
+        let outcome = if config.loss_prob > 0.0 {
+            engine.execute_round_lossy(&mut state, &transmitters, round, config.loss_prob, rng)
+        } else {
+            engine.execute_round(&mut state, &transmitters, round)
+        };
+        tb.record(round, &outcome, state.informed_count());
+    }
+
+    let completed = state.is_complete();
+    let informed = state.informed_count();
+    let mut result = tb.finish(completed, round, informed, n);
+    result.kernel = KernelUsed::Sweep;
+    result
+}
+
+/// Runs `protocol` on a [`GraphProvider`] backend under a fault plan;
+/// the provider analogue of [`run_protocol_faulty`].
+///
+/// The graceful-degradation [`FaultSummary`](crate::fault::FaultSummary)
+/// needs explicit adjacency for its live-subgraph BFS, so purely implicit
+/// backends **materialize once at the end of the run** to compute it —
+/// `O(n + m)` extra memory, fine at differential-test sizes but
+/// deliberately avoided by the fault-free scale runner above.
+pub fn run_protocol_provider_faulty<P: Protocol + ?Sized>(
+    provider: &dyn GraphProvider,
+    shards: usize,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    if shards <= 1 {
+        if let Some(graph) = provider.as_explicit() {
+            return run_protocol_faulty(graph, source, protocol, config, plan, rng);
+        }
+    }
+    let n = provider.n();
+    assert_eq!(plan.n(), n, "fault plan size mismatch");
+    let mut state = BroadcastState::new(n, source);
+    let mut engine = SweepEngine::new(provider, shards);
+    let mut tb = TraceBuilder::new(config.trace_level);
+    let mut session = FaultSession::new(plan);
+    protocol.begin_run(n);
+
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
+    let mut transmitters: Vec<NodeId> = Vec::new();
+    let mut round = 0u32;
+    while !state.is_complete() && round < config.max_rounds {
+        round += 1;
+        // Faults fire (and burst channels step) before any decision coin.
+        fault_events.extend_from_slice(session.begin_round(round, rng));
+
+        transmitters.clear();
+        for v in state.informed_nodes() {
+            // Crashed, asleep, and jamming nodes draw no decision coin.
+            if session.mute(v) {
+                continue;
+            }
+            let local = LocalNode {
+                id: v,
+                informed_round: state.informed_round(v).unwrap(),
+                round,
+            };
+            if protocol.transmits(local, rng) {
+                transmitters.push(v);
+            }
+        }
+        let outcome = engine.execute_round_faulty(
+            &mut state,
+            &transmitters,
+            round,
+            &session,
+            config.loss_prob,
+            rng,
+        );
+        tb.record(round, &outcome, state.informed_count());
+    }
+
+    let completed = state.is_complete();
+    let informed = state.informed_count();
+    let materialized;
+    let graph = match provider.as_explicit() {
+        Some(g) => g,
+        None => {
+            materialized = provider.materialize();
+            &materialized
+        }
+    };
+    let summary = plan
+        .live_view(graph, round, source)
+        .summary(|v| state.is_informed(v));
+    let mut result = tb.finish(completed, round, informed, n);
+    result.kernel = KernelUsed::Sweep;
+    result.fault_events = fault_events;
+    result.faults = Some(summary);
+    result
+}
+
+/// Convenience: an [`ImplicitGnp`] provider for one run, seeded like the
+/// explicit samplers (graph structure from its own child stream of `seed`).
+pub fn implicit_gnp(n: usize, p: f64, seed: u64) -> ImplicitGnp {
+    ImplicitGnp::new(n, p, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use radio_graph::Graph;
+
+    struct AlwaysTransmit;
+    impl Protocol for AlwaysTransmit {
+        fn name(&self) -> String {
+            "always".into()
+        }
+        fn transmits(&mut self, _node: LocalNode, _rng: &mut Xoshiro256pp) -> bool {
+            true
+        }
+    }
+
+    /// Transmit with probability 1/2 every round.
+    struct HalfCoin;
+    impl Protocol for HalfCoin {
+        fn name(&self) -> String {
+            "half".into()
+        }
+        fn transmits(&mut self, _node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+            rng.coin(0.5)
+        }
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        for b in [
+            Backend::Auto,
+            Backend::Explicit,
+            Backend::Implicit,
+            Backend::Sharded,
+        ] {
+            assert_eq!(b.as_str().parse::<Backend>().unwrap(), b);
+        }
+        assert!("bogus".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Explicit);
+    }
+
+    #[test]
+    fn auto_resolution_routes_on_bitmap_cap() {
+        // Small n: bitmap fits the 64-MiB cap → explicit, no note.
+        let (b, note) = resolve_backend(Backend::Auto, 1000);
+        assert_eq!((b, note), (Backend::Explicit, None));
+        // Oversized n: rerouted to implicit with the typed cap error.
+        let n = 100_000;
+        let (b, note) = resolve_backend(Backend::Auto, n);
+        assert_eq!(b, Backend::Implicit);
+        let err = note.expect("cap error note");
+        assert_eq!(err.n, n);
+        assert_eq!(err.cap, DEFAULT_BITMAP_CAP_BYTES);
+        assert!(err.needed > err.cap);
+        // Explicit requests pass through untouched.
+        let (b, note) = resolve_backend(Backend::Sharded, n);
+        assert_eq!((b, note), (Backend::Sharded, None));
+    }
+
+    #[test]
+    fn sweep_matches_engine_on_star() {
+        let g = Graph::star(5);
+        let mut st = BroadcastState::new(5, 0);
+        let mut eng = SweepEngine::new(&g, 1);
+        let out = eng.execute_round(&mut st, &[0], 1);
+        assert_eq!(out.transmitters, 1);
+        assert_eq!(out.newly_informed, 4);
+        assert!(st.is_complete());
+        assert_eq!(eng.rounds_executed(), 1);
+    }
+
+    #[test]
+    fn sweep_collision_and_dedup_semantics() {
+        // 0 — 2, 1 — 2: both 0 and 1 transmit → 2 hears a collision;
+        // duplicates are not double-counted.
+        let g = Graph::from_edges(3, vec![(0, 2), (1, 2)]);
+        let mut st = BroadcastState::new(3, 0);
+        st.inform(1, 0);
+        let mut eng = SweepEngine::new(&g, 1);
+        let out = eng.execute_round(&mut st, &[0, 1, 0], 1);
+        assert_eq!(out.transmitters, 2);
+        assert_eq!(out.collisions, 1);
+        assert!(!st.is_informed(2));
+        // Uninformed entries are skipped (InformedOnly semantics).
+        let out2 = eng.execute_round(&mut st, &[2], 2);
+        assert_eq!(out2.transmitters, 0);
+    }
+
+    #[test]
+    fn provider_run_fast_path_equals_explicit_runner() {
+        let g = ImplicitGnp::new(300, 0.03, 5).materialize();
+        let cfg = RunConfig::for_graph(300);
+        let mut rng_a = Xoshiro256pp::new(77);
+        let a = run_protocol(&g, 0, &mut HalfCoin, cfg, &mut rng_a);
+        let mut rng_b = Xoshiro256pp::new(77);
+        let b = run_protocol_provider(&g, 1, 0, &mut HalfCoin, cfg, &mut rng_b);
+        assert_eq!(a, b, "shards=1 on explicit must take the engine fast path");
+        assert_eq!(rng_a.next(), rng_b.next());
+    }
+
+    #[test]
+    fn sharded_explicit_matches_engine_run() {
+        let g = ImplicitGnp::new(400, 0.025, 9).materialize();
+        let cfg = RunConfig::for_graph(400);
+        let mut rng_a = Xoshiro256pp::new(3);
+        let mut a = run_protocol(&g, 2, &mut HalfCoin, cfg, &mut rng_a);
+        for shards in [2, 4, 7] {
+            let mut rng_b = Xoshiro256pp::new(3);
+            let b = run_protocol_provider(&g, shards, 2, &mut HalfCoin, cfg, &mut rng_b);
+            assert_eq!(b.kernel, KernelUsed::Sweep);
+            a.kernel = KernelUsed::Sweep;
+            assert_eq!(a, b, "shards = {shards}");
+            assert_eq!(rng_a.clone().next(), rng_b.next());
+        }
+    }
+
+    #[test]
+    fn implicit_run_matches_materialized_run() {
+        let imp = implicit_gnp(350, 0.03, 11);
+        let g = imp.materialize();
+        let cfg = RunConfig::for_graph(350).with_loss(0.2);
+        let mut rng_a = Xoshiro256pp::new(41);
+        let mut a = run_protocol(&g, 0, &mut HalfCoin, cfg, &mut rng_a);
+        let mut rng_b = Xoshiro256pp::new(41);
+        let b = run_protocol_provider(&imp, 1, 0, &mut HalfCoin, cfg, &mut rng_b);
+        a.kernel = KernelUsed::Sweep;
+        assert_eq!(a, b);
+        assert_eq!(rng_a.next(), rng_b.next());
+    }
+
+    #[test]
+    fn faulty_provider_run_matches_explicit() {
+        let imp = implicit_gnp(256, 0.04, 13);
+        let g = imp.materialize();
+        let mut plan = FaultPlan::new(256);
+        plan.crash(5, 4)
+            .sleep(30, 8)
+            .jam(40, 3, 20)
+            .set_burst(0.3, 0.25);
+        let cfg = RunConfig::for_graph(256).with_loss(0.1);
+        let mut rng_a = Xoshiro256pp::new(19);
+        let mut a = run_protocol_faulty(&g, 1, &mut HalfCoin, cfg, &plan, &mut rng_a);
+        for shards in [1, 4] {
+            let mut rng_b = Xoshiro256pp::new(19);
+            let b = run_protocol_provider_faulty(
+                &imp,
+                shards,
+                1,
+                &mut HalfCoin,
+                cfg,
+                &plan,
+                &mut rng_b,
+            );
+            a.kernel = KernelUsed::Sweep;
+            assert_eq!(a, b, "shards = {shards}");
+            assert_eq!(rng_a.clone().next(), rng_b.next());
+        }
+    }
+
+    #[test]
+    fn flooding_on_path_provider() {
+        let g = Graph::path(10);
+        let mut rng = Xoshiro256pp::new(1);
+        let r = run_protocol_provider(
+            &g,
+            3, // force the sweep path on an explicit graph
+            0,
+            &mut AlwaysTransmit,
+            RunConfig::for_graph(10),
+            &mut rng,
+        );
+        assert!(r.completed);
+        assert_eq!(r.rounds, 9);
+        assert_eq!(r.kernel, KernelUsed::Sweep);
+    }
+}

@@ -39,6 +39,13 @@ step "fault-model differential suite (debug)"
 cargo test --offline -q -p radio-sim fault
 cargo test --offline -q -p radio-integration --test fault_differential
 
+# The cross-backend contract: the implicit (seed-only) and sharded sweep
+# backends must be bit-identical to the explicit round engine, faulted and
+# lossy runs included.
+step "backend differential suite (debug)"
+cargo test --offline -q -p radio-sim sweep
+cargo test --offline -q -p radio-integration --test backend_differential
+
 if [ "$fast" -eq 0 ]; then
   step "cargo build --release"
   cargo build --workspace --release --offline -q
@@ -63,6 +70,13 @@ if [ "$fast" -eq 0 ]; then
   step "fault-model differential suite (release)"
   cargo test --release --offline -q -p radio-sim fault
   cargo test --release --offline -q -p radio-integration --test fault_differential
+
+  # The cross-backend suite re-runs in release: geometric skip sampling and
+  # the sharded merge must reproduce the explicit engine bit-for-bit under
+  # optimization.
+  step "backend differential suite (release)"
+  cargo test --release --offline -q -p radio-sim sweep
+  cargo test --release --offline -q -p radio-integration --test backend_differential
 
   # The experiment registry: the driver must list all experiments, and the
   # smoke suite runs every registered experiment at a tiny grid and checks

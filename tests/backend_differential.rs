@@ -1,0 +1,220 @@
+//! Cross-backend differential suite: implicit vs explicit bit-identity.
+//!
+//! The tentpole contract of the `GraphProvider` refactor: a run on the
+//! seed-only implicit `G(n, p)` backend is **bit-identical** to the run on
+//! the explicit CSR materialization of the same `(n, p, seed)` triple —
+//! same informed sets, same traces, same fault summaries, and the same
+//! residual RNG stream — across the sparse, dense, and lane-batched
+//! explicit kernels, with and without faults and loss, and for any shard
+//! count.
+//!
+//! Shard counts are passed directly (1 and 4 — what `RADIO_THREADS=1/4`
+//! would give the CLI) rather than via the environment variable, which
+//! only `runner.rs`'s own test may set: env vars are process-global and
+//! the test harness runs concurrently.
+//!
+//! The only [`RunResult`] field allowed to differ between backends is the
+//! informational `kernel` tag; every comparison normalizes it first.
+
+use radio_broadcast::distributed::{Decay, EgDistributed};
+use radio_graph::{child_rng, GraphProvider, ImplicitGnp, Xoshiro256pp};
+use radio_sim::{
+    run_protocol, run_protocol_batch, run_protocol_faulty, run_protocol_provider,
+    run_protocol_provider_faulty, EngineKernel, FaultConfig, FaultPlan, KernelUsed, Protocol,
+    RunConfig, RunResult,
+};
+
+const SIZES: [usize; 2] = [256, 4096];
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+/// Connectivity-regime edge probability for the differential points,
+/// matching the Theorem 7 sweeps: `p = 2.5 ln n / n`.
+fn threshold_p(n: usize) -> f64 {
+    (2.5 * (n as f64).ln() / n as f64).min(1.0)
+}
+
+fn normalized(mut r: RunResult) -> RunResult {
+    r.kernel = KernelUsed::Sweep;
+    r
+}
+
+type ProtocolFactory = Box<dyn Fn() -> Box<dyn Protocol>>;
+
+fn protocol_factories(p: f64) -> Vec<(&'static str, ProtocolFactory)> {
+    vec![
+        (
+            "eg",
+            Box::new(move || Box::new(EgDistributed::new(p)) as Box<dyn Protocol>),
+        ),
+        (
+            "decay",
+            Box::new(|| Box::new(Decay::new()) as Box<dyn Protocol>),
+        ),
+    ]
+}
+
+/// The kitchen-sink fault plan used for the faulted+lossy points: crashes,
+/// sleeps, jammers, and a Gilbert–Elliott burst channel, generated
+/// adversarially with the source exempted.
+fn combined_plan(imp: &ImplicitGnp) -> FaultPlan {
+    let g = imp.materialize();
+    FaultPlan::generate(
+        &g,
+        &FaultConfig {
+            crash_rate: 0.05,
+            sleep_rate: 0.1,
+            jammers: 2,
+            burst: Some(radio_sim::BurstParams {
+                p_bad: 0.25,
+                p_good: 0.3,
+            }),
+            exempt: Some(0),
+            ..FaultConfig::default()
+        },
+        4242,
+    )
+}
+
+/// Plain and lossy runs: implicit (shards ∈ {1, 4}) equals explicit on
+/// both scalar kernels, draw-for-draw.
+#[test]
+fn implicit_matches_explicit_scalar_kernels() {
+    for n in SIZES {
+        let p = threshold_p(n);
+        let imp = ImplicitGnp::new(n, p, 20060501 ^ n as u64);
+        let g = imp.materialize();
+        for loss in [0.0, 0.25] {
+            let cfg = RunConfig::for_graph(n).with_loss(loss);
+            for (proto_name, make) in protocol_factories(p) {
+                let mut want: Option<(RunResult, u64)> = None;
+                for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+                    let mut rng = Xoshiro256pp::new(7 + n as u64);
+                    let mut proto = make();
+                    let r = run_protocol(&g, 0, proto.as_mut(), cfg.with_kernel(kernel), &mut rng);
+                    let got = (normalized(r), rng.next());
+                    match &want {
+                        None => want = Some(got),
+                        Some(w) => assert_eq!(
+                            *w, got,
+                            "n={n} loss={loss} {proto_name}: explicit kernels disagree"
+                        ),
+                    }
+                }
+                let (want_result, want_residual) = want.unwrap();
+                for shards in SHARD_COUNTS {
+                    let mut rng = Xoshiro256pp::new(7 + n as u64);
+                    let mut proto = make();
+                    let r = run_protocol_provider(&imp, shards, 0, proto.as_mut(), cfg, &mut rng);
+                    assert_eq!(r.kernel, KernelUsed::Sweep);
+                    assert_eq!(
+                        want_result, r,
+                        "n={n} loss={loss} {proto_name} shards={shards}: implicit diverged"
+                    );
+                    assert_eq!(
+                        want_residual,
+                        rng.next(),
+                        "n={n} loss={loss} {proto_name} shards={shards}: residual RNG diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The faulted+lossy point: crash+sleep+jam+burst plan with i.i.d. loss on
+/// top, implicit (shards ∈ {1, 4}) vs explicit on both scalar kernels —
+/// including identical fault events and graceful-degradation summaries.
+#[test]
+fn faulted_lossy_backends_bit_identical() {
+    for n in SIZES {
+        let p = threshold_p(n);
+        let imp = ImplicitGnp::new(n, p, 31337 + n as u64);
+        let g = imp.materialize();
+        let plan = combined_plan(&imp);
+        let cfg = RunConfig::for_graph(n).with_loss(0.2);
+        let mut want: Option<(RunResult, u64)> = None;
+        for kernel in [EngineKernel::Sparse, EngineKernel::Dense] {
+            let mut rng = Xoshiro256pp::new(99);
+            let mut proto = EgDistributed::new(p);
+            let r =
+                run_protocol_faulty(&g, 0, &mut proto, cfg.with_kernel(kernel), &plan, &mut rng);
+            assert!(
+                r.faults.is_some(),
+                "faulty runs must carry a degradation summary"
+            );
+            let got = (normalized(r), rng.next());
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(*w, got, "n={n}: explicit kernels disagree under faults"),
+            }
+        }
+        let (want_result, want_residual) = want.unwrap();
+        for shards in SHARD_COUNTS {
+            let mut rng = Xoshiro256pp::new(99);
+            let mut proto = EgDistributed::new(p);
+            let r = run_protocol_provider_faulty(&imp, shards, 0, &mut proto, cfg, &plan, &mut rng);
+            assert_eq!(
+                want_result, r,
+                "n={n} shards={shards}: faulted+lossy implicit diverged"
+            );
+            assert_eq!(
+                want_residual,
+                rng.next(),
+                "n={n} shards={shards}: residual RNG diverged under faults"
+            );
+        }
+    }
+}
+
+/// The lane-batched explicit kernel against the implicit backend: batch
+/// lane `l` must equal the implicit run seeded with `child_rng(master, l)`.
+#[test]
+fn batch_lanes_match_implicit_backend() {
+    let n = 256;
+    let p = threshold_p(n);
+    let imp = ImplicitGnp::new(n, p, 777);
+    let g = imp.materialize();
+    let cfg = RunConfig::for_graph(n);
+    let master = 4096u64;
+    let lanes = 16;
+    let mut proto = EgDistributed::new(p);
+    let batch = run_protocol_batch(&g, 0, &mut proto, cfg, master, lanes);
+    assert_eq!(batch.len(), lanes);
+    for (lane, lane_result) in batch.iter().enumerate() {
+        assert_eq!(lane_result.kernel, KernelUsed::Batch);
+        for shards in SHARD_COUNTS {
+            let mut rng = child_rng(master, lane as u64);
+            let mut proto = EgDistributed::new(p);
+            let r = run_protocol_provider(&imp, shards, 0, &mut proto, cfg, &mut rng);
+            assert_eq!(
+                normalized(lane_result.clone()),
+                r,
+                "lane {lane} shards={shards}: batch vs implicit diverged"
+            );
+        }
+    }
+}
+
+/// The sharded backend on an explicit CSR (shards > 1 forces the sweep)
+/// equals the classic engine run on the same graph.
+#[test]
+fn sharded_explicit_matches_round_engine() {
+    for n in SIZES {
+        let p = threshold_p(n);
+        let imp = ImplicitGnp::new(n, p, 1234);
+        let g = imp.materialize();
+        let cfg = RunConfig::for_graph(n);
+        let mut rng_a = Xoshiro256pp::new(5);
+        let mut proto_a = EgDistributed::new(p);
+        let want = normalized(run_protocol(&g, 1, &mut proto_a, cfg, &mut rng_a));
+        let want_residual = rng_a.next();
+        for shards in [4, 9] {
+            let mut rng_b = Xoshiro256pp::new(5);
+            let mut proto_b = EgDistributed::new(p);
+            let r = run_protocol_provider(&g, shards, 1, &mut proto_b, cfg, &mut rng_b);
+            assert_eq!(r.kernel, KernelUsed::Sweep);
+            assert_eq!(want, r, "n={n} shards={shards}");
+            assert_eq!(want_residual, rng_b.next(), "n={n} shards={shards}");
+        }
+    }
+}
