@@ -15,7 +15,11 @@
 //!
 //! Section 1b adds the forced sparse-vs-dense kernel pair and section 1c
 //! the lane-batched trial kernel against its scalar equivalent (64 trials
-//! per adjacency sweep; `elems/s` there is *trial* throughput).  Section 4
+//! per adjacency sweep; `elems/s` there is *trial* throughput).  Section
+//! 1d widens 1c to the tiled many-lane kernel: the raw 1024-lane
+//! gather/compress row sweep at the same `(n, d)`, plus a full
+//! 1024-lane protocol run through the forced-tiled batch entry point
+//! (the `--batch L --kernel tiled` CLI path).  Section 4
 //! runs the Theorem-7-shaped EG broadcast on the **implicit** backend at
 //! `n = 10⁴…10⁶` (`10⁷` in `--full`) with no adjacency in memory,
 //! recording rounds, wall time, edge throughput, and the process's peak
@@ -28,11 +32,13 @@
 use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams};
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::gnp::sample_gnp;
-use radio_graph::{GraphProvider, ImplicitGnp, NodeId, Xoshiro256pp};
+use radio_graph::{AlignedWords, GraphProvider, ImplicitGnp, NodeId, TileLayout, Xoshiro256pp};
 use radio_sim::batch::{execute_lane_round, LaneScratch};
+use radio_sim::wide::{sweep_rows, TiledTable};
 use radio_sim::{
-    run_protocol_provider, run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json,
-    KernelUsed, NoopObserver, RoundEngine, RunConfig, Schedule, TraceLevel, TransmitterPolicy,
+    run_protocol_batch, run_protocol_provider, run_schedule, run_schedule_observed, BroadcastState,
+    EngineKernel, Json, KernelUsed, NoopObserver, RoundEngine, RunConfig, Schedule, TraceLevel,
+    TransmitterPolicy,
 };
 use std::hint::black_box;
 
@@ -255,6 +261,128 @@ impl Experiment for Summary {
             }
             report.push(point);
         }
+
+        // ---- 1d. tiled many-lane kernel ---------------------------------------
+        // Same regime once more, but 1024 lanes share one adjacency sweep
+        // through the gather/compress row sweep (`radio_sim::wide::sweep_rows`)
+        // — the merge+resolve core of the tiled runner, measured raw with the
+        // trivial exactly-one resolve so the point isolates kernel throughput.
+        // `elems` again counts transmitters summed over all lanes, so elems/s
+        // is directly comparable with the 64-lane batch point above.
+        let lanes_t = radio_sim::MAX_TILED_LANES;
+        outln!(
+            ctx,
+            "\n## 1d. Tiled many-lane kernel (n = {nk}, d = {dk}, {lanes_t} lanes)\n"
+        );
+        let mut ht = Harness::new("tiled");
+        ht.sample_size(args.scale(10, 20, 40)).quiet(true);
+        let mut rng = Xoshiro256pp::new(point_seed(args.seed, "sum/tiled"));
+        let layout = TileLayout::new(lanes_t);
+        let c = layout.words_per_node();
+        let full = layout.full_pattern();
+        // Per-lane transmitter draws at the 1/d fraction over the informed
+        // half, packed into the compact table the sweep gathers over.
+        let mut remap = vec![0u32; nk];
+        let mut tx_rows: Vec<(NodeId, Vec<u64>)> = Vec::new();
+        let mut total_tx_t = 0u64;
+        for v in 0..nk / 2 {
+            let mut row = vec![0u64; c];
+            for (g, word) in row.iter_mut().enumerate().take(layout.groups()) {
+                let mut w = 0u64;
+                for b in 0..64 {
+                    if rng.next_f64() < 1.0 / dk {
+                        w |= 1 << b;
+                    }
+                }
+                *word = w & layout.group_mask(g);
+            }
+            let ones: u64 = row.iter().map(|w| u64::from(w.count_ones())).sum();
+            if ones > 0 {
+                total_tx_t += ones;
+                tx_rows.push((v as NodeId, row));
+            }
+        }
+        let mut tc = AlignedWords::zeroed((tx_rows.len() + 1) * c);
+        for (slot, (v, row)) in tx_rows.iter().enumerate() {
+            remap[*v as usize] = (slot + 1) as u32;
+            tc[(slot + 1) * c..(slot + 2) * c].copy_from_slice(row);
+        }
+        let table = TiledTable {
+            graph: &gk,
+            tc: &tc,
+            remap: &remap,
+            c,
+            full_pattern: &full,
+        };
+        // Informed half = full rows (the sweep skips them via full_bits),
+        // uninformed half = zero, mirroring the 1c informed planes.  The
+        // sweep never writes a full row, so the per-iteration reset only
+        // has to re-zero the uninformed half of the plane.
+        let mut inf_t = AlignedWords::zeroed(layout.plane_words(nk));
+        let mut full_bits = vec![0u64; nk.div_ceil(64)];
+        for v in 0..nk / 2 {
+            inf_t[v * c..(v + 1) * c].copy_from_slice(&full);
+            full_bits[v / 64] |= 1 << (v % 64);
+        }
+        let max_deg = (0..nk as NodeId).map(|v| gk.degree(v)).max().unwrap_or(0);
+        let mut idx_scratch = vec![0u32; max_deg + 16];
+        ht.bench_with_throughput("tiled_round_1024x_frac_1_over_d", Some(total_tx_t), || {
+            inf_t[nk / 2 * c..].fill(0);
+            full_bits[nk / 2 / 64..].fill(0);
+            sweep_rows(
+                &table,
+                0,
+                nk,
+                &mut inf_t,
+                &mut full_bits,
+                &mut idx_scratch,
+                &mut |_, _, _, _, e1| e1,
+            );
+            black_box(inf_t[nk * c - 1])
+        });
+        for stats in ht.results() {
+            outln!(ctx, "{}", ht.render_line(stats));
+            let mut point = stats.to_point();
+            point.label = format!("tiled/{}", point.label);
+            point = point
+                .field("kernel", Json::from("tiled"))
+                .field("batch_lanes", Json::from(lanes_t));
+            report.push(point);
+        }
+        // Composition point: the full tiled runner (lane batching × tiled
+        // kernel × intra-round worker pool) end-to-end on the same graph,
+        // entered through the batch API with the kernel forced — the exact
+        // path `--batch L --kernel tiled` takes.  One run, wall-clock, with
+        // the machine-picked worker count recorded alongside.
+        let cfg_t = RunConfig::for_graph(nk)
+            .with_trace(TraceLevel::SummaryOnly)
+            .with_kernel(EngineKernel::Tiled);
+        let mut proto_t = EgDistributed::new(dk / nk as f64);
+        let lane_seed = rng.next();
+        let start = std::time::Instant::now();
+        let results = run_protocol_batch(&gk, 0, &mut proto_t, cfg_t, lane_seed, lanes_t);
+        let wall_s = start.elapsed().as_secs_f64();
+        debug_assert!(results.iter().all(|r| r.kernel == KernelUsed::Tiled));
+        let completed = results.iter().filter(|r| r.completed).count();
+        let threads = results.first().map_or(1, |r| r.threads);
+        let rounds_mean =
+            results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len().max(1) as f64;
+        outln!(
+            ctx,
+            "full run: {completed}/{lanes_t} lanes completed, mean {rounds_mean:.1} rounds, \
+             {wall_s:.2} s, {threads} worker thread(s)"
+        );
+        report.push(
+            BenchPoint::new("tiled/protocol_eg_1024_lanes")
+                .field("n", Json::from(nk as u64))
+                .field("kernel", Json::from("tiled"))
+                .field("threads", Json::from(u64::from(threads)))
+                .field("batch_lanes", Json::from(lanes_t))
+                .field("completed", Json::from(completed as u64))
+                .field("rounds_mean", Json::from(rounds_mean))
+                .field("wall_s", Json::from(wall_s))
+                .field("lanes_per_s", Json::from(lanes_t as f64 / wall_s.max(1e-9))),
+        );
 
         // ---- 2. schedule-build time -------------------------------------------
         let ns = args.size(args.scale(4_000, 10_000, 30_000));

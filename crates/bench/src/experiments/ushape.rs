@@ -85,7 +85,7 @@ impl Experiment for Ushape {
                 continue;
             };
             let b = centralized_bound(n, point.mean_degree);
-            if best.map_or(true, |(_, r)| rounds.mean < r) {
+            if best.is_none_or(|(_, r)| rounds.mean < r) {
                 best = Some((point.mean_degree, rounds.mean));
             }
             table.add_row(vec![

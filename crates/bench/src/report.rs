@@ -175,13 +175,15 @@ impl BenchReport {
         })
     }
 
-    /// A copy with every wall-clock-derived field removed from every point:
-    /// keys ending in `_ns`/`_ms`/`_s`/`_per_s`, containing `_ns_`/`_ms_`,
-    /// or equal to `elems_per_sec`/`iters_per_sample`/`peak_rss_kib`.  Two
-    /// runs of the same experiment at the same seed must compare equal under
-    /// this projection regardless of machine or thread count — the
+    /// A copy with every wall-clock- or machine-derived field removed from
+    /// every point: keys ending in `_ns`/`_ms`/`_s`/`_per_s`, containing
+    /// `_ns_`/`_ms_`, or equal to
+    /// `elems_per_sec`/`iters_per_sample`/`peak_rss_kib`/`kernel`/`threads`.
+    /// Two runs of the same experiment at the same seed must compare equal
+    /// under this projection regardless of machine or thread count — the
     /// determinism tests rely on it.  (`peak_rss_kib` is the process-global
-    /// high-water mark, so it depends on what else ran in the process.)
+    /// high-water mark; `kernel` and `threads` record which execution path
+    /// ran, which the dispatch cost model may pick per machine.)
     pub fn without_timing_fields(&self) -> BenchReport {
         let timing = |key: &str| {
             key.ends_with("_ns")
@@ -192,6 +194,8 @@ impl BenchReport {
                 || key == "elems_per_sec"
                 || key == "iters_per_sample"
                 || key == "peak_rss_kib"
+                || key == "kernel"
+                || key == "threads"
         };
         let mut out = self.clone();
         for point in &mut out.points {
@@ -288,6 +292,36 @@ mod tests {
             ("kind", Json::from("run_report")),
         ]);
         assert!(BenchReport::from_json(&wrong_kind).is_err());
+    }
+
+    #[test]
+    fn timing_projection_strips_volatile_keys() {
+        let mut r = BenchReport::new("t0", "claim", "quick", 1);
+        r.push(
+            BenchPoint::new("point")
+                .field("n", Json::from(8192usize))
+                .field("elapsed_ns", Json::from(123u64))
+                .field("elems_per_sec", Json::from(4.5e8))
+                .field("iters_per_sample", Json::from(3u64))
+                .field("peak_rss_kib", Json::from(1024u64))
+                .field("kernel", Json::from("tiled"))
+                .field("threads", Json::from(8u64))
+                .field("rounds_mean", Json::from(17.0)),
+        );
+        let stripped = r.without_timing_fields();
+        let point = &stripped.points[0];
+        for volatile in [
+            "elapsed_ns",
+            "elems_per_sec",
+            "iters_per_sample",
+            "peak_rss_kib",
+            "kernel",
+            "threads",
+        ] {
+            assert!(point.get(volatile).is_none(), "{volatile} not stripped");
+        }
+        assert_eq!(point.get("n").unwrap().as_i64(), Some(8192));
+        assert_eq!(point.get("rounds_mean").unwrap().as_f64(), Some(17.0));
     }
 
     #[test]

@@ -52,12 +52,12 @@ fn is_prime(x: u32) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut f = 3u32;
     while (f as u64) * (f as u64) <= x as u64 {
-        if x % f == 0 {
+        if x.is_multiple_of(f) {
             return false;
         }
         f += 2;

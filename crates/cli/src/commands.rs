@@ -18,7 +18,7 @@ use radio_sim::{
     resolve_backend, run_protocol_batch, run_protocol_batch_faulty, run_protocol_faulty_observed,
     run_protocol_observed, run_protocol_provider, run_protocol_provider_faulty, run_schedule,
     thread_budget, Backend, CollectingObserver, EngineKernel, FaultConfig, FaultPlan, Json,
-    Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES,
+    Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES, MAX_TILED_LANES,
 };
 
 use crate::args::{Args, ParseError};
@@ -239,8 +239,17 @@ pub fn run(args: &Args) -> CmdResult {
             let lanes: usize = raw
                 .parse()
                 .map_err(|_| ParseError("--batch: bad integer".into()))?;
-            if !(1..=MAX_LANES).contains(&lanes) {
-                return Err(ParseError(format!("--batch must be in 1..={MAX_LANES}")));
+            // The tiled kernel widens rows to 16 words, so it lifts the
+            // lane ceiling from one machine word to a full tile.
+            let cap = if cfg.kernel == EngineKernel::Tiled {
+                MAX_TILED_LANES
+            } else {
+                MAX_LANES
+            };
+            if !(1..=cap).contains(&lanes) {
+                return Err(ParseError(format!(
+                    "--batch must be in 1..={cap} (up to {MAX_TILED_LANES} with --kernel tiled)"
+                )));
             }
             Some(lanes)
         }
@@ -878,7 +887,7 @@ mod tests {
 
     #[test]
     fn run_command_kernel_selection() {
-        for kernel in ["auto", "sparse", "dense"] {
+        for kernel in ["auto", "sparse", "dense", "tiled"] {
             let args = argv(&format!(
                 "run --n 300 --d 20 --protocol eg --trials 1 --seed 3 --kernel {kernel}"
             ));
@@ -887,6 +896,17 @@ mod tests {
         let bad = argv("run --n 300 --d 20 --trials 1 --kernel turbo");
         let err = run(&bad).unwrap_err();
         assert!(err.0.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn run_command_batch_lane_caps() {
+        // The scalar-word batch engine stops at 64 lanes; forcing the
+        // tiled kernel lifts the cap to a full tile.
+        let bad = argv("run --n 300 --d 20 --trials 1 --seed 3 --batch 100");
+        assert!(run(&bad).unwrap_err().0.contains("--batch"));
+        let ok =
+            argv("run --n 300 --d 20 --protocol eg --trials 1 --seed 3 --kernel tiled --batch 100");
+        run(&ok).unwrap();
     }
 
     #[test]

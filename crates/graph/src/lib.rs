@@ -59,6 +59,7 @@ pub mod provider;
 pub mod regular;
 pub mod rng;
 pub mod subgraph;
+pub mod tile;
 
 pub use bfs::Layering;
 pub use bitmap::{AdjacencyBitmap, BitmapCapError};
@@ -66,3 +67,4 @@ pub use builder::GraphBuilder;
 pub use csr::{Graph, NodeId};
 pub use provider::{shard_ranges, GraphProvider, ImplicitGnp};
 pub use rng::{child_rng, derive_seed, labeled_seed, SplitMix64, Xoshiro256pp};
+pub use tile::{column_tiles, AlignedWords, TileLayout};

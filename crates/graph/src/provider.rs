@@ -26,8 +26,9 @@
 //! An implicit backend must be able to regenerate the **same** edge set on
 //! every query, so [`ImplicitGnp`] defines its own canonical sampling
 //! scheme: row `u` owns the forward edges `{u, v}` with `v > u`, drawn by
-//! geometric skipping over `v ∈ u+1..n` from the dedicated RNG stream
-//! [`child_rng`]`(seed, u)`.  [`ImplicitGnp::materialize`] replays exactly
+//! geometric skipping over `v ∈ u+1..n` from the dedicated lightweight
+//! [`SplitMix64`] stream seeded with [`derive_seed`]`(seed, u)`.
+//! [`ImplicitGnp::materialize`] replays exactly
 //! this scheme into a CSR graph, so the implicit and materialized views of
 //! one `(n, p, seed)` triple are the *same graph by construction* — which
 //! is what the cross-backend differential suite pins (implicit and
@@ -43,7 +44,7 @@ use std::ops::Range;
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, NodeId};
-use crate::rng::child_rng;
+use crate::rng::{derive_seed, SplitMix64};
 
 /// Neighborhood access for round engines, abstracted over storage.
 ///
@@ -121,7 +122,8 @@ impl GraphProvider for Graph {
 ///
 /// No adjacency is stored; row `u`'s forward neighbors are regenerated on
 /// every query by geometric skip sampling from the per-row stream
-/// [`child_rng`]`(seed, u)`.  Queries cost `O(d)` expected time per row
+/// [`SplitMix64`]`(`[`derive_seed`]`(seed, u))`.  Queries cost `O(d)`
+/// expected time per row
 /// and the whole structure is a few words, so graphs with `n = 10⁷–10⁸`
 /// nodes fit trivially in memory — the round engine pays `O(n + m)`
 /// recomputation per sweep instead.
@@ -193,7 +195,14 @@ impl ImplicitGnp {
             }
             return;
         }
-        let mut rng = child_rng(self.seed, u as u64);
+        // A SplitMix64 stream over the same `derive_seed(seed, u)` child
+        // seed that `child_rng` would expand into a xoshiro: one wrapping
+        // add + three shifts per draw and no 4-word state expansion per
+        // row.  The row fill runs once per row per *round*, so the
+        // construction cost dominated the implicit sweep (ROADMAP item 1);
+        // the derivation is unchanged, so `(n, p, seed)` still pins the
+        // graph and `materialize()` replays it identically.
+        let mut rng = SplitMix64::new(derive_seed(self.seed, u as u64));
         loop {
             // Geometric(p) skip over the candidate sequence u+1..n: the
             // classic floor(ln(1-r)/ln(1-p)) draw.  next_f64() < 1

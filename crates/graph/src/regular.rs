@@ -60,7 +60,7 @@ pub fn sample_regular(n: usize, d: usize, rng: &mut Xoshiro256pp) -> Result<Grap
     if d == 0 {
         return Ok(Graph::empty(n));
     }
-    if d >= n || (n * d) % 2 != 0 {
+    if d >= n || !(n * d).is_multiple_of(2) {
         return Err(RegularError::InvalidParameters { n, d });
     }
     // Retry budget grows with d² (the loop/multi-edge rate does too).

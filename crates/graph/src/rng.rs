@@ -45,6 +45,17 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    ///
+    /// Same top-53-bits construction as [`Xoshiro256pp::next_f64`], so a
+    /// SplitMix64 stream can stand in for a xoshiro stream anywhere only
+    /// uniform floats are consumed — the implicit `G(n, p)` row fill uses
+    /// this to skip the 4-word xoshiro state expansion per row per round.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     /// Reconstructs a generator from an 8-byte little-endian seed.
     pub fn from_seed(seed: [u8; 8]) -> Self {
         SplitMix64::new(u64::from_le_bytes(seed))

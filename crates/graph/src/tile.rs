@@ -1,0 +1,266 @@
+//! Cache-aligned word buffers and lane-tile geometry for the wide
+//! round kernels.
+//!
+//! The tiled kernel in `radio-sim` runs up to [`TileLayout::MAX_LANES`]
+//! Monte-Carlo lanes per adjacency sweep and works on whole 512-bit
+//! chunks (8 × `u64`) at a time.  Two things make that sound:
+//!
+//! * every per-node row of lane words is padded to a multiple of 8
+//!   words, so a row is always a whole number of 512-bit chunks
+//!   ([`TileLayout::words_per_node`]);
+//! * the backing buffers are 64-byte aligned ([`AlignedWords`]), so the
+//!   kernel may use aligned vector loads/stores on them.
+//!
+//! [`column_tiles`] slices a word range into cache-sized column tiles
+//! for the dense kernel's tiled merge loop.
+
+/// One 64-byte-aligned block of eight words.
+///
+/// `Vec<u64>` only guarantees 8-byte alignment; building buffers out of
+/// `Block`s guarantees the 64-byte alignment that 512-bit aligned loads
+/// require.
+#[derive(Clone, Copy, Default)]
+#[repr(C, align(64))]
+struct Block([u64; 8]);
+
+/// A heap buffer of `u64` words whose base address is 64-byte aligned
+/// and whose length is a multiple of 8.
+///
+/// Dereferences to `[u64]`; the alignment invariant is what the SIMD
+/// paths of the tiled kernel rely on.
+pub struct AlignedWords {
+    blocks: Vec<Block>,
+    words: usize,
+}
+
+impl AlignedWords {
+    /// Allocates a zeroed buffer with room for at least `words` words
+    /// (rounded up to a whole number of 8-word blocks).
+    pub fn zeroed(words: usize) -> Self {
+        let blocks = words.div_ceil(8);
+        Self {
+            blocks: vec![Block::default(); blocks],
+            words: blocks * 8,
+        }
+    }
+
+    /// Number of words in the buffer (always a multiple of 8).
+    pub fn len(&self) -> usize {
+        self.words
+    }
+
+    /// Whether the buffer holds zero words.
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+
+    /// Zeroes the whole buffer.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            b.0 = [0; 8];
+        }
+    }
+}
+
+impl std::ops::Deref for AlignedWords {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        // SAFETY: `blocks` is a contiguous allocation of `words / 8`
+        // `[u64; 8]` arrays; reinterpreting it as `words` u64s covers
+        // exactly the same initialized memory.
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast::<u64>(), self.words) }
+    }
+}
+
+impl std::ops::DerefMut for AlignedWords {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        // SAFETY: as in `deref`, plus we hold `&mut self`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<u64>(), self.words)
+        }
+    }
+}
+
+/// Lane-tile geometry: how a set of Monte-Carlo lanes maps onto padded
+/// per-node word rows.
+///
+/// Lanes are packed 64 per `u64` *group*; the groups for one node are
+/// padded out to a multiple of 8 words so every row is a whole number
+/// of 512-bit chunks.  With [`TileLayout::MAX_LANES`] = 1024 the row is
+/// at most 16 words, i.e. `words_per_node ∈ {8, 16}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileLayout {
+    lanes: usize,
+    groups: usize,
+    words_per_node: usize,
+}
+
+impl TileLayout {
+    /// Maximum lane count the tiled kernel supports per run.
+    pub const MAX_LANES: usize = 1024;
+
+    /// Builds the layout for `lanes` lanes.
+    ///
+    /// # Panics
+    /// If `lanes` is zero or exceeds [`TileLayout::MAX_LANES`].
+    pub fn new(lanes: usize) -> Self {
+        assert!(
+            (1..=Self::MAX_LANES).contains(&lanes),
+            "tiled kernel supports 1..={} lanes, got {lanes}",
+            Self::MAX_LANES
+        );
+        let groups = lanes.div_ceil(64);
+        Self {
+            lanes,
+            groups,
+            words_per_node: groups.next_multiple_of(8),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of 64-lane groups (`ceil(lanes / 64)`).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Padded words per node row (a multiple of 8; 8 or 16 today).
+    pub fn words_per_node(&self) -> usize {
+        self.words_per_node
+    }
+
+    /// Mask of valid lanes within group `g` (all-ones for full groups,
+    /// a low-bit run for the final partial group).
+    ///
+    /// # Panics
+    /// If `g >= groups()`.
+    pub fn group_mask(&self, g: usize) -> u64 {
+        assert!(g < self.groups, "group {g} out of range ({})", self.groups);
+        let rem = self.lanes - g * 64;
+        if rem >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// The full per-node row pattern: `group_mask(g)` for each group,
+    /// zero for the padding words.  A node whose informed row equals
+    /// this pattern is informed on every lane.
+    pub fn full_pattern(&self) -> Vec<u64> {
+        let mut pat = vec![0u64; self.words_per_node];
+        for (g, w) in pat.iter_mut().enumerate().take(self.groups) {
+            *w = self.group_mask(g);
+        }
+        pat
+    }
+
+    /// Words needed for an `n`-node plane.
+    pub fn plane_words(&self, n: usize) -> usize {
+        n * self.words_per_node
+    }
+}
+
+/// Splits the word range `0..words` into column tiles of at most
+/// `tile_words` words, returning `(start, end)` pairs in order.
+///
+/// Used by the dense kernel to merge transmitter rows tile-by-tile so
+/// the `ge1`/`ge2` working set stays cache-resident across rows.
+///
+/// # Panics
+/// If `tile_words` is zero.
+pub fn column_tiles(words: usize, tile_words: usize) -> impl Iterator<Item = (usize, usize)> {
+    assert!(tile_words > 0, "tile_words must be positive");
+    (0..words.div_ceil(tile_words)).map(move |i| {
+        let start = i * tile_words;
+        (start, (start + tile_words).min(words))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_words_are_64_byte_aligned_and_padded() {
+        for req in [0usize, 1, 7, 8, 9, 1024] {
+            let buf = AlignedWords::zeroed(req);
+            assert_eq!(buf.len(), req.div_ceil(8) * 8);
+            assert_eq!(buf.as_ptr() as usize % 64, 0);
+            assert!(buf.iter().all(|&w| w == 0));
+        }
+    }
+
+    #[test]
+    fn aligned_words_clear_resets_everything() {
+        let mut buf = AlignedWords::zeroed(24);
+        for w in buf.iter_mut() {
+            *w = u64::MAX;
+        }
+        buf.clear();
+        assert!(buf.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn layout_geometry() {
+        let l = TileLayout::new(1);
+        assert_eq!((l.groups(), l.words_per_node()), (1, 8));
+        assert_eq!(l.group_mask(0), 1);
+
+        let l = TileLayout::new(64);
+        assert_eq!((l.groups(), l.words_per_node()), (1, 8));
+        assert_eq!(l.group_mask(0), u64::MAX);
+
+        let l = TileLayout::new(65);
+        assert_eq!((l.groups(), l.words_per_node()), (2, 8));
+        assert_eq!(l.group_mask(0), u64::MAX);
+        assert_eq!(l.group_mask(1), 1);
+
+        let l = TileLayout::new(512);
+        assert_eq!((l.groups(), l.words_per_node()), (8, 8));
+
+        let l = TileLayout::new(513);
+        assert_eq!((l.groups(), l.words_per_node()), (9, 16));
+
+        let l = TileLayout::new(1024);
+        assert_eq!((l.groups(), l.words_per_node()), (16, 16));
+        assert_eq!(l.plane_words(100), 1600);
+    }
+
+    #[test]
+    fn full_pattern_matches_group_masks() {
+        let l = TileLayout::new(200);
+        let pat = l.full_pattern();
+        assert_eq!(pat.len(), l.words_per_node());
+        assert_eq!(pat[0], u64::MAX);
+        assert_eq!(pat[1], u64::MAX);
+        assert_eq!(pat[2], u64::MAX);
+        assert_eq!(pat[3], (1u64 << 8) - 1);
+        assert!(pat[4..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tiled kernel supports")]
+    fn zero_lanes_panics() {
+        TileLayout::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tiled kernel supports")]
+    fn too_many_lanes_panics() {
+        TileLayout::new(TileLayout::MAX_LANES + 1);
+    }
+
+    #[test]
+    fn column_tiles_cover_the_range_exactly() {
+        let tiles: Vec<_> = column_tiles(10, 4).collect();
+        assert_eq!(tiles, vec![(0, 4), (4, 8), (8, 10)]);
+        let tiles: Vec<_> = column_tiles(8, 8).collect();
+        assert_eq!(tiles, vec![(0, 8)]);
+        assert_eq!(column_tiles(0, 16).count(), 0);
+    }
+}

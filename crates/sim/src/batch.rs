@@ -36,7 +36,7 @@ use radio_graph::{child_rng, Graph, NodeId, Xoshiro256pp};
 
 use crate::bitset::BitSet;
 use crate::fault::{FaultEvent, FaultPlan, LaneFaultSession, LiveView};
-use crate::kernel::KernelUsed;
+use crate::kernel::{EngineKernel, KernelUsed};
 use crate::protocol::{Protocol, RunConfig};
 use crate::state::NOT_INFORMED;
 use crate::trace::{RoundRecord, RunResult, TraceLevel};
@@ -209,6 +209,8 @@ pub fn execute_lane_round<F>(
 /// # Panics
 ///
 /// If `lanes` is not in `1..=`[`MAX_LANES`] or `source` is out of range.
+/// With [`EngineKernel::Tiled`] requested the call delegates to the tiled
+/// runner, which lifts the lane cap to [`crate::MAX_TILED_LANES`].
 pub fn run_protocol_batch<P: Protocol + ?Sized>(
     graph: &Graph,
     source: NodeId,
@@ -217,6 +219,19 @@ pub fn run_protocol_batch<P: Protocol + ?Sized>(
     master_seed: u64,
     lanes: usize,
 ) -> Vec<RunResult> {
+    if config.kernel == EngineKernel::Tiled {
+        // An explicitly requested tiled kernel is honored even for
+        // batch-sized jobs (results are bit-identical either way; see
+        // the `tiled` module for the dispatch rules).
+        return crate::tiled::run_protocol_tiled(
+            graph,
+            source,
+            protocol,
+            config,
+            master_seed,
+            lanes,
+        );
+    }
     run_batch_core(graph, source, protocol, config, None, master_seed, lanes)
 }
 
@@ -239,6 +254,17 @@ pub fn run_protocol_batch_faulty<P: Protocol + ?Sized>(
     master_seed: u64,
     lanes: usize,
 ) -> Vec<RunResult> {
+    if config.kernel == EngineKernel::Tiled {
+        return crate::tiled::run_protocol_tiled_faulty(
+            graph,
+            source,
+            protocol,
+            config,
+            plan,
+            master_seed,
+            lanes,
+        );
+    }
     run_batch_core(
         graph,
         source,
@@ -321,7 +347,7 @@ fn run_batch_core<P: Protocol + ?Sized>(
         // Faults fire (and burst channels step) before any decision coin,
         // exactly like the scalar faulty runner.
         if let Some(s) = session.as_mut() {
-            let fired = s.begin_round(round, active, &mut rngs);
+            let fired = s.begin_round(round, &[active], &mut rngs);
             if !fired.is_empty() {
                 let mut m = active;
                 while m != 0 {
@@ -538,6 +564,7 @@ fn run_batch_core<P: Protocol + ?Sized>(
             informed: lane_informed[l],
             n,
             kernel: KernelUsed::Batch,
+            threads: 1,
             last_delivery_round: lane_last[l],
             fault_events: std::mem::take(&mut lane_events[l]),
             faults: lane_faults[l],

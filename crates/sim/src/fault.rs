@@ -213,7 +213,7 @@ impl FaultPlan {
         assert!(from <= to, "empty jam window");
         let at = self.jams.partition_point(|&(u, _, _)| u < v);
         assert!(
-            self.jams.get(at).map_or(true, |&(u, _, _)| u != v),
+            self.jams.get(at).is_none_or(|&(u, _, _)| u != v),
             "node {v} jams twice"
         );
         self.jams.insert(at, (v, from, to));
@@ -632,12 +632,22 @@ pub(crate) struct LaneFaultSession<'p> {
     blocked: BitSet,
     jammers: Vec<NodeId>,
     cursor: usize,
-    /// `burst_bad[v]` bit `l` = lane `l`'s channel at `v` is bad.
+    /// Lane groups of 64: 1 for the batch kernel, up to 16 for the
+    /// tiled kernel.
+    groups: usize,
+    /// `burst_bad[v * groups + g]` bit `l` = lane `g·64 + l`'s channel
+    /// at `v` is bad.
     burst_bad: Vec<u64>,
 }
 
 impl<'p> LaneFaultSession<'p> {
     pub(crate) fn new(plan: &'p FaultPlan) -> LaneFaultSession<'p> {
+        Self::new_grouped(plan, 1)
+    }
+
+    /// A session tracking `groups × 64` lanes of burst-channel state.
+    pub(crate) fn new_grouped(plan: &'p FaultPlan, groups: usize) -> LaneFaultSession<'p> {
+        assert!(groups >= 1, "need at least one lane group");
         let mut blocked = BitSet::new(plan.n);
         for v in 0..plan.n {
             if plan.wake_round[v] > 1 {
@@ -649,21 +659,25 @@ impl<'p> LaneFaultSession<'p> {
             blocked,
             jammers: Vec::new(),
             cursor: 0,
-            burst_bad: vec![0; plan.n],
+            groups,
+            burst_bad: vec![0; plan.n * groups],
         }
     }
 
     /// Advances the shared fault state to `round` and steps the burst
-    /// channels of every lane in `active`.  The node-major loop draws each
-    /// lane's coins in ascending node order from its private RNG — exactly
-    /// the scalar draw sequence — and inactive (finished) lanes draw
-    /// nothing, matching their scalar runs having exited the round loop.
+    /// channels of every lane in `active` (one mask word per group).
+    /// The node-major, group-major, lane-ascending loop draws each
+    /// lane's coins in ascending node order from its private RNG —
+    /// exactly the scalar draw sequence — and inactive (finished) lanes
+    /// draw nothing, matching their scalar runs having exited the round
+    /// loop.
     pub(crate) fn begin_round(
         &mut self,
         round: u32,
-        active: u64,
+        active: &[u64],
         rngs: &mut [Xoshiro256pp],
     ) -> &'p [FaultEvent] {
+        assert_eq!(active.len(), self.groups, "active mask per lane group");
         let fired = advance_faults(
             self.plan,
             round,
@@ -672,18 +686,21 @@ impl<'p> LaneFaultSession<'p> {
             &mut self.jammers,
         );
         if let Some(b) = self.plan.burst {
-            for word in self.burst_bad.iter_mut() {
-                let mut m = active;
-                while m != 0 {
-                    let l = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    let bit = 1u64 << l;
-                    if *word & bit != 0 {
-                        if rngs[l].coin(b.p_good) {
-                            *word &= !bit;
+            for words in self.burst_bad.chunks_exact_mut(self.groups) {
+                for (g, word) in words.iter_mut().enumerate() {
+                    let mut m = active[g];
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let bit = 1u64 << l;
+                        let rng = &mut rngs[g * 64 + l];
+                        if *word & bit != 0 {
+                            if rng.coin(b.p_good) {
+                                *word &= !bit;
+                            }
+                        } else if rng.coin(b.p_bad) {
+                            *word |= bit;
                         }
-                    } else if rngs[l].coin(b.p_bad) {
-                        *word |= bit;
                     }
                 }
             }
@@ -699,9 +716,16 @@ impl<'p> LaneFaultSession<'p> {
         &self.jammers
     }
 
-    /// Lanes whose burst channel at `v` is currently bad.
+    /// Lanes of group 0 whose burst channel at `v` is currently bad
+    /// (the single-group batch-kernel view).
     pub(crate) fn burst_word(&self, v: NodeId) -> u64 {
-        self.burst_bad[v as usize]
+        self.burst_bad[v as usize * self.groups]
+    }
+
+    /// Per-group burst words at `v` (`groups` words).
+    pub(crate) fn burst_words(&self, v: NodeId) -> &[u64] {
+        let base = v as usize * self.groups;
+        &self.burst_bad[base..base + self.groups]
     }
 
     pub(crate) fn mute(&self, v: NodeId) -> bool {
@@ -962,7 +986,7 @@ mod tests {
         // Lane 2 goes inactive after round 2.
         let actives = [0b1111u64, 0b1111, 0b1011, 0b1011];
         for (i, &active) in actives.iter().enumerate() {
-            lane_session.begin_round(i as u32 + 1, active, &mut rngs);
+            lane_session.begin_round(i as u32 + 1, &[active], &mut rngs);
         }
 
         for (l, lane_rng) in rngs.iter_mut().enumerate() {
@@ -976,6 +1000,35 @@ mod tests {
                 assert_eq!(
                     scalar.burst_bad(v),
                     lane_session.burst_word(v) >> l & 1 == 1,
+                    "lane {l} node {v}"
+                );
+            }
+            assert_eq!(rng.next(), lane_rng.next(), "lane {l} residual stream");
+        }
+    }
+
+    #[test]
+    fn grouped_lane_session_matches_scalar_burst_streams() {
+        let mut plan = FaultPlan::new(5);
+        plan.set_burst(0.4, 0.3);
+        let lanes = 70u64; // two groups: 64 full + 6 partial
+        let mut session = LaneFaultSession::new_grouped(&plan, 2);
+        let mut rngs: Vec<Xoshiro256pp> =
+            (0..lanes).map(|l| radio_graph::child_rng(23, l)).collect();
+        let active = [u64::MAX, (1u64 << 6) - 1];
+        for round in 1..=3 {
+            session.begin_round(round, &active, &mut rngs);
+        }
+        for (l, lane_rng) in rngs.iter_mut().enumerate() {
+            let mut scalar = FaultSession::new(&plan);
+            let mut rng = radio_graph::child_rng(23, l as u64);
+            for round in 1..=3 {
+                scalar.begin_round(round, &mut rng);
+            }
+            for v in 0..5 {
+                assert_eq!(
+                    scalar.burst_bad(v),
+                    session.burst_words(v)[l >> 6] >> (l & 63) & 1 == 1,
                     "lane {l} node {v}"
                 );
             }

@@ -24,11 +24,17 @@
 //! is invisible to everything but wall-clock.  See `docs/PERF.md` for the
 //! calibration of the cost-model constants.
 
-use radio_graph::{AdjacencyBitmap, Graph, NodeId};
+use radio_graph::{column_tiles, AdjacencyBitmap, Graph, NodeId};
 
 use crate::bitset::BitSet;
 use crate::engine::RoundOutcome;
 use crate::state::BroadcastState;
+use crate::wide::{merge_tile, or_tile};
+
+/// Column-tile width (words) for the dense kernel's merge loops: 8 KiB
+/// per plane, so the `ge1`/`ge2`/row working set sits in L1 while every
+/// transmitter row streams through one tile.
+const DENSE_TILE_WORDS: usize = 1024;
 
 /// Which round kernel the engine should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +48,12 @@ pub enum EngineKernel {
     /// The bit-parallel kernel whenever the adjacency bitmap fits the
     /// memory cap; falls back to sparse otherwise.
     Dense,
+    /// The tiled SIMD + multithreaded many-lane kernel
+    /// ([`crate::tiled::run_protocol_tiled`]).  On the scalar
+    /// [`crate::engine::RoundEngine`] it executes as the dense kernel
+    /// (one lane needs no lane tiling) but is counted separately so the
+    /// selection is visible in reports.
+    Tiled,
 }
 
 impl std::str::FromStr for EngineKernel {
@@ -51,8 +63,9 @@ impl std::str::FromStr for EngineKernel {
             "auto" => Ok(EngineKernel::Auto),
             "sparse" => Ok(EngineKernel::Sparse),
             "dense" => Ok(EngineKernel::Dense),
+            "tiled" => Ok(EngineKernel::Tiled),
             other => Err(format!(
-                "unknown kernel {other:?} (try auto, sparse, dense)"
+                "unknown kernel {other:?} (try auto, sparse, dense, tiled)"
             )),
         }
     }
@@ -78,6 +91,10 @@ pub enum KernelUsed {
     /// ([`crate::sweep::SweepEngine`]) — the implicit/sharded backend path,
     /// which never materializes an adjacency.
     Sweep,
+    /// The run was one lane of the tiled SIMD + multithreaded kernel
+    /// ([`crate::tiled::run_protocol_tiled`]), which resolves up to
+    /// 1024 lanes per adjacency sweep across a scoped thread pool.
+    Tiled,
 }
 
 impl KernelUsed {
@@ -89,6 +106,7 @@ impl KernelUsed {
             KernelUsed::Mixed => "mixed",
             KernelUsed::Batch => "batch",
             KernelUsed::Sweep => "sweep",
+            KernelUsed::Tiled => "tiled",
         }
     }
 }
@@ -122,6 +140,26 @@ pub const DENSE_FIXED_SWEEPS: u64 = 2;
 /// sparse one (`Σ deg(t)` random edge visits).
 pub fn dense_is_cheaper(sum_degrees: u64, transmitters: u64, words_per_row: u64) -> bool {
     SPARSE_EDGE_COST * sum_degrees > (transmitters + DENSE_FIXED_SWEEPS) * words_per_row
+}
+
+/// Break-even problem size (listener rows × Monte-Carlo lanes) above
+/// which the tiled kernel beats the 64-lane batch kernel.
+///
+/// Below this the batch kernel's scalar per-`[u64; 2]` merge wins on
+/// startup cost (no compact-table build, no padded planes); above it
+/// the tiled kernel's 512-bit merges and full-row skips dominate.
+/// Measured on the bench machine via `radio-bench run summary` (§1c/§1d
+/// points, n = 8192): the tiled kernel is ahead well before half a
+/// million elements even single-threaded.  See `docs/PERF.md`.
+pub const TILED_BREAK_EVEN_ELEMS: usize = 1 << 19;
+
+/// Whether the tiled kernel is predicted to beat the batch kernel for a
+/// run of `rows` listeners × `lanes` trial lanes.
+///
+/// More than 64 lanes is out of the batch kernel's reach entirely;
+/// otherwise the product must cross [`TILED_BREAK_EVEN_ELEMS`].
+pub fn tiled_is_cheaper(rows: usize, lanes: usize) -> bool {
+    lanes > 64 || rows.saturating_mul(lanes) >= TILED_BREAK_EVEN_ELEMS
 }
 
 /// Lazily built adjacency bitmap plus the dense kernel's scratch planes.
@@ -230,12 +268,12 @@ impl DenseState {
 
         // Merge each transmitter's adjacency row through the two-plane
         // saturating counter: after the loop, ge1 = "≥ 1 transmitting
-        // neighbor", ge2 = "≥ 2".
-        for &t in active {
-            let row = bitmap.row(t);
-            for ((g1, g2), &r) in ge1.iter_mut().zip(ge2.iter_mut()).zip(row) {
-                *g2 |= *g1 & r;
-                *g1 |= r;
+        // neighbor", ge2 = "≥ 2".  Column-tiled so the counter planes
+        // stay cache-resident across rows (the merge is commutative per
+        // word, so tiling cannot change the result).
+        for (lo, hi) in column_tiles(ge1.len(), DENSE_TILE_WORDS) {
+            for &t in active {
+                merge_tile(&mut ge1[lo..hi], &mut ge2[lo..hi], &bitmap.row(t)[lo..hi]);
             }
         }
 
@@ -303,17 +341,12 @@ impl DenseState {
             ..RoundOutcome::default()
         };
 
-        for &t in active {
-            let row = bitmap.row(t);
-            for ((g1, g2), &r) in ge1.iter_mut().zip(ge2.iter_mut()).zip(row) {
-                *g2 |= *g1 & r;
-                *g1 |= r;
+        for (lo, hi) in column_tiles(ge1.len(), DENSE_TILE_WORDS) {
+            for &t in active {
+                merge_tile(&mut ge1[lo..hi], &mut ge2[lo..hi], &bitmap.row(t)[lo..hi]);
             }
-        }
-        for &j in jammers {
-            let row = bitmap.row(j);
-            for (jw, &r) in jam.iter_mut().zip(row) {
-                *jw |= r;
+            for &j in jammers {
+                or_tile(&mut jam[lo..hi], &bitmap.row(j)[lo..hi]);
             }
         }
 
@@ -370,9 +403,25 @@ mod tests {
             "dense".parse::<EngineKernel>().unwrap(),
             EngineKernel::Dense
         );
-        assert!("fast".parse::<EngineKernel>().is_err());
+        assert_eq!(
+            "tiled".parse::<EngineKernel>().unwrap(),
+            EngineKernel::Tiled
+        );
+        let err = "fast".parse::<EngineKernel>().unwrap_err();
+        assert!(err.contains("tiled"), "error should list tiled: {err}");
         assert_eq!(KernelUsed::Mixed.to_string(), "mixed");
+        assert_eq!(KernelUsed::Tiled.to_string(), "tiled");
         assert_eq!(KernelUsed::default(), KernelUsed::Sparse);
+    }
+
+    #[test]
+    fn tiled_cost_model_break_even() {
+        // Anything past 64 lanes is out of the batch kernel's reach.
+        assert!(tiled_is_cheaper(16, 65));
+        // The pinned bench point (n = 8192, 64 lanes) crosses break-even.
+        assert!(tiled_is_cheaper(8192, 64));
+        // A small 64-lane run stays on the batch kernel.
+        assert!(!tiled_is_cheaper(256, 64));
     }
 
     #[test]

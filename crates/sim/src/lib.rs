@@ -81,7 +81,9 @@ pub mod schedule;
 pub mod schedule_io;
 pub mod state;
 pub mod sweep;
+pub mod tiled;
 pub mod trace;
+pub mod wide;
 
 pub use batch::{run_protocol_batch, run_protocol_batch_faulty, MAX_LANES};
 pub use combinators::{Named, Staged};
@@ -108,5 +110,8 @@ pub use schedule_io::{load_schedule, save_schedule};
 pub use state::BroadcastState;
 pub use sweep::{
     resolve_backend, run_protocol_provider, run_protocol_provider_faulty, Backend, SweepEngine,
+};
+pub use tiled::{
+    run_protocol_tiled, run_protocol_tiled_faulty, run_protocol_tiled_with_threads, MAX_TILED_LANES,
 };
 pub use trace::{RoundRecord, RunResult, TraceLevel};

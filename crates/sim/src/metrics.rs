@@ -100,6 +100,7 @@ mod tests {
             informed,
             n,
             kernel: crate::kernel::KernelUsed::Sparse,
+            threads: 1,
             last_delivery_round,
             fault_events: Vec::new(),
             faults: None,
@@ -143,6 +144,7 @@ mod tests {
             informed: 1,
             n: 1,
             kernel: crate::kernel::KernelUsed::Sparse,
+            threads: 1,
             last_delivery_round: 0,
             fault_events: Vec::new(),
             faults: None,

@@ -79,9 +79,14 @@ pub struct RunReport {
     /// End-to-end wall-clock of the run in nanoseconds, if measured.
     pub wall_ns: Option<u64>,
     /// Round kernel(s) that executed the run (`"sparse"`, `"dense"`,
-    /// `"mixed"`, or `"batch"`), if recorded.  Purely informational — the
-    /// only report field allowed to differ between kernel selections.
+    /// `"mixed"`, `"batch"`, or `"tiled"`), if recorded.  Purely
+    /// informational — the only report field (with `threads`) allowed to
+    /// differ between kernel selections.
     pub kernel: Option<String>,
+    /// Worker threads that executed the run's rounds, if recorded (1 for
+    /// every scalar kernel; the tiled kernel reports its intra-round pool
+    /// size).  Purely informational — thread count never changes results.
+    pub threads: Option<u32>,
     /// Number of trial lanes when the run was one lane of a lane-batched
     /// execution ([`crate::batch::run_protocol_batch`]); omitted from the
     /// JSON for scalar runs.
@@ -117,6 +122,7 @@ impl RunReport {
             round_to_99: metrics.round_to_99,
             wall_ns: None,
             kernel: Some(result.kernel.as_str().to_string()),
+            threads: Some(result.threads),
             batch_lanes: None,
             faults: result.faults,
             events: Vec::new(),
@@ -177,6 +183,9 @@ impl RunReport {
         ];
         if let Some(kernel) = &self.kernel {
             fields.push(("kernel", Json::from(kernel.as_str())));
+        }
+        if let Some(threads) = self.threads {
+            fields.push(("threads", Json::from(threads)));
         }
         if let Some(lanes) = self.batch_lanes {
             fields.push(("batch_lanes", Json::from(lanes)));
@@ -298,6 +307,7 @@ impl RunReport {
                 .get("kernel")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            threads: get_opt_u32("threads"),
             batch_lanes: get_opt_u32("batch_lanes"),
             faults,
             events,
@@ -423,6 +433,7 @@ mod tests {
             informed: 5,
             n: 5,
             kernel: crate::kernel::KernelUsed::Sparse,
+            threads: 1,
             last_delivery_round: 2,
             fault_events: Vec::new(),
             faults: None,

@@ -1,0 +1,914 @@
+//! Tiled SIMD + intra-round multithreaded runner: up to
+//! [`MAX_TILED_LANES`] protocol trials per adjacency sweep.
+//!
+//! The [batch runner](crate::batch) packs 64 trials into one `u64` per
+//! node; this module widens that to [`TileLayout`] rows of up to 16
+//! words (1024 lanes) resolved by the gather/compress sweep of
+//! [`crate::wide::sweep_rows`], and — because the two-plane saturating
+//! counter is commutative and every listener row is independent —
+//! fans the per-round sweep across a scoped thread pool using the same
+//! work-stealing cursor as [`crate::runner::run_trials`].
+//!
+//! ## Determinism contract
+//!
+//! Lane `l` of [`run_protocol_tiled`] with master seed `s` is
+//! **bit-identical** to a scalar [`run_protocol`](crate::run_protocol)
+//! on the RNG stream `child_rng(s, l)` — the same contract as the batch
+//! runner, extended past 64 lanes — *and* the result is identical for
+//! every thread count (`RADIO_THREADS=1`, 3, 8, …).  Both properties
+//! hold by construction:
+//!
+//! * each round is split into a parallel **merge phase** that only
+//!   *stores* per-row reachability words (order-independent: row blocks
+//!   are disjoint, and the saturating counter commutes), and a serial
+//!   **resolution phase** that walks the stored rows in ascending node
+//!   order drawing loss coins in the scalar order;
+//! * every lane owns a private RNG, so lanes never perturb each other's
+//!   streams, and no RNG is ever touched on a worker thread.
+//!
+//! The contract is pinned by the `kernel_differential` suite, which
+//! replays plain, lossy, and faulted runs at several thread counts.
+//!
+//! Like the batch runner, the tiled runner implies
+//! [`TransmitterPolicy::InformedOnly`](crate::TransmitterPolicy::InformedOnly).
+//! [`RunConfig::kernel`] participates in dispatch only: unless the
+//! caller forces [`EngineKernel::Tiled`], small jobs (≤ 64 lanes and
+//! below the [`crate::kernel::tiled_is_cheaper`] break-even) fall back
+//! to the batch runner, whose results are bit-identical anyway.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use radio_graph::{child_rng, AlignedWords, Graph, NodeId, TileLayout, Xoshiro256pp};
+
+use crate::batch::{run_protocol_batch, run_protocol_batch_faulty, MAX_LANES};
+use crate::bitset::BitSet;
+use crate::fault::{FaultEvent, FaultPlan, LaneFaultSession, LiveView};
+use crate::kernel::{tiled_is_cheaper, EngineKernel, KernelUsed};
+use crate::protocol::{Protocol, RunConfig};
+use crate::runner::thread_budget;
+use crate::state::NOT_INFORMED;
+use crate::trace::{RoundRecord, RunResult, TraceLevel};
+use crate::wide::{sweep_rows, TiledTable};
+
+/// Maximum number of trial lanes in one tiled run (16 × 64-bit words
+/// per node row).
+pub const MAX_TILED_LANES: usize = TileLayout::MAX_LANES;
+
+/// Listener rows per work-stealing block.  A multiple of 64 so every
+/// block owns whole words of the `full_bits`/`reached_bits` bitmaps —
+/// which is what lets worker threads write them without atomics.
+const BLOCK_ROWS: usize = 256;
+
+/// Raw-pointer wrapper so worker threads can write disjoint row-block
+/// ranges of the shared planes (same pattern as the trial runner).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+/// Runs `lanes` independent trials of `protocol` on `graph` from
+/// `source` with the tiled kernel, one trial per bit lane, and returns
+/// one [`RunResult`] per lane (index = lane = RNG stream index).
+///
+/// Lane `l` uses the RNG stream `child_rng(master_seed, l)` and is
+/// bit-identical to a scalar [`run_protocol`](crate::run_protocol) on
+/// that stream; see the module docs for the full contract.  The
+/// intra-round worker count follows [`thread_budget`] (the
+/// `RADIO_THREADS` environment variable caps it) and **never** affects
+/// results — only the `threads` field of the [`RunResult`]s.
+///
+/// Unless `config.kernel` is [`EngineKernel::Tiled`], jobs of at most
+/// 64 lanes below the tiled break-even run on the batch kernel instead
+/// (identical results, reported as [`KernelUsed::Batch`]).
+///
+/// # Panics
+///
+/// If `lanes` is not in `1..=`[`MAX_TILED_LANES`] or `source` is out
+/// of range.
+pub fn run_protocol_tiled<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<RunResult> {
+    run_tiled_dispatch(
+        graph,
+        source,
+        protocol,
+        config,
+        None,
+        master_seed,
+        lanes,
+        None,
+    )
+}
+
+/// Like [`run_protocol_tiled`], but every lane runs under the fault
+/// plan `plan`.  Lane `l` is bit-identical to a scalar
+/// [`run_protocol_faulty`](crate::run_protocol_faulty) on
+/// `child_rng(master_seed, l)` — same trace, same fault events, same
+/// [`crate::FaultSummary`], same residual RNG stream.
+pub fn run_protocol_tiled_faulty<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<RunResult> {
+    run_tiled_dispatch(
+        graph,
+        source,
+        protocol,
+        config,
+        Some(plan),
+        master_seed,
+        lanes,
+        None,
+    )
+}
+
+/// [`run_protocol_tiled`] / [`run_protocol_tiled_faulty`] with an
+/// explicit intra-round worker count, bypassing [`thread_budget`].
+///
+/// Meant for differential tests that pin several thread counts within
+/// one process (the `RADIO_THREADS` variable is process-global, so it
+/// cannot vary per call).  `threads` is clamped to the number of row
+/// blocks; results are identical for every value.
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_tiled_with_threads<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: Option<&FaultPlan>,
+    master_seed: u64,
+    lanes: usize,
+    threads: usize,
+) -> Vec<RunResult> {
+    assert!(threads >= 1, "need at least one worker thread");
+    run_tiled_dispatch(
+        graph,
+        source,
+        protocol,
+        config,
+        plan,
+        master_seed,
+        lanes,
+        Some(threads),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tiled_dispatch<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: Option<&FaultPlan>,
+    master_seed: u64,
+    lanes: usize,
+    threads: Option<usize>,
+) -> Vec<RunResult> {
+    // Cost-model dispatch: under the break-even the per-round fixed
+    // costs of the tiled sweep (compact-table build + full row scan)
+    // beat its bandwidth advantage, so batch-sized jobs run on the
+    // batch kernel unless the caller forces Tiled.  No recursion: the
+    // batch entry points only delegate *to* tiled when the kernel is
+    // forced, which this guard excludes.
+    if config.kernel != EngineKernel::Tiled
+        && lanes <= MAX_LANES
+        && !tiled_is_cheaper(graph.n(), lanes)
+    {
+        return match plan {
+            None => run_protocol_batch(graph, source, protocol, config, master_seed, lanes),
+            Some(p) => {
+                run_protocol_batch_faulty(graph, source, protocol, config, p, master_seed, lanes)
+            }
+        };
+    }
+    run_tiled_core(
+        graph,
+        source,
+        protocol,
+        config,
+        plan,
+        master_seed,
+        lanes,
+        threads,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tiled_core<P: Protocol + ?Sized>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: Option<&FaultPlan>,
+    master_seed: u64,
+    lanes: usize,
+    threads: Option<usize>,
+) -> Vec<RunResult> {
+    assert!(
+        (1..=MAX_TILED_LANES).contains(&lanes),
+        "lanes must be in 1..={MAX_TILED_LANES}, got {lanes}"
+    );
+    let n = graph.n();
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range for n = {n}"
+    );
+    if let Some(p) = plan {
+        assert_eq!(p.n(), n, "fault plan size mismatch");
+    }
+
+    let layout = TileLayout::new(lanes);
+    let c = layout.words_per_node();
+    let groups = layout.groups();
+    let full_pattern = layout.full_pattern();
+
+    let blocks = n.div_ceil(BLOCK_ROWS);
+    let workers = threads
+        .unwrap_or_else(|| thread_budget(blocks))
+        .clamp(1, blocks.max(1));
+
+    let lossy = config.loss_prob > 0.0;
+    let loss = config.loss_prob;
+    let per_round = config.trace_level == TraceLevel::PerRound;
+
+    let mut rngs: Vec<Xoshiro256pp> = (0..lanes as u64)
+        .map(|l| child_rng(master_seed, l))
+        .collect();
+    protocol.begin_run(n);
+
+    let mut session = plan.map(|p| LaneFaultSession::new_grouped(p, groups));
+    let mut jam_touch = plan.map(|_| BitSet::new(n));
+    let mut jam_dirty = false;
+    let mut lane_events: Vec<Vec<FaultEvent>> = vec![Vec::new(); lanes];
+
+    // Per-lane broadcast state: informed plane (c words per node,
+    // 64-byte aligned for the vector sweep), informed round per
+    // (node, lane), and the full-row skip bitmap (bit v = row v's
+    // informed words equal `full_pattern`).
+    let mut informed = AlignedWords::zeroed(layout.plane_words(n));
+    informed[source as usize * c..source as usize * c + c].copy_from_slice(&full_pattern);
+    let mut informed_round: Vec<u32> = vec![NOT_INFORMED; n * lanes];
+    informed_round[source as usize * lanes..source as usize * lanes + lanes].fill(0);
+    let fbw = n.div_ceil(64);
+    let mut full_bits = vec![0u64; fbw];
+    full_bits[source as usize >> 6] |= 1u64 << (source as usize & 63);
+
+    // Compact transmitter table: remap[u] = 0 (silent) or a 1-based
+    // slot in tc.  Slot 0 stays all-zero; stale higher slots are never
+    // referenced once remap is reset, so only remap needs clearing
+    // between rounds.
+    let mut tc = AlignedWords::zeroed((n + 1) * c);
+    let mut remap = vec![0u32; n];
+    let mut ntx: u32 = 0;
+    let mut tx_nodes: Vec<NodeId> = Vec::new();
+
+    // Merge-phase output, consumed (and re-zeroed) by the serial
+    // resolution phase: reached/exactly-one words per (row, word), and
+    // a bitmap of rows with any reached lane.
+    let mut rplane = vec![0u64; n * c];
+    let mut e1plane = vec![0u64; n * c];
+    let mut rbits = vec![0u64; fbw];
+
+    let max_deg = (0..n).map(|v| graph.degree(v as NodeId)).max().unwrap_or(0);
+    let mut scratches: Vec<Vec<u32>> = (0..workers).map(|_| vec![0u32; max_deg + 16]).collect();
+
+    let mut lane_informed = vec![1usize; lanes];
+    let mut lane_rounds = vec![0u32; lanes];
+    let mut lane_completed = vec![n == 1; lanes];
+    let mut lane_last = vec![0u32; lanes];
+    let mut traces: Vec<Vec<RoundRecord>> = vec![Vec::new(); lanes];
+
+    // Per-round, per-lane outcome counters.  Only `newly` feeds fields
+    // recorded at every trace level (completion, last delivery); the
+    // rest exist for RoundRecords and are skipped in summary-only runs.
+    let mut tx_count = vec![0u32; lanes];
+    let mut newly = vec![0u32; lanes];
+    let mut colls = vec![0u32; lanes];
+    let mut reach = vec![0u32; lanes];
+
+    let mut active: Vec<u64> = (0..groups)
+        .map(|g| if n == 1 { 0 } else { layout.group_mask(g) })
+        .collect();
+    let mut round = 0u32;
+    while active.iter().any(|&w| w != 0) && round < config.max_rounds {
+        round += 1;
+
+        // Faults fire (and burst channels step) before any decision
+        // coin, exactly like the scalar faulty runner.
+        if let Some(s) = session.as_mut() {
+            let fired = s.begin_round(round, &active, &mut rngs);
+            if !fired.is_empty() {
+                for (g, &word) in active.iter().enumerate() {
+                    let mut m = word;
+                    while m != 0 {
+                        let l = g * 64 + m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        lane_events[l].extend_from_slice(fired);
+                    }
+                }
+            }
+        }
+
+        // Decision phase: node-major, group-ascending — each lane sees
+        // its informed nodes in ascending id order on its private RNG,
+        // which is the scalar draw order.
+        for (u, slot) in remap.iter_mut().enumerate() {
+            let base_i = u * c;
+            if (0..groups).all(|g| informed[base_i + g] & active[g] == 0) {
+                continue;
+            }
+            // Crashed, asleep, and jamming nodes draw no decision coin.
+            if session.as_ref().is_some_and(|s| s.mute(u as NodeId)) {
+                continue;
+            }
+            let rbase = u * lanes;
+            let mut chunk = [0u64; 16];
+            let mut any = 0u64;
+            for (g, &act) in active.iter().enumerate() {
+                let mask = informed[base_i + g] & act;
+                if mask == 0 {
+                    continue;
+                }
+                let lo = g * 64;
+                let glen = (lanes - lo).min(64);
+                let word = protocol.transmits_lanes(
+                    u as NodeId,
+                    round,
+                    mask,
+                    &informed_round[rbase + lo..rbase + lo + glen],
+                    &mut rngs[lo..lo + glen],
+                ) & mask;
+                chunk[g] = word;
+                any |= word;
+                if per_round {
+                    let mut m = word;
+                    while m != 0 {
+                        tx_count[lo + m.trailing_zeros() as usize] += 1;
+                        m &= m - 1;
+                    }
+                }
+            }
+            if any != 0 {
+                ntx += 1;
+                *slot = ntx;
+                let tcbase = ntx as usize * c;
+                tc[tcbase..tcbase + c].copy_from_slice(&chunk[..c]);
+                tx_nodes.push(u as NodeId);
+            }
+        }
+
+        // Inject jammers into every active lane, exactly like the batch
+        // runner: the saturating counter resolves jam collisions, and
+        // jam-only exactly-one lanes are demoted via `jam_touch`.
+        if let Some(s) = session.as_ref() {
+            if jam_dirty {
+                jam_touch
+                    .as_mut()
+                    .expect("jam_touch exists with plan")
+                    .clear();
+                jam_dirty = false;
+            }
+            let touch = jam_touch.as_mut().expect("jam_touch exists with plan");
+            for &j in s.jammers() {
+                debug_assert_eq!(remap[j as usize], 0, "jammer drew a decision coin");
+                ntx += 1;
+                remap[j as usize] = ntx;
+                let slot = ntx as usize * c;
+                tc[slot..slot + groups].copy_from_slice(&active);
+                tc[slot + groups..slot + c].fill(0);
+                tx_nodes.push(j);
+                if per_round {
+                    for (g, &word) in active.iter().enumerate() {
+                        let mut m = word;
+                        while m != 0 {
+                            tx_count[g * 64 + m.trailing_zeros() as usize] += 1;
+                            m &= m - 1;
+                        }
+                    }
+                }
+                for &v in graph.neighbors(j) {
+                    touch.set(v as usize);
+                }
+                jam_dirty = true;
+            }
+        }
+
+        // Merge phase (parallel): sweep every row block, storing the
+        // reached / exactly-one words and delivering nothing yet.  The
+        // stores are order-independent (blocks own disjoint rows), so
+        // the result is identical for every worker count.
+        {
+            let table = TiledTable {
+                graph,
+                tc: &tc,
+                remap: &remap,
+                c,
+                full_pattern: &full_pattern,
+            };
+            merge_phase(
+                &table,
+                n,
+                &mut informed,
+                &mut full_bits,
+                &mut rplane,
+                &mut e1plane,
+                &mut rbits,
+                &mut scratches,
+            );
+        }
+
+        // Resolution phase (serial): ascending node order, ascending
+        // word then lane within a node — the scalar coin order.
+        for (bw_i, rb) in rbits.iter_mut().enumerate() {
+            let mut rows = *rb;
+            if rows == 0 {
+                continue;
+            }
+            *rb = 0;
+            while rows != 0 {
+                let v = bw_i * 64 + rows.trailing_zeros() as usize;
+                rows &= rows - 1;
+                let base = v * c;
+                // Blocked (crashed/asleep) nodes receive nothing and
+                // count toward neither reach nor collisions.
+                if session
+                    .as_ref()
+                    .is_some_and(|s| s.blocked_node(v as NodeId))
+                {
+                    rplane[base..base + c].fill(0);
+                    e1plane[base..base + c].fill(0);
+                    continue;
+                }
+                let jammed = jam_dirty && jam_touch.as_ref().is_some_and(|touch| touch.get(v));
+                let mut now_full = true;
+                for w in 0..c {
+                    let reached = rplane[base + w];
+                    if reached == 0 {
+                        now_full &= informed[base + w] == full_pattern[w];
+                        continue;
+                    }
+                    rplane[base + w] = 0;
+                    let e1 = e1plane[base + w];
+                    e1plane[base + w] = 0;
+                    if per_round {
+                        let mut m = reached;
+                        while m != 0 {
+                            reach[w * 64 + m.trailing_zeros() as usize] += 1;
+                            m &= m - 1;
+                        }
+                        let mut m = reached & !e1;
+                        while m != 0 {
+                            colls[w * 64 + m.trailing_zeros() as usize] += 1;
+                            m &= m - 1;
+                        }
+                    }
+                    let mut delivered;
+                    if jammed {
+                        // Jam-only exactly-one lanes are collisions,
+                        // and (like the scalar engine) no burst/loss
+                        // coin is drawn for them.
+                        if per_round {
+                            let mut m = e1;
+                            while m != 0 {
+                                colls[w * 64 + m.trailing_zeros() as usize] += 1;
+                                m &= m - 1;
+                            }
+                        }
+                        delivered = 0;
+                    } else {
+                        delivered = e1;
+                        if let Some(s) = session.as_ref() {
+                            // Burst veto consumes no coin; lost-to-burst
+                            // lanes skip the loss coin too.
+                            if w < groups {
+                                delivered &= !s.burst_words(v as NodeId)[w];
+                            }
+                        }
+                        if lossy {
+                            let mut m = delivered;
+                            while m != 0 {
+                                let bit = m.trailing_zeros() as usize;
+                                m &= m - 1;
+                                if rngs[w * 64 + bit].coin(loss) {
+                                    delivered &= !(1u64 << bit);
+                                }
+                            }
+                        }
+                    }
+                    let niv = informed[base + w] | delivered;
+                    if delivered != 0 {
+                        informed[base + w] = niv;
+                        let rbase = v * lanes;
+                        let mut m = delivered;
+                        while m != 0 {
+                            let bit = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let l = w * 64 + bit;
+                            informed_round[rbase + l] = round;
+                            lane_informed[l] += 1;
+                            newly[l] += 1;
+                        }
+                    }
+                    now_full &= niv == full_pattern[w];
+                }
+                if now_full {
+                    full_bits[v >> 6] |= 1u64 << (v & 63);
+                }
+            }
+        }
+
+        // Book-keeping per still-active lane: trace record, completion.
+        // An index loop: completed lanes clear their `active[g]` bit
+        // mid-iteration, so an iterator would hold a conflicting borrow.
+        #[allow(clippy::needless_range_loop)]
+        for g in 0..groups {
+            let mut still = active[g];
+            while still != 0 {
+                let bit = still.trailing_zeros() as usize;
+                still &= still - 1;
+                let l = g * 64 + bit;
+                if per_round {
+                    traces[l].push(RoundRecord {
+                        round,
+                        transmitters: tx_count[l] as usize,
+                        newly_informed: newly[l] as usize,
+                        collisions: colls[l] as usize,
+                        reached: reach[l] as usize,
+                        informed_after: lane_informed[l],
+                    });
+                }
+                if newly[l] > 0 {
+                    lane_last[l] = round;
+                }
+                if lane_informed[l] == n {
+                    lane_completed[l] = true;
+                    lane_rounds[l] = round;
+                    active[g] &= !(1u64 << bit);
+                }
+            }
+        }
+
+        for &u in &tx_nodes {
+            remap[u as usize] = 0;
+        }
+        tx_nodes.clear();
+        ntx = 0;
+        newly.fill(0);
+        if per_round {
+            tx_count.fill(0);
+            colls.fill(0);
+            reach.fill(0);
+        }
+    }
+
+    // Budget-exhausted lanes report the exhausted budget, like the
+    // scalar runner.
+    for (g, &word) in active.iter().enumerate() {
+        let mut still = word;
+        while still != 0 {
+            let bit = still.trailing_zeros() as usize;
+            still &= still - 1;
+            lane_rounds[g * 64 + bit] = round;
+        }
+    }
+
+    // Per-lane graceful-degradation summaries; lanes finishing in the
+    // same round share a LiveView.
+    let mut views: Vec<(u32, LiveView)> = Vec::new();
+    let mut lane_faults = Vec::with_capacity(lanes);
+    for (l, &horizon) in lane_rounds.iter().enumerate().take(lanes) {
+        lane_faults.push(plan.map(|p| {
+            let at = views
+                .iter()
+                .position(|(h, _)| *h == horizon)
+                .unwrap_or_else(|| {
+                    views.push((horizon, p.live_view(graph, horizon, source)));
+                    views.len() - 1
+                });
+            views[at]
+                .1
+                .summary(|v| informed[v as usize * c + (l >> 6)] >> (l & 63) & 1 == 1)
+        }));
+    }
+
+    traces
+        .into_iter()
+        .enumerate()
+        .map(|(l, trace)| RunResult {
+            completed: lane_completed[l],
+            rounds: lane_rounds[l],
+            informed: lane_informed[l],
+            n,
+            kernel: KernelUsed::Tiled,
+            threads: workers as u32,
+            last_delivery_round: lane_last[l],
+            fault_events: std::mem::take(&mut lane_events[l]),
+            faults: lane_faults[l],
+            trace,
+        })
+        .collect()
+}
+
+/// The parallel merge phase of one round: sweeps every row block,
+/// recording reached / exactly-one words in `rplane`/`e1plane` and row
+/// occupancy in `rbits`, without delivering anything.
+///
+/// Blocks own disjoint row ranges (and, because [`BLOCK_ROWS`] is a
+/// multiple of 64, whole words of the bitmaps), so running them on any
+/// number of workers stores exactly the same bytes.
+#[allow(clippy::too_many_arguments)]
+fn merge_phase(
+    table: &TiledTable<'_>,
+    n: usize,
+    informed: &mut [u64],
+    full_bits: &mut [u64],
+    rplane: &mut [u64],
+    e1plane: &mut [u64],
+    rbits: &mut [u64],
+    scratches: &mut [Vec<u32>],
+) {
+    let c = table.c;
+    let blocks = n.div_ceil(BLOCK_ROWS);
+    let workers = scratches.len().min(blocks);
+    if workers <= 1 {
+        let scratch = &mut scratches[0];
+        for blk in 0..blocks {
+            let row_start = blk * BLOCK_ROWS;
+            let rows = BLOCK_ROWS.min(n - row_start);
+            let (wlo, wcnt) = (row_start / 64, rows.div_ceil(64));
+            sweep_block(
+                table,
+                row_start,
+                rows,
+                &mut informed[row_start * c..(row_start + rows) * c],
+                &mut full_bits[wlo..wlo + wcnt],
+                &mut rplane[row_start * c..(row_start + rows) * c],
+                &mut e1plane[row_start * c..(row_start + rows) * c],
+                &mut rbits[wlo..wlo + wcnt],
+                scratch,
+            );
+        }
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let inf_p = SendPtr(informed.as_mut_ptr());
+    let full_p = SendPtr(full_bits.as_mut_ptr());
+    let rp_p = SendPtr(rplane.as_mut_ptr());
+    let ep_p = SendPtr(e1plane.as_mut_ptr());
+    let rb_p = SendPtr(rbits.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for scratch in scratches.iter_mut().take(workers) {
+            let cursor = &cursor;
+            let (inf_p, full_p, rp_p, ep_p, rb_p) = (inf_p, full_p, rp_p, ep_p, rb_p);
+            scope.spawn(move || {
+                // Not redundant: rebinding the wrappers defeats
+                // edition-2021 disjoint capture, so the closure captures
+                // `SendPtr` (Send) rather than its raw-pointer field.
+                #[allow(clippy::redundant_locals)]
+                let (inf_p, full_p, rp_p, ep_p, rb_p) = (inf_p, full_p, rp_p, ep_p, rb_p);
+                loop {
+                    let blk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if blk >= blocks {
+                        break;
+                    }
+                    let row_start = blk * BLOCK_ROWS;
+                    let rows = BLOCK_ROWS.min(n - row_start);
+                    let (wlo, wcnt) = (row_start / 64, rows.div_ceil(64));
+                    // SAFETY: `fetch_add` hands each block to exactly one
+                    // worker; blocks cover disjoint `rows * c` ranges of
+                    // the planes and (BLOCK_ROWS % 64 == 0) disjoint whole
+                    // words of the bitmaps, and all base pointers outlive
+                    // the scope.
+                    unsafe {
+                        sweep_block(
+                            table,
+                            row_start,
+                            rows,
+                            std::slice::from_raw_parts_mut(inf_p.0.add(row_start * c), rows * c),
+                            std::slice::from_raw_parts_mut(full_p.0.add(wlo), wcnt),
+                            std::slice::from_raw_parts_mut(rp_p.0.add(row_start * c), rows * c),
+                            std::slice::from_raw_parts_mut(ep_p.0.add(row_start * c), rows * c),
+                            std::slice::from_raw_parts_mut(rb_p.0.add(wlo), wcnt),
+                            scratch,
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Sweeps one row block, storing each resolved word into the
+/// block-local plane slices and delivering nothing (the resolution
+/// phase applies deliveries serially).
+#[allow(clippy::too_many_arguments)]
+fn sweep_block(
+    table: &TiledTable<'_>,
+    row_start: usize,
+    rows: usize,
+    informed: &mut [u64],
+    full_bits: &mut [u64],
+    rplane: &mut [u64],
+    e1plane: &mut [u64],
+    rbits: &mut [u64],
+    scratch: &mut [u32],
+) {
+    let c = table.c;
+    sweep_rows(
+        table,
+        row_start,
+        rows,
+        informed,
+        full_bits,
+        scratch,
+        &mut |v, w, reached, _collide, e1| {
+            let b = v - row_start;
+            rplane[b * c + w] = reached;
+            e1plane[b * c + w] = e1;
+            rbits[b >> 6] |= 1u64 << (b & 63);
+            0
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_protocol, run_protocol_faulty, LocalNode};
+    use radio_graph::derive_seed;
+    use radio_graph::gnp::sample_gnp;
+
+    /// Transmit with a fixed probability (one coin per decision).
+    struct Coin(f64);
+    impl Protocol for Coin {
+        fn name(&self) -> String {
+            "coin".into()
+        }
+        fn transmits(&mut self, _node: LocalNode, rng: &mut Xoshiro256pp) -> bool {
+            rng.coin(self.0)
+        }
+    }
+
+    /// Forces the tiled kernel so small test graphs skip the batch
+    /// fallback.
+    fn tiled_cfg(n: usize) -> RunConfig {
+        RunConfig::for_graph(n)
+            .with_max_rounds(60)
+            .with_kernel(EngineKernel::Tiled)
+    }
+
+    fn normalize(mut r: RunResult) -> RunResult {
+        r.kernel = KernelUsed::Tiled;
+        r.threads = 1;
+        r
+    }
+
+    #[test]
+    fn every_lane_matches_its_scalar_stream_past_64_lanes() {
+        for (case, lanes) in [(0u64, 70usize), (1, 1), (2, 64), (3, 130)] {
+            let mut grng = Xoshiro256pp::new(derive_seed(0x711D, case));
+            let n = 50 + grng.below(60) as usize;
+            let g = sample_gnp(n, 0.12, &mut grng);
+            let loss = if case % 2 == 0 { 0.0 } else { 0.25 };
+            let cfg = tiled_cfg(n).with_loss(loss);
+            let master = derive_seed(0x5EED, case);
+            let tiled =
+                run_protocol_tiled_with_threads(&g, 0, &mut Coin(0.3), cfg, None, master, lanes, 2);
+            assert_eq!(tiled.len(), lanes);
+            for (l, got) in tiled.iter().enumerate() {
+                let mut rng = child_rng(master, l as u64);
+                let want = run_protocol(&g, 0, &mut Coin(0.3), cfg, &mut rng);
+                assert_eq!(
+                    normalize(got.clone()),
+                    normalize(want),
+                    "case {case}, lane {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_lanes_match_scalar_faulty_runs() {
+        let mut grng = Xoshiro256pp::new(derive_seed(0xFA17, 7));
+        let n = 96;
+        let g = sample_gnp(n, 0.1, &mut grng);
+        let mut combined = FaultPlan::new(n);
+        combined
+            .crash(3, 2)
+            .sleep(4, 6)
+            .jam(7, 2, 12)
+            .set_burst(0.3, 0.25);
+        for (case, loss) in [(0usize, 0.0), (1, 0.2)] {
+            let cfg = tiled_cfg(n).with_loss(loss);
+            let master = derive_seed(0x5EED, case as u64);
+            let lanes = 70;
+            let tiled = run_protocol_tiled_with_threads(
+                &g,
+                0,
+                &mut Coin(0.3),
+                cfg,
+                Some(&combined),
+                master,
+                lanes,
+                3,
+            );
+            assert_eq!(tiled.len(), lanes);
+            for (l, got) in tiled.iter().enumerate() {
+                let mut rng = child_rng(master, l as u64);
+                let want = run_protocol_faulty(&g, 0, &mut Coin(0.3), cfg, &combined, &mut rng);
+                assert_eq!(
+                    normalize(got.clone()),
+                    normalize(want),
+                    "case {case}, lane {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let mut grng = Xoshiro256pp::new(derive_seed(0x7ead, 0));
+        let n = 300; // two row blocks, so multi-threading really splits work
+        let g = sample_gnp(n, 0.04, &mut grng);
+        let cfg = tiled_cfg(n).with_loss(0.1);
+        let lanes = 96;
+        let runs: Vec<Vec<RunResult>> = [1usize, 3, 8]
+            .iter()
+            .map(|&t| {
+                run_protocol_tiled_with_threads(&g, 0, &mut Coin(0.25), cfg, None, 42, lanes, t)
+                    .into_iter()
+                    .map(normalize)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "1 vs 3 threads");
+        assert_eq!(runs[0], runs[2], "1 vs 8 threads");
+    }
+
+    #[test]
+    fn small_jobs_fall_back_to_batch_unless_forced() {
+        let mut grng = Xoshiro256pp::new(5);
+        let g = sample_gnp(60, 0.15, &mut grng);
+        let auto = RunConfig::for_graph(60).with_max_rounds(40);
+        let fall = run_protocol_tiled(&g, 0, &mut Coin(0.3), auto, 9, 8);
+        assert!(fall.iter().all(|r| r.kernel == KernelUsed::Batch));
+        assert!(fall.iter().all(|r| r.threads == 1));
+        let forced = run_protocol_tiled(
+            &g,
+            0,
+            &mut Coin(0.3),
+            auto.with_kernel(EngineKernel::Tiled),
+            9,
+            8,
+        );
+        assert!(forced.iter().all(|r| r.kernel == KernelUsed::Tiled));
+        for (f, b) in forced.iter().zip(&fall) {
+            assert_eq!(normalize(f.clone()), normalize(b.clone()));
+        }
+    }
+
+    #[test]
+    fn batch_entry_point_delegates_forced_tiled() {
+        let mut grng = Xoshiro256pp::new(6);
+        let g = sample_gnp(50, 0.15, &mut grng);
+        let cfg = RunConfig::for_graph(50)
+            .with_max_rounds(40)
+            .with_kernel(EngineKernel::Tiled);
+        let via_batch = run_protocol_batch(&g, 0, &mut Coin(0.4), cfg, 11, 12);
+        assert!(via_batch.iter().all(|r| r.kernel == KernelUsed::Tiled));
+    }
+
+    #[test]
+    fn single_node_graph_completes_in_zero_rounds() {
+        let g = Graph::empty(1);
+        let tiled =
+            run_protocol_tiled_with_threads(&g, 0, &mut Coin(0.5), tiled_cfg(1), None, 1, 100, 2);
+        for r in &tiled {
+            assert!(r.completed);
+            assert_eq!(r.rounds, 0);
+            assert_eq!(r.informed, 1);
+            assert_eq!(r.kernel, KernelUsed::Tiled);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_lanes_rejected() {
+        let g = Graph::path(3);
+        let _ = run_protocol_tiled(&g, 0, &mut Coin(0.5), tiled_cfg(3), 1, MAX_TILED_LANES + 1);
+    }
+}

@@ -71,6 +71,10 @@ pub struct RunResult {
     /// [`TraceBuilder::finish`] defaults it to `Sparse`).  Informational
     /// only: kernel choice never changes any other field.
     pub kernel: KernelUsed,
+    /// Worker threads that executed the run's rounds (1 for every scalar
+    /// kernel; the tiled kernel records its intra-round pool size).
+    /// Informational only: thread count never changes any other field.
+    pub threads: u32,
     /// The last round in which any node was newly informed (0 if the source
     /// never reached anyone).  Under faults this is the graceful-degradation
     /// "round of last new delivery"; recorded at every [`TraceLevel`].
@@ -163,6 +167,7 @@ impl TraceBuilder {
             informed,
             n,
             kernel: KernelUsed::default(),
+            threads: 1,
             last_delivery_round: self.last_delivery,
             fault_events: Vec::new(),
             faults: None,

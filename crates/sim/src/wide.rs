@@ -1,0 +1,673 @@
+//! Wide (SIMD) primitives for the tiled round kernels.
+//!
+//! Two layers live here:
+//!
+//! * [`merge_tile`] / [`or_tile`] — column-tile merge loops for the
+//!   dense kernel's two-plane saturating counter, written over 8-word
+//!   chunks so rustc autovectorizes them;
+//! * [`TiledTable`] + [`sweep_rows`] — the many-lane row sweep behind
+//!   the tiled kernel: for a block of listener rows it merges the
+//!   compact transmitter table through each listener's adjacency list
+//!   and hands every word with reachable lanes to a caller-supplied
+//!   resolve closure.  On x86-64 with AVX-512F + BMI2 the sweep runs a
+//!   gather/compress vector path; elsewhere a scalar path with the
+//!   exact same closure-invocation order takes over, so results are
+//!   bit-identical across implementations.
+//!
+//! The saturating counter is the paper's §1.1 receive rule in bit
+//! parallel: plane 1 records "some neighbor transmitted", plane 2
+//! records "at least two did"; a lane hears a message iff its plane-1
+//! bit is set and its plane-2 bit is not.
+
+use radio_graph::{Graph, NodeId};
+
+/// Merges one transmitter-row tile into the two counter planes:
+/// `ge2 |= ge1 & row; ge1 |= row` per word.
+///
+/// The order rows are merged in does not affect the result (the
+/// saturating counter is commutative), which is what lets callers tile
+/// and thread the merge freely.
+///
+/// # Panics
+/// If the three slices differ in length.
+#[inline]
+pub fn merge_tile(ge1: &mut [u64], ge2: &mut [u64], row: &[u64]) {
+    assert_eq!(ge1.len(), row.len(), "ge1/row tile length mismatch");
+    assert_eq!(ge2.len(), row.len(), "ge2/row tile length mismatch");
+    let mut c1 = ge1.chunks_exact_mut(8);
+    let mut c2 = ge2.chunks_exact_mut(8);
+    let mut cr = row.chunks_exact(8);
+    for ((g1, g2), r) in (&mut c1).zip(&mut c2).zip(&mut cr) {
+        for k in 0..8 {
+            g2[k] |= g1[k] & r[k];
+            g1[k] |= r[k];
+        }
+    }
+    for ((g1, g2), &r) in c1
+        .into_remainder()
+        .iter_mut()
+        .zip(c2.into_remainder())
+        .zip(cr.remainder())
+    {
+        *g2 |= *g1 & r;
+        *g1 |= r;
+    }
+}
+
+/// ORs one row tile into a plane tile: `dst |= src` per word.
+///
+/// # Panics
+/// If the slices differ in length.
+#[inline]
+pub fn or_tile(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "or_tile length mismatch");
+    let mut cd = dst.chunks_exact_mut(8);
+    let mut cs = src.chunks_exact(8);
+    for (d, s) in (&mut cd).zip(&mut cs) {
+        for k in 0..8 {
+            d[k] |= s[k];
+        }
+    }
+    for (d, &s) in cd.into_remainder().iter_mut().zip(cs.remainder()) {
+        *d |= s;
+    }
+}
+
+/// Read-only view of one round's transmitter state for [`sweep_rows`].
+///
+/// Transmitters are stored *compactly*: `remap[u]` is zero when node
+/// `u` is silent this round, otherwise a 1-based index into `tc`, whose
+/// slot 0 is an all-zero chunk.  Listeners gather `remap` over their
+/// adjacency row and merge only the surviving chunks, so per-listener
+/// work scales with the number of transmitting neighbors, not the
+/// degree.
+pub struct TiledTable<'a> {
+    /// The graph being swept.
+    pub graph: &'a Graph,
+    /// Compact transmitter chunks: `(ntx + 1) * words_per_node` words,
+    /// 64-byte aligned, slot 0 all-zero.  Every word must be a subset
+    /// of the corresponding `full_pattern` word (no padding-lane bits).
+    pub tc: &'a [u64],
+    /// Per-node compact index (`graph.n()` entries; 0 = silent).
+    pub remap: &'a [u32],
+    /// Words per node row — [`radio_graph::TileLayout::words_per_node`],
+    /// 8 or 16.
+    pub c: usize,
+    /// Valid-lane pattern per row word ([`radio_graph::TileLayout::full_pattern`]).
+    pub full_pattern: &'a [u64],
+}
+
+/// Sweeps listener rows `row_start .. row_start + rows`, resolving the
+/// paper's receive rule per lane word.
+///
+/// For each not-yet-full row `v` (ascending) and each word `w`
+/// (ascending) where some lane could hear something, calls
+/// `resolve(v, w, reached, collide, e1)` with
+///
+/// * `reached` — lanes with ≥ 1 transmitting neighbor, the listener
+///   itself silent and uninformed;
+/// * `collide` — the subset of `reached` with ≥ 2 transmitting
+///   neighbors;
+/// * `e1` — the subset with *exactly one* (`reached & !collide`);
+///
+/// and ORs the returned delivered word into `informed`.  Words where
+/// `reached == 0` are skipped without a call.  After resolving a row,
+/// its bit in `full_bits` is set iff the row now equals
+/// `full_pattern`; rows whose bit is already set are skipped entirely.
+///
+/// `informed` and `full_bits` are *block-local*: row `v` lives at
+/// `informed[(v - row_start) * c ..]` and bit `v - row_start`.  Blocks
+/// over disjoint row ranges therefore touch disjoint memory, which is
+/// what makes the multithreaded phase of the tiled runner sound.
+///
+/// The SIMD and scalar implementations invoke `resolve` for the same
+/// `(v, w)` sequence with the same arguments, so any caller state is
+/// bit-identical regardless of which path runs.
+///
+/// # Panics
+/// On any violated layout invariant: `c` not 8/16, misaligned or
+/// mis-sized buffers, `row_start` not a multiple of 64, rows out of
+/// range, or `idx_scratch` shorter than a row's degree.
+pub fn sweep_rows<F>(
+    table: &TiledTable<'_>,
+    row_start: usize,
+    rows: usize,
+    informed: &mut [u64],
+    full_bits: &mut [u64],
+    idx_scratch: &mut [u32],
+    resolve: &mut F,
+) where
+    F: FnMut(usize, usize, u64, u64, u64) -> u64,
+{
+    let c = table.c;
+    assert!(c == 8 || c == 16, "words_per_node must be 8 or 16, got {c}");
+    assert_eq!(table.full_pattern.len(), c, "full_pattern length mismatch");
+    assert_eq!(informed.len(), rows * c, "informed block length mismatch");
+    assert_eq!(table.remap.len(), table.graph.n(), "remap length mismatch");
+    assert_eq!(
+        row_start % 64,
+        0,
+        "row_start must be 64-aligned for full_bits words"
+    );
+    assert!(
+        row_start + rows <= table.graph.n(),
+        "row range {row_start}+{rows} exceeds n = {}",
+        table.graph.n()
+    );
+    assert!(full_bits.len() * 64 >= rows, "full_bits block too small");
+    assert_eq!(table.tc.len() % c, 0, "tc length not a multiple of c");
+    assert_eq!(
+        informed.as_ptr() as usize % 64,
+        0,
+        "informed block must be 64-byte aligned"
+    );
+    assert_eq!(
+        table.tc.as_ptr() as usize % 64,
+        0,
+        "tc must be 64-byte aligned"
+    );
+    debug_assert!(
+        table
+            .remap
+            .iter()
+            .all(|&r| (r as usize + 1) * c <= table.tc.len()),
+        "remap points past the end of tc"
+    );
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("bmi2") {
+            // SAFETY: layout invariants asserted above; the target
+            // features were just detected at runtime.
+            unsafe {
+                if c == 8 {
+                    sweep_rows_avx512::<1, F>(
+                        table,
+                        row_start,
+                        rows,
+                        informed,
+                        full_bits,
+                        idx_scratch,
+                        resolve,
+                    );
+                } else {
+                    sweep_rows_avx512::<2, F>(
+                        table,
+                        row_start,
+                        rows,
+                        informed,
+                        full_bits,
+                        idx_scratch,
+                        resolve,
+                    );
+                }
+            }
+            return;
+        }
+    }
+    let _ = &idx_scratch;
+    sweep_rows_scalar(table, row_start, rows, informed, full_bits, resolve);
+}
+
+/// Scalar reference path for [`sweep_rows`] — same closure-invocation
+/// order and arguments as the vector path.
+fn sweep_rows_scalar<F>(
+    table: &TiledTable<'_>,
+    row_start: usize,
+    rows: usize,
+    informed: &mut [u64],
+    full_bits: &mut [u64],
+    resolve: &mut F,
+) where
+    F: FnMut(usize, usize, u64, u64, u64) -> u64,
+{
+    let c = table.c;
+    let mut g1 = [0u64; 16];
+    let mut g2 = [0u64; 16];
+    for b in 0..rows {
+        if full_bits[b >> 6] >> (b & 63) & 1 != 0 {
+            continue;
+        }
+        let v = row_start + b;
+        g1[..c].fill(0);
+        g2[..c].fill(0);
+        for &u in table.graph.neighbors(v as NodeId) {
+            let r = table.remap[u as usize] as usize;
+            if r == 0 {
+                continue;
+            }
+            let chunk = &table.tc[r * c..r * c + c];
+            for w in 0..c {
+                g2[w] |= g1[w] & chunk[w];
+                g1[w] |= chunk[w];
+            }
+        }
+        let tvr = table.remap[v] as usize;
+        let tchunk = &table.tc[tvr * c..tvr * c + c];
+        let irow = &mut informed[b * c..b * c + c];
+        let mut now_full = true;
+        for w in 0..c {
+            let iv = irow[w];
+            let reached = g1[w] & !tchunk[w] & !iv;
+            let newly = if reached != 0 {
+                let collide = reached & g2[w];
+                let delivered = resolve(v, w, reached, collide, reached & !collide);
+                let newly = iv | delivered;
+                irow[w] = newly;
+                newly
+            } else {
+                iv
+            };
+            now_full &= newly == table.full_pattern[w];
+        }
+        if now_full {
+            full_bits[b >> 6] |= 1u64 << (b & 63);
+        }
+    }
+}
+
+/// AVX-512 path: gather `remap` over the adjacency row, compress out
+/// the silent neighbors, then merge the surviving compact chunks with
+/// two 4-way-unrolled ternary-logic accumulator chains.
+///
+/// # Safety
+/// Requires AVX-512F and BMI2 at runtime and every invariant
+/// [`sweep_rows`] asserts (in particular the 64-byte alignment of
+/// `informed` and `tc`, and `idx_scratch.len() >=` every row degree —
+/// re-checked per row here).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,bmi2")]
+unsafe fn sweep_rows_avx512<const NZ: usize, F>(
+    table: &TiledTable<'_>,
+    row_start: usize,
+    rows: usize,
+    informed: &mut [u64],
+    full_bits: &mut [u64],
+    idx_scratch: &mut [u32],
+    resolve: &mut F,
+) where
+    F: FnMut(usize, usize, u64, u64, u64) -> u64,
+{
+    use std::arch::x86_64::*;
+    assert!(NZ == 1 || NZ == 2);
+    let c = NZ * 8;
+    debug_assert_eq!(c, table.c);
+    let tcp = table.tc.as_ptr();
+    let rp = table.remap.as_ptr();
+    let zero32 = _mm512_setzero_si512();
+    let mut fp = [_mm512_setzero_si512(); 2];
+    for (z, chunk) in table.full_pattern.chunks_exact(8).enumerate() {
+        fp[z] = _mm512_loadu_si512(chunk.as_ptr() as *const _);
+    }
+    let mut g1a = [_mm512_setzero_si512(); 2];
+    let mut g2a = [_mm512_setzero_si512(); 2];
+    let mut g1b = [_mm512_setzero_si512(); 2];
+    let mut g2b = [_mm512_setzero_si512(); 2];
+    for b in 0..rows {
+        if full_bits.get_unchecked(b >> 6) >> (b & 63) & 1 != 0 {
+            continue;
+        }
+        let v = row_start + b;
+        let row = table.graph.neighbors(v as NodeId);
+        assert!(
+            row.len() <= idx_scratch.len(),
+            "idx_scratch shorter than degree {}",
+            row.len()
+        );
+        for z in 0..NZ {
+            g1a[z] = _mm512_setzero_si512();
+            g2a[z] = _mm512_setzero_si512();
+            g1b[z] = _mm512_setzero_si512();
+            g2b[z] = _mm512_setzero_si512();
+        }
+        // Pass 1: gather remap over the row, compress out silent nodes.
+        let mut j = 0usize;
+        let mut i = 0usize;
+        while i + 16 <= row.len() {
+            let ids = _mm512_loadu_si512(row.as_ptr().add(i) as *const _);
+            let rv = _mm512_i32gather_epi32(ids, rp as *const i32, 4);
+            let k = _mm512_cmpneq_epi32_mask(rv, zero32);
+            _mm512_mask_compressstoreu_epi32(idx_scratch.as_mut_ptr().add(j) as *mut _, k, rv);
+            j += k.count_ones() as usize;
+            i += 16;
+        }
+        if i < row.len() {
+            let tail = _bzhi_u32(u32::MAX, (row.len() - i) as u32) as u16;
+            let ids = _mm512_maskz_loadu_epi32(tail, row.as_ptr().add(i) as *const _);
+            let rv = _mm512_mask_i32gather_epi32(zero32, tail, ids, rp as *const i32, 4);
+            let k = _mm512_cmpneq_epi32_mask(rv, zero32) & tail;
+            _mm512_mask_compressstoreu_epi32(idx_scratch.as_mut_ptr().add(j) as *mut _, k, rv);
+            j += k.count_ones() as usize;
+        }
+        // Pass 2: merge the surviving compact chunks, two accumulator
+        // chains × 4-way unroll.
+        let np = j / 4 * 4;
+        let mut i = 0usize;
+        while i < np {
+            let ra = *idx_scratch.get_unchecked(i) as usize;
+            let rb = *idx_scratch.get_unchecked(i + 1) as usize;
+            let rc = *idx_scratch.get_unchecked(i + 2) as usize;
+            let rd = *idx_scratch.get_unchecked(i + 3) as usize;
+            for z in 0..NZ {
+                let wa = _mm512_load_si512(tcp.add(ra * c + z * 8) as *const _);
+                let wb = _mm512_load_si512(tcp.add(rb * c + z * 8) as *const _);
+                g2a[z] = _mm512_ternarylogic_epi64(g2a[z], g1a[z], wa, 0xF8);
+                g1a[z] = _mm512_or_si512(g1a[z], wa);
+                g2b[z] = _mm512_ternarylogic_epi64(g2b[z], g1b[z], wb, 0xF8);
+                g1b[z] = _mm512_or_si512(g1b[z], wb);
+                let wc = _mm512_load_si512(tcp.add(rc * c + z * 8) as *const _);
+                let wd = _mm512_load_si512(tcp.add(rd * c + z * 8) as *const _);
+                g2a[z] = _mm512_ternarylogic_epi64(g2a[z], g1a[z], wc, 0xF8);
+                g1a[z] = _mm512_or_si512(g1a[z], wc);
+                g2b[z] = _mm512_ternarylogic_epi64(g2b[z], g1b[z], wd, 0xF8);
+                g1b[z] = _mm512_or_si512(g1b[z], wd);
+            }
+            i += 4;
+        }
+        while i < j {
+            let r = *idx_scratch.get_unchecked(i) as usize;
+            for z in 0..NZ {
+                let w = _mm512_load_si512(tcp.add(r * c + z * 8) as *const _);
+                g2a[z] = _mm512_ternarylogic_epi64(g2a[z], g1a[z], w, 0xF8);
+                g1a[z] = _mm512_or_si512(g1a[z], w);
+            }
+            i += 1;
+        }
+        // Resolve: combine chains, apply the receive rule per word.
+        let ivp = informed.as_mut_ptr().add(b * c);
+        let tvr = *rp.add(v) as usize;
+        let mut now_full = true;
+        for z in 0..NZ {
+            let g2 =
+                _mm512_ternarylogic_epi64(_mm512_or_si512(g2a[z], g2b[z]), g1a[z], g1b[z], 0xF8);
+            let g1 = _mm512_or_si512(g1a[z], g1b[z]);
+            let iv = _mm512_load_si512(ivp.add(z * 8) as *const _);
+            let tv = _mm512_load_si512(tcp.add(tvr * c + z * 8) as *const _);
+            // reached = g1 & !tv & !iv  (ternary-logic imm 0x10)
+            let reached = _mm512_ternarylogic_epi64(g1, tv, iv, 0x10);
+            if _mm512_test_epi64_mask(reached, reached) != 0 {
+                let collide = _mm512_and_si512(reached, g2);
+                let mut rbuf = [0u64; 8];
+                let mut cbuf = [0u64; 8];
+                let mut ibuf = [0u64; 8];
+                _mm512_storeu_si512(rbuf.as_mut_ptr() as *mut _, reached);
+                _mm512_storeu_si512(cbuf.as_mut_ptr() as *mut _, collide);
+                _mm512_storeu_si512(ibuf.as_mut_ptr() as *mut _, iv);
+                let mut nbuf = ibuf;
+                for (w, &r) in rbuf.iter().enumerate() {
+                    if r != 0 {
+                        let delivered = resolve(v, z * 8 + w, r, cbuf[w], r & !cbuf[w]);
+                        nbuf[w] = ibuf[w] | delivered;
+                    }
+                }
+                let newly = _mm512_loadu_si512(nbuf.as_ptr() as *const _);
+                _mm512_storeu_si512(ivp.add(z * 8) as *mut _, newly);
+                now_full &= _mm512_cmpeq_epu64_mask(newly, fp[z]) == 0xFF;
+            } else {
+                now_full &= _mm512_cmpeq_epu64_mask(iv, fp[z]) == 0xFF;
+            }
+        }
+        if now_full {
+            *full_bits.get_unchecked_mut(b >> 6) |= 1u64 << (b & 63);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::gnp::sample_gnp;
+    use radio_graph::tile::{AlignedWords, TileLayout};
+    use radio_graph::Xoshiro256pp;
+
+    #[test]
+    fn merge_tile_matches_naive() {
+        let mut rng = Xoshiro256pp::new(11);
+        for len in [0usize, 1, 7, 8, 9, 40, 129] {
+            let rows: Vec<Vec<u64>> = (0..5)
+                .map(|_| (0..len).map(|_| rng.next()).collect())
+                .collect();
+            let mut ge1 = vec![0u64; len];
+            let mut ge2 = vec![0u64; len];
+            for row in &rows {
+                merge_tile(&mut ge1, &mut ge2, row);
+            }
+            for w in 0..len {
+                let (mut n1, mut n2) = (0u64, 0u64);
+                for row in &rows {
+                    n2 |= n1 & row[w];
+                    n1 |= row[w];
+                }
+                assert_eq!((ge1[w], ge2[w]), (n1, n2), "word {w} of len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_tile_matches_naive() {
+        let mut rng = Xoshiro256pp::new(12);
+        for len in [0usize, 3, 8, 17, 64] {
+            let src: Vec<u64> = (0..len).map(|_| rng.next()).collect();
+            let mut dst: Vec<u64> = (0..len).map(|_| rng.next()).collect();
+            let expect: Vec<u64> = dst.iter().zip(&src).map(|(&d, &s)| d | s).collect();
+            or_tile(&mut dst, &src);
+            assert_eq!(dst, expect);
+        }
+    }
+
+    /// Random transmitter/informed state for a sweep test.
+    struct Setup {
+        g: radio_graph::Graph,
+        layout: TileLayout,
+        tc: AlignedWords,
+        remap: Vec<u32>,
+        informed0: AlignedWords,
+        full_pattern: Vec<u64>,
+    }
+
+    fn random_setup(n: usize, lanes: usize, seed: u64) -> Setup {
+        let mut rng = Xoshiro256pp::new(seed);
+        let g = sample_gnp(n, 12.0 / n as f64, &mut rng);
+        let layout = TileLayout::new(lanes);
+        let c = layout.words_per_node();
+        let full_pattern = layout.full_pattern();
+        // ~1/4 of nodes transmit on random lane subsets.
+        let mut remap = vec![0u32; n];
+        let mut chunks: Vec<Vec<u64>> = vec![vec![0u64; c]];
+        for (v, r) in remap.iter_mut().enumerate() {
+            if rng.next_f64() < 0.25 {
+                let chunk: Vec<u64> = (0..c).map(|w| rng.next() & full_pattern[w]).collect();
+                if chunk.iter().any(|&w| w != 0) {
+                    *r = chunks.len() as u32;
+                    chunks.push(chunk);
+                    continue;
+                }
+            }
+            let _ = v;
+        }
+        let mut tc = AlignedWords::zeroed(chunks.len() * c);
+        for (i, chunk) in chunks.iter().enumerate() {
+            tc[i * c..i * c + c].copy_from_slice(chunk);
+        }
+        // ~1/3 of (node, lane) pairs start informed.
+        let mut informed0 = AlignedWords::zeroed(layout.plane_words(n));
+        for v in 0..n {
+            for w in 0..c {
+                informed0[v * c + w] = rng.next() & rng.next() & full_pattern[w];
+            }
+        }
+        Setup {
+            g,
+            layout,
+            tc,
+            remap,
+            informed0,
+            full_pattern,
+        }
+    }
+
+    /// One `(v, w, reached, collide, e1)` resolve-closure invocation.
+    type ResolveLog = Vec<(usize, usize, u64, u64, u64)>;
+
+    /// Runs one sweep with a logging closure; returns (log, informed,
+    /// full_bits).
+    fn run_sweep(s: &Setup, scalar_only: bool) -> (ResolveLog, Vec<u64>, Vec<u64>) {
+        let n = s.g.n();
+        let c = s.layout.words_per_node();
+        let mut informed = AlignedWords::zeroed(s.layout.plane_words(n));
+        informed.copy_from_slice(&s.informed0);
+        let mut full_bits = vec![0u64; n.div_ceil(64)];
+        for v in 0..n {
+            if informed[v * c..v * c + c] == s.full_pattern[..] {
+                full_bits[v >> 6] |= 1 << (v & 63);
+            }
+        }
+        let full_before = full_bits.clone();
+        let max_deg = (0..n).map(|v| s.g.degree(v as NodeId)).max().unwrap_or(0);
+        let mut idx_scratch = vec![0u32; max_deg + 16];
+        let table = TiledTable {
+            graph: &s.g,
+            tc: &s.tc,
+            remap: &s.remap,
+            c,
+            full_pattern: &s.full_pattern,
+        };
+        let mut log = Vec::new();
+        let mut resolve = |v: usize, w: usize, reached: u64, collide: u64, e1: u64| {
+            log.push((v, w, reached, collide, e1));
+            e1
+        };
+        if scalar_only {
+            sweep_rows_scalar(&table, 0, n, &mut informed, &mut full_bits, &mut resolve);
+        } else {
+            sweep_rows(
+                &table,
+                0,
+                n,
+                &mut informed,
+                &mut full_bits,
+                &mut idx_scratch,
+                &mut resolve,
+            );
+        }
+        // already-full rows must have been skipped untouched
+        for v in 0..n {
+            if full_before[v >> 6] >> (v & 63) & 1 != 0 {
+                assert_eq!(&informed[v * c..v * c + c], &s.informed0[v * c..v * c + c]);
+            }
+        }
+        (log, informed.to_vec(), full_bits)
+    }
+
+    #[test]
+    fn scalar_and_dispatch_paths_agree_bit_for_bit() {
+        for (n, lanes, seed) in [(130, 64, 1u64), (130, 200, 2), (257, 1024, 3), (64, 1, 4)] {
+            let s = random_setup(n, lanes, seed);
+            let (log_s, inf_s, full_s) = run_sweep(&s, true);
+            let (log_d, inf_d, full_d) = run_sweep(&s, false);
+            assert_eq!(log_s, log_d, "closure logs diverge at n={n} lanes={lanes}");
+            assert_eq!(
+                inf_s, inf_d,
+                "informed planes diverge at n={n} lanes={lanes}"
+            );
+            assert_eq!(full_s, full_d, "full bits diverge at n={n} lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_per_lane_reference() {
+        let s = random_setup(150, 130, 9);
+        let n = s.g.n();
+        let c = s.layout.words_per_node();
+        let (log, informed, full_bits) = run_sweep(&s, false);
+        // Reference: per (node, lane), count transmitting neighbors.
+        let lane_bit = |plane: &[u64], v: usize, l: usize| plane[v * c + (l >> 6)] >> (l & 63) & 1;
+        let mut expect_inf: Vec<u64> = s.informed0.to_vec();
+        let mut expect_log = Vec::new();
+        for v in 0..n {
+            if (0..c).all(|w| s.informed0[v * c + w] == s.full_pattern[w]) {
+                continue; // skipped as already-full
+            }
+            for w in 0..c {
+                let (mut reached, mut collide) = (0u64, 0u64);
+                for bit in 0..64 {
+                    let l = w * 64 + bit;
+                    if l >= s.layout.lanes() {
+                        break;
+                    }
+                    let tx = |u: usize| {
+                        let r = s.remap[u] as usize;
+                        r != 0 && s.tc[r * c + (l >> 6)] >> (l & 63) & 1 == 1
+                    };
+                    if tx(v) || lane_bit(&s.informed0, v, l) == 1 {
+                        continue;
+                    }
+                    let cnt =
+                        s.g.neighbors(v as u32)
+                            .iter()
+                            .filter(|&&u| tx(u as usize))
+                            .count();
+                    if cnt >= 1 {
+                        reached |= 1 << bit;
+                    }
+                    if cnt >= 2 {
+                        collide |= 1 << bit;
+                    }
+                }
+                if reached != 0 {
+                    let e1 = reached & !collide;
+                    expect_log.push((v, w, reached, collide, e1));
+                    expect_inf[v * c + w] |= e1;
+                }
+            }
+        }
+        assert_eq!(log, expect_log);
+        assert_eq!(informed, expect_inf);
+        for v in 0..n {
+            let now_full = (0..c).all(|w| expect_inf[v * c + w] == s.full_pattern[w]);
+            assert_eq!(
+                full_bits[v >> 6] >> (v & 63) & 1 == 1,
+                now_full,
+                "full bit wrong for node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn delivered_word_from_closure_is_what_lands_in_informed() {
+        // A lossy-style closure that keeps only even bits of e1.
+        let s = random_setup(96, 70, 21);
+        let n = s.g.n();
+        let c = s.layout.words_per_node();
+        let mut informed = AlignedWords::zeroed(s.layout.plane_words(n));
+        informed.copy_from_slice(&s.informed0);
+        let mut full_bits = vec![0u64; n.div_ceil(64)];
+        let max_deg = (0..n).map(|v| s.g.degree(v as u32)).max().unwrap_or(0);
+        let mut idx_scratch = vec![0u32; max_deg + 16];
+        let table = TiledTable {
+            graph: &s.g,
+            tc: &s.tc,
+            remap: &s.remap,
+            c,
+            full_pattern: &s.full_pattern,
+        };
+        const EVEN: u64 = 0x5555_5555_5555_5555;
+        let mut log = Vec::new();
+        sweep_rows(
+            &table,
+            0,
+            n,
+            &mut informed,
+            &mut full_bits,
+            &mut idx_scratch,
+            &mut |v, w, _r, _cl, e1| {
+                log.push((v, w, e1));
+                e1 & EVEN
+            },
+        );
+        for (v, w, e1) in log {
+            let expect = s.informed0[v * c + w] | (e1 & EVEN);
+            assert_eq!(informed[v * c + w], expect, "node {v} word {w}");
+        }
+    }
+}

@@ -11,6 +11,12 @@
 # Labels present on only one side are never dropped: they are listed with
 # a `new` / `gone` marker.  The baseline is the committed (HEAD)
 # BENCH_sim.json, so a dirty working-tree report never skews it.
+#
+# Points carrying an elems_per_sec throughput field get a second pass:
+# any point more than 20% below the committed baseline is flagged with a
+# warning.  Warn-only by design — shared machines are noisy and a hard
+# failure would train people to ignore the gate — but every offender is
+# listed so a real kernel regression is visible at a glance.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -68,4 +74,33 @@ awk -F'\t' '
   cat
 }
 
-rm -f "$baseline.tsv" "$new.tsv"
+# Second pass: throughput points.  Same label/value pairing rule as
+# mean_ns, applied to elems_per_sec (higher is better).
+extract_tput() {
+  awk '
+    /"label":/         { gsub(/.*"label": "|",?$/, ""); label = $0; paired = 0 }
+    /"elems_per_sec":/ {
+      if (!paired) { gsub(/.*"elems_per_sec": |,?$/, ""); print label "\t" $0; paired = 1 }
+    }
+  ' "$1"
+}
+
+extract_tput "$baseline" > "$baseline.tput.tsv"
+extract_tput "$new" > "$new.tput.tsv"
+
+awk -F'\t' '
+  NR == FNR { base[$1] = $2; next }
+  {
+    if ($1 in base && base[$1] > 0 && $2 < base[$1] * 0.8) {
+      pct = (base[$1] - $2) / base[$1] * 100
+      printf "warning: %-45s throughput down %.1f%% (%.4g -> %.4g elems/s)\n", $1, pct, base[$1], $2
+      regressed++
+    }
+  }
+  END {
+    if (regressed)
+      printf "warning: %d throughput point(s) regressed more than 20%% vs the committed baseline\n", regressed
+  }
+' "$baseline.tput.tsv" "$new.tput.tsv" >&2
+
+rm -f "$baseline.tsv" "$new.tsv" "$baseline.tput.tsv" "$new.tput.tsv"

@@ -46,6 +46,18 @@ step "backend differential suite (debug)"
 cargo test --offline -q -p radio-sim sweep
 cargo test --offline -q -p radio-integration --test backend_differential
 
+# The tiled-kernel contract: every lane is bit-identical to the scalar
+# and batch runners, and the whole result vector is invariant under the
+# intra-round worker count.  The suite pins worker counts 1/3/8
+# internally; the RADIO_THREADS sweep additionally pins the env-driven
+# default pool size the CLI picks up.
+step "tiled kernel differential suite (debug)"
+cargo test --offline -q -p radio-sim tiled
+for threads in 1 8; do
+  RADIO_THREADS="$threads" cargo test --offline -q \
+    -p radio-integration --test kernel_differential
+done
+
 if [ "$fast" -eq 0 ]; then
   step "cargo build --release"
   cargo build --workspace --release --offline -q
@@ -77,6 +89,17 @@ if [ "$fast" -eq 0 ]; then
   step "backend differential suite (release)"
   cargo test --release --offline -q -p radio-sim sweep
   cargo test --release --offline -q -p radio-integration --test backend_differential
+
+  # The tiled kernel re-runs in release under both a serial and an
+  # oversubscribed pool: the AVX-512 sweep, the compact transmitter
+  # table, and the block-cursor work stealing must stay bit-identical
+  # to the scalar engine under optimization.
+  step "tiled kernel differential suite (release)"
+  cargo test --release --offline -q -p radio-sim tiled
+  for threads in 1 8; do
+    RADIO_THREADS="$threads" cargo test --release --offline -q \
+      -p radio-integration --test kernel_differential
+  done
 
   # The experiment registry: the driver must list all experiments, and the
   # smoke suite runs every registered experiment at a tiny grid and checks

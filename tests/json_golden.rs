@@ -60,6 +60,7 @@ fn sample_run_report() -> RunReport {
         round_to_99: Some(2),
         wall_ns: Some(12_345),
         kernel: Some("dense".into()),
+        threads: None,
         batch_lanes: None,
         faults: None,
         events: vec![
