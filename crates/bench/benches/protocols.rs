@@ -7,7 +7,7 @@ use radio_bench::harness::Harness;
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::gnp::sample_gnp;
 use radio_graph::Xoshiro256pp;
-use radio_sim::{run_protocol, RunConfig, TraceLevel};
+use radio_sim::{RunConfig, RunSpec, TraceLevel};
 use std::hint::black_box;
 
 fn main() {
@@ -22,12 +22,22 @@ fn main() {
     h.bench("eg_distributed", || {
         let mut rng = Xoshiro256pp::new(17);
         let mut proto = EgDistributed::new(p);
-        black_box(run_protocol(&g, 0, &mut proto, cfg, &mut rng))
+        black_box(
+            RunSpec::on_graph(&g, 0)
+                .with_config(cfg)
+                .run_with_rng(&mut proto, &mut rng)
+                .into_single(),
+        )
     });
     h.bench("decay", || {
         let mut rng = Xoshiro256pp::new(17);
         let mut proto = Decay::new();
-        black_box(run_protocol(&g, 0, &mut proto, cfg, &mut rng))
+        black_box(
+            RunSpec::on_graph(&g, 0)
+                .with_config(cfg)
+                .run_with_rng(&mut proto, &mut rng)
+                .into_single(),
+        )
     });
     h.finish();
 }

@@ -1,6 +1,6 @@
-//! Shared plumbing for the experiment binaries.
+//! Shared plumbing for the experiments.
 //!
-//! Every `exp_*` binary follows the same skeleton: parse a handful of flags
+//! Every experiment follows the same skeleton: parse a handful of flags
 //! ([`ExpArgs`]), fan Monte-Carlo trials over a scoped thread pool with per-trial derived
 //! seeds, aggregate with `radio-analysis`, print a markdown table, and drop
 //! the raw rows as CSV under `target/experiments/`.
@@ -9,7 +9,7 @@ use radio_analysis::Summary;
 use radio_graph::components::is_connected;
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
-use radio_sim::{run_protocol_batch, run_trials, Backend, Protocol, RunConfig, TraceLevel};
+use radio_sim::{run_trials, Backend, Protocol, RunConfig, RunSpec, TraceLevel};
 
 /// Command-line arguments shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -206,7 +206,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: radio-bench [list | run <name>... | all] [--quick | --full] [--seed N]\n       [--trials N] [--n N] [--backend auto|explicit|implicit|sharded]\n       [--json PATH] [--json-dir DIR] [--grid k=v,...]\n(the exp_* binaries are deprecated aliases taking the same flags)"
+        "usage: radio-bench [list | run <name>... | all] [--quick | --full] [--seed N]\n       [--trials N] [--n N] [--backend auto|explicit|implicit|sharded]\n       [--json PATH] [--json-dir DIR] [--grid k=v,...]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -289,8 +289,8 @@ where
 }
 
 /// Two-level Monte-Carlo with an explicit lane count: `graphs` graph
-/// samples × `lanes` protocol trials per graph
-/// ([`run_protocol_batch`]), aggregated into one point.
+/// samples × `lanes` protocol trials per graph (a multi-lane
+/// [`RunSpec`]), aggregated into one point.
 pub fn measure_protocol_batch<P, F>(
     n: usize,
     p: f64,
@@ -315,7 +315,12 @@ where
         let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
         let lane_seed = rng.next();
         let d = g.average_degree();
-        let lanes_out = run_protocol_batch(&g, source, &mut proto, cfg, lane_seed, lanes)
+        let lanes_out = RunSpec::on_graph(&g, source)
+            .with_config(cfg)
+            .with_lanes(lanes)
+            .with_master_seed(lane_seed)
+            .run(&mut proto)
+            .lanes
             .into_iter()
             .map(|r| (r.completed.then_some(r.rounds), d))
             .collect();

@@ -91,7 +91,7 @@ impl Experiment for Compare {
                 "eg-unknown-p" => measure_protocol(n, p, trials, seed, EgUnknownDegree::new),
                 "flooding" => measure_protocol(n, p, trials, seed, || Flooding),
                 "round-robin" => measure_custom(n, p, trials, seed, |rng| {
-                    use radio_sim::{run_protocol, RunConfig};
+                    use radio_sim::{RunConfig, RunSpec};
                     let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
                         return (None, 0.0);
                     };
@@ -101,11 +101,14 @@ impl Experiment for Compare {
                     let cfg = RunConfig::for_graph(n)
                         .with_max_rounds((n as u32).saturating_mul(24))
                         .with_trace(TraceLevel::SummaryOnly);
-                    let r = run_protocol(&g, source, &mut proto, cfg, rng);
+                    let r = RunSpec::on_graph(&g, source)
+                        .with_config(cfg)
+                        .run_with_rng(&mut proto, rng)
+                        .into_single();
                     (r.completed.then_some(r.rounds), g.average_degree())
                 }),
                 "selective-family" => measure_custom(n, p, trials, seed, |rng| {
-                    use radio_sim::{run_protocol, RunConfig};
+                    use radio_sim::{RunConfig, RunSpec};
                     let Some((g, _)) = sample_connected_gnp(n, p, rng, 50) else {
                         return (None, 0.0);
                     };
@@ -116,7 +119,10 @@ impl Experiment for Compare {
                     let cfg = RunConfig::for_graph(n)
                         .with_max_rounds(period.saturating_mul(40))
                         .with_trace(TraceLevel::SummaryOnly);
-                    let r = run_protocol(&g, source, &mut proto, cfg, rng);
+                    let r = RunSpec::on_graph(&g, source)
+                        .with_config(cfg)
+                        .run_with_rng(&mut proto, rng)
+                        .into_single();
                     (r.completed.then_some(r.rounds), g.average_degree())
                 }),
                 "push-gossip" => measure_custom(n, p, trials, seed, |rng| {

@@ -16,7 +16,7 @@
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Table};
 use radio_broadcast::distributed::Flooding;
 use radio_graph::NodeId;
-use radio_sim::{run_protocol, run_trials, Json, RunConfig, TraceLevel};
+use radio_sim::{run_trials, Json, RunConfig, RunSpec, TraceLevel};
 
 use crate::common::{point_seed, sample_connected_gnp, write_csv};
 use crate::outln;
@@ -80,7 +80,10 @@ impl Experiment for Flood {
                 let cfg = RunConfig::for_graph(n)
                     .with_max_rounds((8.0 * ln_n) as u32 + 100)
                     .with_trace(TraceLevel::SummaryOnly);
-                let r = run_protocol(&g, source, &mut Flooding, cfg, rng);
+                let r = RunSpec::on_graph(&g, source)
+                    .with_config(cfg)
+                    .run_with_rng(&mut Flooding, rng)
+                    .into_single();
                 (r.completed, r.informed_fraction(), r.rounds)
             });
             let valid: Vec<&(bool, f64, u32)> =

@@ -3,9 +3,7 @@
 //!
 //! Bodies print through [`crate::outln!`] and derive every measurement
 //! seed with [`crate::common::point_seed`] from the master seed, so the
-//! registry can run them in parallel with bit-identical output.  The
-//! deprecated `exp_*` binaries in `src/bin/` are thin shims over
-//! [`crate::registry::run_named`].
+//! registry can run them in parallel with bit-identical output.
 
 pub mod ablation;
 pub mod compare;

@@ -28,8 +28,7 @@ use radio_analysis::{fnum, proportion_ci, CsvWriter, Summary, Table};
 use radio_broadcast::distributed::{Decay, EgDistributed, Restartable};
 use radio_graph::NodeId;
 use radio_sim::{
-    run_protocol, run_protocol_faulty, run_protocol_multi, run_trials, FaultConfig, FaultPlan,
-    Json, Protocol, RunConfig, TraceLevel,
+    run_trials, FaultConfig, FaultPlan, Json, Protocol, RunConfig, RunSpec, TraceLevel,
 };
 
 use crate::common::{point_seed, sample_connected_gnp, write_csv};
@@ -146,7 +145,10 @@ impl Experiment for Robust {
                         "eg-distributed" => Box::new(EgDistributed::new(p)),
                         _ => Box::new(Decay::new()),
                     };
-                    let r = run_protocol(&g, source, proto.as_mut(), cfg, rng);
+                    let r = RunSpec::on_graph(&g, source)
+                        .with_config(cfg)
+                        .run_with_rng(proto.as_mut(), rng)
+                        .into_single();
                     (r.completed.then_some(r.rounds), rejected)
                 });
                 let rounds: Vec<f64> = results
@@ -256,7 +258,11 @@ impl Experiment for Robust {
                                 .with_max_rounds(budget)
                                 .with_trace(TraceLevel::SummaryOnly);
                             let mut proto = fm_protocol(proto_name, p);
-                            let r = run_protocol_faulty(&g, source, &mut proto, cfg, &plan, rng);
+                            let r = RunSpec::on_graph(&g, source)
+                                .with_config(cfg)
+                                .with_faults(&plan)
+                                .run_with_rng(&mut proto, rng)
+                                .into_single();
                             let residual =
                                 r.faults.map_or(0, |summary| summary.residual_uninformed);
                             Some((
@@ -344,7 +350,11 @@ impl Experiment for Robust {
                 let sources: Vec<NodeId> = (0..k).map(|_| rng.below(n as u64) as NodeId).collect();
                 let mut proto = EgDistributed::new(p);
                 let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
-                let r = run_protocol_multi(&g, &sources, &mut proto, cfg, rng);
+                let r = RunSpec::on_graph(&g, 0)
+                    .with_sources(&sources)
+                    .with_config(cfg)
+                    .run_with_rng(&mut proto, rng)
+                    .into_single();
                 if r.completed {
                     r.rounds as f64
                 } else {

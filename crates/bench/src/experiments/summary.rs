@@ -23,7 +23,10 @@
 //! runs the Theorem-7-shaped EG broadcast on the **implicit** backend at
 //! `n = 10⁴…10⁶` (`10⁷` in `--full`) with no adjacency in memory,
 //! recording rounds, wall time, edge throughput, and the process's peak
-//! RSS — the measured table behind `docs/SCALING.md`.
+//! RSS — the measured table behind `docs/SCALING.md`.  Section 4b repeats
+//! the largest size(s) with 64 trial lanes riding one regenerated edge
+//! stream (the planner's lane-sweep engine), recording
+//! trials-per-wall-second against the lane-1 baseline.
 //!
 //! Unlike the other experiments, this one writes JSON *by default*: to
 //! `BENCH_sim.json` in the current directory unless `--json PATH`,
@@ -36,8 +39,8 @@ use radio_graph::{AlignedWords, GraphProvider, ImplicitGnp, NodeId, TileLayout, 
 use radio_sim::batch::{execute_lane_round, LaneScratch};
 use radio_sim::wide::{sweep_rows, TiledTable};
 use radio_sim::{
-    run_protocol_batch, run_protocol_provider, run_schedule, run_schedule_observed, BroadcastState,
-    EngineKernel, Json, KernelUsed, NoopObserver, RoundEngine, RunConfig, Schedule, TraceLevel,
+    run_schedule, run_schedule_observed, BroadcastState, EngineKernel, Json, KernelUsed,
+    NoopObserver, PlannedEngine, RoundEngine, RunConfig, RunSpec, Schedule, TraceLevel,
     TransmitterPolicy,
 };
 use std::hint::black_box;
@@ -360,7 +363,12 @@ impl Experiment for Summary {
         let mut proto_t = EgDistributed::new(dk / nk as f64);
         let lane_seed = rng.next();
         let start = std::time::Instant::now();
-        let results = run_protocol_batch(&gk, 0, &mut proto_t, cfg_t, lane_seed, lanes_t);
+        let results = RunSpec::on_graph(&gk, 0)
+            .with_config(cfg_t)
+            .with_lanes(lanes_t)
+            .with_master_seed(lane_seed)
+            .run(&mut proto_t)
+            .lanes;
         let wall_s = start.elapsed().as_secs_f64();
         debug_assert!(results.iter().all(|r| r.kernel == KernelUsed::Tiled));
         let completed = results.iter().filter(|r| r.completed).count();
@@ -465,7 +473,8 @@ impl Experiment for Summary {
             ctx,
             "\n## 4. Implicit-backend scale (EG, p = 2.5·ln n/n, no stored adjacency)\n"
         );
-        for n_s in scale_ns {
+        let mut scalar_wall: Vec<(usize, f64)> = Vec::new();
+        for n_s in scale_ns.clone() {
             let p_s = scale_p(n_s);
             let seed = point_seed(args.seed, &format!("sum/scale/{n_s}"));
             let mut rng = Xoshiro256pp::new(seed);
@@ -475,8 +484,12 @@ impl Experiment for Summary {
             let cfg = RunConfig::for_graph(n_s).with_trace(TraceLevel::SummaryOnly);
             let mut proto = EgDistributed::new(p_s);
             let start = std::time::Instant::now();
-            let r = run_protocol_provider(&imp, 1, source, &mut proto, cfg, &mut rng);
+            let r = RunSpec::on_provider(&imp, 1, source)
+                .with_config(cfg)
+                .run_with_rng(&mut proto, &mut rng)
+                .into_single();
             let wall_s = start.elapsed().as_secs_f64();
+            scalar_wall.push((n_s, wall_s));
             debug_assert_eq!(r.kernel, KernelUsed::Sweep);
             // Edge-visit throughput: every round sweeps all ~m forward edges.
             let m_exp = imp.edge_hint() as f64;
@@ -509,6 +522,79 @@ impl Experiment for Summary {
                 .field("edge_visits_per_s", Json::from(edges_per_s));
             if let Some(kib) = rss {
                 point = point.field("peak_rss_kib", Json::from(kib));
+            }
+            report.push(point);
+        }
+
+        // ---- 4b. batched implicit scale ---------------------------------------
+        // The same scale run with 64 trial lanes riding one regenerated
+        // edge stream per round (the planner's lane-sweep engine): the
+        // O(m)-per-round stream regeneration is paid once for all lanes
+        // instead of once per trial, so trials-per-wall-second scales
+        // almost with the lane count.  Measured at the largest size(s) of
+        // the sweep; `trials_per_s_vs_scalar` is the headline ratio
+        // against the matching lane-1 point above.
+        let lanes_s = radio_sim::MAX_LANES;
+        let batch_ns: Vec<usize> = {
+            let take = if args.full { 2 } else { 1 };
+            let mut v: Vec<usize> = scalar_wall
+                .iter()
+                .rev()
+                .take(take)
+                .map(|&(n, _)| n)
+                .collect();
+            v.reverse();
+            v
+        };
+        outln!(
+            ctx,
+            "\n## 4b. Batched implicit scale ({lanes_s} lanes per edge stream)\n"
+        );
+        for n_s in batch_ns {
+            let p_s = scale_p(n_s);
+            let seed = point_seed(args.seed, &format!("sum/scale-batch/{n_s}"));
+            let mut rng = Xoshiro256pp::new(seed);
+            let graph_seed = rng.next();
+            let source = rng.below(n_s as u64) as NodeId;
+            let imp = ImplicitGnp::new(n_s, p_s, graph_seed);
+            let cfg = RunConfig::for_graph(n_s).with_trace(TraceLevel::SummaryOnly);
+            let mut proto = EgDistributed::new(p_s);
+            let lane_seed = rng.next();
+            let start = std::time::Instant::now();
+            let outcome = RunSpec::on_provider(&imp, 1, source)
+                .with_config(cfg)
+                .with_lanes(lanes_s)
+                .with_master_seed(lane_seed)
+                .run(&mut proto);
+            let wall_s = start.elapsed().as_secs_f64();
+            debug_assert_eq!(outcome.plan.engine, PlannedEngine::LaneSweep);
+            let completed = outcome.lanes.iter().filter(|r| r.completed).count();
+            let rounds_mean =
+                outcome.lanes.iter().map(|r| r.rounds as f64).sum::<f64>() / lanes_s.max(1) as f64;
+            let trials_per_s = lanes_s as f64 / wall_s.max(1e-9);
+            let speedup = scalar_wall
+                .iter()
+                .find(|&&(n, _)| n == n_s)
+                .map(|&(_, w)| trials_per_s * w.max(1e-9));
+            outln!(
+                ctx,
+                "n = {n_s:>9}: {completed}/{lanes_s} lanes completed, mean {rounds_mean:.1} rounds, \
+                 {wall_s:.1} s  ({trials_per_s:.2} trials/s{})",
+                speedup.map_or(String::new(), |s| format!(", {s:.1}x vs lane-1"))
+            );
+            let label = format!("provider/implicit_eg_batch{lanes_s}_n{n_s}");
+            let mut point = BenchPoint::new(&label)
+                .field("n", Json::from(n_s as u64))
+                .field("p", Json::from(p_s))
+                .field("backend", Json::from("implicit"))
+                .field("plan_engine", Json::from(outcome.plan.engine.as_str()))
+                .field("batch_lanes", Json::from(lanes_s))
+                .field("completed", Json::from(completed as u64))
+                .field("rounds_mean", Json::from(rounds_mean))
+                .field("wall_s", Json::from(wall_s))
+                .field("trials_per_s", Json::from(trials_per_s));
+            if let Some(s) = speedup {
+                point = point.field("trials_per_s_vs_scalar", Json::from(s));
             }
             report.push(point);
         }

@@ -24,9 +24,7 @@ use radio_analysis::{fit_log_form, fnum, CsvWriter, Table};
 use radio_broadcast::distributed::EgDistributed;
 use radio_broadcast::theory::distributed_bound;
 use radio_graph::ImplicitGnp;
-use radio_sim::{
-    resolve_backend, run_protocol_provider, thread_budget, Backend, Json, RunConfig, TraceLevel,
-};
+use radio_sim::{resolve_backend, thread_budget, Backend, Json, RunConfig, RunSpec, TraceLevel};
 
 use crate::common::{measure_custom, measure_protocol, point_seed, write_csv};
 use crate::outln;
@@ -248,7 +246,10 @@ fn run_scale_sweep(exp: &T7, ctx: &ExpContext) -> BenchReport {
             let imp = ImplicitGnp::new(n, p, graph_seed);
             let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
             let mut proto = EgDistributed::new(p);
-            let r = run_protocol_provider(&imp, shards, source, &mut proto, cfg, rng);
+            let r = RunSpec::on_provider(&imp, shards, source)
+                .with_config(cfg)
+                .run_with_rng(&mut proto, rng)
+                .into_single();
             (r.completed.then_some(r.rounds), imp.expected_degree())
         });
         let wall_s = start.elapsed().as_secs_f64();

@@ -17,7 +17,7 @@
 use radio_analysis::{fnum, proportion_ci, CsvWriter, Table};
 use radio_broadcast::lower_bound::{eg_profile, ProbabilityProfile};
 use radio_graph::NodeId;
-use radio_sim::{run_protocol, run_trials, Json, RunConfig, TraceLevel};
+use radio_sim::{run_trials, Json, RunConfig, RunSpec, TraceLevel};
 
 use crate::common::{point_seed, sample_connected_gnp, write_csv};
 use crate::outln;
@@ -105,7 +105,11 @@ impl Experiment for T8 {
                     let cfg = RunConfig::for_graph(n)
                         .with_max_rounds(horizon)
                         .with_trace(TraceLevel::SummaryOnly);
-                    run_protocol(&g, source, &mut prof, cfg, rng).completed
+                    RunSpec::on_graph(&g, source)
+                        .with_config(cfg)
+                        .run_with_rng(&mut prof, rng)
+                        .into_single()
+                        .completed
                 })
                 .into_iter()
                 .filter(|&x| x)

@@ -22,7 +22,7 @@ use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::chung_lu::{power_law_weights, sample_chung_lu};
 use radio_graph::hard::{barbell, clique_chain, layered_expander};
 use radio_graph::{child_rng, gnp::sample_gnp, Graph, NodeId, Xoshiro256pp};
-use radio_sim::{run_protocol, run_trials, Json, Protocol, RunConfig, TraceLevel};
+use radio_sim::{run_trials, Json, Protocol, RunConfig, RunSpec, TraceLevel};
 
 use crate::common::point_seed;
 use crate::outln;
@@ -108,7 +108,10 @@ impl Experiment for Worstcase {
                     let cfg = RunConfig::for_graph(g.n())
                         .with_max_rounds(40_000)
                         .with_trace(TraceLevel::SummaryOnly);
-                    let r = run_protocol(g, source, proto.as_mut(), cfg, &mut rng);
+                    let r = RunSpec::on_graph(g, source)
+                        .with_config(cfg)
+                        .run_with_rng(proto.as_mut(), &mut rng)
+                        .into_single();
                     r.completed.then_some(r.rounds)
                 });
                 let rounds: Vec<f64> = outcomes.iter().flatten().map(|&r| r as f64).collect();

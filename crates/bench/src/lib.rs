@@ -19,10 +19,6 @@
 //! radio-bench all --json-dir out/  # the whole suite, parallel
 //! ```
 //!
-//! The historical one-binary-per-experiment entry points (`exp_t5`, …,
-//! `exp_summary` in `src/bin/`) remain as deprecated aliases; each is a
-//! thin shim over [`registry::run_named`].
-//!
 //! This library crate holds the shared experiment plumbing ([`common`]),
 //! the registry core ([`registry`]) and experiment implementations
 //! ([`experiments`]), the hand-rolled micro-benchmark harness ([`harness`])

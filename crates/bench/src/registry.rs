@@ -207,9 +207,9 @@ pub fn run_many(exps: &[&'static dyn Experiment], args: &ExpArgs) -> Vec<RunOutc
         .collect()
 }
 
-/// Entry point for the deprecated per-experiment shim binaries
-/// (`exp_t5`, ...): parse the standard flags, run the one named
-/// experiment, print its output.
+/// Runs one named experiment with the standard flags from `argv` and
+/// prints its output (the programmatic equivalent of
+/// `radio-bench run <name>`).
 pub fn run_named(name: &str) {
     let args = ExpArgs::parse();
     let Some(exp) = find(name) else {

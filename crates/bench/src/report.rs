@@ -191,6 +191,7 @@ impl BenchReport {
                 || key.ends_with("_s")
                 || key.contains("_ns_")
                 || key.contains("_ms_")
+                || key.contains("_per_s")
                 || key == "elems_per_sec"
                 || key == "iters_per_sample"
                 || key == "peak_rss_kib"

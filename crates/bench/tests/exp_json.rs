@@ -1,7 +1,8 @@
-//! End-to-end check that the experiment binaries' `--json` reports agree
-//! with their ASCII output.
+//! End-to-end check that the driver's `--json` reports agree with its
+//! ASCII output.
 //!
-//! Runs the compiled `exp_t7` in quick mode with a tiny trial count, parses
+//! Runs the compiled `radio-bench run t7` in quick mode with a tiny trial
+//! count, parses
 //! the JSON report it writes, and verifies (a) the schema envelope, and
 //! (b) that every per-point round mean in the JSON also appears in the
 //! rendered ASCII table — the two outputs are two views of one measurement.
@@ -19,8 +20,10 @@ fn exp_t7_json_report_matches_ascii_output() {
     let json_path = dir.join("t7.json");
     let _ = std::fs::remove_file(&json_path);
 
-    let out = Command::new(env!("CARGO_BIN_EXE_exp_t7"))
+    let out = Command::new(env!("CARGO_BIN_EXE_radio-bench"))
         .args([
+            "run",
+            "t7",
             "--quick",
             "--trials",
             "3",
@@ -30,10 +33,10 @@ fn exp_t7_json_report_matches_ascii_output() {
             json_path.to_str().unwrap(),
         ])
         .output()
-        .expect("spawn exp_t7");
+        .expect("spawn radio-bench");
     assert!(
         out.status.success(),
-        "exp_t7 failed:\nstdout: {}\nstderr: {}",
+        "radio-bench run t7 failed:\nstdout: {}\nstderr: {}",
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
@@ -92,11 +95,11 @@ fn exp_t7_env_var_output_matches_flag() {
     let json_path = dir.join("t7_env.json");
     let _ = std::fs::remove_file(&json_path);
 
-    let out = Command::new(env!("CARGO_BIN_EXE_exp_t7"))
-        .args(["--quick", "--trials", "2", "--seed", "5"])
+    let out = Command::new(env!("CARGO_BIN_EXE_radio-bench"))
+        .args(["run", "t7", "--quick", "--trials", "2", "--seed", "5"])
         .env("RADIO_JSON_OUT", &json_path)
         .output()
-        .expect("spawn exp_t7");
+        .expect("spawn radio-bench");
     assert!(out.status.success());
     let report = BenchReport::read(&json_path).expect("RADIO_JSON_OUT report parses");
     assert_eq!(report.experiment, "t7");

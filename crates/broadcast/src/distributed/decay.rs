@@ -59,7 +59,7 @@ impl Protocol for Decay {
 mod tests {
     use super::*;
     use radio_graph::gnp::sample_gnp;
-    use radio_sim::{run_protocol, RunConfig};
+    use radio_sim::{RunConfig, RunSpec};
 
     #[test]
     fn phase_length_is_log2() {
@@ -107,7 +107,10 @@ mod tests {
         let n = 2000;
         let g = sample_gnp(n, 20.0 / n as f64, &mut rng);
         let mut proto = Decay::new();
-        let r = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(n), &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed, "informed {}/{n}", r.informed);
     }
 
@@ -117,7 +120,10 @@ mod tests {
         let g = radio_graph::Graph::star(256);
         let mut rng = Xoshiro256pp::new(4);
         let mut proto = Decay::new();
-        let r = run_protocol(&g, 1, &mut proto, RunConfig::for_graph(256), &mut rng);
+        let r = RunSpec::on_graph(&g, 1)
+            .with_config(RunConfig::for_graph(256))
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed);
     }
 }

@@ -49,7 +49,10 @@ pub enum EgVariant {
 /// let mut rng = Xoshiro256pp::new(1);
 /// let g = sample_gnp(n, p, &mut rng);
 /// let mut proto = EgDistributed::new(p);
-/// let run = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(n), &mut rng);
+/// let run = RunSpec::on_graph(&g, 0)
+///     .with_config(RunConfig::for_graph(n))
+///     .run_with_rng(&mut proto, &mut rng)
+///     .into_single();
 /// assert!(run.completed);
 /// ```
 #[derive(Debug, Clone)]
@@ -138,7 +141,7 @@ impl Protocol for EgDistributed {
 mod tests {
     use super::*;
     use radio_graph::gnp::sample_gnp;
-    use radio_sim::{run_protocol, RunConfig};
+    use radio_sim::{RunConfig, RunSpec};
 
     #[test]
     fn stages_follow_round_structure() {
@@ -196,7 +199,10 @@ mod tests {
         let p = 25.0 / n as f64;
         let g = sample_gnp(n, p, &mut rng);
         let mut proto = EgDistributed::new(p);
-        let r = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(n), &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed, "informed {}/{}", r.informed, n);
         // O(ln n) scale: ln 4000 ≈ 8.3; allow a generous constant.
         assert!(r.rounds < 40 * 9, "rounds = {}", r.rounds);
@@ -209,7 +215,10 @@ mod tests {
         let p = 0.2;
         let g = sample_gnp(n, p, &mut rng);
         let mut proto = EgDistributed::new(p);
-        let r = run_protocol(&g, 7, &mut proto, RunConfig::for_graph(n), &mut rng);
+        let r = RunSpec::on_graph(&g, 7)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed);
     }
 

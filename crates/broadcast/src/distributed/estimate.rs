@@ -68,7 +68,7 @@ impl Protocol for EgUnknownDegree {
 mod tests {
     use super::*;
     use radio_graph::gnp::sample_gnp;
-    use radio_sim::{run_protocol, RunConfig};
+    use radio_sim::{RunConfig, RunSpec};
 
     #[test]
     fn guesses_cycle_through_powers_of_two() {
@@ -92,7 +92,10 @@ mod tests {
         let g = sample_gnp(n, d / n as f64, &mut rng);
         let mut proto = EgUnknownDegree::new();
         let cfg = RunConfig::for_graph(n);
-        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed, "informed {}/{n}", r.informed);
     }
 
@@ -107,7 +110,10 @@ mod tests {
                 continue;
             }
             let mut proto = EgUnknownDegree::new();
-            let r = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(n), &mut rng);
+            let r = RunSpec::on_graph(&g, 0)
+                .with_config(RunConfig::for_graph(n))
+                .run_with_rng(&mut proto, &mut rng)
+                .into_single();
             assert!(r.completed, "d = {d}: informed {}/{n}", r.informed);
         }
     }
@@ -120,9 +126,15 @@ mod tests {
         let p = 30.0 / n as f64;
         let g = sample_gnp(n, p, &mut rng);
         let mut unknown = EgUnknownDegree::new();
-        let r_unknown = run_protocol(&g, 0, &mut unknown, RunConfig::for_graph(n), &mut rng);
+        let r_unknown = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut unknown, &mut rng)
+            .into_single();
         let mut tuned = EgDistributed::new(p);
-        let r_tuned = run_protocol(&g, 0, &mut tuned, RunConfig::for_graph(n), &mut rng);
+        let r_tuned = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut tuned, &mut rng)
+            .into_single();
         assert!(r_unknown.completed && r_tuned.completed);
         // Knowledge of p buys a real constant/log factor.
         assert!(

@@ -141,7 +141,7 @@ mod tests {
     use super::*;
     use crate::distributed::{Decay, EgDistributed};
     use radio_graph::gnp::sample_gnp;
-    use radio_sim::{run_protocol, run_protocol_faulty, FaultPlan, RunConfig};
+    use radio_sim::{FaultPlan, RunConfig, RunSpec};
 
     #[test]
     fn epochs_restart_with_backoff() {
@@ -182,7 +182,10 @@ mod tests {
         let n = 1000;
         let g = sample_gnp(n, 16.0 / n as f64, &mut rng);
         let mut p = Restartable::auto(EgDistributed::new(16.0 / n as f64));
-        let r = run_protocol(&g, 0, &mut p, RunConfig::for_graph(n), &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut p, &mut rng)
+            .into_single();
         assert!(r.completed, "informed {}/{n}", r.informed);
     }
 
@@ -206,7 +209,11 @@ mod tests {
         let cfg = RunConfig::for_graph(n);
         let mut rng = Xoshiro256pp::new(9);
         let mut wrapped = Restartable::auto(EgDistributed::new(p_edge));
-        let r = run_protocol_faulty(&g, 0, &mut wrapped, cfg, &plan, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .with_faults(&plan)
+            .run_with_rng(&mut wrapped, &mut rng)
+            .into_single();
         let summary = r.faults.expect("faulty run carries a summary");
         assert_eq!(
             summary.residual_uninformed, 0,

@@ -171,7 +171,7 @@ impl Protocol for SelectiveBroadcast {
 mod tests {
     use super::*;
     use radio_graph::gnp::sample_gnp;
-    use radio_sim::{run_protocol, RunConfig};
+    use radio_sim::{RunConfig, RunSpec};
 
     #[test]
     fn prime_helpers() {
@@ -233,7 +233,10 @@ mod tests {
         let period = proto.family().len() as u32;
         // Budget: diameter · period is certainly enough.
         let cfg = RunConfig::for_graph(n).with_max_rounds(period * 64);
-        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         // The run is on the giant component only if connected; tolerate
         // disconnected samples by checking informed ≥ component reachability
         // via completion OR stagnation at a fixed point.

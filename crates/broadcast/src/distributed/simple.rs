@@ -87,7 +87,7 @@ mod tests {
     use super::*;
     use radio_graph::gnp::sample_gnp;
     use radio_graph::Graph;
-    use radio_sim::{run_protocol, RunConfig, TraceLevel};
+    use radio_sim::{RunConfig, RunSpec, TraceLevel};
 
     #[test]
     fn round_robin_is_collision_free() {
@@ -98,7 +98,10 @@ mod tests {
         let cfg = RunConfig::for_graph(n)
             .with_max_rounds((n * n) as u32)
             .with_trace(TraceLevel::PerRound);
-        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed);
         assert_eq!(r.total_collisions(), 0);
         // At most one transmitter per round.
@@ -111,7 +114,10 @@ mod tests {
         let mut rng = Xoshiro256pp::new(2);
         let mut proto = RoundRobin::default();
         let cfg = RunConfig::for_graph(10).with_max_rounds(200);
-        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed);
         assert!(r.rounds <= 100);
     }
@@ -125,7 +131,10 @@ mod tests {
         let g = sample_gnp(n, 0.3, &mut rng);
         let mut proto = Flooding;
         let cfg = RunConfig::for_graph(n).with_max_rounds(300);
-        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(!r.completed, "flooding unexpectedly completed");
     }
 
@@ -133,7 +142,10 @@ mod tests {
     fn flooding_succeeds_on_path() {
         let g = Graph::path(20);
         let mut rng = Xoshiro256pp::new(4);
-        let r = run_protocol(&g, 0, &mut Flooding, RunConfig::for_graph(20), &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(20))
+            .run_with_rng(&mut Flooding, &mut rng)
+            .into_single();
         assert!(r.completed);
         assert_eq!(r.rounds, 19);
     }
@@ -145,7 +157,10 @@ mod tests {
         let d = 25.0;
         let g = sample_gnp(n, d / n as f64, &mut rng);
         let mut proto = ConstantProb::new(1.0 / d);
-        let r = run_protocol(&g, 0, &mut proto, RunConfig::for_graph(n), &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(r.completed);
     }
 
@@ -155,7 +170,10 @@ mod tests {
         let mut rng = Xoshiro256pp::new(6);
         let mut proto = ConstantProb::new(0.0);
         let cfg = RunConfig::for_graph(3).with_max_rounds(10);
-        let r = run_protocol(&g, 0, &mut proto, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
         assert!(!r.completed);
         assert_eq!(r.informed, 1);
     }

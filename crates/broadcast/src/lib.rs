@@ -35,7 +35,10 @@
 //!
 //! // Distributed: the O(ln n) protocol of Theorem 7.
 //! let mut protocol = EgDistributed::new(p);
-//! let run = run_protocol(&g, 0, &mut protocol, RunConfig::for_graph(n), &mut rng);
+//! let run = RunSpec::on_graph(&g, 0)
+//!     .with_config(RunConfig::for_graph(n))
+//!     .run_with_rng(&mut protocol, &mut rng)
+//!     .into_single();
 //! assert!(run.completed);
 //!
 //! // Centralized: the O(ln n/ln d + ln d) schedule of Theorem 5.
@@ -69,6 +72,9 @@ pub mod prelude {
     pub use radio_graph::gnp::{gnp_with_average_degree, sample_gnp};
     pub use radio_graph::{Graph, NodeId, Xoshiro256pp};
     pub use radio_sim::{
-        run_protocol, run_schedule, RunConfig, RunResult, Schedule, TraceLevel, TransmitterPolicy,
+        run_schedule, RunConfig, RunResult, RunSpec, Schedule, TraceLevel, TransmitterPolicy,
     };
+    // Kept for one release alongside the deprecated shim it re-exports.
+    #[allow(deprecated)]
+    pub use radio_sim::run_protocol;
 }

@@ -109,7 +109,7 @@ pub fn eg_profile(n: usize, p: f64) -> ProbabilityProfile {
 mod tests {
     use super::*;
     use radio_graph::gnp::sample_gnp;
-    use radio_sim::{run_protocol, RunConfig};
+    use radio_sim::{RunConfig, RunSpec};
 
     #[test]
     fn prob_at_explicit_and_tail() {
@@ -166,7 +166,10 @@ mod tests {
         let p = 20.0 / n as f64;
         let g = sample_gnp(n, p, &mut rng);
         let mut prof = eg_profile(n, p);
-        let r = run_protocol(&g, 0, &mut prof, RunConfig::for_graph(n), &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(RunConfig::for_graph(n))
+            .run_with_rng(&mut prof, &mut rng)
+            .into_single();
         assert!(r.completed);
     }
 
@@ -180,7 +183,10 @@ mod tests {
         let g = sample_gnp(n, p, &mut rng);
         let mut prof = ProbabilityProfile::constant(0.1);
         let cfg = RunConfig::for_graph(n).with_max_rounds(2);
-        let r = run_protocol(&g, 0, &mut prof, cfg, &mut rng);
+        let r = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .run_with_rng(&mut prof, &mut rng)
+            .into_single();
         assert!(!r.completed);
     }
 

@@ -15,15 +15,49 @@ use radio_graph::layers::analyze_layers;
 use radio_graph::{child_rng, Graph, GraphProvider, ImplicitGnp, Layering, NodeId, Xoshiro256pp};
 use radio_sim::report::{write_events_jsonl, write_fault_events_jsonl};
 use radio_sim::{
-    resolve_backend, run_protocol_batch, run_protocol_batch_faulty, run_protocol_faulty_observed,
-    run_protocol_observed, run_protocol_provider, run_protocol_provider_faulty, run_schedule,
-    thread_budget, Backend, CollectingObserver, EngineKernel, FaultConfig, FaultPlan, Json,
-    Protocol, RunConfig, RunReport, TraceLevel, TransmitterPolicy, MAX_LANES, MAX_TILED_LANES,
+    resolve_backend, run_schedule, thread_budget, Backend, CollectingObserver, EngineKernel,
+    FaultConfig, FaultPlan, Json, Protocol, RunConfig, RunReport, RunSpec, TraceLevel,
+    TransmitterPolicy, MAX_LANES, MAX_TILED_LANES,
 };
 
 use crate::args::{Args, ParseError};
 
 type CmdResult = Result<(), ParseError>;
+
+/// A typed conflict between a flag the user gave and another flag (or
+/// selection) it cannot be combined with.
+///
+/// Every flag-conflict diagnostic in this module flows through
+/// [`FlagConflict::into_err`] so the messages stay consistent:
+/// `"<flag> conflicts with <other>: <why>"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagConflict {
+    /// The flag that cannot apply.
+    pub flag: &'static str,
+    /// The flag or selection it clashes with.
+    pub other: String,
+    /// Why the combination is meaningless.
+    pub why: &'static str,
+}
+
+impl FlagConflict {
+    /// Records that `flag` cannot be combined with `other`.
+    pub fn new(flag: &'static str, other: impl Into<String>, why: &'static str) -> FlagConflict {
+        FlagConflict {
+            flag,
+            other: other.into(),
+            why,
+        }
+    }
+
+    /// Renders the canonical conflict message as a [`ParseError`].
+    pub fn into_err(self) -> ParseError {
+        ParseError(format!(
+            "{} conflicts with {}: {}",
+            self.flag, self.other, self.why
+        ))
+    }
+}
 
 /// Where the graph comes from: sampled `G(n, p)` or a fixed edge-list file.
 #[derive(Debug, Clone)]
@@ -44,9 +78,12 @@ impl GraphSpec {
     pub fn from_args(args: &Args) -> Result<GraphSpec, ParseError> {
         if let Some(path) = args.get("graph") {
             if args.get("n").is_some() || args.get("p").is_some() || args.get("d").is_some() {
-                return Err(ParseError(
-                    "--graph is mutually exclusive with --n/--p/--d".into(),
-                ));
+                return Err(FlagConflict::new(
+                    "--graph",
+                    "--n/--p/--d",
+                    "a loaded topology fixes the node count and edge density",
+                )
+                .into_err());
             }
             let g = radio_graph::io::load_edge_list(std::path::Path::new(path))
                 .map_err(|e| ParseError(format!("--graph {path}: {e}")))?;
@@ -91,7 +128,14 @@ fn graph_params(args: &Args) -> Result<(usize, f64, f64), ParseError> {
         return Err(ParseError("--n must be at least 2".into()));
     }
     let p = match (args.get("p"), args.get("d")) {
-        (Some(_), Some(_)) => return Err(ParseError("give either --p or --d, not both".into())),
+        (Some(_), Some(_)) => {
+            return Err(FlagConflict::new(
+                "--p",
+                "--d",
+                "both set the edge probability; give exactly one",
+            )
+            .into_err())
+        }
         (Some(p), None) => p
             .parse::<f64>()
             .map_err(|_| ParseError("--p: bad float".into()))?,
@@ -146,11 +190,11 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
 /// JSONL (one object per line, tagged with its trial index) in either
 /// format.
 ///
-/// `--batch L` switches each trial to the lane-batched runner
-/// ([`run_protocol_batch`]): one graph sample carries `L ≤ 64` independent
-/// protocol runs resolved in shared adjacency sweeps.  JSON reports then
-/// carry one entry per lane (tagged `batch_lanes`), and JSONL trace lines
-/// gain a `lane` field.
+/// `--batch L` switches each trial to a lane-batched plan (a multi-lane
+/// [`RunSpec`]): one graph sample carries `L ≤ 64` independent protocol
+/// runs resolved in shared adjacency sweeps.  JSON reports then carry one
+/// entry per lane (tagged `batch_lanes`), and JSONL trace lines gain a
+/// `lane` field.
 ///
 /// `--backend implicit|sharded|auto` routes trials through the
 /// `GraphProvider` sweep engine instead of the explicit round engine:
@@ -158,8 +202,10 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
 /// adjacency in memory, `sharded` splits explicit adjacency rows across the
 /// `RADIO_THREADS` worker budget, and `auto` picks `implicit` exactly when
 /// the dense-kernel adjacency bitmap would exceed its 64-MiB cap (a note is
-/// printed when that rerouting fires).  Provider backends reject `--batch`
-/// and `--kernel`, and `implicit` rejects `--graph FILE`.
+/// printed when that rerouting fires).  `--batch` composes with every
+/// backend — on provider backends up to 64 lanes ride one regenerated edge
+/// stream per round.  Provider backends reject `--kernel`, and `implicit`
+/// rejects `--graph FILE`.
 pub fn run(args: &Args) -> CmdResult {
     let spec = GraphSpec::from_args(args)?;
     let (n, p) = (spec.n(), spec.p_equiv());
@@ -233,30 +279,6 @@ pub fn run(args: &Args) -> CmdResult {
             })
         }
     };
-    let batch: Option<usize> = match args.get("batch") {
-        None => None,
-        Some(raw) => {
-            let lanes: usize = raw
-                .parse()
-                .map_err(|_| ParseError("--batch: bad integer".into()))?;
-            // The tiled kernel widens rows to 16 words, so it lifts the
-            // lane ceiling from one machine word to a full tile.
-            let cap = if cfg.kernel == EngineKernel::Tiled {
-                MAX_TILED_LANES
-            } else {
-                MAX_LANES
-            };
-            if !(1..=cap).contains(&lanes) {
-                return Err(ParseError(format!(
-                    "--batch must be in 1..={cap} (up to {MAX_TILED_LANES} with --kernel tiled)"
-                )));
-            }
-            Some(lanes)
-        }
-    };
-    if (source as usize) >= n {
-        return Err(ParseError("--source out of range".into()));
-    }
     let backend = match args.get("backend") {
         None => Backend::Explicit,
         Some(raw) => raw
@@ -269,26 +291,51 @@ pub fn run(args: &Args) -> CmdResult {
     if let Some(err) = route_note {
         eprintln!("note: rerouted to implicit backend ({err})");
     }
-    if backend != Backend::Explicit {
-        if batch.is_some() {
-            return Err(ParseError(
-                "--batch needs the lane-batched round engine; use --backend explicit".into(),
-            ));
+    let batch: Option<usize> = match args.get("batch") {
+        None => None,
+        Some(raw) => {
+            let lanes: usize = raw
+                .parse()
+                .map_err(|_| ParseError("--batch: bad integer".into()))?;
+            // The tiled kernel widens rows to 16 words, so it lifts the
+            // lane ceiling from one machine word to a full tile; provider
+            // backends lane-batch through the sweep engine, whose ceiling
+            // is one machine word regardless of kernel flags.
+            let cap = if backend == Backend::Explicit && cfg.kernel == EngineKernel::Tiled {
+                MAX_TILED_LANES
+            } else {
+                MAX_LANES
+            };
+            if !(1..=cap).contains(&lanes) {
+                let hint = if backend == Backend::Explicit {
+                    format!(" (up to {MAX_TILED_LANES} with --kernel tiled)")
+                } else {
+                    format!(" on --backend {backend}")
+                };
+                return Err(ParseError(format!("--batch must be in 1..={cap}{hint}")));
+            }
+            Some(lanes)
         }
-        if args.get("kernel").is_some() {
-            return Err(ParseError(
-                "--kernel selects an explicit-adjacency engine; drop it or use --backend explicit"
-                    .into(),
-            ));
-        }
+    };
+    if (source as usize) >= n {
+        return Err(ParseError("--source out of range".into()));
+    }
+    if backend != Backend::Explicit && args.get("kernel").is_some() {
+        return Err(FlagConflict::new(
+            "--kernel",
+            format!("--backend {backend}"),
+            "kernel selection applies only to the explicit-adjacency round engine",
+        )
+        .into_err());
     }
     if backend == Backend::Implicit && matches!(spec, GraphSpec::Fixed(_)) {
-        return Err(ParseError(
-            "--backend implicit regenerates G(n, p) from the seed; it cannot replay --graph FILE"
-                .into(),
-        ));
+        return Err(FlagConflict::new(
+            "--backend implicit",
+            "--graph",
+            "the implicit backend regenerates G(n, p) from its seed and cannot replay a fixed edge list",
+        )
+        .into_err());
     }
-
     if text {
         let lanes_note = batch.map_or(String::new(), |l| format!(" × {l} lanes"));
         let backend_note = if backend == Backend::Explicit {
@@ -303,7 +350,7 @@ pub fn run(args: &Args) -> CmdResult {
     let mut rounds = Vec::new();
     let mut completions = 0usize;
     let mut reports: Vec<Json> = Vec::new();
-    if let Some(lanes) = batch {
+    if let (Some(lanes), Backend::Explicit) = (batch, backend) {
         // Lane traces are the only event source in batched runs, so record
         // per-round whenever anything downstream consumes events.
         if !text || trace_out.is_some() {
@@ -317,18 +364,15 @@ pub fn run(args: &Args) -> CmdResult {
                 .as_ref()
                 .map(|fc| FaultPlan::generate(&g, fc, rng.next()));
             let lane_seed = rng.next();
-            let results = match plan.as_ref() {
-                Some(plan) => run_protocol_batch_faulty(
-                    &g,
-                    source,
-                    proto.as_mut(),
-                    cfg,
-                    plan,
-                    lane_seed,
-                    lanes,
-                ),
-                None => run_protocol_batch(&g, source, proto.as_mut(), cfg, lane_seed, lanes),
-            };
+            let mut rspec = RunSpec::on_graph(&g, source)
+                .with_config(cfg)
+                .with_lanes(lanes)
+                .with_master_seed(lane_seed);
+            if let Some(plan) = plan.as_ref() {
+                rspec = rspec.with_faults(plan);
+            }
+            let outcome = rspec.run(proto.as_mut());
+            let results = &outcome.lanes;
             if text {
                 let done: Vec<f64> = results
                     .iter()
@@ -379,6 +423,7 @@ pub fn run(args: &Args) -> CmdResult {
                     let report = RunReport::from_result(&proto_spec, r)
                         .with_p(p)
                         .with_seed(seed)
+                        .with_plan(&outcome.plan)
                         .with_batch_lanes(lanes as u32)
                         .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
                     reports.push(report.to_json());
@@ -390,9 +435,10 @@ pub fn run(args: &Args) -> CmdResult {
             }
         }
     } else if backend != Backend::Explicit {
-        // Provider-backed trials (implicit or sharded round sweeps).  The
-        // sweep engine's own trace is the only event source here, so record
-        // per round whenever JSON output or a trace file consumes events.
+        // Provider-backed trials (implicit or sharded round sweeps), scalar
+        // or lane-batched.  The sweep engine's own trace is the only event
+        // source here, so record per round whenever JSON output or a trace
+        // file consumes events.
         if !text || trace_out.is_some() {
             cfg = cfg.with_trace(TraceLevel::PerRound);
         }
@@ -403,81 +449,102 @@ pub fn run(args: &Args) -> CmdResult {
         for t in 0..trials {
             let mut rng = child_rng(seed, t as u64);
             let mut proto = make_protocol(&proto_spec, p)?;
-            let r = if backend == Backend::Implicit {
-                let imp = ImplicitGnp::new(n, p, rng.next());
-                match fault_cfg.as_ref() {
-                    Some(fc) => {
-                        // Fault-plan generation needs explicit adjacency, so
-                        // faulted implicit trials materialize the sample once
-                        // (the memory saving is traded for fault coverage).
-                        let plan = FaultPlan::generate(&imp.materialize(), fc, rng.next());
-                        run_protocol_provider_faulty(
-                            &imp,
-                            shards,
-                            source,
-                            proto.as_mut(),
-                            cfg,
-                            &plan,
-                            &mut rng,
-                        )
-                    }
-                    None => {
-                        run_protocol_provider(&imp, shards, source, proto.as_mut(), cfg, &mut rng)
-                    }
+            // Hold whichever graph object backs this trial so the RunSpec
+            // can borrow it.
+            let implicit;
+            let explicit;
+            let (provider, fault_plan): (&dyn GraphProvider, Option<FaultPlan>) =
+                if backend == Backend::Implicit {
+                    implicit = ImplicitGnp::new(n, p, rng.next());
+                    // Fault-plan generation needs explicit adjacency, so
+                    // faulted implicit trials materialize the sample once
+                    // (the memory saving is traded for fault coverage).
+                    let plan = fault_cfg
+                        .as_ref()
+                        .map(|fc| FaultPlan::generate(&implicit.materialize(), fc, rng.next()));
+                    (&implicit, plan)
+                } else {
+                    explicit = spec.instantiate(&mut rng);
+                    let plan = fault_cfg
+                        .as_ref()
+                        .map(|fc| FaultPlan::generate(&explicit, fc, rng.next()));
+                    (&explicit, plan)
+                };
+            let mut rspec = RunSpec::on_provider(provider, shards, source).with_config(cfg);
+            if let Some(plan) = fault_plan.as_ref() {
+                rspec = rspec.with_faults(plan);
+            }
+            let outcome = match batch {
+                // Lane-batched provider trials: every lane rides one
+                // regenerated edge stream, seeded exactly like the explicit
+                // batch runner.
+                Some(lanes) => {
+                    let lane_seed = rng.next();
+                    rspec
+                        .with_lanes(lanes)
+                        .with_master_seed(lane_seed)
+                        .run(proto.as_mut())
                 }
-            } else {
-                let g = spec.instantiate(&mut rng);
-                match fault_cfg.as_ref() {
-                    Some(fc) => {
-                        let plan = FaultPlan::generate(&g, fc, rng.next());
-                        run_protocol_provider_faulty(
-                            &g,
-                            shards,
-                            source,
-                            proto.as_mut(),
-                            cfg,
-                            &plan,
-                            &mut rng,
-                        )
-                    }
-                    None => {
-                        run_protocol_provider(&g, shards, source, proto.as_mut(), cfg, &mut rng)
-                    }
-                }
+                // Scalar trials continue the trial RNG mid-stream, exactly
+                // like the historical provider entry points.
+                None => rspec.run_with_rng(proto.as_mut(), &mut rng),
             };
             if text {
-                let fault_note = r.faults.map_or(String::new(), |f| {
-                    format!(
-                        ", coverage {:.3}, residual {} (live {}, reachable {}), last delivery r{}",
-                        r.informed_fraction(),
-                        f.residual_uninformed,
-                        f.live,
-                        f.live_reachable,
-                        r.last_delivery_round
-                    )
-                });
-                println!(
-                    "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}{fault_note}",
-                    r.completed, r.rounds, r.informed
-                );
+                if let Some(lanes) = batch {
+                    let done: Vec<f64> = outcome
+                        .lanes
+                        .iter()
+                        .filter(|r| r.completed)
+                        .map(|r| r.rounds as f64)
+                        .collect();
+                    let mean =
+                        Summary::of(&done).map_or("-".to_string(), |s| format!("{:.1}", s.mean));
+                    println!(
+                        "  trial {t}: {}/{lanes} lanes completed, mean rounds {mean}",
+                        done.len()
+                    );
+                } else {
+                    let r = outcome.single();
+                    let fault_note = r.faults.map_or(String::new(), |f| {
+                        format!(
+                            ", coverage {:.3}, residual {} (live {}, reachable {}), last delivery r{}",
+                            r.informed_fraction(),
+                            f.residual_uninformed,
+                            f.live,
+                            f.live_reachable,
+                            r.last_delivery_round
+                        )
+                    });
+                    println!(
+                        "  trial {t}: completed = {}, rounds = {}, informed = {}/{n}{fault_note}",
+                        r.completed, r.rounds, r.informed
+                    );
+                }
             }
-            if let Some(out) = trace_out.as_mut() {
-                write_fault_events_jsonl(out, &[("trial", Json::from(t))], &r.fault_events)
-                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
-                let events: Vec<_> = r.trace.iter().map(|rec| rec.to_event()).collect();
-                write_events_jsonl(out, &[("trial", Json::from(t))], &events)
-                    .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
-            }
-            if !text {
-                let report = RunReport::from_result(&proto_spec, &r)
-                    .with_p(p)
-                    .with_seed(seed)
-                    .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
-                reports.push(report.to_json());
-            }
-            if r.completed {
-                completions += 1;
-                rounds.push(r.rounds as f64);
+            for (lane, r) in outcome.lanes.iter().enumerate() {
+                if let Some(out) = trace_out.as_mut() {
+                    let mut tags = vec![("trial", Json::from(t))];
+                    if batch.is_some() {
+                        tags.push(("lane", Json::from(lane)));
+                    }
+                    write_fault_events_jsonl(out, &tags, &r.fault_events)
+                        .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+                    let events: Vec<_> = r.trace.iter().map(|rec| rec.to_event()).collect();
+                    write_events_jsonl(out, &tags, &events)
+                        .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
+                }
+                if !text {
+                    let report = RunReport::from_result(&proto_spec, r)
+                        .with_p(p)
+                        .with_seed(seed)
+                        .with_plan(&outcome.plan)
+                        .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
+                    reports.push(report.to_json());
+                }
+                if r.completed {
+                    completions += 1;
+                    rounds.push(r.rounds as f64);
+                }
             }
         }
     } else {
@@ -486,23 +553,15 @@ pub fn run(args: &Args) -> CmdResult {
             let g = spec.instantiate(&mut rng);
             let mut proto = make_protocol(&proto_spec, p)?;
             let mut observer = CollectingObserver::with_timing();
-            let r = match fault_cfg.as_ref() {
-                Some(fc) => {
-                    let plan = FaultPlan::generate(&g, fc, rng.next());
-                    run_protocol_faulty_observed(
-                        &g,
-                        source,
-                        proto.as_mut(),
-                        cfg,
-                        &plan,
-                        &mut rng,
-                        &mut observer,
-                    )
-                }
-                None => {
-                    run_protocol_observed(&g, source, proto.as_mut(), cfg, &mut rng, &mut observer)
-                }
-            };
+            let fault_plan = fault_cfg
+                .as_ref()
+                .map(|fc| FaultPlan::generate(&g, fc, rng.next()));
+            let mut rspec = RunSpec::on_graph(&g, source).with_config(cfg);
+            if let Some(plan) = fault_plan.as_ref() {
+                rspec = rspec.with_faults(plan);
+            }
+            let outcome = rspec.run_observed(proto.as_mut(), &mut rng, &mut observer);
+            let r = outcome.single();
             if text {
                 let fault_note = r.faults.map_or(String::new(), |f| {
                     format!(
@@ -526,10 +585,11 @@ pub fn run(args: &Args) -> CmdResult {
                     .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
             }
             if !text {
-                let report = RunReport::from_result(&proto_spec, &r)
+                let report = RunReport::from_result(&proto_spec, r)
                     .with_p(p)
                     .with_seed(seed)
                     .with_wall_ns(observer.total_elapsed_ns())
+                    .with_plan(&outcome.plan)
                     .with_events(std::mem::take(&mut observer.events));
                 reports.push(report.to_json());
             }
@@ -927,10 +987,26 @@ mod tests {
         // Incompatible flag combinations are rejected with scoped errors.
         let bad = argv("run --n 300 --d 20 --trials 1 --backend warp");
         assert!(run(&bad).unwrap_err().0.contains("--backend"));
-        let bad = argv("run --n 300 --d 20 --trials 1 --backend implicit --batch 4");
-        assert!(run(&bad).unwrap_err().0.contains("--batch"));
         let bad = argv("run --n 300 --d 20 --trials 1 --backend sharded --kernel dense");
         assert!(run(&bad).unwrap_err().0.contains("--kernel"));
+        // Provider backends lane-batch through the sweep engine now.
+        let ok = argv(
+            "run --n 300 --d 20 --protocol eg --trials 1 --seed 3 --backend implicit --batch 4",
+        );
+        run(&ok).unwrap();
+        let ok = argv(
+            "run --n 200 --d 15 --protocol decay --trials 1 --seed 5 --backend sharded \
+             --batch 7 --loss 0.1",
+        );
+        run(&ok).unwrap();
+        let ok = argv(
+            "run --n 200 --d 15 --trials 1 --seed 5 --backend implicit --batch 8 \
+             --faults crash=0.05,jam=1",
+        );
+        run(&ok).unwrap();
+        // ...but the lane ceiling stays one machine word.
+        let bad = argv("run --n 300 --d 20 --trials 1 --backend implicit --batch 100");
+        assert!(run(&bad).unwrap_err().0.contains("--batch"));
         let dir = std::env::temp_dir().join("radio-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("backend-tri.edges");
@@ -961,6 +1037,70 @@ mod tests {
             let args = argv(&format!("run --n 100 --d 10 --trials 1 --batch {bad}"));
             assert!(run(&args).is_err(), "--batch {bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn flag_conflict_message_is_canonical() {
+        let err = FlagConflict::new("--a", "--b", "they disagree").into_err();
+        assert_eq!(err.0, "--a conflicts with --b: they disagree");
+    }
+
+    #[test]
+    fn every_conflicting_pair_reports_through_flag_conflict() {
+        // One case per conflicting flag pair; each must render the canonical
+        // "<flag> conflicts with <other>: <why>" message.
+        let dir = std::env::temp_dir().join("radio-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conflict-tri.edges");
+        std::fs::write(&path, "3\n0 1\n1 2\n2 0\n").unwrap();
+        let graph = path.display();
+        let cases = [
+            // --p × --d
+            ("run --n 100 --p 0.5 --d 3".to_string(), "--p", "--d"),
+            // --graph × --n/--p/--d
+            (
+                format!("run --graph {graph} --n 5"),
+                "--graph",
+                "--n/--p/--d",
+            ),
+            (
+                format!("run --graph {graph} --p 0.5"),
+                "--graph",
+                "--n/--p/--d",
+            ),
+            (
+                format!("run --graph {graph} --d 3"),
+                "--graph",
+                "--n/--p/--d",
+            ),
+            // --kernel × provider backends
+            (
+                "run --n 300 --d 20 --trials 1 --backend implicit --kernel dense".to_string(),
+                "--kernel",
+                "--backend implicit",
+            ),
+            (
+                "run --n 300 --d 20 --trials 1 --backend sharded --kernel sparse".to_string(),
+                "--kernel",
+                "--backend sharded",
+            ),
+            // --backend implicit × --graph
+            (
+                format!("run --graph {graph} --trials 1 --backend implicit"),
+                "--backend implicit",
+                "--graph",
+            ),
+        ];
+        for (cmd, flag, other) in &cases {
+            let err = run(&argv(cmd)).unwrap_err();
+            let want = format!("{flag} conflicts with {other}: ");
+            assert!(
+                err.0.starts_with(&want),
+                "command {cmd:?}: got {:?}, want prefix {want:?}",
+                err.0
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

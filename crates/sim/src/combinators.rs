@@ -99,6 +99,7 @@ impl<P: Protocol> Protocol for Named<P> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::protocol::{run_protocol, RunConfig};

@@ -11,25 +11,31 @@
 //! * **Centralized** — a precomputed [`Schedule`] replayed by
 //!   [`run_schedule`];
 //! * **Distributed** — a [`Protocol`] implementation (which can see only
-//!   per-node local state, never the topology) driven by [`run_protocol`].
+//!   per-node local state, never the topology) executed through the
+//!   [`exec`] planner: describe the run with a [`RunSpec`] (graph source,
+//!   lanes, kernel preference, faults, loss, master seed) and the planner
+//!   picks the engine deterministically.
 //!
 //! [`run_trials`] fans independent Monte-Carlo trials over a scoped thread pool with
 //! deterministic per-trial seeds (worker count overridable via the
-//! `RADIO_THREADS` environment variable), and [`run_protocol_batch`] packs
-//! up to 64 trials of the same graph into `u64` bit lanes resolved in a
-//! single adjacency sweep per round (see [`batch`]) — composing the two
-//! gives threads×64 effective trial parallelism.
+//! `RADIO_THREADS` environment variable), and a multi-lane [`RunSpec`]
+//! packs up to 64 trials of the same graph into `u64` bit lanes resolved
+//! in a single adjacency sweep per round (see [`batch`]; up to 1024 lanes
+//! on the [`tiled`] kernel) — composing the two gives threads×64 effective
+//! trial parallelism.
 //!
 //! Rounds execute through one of two interchangeable kernels — the
 //! CSR-walking sparse kernel or the bit-parallel dense kernel — selected by
 //! [`EngineKernel`] (default `Auto`; see [`kernel`] and `docs/PERF.md`).
 //! Kernel choice never changes results: traces replay byte-identically.
 //!
-//! Beyond explicit CSR graphs, [`run_protocol_provider`] executes any
+//! Beyond explicit CSR graphs, [`RunSpec::on_provider`] executes any
 //! [`radio_graph::GraphProvider`] backend — in particular the seed-only
 //! implicit `G(n, p)` backend for `n = 10⁷`-scale runs and the sharded
-//! row-range sweep — with the same bit-identity guarantee (see [`sweep`]
-//! and `docs/ARCHITECTURE.md`).
+//! row-range sweep, both lane-batchable up to 64 trials per regenerated
+//! edge stream — with the same bit-identity guarantee (see [`sweep`]
+//! and `docs/ARCHITECTURE.md`).  The historical `run_protocol_*`
+//! entry points remain as deprecated shims over [`exec`] for one release.
 //!
 //! ## Telemetry
 //!
@@ -45,7 +51,7 @@
 //!
 //! ```
 //! use radio_graph::{Graph, Xoshiro256pp, NodeId};
-//! use radio_sim::{run_protocol, LocalNode, Protocol, RunConfig};
+//! use radio_sim::{LocalNode, Protocol, RunConfig, RunSpec};
 //!
 //! /// Transmit with probability 1/2 every round.
 //! struct HalfCoin;
@@ -57,8 +63,10 @@
 //! }
 //!
 //! let g = Graph::path(8);
-//! let mut rng = Xoshiro256pp::new(1);
-//! let result = run_protocol(&g, 0, &mut HalfCoin, RunConfig::for_graph(8), &mut rng);
+//! let result = RunSpec::on_graph(&g, 0)
+//!     .with_master_seed(1)
+//!     .run(&mut HalfCoin)
+//!     .into_single();
 //! assert!(result.completed);
 //! ```
 
@@ -68,6 +76,7 @@ pub mod batch;
 pub mod bitset;
 pub mod combinators;
 pub mod engine;
+pub mod exec;
 pub mod fault;
 pub mod json;
 pub mod kernel;
@@ -85,9 +94,12 @@ pub mod tiled;
 pub mod trace;
 pub mod wide;
 
-pub use batch::{run_protocol_batch, run_protocol_batch_faulty, MAX_LANES};
+pub use batch::MAX_LANES;
+#[allow(deprecated)]
+pub use batch::{run_protocol_batch, run_protocol_batch_faulty};
 pub use combinators::{Named, Staged};
 pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
+pub use exec::{GraphSource, Plan, PlannedEngine, RunOutcome, RunSpec};
 pub use fault::{
     BurstParams, FaultConfig, FaultEvent, FaultEventKind, FaultPlan, FaultSession, FaultSummary,
     LiveView, Placement,
@@ -96,10 +108,12 @@ pub use json::Json;
 pub use kernel::{EngineKernel, KernelUsed};
 pub use metrics::RunMetrics;
 pub use observer::{CollectingObserver, NoopObserver, RoundEvent, RunObserver};
+#[allow(deprecated)]
 pub use protocol::{
     run_protocol, run_protocol_faulty, run_protocol_faulty_observed, run_protocol_from,
-    run_protocol_multi, run_protocol_observed, LocalNode, Protocol, RunConfig,
+    run_protocol_multi, run_protocol_observed,
 };
+pub use protocol::{LocalNode, Protocol, RunConfig};
 pub use report::RunReport;
 pub use runner::{parse_radio_threads, run_trials, run_trials_serial, thread_budget};
 pub use schedule::{
@@ -108,10 +122,10 @@ pub use schedule::{
 };
 pub use schedule_io::{load_schedule, save_schedule};
 pub use state::BroadcastState;
-pub use sweep::{
-    resolve_backend, run_protocol_provider, run_protocol_provider_faulty, Backend, SweepEngine,
-};
-pub use tiled::{
-    run_protocol_tiled, run_protocol_tiled_faulty, run_protocol_tiled_with_threads, MAX_TILED_LANES,
-};
+pub use sweep::{resolve_backend, Backend, SweepEngine};
+#[allow(deprecated)]
+pub use sweep::{run_protocol_provider, run_protocol_provider_faulty};
+pub use tiled::MAX_TILED_LANES;
+#[allow(deprecated)]
+pub use tiled::{run_protocol_tiled, run_protocol_tiled_faulty, run_protocol_tiled_with_threads};
 pub use trace::{RoundRecord, RunResult, TraceLevel};

@@ -9,15 +9,18 @@
 //! which makes "this protocol is distributed" a type-level guarantee rather
 //! than a convention.
 //!
-//! [`run_protocol`] drives a protocol over a concrete graph with the exact
-//! collision semantics of [`RoundEngine`].
+//! [`crate::exec::RunSpec`] drives a protocol over a concrete graph with
+//! the exact collision semantics of [`RoundEngine`]; the historical
+//! `run_protocol*` entry points in this module are deprecated shims over
+//! it.
 
 use radio_graph::{Graph, NodeId, Xoshiro256pp};
 
 use crate::engine::RoundEngine;
+use crate::exec::RunSpec;
 use crate::fault::{FaultEvent, FaultPlan, FaultSession};
 use crate::kernel::EngineKernel;
-use crate::observer::{NoopObserver, RoundEvent, RunObserver};
+use crate::observer::{RoundEvent, RunObserver};
 use crate::state::BroadcastState;
 use crate::trace::{RunResult, TraceBuilder, TraceLevel};
 
@@ -177,6 +180,7 @@ impl RunConfig {
 
 /// Runs `protocol` on `graph` from `source` until completion or the round
 /// budget is exhausted.
+#[deprecated(since = "0.1.0", note = "use radio_sim::exec::RunSpec::on_graph")]
 pub fn run_protocol<P: Protocol + ?Sized>(
     graph: &Graph,
     source: NodeId,
@@ -184,12 +188,18 @@ pub fn run_protocol<P: Protocol + ?Sized>(
     config: RunConfig,
     rng: &mut Xoshiro256pp,
 ) -> RunResult {
-    let state = BroadcastState::new(graph.n(), source);
-    run_protocol_from(graph, state, protocol, config, rng)
+    RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .run_with_rng(protocol, rng)
+        .into_single()
 }
 
 /// Multi-source variant of [`run_protocol`]: every node of `sources` starts
 /// informed at round 0.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_sources(..)"
+)]
 pub fn run_protocol_multi<P: Protocol + ?Sized>(
     graph: &Graph,
     sources: &[NodeId],
@@ -197,11 +207,18 @@ pub fn run_protocol_multi<P: Protocol + ?Sized>(
     config: RunConfig,
     rng: &mut Xoshiro256pp,
 ) -> RunResult {
-    let state = BroadcastState::with_sources(graph.n(), sources);
-    run_protocol_from(graph, state, protocol, config, rng)
+    RunSpec::on_graph(graph, 0)
+        .with_sources(sources)
+        .with_config(config)
+        .run_with_rng(protocol, rng)
+        .into_single()
 }
 
 /// Runs `protocol` from an arbitrary initial knowledge state.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_state(..)"
+)]
 pub fn run_protocol_from<P: Protocol + ?Sized>(
     graph: &Graph,
     state: BroadcastState,
@@ -209,14 +226,22 @@ pub fn run_protocol_from<P: Protocol + ?Sized>(
     config: RunConfig,
     rng: &mut Xoshiro256pp,
 ) -> RunResult {
-    run_protocol_from_observed(graph, state, protocol, config, rng, &mut NoopObserver)
+    RunSpec::on_graph(graph, 0)
+        .with_state(state)
+        .with_config(config)
+        .run_with_rng(protocol, rng)
+        .into_single()
 }
 
 /// Like [`run_protocol`], but streams per-round telemetry into `observer`.
 ///
-/// With [`NoopObserver`] (what the plain
+/// With [`NoopObserver`](crate::observer::NoopObserver) (what the plain
 /// runners pass) the hooks compile away; see [`crate::observer`] for the
 /// event model.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).run_observed(..)"
+)]
 pub fn run_protocol_observed<P: Protocol + ?Sized, O: RunObserver>(
     graph: &Graph,
     source: NodeId,
@@ -225,13 +250,35 @@ pub fn run_protocol_observed<P: Protocol + ?Sized, O: RunObserver>(
     rng: &mut Xoshiro256pp,
     observer: &mut O,
 ) -> RunResult {
-    let state = BroadcastState::new(graph.n(), source);
-    run_protocol_from_observed(graph, state, protocol, config, rng, observer)
+    RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .run_observed(protocol, rng, observer)
+        .into_single()
 }
 
-/// Observer-instrumented core runner; every other protocol entry point
-/// delegates here.
+/// Observer-instrumented runner from an arbitrary initial state.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_state(..).run_observed(..)"
+)]
 pub fn run_protocol_from_observed<P: Protocol + ?Sized, O: RunObserver>(
+    graph: &Graph,
+    state: BroadcastState,
+    protocol: &mut P,
+    config: RunConfig,
+    rng: &mut Xoshiro256pp,
+    observer: &mut O,
+) -> RunResult {
+    RunSpec::on_graph(graph, 0)
+        .with_state(state)
+        .with_config(config)
+        .run_observed(protocol, rng, observer)
+        .into_single()
+}
+
+/// Observer-instrumented scalar core: the execution body behind every
+/// fault-free [`crate::exec::RunSpec`] round-engine plan.
+pub(crate) fn scalar_observed_core<P: Protocol + ?Sized, O: RunObserver>(
     graph: &Graph,
     mut state: BroadcastState,
     protocol: &mut P,
@@ -297,6 +344,10 @@ pub fn run_protocol_from_observed<P: Protocol + ?Sized, O: RunObserver>(
 /// The result carries graceful-degradation metrics: fault events in
 /// [`RunResult::fault_events`], and a [`crate::FaultSummary`] (coverage of
 /// the *live reachable* subgraph) in [`RunResult::faults`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_faults(..)"
+)]
 pub fn run_protocol_faulty<P: Protocol + ?Sized>(
     graph: &Graph,
     source: NodeId,
@@ -305,21 +356,40 @@ pub fn run_protocol_faulty<P: Protocol + ?Sized>(
     plan: &FaultPlan,
     rng: &mut Xoshiro256pp,
 ) -> RunResult {
-    run_protocol_faulty_observed(
-        graph,
-        source,
-        protocol,
-        config,
-        plan,
-        rng,
-        &mut NoopObserver,
-    )
+    RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .with_faults(plan)
+        .run_with_rng(protocol, rng)
+        .into_single()
 }
 
 /// Like [`run_protocol_faulty`], but streams round and fault telemetry into
 /// `observer` (fault events via [`RunObserver::on_fault`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_faults(..).run_observed(..)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_protocol_faulty_observed<P: Protocol + ?Sized, O: RunObserver>(
+    graph: &Graph,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    rng: &mut Xoshiro256pp,
+    observer: &mut O,
+) -> RunResult {
+    RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .with_faults(plan)
+        .run_observed(protocol, rng, observer)
+        .into_single()
+}
+
+/// Observer-instrumented faulty scalar core: the execution body behind
+/// every faulted [`crate::exec::RunSpec`] round-engine plan.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scalar_faulty_observed_core<P: Protocol + ?Sized, O: RunObserver>(
     graph: &Graph,
     source: NodeId,
     protocol: &mut P,
@@ -397,6 +467,7 @@ pub fn run_protocol_faulty_observed<P: Protocol + ?Sized, O: RunObserver>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use radio_graph::Graph;

@@ -10,7 +10,7 @@
 //! ```
 //! use radio_graph::{Graph, Xoshiro256pp};
 //! use radio_sim::report::RunReport;
-//! use radio_sim::{run_protocol, Protocol, LocalNode, RunConfig};
+//! use radio_sim::{Protocol, LocalNode, RunSpec};
 //!
 //! struct Flood;
 //! impl Protocol for Flood {
@@ -19,8 +19,10 @@
 //! }
 //!
 //! let g = Graph::path(5);
-//! let mut rng = Xoshiro256pp::new(3);
-//! let result = run_protocol(&g, 0, &mut Flood, RunConfig::for_graph(5), &mut rng);
+//! let result = RunSpec::on_graph(&g, 0)
+//!     .with_master_seed(3)
+//!     .run(&mut Flood)
+//!     .into_single();
 //! let report = RunReport::from_result("flood", &result).with_seed(3);
 //! let json = report.to_json();
 //! assert_eq!(json.get("kind").unwrap().as_str(), Some("run_report"));
@@ -39,10 +41,12 @@ use crate::observer::RoundEvent;
 use crate::trace::RunResult;
 
 /// Current `RunReport` schema version (see `docs/OBSERVABILITY.md` for the
-/// versioning policy).  Version 2 added the graceful-degradation fields
-/// (`coverage`, `last_delivery_round`, `faults`); version-1 documents are
-/// still accepted, with those fields defaulted.
-pub const RUN_REPORT_SCHEMA_VERSION: i64 = 2;
+/// versioning policy).  Version 3 added the planner-decision fields
+/// (`plan_backend`, `plan_engine`, `plan_shards`); version 2 added the
+/// graceful-degradation fields (`coverage`, `last_delivery_round`,
+/// `faults`).  Older documents are still accepted, with those fields
+/// defaulted.
+pub const RUN_REPORT_SCHEMA_VERSION: i64 = 3;
 
 /// JSON summary of one broadcast run.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,9 +92,20 @@ pub struct RunReport {
     /// size).  Purely informational — thread count never changes results.
     pub threads: Option<u32>,
     /// Number of trial lanes when the run was one lane of a lane-batched
-    /// execution ([`crate::batch::run_protocol_batch`]); omitted from the
+    /// execution (a multi-lane [`crate::exec::RunSpec`]); omitted from the
     /// JSON for scalar runs.
     pub batch_lanes: Option<u32>,
+    /// Graph backend the execution planner selected (`"explicit"`,
+    /// `"implicit"`, or `"sharded"`), if recorded via
+    /// [`RunReport::with_plan`].  Purely informational — backend choice
+    /// never changes results.
+    pub plan_backend: Option<String>,
+    /// Execution engine the planner selected (`"round"`, `"batch"`,
+    /// `"tiled"`, `"sweep"`, or `"lane-sweep"`), if recorded.
+    pub plan_engine: Option<String>,
+    /// Shard count the planner ran with (1 for explicit CSR plans), if
+    /// recorded.  Shard count never changes results.
+    pub plan_shards: Option<u32>,
     /// Graceful-degradation counters of a faulty run (omitted from the
     /// JSON for fault-free runs).
     pub faults: Option<FaultSummary>,
@@ -124,6 +139,9 @@ impl RunReport {
             kernel: Some(result.kernel.as_str().to_string()),
             threads: Some(result.threads),
             batch_lanes: None,
+            plan_backend: None,
+            plan_engine: None,
+            plan_shards: None,
             faults: result.faults,
             events: Vec::new(),
         }
@@ -150,6 +168,18 @@ impl RunReport {
     /// Attaches the lane count of a lane-batched execution.
     pub fn with_batch_lanes(mut self, lanes: u32) -> RunReport {
         self.batch_lanes = Some(lanes);
+        self
+    }
+
+    /// Attaches the execution planner's decision (backend, engine, shard
+    /// count, and — for multi-lane plans — the lane count).
+    pub fn with_plan(mut self, plan: &crate::exec::Plan) -> RunReport {
+        self.plan_backend = Some(plan.backend.as_str().to_string());
+        self.plan_engine = Some(plan.engine.as_str().to_string());
+        self.plan_shards = Some(plan.shards as u32);
+        if plan.lanes > 1 {
+            self.batch_lanes = Some(plan.lanes as u32);
+        }
         self
     }
 
@@ -189,6 +219,15 @@ impl RunReport {
         }
         if let Some(lanes) = self.batch_lanes {
             fields.push(("batch_lanes", Json::from(lanes)));
+        }
+        if let Some(backend) = &self.plan_backend {
+            fields.push(("plan_backend", Json::from(backend.as_str())));
+        }
+        if let Some(engine) = &self.plan_engine {
+            fields.push(("plan_engine", Json::from(engine.as_str())));
+        }
+        if let Some(shards) = self.plan_shards {
+            fields.push(("plan_shards", Json::from(shards)));
         }
         if let Some(f) = &self.faults {
             fields.push((
@@ -309,6 +348,15 @@ impl RunReport {
                 .map(str::to_string),
             threads: get_opt_u32("threads"),
             batch_lanes: get_opt_u32("batch_lanes"),
+            plan_backend: json
+                .get("plan_backend")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            plan_engine: json
+                .get("plan_engine")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            plan_shards: get_opt_u32("plan_shards"),
             faults,
             events,
         })
@@ -461,18 +509,52 @@ mod tests {
     #[test]
     fn report_round_trips_through_json() {
         let result = sample_result();
+        let plan = crate::exec::Plan {
+            backend: crate::sweep::Backend::Implicit,
+            engine: crate::exec::PlannedEngine::LaneSweep,
+            lanes: 64,
+            shards: 4,
+            threads: None,
+        };
         let report = RunReport::from_result("test-proto", &result)
             .with_p(0.05)
             .with_seed(42)
             .with_wall_ns(12345)
-            .with_batch_lanes(64)
+            .with_plan(&plan)
             .with_events(result.trace.iter().map(|r| r.to_event()).collect());
+        assert_eq!(report.batch_lanes, Some(64));
+        assert_eq!(report.plan_backend.as_deref(), Some("implicit"));
+        assert_eq!(report.plan_engine.as_deref(), Some("lane-sweep"));
+        assert_eq!(report.plan_shards, Some(4));
         let json = report.to_json();
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, report);
         // And through the text serializer too.
         let reparsed = Json::parse(&json.render_pretty()).unwrap();
         assert_eq!(RunReport::from_json(&reparsed).unwrap(), report);
+    }
+
+    #[test]
+    fn scalar_plan_leaves_batch_lanes_unset() {
+        let plan = crate::exec::Plan {
+            backend: crate::sweep::Backend::Explicit,
+            engine: crate::exec::PlannedEngine::Round(crate::kernel::EngineKernel::Auto),
+            lanes: 1,
+            shards: 1,
+            threads: None,
+        };
+        let report = RunReport::from_result("x", &sample_result()).with_plan(&plan);
+        assert_eq!(report.batch_lanes, None);
+        assert_eq!(report.plan_engine.as_deref(), Some("round"));
+        // v2 documents (no plan fields) still parse, with the plan unset.
+        let mut v2 = RunReport::from_result("old", &sample_result()).to_json();
+        if let Json::Obj(fields) = &mut v2 {
+            fields[0].1 = Json::Int(2);
+        }
+        let old = RunReport::from_json(&v2).unwrap();
+        assert!(old.plan_backend.is_none());
+        assert!(old.plan_engine.is_none());
+        assert!(old.plan_shards.is_none());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! ## Determinism contract
 //!
 //! [`run_protocol_provider`] and [`run_protocol_provider_faulty`] replicate
-//! the coin-draw order of [`run_protocol`] / [`run_protocol_faulty`]
+//! the coin-draw order of the scalar round engine ([`RunSpec`])
 //! draw-for-draw: fault coins at round start, decision coins per informed
 //! node in ascending id, then one loss coin per exactly-one reception in
 //! ascending id.  An implicit run and an explicit run on
@@ -33,17 +33,20 @@
 //! sets, same traces, same residual RNG stream.
 
 use radio_graph::{
-    shard_ranges, AdjacencyBitmap, BitmapCapError, GraphProvider, ImplicitGnp, NodeId, Xoshiro256pp,
+    child_rng, shard_ranges, AdjacencyBitmap, BitmapCapError, GraphProvider, ImplicitGnp, NodeId,
+    Xoshiro256pp,
 };
 use std::ops::Range;
 
+use crate::batch::{lane_mask, MAX_LANES};
 use crate::bitset::BitSet;
 use crate::engine::RoundOutcome;
-use crate::fault::{FaultEvent, FaultPlan, FaultSession};
+use crate::exec::RunSpec;
+use crate::fault::{FaultEvent, FaultPlan, FaultSession, LaneFaultSession, LiveView};
 use crate::kernel::{KernelUsed, DEFAULT_BITMAP_CAP_BYTES};
-use crate::protocol::{run_protocol, run_protocol_faulty, LocalNode, Protocol, RunConfig};
-use crate::state::BroadcastState;
-use crate::trace::{RunResult, TraceBuilder};
+use crate::protocol::{LocalNode, Protocol, RunConfig};
+use crate::state::{BroadcastState, NOT_INFORMED};
+use crate::trace::{RoundRecord, RunResult, TraceBuilder, TraceLevel};
 
 /// Which graph backend a run executes on.
 ///
@@ -415,11 +418,12 @@ impl<'p> SweepEngine<'p> {
 
 /// Runs `protocol` on any [`GraphProvider`] backend.
 ///
-/// With `shards ≤ 1` and an explicit backend this is exactly
-/// [`run_protocol`] (the round engine keeps its sparse/dense fast paths);
+/// With `shards ≤ 1` and an explicit backend this is exactly the scalar
+/// round engine (it keeps its sparse/dense fast paths);
 /// otherwise the run executes on the [`SweepEngine`] and reports
 /// [`KernelUsed::Sweep`].  Either way the result is bit-identical to the
 /// explicit run on [`GraphProvider::materialize`]'s graph.
+#[deprecated(since = "0.1.0", note = "use radio_sim::exec::RunSpec::on_provider")]
 pub fn run_protocol_provider<P: Protocol + ?Sized>(
     provider: &dyn GraphProvider,
     shards: usize,
@@ -428,11 +432,24 @@ pub fn run_protocol_provider<P: Protocol + ?Sized>(
     config: RunConfig,
     rng: &mut Xoshiro256pp,
 ) -> RunResult {
-    if shards <= 1 {
-        if let Some(graph) = provider.as_explicit() {
-            return run_protocol(graph, source, protocol, config, rng);
-        }
-    }
+    RunSpec::on_provider(provider, shards, source)
+        .with_config(config)
+        .run_with_rng(protocol, rng)
+        .into_single()
+}
+
+/// Scalar sweep core: the body behind every
+/// [`PlannedEngine::Sweep`](crate::exec::PlannedEngine::Sweep) plan.
+/// (The shards ≤ 1 + explicit-adjacency fast path lives in the planner,
+/// which routes such specs to the round engine instead.)
+pub(crate) fn run_sweep_scalar_core<P: Protocol + ?Sized>(
+    provider: &dyn GraphProvider,
+    shards: usize,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
     let n = provider.n();
     let mut state = BroadcastState::new(n, source);
     let mut engine = SweepEngine::new(provider, shards);
@@ -470,13 +487,17 @@ pub fn run_protocol_provider<P: Protocol + ?Sized>(
 }
 
 /// Runs `protocol` on a [`GraphProvider`] backend under a fault plan;
-/// the provider analogue of [`run_protocol_faulty`].
+/// the provider analogue of the scalar faulty runner.
 ///
 /// The graceful-degradation [`FaultSummary`](crate::fault::FaultSummary)
 /// needs explicit adjacency for its live-subgraph BFS, so purely implicit
 /// backends **materialize once at the end of the run** to compute it —
 /// `O(n + m)` extra memory, fine at differential-test sizes but
 /// deliberately avoided by the fault-free scale runner above.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_provider(..).with_faults(..)"
+)]
 pub fn run_protocol_provider_faulty<P: Protocol + ?Sized>(
     provider: &dyn GraphProvider,
     shards: usize,
@@ -486,11 +507,25 @@ pub fn run_protocol_provider_faulty<P: Protocol + ?Sized>(
     plan: &FaultPlan,
     rng: &mut Xoshiro256pp,
 ) -> RunResult {
-    if shards <= 1 {
-        if let Some(graph) = provider.as_explicit() {
-            return run_protocol_faulty(graph, source, protocol, config, plan, rng);
-        }
-    }
+    RunSpec::on_provider(provider, shards, source)
+        .with_config(config)
+        .with_faults(plan)
+        .run_with_rng(protocol, rng)
+        .into_single()
+}
+
+/// Faulted scalar sweep core (see [`run_sweep_scalar_core`]); computes
+/// the graceful-degradation summary by materializing purely implicit
+/// backends once at the end of the run.
+pub(crate) fn run_sweep_faulty_core<P: Protocol + ?Sized>(
+    provider: &dyn GraphProvider,
+    shards: usize,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: &FaultPlan,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
     let n = provider.n();
     assert_eq!(plan.n(), n, "fault plan size mismatch");
     let mut state = BroadcastState::new(n, source);
@@ -553,6 +588,423 @@ pub fn run_protocol_provider_faulty<P: Protocol + ?Sized>(
     result
 }
 
+/// Per-shard lane scratch: two-plane saturating counters over trial
+/// lanes (`planes[v] = [ge1, ge2]`, the lanes with ≥ 1 / ≥ 2
+/// transmitting neighbors of `v` so far) plus jam-noise bits — the
+/// lane-batched analogue of [`ShardScratch`].
+struct LaneShardScratch {
+    planes: Vec<[u64; 2]>,
+    jam: BitSet,
+}
+
+impl LaneShardScratch {
+    fn new(n: usize) -> Self {
+        LaneShardScratch {
+            planes: vec![[0, 0]; n],
+            jam: BitSet::new(n),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.planes.fill([0, 0]);
+        self.jam.clear();
+    }
+}
+
+/// Sweeps `range`'s forward edges, merging each transmitting endpoint's
+/// transmit word into the other endpoint's lane planes (and its jam bit
+/// if the transmitter is a jam source).  Stores only — every coin is
+/// drawn in the serial resolution pass.
+fn fill_lane_shard(
+    provider: &dyn GraphProvider,
+    range: Range<NodeId>,
+    t: &[u64],
+    jam_src: &BitSet,
+    scratch: &mut LaneShardScratch,
+) {
+    let LaneShardScratch { planes, jam } = scratch;
+    provider.for_forward_edges(range, &mut |u, v| {
+        let wu = t[u as usize];
+        if wu != 0 {
+            let p = &mut planes[v as usize];
+            p[1] |= p[0] & wu;
+            p[0] |= wu;
+            if jam_src.get(u as usize) {
+                jam.set(v as usize);
+            }
+        }
+        let wv = t[v as usize];
+        if wv != 0 {
+            let p = &mut planes[u as usize];
+            p[1] |= p[0] & wv;
+            p[0] |= wv;
+            if jam_src.get(v as usize) {
+                jam.set(u as usize);
+            }
+        }
+    });
+}
+
+/// Lane-batched provider sweep: the body behind every
+/// [`PlannedEngine::LaneSweep`](crate::exec::PlannedEngine::LaneSweep)
+/// plan — up to [`MAX_LANES`] independent trials resolved per
+/// regenerated edge stream, so implicit backends amortize edge
+/// regeneration across a whole batch of trials.
+///
+/// Lane `l` is **bit-identical** to the scalar runners on
+/// `child_rng(master_seed, l)` — the same contract the batch kernel
+/// pins.  The core replays the scalar coin order within every lane
+/// (fault/burst coins at round start, node-major and lane-ascending;
+/// decision coins per informed node in ascending id; loss coins per
+/// exactly-one reception in ascending id), each lane owns a private
+/// RNG, and all coins are drawn in the serial resolution pass — shard
+/// count and shard scheduling never change results.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sweep_lanes_core<P: Protocol + ?Sized>(
+    provider: &dyn GraphProvider,
+    shards: usize,
+    source: NodeId,
+    protocol: &mut P,
+    config: RunConfig,
+    plan: Option<&FaultPlan>,
+    master_seed: u64,
+    lanes: usize,
+) -> Vec<RunResult> {
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "lanes must be in 1..={MAX_LANES}, got {lanes}"
+    );
+    let n = provider.n();
+    assert!(
+        (source as usize) < n,
+        "source {source} out of range for n = {n}"
+    );
+    if let Some(p) = plan {
+        assert_eq!(p.n(), n, "fault plan size mismatch");
+    }
+    let shards = shards.max(1);
+    let ranges = shard_ranges(n, shards);
+    let full = lane_mask(lanes);
+    let lossy = config.loss_prob > 0.0;
+    let loss = config.loss_prob;
+    let per_round = config.trace_level == TraceLevel::PerRound;
+
+    let mut rngs: Vec<Xoshiro256pp> = (0..lanes as u64)
+        .map(|l| child_rng(master_seed, l))
+        .collect();
+    protocol.begin_run(n);
+
+    let mut session = plan.map(LaneFaultSession::new);
+    let mut lane_events: Vec<Vec<FaultEvent>> = vec![Vec::new(); lanes];
+
+    // Per-lane broadcast state, struct-of-words (same layout as the
+    // batch kernel): informed mask per node, informed round per
+    // (node, lane).
+    let mut informed: Vec<u64> = vec![0; n];
+    informed[source as usize] = full;
+    let mut informed_round: Vec<u32> = vec![NOT_INFORMED; n * lanes];
+    informed_round[source as usize * lanes..source as usize * lanes + lanes].fill(0);
+
+    // Transmit words (bit l = transmits in lane l) and jam sources.
+    // The fill reads both; jam bits are derived per edge there, so no
+    // stored adjacency is ever needed for jammers.
+    let mut t: Vec<u64> = vec![0; n];
+    let mut tx_nodes: Vec<NodeId> = Vec::new();
+    let mut jam_src = BitSet::new(n);
+    let mut jam_live = false;
+    let mut scratches: Vec<LaneShardScratch> =
+        (0..shards).map(|_| LaneShardScratch::new(n)).collect();
+
+    let mut lane_informed = vec![1usize; lanes];
+    let mut lane_rounds = vec![0u32; lanes];
+    let mut lane_completed = vec![n == 1; lanes];
+    let mut lane_last = vec![0u32; lanes];
+    let mut traces: Vec<Vec<RoundRecord>> = vec![Vec::new(); lanes];
+
+    // Per-round, per-lane outcome counters.
+    let mut tx_count = vec![0u32; lanes];
+    let mut newly = vec![0u32; lanes];
+    let mut colls = vec![0u32; lanes];
+    let mut reach = vec![0u32; lanes];
+
+    let mut active = if n == 1 { 0 } else { full };
+    let mut round = 0u32;
+    while active != 0 && round < config.max_rounds {
+        round += 1;
+
+        // Faults fire (and burst channels step) before any decision
+        // coin, exactly like the scalar faulty runners.
+        if let Some(s) = session.as_mut() {
+            let fired = s.begin_round(round, &[active], &mut rngs);
+            if !fired.is_empty() {
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    lane_events[l].extend_from_slice(fired);
+                }
+            }
+        }
+
+        // Decision phase, node-major: each lane sees its informed nodes
+        // in ascending id order on its private RNG (the scalar order).
+        for u in 0..n {
+            let mask = informed[u] & active;
+            if mask == 0 {
+                continue;
+            }
+            // Crashed, asleep, and jamming nodes draw no decision coin.
+            if session.as_ref().is_some_and(|s| s.mute(u as NodeId)) {
+                continue;
+            }
+            let base = u * lanes;
+            let word = protocol.transmits_lanes(
+                u as NodeId,
+                round,
+                mask,
+                &informed_round[base..base + lanes],
+                &mut rngs,
+            ) & mask;
+            if word != 0 {
+                t[u] = word;
+                tx_nodes.push(u as NodeId);
+                let mut m = word;
+                while m != 0 {
+                    tx_count[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+            }
+        }
+
+        // Jammers transmit in every active lane.  Jam-only exactly-one
+        // lanes are demoted to collisions during resolution via the
+        // per-shard jam bits the fill derives from `jam_src`.
+        if let Some(s) = session.as_ref() {
+            if jam_live {
+                jam_src.clear();
+                jam_live = false;
+            }
+            for &j in s.jammers() {
+                debug_assert_eq!(t[j as usize], 0, "jammer drew a decision coin");
+                t[j as usize] = active;
+                tx_nodes.push(j);
+                jam_src.set(j as usize);
+                jam_live = true;
+                let mut m = active;
+                while m != 0 {
+                    tx_count[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+            }
+        }
+
+        // Fill: sweep forward edges, one shard per row range.
+        {
+            let tw = &t;
+            let js = &jam_src;
+            if shards == 1 {
+                fill_lane_shard(provider, ranges[0].clone(), tw, js, &mut scratches[0]);
+            } else {
+                std::thread::scope(|scope| {
+                    for (scratch, range) in scratches.iter_mut().zip(&ranges) {
+                        let range = range.clone();
+                        scope.spawn(move || fill_lane_shard(provider, range, tw, js, scratch));
+                    }
+                });
+            }
+        }
+
+        // Merge shards 1.. into shard 0 at the round barrier: the
+        // per-lane saturating combine `ge2' = a2 | b2 | (a1 & b1);
+        // ge1' = a1 | b1` is commutative and associative, so the merged
+        // planes are independent of the shard count, plus jam-bit union.
+        if shards > 1 {
+            let (first, rest) = scratches.split_at_mut(1);
+            let merged = &mut first[0];
+            for other in rest.iter_mut() {
+                for (m, o) in merged.planes.iter_mut().zip(&other.planes) {
+                    m[1] |= o[1] | (m[0] & o[0]);
+                    m[0] |= o[0];
+                }
+                merged.jam.union_with(&other.jam);
+            }
+        }
+
+        // Serial resolution in ascending node-id order — all coins are
+        // drawn here (ascending lane within a node), never in the fill,
+        // so shard scheduling cannot influence the streams.
+        {
+            let scr = &scratches[0];
+            for v in 0..n {
+                let [ge1, ge2] = scr.planes[v];
+                if ge1 == 0 {
+                    continue;
+                }
+                // A lane's transmitters (and jammers) cannot receive;
+                // informed lanes have nothing to learn.
+                let reached_w = ge1 & !t[v] & !informed[v];
+                if reached_w == 0 {
+                    continue;
+                }
+                // Blocked (crashed/asleep) nodes receive nothing and
+                // count toward neither reach nor collisions.
+                if session
+                    .as_ref()
+                    .is_some_and(|s| s.blocked_node(v as NodeId))
+                {
+                    continue;
+                }
+                let mut m = reached_w;
+                while m != 0 {
+                    reach[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+                let mut m = reached_w & ge2;
+                while m != 0 {
+                    colls[m.trailing_zeros() as usize] += 1;
+                    m &= m - 1;
+                }
+                let e1 = reached_w & !ge2;
+                if jam_live && scr.jam.get(v) {
+                    // The jammer transmits in every active lane, so each
+                    // exactly-one lane here is a jam-only hit: a
+                    // collision, never a delivery, and (like the scalar
+                    // engines) no burst/loss coin is drawn for it.
+                    let mut m = e1;
+                    while m != 0 {
+                        colls[m.trailing_zeros() as usize] += 1;
+                        m &= m - 1;
+                    }
+                    continue;
+                }
+                let mut delivered = e1;
+                if let Some(s) = session.as_ref() {
+                    // Burst veto consumes no coin (channel state was
+                    // drawn in begin_round), matching the scalar `&&`
+                    // short circuit: lost-to-burst lanes skip the loss
+                    // coin too.
+                    delivered &= !s.burst_word(v as NodeId);
+                }
+                if lossy {
+                    // Same coin as the scalar engines' delivery veto, in
+                    // ascending lane order within the ascending node
+                    // sweep.
+                    let mut m = delivered;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        if rngs[l].coin(loss) {
+                            delivered &= !(1u64 << l);
+                        }
+                    }
+                }
+                if delivered != 0 {
+                    informed[v] |= delivered;
+                    let base = v * lanes;
+                    let mut m = delivered;
+                    while m != 0 {
+                        let l = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        informed_round[base + l] = round;
+                        lane_informed[l] += 1;
+                        newly[l] += 1;
+                    }
+                }
+            }
+        }
+
+        // Book-keeping per still-active lane: trace record, completion.
+        let mut still = active;
+        while still != 0 {
+            let l = still.trailing_zeros() as usize;
+            still &= still - 1;
+            if per_round {
+                traces[l].push(RoundRecord {
+                    round,
+                    transmitters: tx_count[l] as usize,
+                    newly_informed: newly[l] as usize,
+                    collisions: colls[l] as usize,
+                    reached: reach[l] as usize,
+                    informed_after: lane_informed[l],
+                });
+            }
+            if newly[l] > 0 {
+                lane_last[l] = round;
+            }
+            if lane_informed[l] == n {
+                lane_completed[l] = true;
+                lane_rounds[l] = round;
+                active &= !(1u64 << l);
+            }
+        }
+
+        for &u in &tx_nodes {
+            t[u as usize] = 0;
+        }
+        tx_nodes.clear();
+        tx_count.fill(0);
+        newly.fill(0);
+        colls.fill(0);
+        reach.fill(0);
+        for scratch in &mut scratches {
+            scratch.reset();
+        }
+    }
+
+    // Budget-exhausted lanes report the exhausted budget, like the
+    // scalar runner.
+    let mut still = active;
+    while still != 0 {
+        let l = still.trailing_zeros() as usize;
+        still &= still - 1;
+        lane_rounds[l] = round;
+    }
+
+    // Per-lane graceful-degradation summaries.  Purely implicit
+    // backends materialize **once** for the whole batch (fault runs
+    // only — fault-free lane sweeps never materialize); lanes finishing
+    // in the same round share a LiveView.
+    let mut lane_faults: Vec<Option<crate::fault::FaultSummary>> = vec![None; lanes];
+    if let Some(p) = plan {
+        let materialized;
+        let graph = match provider.as_explicit() {
+            Some(g) => g,
+            None => {
+                materialized = provider.materialize();
+                &materialized
+            }
+        };
+        let mut views: Vec<(u32, LiveView)> = Vec::new();
+        for (l, &horizon) in lane_rounds.iter().enumerate().take(lanes) {
+            let at = views
+                .iter()
+                .position(|(h, _)| *h == horizon)
+                .unwrap_or_else(|| {
+                    views.push((horizon, p.live_view(graph, horizon, source)));
+                    views.len() - 1
+                });
+            lane_faults[l] = Some(views[at].1.summary(|v| informed[v as usize] >> l & 1 == 1));
+        }
+    }
+
+    traces
+        .into_iter()
+        .enumerate()
+        .map(|(l, trace)| RunResult {
+            completed: lane_completed[l],
+            rounds: lane_rounds[l],
+            informed: lane_informed[l],
+            n,
+            kernel: KernelUsed::Sweep,
+            threads: 1,
+            last_delivery_round: lane_last[l],
+            fault_events: std::mem::take(&mut lane_events[l]),
+            faults: lane_faults[l].take(),
+            trace,
+        })
+        .collect()
+}
+
 /// Convenience: an [`ImplicitGnp`] provider for one run, seeded like the
 /// explicit samplers (graph structure from its own child stream of `seed`).
 pub fn implicit_gnp(n: usize, p: f64, seed: u64) -> ImplicitGnp {
@@ -560,9 +1012,11 @@ pub fn implicit_gnp(n: usize, p: f64, seed: u64) -> ImplicitGnp {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
+    use crate::protocol::{run_protocol, run_protocol_faulty};
     use radio_graph::Graph;
 
     struct AlwaysTransmit;
@@ -733,5 +1187,66 @@ mod tests {
         assert!(r.completed);
         assert_eq!(r.rounds, 9);
         assert_eq!(r.kernel, KernelUsed::Sweep);
+    }
+
+    #[test]
+    fn lane_sweep_matches_scalar_streams() {
+        let imp = implicit_gnp(180, 0.05, 21);
+        let g = imp.materialize();
+        for (case, (lanes, loss)) in [(16usize, 0.0), (64, 0.0), (7, 0.25), (64, 0.25)]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = RunConfig::for_graph(180)
+                .with_max_rounds(50)
+                .with_loss(loss);
+            let master = 1000 + case as u64;
+            for shards in [1usize, 3] {
+                let batch =
+                    run_sweep_lanes_core(&imp, shards, 0, &mut HalfCoin, cfg, None, master, lanes);
+                assert_eq!(batch.len(), lanes);
+                for (l, got) in batch.iter().enumerate() {
+                    let mut rng = child_rng(master, l as u64);
+                    let mut want = run_protocol(&g, 0, &mut HalfCoin, cfg, &mut rng);
+                    want.kernel = KernelUsed::Sweep;
+                    assert_eq!(*got, want, "case {case}, shards {shards}, lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_lane_sweep_matches_scalar_faulty_runs() {
+        let imp = implicit_gnp(150, 0.06, 33);
+        let g = imp.materialize();
+        let mut plan = FaultPlan::new(150);
+        plan.crash(5, 4)
+            .sleep(30, 8)
+            .jam(40, 3, 20)
+            .set_burst(0.3, 0.25);
+        for (case, loss) in [(0u64, 0.0), (1, 0.2)] {
+            let cfg = RunConfig::for_graph(150)
+                .with_max_rounds(40)
+                .with_loss(loss);
+            let master = 7000 + case;
+            for shards in [1usize, 4] {
+                let batch = run_sweep_lanes_core(
+                    &imp,
+                    shards,
+                    1,
+                    &mut HalfCoin,
+                    cfg,
+                    Some(&plan),
+                    master,
+                    MAX_LANES,
+                );
+                for (l, got) in batch.iter().enumerate() {
+                    let mut rng = child_rng(master, l as u64);
+                    let mut want = run_protocol_faulty(&g, 1, &mut HalfCoin, cfg, &plan, &mut rng);
+                    want.kernel = KernelUsed::Sweep;
+                    assert_eq!(*got, want, "case {case}, shards {shards}, lane {l}");
+                }
+            }
+        }
     }
 }

@@ -32,7 +32,7 @@
 //! Like the batch runner, the tiled runner implies
 //! [`TransmitterPolicy::InformedOnly`](crate::TransmitterPolicy::InformedOnly).
 //! [`RunConfig::kernel`] participates in dispatch only: unless the
-//! caller forces [`EngineKernel::Tiled`], small jobs (≤ 64 lanes and
+//! caller forces [`EngineKernel::Tiled`](crate::EngineKernel::Tiled), small jobs (≤ 64 lanes and
 //! below the [`crate::kernel::tiled_is_cheaper`] break-even) fall back
 //! to the batch runner, whose results are bit-identical anyway.
 
@@ -40,10 +40,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use radio_graph::{child_rng, AlignedWords, Graph, NodeId, TileLayout, Xoshiro256pp};
 
-use crate::batch::{run_protocol_batch, run_protocol_batch_faulty, MAX_LANES};
 use crate::bitset::BitSet;
+use crate::exec::RunSpec;
 use crate::fault::{FaultEvent, FaultPlan, LaneFaultSession, LiveView};
-use crate::kernel::{tiled_is_cheaper, EngineKernel, KernelUsed};
+use crate::kernel::KernelUsed;
 use crate::protocol::{Protocol, RunConfig};
 use crate::runner::thread_budget;
 use crate::state::NOT_INFORMED;
@@ -81,7 +81,7 @@ impl<T> Copy for SendPtr<T> {}
 /// `RADIO_THREADS` environment variable caps it) and **never** affects
 /// results — only the `threads` field of the [`RunResult`]s.
 ///
-/// Unless `config.kernel` is [`EngineKernel::Tiled`], jobs of at most
+/// Unless `config.kernel` is [`EngineKernel::Tiled`](crate::EngineKernel::Tiled), jobs of at most
 /// 64 lanes below the tiled break-even run on the batch kernel instead
 /// (identical results, reported as [`KernelUsed::Batch`]).
 ///
@@ -89,6 +89,10 @@ impl<T> Copy for SendPtr<T> {}
 ///
 /// If `lanes` is not in `1..=`[`MAX_TILED_LANES`] or `source` is out
 /// of range.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_lanes(..)"
+)]
 pub fn run_protocol_tiled<P: Protocol + ?Sized>(
     graph: &Graph,
     source: NodeId,
@@ -97,16 +101,12 @@ pub fn run_protocol_tiled<P: Protocol + ?Sized>(
     master_seed: u64,
     lanes: usize,
 ) -> Vec<RunResult> {
-    run_tiled_dispatch(
-        graph,
-        source,
-        protocol,
-        config,
-        None,
-        master_seed,
-        lanes,
-        None,
-    )
+    RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .with_lanes(lanes)
+        .with_master_seed(master_seed)
+        .run(protocol)
+        .lanes
 }
 
 /// Like [`run_protocol_tiled`], but every lane runs under the fault
@@ -114,6 +114,10 @@ pub fn run_protocol_tiled<P: Protocol + ?Sized>(
 /// [`run_protocol_faulty`](crate::run_protocol_faulty) on
 /// `child_rng(master_seed, l)` — same trace, same fault events, same
 /// [`crate::FaultSummary`], same residual RNG stream.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_lanes(..).with_faults(..)"
+)]
 pub fn run_protocol_tiled_faulty<P: Protocol + ?Sized>(
     graph: &Graph,
     source: NodeId,
@@ -123,16 +127,13 @@ pub fn run_protocol_tiled_faulty<P: Protocol + ?Sized>(
     master_seed: u64,
     lanes: usize,
 ) -> Vec<RunResult> {
-    run_tiled_dispatch(
-        graph,
-        source,
-        protocol,
-        config,
-        Some(plan),
-        master_seed,
-        lanes,
-        None,
-    )
+    RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .with_lanes(lanes)
+        .with_master_seed(master_seed)
+        .with_faults(plan)
+        .run(protocol)
+        .lanes
 }
 
 /// [`run_protocol_tiled`] / [`run_protocol_tiled_faulty`] with an
@@ -142,6 +143,10 @@ pub fn run_protocol_tiled_faulty<P: Protocol + ?Sized>(
 /// one process (the `RADIO_THREADS` variable is process-global, so it
 /// cannot vary per call).  `threads` is clamped to the number of row
 /// blocks; results are identical for every value.
+#[deprecated(
+    since = "0.1.0",
+    note = "use radio_sim::exec::RunSpec::on_graph(..).with_lanes(..).with_threads(..)"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_protocol_tiled_with_threads<P: Protocol + ?Sized>(
     graph: &Graph,
@@ -153,61 +158,23 @@ pub fn run_protocol_tiled_with_threads<P: Protocol + ?Sized>(
     lanes: usize,
     threads: usize,
 ) -> Vec<RunResult> {
-    assert!(threads >= 1, "need at least one worker thread");
-    run_tiled_dispatch(
-        graph,
-        source,
-        protocol,
-        config,
-        plan,
-        master_seed,
-        lanes,
-        Some(threads),
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_tiled_dispatch<P: Protocol + ?Sized>(
-    graph: &Graph,
-    source: NodeId,
-    protocol: &mut P,
-    config: RunConfig,
-    plan: Option<&FaultPlan>,
-    master_seed: u64,
-    lanes: usize,
-    threads: Option<usize>,
-) -> Vec<RunResult> {
-    // Cost-model dispatch: under the break-even the per-round fixed
-    // costs of the tiled sweep (compact-table build + full row scan)
-    // beat its bandwidth advantage, so batch-sized jobs run on the
-    // batch kernel unless the caller forces Tiled.  No recursion: the
-    // batch entry points only delegate *to* tiled when the kernel is
-    // forced, which this guard excludes.
-    if config.kernel != EngineKernel::Tiled
-        && lanes <= MAX_LANES
-        && !tiled_is_cheaper(graph.n(), lanes)
-    {
-        return match plan {
-            None => run_protocol_batch(graph, source, protocol, config, master_seed, lanes),
-            Some(p) => {
-                run_protocol_batch_faulty(graph, source, protocol, config, p, master_seed, lanes)
-            }
-        };
+    let mut spec = RunSpec::on_graph(graph, source)
+        .with_config(config)
+        .with_lanes(lanes)
+        .with_master_seed(master_seed)
+        .with_threads(threads);
+    if let Some(p) = plan {
+        spec = spec.with_faults(p);
     }
-    run_tiled_core(
-        graph,
-        source,
-        protocol,
-        config,
-        plan,
-        master_seed,
-        lanes,
-        threads,
-    )
+    spec.run(protocol).lanes
 }
 
+/// Tiled execution core: the body behind every
+/// [`PlannedEngine::Tiled`](crate::exec::PlannedEngine::Tiled) plan.
+/// (The batch-vs-tiled cost-model dispatch lives in the planner,
+/// [`RunSpec::plan`].)
 #[allow(clippy::too_many_arguments)]
-fn run_tiled_core<P: Protocol + ?Sized>(
+pub(crate) fn run_tiled_core<P: Protocol + ?Sized>(
     graph: &Graph,
     source: NodeId,
     protocol: &mut P,
@@ -746,8 +713,11 @@ fn sweep_block(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::batch::run_protocol_batch;
+    use crate::kernel::EngineKernel;
     use crate::protocol::{run_protocol, run_protocol_faulty, LocalNode};
     use radio_graph::derive_seed;
     use radio_graph::gnp::sample_gnp;

@@ -43,13 +43,10 @@ fn main() {
 
     // Contrast: one broadcast with the same strategy on the same graph.
     let mut proto = ConstantProb::new(1.0 / d);
-    let bcast = run_protocol(
-        &g,
-        0,
-        &mut proto,
-        RunConfig::for_graph(n),
-        &mut Xoshiro256pp::new(78),
-    );
+    let bcast = RunSpec::on_graph(&g, 0)
+        .with_config(RunConfig::for_graph(n))
+        .run_with_rng(&mut proto, &mut Xoshiro256pp::new(78))
+        .into_single();
 
     println!(
         "\ngossip (all-to-all) completed in {} rounds; one broadcast took {} rounds",

@@ -41,19 +41,22 @@ fn main() {
     let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::PerRound);
 
     let mut eg = EgDistributed::new(p);
-    let run_eg = run_protocol(&g, source, &mut eg, cfg, &mut rng);
+    let run_eg = RunSpec::on_graph(&g, source)
+        .with_config(cfg)
+        .run_with_rng(&mut eg, &mut rng)
+        .into_single();
 
     let mut decay = Decay::new();
-    let run_decay = run_protocol(&g, source, &mut decay, cfg, &mut rng);
+    let run_decay = RunSpec::on_graph(&g, source)
+        .with_config(cfg)
+        .run_with_rng(&mut decay, &mut rng)
+        .into_single();
 
     let mut flood = Flooding;
-    let run_flood = run_protocol(
-        &g,
-        source,
-        &mut flood,
-        cfg.with_max_rounds(horizon as u32),
-        &mut rng,
-    );
+    let run_flood = RunSpec::on_graph(&g, source)
+        .with_config(cfg.with_max_rounds(horizon as u32))
+        .run_with_rng(&mut flood, &mut rng)
+        .into_single();
 
     let run_gossip = run_push_gossip(&g, source, 10_000, TraceLevel::PerRound, &mut rng);
 

@@ -27,7 +27,10 @@ fn main() {
 
     // --- Distributed: nodes know only n and p (Theorem 7) ----------------
     let mut protocol = EgDistributed::new(p);
-    let run = run_protocol(&g, source, &mut protocol, RunConfig::for_graph(n), &mut rng);
+    let run = RunSpec::on_graph(&g, source)
+        .with_config(RunConfig::for_graph(n))
+        .run_with_rng(&mut protocol, &mut rng)
+        .into_single();
     println!(
         "\ndistributed {}: completed = {}, rounds = {} (ln n = {:.1})",
         protocol.name(),

@@ -28,7 +28,10 @@ fn main() {
         // Distributed (Theorem 7).
         let mut proto = EgDistributed::new(p);
         let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
-        let dist = run_protocol(&g, source, &mut proto, cfg, &mut rng);
+        let dist = RunSpec::on_graph(&g, source)
+            .with_config(cfg)
+            .run_with_rng(&mut proto, &mut rng)
+            .into_single();
 
         // Centralized (Theorem 5).
         let built = build_eg_schedule(&g, source, CentralizedParams::default(), &mut rng);

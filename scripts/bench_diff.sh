@@ -103,4 +103,38 @@ awk -F'\t' '
   }
 ' "$baseline.tput.tsv" "$new.tput.tsv" >&2
 
-rm -f "$baseline.tsv" "$new.tsv" "$baseline.tput.tsv" "$new.tput.tsv"
+# Third pass: the batched-implicit scale points
+# (provider/implicit_eg_batch<LANES>_n<N>) carry trials_per_s — completed
+# Monte-Carlo trials per wall-second on the lane-plane sweep engine
+# (higher is better).  Same warn-only 20% rule as elems_per_sec.  The
+# pattern is anchored on the exact "trials_per_s" key so the companion
+# trials_per_s_vs_scalar ratio field is not double-counted.
+extract_tps() {
+  awk '
+    /"label":/        { gsub(/.*"label": "|",?$/, ""); label = $0; paired = 0 }
+    /"trials_per_s":/ {
+      if (!paired) { gsub(/.*"trials_per_s": |,?$/, ""); print label "\t" $0; paired = 1 }
+    }
+  ' "$1"
+}
+
+extract_tps "$baseline" > "$baseline.tps.tsv"
+extract_tps "$new" > "$new.tps.tsv"
+
+awk -F'\t' '
+  NR == FNR { base[$1] = $2; next }
+  {
+    if ($1 in base && base[$1] > 0 && $2 < base[$1] * 0.8) {
+      pct = (base[$1] - $2) / base[$1] * 100
+      printf "warning: %-45s batched sweep down %.1f%% (%.4g -> %.4g trials/s)\n", $1, pct, base[$1], $2
+      regressed++
+    }
+  }
+  END {
+    if (regressed)
+      printf "warning: %d batched-implicit point(s) regressed more than 20%% vs the committed baseline\n", regressed
+  }
+' "$baseline.tps.tsv" "$new.tps.tsv" >&2
+
+rm -f "$baseline.tsv" "$new.tsv" "$baseline.tput.tsv" "$new.tput.tsv" \
+  "$baseline.tps.tsv" "$new.tps.tsv"

@@ -46,6 +46,17 @@ step "backend differential suite (debug)"
 cargo test --offline -q -p radio-sim sweep
 cargo test --offline -q -p radio-integration --test backend_differential
 
+# The exec-planner contract: RunSpec planning is a pure function of its
+# inputs, and the lane planes it schedules on provider backends are
+# bit-identical to scalar explicit runs on the matching child_rng streams
+# regardless of the worker budget.
+step "exec planner suite (debug)"
+for threads in 1 8; do
+  RADIO_THREADS="$threads" cargo test --offline -q -p radio-sim exec
+  RADIO_THREADS="$threads" cargo test --offline -q \
+    -p radio-integration --test backend_differential implicit_lane_planes
+done
+
 # The tiled-kernel contract: every lane is bit-identical to the scalar
 # and batch runners, and the whole result vector is invariant under the
 # intra-round worker count.  The suite pins worker counts 1/3/8
@@ -89,6 +100,16 @@ if [ "$fast" -eq 0 ]; then
   step "backend differential suite (release)"
   cargo test --release --offline -q -p radio-sim sweep
   cargo test --release --offline -q -p radio-integration --test backend_differential
+
+  # The exec-planner suite re-runs in release under both worker budgets:
+  # planner purity and the lane-plane bit-identity must survive
+  # optimization and be invariant under the thread budget.
+  step "exec planner suite (release)"
+  for threads in 1 8; do
+    RADIO_THREADS="$threads" cargo test --release --offline -q -p radio-sim exec
+    RADIO_THREADS="$threads" cargo test --release --offline -q \
+      -p radio-integration --test backend_differential implicit_lane_planes
+  done
 
   # The tiled kernel re-runs in release under both a serial and an
   # oversubscribed pool: the AVX-512 sweep, the compact transmitter

@@ -9,6 +9,9 @@
 //! contract is transitive: scalar runs are themselves kernel-invariant
 //! (`props_cross_crate`), so the batch runner must match all of them.
 
+// The deprecated run_protocol_* shims are pinned here against the RunSpec
+// planner paths until the shims are removed.
+#![allow(deprecated)]
 use radio_broadcast::prelude::*;
 use radio_graph::{child_rng, derive_seed};
 use radio_sim::{run_protocol, run_protocol_batch, EngineKernel, KernelUsed, Protocol};
@@ -39,7 +42,11 @@ fn assert_batch_matches_scalar<P, F>(
         let mut rng = child_rng(master, lane as u64);
         let mut proto = factory();
         let want = run_protocol(g, source, &mut proto, cfg, &mut rng);
-        assert_eq!(got.kernel, KernelUsed::Batch, "{ctx}, lane {lane}");
+        // A 1-lane "batch" is planned onto the scalar round engine by the
+        // exec planner; the informational kernel tag follows the engine.
+        if lanes > 1 {
+            assert_eq!(got.kernel, KernelUsed::Batch, "{ctx}, lane {lane}");
+        }
         assert_eq!(strip_kernel(got), strip_kernel(want), "{ctx}, lane {lane}");
     }
 }

@@ -8,6 +8,9 @@
 //! protocol stack (EG, Decay, and the epoch-restarting wrapper) rather
 //! than the simulator's internal test protocols.
 
+// The deprecated run_protocol_* shims are pinned here against the RunSpec
+// planner paths until the shims are removed.
+#![allow(deprecated)]
 use radio_broadcast::distributed::{Decay, EgDistributed, Restartable};
 use radio_graph::gnp::sample_gnp;
 use radio_graph::{child_rng, Graph, Xoshiro256pp};

@@ -7,6 +7,9 @@
 //! `docs/OBSERVABILITY.md`, and re-bless the files by running the tests
 //! with `GOLDEN_UPDATE=1`.
 
+// The deprecated run_protocol_* shims are pinned here against the RunSpec
+// planner paths until the shims are removed.
+#![allow(deprecated)]
 use std::path::PathBuf;
 
 use radio_bench::report::{BenchPoint, BenchReport};
@@ -62,6 +65,9 @@ fn sample_run_report() -> RunReport {
         kernel: Some("dense".into()),
         threads: None,
         batch_lanes: None,
+        plan_backend: Some("explicit".into()),
+        plan_engine: Some("round".into()),
+        plan_shards: Some(1),
         faults: None,
         events: vec![
             RoundEvent {

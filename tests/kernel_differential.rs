@@ -17,6 +17,9 @@
 //! the informational `kernel` and `threads` tags; every comparison
 //! normalizes them first.
 
+// The deprecated run_protocol_* shims are pinned here against the RunSpec
+// planner paths until the shims are removed.
+#![allow(deprecated)]
 use radio_broadcast::distributed::{Decay, EgDistributed};
 use radio_graph::{child_rng, GraphProvider, ImplicitGnp, Xoshiro256pp};
 use radio_sim::{
