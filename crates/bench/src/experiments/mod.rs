@@ -12,6 +12,7 @@ pub mod flood;
 pub mod gossip;
 pub mod l3;
 pub mod l4;
+pub mod node;
 pub mod opt;
 pub mod robust;
 pub mod summary;

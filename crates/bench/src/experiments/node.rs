@@ -1,0 +1,173 @@
+//! Experiment E-NODE — the message-passing broadcast service under
+//! network faults.
+//!
+//! Everything else in the registry measures the *round* engines; this
+//! experiment measures the event-loop *service* (`radio-node`): gossip
+//! with per-peer acks and capped exponential backoff, layered on the
+//! Thm-7 transmit cadence, over a network that drops, delays, jams,
+//! partitions, and burst-corrupts messages.  Four scenarios escalate the
+//! damage:
+//!
+//! 1. `quiet` — fault-free baseline;
+//! 2. `partition` — the cluster splits in two for the first quarter of
+//!    the horizon, then heals;
+//! 3. `partition+crash` — the split plus fail-stop crashes and late
+//!    wakers;
+//! 4. `partition+crash+loss` — all of the above plus iid message loss.
+//!
+//! The claim mirrors the paper's robustness story at the systems level:
+//! the ack/retry layer turns transient faults into latency (stretched
+//! p99, a post-heal convergence window) rather than lost coverage —
+//! coverage over live reachable nodes stays 1.0 in every scenario.
+
+use radio_analysis::{fnum, Table};
+use radio_node::{run_workload, NetConfig, Partition, WorkloadConfig};
+use radio_sim::{FaultConfig, Json};
+
+use crate::common::point_seed;
+use crate::outln;
+use crate::registry::{ExpContext, Experiment};
+use crate::report::{BenchPoint, BenchReport};
+
+/// Event-loop broadcast service under partitions, crashes, and loss.
+pub struct Node;
+
+fn scenario_config(name: &str, base: &WorkloadConfig) -> WorkloadConfig {
+    let mut cfg = base.clone();
+    let split = Partition {
+        from: 10,
+        to: 10 + base.ticks / 4,
+        groups: 2,
+    };
+    match name {
+        "quiet" => {}
+        "partition" => cfg.net.partitions.push(split),
+        "partition+crash" => {
+            cfg.net.partitions.push(split);
+            cfg.faults.crash_rate = 0.05;
+            cfg.faults.sleep_rate = 0.05;
+        }
+        _ => {
+            cfg.net.partitions.push(split);
+            cfg.faults.crash_rate = 0.05;
+            cfg.faults.sleep_rate = 0.05;
+            cfg.net.loss = 0.02;
+        }
+    }
+    cfg
+}
+
+impl Experiment for Node {
+    fn name(&self) -> &'static str {
+        "node"
+    }
+    fn banner_id(&self) -> &'static str {
+        "E-NODE"
+    }
+    fn claim(&self) -> &'static str {
+        "the ack/retry gossip service converts partitions, crashes, and loss into \
+         latency, not lost coverage: live reachable nodes always converge to 1.0"
+    }
+    fn default_grid(&self) -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("n", "2^10"),
+            (
+                "scenario",
+                "quiet|partition|partition+crash|partition+crash+loss",
+            ),
+            ("trials", "2"),
+        ]
+    }
+
+    fn run(&self, ctx: &ExpContext) -> BenchReport {
+        let args = &ctx.args;
+        let mut report = BenchReport::new(self.name(), self.claim(), args.mode(), args.seed);
+
+        let n = args.size(args.scale(1 << 8, 1 << 10, 1 << 12));
+        let trials = args.trials_or(args.scale(1, 2, 4));
+        let base = WorkloadConfig {
+            n,
+            degree: 12.0,
+            ops: 16,
+            ticks: 1_200,
+            trials,
+            seed: 0, // set per scenario below
+            faults: FaultConfig::default(),
+            net: NetConfig::default(),
+            ..WorkloadConfig::default()
+        };
+        outln!(
+            ctx,
+            "n = {n}, degree 12, {} ops, {} ticks, {trials} trial(s) per scenario\n",
+            base.ops,
+            base.ticks
+        );
+
+        let mut table = Table::new(vec![
+            "scenario",
+            "coverage",
+            "msgs/op",
+            "p50",
+            "p99",
+            "stale max",
+            "post-heal",
+            "retries",
+        ]);
+        let scenarios = [
+            "quiet",
+            "partition",
+            "partition+crash",
+            "partition+crash+loss",
+        ];
+        for name in scenarios {
+            let mut cfg = scenario_config(name, &base);
+            cfg.seed = point_seed(args.seed, &format!("node/{name}"));
+            let r = run_workload(&cfg);
+            table.add_row(vec![
+                name.to_string(),
+                fnum(r.coverage, 3),
+                fnum(r.msgs_per_op, 1),
+                r.delivery_p50.to_string(),
+                r.delivery_p99.to_string(),
+                r.stale_window_max.to_string(),
+                r.post_heal_ticks.to_string(),
+                r.retries.to_string(),
+            ]);
+            report.push(
+                BenchPoint::new(&format!("node/{name}"))
+                    .field("scenario", Json::from(name))
+                    .field("n", Json::from(r.n))
+                    .field("ops", Json::from(r.ops))
+                    .field("trials", Json::from(r.trials))
+                    .field("coverage", Json::from(r.coverage))
+                    .field("converged_trials", Json::from(r.converged_trials))
+                    .field("msgs_per_op", Json::from(r.msgs_per_op))
+                    .field("delivery_p50", Json::from(r.delivery_p50))
+                    .field("delivery_p99", Json::from(r.delivery_p99))
+                    .field("stale_window_max", Json::from(r.stale_window_max))
+                    .field("post_heal_ticks", Json::from(r.post_heal_ticks))
+                    .field("retries", Json::from(r.retries))
+                    .field("msgs_dropped", Json::from(r.msgs_dropped)),
+            );
+        }
+        outln!(ctx, "{}", table.render());
+        outln!(ctx);
+        outln!(
+            ctx,
+            "reading: coverage holds at 1.000 in every scenario — the retry/backoff"
+        );
+        outln!(
+            ctx,
+            "loop re-offers unacked values until links heal, so faults surface as a"
+        );
+        outln!(
+            ctx,
+            "stretched p99 and a post-heal convergence window, plus the message"
+        );
+        outln!(
+            ctx,
+            "overhead of retries, never as missing values on live reachable nodes."
+        );
+        report
+    }
+}

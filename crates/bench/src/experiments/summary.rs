@@ -26,7 +26,10 @@
 //! RSS — the measured table behind `docs/SCALING.md`.  Section 4b repeats
 //! the largest size(s) with 64 trial lanes riding one regenerated edge
 //! stream (the planner's lane-sweep engine), recording
-//! trials-per-wall-second against the lane-1 baseline.
+//! trials-per-wall-second against the lane-1 baseline.  Section 5 runs
+//! the `radio-node` message-passing service through its E-NODE
+//! partition+crash scenario, recording msgs-per-op and delivery latency
+//! percentiles (coverage must stay 1.0).
 //!
 //! Unlike the other experiments, this one writes JSON *by default*: to
 //! `BENCH_sim.json` in the current directory unless `--json PATH`,
@@ -598,6 +601,58 @@ impl Experiment for Summary {
             }
             report.push(point);
         }
+
+        // ---- 5. message-passing service -----------------------------------------
+        // The event-loop broadcast service (`radio-node`) under the E-NODE
+        // partition+crash scenario: one summary point tracking message
+        // economy (msgs/op) and delivery latency across PRs.  Coverage is
+        // a correctness gate, not a trend — it must be 1.0.
+        let n_node = args.size(args.scale(256, 1024, 4096));
+        outln!(
+            ctx,
+            "\n## 5. Message-passing service (n = {n_node}, partition + crash)\n"
+        );
+        let mut node_cfg = radio_node::WorkloadConfig {
+            n: n_node,
+            degree: 12.0,
+            ops: 16,
+            ticks: 1_200,
+            trials: args.trials_or(args.scale(1, 2, 4)),
+            seed: point_seed(args.seed, "sum/node"),
+            ..radio_node::WorkloadConfig::default()
+        };
+        node_cfg.net.partitions = vec![radio_node::Partition {
+            from: 10,
+            to: 10 + node_cfg.ticks / 4,
+            groups: 2,
+        }];
+        node_cfg.faults.crash_rate = 0.05;
+        node_cfg.faults.sleep_rate = 0.05;
+        let start = std::time::Instant::now();
+        let nr = radio_node::run_workload(&node_cfg);
+        let node_wall = start.elapsed().as_secs_f64();
+        outln!(
+            ctx,
+            "coverage {:.3}, {:.1} msgs/op, delivery p50 {} p99 {} ticks, \
+             post-heal {} ticks, {node_wall:.2} s",
+            nr.coverage,
+            nr.msgs_per_op,
+            nr.delivery_p50,
+            nr.delivery_p99,
+            nr.post_heal_ticks
+        );
+        report.push(
+            BenchPoint::new("node/service_partition_crash")
+                .field("n", Json::from(nr.n))
+                .field("trials", Json::from(nr.trials))
+                .field("coverage", Json::from(nr.coverage))
+                .field("msgs_per_op", Json::from(nr.msgs_per_op))
+                .field("delivery_p50", Json::from(nr.delivery_p50))
+                .field("delivery_p99", Json::from(nr.delivery_p99))
+                .field("post_heal_ticks", Json::from(nr.post_heal_ticks))
+                .field("retries", Json::from(nr.retries))
+                .field("wall_s", Json::from(node_wall)),
+        );
 
         report
     }

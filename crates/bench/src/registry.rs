@@ -109,6 +109,7 @@ pub fn registry() -> Vec<&'static dyn Experiment> {
         &opt::Opt,
         &gossip::Gossip,
         &robust::Robust,
+        &node::Node,
         &ushape::Ushape,
         &worstcase::Worstcase,
         &ablation::Ablation,
@@ -330,14 +331,14 @@ mod tests {
     #[test]
     fn registry_names_unique_and_findable() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         let mut names: Vec<&str> = reg.iter().map(|e| e.name()).collect();
         for name in &names {
             assert!(find(name).is_some(), "find({name}) failed");
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16, "duplicate registry names");
+        assert_eq!(names.len(), 17, "duplicate registry names");
         assert!(find("no-such-experiment").is_none());
     }
 

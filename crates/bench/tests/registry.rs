@@ -34,7 +34,7 @@ fn smoke_grid_runs_and_parallel_matches_serial() {
         .into_iter()
         .map(|e| run_experiment(e, &args))
         .collect();
-    assert_eq!(serial.len(), 16);
+    assert_eq!(serial.len(), 17);
 
     for outcome in &serial {
         // The banner is part of the buffered output.
@@ -66,7 +66,7 @@ fn smoke_grid_runs_and_parallel_matches_serial() {
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     files.sort();
-    assert_eq!(files.len(), 16);
+    assert_eq!(files.len(), 17);
 
     // ---- parallel pass: run_many must reproduce the serial outcomes ----
     let par_dir = temp_dir("par");

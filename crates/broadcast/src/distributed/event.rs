@@ -1,0 +1,132 @@
+//! Event-loop driver for the distributed protocols.
+//!
+//! The round engines in `radio-sim` advance every node in lock step: one
+//! global round counter, one shared RNG, one barrier per round.  A
+//! message-passing service has none of that — each node owns its clock and
+//! randomness and asks, at each simulated tick, *"would my protocol
+//! transmit now?"*.  [`EventDriven`] is that per-node adapter: it wraps
+//! any [`Protocol`] together with the node's private RNG stream and
+//! informed state, and maps event-loop ticks onto the protocol's round
+//! clock.  One instance drives exactly one node, so thousands of instances
+//! run side by side inside `radio-node`'s deterministic event loop with no
+//! coordination beyond the tick number itself.
+//!
+//! Determinism contract: decisions are a pure function of the construction
+//! seed and the sequence of `inform`/`wants_transmit` calls.  An
+//! uninformed node draws nothing from its RNG, mirroring the round
+//! engines' skip-before-coin rule.
+
+use radio_graph::{child_rng, NodeId, Xoshiro256pp};
+use radio_sim::{LocalNode, Protocol};
+
+/// Drives one node's [`Protocol`] from an event loop instead of the round
+/// barrier.
+#[derive(Debug, Clone)]
+pub struct EventDriven<P> {
+    proto: P,
+    rng: Xoshiro256pp,
+    id: NodeId,
+    /// Tick at which the node first became informed; `None` = uninformed.
+    informed_tick: Option<u64>,
+}
+
+impl<P: Protocol> EventDriven<P> {
+    /// Wraps `proto` as node `id`'s driver.  The node's private RNG stream
+    /// is `child_rng(master, id)` — the same per-index derivation the
+    /// lane-batched engines use, so a cluster built from one master seed
+    /// is bit-reproducible.  Calls `proto.begin_run(n)` immediately.
+    pub fn new(mut proto: P, id: NodeId, n: usize, master: u64) -> EventDriven<P> {
+        proto.begin_run(n);
+        EventDriven {
+            proto,
+            rng: child_rng(master, id as u64),
+            id,
+            informed_tick: None,
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.proto
+    }
+
+    /// Whether the node has been informed yet.
+    pub fn informed(&self) -> bool {
+        self.informed_tick.is_some()
+    }
+
+    /// The tick the node first became informed, if it has been.
+    pub fn informed_tick(&self) -> Option<u64> {
+        self.informed_tick
+    }
+
+    /// Marks the node informed as of `tick`.  Later calls keep the
+    /// earliest tick (re-learning a datum never rewinds the clock).
+    pub fn inform(&mut self, tick: u64) {
+        match self.informed_tick {
+            Some(t) if t <= tick => {}
+            _ => self.informed_tick = Some(tick),
+        }
+    }
+
+    /// Whether the protocol would transmit at `tick`.  Uninformed nodes
+    /// never transmit and — like the round engines — draw nothing from
+    /// their RNG, so the stream stays aligned with an engine run.
+    pub fn wants_transmit(&mut self, tick: u64) -> bool {
+        let Some(informed) = self.informed_tick else {
+            return false;
+        };
+        let clamp = |t: u64| u32::try_from(t).unwrap_or(u32::MAX);
+        self.proto.transmits(
+            LocalNode {
+                id: self.id,
+                informed_round: clamp(informed),
+                round: clamp(tick.max(1)),
+            },
+            &mut self.rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::{EgDistributed, Flooding, Restartable};
+
+    #[test]
+    fn uninformed_nodes_stay_silent_and_draw_nothing() {
+        let mut d = EventDriven::new(EgDistributed::new(0.05), 3, 100, 9);
+        for tick in 1..50 {
+            assert!(!d.wants_transmit(tick));
+        }
+        assert!(!d.informed());
+        // The RNG was never consulted: it still equals a fresh child.
+        let mut fresh = child_rng(9, 3);
+        assert_eq!(d.rng.next(), fresh.next());
+    }
+
+    #[test]
+    fn informed_flooding_always_transmits() {
+        let mut d = EventDriven::new(Flooding, 0, 10, 1);
+        d.inform(4);
+        assert_eq!(d.informed_tick(), Some(4));
+        assert!(d.wants_transmit(5));
+        // Re-informing later keeps the earliest tick.
+        d.inform(40);
+        assert_eq!(d.informed_tick(), Some(4));
+        d.inform(2);
+        assert_eq!(d.informed_tick(), Some(2));
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic() {
+        let run = |master: u64| -> Vec<bool> {
+            let mut d =
+                EventDriven::new(Restartable::auto(EgDistributed::new(0.1)), 7, 256, master);
+            d.inform(1);
+            (1..200).map(|t| d.wants_transmit(t)).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different masters diverge");
+    }
+}

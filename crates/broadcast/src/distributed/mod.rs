@@ -14,6 +14,7 @@
 pub mod decay;
 pub mod eg;
 pub mod estimate;
+pub mod event;
 pub mod gossip;
 pub mod restartable;
 pub mod selective;
@@ -22,7 +23,8 @@ pub mod simple;
 pub use decay::Decay;
 pub use eg::{EgDistributed, EgVariant};
 pub use estimate::EgUnknownDegree;
+pub use event::EventDriven;
 pub use gossip::{run_push_gossip, run_push_pull_gossip};
-pub use restartable::Restartable;
+pub use restartable::{epoch_schedule, Restartable, DEFAULT_MAX_EPOCH_LEN};
 pub use selective::{SelectiveBroadcast, SelectiveFamily};
 pub use simple::{ConstantProb, Flooding, RoundRobin};

@@ -20,6 +20,44 @@
 use radio_graph::{NodeId, Xoshiro256pp};
 use radio_sim::{LocalNode, Protocol};
 
+/// Default cap on the epoch length, in rounds.  Far above any round budget
+/// the runners use (`RunConfig::for_graph` stays in the low thousands), so
+/// it never binds on existing runs — it exists to stop the multiplicative
+/// backoff from degenerating into one near-infinite epoch on very long
+/// event-loop executions.
+pub const DEFAULT_MAX_EPOCH_LEN: u32 = 1 << 16;
+
+/// The epoch start rounds (1-based) of a multiplicative-backoff schedule,
+/// truncated to starts `<= horizon`.  Pure function of the parameters:
+/// `first_epoch = 0` derives `max(8, ⌈4·ln n⌉)` exactly like
+/// [`Restartable::begin_run`], each following epoch is `factor` times
+/// longer, and lengths saturate at `max_epoch_len`.
+pub fn epoch_schedule(
+    n: usize,
+    first_epoch: u32,
+    factor: u32,
+    max_epoch_len: u32,
+    horizon: u32,
+) -> Vec<u32> {
+    let mut len = derive_first_epoch(n, first_epoch).min(max_epoch_len);
+    let mut start = 1u32;
+    let mut starts = Vec::new();
+    while start <= horizon {
+        starts.push(start);
+        start = start.saturating_add(len);
+        len = len.saturating_mul(factor).min(max_epoch_len);
+    }
+    starts
+}
+
+fn derive_first_epoch(n: usize, first_epoch: u32) -> u32 {
+    if first_epoch == 0 {
+        (4.0 * (n.max(2) as f64).ln()).ceil().max(8.0) as u32
+    } else {
+        first_epoch
+    }
+}
+
 /// Re-runs an inner protocol in epochs with multiplicative backoff.
 #[derive(Debug, Clone)]
 pub struct Restartable<P> {
@@ -29,6 +67,8 @@ pub struct Restartable<P> {
     first_epoch: u32,
     /// Multiplicative backoff factor between epochs (≥ 1).
     factor: u32,
+    /// Upper bound on the epoch length (backoff growth cap).
+    max_epoch_len: u32,
     /// Current epoch length.
     epoch_len: u32,
     /// First round of the current epoch (1-based).
@@ -46,6 +86,7 @@ impl<P: Protocol> Restartable<P> {
             inner,
             first_epoch,
             factor,
+            max_epoch_len: DEFAULT_MAX_EPOCH_LEN,
             epoch_len: 0,
             epoch_start: 1,
             n: 0,
@@ -55,6 +96,19 @@ impl<P: Protocol> Restartable<P> {
     /// The default configuration: auto-sized first epoch, factor-2 backoff.
     pub fn auto(inner: P) -> Restartable<P> {
         Restartable::new(inner, 0, 2)
+    }
+
+    /// Caps the epoch length at `cap` rounds (default
+    /// [`DEFAULT_MAX_EPOCH_LEN`]): backoff stops growing once it reaches
+    /// the cap, so retries keep a bounded period on long executions.
+    ///
+    /// # Panics
+    ///
+    /// If `cap == 0`.
+    pub fn with_max_epoch_len(mut self, cap: u32) -> Restartable<P> {
+        assert!(cap >= 1, "epoch-length cap must be >= 1");
+        self.max_epoch_len = cap;
+        self
     }
 
     /// The wrapped protocol.
@@ -67,12 +121,32 @@ impl<P: Protocol> Restartable<P> {
         self.epoch_len
     }
 
+    /// The epoch start rounds this wrapper would restart at over a run of
+    /// `horizon` rounds — the backoff schedule surfaced in
+    /// `RunReport.backoff_epochs`.  Uses `n` from the last `begin_run`
+    /// (empty before the first run).
+    pub fn epoch_schedule(&self, horizon: u32) -> Vec<u32> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        epoch_schedule(
+            self.n,
+            self.first_epoch,
+            self.factor,
+            self.max_epoch_len,
+            horizon,
+        )
+    }
+
     /// Advances the epoch state so that `round` falls inside the current
     /// epoch, restarting the inner protocol at each boundary crossed.
     fn advance_to(&mut self, round: u32) {
         while round >= self.epoch_start + self.epoch_len {
             self.epoch_start += self.epoch_len;
-            self.epoch_len = self.epoch_len.saturating_mul(self.factor);
+            self.epoch_len = self
+                .epoch_len
+                .saturating_mul(self.factor)
+                .min(self.max_epoch_len);
             self.inner.begin_run(self.n);
         }
     }
@@ -92,11 +166,7 @@ impl<P: Protocol> Protocol for Restartable<P> {
     fn begin_run(&mut self, n: usize) {
         self.n = n;
         self.epoch_start = 1;
-        self.epoch_len = if self.first_epoch == 0 {
-            (4.0 * (n.max(2) as f64).ln()).ceil().max(8.0) as u32
-        } else {
-            self.first_epoch
-        };
+        self.epoch_len = derive_first_epoch(n, self.first_epoch).min(self.max_epoch_len);
         self.inner.begin_run(n);
     }
 
@@ -158,6 +228,85 @@ mod tests {
         // Informed rounds before the epoch rebase to 0 (epoch source).
         assert_eq!(p.rebase_informed(7), 0);
         assert_eq!(p.rebase_informed(35), 5);
+    }
+
+    #[test]
+    fn epoch_growth_respects_the_cap() {
+        let mut p = Restartable::new(Decay::new(), 10, 2).with_max_epoch_len(25);
+        p.begin_run(64);
+        assert_eq!(p.epoch_len(), 10);
+        p.advance_to(11); // epoch 2: 20
+        assert_eq!(p.epoch_len(), 20);
+        p.advance_to(31); // epoch 3 would be 40, capped to 25
+        assert_eq!(p.epoch_len(), 25);
+        p.advance_to(56); // capped growth stays at 25
+        assert_eq!((p.epoch_start, p.epoch_len), (56, 25));
+        // A cap below the first epoch clamps the first epoch too.
+        let mut tight = Restartable::new(Decay::new(), 10, 2).with_max_epoch_len(4);
+        tight.begin_run(64);
+        assert_eq!(tight.epoch_len(), 4);
+    }
+
+    #[test]
+    fn epoch_schedule_matches_advance_to() {
+        let mut p = Restartable::new(Decay::new(), 10, 3).with_max_epoch_len(50);
+        assert!(p.epoch_schedule(100).is_empty(), "no n before begin_run");
+        p.begin_run(64);
+        // Epochs: start 1 len 10, start 11 len 30, start 41 len 50 (capped),
+        // start 91 len 50 ...
+        assert_eq!(p.epoch_schedule(100), vec![1, 11, 41, 91]);
+        // Walking the rounds crosses exactly those boundaries.
+        for &start in &p.epoch_schedule(100)[1..] {
+            p.advance_to(start);
+            assert_eq!(p.epoch_start, start, "schedule and walk agree");
+        }
+        // The free function is the same computation.
+        assert_eq!(epoch_schedule(64, 10, 3, 50, 100), vec![1, 11, 41, 91]);
+        assert_eq!(epoch_schedule(64, 10, 3, 50, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn lanes_restart_epochs_deterministically_under_crash_plan() {
+        // A crash FaultPlan plus lanes > 1: every lane of the batched run
+        // must equal the scalar run of a fresh Restartable on the lane's
+        // child RNG — i.e. epoch restarts are lane-local and deterministic.
+        let mut grng = Xoshiro256pp::new(31);
+        let n = 256;
+        let p_edge = 20.0 / n as f64;
+        let g = sample_gnp(n, p_edge, &mut grng);
+        let mut plan = FaultPlan::new(n);
+        for v in 0..n as u32 {
+            if v != 0 && v % 5 == 0 {
+                plan.crash(v, 1 + (v % 40));
+            }
+        }
+        let cfg = RunConfig::for_graph(n);
+        let master = 404u64;
+        let lanes = 6;
+        let mut batched = Restartable::new(EgDistributed::new(p_edge), 12, 2);
+        let outcome = RunSpec::on_graph(&g, 0)
+            .with_config(cfg)
+            .with_faults(&plan)
+            .with_lanes(lanes)
+            .with_master_seed(master)
+            .run(&mut batched);
+        assert_eq!(outcome.lanes.len(), lanes);
+        for (l, lane) in outcome.lanes.iter().enumerate() {
+            let mut fresh = Restartable::new(EgDistributed::new(p_edge), 12, 2);
+            let mut rng = radio_graph::child_rng(master, l as u64);
+            let scalar = RunSpec::on_graph(&g, 0)
+                .with_config(cfg)
+                .with_faults(&plan)
+                .run_with_rng(&mut fresh, &mut rng)
+                .into_single();
+            assert_eq!(lane.rounds, scalar.rounds, "lane {l}");
+            assert_eq!(lane.informed, scalar.informed, "lane {l}");
+            assert_eq!(
+                lane.last_delivery_round, scalar.last_delivery_round,
+                "lane {l}"
+            );
+            assert_eq!(lane.faults, scalar.faults, "lane {l}");
+        }
     }
 
     #[test]

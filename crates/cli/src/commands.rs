@@ -3,8 +3,8 @@
 use radio_analysis::{fnum, Summary, Table};
 use radio_broadcast::centralized::{build_eg_schedule, CentralizedParams, Phase};
 use radio_broadcast::distributed::{
-    ConstantProb, Decay, EgDistributed, EgUnknownDegree, EgVariant, Flooding, Restartable,
-    RoundRobin,
+    epoch_schedule, ConstantProb, Decay, EgDistributed, EgUnknownDegree, EgVariant, Flooding,
+    Restartable, RoundRobin, DEFAULT_MAX_EPOCH_LEN,
 };
 use radio_broadcast::gossiping::run_radio_gossiping;
 use radio_broadcast::lower_bound::{run_relaxed, sample_bounded_sets};
@@ -179,6 +179,16 @@ fn make_protocol(spec: &str, p: f64) -> Result<Box<dyn Protocol>, ParseError> {
             }
         }
     })
+}
+
+/// The epoch-backoff schedule a `restartable:*` protocol spec ran with,
+/// for the `RunReport.backoff_epochs` field.  `make_protocol` always
+/// builds `Restartable::auto` (derived first epoch, factor 2, default
+/// cap), so the schedule is a pure function of `n` and the run's horizon;
+/// `None` for non-restartable specs.
+fn backoff_epochs_for(spec: &str, n: usize, rounds: u32) -> Option<Vec<u32>> {
+    spec.starts_with("restartable:")
+        .then(|| epoch_schedule(n, 0, 2, DEFAULT_MAX_EPOCH_LEN, rounds))
 }
 
 /// `radio-cli run` — distributed protocol trials.
@@ -420,12 +430,15 @@ pub fn run(args: &Args) -> CmdResult {
                     .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
                 }
                 if !text {
-                    let report = RunReport::from_result(&proto_spec, r)
+                    let mut report = RunReport::from_result(&proto_spec, r)
                         .with_p(p)
                         .with_seed(seed)
                         .with_plan(&outcome.plan)
                         .with_batch_lanes(lanes as u32)
                         .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
+                    if let Some(epochs) = backoff_epochs_for(&proto_spec, n, r.rounds) {
+                        report = report.with_backoff_epochs(epochs);
+                    }
                     reports.push(report.to_json());
                 }
                 if r.completed {
@@ -534,11 +547,14 @@ pub fn run(args: &Args) -> CmdResult {
                         .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
                 }
                 if !text {
-                    let report = RunReport::from_result(&proto_spec, r)
+                    let mut report = RunReport::from_result(&proto_spec, r)
                         .with_p(p)
                         .with_seed(seed)
                         .with_plan(&outcome.plan)
                         .with_events(r.trace.iter().map(|rec| rec.to_event()).collect());
+                    if let Some(epochs) = backoff_epochs_for(&proto_spec, n, r.rounds) {
+                        report = report.with_backoff_epochs(epochs);
+                    }
                     reports.push(report.to_json());
                 }
                 if r.completed {
@@ -585,12 +601,15 @@ pub fn run(args: &Args) -> CmdResult {
                     .map_err(|e| ParseError(format!("--trace-out: write failed: {e}")))?;
             }
             if !text {
-                let report = RunReport::from_result(&proto_spec, r)
+                let mut report = RunReport::from_result(&proto_spec, r)
                     .with_p(p)
                     .with_seed(seed)
                     .with_wall_ns(observer.total_elapsed_ns())
                     .with_plan(&outcome.plan)
                     .with_events(std::mem::take(&mut observer.events));
+                if let Some(epochs) = backoff_epochs_for(&proto_spec, n, r.rounds) {
+                    report = report.with_backoff_epochs(epochs);
+                }
                 reports.push(report.to_json());
             }
             if r.completed {

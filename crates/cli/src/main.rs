@@ -32,6 +32,12 @@ fn main() {
         radio_bench::registry::cli_main(argv[1..].to_vec());
         return;
     }
+    // `radio-cli node ...` forwards to the message-passing broadcast
+    // service (workload driver + stdio node), same pattern as `bench`.
+    if argv[0] == "node" {
+        radio_node::cli::cli_main(argv[1..].to_vec());
+        return;
+    }
     let args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => {
@@ -80,6 +86,8 @@ subcommands:
   lower      sample lower-bound schedules        --n N (--d D | --p P) [--trials K] [--seed S]
   bench      experiment registry driver          bench list | bench run NAME... | bench all
              (same flags as radio-bench; see `radio-cli bench list`)
+  node       message-passing broadcast service   node workload --nodes N [--partition FROM:LEN]
+             (event-loop cluster with fault injection; see `radio-cli node --help`)
 
 examples:
   radio-cli run --n 10000 --d 50 --protocol eg --trials 5

@@ -1,0 +1,373 @@
+//! The `radio-node` command-line front end.
+//!
+//! ```text
+//! radio-node workload --nodes N [--degree D] [--ops K] [--ticks T] [--trials R]
+//!                     [--seed S] [--faults SPEC] [--partition FROM:LEN[:GROUPS]]...
+//!                     [--loss P] [--jitter J] [--backoff BASE:FACTOR:CAP]
+//!                     [--assert-coverage X] [--strip-timing] [--json]
+//! radio-node node     [--seed S] [--degree D]
+//! ```
+//!
+//! `workload` drives an in-process cluster and prints a
+//! [`NodeReport`](crate::report::NodeReport)
+//! (text by default, one JSON line with `--json`).  `node` speaks the
+//! Maelstrom JSON-lines protocol on stdin/stdout: an `init` envelope
+//! first, then `topology` / `broadcast` / `read` / `gossip` /
+//! `gossip_ack` / `tick` messages, one per line.  `radio-cli node ...`
+//! forwards here, mirroring the `bench` forwarding.
+
+use radio_broadcast::distributed::{EgDistributed, Restartable};
+use radio_sim::FaultConfig;
+use std::io::{BufRead, Write};
+
+use crate::msg::{Body, Message};
+use crate::net::Partition;
+use crate::node::{BackoffPolicy, GossipNode};
+use crate::workload::{run_workload, WorkloadConfig};
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "radio-node — deterministic message-passing broadcast service
+
+  radio-node workload --nodes N [--degree D] [--ops K] [--ticks T] [--trials R]
+                      [--seed S] [--faults SPEC] [--partition FROM:LEN[:GROUPS]]...
+                      [--loss P] [--jitter J] [--backoff BASE:FACTOR:CAP]
+                      [--assert-coverage X] [--strip-timing] [--json]
+  radio-node node     [--seed S] [--degree D]
+
+faults SPEC is the radio-cli grammar: crash=RATE[@H],sleep=RATE[@H],jam=K,burst=PB:PG
+examples:
+  radio-node workload --nodes 1024 --ops 32 --partition 10:120 --faults crash=0.05 --json
+  echo '{{\"src\":4294967295,\"dest\":0,\"body\":{{\"type\":\"init\",\"msg_id\":1,\"node_id\":0,\"n\":4}}}}' | radio-node node"
+    );
+    std::process::exit(2);
+}
+
+fn parse_backoff(spec: &str) -> Result<BackoffPolicy, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [base, factor, cap] = parts[..] else {
+        return Err(format!("backoff {spec:?} is not BASE:FACTOR:CAP"));
+    };
+    let int = |what: &str, s: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("backoff {what}: bad integer {s:?}"))
+    };
+    let policy = BackoffPolicy {
+        base: int("BASE", base)?.max(1),
+        factor: int("FACTOR", factor)?.max(1),
+        cap: int("CAP", cap)?.max(1),
+    };
+    Ok(policy)
+}
+
+struct WorkloadArgs {
+    cfg: WorkloadConfig,
+    assert_coverage: Option<f64>,
+    strip_timing: bool,
+    json: bool,
+}
+
+fn parse_workload(rest: &[String]) -> Result<WorkloadArgs, String> {
+    let mut out = WorkloadArgs {
+        cfg: WorkloadConfig::default(),
+        assert_coverage: None,
+        strip_timing: false,
+        json: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => out.cfg.n = value()?.parse().map_err(|_| "bad --nodes")?,
+            "--degree" => out.cfg.degree = value()?.parse().map_err(|_| "bad --degree")?,
+            "--ops" => out.cfg.ops = value()?.parse().map_err(|_| "bad --ops")?,
+            "--ticks" => out.cfg.ticks = value()?.parse().map_err(|_| "bad --ticks")?,
+            "--trials" => out.cfg.trials = value()?.parse().map_err(|_| "bad --trials")?,
+            "--seed" => out.cfg.seed = value()?.parse().map_err(|_| "bad --seed")?,
+            "--faults" => out.cfg.faults = FaultConfig::parse(value()?)?,
+            "--partition" => out.cfg.net.partitions.push(Partition::parse(value()?)?),
+            "--loss" => {
+                let p: f64 = value()?.parse().map_err(|_| "bad --loss")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("--loss {p} outside [0, 1]"));
+                }
+                out.cfg.net.loss = p;
+            }
+            "--jitter" => {
+                out.cfg.net.delay_jitter = value()?.parse().map_err(|_| "bad --jitter")?
+            }
+            "--backoff" => out.cfg.backoff = parse_backoff(value()?)?,
+            "--assert-coverage" => {
+                out.assert_coverage = Some(value()?.parse().map_err(|_| "bad --assert-coverage")?)
+            }
+            "--strip-timing" => out.strip_timing = true,
+            "--json" => out.json = true,
+            other => return Err(format!("unknown workload flag {other}")),
+        }
+    }
+    if out.cfg.n == 0 || out.cfg.ops == 0 || out.cfg.ticks == 0 {
+        return Err("--nodes, --ops, and --ticks must be positive".into());
+    }
+    Ok(out)
+}
+
+fn cmd_workload(rest: &[String]) {
+    let args = match parse_workload(rest) {
+        Ok(a) => a,
+        Err(e) => usage(&e),
+    };
+    let mut report = run_workload(&args.cfg);
+    if args.strip_timing {
+        report = report.strip_timing();
+    }
+    if args.json {
+        println!("{}", report.to_json().render());
+    } else {
+        println!(
+            "radio-node workload: n={} ops={} trials={} seed={}",
+            report.n, report.ops, report.trials, report.seed
+        );
+        println!(
+            "  coverage {:.4} ({}/{} trials converged)",
+            report.coverage, report.converged_trials, report.trials
+        );
+        println!(
+            "  msgs/op {:.2}  sent {}  delivered {}  dropped {}  retries {}",
+            report.msgs_per_op,
+            report.msgs_sent,
+            report.msgs_delivered,
+            report.msgs_dropped,
+            report.retries
+        );
+        println!(
+            "  delivery p50 {} p99 {} ticks  stale-window max {}  post-heal {}",
+            report.delivery_p50,
+            report.delivery_p99,
+            report.stale_window_max,
+            report.post_heal_ticks
+        );
+    }
+    if let Some(min) = args.assert_coverage {
+        if report.coverage < min {
+            eprintln!(
+                "error: coverage {:.4} below required {:.4}",
+                report.coverage, min
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The stdio node loop, split from `cmd_node` so tests can drive it with
+/// in-memory readers and writers.
+pub fn node_loop<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    seed: u64,
+    degree: f64,
+) -> Result<(), String> {
+    let mut node: Option<GossipNode<Restartable<EgDistributed>>> = None;
+    let mut tick = 1u64;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let msg = Message::from_line(&line)?;
+        let replies = match (&mut node, &msg.body) {
+            (slot @ None, Body::Init { msg_id, node_id, n }) => {
+                let n = *n as usize;
+                let p = (degree / n.max(1) as f64).min(1.0);
+                let mut fresh = GossipNode::new(
+                    Restartable::auto(EgDistributed::new(p)),
+                    *node_id,
+                    n,
+                    Vec::new(),
+                    seed,
+                    BackoffPolicy::default(),
+                );
+                let replies = fresh.handle(msg.clone(), tick);
+                *slot = Some(fresh);
+                debug_assert!(matches!(
+                    replies[0].body,
+                    Body::InitOk { in_reply_to } if in_reply_to == *msg_id
+                ));
+                replies
+            }
+            (None, _) => return Err(format!("first message must be init, got {line}")),
+            (Some(_), Body::Init { .. }) => return Err("duplicate init".into()),
+            (Some(node), body) => {
+                if let Body::Tick { tick: t } = body {
+                    tick = (*t).max(tick);
+                }
+                node.handle(msg.clone(), tick)
+            }
+        };
+        for reply in replies {
+            writeln!(output, "{}", reply.to_line()).map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_node(rest: &[String]) {
+    let (mut seed, mut degree) = (1u64, 12.0f64);
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> &String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--degree" => degree = value().parse().unwrap_or_else(|_| usage("bad --degree")),
+            other => usage(&format!("unknown node flag {other}")),
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = node_loop(stdin.lock(), stdout.lock(), seed, degree) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Entry point shared by the `radio-node` binary and the `radio-cli node`
+/// forwarding.
+pub fn cli_main(argv: Vec<String>) {
+    match argv.first().map(String::as_str) {
+        None | Some("--help") | Some("-h") | Some("help") => usage(""),
+        Some("workload") => cmd_workload(&argv[1..]),
+        Some("node") => cmd_node(&argv[1..]),
+        Some(other) => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::CLIENT;
+
+    #[test]
+    fn backoff_spec_parses() {
+        assert_eq!(
+            parse_backoff("2:3:50").unwrap(),
+            BackoffPolicy {
+                base: 2,
+                factor: 3,
+                cap: 50
+            }
+        );
+        assert!(parse_backoff("2:3").is_err());
+        assert!(parse_backoff("a:b:c").is_err());
+    }
+
+    #[test]
+    fn workload_flags_build_a_config() {
+        let argv: Vec<String> = [
+            "--nodes",
+            "128",
+            "--ops",
+            "4",
+            "--ticks",
+            "300",
+            "--seed",
+            "9",
+            "--loss",
+            "0.1",
+            "--partition",
+            "5:20:4",
+            "--faults",
+            "crash=0.1",
+            "--backoff",
+            "1:2:16",
+            "--strip-timing",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let args = parse_workload(&argv).unwrap();
+        assert_eq!(args.cfg.n, 128);
+        assert_eq!(args.cfg.net.partitions.len(), 1);
+        assert_eq!(args.cfg.net.partitions[0].groups, 4);
+        assert_eq!(args.cfg.faults.crash_rate, 0.1);
+        assert_eq!(args.cfg.backoff.cap, 16);
+        assert!(args.strip_timing && args.json);
+        assert!(parse_workload(&["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn stdio_node_speaks_the_wire_protocol() {
+        let script = [
+            Message {
+                src: CLIENT,
+                dest: 0,
+                body: Body::Init {
+                    msg_id: 1,
+                    node_id: 0,
+                    n: 4,
+                },
+            },
+            Message {
+                src: CLIENT,
+                dest: 0,
+                body: Body::Topology {
+                    msg_id: 2,
+                    neighbors: vec![1, 2],
+                },
+            },
+            Message {
+                src: CLIENT,
+                dest: 0,
+                body: Body::Broadcast {
+                    msg_id: 3,
+                    value: 41,
+                },
+            },
+            Message {
+                src: CLIENT,
+                dest: 0,
+                body: Body::Read { msg_id: 4 },
+            },
+        ];
+        let input: String = script.iter().map(|m| m.to_line() + "\n").collect();
+        let mut out = Vec::new();
+        node_loop(input.as_bytes(), &mut out, 7, 12.0).unwrap();
+        let lines: Vec<Message> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Message::from_line(l).unwrap())
+            .collect();
+        assert!(matches!(lines[0].body, Body::InitOk { in_reply_to: 1 }));
+        assert!(matches!(lines[1].body, Body::TopologyOk { in_reply_to: 2 }));
+        assert!(matches!(
+            lines[2].body,
+            Body::BroadcastOk { in_reply_to: 3 }
+        ));
+        match &lines[3].body {
+            Body::ReadOk {
+                in_reply_to,
+                values,
+            } => {
+                assert_eq!(*in_reply_to, 4);
+                assert_eq!(values, &[41]);
+            }
+            other => panic!("expected read_ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stdio_node_rejects_protocol_violations() {
+        let broadcast_first =
+            "{\"src\":4294967295,\"dest\":0,\"body\":{\"type\":\"read\",\"msg_id\":1}}\n";
+        let mut out = Vec::new();
+        assert!(node_loop(broadcast_first.as_bytes(), &mut out, 7, 12.0).is_err());
+        assert!(node_loop("not json\n".as_bytes(), &mut out, 7, 12.0).is_err());
+    }
+}

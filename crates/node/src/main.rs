@@ -1,0 +1,8 @@
+//! `radio-node` — deterministic message-passing broadcast service.
+//!
+//! See [`radio_node::cli`] for the subcommands; `radio-cli node ...`
+//! forwards here.
+
+fn main() {
+    radio_node::cli::cli_main(std::env::args().skip(1).collect());
+}

@@ -1,0 +1,388 @@
+//! Maelstrom-style JSON-lines messages.
+//!
+//! Every message is an envelope `{"src": ..., "dest": ..., "body": {...}}`
+//! whose body carries a `type` tag plus typed fields — the wire format the
+//! Maelstrom/Gossip-Glomers broadcast workloads speak, restricted to the
+//! node ids being integers (the in-process cluster addresses nodes by
+//! [`NodeId`]; the workload driver is [`CLIENT`]).
+//!
+//! In-process, the cluster exchanges the typed [`Message`] values directly
+//! — rendering ~10⁷ JSON strings per workload would dominate the run — but
+//! every message round-trips through [`Message::to_json`] /
+//! [`Message::from_json`] byte-for-byte, and the `radio-node node` stdio
+//! mode speaks exactly this rendering, one message per line.
+
+use radio_graph::NodeId;
+use radio_sim::Json;
+
+/// The workload driver's address (client messages: `broadcast`, `read`,
+/// `topology`, `init`).
+pub const CLIENT: NodeId = NodeId::MAX;
+
+/// One envelope on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender node id ([`CLIENT`] for the driver).
+    pub src: NodeId,
+    /// Receiver node id.
+    pub dest: NodeId,
+    /// The typed payload.
+    pub body: Body,
+}
+
+/// Typed message bodies (the `type` tag on the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// Hands the node its identity and the cluster size.
+    Init {
+        /// Client-chosen message id.
+        msg_id: u64,
+        /// The node's own id.
+        node_id: NodeId,
+        /// Cluster size.
+        n: u32,
+    },
+    /// Acknowledges `init`.
+    InitOk {
+        /// The `msg_id` being acknowledged.
+        in_reply_to: u64,
+    },
+    /// Hands the node its gossip peers.
+    Topology {
+        /// Client-chosen message id.
+        msg_id: u64,
+        /// Neighbor ids, ascending.
+        neighbors: Vec<NodeId>,
+    },
+    /// Acknowledges `topology`.
+    TopologyOk {
+        /// The `msg_id` being acknowledged.
+        in_reply_to: u64,
+    },
+    /// A client op: remember `value` and spread it to the cluster.
+    Broadcast {
+        /// Client-chosen message id.
+        msg_id: u64,
+        /// The datum to spread.
+        value: u64,
+    },
+    /// Acknowledges `broadcast`.
+    BroadcastOk {
+        /// The `msg_id` being acknowledged.
+        in_reply_to: u64,
+    },
+    /// A client op: return every value the node has seen.
+    Read {
+        /// Client-chosen message id.
+        msg_id: u64,
+    },
+    /// Answers `read`.
+    ReadOk {
+        /// The `msg_id` being answered.
+        in_reply_to: u64,
+        /// Every value the node holds, ascending.
+        values: Vec<u64>,
+    },
+    /// Inter-node gossip: "here are values you may be missing".
+    Gossip {
+        /// The offered values, ascending.
+        values: Vec<u64>,
+    },
+    /// Confirms receipt of a `gossip` (the ack layer's confirmation).
+    GossipAck {
+        /// The values being confirmed, ascending.
+        values: Vec<u64>,
+    },
+    /// Advances the node's simulated clock (stdio mode only; the
+    /// in-process event loop owns time directly).
+    Tick {
+        /// The new tick.
+        tick: u64,
+    },
+}
+
+impl Body {
+    /// The wire `type` tag.
+    pub fn type_str(&self) -> &'static str {
+        match self {
+            Body::Init { .. } => "init",
+            Body::InitOk { .. } => "init_ok",
+            Body::Topology { .. } => "topology",
+            Body::TopologyOk { .. } => "topology_ok",
+            Body::Broadcast { .. } => "broadcast",
+            Body::BroadcastOk { .. } => "broadcast_ok",
+            Body::Read { .. } => "read",
+            Body::ReadOk { .. } => "read_ok",
+            Body::Gossip { .. } => "gossip",
+            Body::GossipAck { .. } => "gossip_ack",
+            Body::Tick { .. } => "tick",
+        }
+    }
+}
+
+fn values_json(values: &[u64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::from(v as i64)).collect())
+}
+
+fn values_from(json: &Json, key: &str) -> Result<Vec<u64>, String> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing {key} array"))?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|i| u64::try_from(i).ok())
+                .ok_or_else(|| format!("bad value in {key}"))
+        })
+        .collect()
+}
+
+impl Message {
+    /// Renders the Maelstrom envelope (`src`/`dest`/`body`).
+    pub fn to_json(&self) -> Json {
+        let tag = ("type", Json::from(self.body.type_str()));
+        let body = match &self.body {
+            Body::Init { msg_id, node_id, n } => Json::object([
+                tag,
+                ("msg_id", Json::from(*msg_id as i64)),
+                ("node_id", Json::from(*node_id)),
+                ("n", Json::from(*n)),
+            ]),
+            Body::InitOk { in_reply_to }
+            | Body::TopologyOk { in_reply_to }
+            | Body::BroadcastOk { in_reply_to } => {
+                Json::object([tag, ("in_reply_to", Json::from(*in_reply_to as i64))])
+            }
+            Body::Topology { msg_id, neighbors } => Json::object([
+                tag,
+                ("msg_id", Json::from(*msg_id as i64)),
+                (
+                    "neighbors",
+                    Json::Arr(neighbors.iter().map(|&v| Json::from(v)).collect()),
+                ),
+            ]),
+            Body::Broadcast { msg_id, value } => Json::object([
+                tag,
+                ("msg_id", Json::from(*msg_id as i64)),
+                ("value", Json::from(*value as i64)),
+            ]),
+            Body::Read { msg_id } => Json::object([tag, ("msg_id", Json::from(*msg_id as i64))]),
+            Body::ReadOk {
+                in_reply_to,
+                values,
+            } => Json::object([
+                tag,
+                ("in_reply_to", Json::from(*in_reply_to as i64)),
+                ("values", values_json(values)),
+            ]),
+            Body::Gossip { values } | Body::GossipAck { values } => {
+                Json::object([tag, ("values", values_json(values))])
+            }
+            Body::Tick { tick } => Json::object([tag, ("tick", Json::from(*tick as i64))]),
+        };
+        Json::object([
+            ("src", Json::from(self.src)),
+            ("dest", Json::from(self.dest)),
+            ("body", body),
+        ])
+    }
+
+    /// Parses an envelope rendered by [`Message::to_json`].
+    pub fn from_json(json: &Json) -> Result<Message, String> {
+        let node = |key: &str| -> Result<NodeId, String> {
+            json.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| format!("missing or invalid {key}"))
+        };
+        let body = json.get("body").ok_or("missing body")?;
+        let u64_field = |key: &str| -> Result<u64, String> {
+            body.get(key)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("missing or invalid body.{key}"))
+        };
+        let kind = body
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("missing body.type")?;
+        let parsed = match kind {
+            "init" => Body::Init {
+                msg_id: u64_field("msg_id")?,
+                node_id: body
+                    .get("node_id")
+                    .and_then(Json::as_i64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or("missing or invalid body.node_id")?,
+                n: body
+                    .get("n")
+                    .and_then(Json::as_i64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or("missing or invalid body.n")?,
+            },
+            "init_ok" => Body::InitOk {
+                in_reply_to: u64_field("in_reply_to")?,
+            },
+            "topology" => Body::Topology {
+                msg_id: u64_field("msg_id")?,
+                neighbors: body
+                    .get("neighbors")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing body.neighbors")?
+                    .iter()
+                    .map(|v| {
+                        v.as_i64()
+                            .and_then(|i| u32::try_from(i).ok())
+                            .ok_or_else(|| "bad neighbor id".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "topology_ok" => Body::TopologyOk {
+                in_reply_to: u64_field("in_reply_to")?,
+            },
+            "broadcast" => Body::Broadcast {
+                msg_id: u64_field("msg_id")?,
+                value: u64_field("value")?,
+            },
+            "broadcast_ok" => Body::BroadcastOk {
+                in_reply_to: u64_field("in_reply_to")?,
+            },
+            "read" => Body::Read {
+                msg_id: u64_field("msg_id")?,
+            },
+            "read_ok" => Body::ReadOk {
+                in_reply_to: u64_field("in_reply_to")?,
+                values: values_from(body, "values")?,
+            },
+            "gossip" => Body::Gossip {
+                values: values_from(body, "values")?,
+            },
+            "gossip_ack" => Body::GossipAck {
+                values: values_from(body, "values")?,
+            },
+            "tick" => Body::Tick {
+                tick: u64_field("tick")?,
+            },
+            other => return Err(format!("unknown message type {other:?}")),
+        };
+        Ok(Message {
+            src: node("src")?,
+            dest: node("dest")?,
+            body: parsed,
+        })
+    }
+
+    /// One compact JSON line (the stdio wire format, no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses one JSON line.
+    pub fn from_line(line: &str) -> Result<Message, String> {
+        Message::from_json(&Json::parse(line).map_err(|e| format!("bad JSON line: {e}"))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message {
+                src: CLIENT,
+                dest: 0,
+                body: Body::Init {
+                    msg_id: 1,
+                    node_id: 0,
+                    n: 64,
+                },
+            },
+            Message {
+                src: 0,
+                dest: CLIENT,
+                body: Body::InitOk { in_reply_to: 1 },
+            },
+            Message {
+                src: CLIENT,
+                dest: 3,
+                body: Body::Topology {
+                    msg_id: 2,
+                    neighbors: vec![1, 2, 9],
+                },
+            },
+            Message {
+                src: 3,
+                dest: CLIENT,
+                body: Body::TopologyOk { in_reply_to: 2 },
+            },
+            Message {
+                src: CLIENT,
+                dest: 5,
+                body: Body::Broadcast {
+                    msg_id: 3,
+                    value: 7001,
+                },
+            },
+            Message {
+                src: 5,
+                dest: CLIENT,
+                body: Body::BroadcastOk { in_reply_to: 3 },
+            },
+            Message {
+                src: CLIENT,
+                dest: 5,
+                body: Body::Read { msg_id: 4 },
+            },
+            Message {
+                src: 5,
+                dest: CLIENT,
+                body: Body::ReadOk {
+                    in_reply_to: 4,
+                    values: vec![7001, 7002],
+                },
+            },
+            Message {
+                src: 5,
+                dest: 9,
+                body: Body::Gossip { values: vec![7001] },
+            },
+            Message {
+                src: 9,
+                dest: 5,
+                body: Body::GossipAck { values: vec![7001] },
+            },
+            Message {
+                src: CLIENT,
+                dest: 5,
+                body: Body::Tick { tick: 42 },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_body_round_trips_through_json_lines() {
+        for msg in samples() {
+            let line = msg.to_line();
+            let back = Message::from_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, msg, "{line}");
+            // Rendering is stable (byte-identical re-render).
+            assert_eq!(back.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn wire_format_is_maelstrom_shaped() {
+        let line = samples()[4].to_line();
+        assert!(line.starts_with("{\"src\":"), "{line}");
+        assert!(line.contains("\"body\":{\"type\":\"broadcast\""), "{line}");
+        assert!(line.contains("\"value\":7001"), "{line}");
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected() {
+        assert!(Message::from_line("not json").is_err());
+        assert!(Message::from_line("{\"src\":1}").is_err());
+        assert!(Message::from_line("{\"src\":1,\"dest\":2,\"body\":{\"type\":\"warp\"}}").is_err());
+    }
+}

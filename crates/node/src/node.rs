@@ -1,0 +1,468 @@
+//! The broadcast service node: gossip with per-peer acks, capped
+//! exponential-backoff retries, and a Thm-7 transmit cadence.
+//!
+//! A [`GossipNode`] holds a grow-only set of values and, for every
+//! `(peer, value)` pair, an [`AckState`]:
+//!
+//! ```text
+//!           send gossip                    GossipAck / peer gossips v back
+//! (absent) ────────────► SentUnconfirmed ────────────────────────────────► Confirmed
+//!    │
+//!    │ peer gossips v to us (peer evidently holds v; ack sent at once)
+//!    └───────────► ReceivedUnconfirmed   (terminal — nothing owed)
+//! ```
+//!
+//! Unconfirmed sends retry with exponential backoff
+//! (`min(base · factor^(attempts−1), cap)` ticks), so a value keeps being
+//! re-offered to a partitioned or sleeping peer until the link heals and
+//! an ack finally lands — that retry loop *is* the partition-recovery
+//! mechanism.  All sends are additionally gated by the wrapped protocol's
+//! transmit cadence ([`EventDriven`]): on ticks where Thm-7 would stay
+//! silent the node stays silent, which keeps per-tick channel load at the
+//! paper's level instead of flooding.
+
+use radio_broadcast::distributed::EventDriven;
+use radio_graph::NodeId;
+use radio_sim::Protocol;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::msg::{Body, Message, CLIENT};
+
+/// Retry-delay policy: attempt `k` (1-based) schedules the next retry
+/// `min(base · factor^(k−1), cap)` ticks out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay after the first send, in ticks (≥ 1).
+    pub base: u64,
+    /// Multiplier per failed attempt (≥ 1).
+    pub factor: u64,
+    /// Ceiling on the delay, in ticks.
+    pub cap: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: 2,
+            factor: 2,
+            cap: 64,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay scheduled after `attempts` sends (saturating, capped).
+    pub fn delay(&self, attempts: u32) -> u64 {
+        let mut d = self.base;
+        for _ in 1..attempts.max(1) {
+            d = d.saturating_mul(self.factor);
+            if d >= self.cap {
+                return self.cap;
+            }
+        }
+        d.min(self.cap).max(1)
+    }
+}
+
+/// Delivery state of one value at one peer, from this node's viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckState {
+    /// We offered the value and have no evidence the peer holds it.
+    SentUnconfirmed {
+        /// Sends so far (≥ 1).
+        attempts: u32,
+        /// Next tick at which a retry is due.
+        next_retry: u64,
+    },
+    /// We learned the value *from* this peer — they hold it; nothing owed.
+    ReceivedUnconfirmed,
+    /// The peer confirmed receipt (ack, or gossiped the value back).
+    Confirmed,
+}
+
+/// Message-economy counters for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeCounters {
+    /// `gossip` messages sent (first offers and retries).
+    pub gossip_sent: u64,
+    /// `gossip_ack` messages sent.
+    pub acks_sent: u64,
+    /// Retries among `gossip_sent` (attempts beyond the first).
+    pub retries: u64,
+}
+
+/// One deterministic broadcast-service node.
+#[derive(Debug)]
+pub struct GossipNode<P: Protocol> {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    values: BTreeSet<u64>,
+    /// value → tick first learned.
+    first_learned: BTreeMap<u64, u64>,
+    /// peer → value → state.  BTree maps keep iteration (and therefore
+    /// message emission) in a deterministic order.
+    acks: BTreeMap<NodeId, BTreeMap<u64, AckState>>,
+    cadence: EventDriven<P>,
+    backoff: BackoffPolicy,
+    /// Message counters.
+    pub counters: NodeCounters,
+}
+
+impl<P: Protocol> GossipNode<P> {
+    /// A node with identity `id` in a cluster of `n`, gossiping to
+    /// `peers`.  `proto` supplies the transmit cadence; its RNG stream is
+    /// `child_rng(master, id)`, so a cluster rebuilt from the same master
+    /// seed replays exactly.
+    pub fn new(
+        proto: P,
+        id: NodeId,
+        n: usize,
+        peers: Vec<NodeId>,
+        master: u64,
+        backoff: BackoffPolicy,
+    ) -> GossipNode<P> {
+        GossipNode {
+            id,
+            peers,
+            values: BTreeSet::new(),
+            first_learned: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            cadence: EventDriven::new(proto, id, n, master),
+            backoff,
+            counters: NodeCounters::default(),
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The gossip peer set.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Every value the node holds, ascending.
+    pub fn values(&self) -> &BTreeSet<u64> {
+        &self.values
+    }
+
+    /// The tick at which `value` was first learned, if held.
+    pub fn learned_at(&self, value: u64) -> Option<u64> {
+        self.first_learned.get(&value).copied()
+    }
+
+    /// The ack state of `value` at `peer`, if any.
+    pub fn ack_state(&self, peer: NodeId, value: u64) -> Option<AckState> {
+        self.acks.get(&peer).and_then(|m| m.get(&value)).copied()
+    }
+
+    /// Values still awaiting confirmation from some peer.
+    pub fn unconfirmed(&self) -> usize {
+        self.acks
+            .values()
+            .flat_map(|m| m.values())
+            .filter(|s| matches!(s, AckState::SentUnconfirmed { .. }))
+            .count()
+    }
+
+    fn learn(&mut self, value: u64, now: u64) -> bool {
+        if self.values.insert(value) {
+            self.first_learned.insert(value, now);
+            self.cadence.inform(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Handles one incoming message at `now`, returning the messages to
+    /// send in response.
+    pub fn handle(&mut self, msg: Message, now: u64) -> Vec<Message> {
+        let (id, peer) = (self.id, msg.src);
+        let reply = move |body: Body| {
+            vec![Message {
+                src: id,
+                dest: peer,
+                body,
+            }]
+        };
+        match &msg.body {
+            Body::Init { msg_id, .. } => reply(Body::InitOk {
+                in_reply_to: *msg_id,
+            }),
+            Body::Topology { msg_id, neighbors } => {
+                self.peers = neighbors.clone();
+                reply(Body::TopologyOk {
+                    in_reply_to: *msg_id,
+                })
+            }
+            Body::Broadcast { msg_id, value } => {
+                self.learn(*value, now);
+                reply(Body::BroadcastOk {
+                    in_reply_to: *msg_id,
+                })
+            }
+            Body::Read { msg_id } => reply(Body::ReadOk {
+                in_reply_to: *msg_id,
+                values: self.values.iter().copied().collect(),
+            }),
+            Body::Gossip { values } => {
+                let values = values.clone();
+                let peer = msg.src;
+                for &v in &values {
+                    self.learn(v, now);
+                    let slot = self.acks.entry(peer).or_default().entry(v);
+                    // The peer holds v.  An outstanding offer of ours is
+                    // thereby confirmed; otherwise record that v came
+                    // from them (terminal — we owe only the ack below).
+                    use std::collections::btree_map::Entry;
+                    match slot {
+                        Entry::Occupied(mut e) => {
+                            if matches!(e.get(), AckState::SentUnconfirmed { .. }) {
+                                e.insert(AckState::Confirmed);
+                            }
+                        }
+                        Entry::Vacant(e) => {
+                            e.insert(AckState::ReceivedUnconfirmed);
+                        }
+                    }
+                }
+                self.counters.acks_sent += 1;
+                reply(Body::GossipAck { values })
+            }
+            Body::GossipAck { values } => {
+                if let Some(per_peer) = self.acks.get_mut(&msg.src) {
+                    for v in values {
+                        if let Some(s @ AckState::SentUnconfirmed { .. }) = per_peer.get_mut(v) {
+                            *s = AckState::Confirmed;
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            Body::Tick { tick } => self.on_tick(*tick),
+            // Replies addressed to the client; a node ignores them.
+            Body::InitOk { .. }
+            | Body::TopologyOk { .. }
+            | Body::BroadcastOk { .. }
+            | Body::ReadOk { .. } => Vec::new(),
+        }
+    }
+
+    /// Advances the node's clock to `now`: if the Thm-7 cadence elects to
+    /// transmit, offers each peer every value that is due (unsent, or
+    /// unconfirmed past its retry deadline), bundled into one `gossip`
+    /// per peer.
+    pub fn on_tick(&mut self, now: u64) -> Vec<Message> {
+        if !self.cadence.wants_transmit(now) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            let per_peer = self.acks.entry(peer).or_default();
+            let mut due = Vec::new();
+            for &v in &self.values {
+                match per_peer.get_mut(&v) {
+                    None => {
+                        due.push(v);
+                        per_peer.insert(
+                            v,
+                            AckState::SentUnconfirmed {
+                                attempts: 1,
+                                next_retry: now + self.backoff.delay(1),
+                            },
+                        );
+                    }
+                    Some(AckState::SentUnconfirmed {
+                        attempts,
+                        next_retry,
+                    }) if *next_retry <= now => {
+                        due.push(v);
+                        *attempts = attempts.saturating_add(1);
+                        *next_retry = now + self.backoff.delay(*attempts);
+                        self.counters.retries += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if !due.is_empty() {
+                self.counters.gossip_sent += 1;
+                out.push(Message {
+                    src: self.id,
+                    dest: peer,
+                    body: Body::Gossip { values: due },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: a client envelope addressed to `dest`.
+pub fn client_msg(dest: NodeId, body: Body) -> Message {
+    Message {
+        src: CLIENT,
+        dest,
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_broadcast::distributed::Flooding;
+
+    fn node(id: NodeId, peers: Vec<NodeId>) -> GossipNode<Flooding> {
+        // Flooding transmits every tick once informed, so cadence never
+        // hides the ack machine in these tests.
+        GossipNode::new(Flooding, id, 8, peers, 99, BackoffPolicy::default())
+    }
+
+    #[test]
+    fn backoff_delays_grow_then_cap() {
+        let b = BackoffPolicy {
+            base: 2,
+            factor: 3,
+            cap: 50,
+        };
+        assert_eq!(b.delay(1), 2);
+        assert_eq!(b.delay(2), 6);
+        assert_eq!(b.delay(3), 18);
+        assert_eq!(b.delay(4), 50);
+        assert_eq!(b.delay(40), 50, "saturates at the cap, no overflow");
+    }
+
+    #[test]
+    fn broadcast_then_gossip_then_ack_reaches_confirmed() {
+        let mut a = node(0, vec![1]);
+        let mut b = node(1, vec![0]);
+        let replies = a.handle(
+            client_msg(
+                0,
+                Body::Broadcast {
+                    msg_id: 9,
+                    value: 7,
+                },
+            ),
+            1,
+        );
+        assert!(matches!(
+            replies[0].body,
+            Body::BroadcastOk { in_reply_to: 9 }
+        ));
+        // a offers 7 to b.
+        let out = a.on_tick(2);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            a.ack_state(1, 7),
+            Some(AckState::SentUnconfirmed { attempts: 1, .. })
+        ));
+        // b learns it, remembers the provenance, and acks.
+        let acks = b.handle(out[0].clone(), 3);
+        assert!(b.values().contains(&7));
+        assert_eq!(b.learned_at(7), Some(3));
+        assert_eq!(b.ack_state(0, 7), Some(AckState::ReceivedUnconfirmed));
+        assert!(matches!(acks[0].body, Body::GossipAck { .. }));
+        // the ack confirms a's offer.
+        a.handle(acks[0].clone(), 4);
+        assert_eq!(a.ack_state(1, 7), Some(AckState::Confirmed));
+        assert_eq!(a.unconfirmed(), 0);
+        // b never re-offers to 0 (ReceivedUnconfirmed is terminal) but a
+        // stays quiet too: nothing due.
+        assert!(a.on_tick(10).is_empty());
+    }
+
+    #[test]
+    fn lost_gossip_retries_with_growing_gaps() {
+        let mut a = node(0, vec![1]);
+        a.handle(
+            client_msg(
+                0,
+                Body::Broadcast {
+                    msg_id: 1,
+                    value: 5,
+                },
+            ),
+            1,
+        );
+        let mut send_ticks = Vec::new();
+        for t in 2..40 {
+            if !a.on_tick(t).is_empty() {
+                send_ticks.push(t);
+            }
+        }
+        // base=2, factor=2: sends at 2, then +2, +4, +8, +16 → 4, 8, 16, 32.
+        assert_eq!(send_ticks, vec![2, 4, 8, 16, 32]);
+        assert_eq!(a.counters.retries, 4);
+        // An eventual incoming gossip of the same value also confirms.
+        let from_peer = Message {
+            src: 1,
+            dest: 0,
+            body: Body::Gossip { values: vec![5] },
+        };
+        a.handle(from_peer, 40);
+        assert_eq!(a.ack_state(1, 5), Some(AckState::Confirmed));
+        assert!(a.on_tick(41).is_empty());
+    }
+
+    #[test]
+    fn reads_and_topology_follow_the_wire_contract() {
+        let mut a = node(3, vec![]);
+        let out = a.handle(
+            client_msg(
+                3,
+                Body::Topology {
+                    msg_id: 2,
+                    neighbors: vec![1, 5],
+                },
+            ),
+            1,
+        );
+        assert!(matches!(out[0].body, Body::TopologyOk { in_reply_to: 2 }));
+        assert_eq!(a.peers(), &[1, 5]);
+        a.handle(
+            client_msg(
+                3,
+                Body::Broadcast {
+                    msg_id: 3,
+                    value: 9,
+                },
+            ),
+            2,
+        );
+        a.handle(
+            client_msg(
+                3,
+                Body::Broadcast {
+                    msg_id: 4,
+                    value: 4,
+                },
+            ),
+            3,
+        );
+        let out = a.handle(client_msg(3, Body::Read { msg_id: 5 }), 4);
+        match &out[0].body {
+            Body::ReadOk {
+                in_reply_to,
+                values,
+            } => {
+                assert_eq!(*in_reply_to, 5);
+                assert_eq!(values, &[4, 9], "ascending");
+            }
+            other => panic!("expected read_ok, got {other:?}"),
+        }
+        assert_eq!(out[0].dest, CLIENT);
+    }
+
+    #[test]
+    fn uninformed_nodes_stay_silent() {
+        let mut a = node(0, vec![1, 2]);
+        for t in 1..20 {
+            assert!(a.on_tick(t).is_empty());
+        }
+        assert_eq!(a.counters.gossip_sent, 0);
+    }
+}

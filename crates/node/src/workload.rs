@@ -1,0 +1,414 @@
+//! The partition-recovery workload: spawn an in-process cluster, inject
+//! broadcast ops and faults, and measure delivery under (and after) the
+//! damage.
+//!
+//! Per trial: a connected G(n, p) gossip topology is sampled (components
+//! chained if the draw is disconnected), a [`FaultPlan`] is generated
+//! against it with node 0 exempt, and client `broadcast` ops are injected
+//! at node 0 spread over the first quarter of the horizon.  The event
+//! loop then runs: burst channels step, due messages deliver, ops land,
+//! live nodes tick — all in deterministic order, so the whole trial is a
+//! function of its seed.  Trials fan out through `run_trials`, which is
+//! bit-identical serial vs. parallel, giving the `RADIO_THREADS`
+//! independence that `scripts/check.sh` pins.
+//!
+//! Coverage is measured over the *eligible* set — nodes that never crash
+//! and remain reachable from the source through never-crashing nodes —
+//! since a node whose whole neighborhood is permanently dead cannot be
+//! informed by any protocol.  Sleep, jam, loss, burst, and partitions are
+//! all transient, so they delay but never shrink the eligible set.
+
+use radio_broadcast::distributed::{EgDistributed, Restartable};
+use radio_graph::components::DisjointSets;
+use radio_graph::gnp::sample_gnp;
+use radio_graph::{labeled_seed, Graph, NodeId, Xoshiro256pp};
+use radio_sim::{run_trials, FaultConfig, FaultPlan};
+
+use crate::msg::{Body, CLIENT};
+use crate::net::{NetConfig, SimNet};
+use crate::node::{client_msg, BackoffPolicy, GossipNode};
+use crate::report::{percentile, NodeReport, NODE_REPORT_SCHEMA_VERSION};
+
+/// Everything a workload run depends on (all of it seeds the report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Target mean gossip degree (edge probability is `degree / n`).
+    pub degree: f64,
+    /// Client broadcast ops per trial.
+    pub ops: usize,
+    /// Tick horizon per trial.
+    pub ticks: u64,
+    /// Independent trials.
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Node-level fault generation (crash/sleep/jam/burst); the source
+    /// is exempted automatically.
+    pub faults: FaultConfig,
+    /// Link-level faults: partitions, iid loss, delay jitter.
+    pub net: NetConfig,
+    /// Gossip retry policy.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n: 64,
+            degree: 12.0,
+            ops: 16,
+            ticks: 512,
+            trials: 1,
+            seed: 1,
+            faults: FaultConfig::default(),
+            net: NetConfig::default(),
+            backoff: BackoffPolicy::default(),
+        }
+    }
+}
+
+/// The client op-injection point; [`FaultPlan::generate`] exempts it.
+pub const SOURCE: NodeId = 0;
+
+struct TrialStats {
+    coverage: f64,
+    converged: bool,
+    protocol_msgs: u64,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    retries: u64,
+    /// Per-(value, node) delivery latencies in ticks, ascending.
+    latencies: Vec<u64>,
+    stale_window_max: u64,
+    post_heal_ticks: u64,
+}
+
+/// A connected gossip topology: G(n, p) with any stray components
+/// chained onto the giant one so every node is reachable.
+pub fn connected_topology(n: usize, degree: f64, rng: &mut Xoshiro256pp) -> Graph {
+    let p = (degree / n as f64).min(1.0);
+    let g = sample_gnp(n, p, rng);
+    let mut sets = DisjointSets::new(n);
+    for (u, v) in g.edges() {
+        sets.union(u, v);
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    // Chain the first node of every stray component onto node 0's
+    // (unions accumulate, so later members of a chained component skip).
+    for v in 1..n as NodeId {
+        if !sets.connected(0, v) {
+            edges.push((v - 1, v));
+            sets.union(v - 1, v);
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Nodes that never crash and stay reachable from [`SOURCE`] through
+/// never-crashing nodes — the set coverage is measured over.
+fn eligible_nodes(g: &Graph, plan: &FaultPlan, horizon: u64) -> Vec<bool> {
+    let n = g.n();
+    let alive = |v: NodeId| match plan.crash_round(v) {
+        Some(r) => u64::from(r) > horizon,
+        None => true,
+    };
+    let mut eligible = vec![false; n];
+    if n == 0 || !alive(SOURCE) {
+        return eligible;
+    }
+    let mut queue = std::collections::VecDeque::from([SOURCE]);
+    eligible[SOURCE as usize] = true;
+    while let Some(u) = queue.pop_front() {
+        for &w in g.neighbors(u) {
+            if !eligible[w as usize] && alive(w) {
+                eligible[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    eligible
+}
+
+fn run_trial(cfg: &WorkloadConfig, trial_master: u64) -> TrialStats {
+    let n = cfg.n;
+    let mut topo_rng = Xoshiro256pp::new(labeled_seed(trial_master, "node/topo"));
+    let g = connected_topology(n, cfg.degree, &mut topo_rng);
+    let mut faults = cfg.faults;
+    faults.exempt = Some(SOURCE);
+    let plan = FaultPlan::generate(&g, &faults, labeled_seed(trial_master, "node/faults"));
+    let eligible = eligible_nodes(&g, &plan, cfg.ticks);
+    let eligible_count = eligible.iter().filter(|&&e| e).count().max(1);
+
+    let mut net = SimNet::new(
+        n,
+        plan,
+        cfg.net.clone(),
+        labeled_seed(trial_master, "node/net"),
+    );
+    let node_master = labeled_seed(trial_master, "node/protocol");
+    let p = (cfg.degree / n as f64).min(1.0);
+    let mut nodes: Vec<GossipNode<Restartable<EgDistributed>>> = (0..n as NodeId)
+        .map(|id| {
+            GossipNode::new(
+                Restartable::auto(EgDistributed::new(p)),
+                id,
+                n,
+                g.neighbors(id).to_vec(),
+                node_master,
+                cfg.backoff,
+            )
+        })
+        .collect();
+
+    // Op j lands at source at `1 + floor(j · window / ops)`, values
+    // 1000, 1001, ...; the remaining ¾ of the horizon is recovery time.
+    let window = (cfg.ticks / 4).max(1);
+    let inject_tick = |j: usize| 1 + (j as u64 * window) / cfg.ops.max(1) as u64;
+    let value_of = |j: usize| 1_000 + j as u64;
+
+    let mut next_op = 0usize;
+    let mut convergence_tick: Option<u64> = None;
+    for tick in 1..=cfg.ticks {
+        net.begin_tick(tick);
+        for msg in net.deliver_due(tick) {
+            let dest = msg.dest;
+            for out in nodes[dest as usize].handle(msg, tick) {
+                if out.dest != CLIENT {
+                    net.send(tick, out);
+                }
+            }
+        }
+        while next_op < cfg.ops && inject_tick(next_op) <= tick {
+            let op = client_msg(
+                SOURCE,
+                Body::Broadcast {
+                    msg_id: next_op as u64,
+                    value: value_of(next_op),
+                },
+            );
+            // Client replies (broadcast_ok) go back to the driver, not
+            // the network.
+            let _ = nodes[SOURCE as usize].handle(op, tick);
+            next_op += 1;
+        }
+        for (id, node) in nodes.iter_mut().enumerate() {
+            if net.node_up(id as NodeId, tick) {
+                for out in node.on_tick(tick) {
+                    net.send(tick, out);
+                }
+            }
+        }
+        if next_op == cfg.ops && convergence_tick.is_none() {
+            let covered = (0..n)
+                .filter(|&v| eligible[v] && nodes[v].values().len() >= cfg.ops)
+                .count();
+            if covered == eligible_count {
+                convergence_tick = Some(tick);
+                break;
+            }
+        }
+    }
+
+    let covered = (0..n)
+        .filter(|&v| eligible[v] && nodes[v].values().len() >= cfg.ops)
+        .count();
+    let mut latencies = Vec::new();
+    let mut stale_window_max = 0u64;
+    for j in 0..next_op {
+        let (value, injected) = (value_of(j), inject_tick(j));
+        let mut last = injected;
+        for v in 0..n {
+            if !eligible[v] {
+                continue;
+            }
+            if let Some(t) = nodes[v].learned_at(value) {
+                latencies.push(t.saturating_sub(injected));
+                last = last.max(t);
+            }
+        }
+        stale_window_max = stale_window_max.max(last - injected);
+    }
+    latencies.sort_unstable();
+
+    let protocol_msgs: u64 = nodes
+        .iter()
+        .map(|nd| nd.counters.gossip_sent + nd.counters.acks_sent)
+        .sum();
+    let retries: u64 = nodes.iter().map(|nd| nd.counters.retries).sum();
+    let heal = net.heal_tick();
+    TrialStats {
+        coverage: covered as f64 / eligible_count as f64,
+        converged: convergence_tick.is_some(),
+        protocol_msgs,
+        sent: net.stats.sent,
+        delivered: net.stats.delivered,
+        dropped: net.stats.dropped(),
+        retries,
+        latencies,
+        stale_window_max,
+        post_heal_ticks: if heal == 0 {
+            0
+        } else {
+            convergence_tick.map_or(0, |t| t.saturating_sub(heal))
+        },
+    }
+}
+
+/// Runs the full workload (all trials, parallel-safe) and aggregates a
+/// [`NodeReport`].
+pub fn run_workload(cfg: &WorkloadConfig) -> NodeReport {
+    let started = std::time::Instant::now();
+    let trials = run_trials(cfg.trials.max(1), cfg.seed, |_, rng| {
+        run_trial(cfg, rng.next())
+    });
+
+    let mut coverage = f64::INFINITY;
+    let mut converged_trials = 0;
+    let mut latencies = Vec::new();
+    let (mut msgs, mut sent, mut delivered, mut dropped, mut retries) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut stale, mut post_heal) = (0u64, 0u64);
+    for t in &trials {
+        coverage = coverage.min(t.coverage);
+        converged_trials += t.converged as usize;
+        latencies.extend_from_slice(&t.latencies);
+        msgs += t.protocol_msgs;
+        sent += t.sent;
+        delivered += t.delivered;
+        dropped += t.dropped;
+        retries += t.retries;
+        stale = stale.max(t.stale_window_max);
+        post_heal = post_heal.max(t.post_heal_ticks);
+    }
+    latencies.sort_unstable();
+    let total_ops = (cfg.ops * trials.len()).max(1);
+    NodeReport {
+        schema_version: NODE_REPORT_SCHEMA_VERSION,
+        n: cfg.n,
+        ops: cfg.ops,
+        ticks: cfg.ticks,
+        trials: trials.len(),
+        seed: cfg.seed,
+        coverage: if coverage.is_finite() { coverage } else { 0.0 },
+        converged_trials,
+        msgs_per_op: msgs as f64 / total_ops as f64,
+        msgs_sent: sent,
+        msgs_delivered: delivered,
+        msgs_dropped: dropped,
+        delivery_p50: percentile(&latencies, 50),
+        delivery_p99: percentile(&latencies, 99),
+        stale_window_max: stale,
+        post_heal_ticks: post_heal,
+        retries,
+        wall_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Partition;
+
+    #[test]
+    fn topology_is_always_connected() {
+        for seed in [1, 2, 3] {
+            // degree 1.5 < ln n: the raw draw is almost surely
+            // disconnected, exercising the chaining fix-up.
+            let mut rng = Xoshiro256pp::new(seed);
+            let g = connected_topology(100, 1.5, &mut rng);
+            let dist = radio_graph::bfs::bfs_distances(&g, 0);
+            assert!(
+                dist.iter().all(|&d| d != u32::MAX),
+                "seed {seed}: disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_network_converges_with_full_coverage() {
+        let cfg = WorkloadConfig {
+            n: 48,
+            ops: 8,
+            ticks: 400,
+            seed: 7,
+            ..WorkloadConfig::default()
+        };
+        let report = run_workload(&cfg);
+        assert_eq!(report.coverage, 1.0, "{report:?}");
+        assert_eq!(report.converged_trials, 1);
+        assert!(report.msgs_per_op > 0.0);
+        assert!(report.delivery_p50 <= report.delivery_p99);
+        assert_eq!(report.post_heal_ticks, 0, "no partitions to heal");
+    }
+
+    #[test]
+    fn partition_delays_convergence_but_heals() {
+        let quiet = WorkloadConfig {
+            n: 48,
+            ops: 8,
+            ticks: 600,
+            seed: 7,
+            ..WorkloadConfig::default()
+        };
+        let mut cut = quiet.clone();
+        cut.net.partitions = vec![Partition {
+            from: 1,
+            to: 120,
+            groups: 2,
+        }];
+        let (a, b) = (run_workload(&quiet), run_workload(&cut));
+        assert_eq!(b.coverage, 1.0, "recovers after heal: {b:?}");
+        assert!(b.post_heal_ticks > 0, "{b:?}");
+        assert!(
+            b.delivery_p99 > a.delivery_p99,
+            "partition must stretch the latency tail: {} vs {}",
+            b.delivery_p99,
+            a.delivery_p99
+        );
+        assert!(b.msgs_dropped > a.msgs_dropped);
+    }
+
+    #[test]
+    fn crash_faults_keep_eligible_coverage_full() {
+        let mut cfg = WorkloadConfig {
+            n: 64,
+            ops: 8,
+            ticks: 600,
+            seed: 11,
+            trials: 2,
+            ..WorkloadConfig::default()
+        };
+        cfg.faults = FaultConfig::parse("crash=0.1,sleep=0.1").unwrap();
+        let report = run_workload(&cfg);
+        assert_eq!(report.coverage, 1.0, "{report:?}");
+        assert_eq!(report.converged_trials, 2);
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical_after_strip() {
+        let mut cfg = WorkloadConfig {
+            n: 40,
+            ops: 6,
+            ticks: 400,
+            seed: 3,
+            trials: 2,
+            ..WorkloadConfig::default()
+        };
+        cfg.faults = FaultConfig::parse("crash=0.05").unwrap();
+        cfg.net.loss = 0.05;
+        cfg.net.partitions = vec![Partition {
+            from: 5,
+            to: 60,
+            groups: 2,
+        }];
+        let a = run_workload(&cfg).strip_timing().to_json().render();
+        let b = run_workload(&cfg).strip_timing().to_json().render();
+        assert_eq!(a, b);
+        let mut other = cfg.clone();
+        other.seed = 4;
+        assert_ne!(a, run_workload(&other).strip_timing().to_json().render());
+    }
+}

@@ -89,6 +89,89 @@ pub struct BurstParams {
 /// Crash-round sentinel: the node never crashes.
 const NEVER: u32 = u32::MAX;
 
+/// Why a [`FaultPlan`] construction call was rejected.
+///
+/// Every builder has a `try_*` twin returning this error; the panicking
+/// builders delegate to them, so the checks run in release builds too
+/// (mirroring the `loss_prob` release validation in
+/// [`RunConfig`](crate::RunConfig)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// The node id is `>= n` for this plan.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: NodeId,
+        /// Plan size.
+        n: usize,
+    },
+    /// A crash or jam was scheduled for round 0 (rounds are 1-based).
+    RoundZero {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// The node already has a crash scheduled.
+    DoubleCrash {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// The node already has a jam window.
+    DoubleJam {
+        /// Affected node.
+        node: NodeId,
+    },
+    /// A jam window with `from > to` (empty/inverted).
+    InvertedWindow {
+        /// Affected node.
+        node: NodeId,
+        /// Window start.
+        from: u32,
+        /// Window end.
+        to: u32,
+    },
+    /// A probability outside `[0, 1]` (NaN included).
+    RateOutOfRange {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A burst channel with `p_bad = 0` never enters the bad state, so
+    /// every burst has length zero — a misconfiguration, not a fault model.
+    ZeroLengthBurst,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultPlanError::NodeOutOfRange { node, n } => {
+                write!(f, "fault node {node} out of range for plan of {n} nodes")
+            }
+            FaultPlanError::RoundZero { node } => {
+                write!(
+                    f,
+                    "fault round for node {node} must be >= 1 (rounds are 1-based)"
+                )
+            }
+            FaultPlanError::DoubleCrash { node } => write!(f, "node {node} crashes twice"),
+            FaultPlanError::DoubleJam { node } => write!(f, "node {node} jams twice"),
+            FaultPlanError::InvertedWindow { node, from, to } => {
+                write!(f, "empty jam window {from}..={to} for node {node}")
+            }
+            FaultPlanError::RateOutOfRange { what, value } => {
+                write!(f, "{what} must be within [0, 1], got {value}")
+            }
+            FaultPlanError::ZeroLengthBurst => {
+                write!(
+                    f,
+                    "burst channel with p_bad = 0 produces zero-length bursts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A fully resolved, deterministic fault schedule for one graph.
 ///
 /// Build one by hand with [`FaultPlan::crash`] / [`FaultPlan::sleep`] /
@@ -166,34 +249,56 @@ impl FaultPlan {
         self.events.insert(at, event);
     }
 
-    /// Schedules node `v` to fail-stop at `round >= 1`.
-    ///
-    /// # Panics
-    ///
-    /// If `v` is out of range, already crashes, or `round == 0`.
-    pub fn crash(&mut self, v: NodeId, round: u32) -> &mut FaultPlan {
-        assert!((v as usize) < self.n, "crash node {v} out of range");
-        assert!(round >= 1, "crash round must be >= 1");
-        assert_eq!(
-            self.crash_round[v as usize], NEVER,
-            "node {v} crashes twice"
-        );
+    fn check_node(&self, v: NodeId) -> Result<(), FaultPlanError> {
+        if (v as usize) < self.n {
+            Ok(())
+        } else {
+            Err(FaultPlanError::NodeOutOfRange { node: v, n: self.n })
+        }
+    }
+
+    /// Schedules node `v` to fail-stop at `round >= 1`, or reports why it
+    /// cannot.
+    pub fn try_crash(&mut self, v: NodeId, round: u32) -> Result<&mut FaultPlan, FaultPlanError> {
+        self.check_node(v)?;
+        if round == 0 {
+            return Err(FaultPlanError::RoundZero { node: v });
+        }
+        if self.crash_round[v as usize] != NEVER {
+            return Err(FaultPlanError::DoubleCrash { node: v });
+        }
         self.crash_round[v as usize] = round;
         self.push_event(FaultEvent {
             round,
             node: v,
             kind: FaultEventKind::Crash,
         });
+        Ok(self)
+    }
+
+    /// Schedules node `v` to fail-stop at `round >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// If `v` is out of range, already crashes, or `round == 0` (in release
+    /// builds too; see [`FaultPlan::try_crash`]).
+    pub fn crash(&mut self, v: NodeId, round: u32) -> &mut FaultPlan {
+        if let Err(e) = self.try_crash(v, round) {
+            panic!("{e}");
+        }
         self
     }
 
-    /// Puts node `v` to sleep until `wake_round`: it neither transmits nor
-    /// receives in rounds `< wake_round`.  `wake_round <= 1` is a no-op
-    /// (the node is awake from the start).
-    pub fn sleep(&mut self, v: NodeId, wake_round: u32) -> &mut FaultPlan {
-        assert!((v as usize) < self.n, "sleep node {v} out of range");
+    /// Puts node `v` to sleep until `wake_round`, or reports why it cannot.
+    /// `wake_round <= 1` is accepted as a no-op (awake from the start).
+    pub fn try_sleep(
+        &mut self,
+        v: NodeId,
+        wake_round: u32,
+    ) -> Result<&mut FaultPlan, FaultPlanError> {
+        self.check_node(v)?;
         if wake_round <= 1 {
-            return self;
+            return Ok(self);
         }
         self.wake_round[v as usize] = wake_round;
         self.push_event(FaultEvent {
@@ -201,21 +306,42 @@ impl FaultPlan {
             node: v,
             kind: FaultEventKind::Wake,
         });
+        Ok(self)
+    }
+
+    /// Puts node `v` to sleep until `wake_round`: it neither transmits nor
+    /// receives in rounds `< wake_round`.  `wake_round <= 1` is a no-op
+    /// (the node is awake from the start).
+    ///
+    /// # Panics
+    ///
+    /// If `v` is out of range (see [`FaultPlan::try_sleep`]).
+    pub fn sleep(&mut self, v: NodeId, wake_round: u32) -> &mut FaultPlan {
+        if let Err(e) = self.try_sleep(v, wake_round) {
+            panic!("{e}");
+        }
         self
     }
 
-    /// Makes node `v` jam (transmit noise) in rounds `from..=to` inclusive;
-    /// `to == u32::MAX` jams forever.  A crashed or still-asleep jammer is
-    /// silent.  At most one window per node.
-    pub fn jam(&mut self, v: NodeId, from: u32, to: u32) -> &mut FaultPlan {
-        assert!((v as usize) < self.n, "jam node {v} out of range");
-        assert!(from >= 1, "jam start must be >= 1");
-        assert!(from <= to, "empty jam window");
+    /// Makes node `v` jam in rounds `from..=to`, or reports why it cannot
+    /// (out-of-range node, `from == 0`, inverted window, double jam).
+    pub fn try_jam(
+        &mut self,
+        v: NodeId,
+        from: u32,
+        to: u32,
+    ) -> Result<&mut FaultPlan, FaultPlanError> {
+        self.check_node(v)?;
+        if from == 0 {
+            return Err(FaultPlanError::RoundZero { node: v });
+        }
+        if from > to {
+            return Err(FaultPlanError::InvertedWindow { node: v, from, to });
+        }
         let at = self.jams.partition_point(|&(u, _, _)| u < v);
-        assert!(
-            self.jams.get(at).is_none_or(|&(u, _, _)| u != v),
-            "node {v} jams twice"
-        );
+        if self.jams.get(at).is_some_and(|&(u, _, _)| u == v) {
+            return Err(FaultPlanError::DoubleJam { node: v });
+        }
         self.jams.insert(at, (v, from, to));
         self.push_event(FaultEvent {
             round: from,
@@ -229,21 +355,81 @@ impl FaultPlan {
                 kind: FaultEventKind::JamStop,
             });
         }
+        Ok(self)
+    }
+
+    /// Makes node `v` jam (transmit noise) in rounds `from..=to` inclusive;
+    /// `to == u32::MAX` jams forever.  A crashed or still-asleep jammer is
+    /// silent.  At most one window per node.
+    ///
+    /// # Panics
+    ///
+    /// On any [`FaultPlan::try_jam`] error (release builds included).
+    pub fn jam(&mut self, v: NodeId, from: u32, to: u32) -> &mut FaultPlan {
+        if let Err(e) = self.try_jam(v, from, to) {
+            panic!("{e}");
+        }
         self
+    }
+
+    /// Enables the Gilbert–Elliott burst-loss channel on every node, or
+    /// reports why the parameters are rejected: probabilities outside
+    /// `[0, 1]` (NaN included), or `p_bad = 0` (zero-length bursts).
+    pub fn try_set_burst(
+        &mut self,
+        p_bad: f64,
+        p_good: f64,
+    ) -> Result<&mut FaultPlan, FaultPlanError> {
+        if !(0.0..=1.0).contains(&p_bad) {
+            return Err(FaultPlanError::RateOutOfRange {
+                what: "burst p_bad",
+                value: p_bad,
+            });
+        }
+        if !(0.0..=1.0).contains(&p_good) {
+            return Err(FaultPlanError::RateOutOfRange {
+                what: "burst p_good",
+                value: p_good,
+            });
+        }
+        if p_bad == 0.0 {
+            return Err(FaultPlanError::ZeroLengthBurst);
+        }
+        self.burst = Some(BurstParams { p_bad, p_good });
+        Ok(self)
     }
 
     /// Enables the Gilbert–Elliott burst-loss channel on every node.
     ///
     /// # Panics
     ///
-    /// If either probability is outside `[0, 1]`.
+    /// If either probability is outside `[0, 1]`, or `p_bad = 0` (see
+    /// [`FaultPlan::try_set_burst`]; checks run in release builds too).
     pub fn set_burst(&mut self, p_bad: f64, p_good: f64) -> &mut FaultPlan {
-        assert!(
-            (0.0..=1.0).contains(&p_bad) && (0.0..=1.0).contains(&p_good),
-            "burst probabilities must be within [0, 1]"
-        );
-        self.burst = Some(BurstParams { p_bad, p_good });
+        if let Err(e) = self.try_set_burst(p_bad, p_good) {
+            panic!("{e}");
+        }
         self
+    }
+
+    /// Whether node `v` is up (neither crashed nor still asleep) at
+    /// `round`.  This is the node-level availability predicate the
+    /// `radio-node` event loop adapts into link-level faults.
+    pub fn node_up(&self, v: NodeId, round: u32) -> bool {
+        let i = v as usize;
+        self.crash_round[i] > round && self.wake_round[i] <= round.max(1)
+    }
+
+    /// Whether node `v` is inside its jam window at `round` (regardless of
+    /// whether it is awake enough to actually jam).
+    pub fn jammed(&self, v: NodeId, round: u32) -> bool {
+        self.jams
+            .binary_search_by_key(&v, |&(u, _, _)| u)
+            .map(|at| {
+                let (_, from, to) = self.jams[at];
+                from <= round && round <= to
+            })
+            .unwrap_or(false)
     }
 
     /// Samples a plan from `config` with a dedicated RNG seeded by `seed`.
@@ -323,8 +509,11 @@ impl FaultPlan {
             }
         }
 
+        // A zero-rate burst means "no burst", like crash_rate = 0 above.
         if let Some(b) = config.burst {
-            plan.set_burst(b.p_bad, b.p_good);
+            if b.p_bad > 0.0 {
+                plan.set_burst(b.p_bad, b.p_good);
+            }
         }
         plan
     }
@@ -1075,5 +1264,132 @@ mod tests {
     fn bad_burst_probability_rejected() {
         let mut plan = FaultPlan::new(3);
         plan.set_burst(1.5, 0.1);
+    }
+
+    #[test]
+    fn try_crash_reports_typed_errors() {
+        let mut plan = FaultPlan::new(3);
+        assert_eq!(
+            plan.try_crash(3, 2).unwrap_err(),
+            FaultPlanError::NodeOutOfRange { node: 3, n: 3 }
+        );
+        assert_eq!(
+            plan.try_crash(1, 0).unwrap_err(),
+            FaultPlanError::RoundZero { node: 1 }
+        );
+        plan.try_crash(1, 2).unwrap();
+        assert_eq!(
+            plan.try_crash(1, 5).unwrap_err(),
+            FaultPlanError::DoubleCrash { node: 1 }
+        );
+        // The failed calls left no partial state behind.
+        assert_eq!(plan.crash_round(1), Some(2));
+        assert_eq!(plan.events().len(), 1);
+    }
+
+    #[test]
+    fn try_sleep_reports_typed_errors() {
+        let mut plan = FaultPlan::new(3);
+        assert_eq!(
+            plan.try_sleep(9, 4).unwrap_err(),
+            FaultPlanError::NodeOutOfRange { node: 9, n: 3 }
+        );
+        // wake_round <= 1 is an accepted no-op, not an error.
+        plan.try_sleep(1, 1).unwrap();
+        assert_eq!(plan.wake_round(1), 1);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn try_jam_reports_typed_errors() {
+        let mut plan = FaultPlan::new(4);
+        assert_eq!(
+            plan.try_jam(4, 1, 2).unwrap_err(),
+            FaultPlanError::NodeOutOfRange { node: 4, n: 4 }
+        );
+        assert_eq!(
+            plan.try_jam(2, 0, 2).unwrap_err(),
+            FaultPlanError::RoundZero { node: 2 }
+        );
+        assert_eq!(
+            plan.try_jam(2, 5, 3).unwrap_err(),
+            FaultPlanError::InvertedWindow {
+                node: 2,
+                from: 5,
+                to: 3
+            }
+        );
+        plan.try_jam(2, 1, 4).unwrap();
+        assert_eq!(
+            plan.try_jam(2, 6, 8).unwrap_err(),
+            FaultPlanError::DoubleJam { node: 2 }
+        );
+        assert_eq!(plan.jams(), &[(2, 1, 4)]);
+    }
+
+    #[test]
+    fn try_set_burst_reports_typed_errors() {
+        let mut plan = FaultPlan::new(2);
+        assert_eq!(
+            plan.try_set_burst(1.5, 0.1).unwrap_err(),
+            FaultPlanError::RateOutOfRange {
+                what: "burst p_bad",
+                value: 1.5
+            }
+        );
+        assert_eq!(
+            plan.try_set_burst(0.5, -0.1).unwrap_err(),
+            FaultPlanError::RateOutOfRange {
+                what: "burst p_good",
+                value: -0.1
+            }
+        );
+        assert!(matches!(
+            plan.try_set_burst(f64::NAN, 0.1).unwrap_err(),
+            FaultPlanError::RateOutOfRange {
+                what: "burst p_bad",
+                ..
+            }
+        ));
+        assert_eq!(
+            plan.try_set_burst(0.0, 0.5).unwrap_err(),
+            FaultPlanError::ZeroLengthBurst
+        );
+        assert!(plan.burst().is_none(), "failed calls left no channel");
+        plan.try_set_burst(1.0, 0.0).unwrap(); // never-recovering is legal
+        assert!(plan.burst().is_some());
+        // Errors render as readable messages.
+        let msg = FaultPlanError::InvertedWindow {
+            node: 2,
+            from: 5,
+            to: 3,
+        }
+        .to_string();
+        assert!(msg.contains("5..=3"), "{msg}");
+    }
+
+    #[test]
+    fn zero_rate_burst_config_generates_no_channel() {
+        let g = sample_gnp(32, 0.2, &mut Xoshiro256pp::new(2));
+        let config = FaultConfig {
+            burst: Some(BurstParams {
+                p_bad: 0.0,
+                p_good: 0.5,
+            }),
+            ..FaultConfig::default()
+        };
+        assert!(FaultPlan::generate(&g, &config, 1).burst().is_none());
+    }
+
+    #[test]
+    fn node_up_and_jammed_track_the_schedule() {
+        let mut plan = FaultPlan::new(5);
+        plan.crash(1, 4).sleep(2, 3).jam(3, 2, 6);
+        assert!(plan.node_up(1, 1) && plan.node_up(1, 3));
+        assert!(!plan.node_up(1, 4), "crashed at its crash round");
+        assert!(!plan.node_up(2, 2) && plan.node_up(2, 3));
+        assert!(plan.node_up(0, 0), "round 0 treated as the start");
+        assert!(!plan.jammed(3, 1) && plan.jammed(3, 2) && plan.jammed(3, 6));
+        assert!(!plan.jammed(3, 7) && !plan.jammed(0, 3));
     }
 }

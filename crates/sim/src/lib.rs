@@ -101,8 +101,8 @@ pub use combinators::{Named, Staged};
 pub use engine::{RoundEngine, RoundOutcome, TransmitterPolicy};
 pub use exec::{GraphSource, Plan, PlannedEngine, RunOutcome, RunSpec};
 pub use fault::{
-    BurstParams, FaultConfig, FaultEvent, FaultEventKind, FaultPlan, FaultSession, FaultSummary,
-    LiveView, Placement,
+    BurstParams, FaultConfig, FaultEvent, FaultEventKind, FaultPlan, FaultPlanError, FaultSession,
+    FaultSummary, LiveView, Placement,
 };
 pub use json::Json;
 pub use kernel::{EngineKernel, KernelUsed};

@@ -41,12 +41,13 @@ use crate::observer::RoundEvent;
 use crate::trace::RunResult;
 
 /// Current `RunReport` schema version (see `docs/OBSERVABILITY.md` for the
-/// versioning policy).  Version 3 added the planner-decision fields
+/// versioning policy).  Version 4 added the epoch-backoff schedule
+/// (`backoff_epochs`); version 3 added the planner-decision fields
 /// (`plan_backend`, `plan_engine`, `plan_shards`); version 2 added the
 /// graceful-degradation fields (`coverage`, `last_delivery_round`,
 /// `faults`).  Older documents are still accepted, with those fields
 /// defaulted.
-pub const RUN_REPORT_SCHEMA_VERSION: i64 = 3;
+pub const RUN_REPORT_SCHEMA_VERSION: i64 = 4;
 
 /// JSON summary of one broadcast run.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +107,11 @@ pub struct RunReport {
     /// Shard count the planner ran with (1 for explicit CSR plans), if
     /// recorded.  Shard count never changes results.
     pub plan_shards: Option<u32>,
+    /// Epoch start rounds of an epoch-restarting protocol's backoff
+    /// schedule (e.g. `Restartable`), if recorded via
+    /// [`RunReport::with_backoff_epochs`]; omitted from the JSON
+    /// otherwise.
+    pub backoff_epochs: Option<Vec<u32>>,
     /// Graceful-degradation counters of a faulty run (omitted from the
     /// JSON for fault-free runs).
     pub faults: Option<FaultSummary>,
@@ -142,6 +148,7 @@ impl RunReport {
             plan_backend: None,
             plan_engine: None,
             plan_shards: None,
+            backoff_epochs: None,
             faults: result.faults,
             events: Vec::new(),
         }
@@ -180,6 +187,13 @@ impl RunReport {
         if plan.lanes > 1 {
             self.batch_lanes = Some(plan.lanes as u32);
         }
+        self
+    }
+
+    /// Attaches the epoch-backoff schedule of an epoch-restarting protocol
+    /// (the epoch start rounds over the run's horizon).
+    pub fn with_backoff_epochs(mut self, epochs: Vec<u32>) -> RunReport {
+        self.backoff_epochs = Some(epochs);
         self
     }
 
@@ -228,6 +242,12 @@ impl RunReport {
         }
         if let Some(shards) = self.plan_shards {
             fields.push(("plan_shards", Json::from(shards)));
+        }
+        if let Some(epochs) = &self.backoff_epochs {
+            fields.push((
+                "backoff_epochs",
+                Json::Arr(epochs.iter().map(|&e| Json::from(e)).collect()),
+            ));
         }
         if let Some(f) = &self.faults {
             fields.push((
@@ -357,6 +377,12 @@ impl RunReport {
                 .and_then(Json::as_str)
                 .map(str::to_string),
             plan_shards: get_opt_u32("plan_shards"),
+            backoff_epochs: json.get("backoff_epochs").and_then(Json::as_arr).map(|a| {
+                a.iter()
+                    .filter_map(Json::as_i64)
+                    .filter_map(|v| u32::try_from(v).ok())
+                    .collect()
+            }),
             faults,
             events,
         })
@@ -555,6 +581,27 @@ mod tests {
         assert!(old.plan_backend.is_none());
         assert!(old.plan_engine.is_none());
         assert!(old.plan_shards.is_none());
+    }
+
+    #[test]
+    fn backoff_epochs_round_trip_and_v3_is_lenient() {
+        let report = RunReport::from_result("restartable(eg)", &sample_result())
+            .with_backoff_epochs(vec![1, 26, 76]);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("backoff_epochs")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(3)
+        );
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.backoff_epochs.as_deref(), Some(&[1, 26, 76][..]));
+        // A v3 document (no backoff field) still parses, with it unset.
+        let mut v3 = RunReport::from_result("old", &sample_result()).to_json();
+        if let Json::Obj(fields) = &mut v3 {
+            fields[0].1 = Json::Int(3);
+        }
+        assert!(RunReport::from_json(&v3).unwrap().backoff_epochs.is_none());
     }
 
     #[test]

@@ -136,5 +136,36 @@ awk -F'\t' '
   }
 ' "$baseline.tps.tsv" "$new.tps.tsv" >&2
 
+# Fourth pass: the message-passing service points (node/...) carry
+# msgs_per_op — protocol messages per client broadcast op (LOWER is
+# better, unlike the throughput passes above).  Warn when the candidate
+# spends more than 20% extra messages per op vs the committed baseline.
+extract_mpo() {
+  awk '
+    /"label":/       { gsub(/.*"label": "|",?$/, ""); label = $0; paired = 0 }
+    /"msgs_per_op":/ {
+      if (!paired) { gsub(/.*"msgs_per_op": |,?$/, ""); print label "\t" $0; paired = 1 }
+    }
+  ' "$1"
+}
+
+extract_mpo "$baseline" > "$baseline.mpo.tsv"
+extract_mpo "$new" > "$new.mpo.tsv"
+
+awk -F'\t' '
+  NR == FNR { base[$1] = $2; next }
+  {
+    if ($1 in base && base[$1] > 0 && $2 > base[$1] * 1.2) {
+      pct = ($2 - base[$1]) / base[$1] * 100
+      printf "warning: %-45s message economy up %.1f%% (%.4g -> %.4g msgs/op)\n", $1, pct, base[$1], $2
+      regressed++
+    }
+  }
+  END {
+    if (regressed)
+      printf "warning: %d node-service point(s) spend more than 20%% extra msgs/op vs the committed baseline\n", regressed
+  }
+' "$baseline.mpo.tsv" "$new.mpo.tsv" >&2
+
 rm -f "$baseline.tsv" "$new.tsv" "$baseline.tput.tsv" "$new.tput.tsv" \
-  "$baseline.tps.tsv" "$new.tps.tsv"
+  "$baseline.tps.tsv" "$new.tps.tsv" "$baseline.mpo.tsv" "$new.mpo.tsv"

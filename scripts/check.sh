@@ -69,6 +69,20 @@ for threads in 1 8; do
     -p radio-integration --test kernel_differential
 done
 
+# The broadcast-service contract: a partitioned 64-node cluster must heal
+# to coverage 1.0, and the stripped NodeReport must be byte-identical
+# across thread budgets (the service's RADIO_THREADS-independence pin).
+step "node service smoke (debug)"
+cargo build --offline -q -p radio-node
+node_smoke() { # $1 = binary
+  "$1" workload --nodes 64 --ops 8 --ticks 600 --trials 2 --seed 11 \
+    --partition 10:120 --faults crash=0.05 \
+    --assert-coverage 1.0 --strip-timing --json
+}
+a=$(RADIO_THREADS=1 node_smoke target/debug/radio-node)
+b=$(RADIO_THREADS=8 node_smoke target/debug/radio-node)
+[ "$a" = "$b" ] || { echo "node smoke: report differs across RADIO_THREADS" >&2; exit 1; }
+
 if [ "$fast" -eq 0 ]; then
   step "cargo build --release"
   cargo build --workspace --release --offline -q
@@ -125,6 +139,22 @@ if [ "$fast" -eq 0 ]; then
   # The experiment registry: the driver must list all experiments, and the
   # smoke suite runs every registered experiment at a tiny grid and checks
   # the parallel `all` path is bit-identical to serial.
+  # The broadcast-service contract re-runs in release at cluster scale
+  # (1024 nodes, partition + crash + loss): full coverage after heal,
+  # byte-identical stripped reports across thread budgets, and the
+  # debug-built report must match release bit-for-bit.
+  step "node service (release, 1024 nodes)"
+  node_scale() { # $1 = binary
+    RADIO_THREADS="$2" "$1" workload --nodes 1024 --ops 32 --ticks 1200 --seed 42 \
+      --partition 10:150 --faults crash=0.05,sleep=0.05 --loss 0.02 \
+      --assert-coverage 1.0 --strip-timing --json
+  }
+  r1=$(node_scale target/release/radio-node 1)
+  r8=$(node_scale target/release/radio-node 8)
+  [ "$r1" = "$r8" ] || { echo "node scale: report differs across RADIO_THREADS" >&2; exit 1; }
+  d1=$(node_scale target/debug/radio-node 1)
+  [ "$r1" = "$d1" ] || { echo "node scale: debug and release reports differ" >&2; exit 1; }
+
   step "experiment registry (release)"
   cargo run --release --offline -q -p radio-bench -- list
   cargo test --release --offline -q -p radio-bench --test registry

@@ -13,10 +13,10 @@
 #![allow(deprecated)]
 use radio_broadcast::distributed::{Decay, EgDistributed, Restartable};
 use radio_graph::gnp::sample_gnp;
-use radio_graph::{child_rng, Graph, Xoshiro256pp};
+use radio_graph::{child_rng, Graph, GraphProvider, ImplicitGnp, Xoshiro256pp};
 use radio_sim::{
     run_protocol_batch_faulty, run_protocol_faulty, EngineKernel, FaultConfig, FaultPlan,
-    KernelUsed, Protocol, RunConfig, TraceLevel, MAX_LANES,
+    KernelUsed, Protocol, RunConfig, RunSpec, TraceLevel, MAX_LANES,
 };
 
 /// One fault plan per fault type, plus a kitchen-sink combination.
@@ -130,6 +130,64 @@ fn batch_lanes_match_scalar_kernels_under_faults() {
                     streams[0], streams[1],
                     "{case}/{proto_name}: residual RNG stream differs between kernels"
                 );
+            }
+        }
+    }
+}
+
+/// The lane-sweep engine pins the graceful-degradation summary per lane:
+/// under a generated crash/sleep/jam/burst plan, every lane of a
+/// provider-backed lane-plane run (lanes 7 and 64, shards 1 and 4) must
+/// carry exactly the [`radio_sim::FaultSummary`] — coverage counters and
+/// the DSU-based residual-uninformed count — of the scalar explicit run on
+/// `child_rng(master, lane)`.
+#[test]
+fn lane_sweep_fault_summaries_match_scalar_runs() {
+    let n = 192;
+    let p = 14.0 / n as f64;
+    let imp = ImplicitGnp::new(n, p, 8086);
+    let g = imp.materialize();
+    let master = 77_077u64;
+    let cfg = RunConfig::for_graph(n).with_trace(TraceLevel::SummaryOnly);
+
+    for (case, plan) in fault_cases(&g) {
+        for lanes in [7usize, 64] {
+            for shards in [1usize, 4] {
+                let mut proto = EgDistributed::new(p);
+                let outcome = RunSpec::on_provider(&imp, shards, 0)
+                    .with_config(cfg)
+                    .with_lanes(lanes)
+                    .with_faults(&plan)
+                    .with_master_seed(master)
+                    .run(&mut proto);
+                assert_eq!(outcome.lanes.len(), lanes, "{case}");
+                for (lane, lane_result) in outcome.lanes.iter().enumerate() {
+                    let lane_summary = lane_result
+                        .faults
+                        .expect("faulted lane-plane run carries a summary");
+                    let mut rng = child_rng(master, lane as u64);
+                    let mut scalar_proto = EgDistributed::new(p);
+                    let scalar = RunSpec::on_graph(&g, 0)
+                        .with_config(cfg)
+                        .with_faults(&plan)
+                        .run_with_rng(&mut scalar_proto, &mut rng)
+                        .into_single();
+                    let scalar_summary =
+                        scalar.faults.expect("scalar faulty run carries a summary");
+                    assert_eq!(
+                        lane_summary, scalar_summary,
+                        "{case} lanes={lanes} shards={shards} lane {lane}: \
+                         FaultSummary diverged from the scalar run"
+                    );
+                    assert_eq!(
+                        lane_result.informed, scalar.informed,
+                        "{case} lanes={lanes} shards={shards} lane {lane}: coverage"
+                    );
+                    assert_eq!(
+                        lane_result.last_delivery_round, scalar.last_delivery_round,
+                        "{case} lanes={lanes} shards={shards} lane {lane}"
+                    );
+                }
             }
         }
     }

@@ -68,6 +68,7 @@ fn sample_run_report() -> RunReport {
         plan_backend: Some("explicit".into()),
         plan_engine: Some("round".into()),
         plan_shards: Some(1),
+        backoff_epochs: Some(vec![1, 18, 52]),
         faults: None,
         events: vec![
             RoundEvent {
